@@ -1,0 +1,377 @@
+module ProdConsSys_ssme =
+
+process th_ProdConsSys_prProdCons_thProducer =
+  ( ? event Dispatch, Start, Deadline;
+    integer pProdStart;
+    event pProdStart_time;
+    integer pProdTimeOut;
+    event pProdTimeOut_time, pProdStartTimer_time, pProdStopTimer_time;
+    ! event Complete, Alarm;
+    integer pProdStartTimer, pProdStopTimer, reqQueue_w;
+    )
+  (| start_b := true when ^Start
+   | deadline_b := true when ^Deadline
+   | (pProdStart_frozen,
+       pProdStart_count) := in_event_port{2,
+       "dropoldest"}(pProdStart,
+       pProdStart_time)
+   | (pProdStart_value) := fm(pProdStart_frozen, start_b)
+   | (pProdStart_count_s) := fm(pProdStart_count, start_b)
+   | (pProdTimeOut_frozen,
+       pProdTimeOut_count) := in_event_port{1,
+       "dropoldest"}(pProdTimeOut,
+       pProdTimeOut_time)
+   | (pProdTimeOut_value) := fm(pProdTimeOut_frozen, start_b)
+   | (pProdTimeOut_count_s) := fm(pProdTimeOut_count, start_b)
+   | mode_at_start := 0 when start_b
+   | b1 := b1 $ 1 init 0 + 1
+   | ^b1 ^= ^Start
+   | reqQueue_w := b1
+   | pProdStartTimer_item := b1 when b1 > 0
+   | pProdStopTimer_item := b1
+   | (pProdStartTimer) := out_event_port{1,
+       "dropoldest"}(pProdStartTimer_item,
+       pProdStartTimer_time)
+   | (pProdStopTimer) := out_event_port{1,
+       "dropoldest"}(pProdStopTimer_item,
+       pProdStopTimer_time)
+   | Complete := ^Start
+   | due := due $ 1 init 0 + 1
+   | ^due ^= ^Deadline
+   | completed := completed $ 1 init 0 + 1
+   | ^completed ^= ^Complete
+   | (completed_at_dl) := fm(completed, deadline_b)
+   | Alarm := when (completed_at_dl < due)
+   |)
+  where
+    boolean start_b, deadline_b;
+    integer pProdStart_frozen, pProdStart_count, pProdStart_value,
+      pProdStart_count_s, pProdTimeOut_frozen, pProdTimeOut_count,
+      pProdTimeOut_value, pProdTimeOut_count_s, mode_at_start,
+      pProdStartTimer_item, pProdStopTimer_item, b1, due, completed,
+      completed_at_dl;
+  end
+  %pragma aadl "ProdConsSys.prProdCons.thProducer"%
+  %pragma aadl_classifier "thProducer.impl"%;
+
+process th_ProdConsSys_prProdCons_thConsumer =
+  ( ? event Dispatch, Start, Deadline;
+    integer pConsStart;
+    event pConsStart_time;
+    integer pConsTimeOut;
+    event pConsTimeOut_time, pConsStartTimer_time, pConsStopTimer_time,
+      pConsOut_time;
+    integer reqQueue_r;
+    ! event Complete, Alarm;
+    integer pConsStartTimer, pConsStopTimer, pConsOut;
+    event reqQueue_pop;
+    )
+  (| start_b := true when ^Start
+   | deadline_b := true when ^Deadline
+   | (pConsStart_frozen,
+       pConsStart_count) := in_event_port{2,
+       "dropoldest"}(pConsStart,
+       pConsStart_time)
+   | (pConsStart_value) := fm(pConsStart_frozen, start_b)
+   | (pConsStart_count_s) := fm(pConsStart_count, start_b)
+   | (pConsTimeOut_frozen,
+       pConsTimeOut_count) := in_event_port{1,
+       "dropoldest"}(pConsTimeOut,
+       pConsTimeOut_time)
+   | (pConsTimeOut_value) := fm(pConsTimeOut_frozen, start_b)
+   | (pConsTimeOut_count_s) := fm(pConsTimeOut_count, start_b)
+   | mode_at_start := 0 when start_b
+   | (reqQueue_value) := fm(reqQueue_r, start_b)
+   | b1 := b1 $ 1 init 0 + 1
+   | ^b1 ^= ^Start
+   | reqQueue_pop := ^Start
+   | pConsOut_item := reqQueue_value
+   | pConsStartTimer_item := b1 when b1 > 0
+   | pConsStopTimer_item := b1
+   | (pConsStartTimer) := out_event_port{1,
+       "dropoldest"}(pConsStartTimer_item,
+       pConsStartTimer_time)
+   | (pConsStopTimer) := out_event_port{1,
+       "dropoldest"}(pConsStopTimer_item,
+       pConsStopTimer_time)
+   | (pConsOut) := out_event_port{1,
+       "dropoldest"}(pConsOut_item,
+       pConsOut_time)
+   | Complete := ^Start
+   | due := due $ 1 init 0 + 1
+   | ^due ^= ^Deadline
+   | completed := completed $ 1 init 0 + 1
+   | ^completed ^= ^Complete
+   | (completed_at_dl) := fm(completed, deadline_b)
+   | Alarm := when (completed_at_dl < due)
+   |)
+  where
+    boolean start_b, deadline_b;
+    integer pConsStart_frozen, pConsStart_count, pConsStart_value,
+      pConsStart_count_s, pConsTimeOut_frozen, pConsTimeOut_count,
+      pConsTimeOut_value, pConsTimeOut_count_s, mode_at_start,
+      reqQueue_value, pConsStartTimer_item, pConsStopTimer_item,
+      pConsOut_item, b1, due, completed, completed_at_dl;
+  end
+  %pragma aadl "ProdConsSys.prProdCons.thConsumer"%
+  %pragma aadl_classifier "thConsumer.impl"%;
+
+process th_ProdConsSys_prProdCons_thProdTimer =
+  ( ? event Dispatch, Start, Deadline;
+    integer pStartTimer;
+    event pStartTimer_time;
+    integer pStopTimer;
+    event pStopTimer_time, pTimeOut_time;
+    ! event Complete, Alarm;
+    integer pTimeOut;
+    )
+  (| start_b := true when ^Start
+   | deadline_b := true when ^Deadline
+   | (pStartTimer_frozen,
+       pStartTimer_count) := in_event_port{4,
+       "dropoldest"}(pStartTimer,
+       pStartTimer_time)
+   | (pStartTimer_value) := fm(pStartTimer_frozen, start_b)
+   | (pStartTimer_count_s) := fm(pStartTimer_count, start_b)
+   | (pStopTimer_frozen,
+       pStopTimer_count) := in_event_port{4,
+       "dropoldest"}(pStopTimer,
+       pStopTimer_time)
+   | (pStopTimer_value) := fm(pStopTimer_frozen, start_b)
+   | (pStopTimer_count_s) := fm(pStopTimer_count, start_b)
+   | mode_at_start := 0 when start_b
+   | (b1) := timer{3}(when (pStartTimer_count_s > 0),
+       when (pStopTimer_count_s > 0),
+       Start)
+   | pTimeOut_item := 1 when b1
+   | (pTimeOut) := out_event_port{1,
+       "dropoldest"}(pTimeOut_item,
+       pTimeOut_time)
+   | Complete := ^Start
+   | due := due $ 1 init 0 + 1
+   | ^due ^= ^Deadline
+   | completed := completed $ 1 init 0 + 1
+   | ^completed ^= ^Complete
+   | (completed_at_dl) := fm(completed, deadline_b)
+   | Alarm := when (completed_at_dl < due)
+   |)
+  where
+    boolean start_b, deadline_b;
+    integer pStartTimer_frozen, pStartTimer_count, pStartTimer_value,
+      pStartTimer_count_s, pStopTimer_frozen, pStopTimer_count,
+      pStopTimer_value, pStopTimer_count_s, mode_at_start, pTimeOut_item;
+    event b1;
+    integer due, completed, completed_at_dl;
+  end
+  %pragma aadl "ProdConsSys.prProdCons.thProdTimer"%
+  %pragma aadl_classifier "thTimer.impl"%;
+
+process th_ProdConsSys_prProdCons_thConsTimer =
+  ( ? event Dispatch, Start, Deadline;
+    integer pStartTimer;
+    event pStartTimer_time;
+    integer pStopTimer;
+    event pStopTimer_time, pTimeOut_time;
+    ! event Complete, Alarm;
+    integer pTimeOut;
+    )
+  (| start_b := true when ^Start
+   | deadline_b := true when ^Deadline
+   | (pStartTimer_frozen,
+       pStartTimer_count) := in_event_port{4,
+       "dropoldest"}(pStartTimer,
+       pStartTimer_time)
+   | (pStartTimer_value) := fm(pStartTimer_frozen, start_b)
+   | (pStartTimer_count_s) := fm(pStartTimer_count, start_b)
+   | (pStopTimer_frozen,
+       pStopTimer_count) := in_event_port{4,
+       "dropoldest"}(pStopTimer,
+       pStopTimer_time)
+   | (pStopTimer_value) := fm(pStopTimer_frozen, start_b)
+   | (pStopTimer_count_s) := fm(pStopTimer_count, start_b)
+   | mode_at_start := 0 when start_b
+   | (b1) := timer{3}(when (pStartTimer_count_s > 0),
+       when (pStopTimer_count_s > 0),
+       Start)
+   | pTimeOut_item := 1 when b1
+   | (pTimeOut) := out_event_port{1,
+       "dropoldest"}(pTimeOut_item,
+       pTimeOut_time)
+   | Complete := ^Start
+   | due := due $ 1 init 0 + 1
+   | ^due ^= ^Deadline
+   | completed := completed $ 1 init 0 + 1
+   | ^completed ^= ^Complete
+   | (completed_at_dl) := fm(completed, deadline_b)
+   | Alarm := when (completed_at_dl < due)
+   |)
+  where
+    boolean start_b, deadline_b;
+    integer pStartTimer_frozen, pStartTimer_count, pStartTimer_value,
+      pStartTimer_count_s, pStopTimer_frozen, pStopTimer_count,
+      pStopTimer_value, pStopTimer_count_s, mode_at_start, pTimeOut_item;
+    event b1;
+    integer due, completed, completed_at_dl;
+  end
+  %pragma aadl "ProdConsSys.prProdCons.thConsTimer"%
+  %pragma aadl_classifier "thTimer.impl"%;
+
+process sched_Processor1 =
+  ( ? event tick;
+    ! event prProdCons_thConsTimer_dispatch, prProdCons_thConsTimer_start,
+        prProdCons_thConsTimer_complete, prProdCons_thConsTimer_deadline,
+        prProdCons_thConsumer_dispatch, prProdCons_thConsumer_start,
+        prProdCons_thConsumer_complete, prProdCons_thConsumer_deadline,
+        prProdCons_thProdTimer_dispatch, prProdCons_thProdTimer_start,
+        prProdCons_thProdTimer_complete, prProdCons_thProdTimer_deadline,
+        prProdCons_thProducer_dispatch, prProdCons_thProducer_start,
+        prProdCons_thProducer_complete, prProdCons_thProducer_deadline;
+    )
+  (| n := n $ 1 init 0 + 1
+   | ^n ^= ^tick
+   | ph := (n - 1) modulo 24
+   | prProdCons_thConsTimer_dispatch := when (ph = 0 or ph = 8 or ph = 16)
+   | prProdCons_thConsTimer_start := when (ph = 2 or ph = 9 or ph = 17)
+   | prProdCons_thConsTimer_complete := when (ph = 3 or ph = 10 or ph = 18)
+   | prProdCons_thConsTimer_deadline :=
+       when (ph = 8 or ph = 16 or ph = 0 and n > 24)
+   | prProdCons_thConsumer_dispatch :=
+       when (ph = 0 or ph = 6 or ph = 12 or ph = 18)
+   | prProdCons_thConsumer_start :=
+       when (ph = 1 or ph = 6 or ph = 13 or ph = 19)
+   | prProdCons_thConsumer_complete :=
+       when (ph = 2 or ph = 7 or ph = 14 or ph = 20)
+   | prProdCons_thConsumer_deadline :=
+       when (ph = 6 or ph = 12 or ph = 18 or ph = 0 and n > 24)
+   | prProdCons_thProdTimer_dispatch := when (ph = 0 or ph = 8 or ph = 16)
+   | prProdCons_thProdTimer_start := when (ph = 3 or ph = 10 or ph = 18)
+   | prProdCons_thProdTimer_complete := when (ph = 4 or ph = 11 or ph = 19)
+   | prProdCons_thProdTimer_deadline :=
+       when (ph = 8 or ph = 16 or ph = 0 and n > 24)
+   | prProdCons_thProducer_dispatch :=
+       when (ph = 0 or ph = 4 or ph = 8 or ph = 12 or ph = 16 or ph = 20)
+   | prProdCons_thProducer_start :=
+       when (ph = 0 or ph = 4 or ph = 8 or ph = 12 or ph = 16 or ph = 20)
+   | prProdCons_thProducer_complete :=
+       when (ph = 1 or ph = 5 or ph = 9 or ph = 13 or ph = 17 or ph = 21)
+   | prProdCons_thProducer_deadline :=
+       when (ph = 4 or ph = 8 or ph = 12 or ph = 16 or ph = 20 or
+             ph = 0 and n > 24)
+   |)
+  where
+    integer n, ph;
+  end
+  %pragma scheduler "policy EDF, hyperperiod 24000 us, base 1000 us"%;
+
+process ProdConsSys =
+  ( ? event tick;
+    integer env_pGo;
+    ! integer display_pProdAlarm, display_pConsAlarm, display_pData;
+    event Alarm;
+    )
+  (| (prProdCons_thConsTimer_dispatch,
+       prProdCons_thConsTimer_start,
+       prProdCons_thConsTimer_complete,
+       prProdCons_thConsTimer_deadline,
+       prProdCons_thConsumer_dispatch,
+       prProdCons_thConsumer_start,
+       prProdCons_thConsumer_complete,
+       prProdCons_thConsumer_deadline,
+       prProdCons_thProdTimer_dispatch,
+       prProdCons_thProdTimer_start,
+       prProdCons_thProdTimer_complete,
+       prProdCons_thProdTimer_deadline,
+       prProdCons_thProducer_dispatch,
+       prProdCons_thProducer_start,
+       prProdCons_thProducer_complete,
+       prProdCons_thProducer_deadline) := sched_Processor1(tick)
+   | prProdCons_Queue_push ::= prProdCons_thProducer_reqQueue_w
+   | prProdCons_Queue_pop := ^prProdCons_thConsumer_reqQueue_pop
+   | (prProdCons_Queue_data,
+       prProdCons_Queue_size) := fifo_reset{8,
+       "dropoldest"}(prProdCons_Queue_push,
+       prProdCons_Queue_pop,
+       when false)
+   | (prProdCons_thProducer_done,
+       prProdCons_thProducer_alarm,
+       prProdCons_thProducer_pProdStartTimer,
+       prProdCons_thProducer_pProdStopTimer,
+       prProdCons_thProducer_reqQueue_w) := th_ProdConsSys_prProdCons_thProducer(prProdCons_thProducer_dispatch,
+       prProdCons_thProducer_start,
+       prProdCons_thProducer_deadline,
+       env_pGo,
+       prProdCons_thProducer_dispatch,
+       prProdCons_thProdTimer_pTimeOut,
+       prProdCons_thProducer_dispatch,
+       prProdCons_thProducer_complete,
+       prProdCons_thProducer_complete)
+   | (prProdCons_thConsumer_done,
+       prProdCons_thConsumer_alarm,
+       prProdCons_thConsumer_pConsStartTimer,
+       prProdCons_thConsumer_pConsStopTimer,
+       prProdCons_thConsumer_pConsOut,
+       prProdCons_thConsumer_reqQueue_pop) := th_ProdConsSys_prProdCons_thConsumer(prProdCons_thConsumer_dispatch,
+       prProdCons_thConsumer_start,
+       prProdCons_thConsumer_deadline,
+       env_pGo,
+       prProdCons_thConsumer_dispatch,
+       prProdCons_thConsTimer_pTimeOut,
+       prProdCons_thConsumer_dispatch,
+       prProdCons_thConsumer_complete,
+       prProdCons_thConsumer_complete,
+       prProdCons_thConsumer_complete,
+       prProdCons_Queue_data)
+   | (prProdCons_thProdTimer_done,
+       prProdCons_thProdTimer_alarm,
+       prProdCons_thProdTimer_pTimeOut) := th_ProdConsSys_prProdCons_thProdTimer(prProdCons_thProdTimer_dispatch,
+       prProdCons_thProdTimer_start,
+       prProdCons_thProdTimer_deadline,
+       prProdCons_thProducer_pProdStartTimer,
+       prProdCons_thProdTimer_dispatch,
+       prProdCons_thProducer_pProdStopTimer,
+       prProdCons_thProdTimer_dispatch,
+       prProdCons_thProdTimer_complete)
+   | (prProdCons_thConsTimer_done,
+       prProdCons_thConsTimer_alarm,
+       prProdCons_thConsTimer_pTimeOut) := th_ProdConsSys_prProdCons_thConsTimer(prProdCons_thConsTimer_dispatch,
+       prProdCons_thConsTimer_start,
+       prProdCons_thConsTimer_deadline,
+       prProdCons_thConsumer_pConsStartTimer,
+       prProdCons_thConsTimer_dispatch,
+       prProdCons_thConsumer_pConsStopTimer,
+       prProdCons_thConsTimer_dispatch,
+       prProdCons_thConsTimer_complete)
+   | display_pProdAlarm := prProdCons_thProdTimer_pTimeOut
+   | display_pConsAlarm := prProdCons_thConsTimer_pTimeOut
+   | display_pData := prProdCons_thConsumer_pConsOut
+   | Alarm :=
+       ((prProdCons_thProducer_alarm default prProdCons_thConsumer_alarm) default
+        prProdCons_thProdTimer_alarm) default
+       prProdCons_thConsTimer_alarm
+   |)
+  where
+    event prProdCons_thConsTimer_dispatch, prProdCons_thConsTimer_start,
+      prProdCons_thConsTimer_complete, prProdCons_thConsTimer_deadline,
+      prProdCons_thConsumer_dispatch, prProdCons_thConsumer_start,
+      prProdCons_thConsumer_complete, prProdCons_thConsumer_deadline,
+      prProdCons_thProdTimer_dispatch, prProdCons_thProdTimer_start,
+      prProdCons_thProdTimer_complete, prProdCons_thProdTimer_deadline,
+      prProdCons_thProducer_dispatch, prProdCons_thProducer_start,
+      prProdCons_thProducer_complete, prProdCons_thProducer_deadline;
+    integer prProdCons_Queue_push;
+    event prProdCons_Queue_pop;
+    integer prProdCons_Queue_data, prProdCons_Queue_size,
+      prProdCons_thProducer_reqQueue_w,
+      prProdCons_thProducer_pProdStartTimer,
+      prProdCons_thProducer_pProdStopTimer;
+    event prProdCons_thProducer_alarm, prProdCons_thProducer_done,
+      prProdCons_thConsumer_reqQueue_pop;
+    integer prProdCons_thConsumer_pConsStartTimer,
+      prProdCons_thConsumer_pConsStopTimer, prProdCons_thConsumer_pConsOut;
+    event prProdCons_thConsumer_alarm, prProdCons_thConsumer_done;
+    integer prProdCons_thProdTimer_pTimeOut;
+    event prProdCons_thProdTimer_alarm, prProdCons_thProdTimer_done;
+    integer prProdCons_thConsTimer_pTimeOut;
+    event prProdCons_thConsTimer_alarm, prProdCons_thConsTimer_done;
+  end
+  %pragma aadl "ProdConsSys"%;
