@@ -1,0 +1,621 @@
+(* Benchmark & artifact harness.
+
+   The paper (DATE'13) is a tool paper: its evaluation artifacts are
+   Figures 1-6, the Sec. V scheduling of the 4/6/8/8 ms thread set, and
+   the scalability claims of Sec. IV-E. This harness regenerates every
+   artifact (sections FIG1..FIG6, SCHED, DETERM, DEADLOCK, PROFILING)
+   and measures the scalability claims with Bechamel
+   (clock-calculus/N, translate/N, simulate, affine ops, parser, plus
+   the ablations listed in DESIGN.md).
+
+   Run with: dune exec bench/main.exe            (everything)
+             dune exec bench/main.exe -- quick   (artifacts only) *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module K = Signal_lang.Kernel
+module P = Polychrony.Pipeline
+module CS = Polychrony.Case_study
+module Ssched = Sched.Static_sched
+module T = Sched.Task
+
+let section name = Format.printf "@.======== %s ========@." name
+
+let analyzed registry =
+  match P.analyze ~registry CS.aadl_source with
+  | Ok a -> a
+  | Error m -> failwith m
+
+(* ------------------------------------------------------------------ *)
+(* FIG 1: the prProdCons process in AADL (instance tree)               *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "FIG 1: ProducerConsumer instance model";
+  Format.printf "%a@." Aadl.Instance.pp_tree (CS.instance ())
+
+(* ------------------------------------------------------------------ *)
+(* FIG 2: thread execution-time model — values arriving after          *)
+(* Input_Time are processed at the next Input_Time                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "FIG 2: input freezing across dispatch frames";
+  let p =
+    B.proc ~name:"fig2"
+      ~inputs:[ Ast.var "arr" Types.Tint; Ast.var "input_time" Types.Tevent ]
+      ~outputs:[ Ast.var "frozen" Types.Tint; Ast.var "cnt" Types.Tint ]
+      B.[ inst ~params:[ Types.Vint 4; Types.Vstring "dropoldest" ] ~label:"port" "in_event_port"
+            [ v "arr"; v "input_time" ] [ "frozen"; "cnt" ] ]
+  in
+  let kp = N.process_exn p in
+  (* value 1 arrives before the first Input_Time; values 2 and 3 arrive
+     after it (paper Fig. 2) and are only visible at the next one *)
+  let stimuli =
+    [ [ ("arr", Types.Vint 1) ];
+      [ ("input_time", Types.Vevent) ];
+      [ ("arr", Types.Vint 2) ];
+      [ ("arr", Types.Vint 3) ];
+      [];
+      [ ("input_time", Types.Vevent) ];
+      [];
+      [ ("input_time", Types.Vevent) ] ]
+  in
+  match Polysim.Engine.run kp ~stimuli with
+  | Error m -> failwith m
+  | Ok tr ->
+    Polysim.Trace.chronogram Format.std_formatter tr;
+    Format.printf
+      "values 2,3 arrive after the first Input_Time: frozen only at the \
+       second (count=2)@."
+
+(* ------------------------------------------------------------------ *)
+(* FIG 3 / FIG 4: generated SIGNAL models                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_fig4 () =
+  let a = analyzed CS.registry_nominal in
+  let prog = a.P.translation.Trans.System_trans.program in
+  section "FIG 3: system-level SIGNAL model (top process, instances)";
+  (* print only the instance statements of the top process: the Fig. 3
+     structure (processor scheduler + thread + shared data instances) *)
+  let top = a.P.translation.Trans.System_trans.top in
+  List.iter
+    (function
+      | Ast.Sinstance i ->
+        Format.printf "  %s: %s(...)@." i.Ast.inst_label i.Ast.inst_proc
+      | Ast.Sdef _ | Ast.Spartial _ | Ast.Sclk_eq _ | Ast.Sclk_le _
+      | Ast.Sclk_ex _ -> ())
+    top.Ast.body;
+  section "FIG 4: thProducer thread model in SIGNAL";
+  (match Ast.find_process prog "th_ProdConsSys_prProdCons_thProducer" with
+   | Some p -> Format.printf "%a@." Signal_lang.Pp.pp_process p
+   | None -> failwith "producer model missing");
+  (* the complete generated module, as an inspectable artifact *)
+  let oc = open_out "prodcons.sig" in
+  output_string oc (Signal_lang.Pp.program_to_string prog);
+  close_out oc;
+  Format.printf "@.full SIGNAL module written to prodcons.sig@." 
+
+(* ------------------------------------------------------------------ *)
+(* FIG 5: the in event port process                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "FIG 5: in event port model (in_fifo + frozen_fifo)";
+  Format.printf "%a@." Signal_lang.Pp.pp_process
+    Signal_lang.Stdproc.in_event_port
+
+(* ------------------------------------------------------------------ *)
+(* FIG 6: shared data as a fifo_reset with partial definitions          *)
+(* ------------------------------------------------------------------ *)
+
+let contains s needle =
+  let nh = String.length s and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+  go 0
+
+let fig6 () =
+  section "FIG 6: shared data Queue translation";
+  let a = analyzed CS.registry_nominal in
+  let top = a.P.translation.Trans.System_trans.top in
+  List.iter
+    (fun stmt ->
+      let s = Signal_lang.Pp.stmt_to_string stmt in
+      if contains s "Queue" then Format.printf "  %s@." s)
+    top.Ast.body;
+  (* and its runtime behaviour *)
+  match P.simulate ~hyperperiods:2 a with
+  | Error m -> failwith m
+  | Ok tr ->
+    Polysim.Trace.chronogram
+      ~signals:
+        [ "prProdCons_thProducer_reqQueue_w"; "prProdCons_Queue_push";
+          "prProdCons_Queue_data"; "prProdCons_Queue_size" ]
+      Format.std_formatter tr
+
+(* ------------------------------------------------------------------ *)
+(* SCHED: Sec. V, 4/6/8/8 ms threads                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sched_section () =
+  section "SCHED: thread-level scheduler synthesis (Sec. IV-D / V)";
+  let tasks =
+    List.map
+      (fun (name, period) -> T.make ~name ~period_us:period ~wcet_us:1000 ())
+      CS.thread_periods_us
+  in
+  Format.printf "hyper-period: %d us (lcm of 4,6,8,8 ms)@."
+    (T.hyperperiod_us tasks);
+  List.iter
+    (fun policy ->
+      match Ssched.synthesize ~policy tasks with
+      | Ok s ->
+        Format.printf "@.%a@.%a@.%a@." Ssched.pp_schedule s Ssched.pp_gantt s
+          Sched.Export.pp_export s;
+        Format.printf "thProdTimer/thConsTimer dispatch synchronizable: %b@."
+          (Sched.Export.synchronizable s "thProdTimer" "thConsTimer" Ssched.Dispatch)
+      | Error f ->
+        Format.printf "%s: infeasible (%s)@."
+          (Ssched.policy_to_string policy)
+          f.Ssched.f_message)
+    [ Ssched.Edf; Ssched.Rm ]
+
+(* ------------------------------------------------------------------ *)
+(* DETERM: Sec. V-C determinism identification                         *)
+(* ------------------------------------------------------------------ *)
+
+let determ_section () =
+  section "DETERM: automaton determinism (Sec. V-C)";
+  let mk_model ~prioritized =
+    let guard2 =
+      if prioritized then B.(v "d" && not_ (v "c")) else B.(v "d")
+    in
+    B.proc
+      ~name:(if prioritized then "with_priorities" else "no_priorities")
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "c" Types.Tbool;
+                Ast.var "d" Types.Tbool ]
+      ~outputs:[ Ast.var "state" Types.Tint ]
+      B.[ clk (v "c") ^= clk (v "d");
+          "state" =:: when_ (v "x") (v "c");
+          "state" =:: when_ (v "x" + i 1) guard2 ]
+  in
+  List.iter
+    (fun prioritized ->
+      let kp = N.process_exn (mk_model ~prioritized) in
+      let calc = Clocks.Calculus.analyze kp in
+      let r = Analysis.Determinism.analyze calc kp in
+      Format.printf "%s: %a@."
+        (if prioritized then "transitions with priorities"
+         else "transitions without priorities")
+        Analysis.Determinism.pp_report r)
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* DEADLOCK                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let deadlock_section () =
+  section "DEADLOCK: causality analysis";
+  let cyclic =
+    B.proc ~name:"cyclic"
+      ~inputs:[ Ast.var "x" Types.Tint ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "w" Types.Tint ]
+      B.[ "y" := v "w" + v "x"; "w" := v "y" + i 1 ]
+  in
+  let kp = N.process_exn cyclic in
+  Format.printf "crafted cycle: %a@." Analysis.Deadlock.pp_report
+    (Analysis.Deadlock.analyze kp);
+  let a = analyzed CS.registry_nominal in
+  Format.printf "translated case study: %a@." Analysis.Deadlock.pp_report
+    a.P.deadlock
+
+(* ------------------------------------------------------------------ *)
+(* PROFILING (ref [16])                                                *)
+(* ------------------------------------------------------------------ *)
+
+let profiling_section () =
+  section "PROFILING: cost-model timing evaluation (ref [16])";
+  let a = analyzed CS.registry_nominal in
+  match P.simulate ~hyperperiods:4 a with
+  | Error m -> failwith m
+  | Ok tr ->
+    let counts x = Polysim.Trace.present_count tr x in
+    let r = Analysis.Profiling.with_counts ~counts a.P.kernel in
+    Format.printf "%a@." Analysis.Profiling.pp_report r;
+    Format.printf "estimated cost per hyper-period: %d units@."
+      (r.Analysis.Profiling.total_weighted / 4)
+
+(* ------------------------------------------------------------------ *)
+(* Workload generators for the scalability benches                     *)
+(* ------------------------------------------------------------------ *)
+
+(* a when-sampling chain of depth n: one synchronization class per
+   level, exercising the clock calculus (claim C1) *)
+let chain_process n =
+  let locals =
+    List.init n (fun i -> Ast.var (Printf.sprintf "l%d" i) Types.Tint)
+  in
+  let body =
+    B.("l0" := v "x")
+    :: List.init (n - 1) (fun i ->
+           let dst = Printf.sprintf "l%d" (i + 1) in
+           let src = Printf.sprintf "l%d" i in
+           B.(dst := when_ (v src) (v "c")))
+    @
+    let last = Printf.sprintf "l%d" (n - 1) in
+    [ B.("y" := v last) ]
+  in
+  B.proc
+    ~name:(Printf.sprintf "chain%d" n)
+    ~locals
+    ~inputs:[ Ast.var "x" Types.Tint; Ast.var "c" Types.Tbool ]
+    ~outputs:[ Ast.var "y" Types.Tint ]
+    body
+
+(* a scaled ProducerConsumer: n independent producer/consumer pairs,
+   each with its own queue, on one processor (claim C2) *)
+let scaled_prodcons n =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "package Scaled\npublic\n";
+  pf "  data Cell properties Queue_Size => 4; end Cell;\n";
+  pf "  data implementation Cell.impl end Cell.impl;\n";
+  for k = 0 to n - 1 do
+    pf "  thread prod%d features\n" k;
+    pf "      q: requires data access Cell {Access_Right => write_only;};\n";
+    pf "    properties Dispatch_Protocol => Periodic; Period => 4 ms;\n";
+    pf "      Compute_Execution_Time => 1 us;\n";
+    pf "  end prod%d;\n" k;
+    pf "  thread implementation prod%d.impl end prod%d.impl;\n" k k;
+    pf "  thread cons%d features\n" k;
+    pf "      q: requires data access Cell {Access_Right => read_only;};\n";
+    pf "      o: out event data port;\n";
+    pf "    properties Dispatch_Protocol => Periodic; Period => 6 ms;\n";
+    pf "      Compute_Execution_Time => 1 us;\n";
+    pf "  end cons%d;\n" k;
+    pf "  thread implementation cons%d.impl end cons%d.impl;\n" k k
+  done;
+  pf "  process host features\n";
+  for k = 0 to n - 1 do
+    pf "    out%d: out event data port;\n" k
+  done;
+  pf "  end host;\n";
+  pf "  process implementation host.impl\n    subcomponents\n";
+  for k = 0 to n - 1 do
+    pf "      p%d: thread prod%d.impl;\n" k k;
+    pf "      c%d: thread cons%d.impl;\n" k k;
+    pf "      q%d: data Cell.impl;\n" k
+  done;
+  pf "    connections\n";
+  for k = 0 to n - 1 do
+    pf "      ka%d: data access q%d -> p%d.q;\n" k k k;
+    pf "      kb%d: data access q%d -> c%d.q;\n" k k k;
+    pf "      kc%d: port c%d.o -> out%d;\n" k k k
+  done;
+  pf "  end host.impl;\n";
+  pf "  processor cpu end cpu;\n";
+  pf "  processor implementation cpu.impl end cpu.impl;\n";
+  pf "  system sink features\n";
+  for k = 0 to n - 1 do
+    pf "    d%d: in event data port;\n" k
+  done;
+  pf "  end sink;\n";
+  pf "  system implementation sink.impl end sink.impl;\n";
+  pf "  system rig end rig;\n";
+  pf "  system implementation rig.impl\n    subcomponents\n";
+  pf "      h: process host.impl;\n";
+  pf "      cpu0: processor cpu.impl;\n";
+  pf "      s: system sink.impl;\n";
+  pf "    connections\n";
+  for k = 0 to n - 1 do
+    pf "      sk%d: port h.out%d -> s.d%d;\n" k k k
+  done;
+  pf "    properties\n";
+  pf "      Actual_Processor_Binding => reference (cpu0) applies to h;\n";
+  pf "  end rig.impl;\n";
+  pf "end Scaled;\n";
+  Buffer.contents buf
+
+let translate_scaled src =
+  let pkg = Result.get_ok (Aadl.Parser.parse_package src) in
+  let inst = Result.get_ok (Aadl.Instance.instantiate pkg ~root:"rig.impl") in
+  Result.get_ok (Trans.System_trans.translate inst)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let run_benchs name tests =
+  section name;
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun test ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (test, est) :: acc
+        | Some _ | None -> acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (test, ns) ->
+      if ns >= 1e9 then Format.printf "  %-52s %10.3f  s/run@." test (ns /. 1e9)
+      else if ns >= 1e6 then
+        Format.printf "  %-52s %10.3f ms/run@." test (ns /. 1e6)
+      else if ns >= 1e3 then
+        Format.printf "  %-52s %10.3f us/run@." test (ns /. 1e3)
+      else Format.printf "  %-52s %10.1f ns/run@." test ns)
+    rows
+
+(* C1: clock calculus over N-signal chains *)
+let bench_clock_calculus () =
+  let sizes = [ 100; 500; 2000; 4000 ] in
+  let tests =
+    List.map
+      (fun n ->
+        let kp = N.process_exn (chain_process n) in
+        Test.make
+          ~name:(Printf.sprintf "clock-calculus/%d" n)
+          (Staged.stage (fun () -> ignore (Clocks.Calculus.analyze kp))))
+      sizes
+  in
+  run_benchs "C1: clock calculus scaling (claim: several thousand clocks)"
+    tests
+
+(* C2: translation of scaled models *)
+let bench_translate () =
+  let sizes = [ 1; 4; 16; 64 ] in
+  let tests =
+    List.map
+      (fun n ->
+        let src = scaled_prodcons n in
+        Test.make
+          ~name:(Printf.sprintf "translate/%d-pairs" n)
+          (Staged.stage (fun () -> ignore (translate_scaled src))))
+      sizes
+  in
+  run_benchs "C2: ASME2SSME translation scaling" tests
+
+(* parser throughput on the same scaled sources *)
+let bench_parser () =
+  let tests =
+    List.map
+      (fun n ->
+        let src = scaled_prodcons n in
+        Test.make
+          ~name:
+            (Printf.sprintf "parse/%d-pairs (%d bytes)" n (String.length src))
+          (Staged.stage (fun () ->
+               ignore (Result.get_ok (Aadl.Parser.parse_package src)))))
+      [ 4; 16; 64 ]
+  in
+  run_benchs "parser throughput" tests
+
+(* C5: simulation throughput on the translated case study —
+   interpreter vs clock-directed compiled step (ref [15]) *)
+let bench_simulate () =
+  let a = analyzed CS.registry_nominal in
+  let kp = a.P.kernel in
+  let stim_at t =
+    ("tick", Types.Vevent)
+    :: (if t = 0 then [ ("env_pGo", Types.Vint 1) ] else [])
+  in
+  let interpreted =
+    Test.make ~name:"simulate/interpreter(24-instants)"
+      (Staged.stage (fun () ->
+           let eng = Polysim.Engine.create kp in
+           for t = 0 to 23 do
+             match Polysim.Engine.step eng ~stimulus:(stim_at t) with
+             | Ok _ -> ()
+             | Error m -> failwith m
+           done))
+  in
+  let compiled =
+    Test.make ~name:"simulate/compiled(24-instants)"
+      (Staged.stage (fun () ->
+           match Polysim.Compile.compile kp with
+           | Error m -> failwith m
+           | Ok c ->
+             for t = 0 to 23 do
+               match Polysim.Compile.step c ~stimulus:(stim_at t) with
+               | Ok _ -> ()
+               | Error m -> failwith m
+             done))
+  in
+  let compile_only =
+    Test.make ~name:"simulate/compile-time"
+      (Staged.stage (fun () ->
+           match Polysim.Compile.compile kp with
+           | Ok _ -> ()
+           | Error m -> failwith m))
+  in
+  let codegen =
+    Test.make ~name:"simulate/c-codegen(text)"
+      (Staged.stage (fun () ->
+           match Polysim.Compile.compile kp with
+           | Error m -> failwith m
+           | Ok c -> (
+             match Polysim.Compile.to_c c with
+             | Ok src -> ignore (String.length src)
+             | Error m -> failwith m)))
+  in
+  run_benchs "C5: polychronous simulation throughput (ref [15] ablation)"
+    [ interpreted; compiled; compile_only; codegen ]
+
+(* C4: affine clock calculus micro-ops *)
+let bench_affine () =
+  let open Clocks.Affine in
+  let r1 = relation ~n:3 ~phi:5 ~d:7 and r2 = relation ~n:2 ~phi:1 ~d:9 in
+  let c1 = periodic ~period:12 ~offset:5 in
+  let c2 = periodic ~period:18 ~offset:11 in
+  let w1 = Clocks.Pword.of_periodic c1 and w2 = Clocks.Pword.of_periodic c2 in
+  run_benchs "C4: affine clock calculus operations"
+    [ Test.make ~name:"affine/compose"
+        (Staged.stage (fun () -> ignore (compose r1 r2)));
+      Test.make ~name:"affine/intersect"
+        (Staged.stage (fun () -> ignore (intersect c1 c2)));
+      Test.make ~name:"pword/land"
+        (Staged.stage (fun () -> ignore (Clocks.Pword.land_ w1 w2)));
+      Test.make ~name:"pword/equal"
+        (Staged.stage (fun () -> ignore (Clocks.Pword.equal w1 w2))) ]
+
+(* ablations from DESIGN.md *)
+let bench_ablations () =
+  (* hierarchy: structural inclusion matrix vs Φ-strengthened *)
+  let a = analyzed CS.registry_nominal in
+  let calc = a.P.calc in
+  let mgr = Clocks.Calculus.manager calc in
+  let reprs = Clocks.Calculus.class_reprs calc in
+  let clocks =
+    Array.of_list
+      (List.map (fun (c, _) -> Clocks.Calculus.clock_of_class_id calc c) reprs)
+  in
+  let n = Array.length clocks in
+  let phi = Clocks.Calculus.context calc in
+  let structural () =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        ignore (Clocks.Bdd.implies mgr clocks.(i) clocks.(j))
+      done
+    done
+  in
+  let strengthened () =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        ignore
+          (Clocks.Bdd.is_zero
+             (Clocks.Bdd.and_ mgr phi
+                (Clocks.Bdd.diff mgr clocks.(i) clocks.(j))))
+      done
+    done
+  in
+  (* scheduler policies on a 10-task set *)
+  let tasks =
+    List.init 10 (fun i ->
+        T.make
+          ~name:(Printf.sprintf "t%d" i)
+          ~period_us:((2 + (i mod 4)) * 2000)
+          ~wcet_us:400 ())
+  in
+  (* fifo primitive vs kernel-encoded memory *)
+  let fifo_model =
+    B.proc ~name:"bf"
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "d" Types.Tint; Ast.var "s" Types.Tint ]
+      B.[ inst ~params:[ Types.Vint 8; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "e" ]
+            [ "d"; "s" ] ]
+  in
+  let fm_model =
+    B.proc ~name:"bm"
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "d" Types.Tint ]
+      ~locals:[ Ast.var "eb" Types.Tbool ]
+      B.[ "eb" := when_ (b true) (clk (v "e"));
+          inst ~label:"m" "fm" [ v "x"; v "eb" ] [ "d" ] ]
+  in
+  let kp_fifo = N.process_exn fifo_model in
+  let kp_fm = N.process_exn fm_model in
+  let drive kp =
+    let eng = Polysim.Engine.create kp in
+    for t = 0 to 63 do
+      let stim =
+        if t mod 2 = 0 then [ ("x", Types.Vint t) ]
+        else [ ("e", Types.Vevent) ]
+      in
+      match Polysim.Engine.step eng ~stimulus:stim with
+      | Ok _ -> ()
+      | Error m -> failwith m
+    done
+  in
+  (* kernel optimizer (ref [15] passes): size + simulation effect *)
+  let a2 = analyzed CS.registry_nominal in
+  let kp_raw = a2.P.kernel in
+  let kp_opt = Signal_lang.Optimize.optimize kp_raw in
+  Format.printf "  optimizer: %s -> %s@."
+    (Signal_lang.Optimize.stats kp_raw)
+    (Signal_lang.Optimize.stats kp_opt);
+  let drive_sys kp =
+    let eng = Polysim.Engine.create kp in
+    for t = 0 to 23 do
+      let stim =
+        ("tick", Types.Vevent)
+        :: (if t = 0 then [ ("env_pGo", Types.Vint 1) ] else [])
+      in
+      match Polysim.Engine.step eng ~stimulus:stim with
+      | Ok _ -> ()
+      | Error m -> failwith m
+    done
+  in
+  run_benchs "ablations (DESIGN.md)"
+    [ Test.make ~name:"ablation/simulate-raw-kernel"
+        (Staged.stage (fun () -> drive_sys kp_raw));
+      Test.make ~name:"ablation/simulate-optimized-kernel"
+        (Staged.stage (fun () -> drive_sys kp_opt));
+      Test.make ~name:"ablation/hierarchy-structural" (Staged.stage structural);
+      Test.make ~name:"ablation/hierarchy-phi-strengthened"
+        (Staged.stage strengthened);
+      Test.make ~name:"ablation/sched-edf"
+        (Staged.stage (fun () -> ignore (Ssched.synthesize ~policy:Ssched.Edf tasks)));
+      Test.make ~name:"ablation/sched-rm"
+        (Staged.stage (fun () -> ignore (Ssched.synthesize ~policy:Ssched.Rm tasks)));
+      Test.make ~name:"ablation/sched-fifo"
+        (Staged.stage (fun () -> ignore (Ssched.synthesize ~policy:Ssched.Fifo tasks)));
+      Test.make ~name:"ablation/fifo-primitive(64-instants)"
+        (Staged.stage (fun () -> drive kp_fifo));
+      Test.make ~name:"ablation/fm-kernel(64-instants)"
+        (Staged.stage (fun () -> drive kp_fm)) ]
+
+let latency_section () =
+  section "LATENCY: end-to-end flow latency over the static schedule";
+  let a = analyzed CS.registry_nominal in
+  let schedules = a.P.translation.Trans.System_trans.schedules in
+  List.iter
+    (fun (src, dst) ->
+      match
+        Trans.Latency.analyze a.P.instance ~schedules ~src ~dst
+      with
+      | Ok r -> Format.printf "%a@." Trans.Latency.pp_report r
+      | Error m -> Format.printf "%s -> %s: %s@." src dst m)
+    [ ("ProdConsSys.env.pGo", "ProdConsSys.display.pProdAlarm");
+      ("ProdConsSys.env.pGo", "ProdConsSys.display.pConsAlarm") ]
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  fig1 ();
+  fig2 ();
+  fig3_fig4 ();
+  fig5 ();
+  fig6 ();
+  sched_section ();
+  determ_section ();
+  deadlock_section ();
+  profiling_section ();
+  latency_section ();
+  if not quick then begin
+    bench_clock_calculus ();
+    bench_translate ();
+    bench_parser ();
+    bench_simulate ();
+    bench_affine ();
+    bench_ablations ()
+  end;
+  Format.printf "@.done.@."

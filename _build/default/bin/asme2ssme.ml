@@ -1,0 +1,298 @@
+(* ASME2SSME command-line tool: the paper's tool chain as a CLI.
+
+   Subcommands:
+     parse      — parse and echo an AADL package (syntax check)
+     check      — AADL legality + instance tree
+     translate  — emit the generated SIGNAL program
+     schedule   — synthesize and print the static schedule + affine export
+     analyze    — clock calculus, determinism, deadlock reports
+     simulate   — run N hyper-periods, print a chronogram, write VCD
+*)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_source = function
+  | Some path -> read_file path
+  | None -> Polychrony.Case_study.aadl_source
+
+let registry_named = function
+  | "nominal" -> Ok Polychrony.Case_study.registry_nominal
+  | "timeout" -> Ok Polychrony.Case_study.registry_timeout
+  | "default" -> Ok []
+  | other -> Error (Printf.sprintf "unknown registry %S" other)
+
+let policy_named = function
+  | "edf" -> Ok Sched.Static_sched.Edf
+  | "rm" -> Ok Sched.Static_sched.Rm
+  | "fp" -> Ok Sched.Static_sched.Fp
+  | "fifo" -> Ok Sched.Static_sched.Fifo
+  | other -> Error (Printf.sprintf "unknown policy %S" other)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("error: " ^ m);
+    exit 1
+
+let analyzed file root registry policy =
+  let src = load_source file in
+  let registry = or_die (registry_named registry) in
+  let policy = or_die (policy_named policy) in
+  or_die (Polychrony.Pipeline.analyze ~registry ~policy ?root src)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"AADL source file; the bundled ProducerConsumer case study \
+               when omitted.")
+
+let root_arg =
+  Arg.(value & opt (some string) None & info [ "root" ] ~docv:"IMPL"
+         ~doc:"Root system implementation (default: inferred).")
+
+let registry_arg =
+  Arg.(value & opt string "nominal" & info [ "registry" ] ~docv:"NAME"
+         ~doc:"Thread behaviour registry: nominal, timeout or default.")
+
+let policy_arg =
+  Arg.(value & opt string "edf" & info [ "policy" ] ~docv:"POLICY"
+         ~doc:"Scheduling policy: edf, rm, fp or fifo.")
+
+let parse_cmd =
+  let run file =
+    let src = load_source file in
+    match Aadl.Parser.parse_package src with
+    | Ok pkg -> Format.printf "%a@." Aadl.Printer.pp_package pkg
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 1
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse an AADL package and echo it")
+    Term.(const run $ file_arg)
+
+let check_cmd =
+  let run file root =
+    let src = load_source file in
+    let pkg = or_die (Aadl.Parser.parse_package src) in
+    let issues = Aadl.Check.check_package pkg in
+    List.iter (fun i -> Format.printf "%a@." Aadl.Check.pp_issue i) issues;
+    if issues = [] then print_endline "no issues";
+    let root =
+      match root with
+      | Some r -> Some r
+      | None -> (
+        match Polychrony.Pipeline.analyze ~registry:[] src with
+        | Ok a ->
+          Some
+            a.Polychrony.Pipeline.instance.Aadl.Instance.root
+              .Aadl.Instance.i_classifier
+        | Error _ -> None)
+    in
+    match root with
+    | None -> ()
+    | Some root -> (
+      match Aadl.Instance.instantiate pkg ~root with
+      | Ok t -> Format.printf "@.%a@." Aadl.Instance.pp_tree t
+      | Error m -> prerr_endline ("instantiation: " ^ m))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"AADL legality checks and instance tree")
+    Term.(const run $ file_arg $ root_arg)
+
+let translate_cmd =
+  let run file root registry policy =
+    let a = analyzed file root registry policy in
+    Format.printf "%a@." Signal_lang.Pp.pp_program
+      a.Polychrony.Pipeline.translation.Trans.System_trans.program
+  in
+  Cmd.v (Cmd.info "translate" ~doc:"Emit the generated SIGNAL program")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg)
+
+let schedule_cmd =
+  let run file root registry policy =
+    let a = analyzed file root registry policy in
+    List.iter
+      (fun (cpu, s) ->
+        Format.printf "processor %s:@.%a@.%a@.%a@." cpu
+          Sched.Static_sched.pp_schedule s Sched.Static_sched.pp_gantt s
+          Sched.Export.pp_export s)
+      a.Polychrony.Pipeline.translation.Trans.System_trans.schedules
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Synthesize the static schedule and its affine clock export")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg)
+
+let analyze_cmd =
+  let run file root registry policy =
+    let a = analyzed file root registry policy in
+    Format.printf "%a@." Polychrony.Pipeline.pp_summary a;
+    Format.printf "@.traceability:@.%a@." Trans.Traceability.pp
+      a.Polychrony.Pipeline.translation.Trans.System_trans.trace
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Clock calculus, determinism and deadlock reports")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg)
+
+let simulate_cmd =
+  let hyper_arg =
+    Arg.(value & opt int 2 & info [ "hyperperiods"; "n" ] ~docv:"N"
+           ~doc:"Number of hyper-periods to run.")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"PATH"
+           ~doc:"Write the trace as a VCD file.")
+  in
+  let compiled_arg =
+    Arg.(value & flag & info [ "compiled" ]
+           ~doc:"Use the clock-directed compiled step instead of the \
+                 fixpoint interpreter.")
+  in
+  let run file root registry policy hyperperiods vcd compiled =
+    let a = analyzed file root registry policy in
+    let tr =
+      or_die (Polychrony.Pipeline.simulate ~compiled ~hyperperiods a)
+    in
+    Format.printf "%a@." (fun ppf tr -> Polysim.Trace.chronogram ppf tr) tr;
+    match vcd with
+    | Some path ->
+      let s = Polychrony.Pipeline.vcd_of_trace a tr in
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Format.printf "VCD written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the scheduled system and print a chronogram")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ hyper_arg $ vcd_arg $ compiled_arg)
+
+let latency_cmd =
+  let src_arg =
+    Arg.(required & opt (some string) None & info [ "src" ] ~docv:"PATH"
+           ~doc:"Source feature path, e.g. ProdConsSys.env.pGo.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some string) None & info [ "dst" ] ~docv:"PATH"
+           ~doc:"Destination feature path.")
+  in
+  let run file root registry policy src dst =
+    let a = analyzed file root registry policy in
+    let schedules =
+      a.Polychrony.Pipeline.translation.Trans.System_trans.schedules
+    in
+    match
+      Trans.Latency.analyze a.Polychrony.Pipeline.instance ~schedules ~src
+        ~dst
+    with
+    | Ok r -> Format.printf "%a@." Trans.Latency.pp_report r
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"End-to-end flow latency over the static schedule")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ src_arg $ dst_arg)
+
+let codegen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Write the generated C to this file (default stdout).")
+  in
+  let run file root registry policy out =
+    let a = analyzed file root registry policy in
+    match Polysim.Compile.compile a.Polychrony.Pipeline.kernel with
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 1
+    | Ok c -> (
+      match Polysim.Compile.to_c c with
+      | Error m ->
+        prerr_endline ("error: " ^ m);
+        exit 1
+      | Ok src -> (
+        match out with
+        | None -> print_string src
+        | Some path ->
+          let oc = open_out path in
+          output_string oc src;
+          close_out oc;
+          Format.printf "C step function written to %s@." path))
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Generate a self-contained C program from the compiled plan")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ out_arg)
+
+let verify_cmd =
+  let depth_arg =
+    Arg.(value & opt int 8 & info [ "depth" ] ~docv:"N"
+           ~doc:"Exploration depth in base ticks.")
+  in
+  let signal_arg =
+    Arg.(value & opt string "Alarm" & info [ "never" ] ~docv:"SIGNAL"
+           ~doc:"Safety property: this signal is never present.")
+  in
+  let run file root registry policy depth signal =
+    let a = analyzed file root registry policy in
+    let tr = a.Polychrony.Pipeline.translation in
+    (* ticks always present; every environment input may arrive (value
+       1) or stay silent at each instant *)
+    let inputs =
+      List.map
+        (fun tk -> (tk, [ Some Signal_lang.Types.Vevent ]))
+        tr.Trans.System_trans.tick_inputs
+      @ List.map
+          (fun e -> (e, [ None; Some (Signal_lang.Types.Vint 1) ]))
+          tr.Trans.System_trans.env_inputs
+    in
+    match
+      Polysim.Explore.check ~depth ~inputs
+        ~safe:(fun present -> not (List.mem_assoc signal present))
+        a.Polychrony.Pipeline.kernel
+    with
+    | Ok (Polysim.Explore.Holds, states) ->
+      Format.printf
+        "HOLDS: %s never present within %d ticks for any environment pattern (%d states explored)@."
+        signal depth states
+    | Ok (Polysim.Explore.Violated trail, states) ->
+      Format.printf
+        "VIOLATED after %d ticks (%d states explored); stimulus trail:@."
+        (List.length trail) states;
+      List.iteri
+        (fun t stim ->
+          Format.printf "  t=%d: %s@." t
+            (String.concat ", "
+               (List.map
+                  (fun (n, v) ->
+                    Printf.sprintf "%s=%s" n
+                      (Signal_lang.Types.value_to_string v))
+                  stim)))
+        trail
+    | Error m ->
+      prerr_endline ("error: " ^ m);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Bounded exhaustive verification of a safety property")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ depth_arg $ signal_arg)
+
+let () =
+  let doc = "AADL to polychronous SIGNAL tool chain (ASME2SSME)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "asme2ssme" ~doc)
+          [ parse_cmd; check_cmd; translate_cmd; schedule_cmd; analyze_cmd;
+            simulate_cmd; latency_cmd; verify_cmd; codegen_cmd ]))

@@ -1,0 +1,1 @@
+examples/distributed.ml: Format List Polychrony Polysim Sched Trans

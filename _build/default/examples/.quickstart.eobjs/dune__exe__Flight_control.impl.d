@@ -1,0 +1,1 @@
+examples/flight_control.ml: Analysis Clocks Format Option Polychrony Polysim Sched Trans

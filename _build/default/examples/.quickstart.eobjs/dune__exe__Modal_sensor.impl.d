@@ -1,0 +1,1 @@
+examples/modal_sensor.ml: Format List Polychrony Polysim Signal_lang String Trans

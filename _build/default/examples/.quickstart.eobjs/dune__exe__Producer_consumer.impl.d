@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Format List Polychrony Polysim Signal_lang String

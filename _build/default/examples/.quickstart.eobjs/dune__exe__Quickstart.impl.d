@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Polychrony Polysim Signal_lang String Trans

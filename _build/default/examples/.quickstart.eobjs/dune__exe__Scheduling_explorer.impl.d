@@ -1,0 +1,1 @@
+examples/scheduling_explorer.ml: Format Hashtbl List Sched

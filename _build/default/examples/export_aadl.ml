@@ -1,0 +1,9 @@
+(* Writes the bundled case study as a standalone .aadl file, so the CLI
+   can be exercised on a real file:
+     dune exec examples/export_aadl.exe
+     dune exec bin/asme2ssme.exe -- analyze examples/producer_consumer.aadl *)
+let () =
+  let oc = open_out "examples/producer_consumer.aadl" in
+  output_string oc Polychrony.Case_study.aadl_source;
+  close_out oc;
+  print_endline "wrote examples/producer_consumer.aadl"

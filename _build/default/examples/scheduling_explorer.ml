@@ -1,0 +1,73 @@
+(* Scheduling-policy exploration: sweep task-set utilization and
+   compare how far each static non-preemptive policy scales before
+   schedules become infeasible (the ablation DESIGN.md calls out).
+
+   Run with: dune exec examples/scheduling_explorer.exe *)
+
+module T = Sched.Task
+module S = Sched.Static_sched
+
+let policies = [ S.Edf; S.Rm; S.Fp; S.Fifo ]
+
+(* a synthetic avionic-flavoured task set scaled by a wcet factor *)
+let task_set ~wcet_scale =
+  let mk name period wcet prio =
+    T.make ~priority:prio ~name ~period_us:period
+      ~wcet_us:(max 1 (wcet * wcet_scale / 100))
+      ()
+  in
+  [ mk "inner_loop" 4000 1000 10;
+    mk "outer_loop" 6000 1000 8;
+    mk "monitor_a" 8000 1000 5;
+    mk "monitor_b" 8000 1000 5;
+    mk "telemetry" 12000 2000 2 ]
+
+let feasible policy tasks =
+  match S.synthesize ~policy tasks with
+  | Ok s -> S.is_valid s
+  | Error _ -> false
+
+let () =
+  Format.printf "wcet scale -> utilization, feasibility per policy@.";
+  Format.printf "%8s %6s" "scale%" "util";
+  List.iter (fun p -> Format.printf " %6s" (S.policy_to_string p)) policies;
+  Format.printf "@.";
+  let breaking = Hashtbl.create 4 in
+  List.iter
+    (fun scale ->
+      let tasks = task_set ~wcet_scale:scale in
+      Format.printf "%8d %6.2f" scale (T.utilization tasks);
+      List.iter
+        (fun p ->
+          let ok = feasible p tasks in
+          if (not ok) && not (Hashtbl.mem breaking p) then
+            Hashtbl.add breaking p scale;
+          Format.printf " %6s" (if ok then "yes" else "-"))
+        policies;
+      Format.printf "@.")
+    [ 20; 40; 60; 80; 90; 100; 110; 120; 140; 160 ];
+  Format.printf "@.first infeasible wcet scale per policy:@.";
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt breaking p with
+      | Some s ->
+        Format.printf "  %-5s breaks at %d%%@." (S.policy_to_string p) s
+      | None -> Format.printf "  %-5s never breaks in this sweep@."
+                  (S.policy_to_string p))
+    policies;
+  (* detail: where EDF still succeeds but RM fails *)
+  Format.printf "@.=== detail at the EDF/RM gap ===@.";
+  let rec probe scale =
+    if scale > 200 then ()
+    else
+      let tasks = task_set ~wcet_scale:scale in
+      let edf = feasible S.Edf tasks and rm = feasible S.Rm tasks in
+      if edf && not rm then begin
+        Format.printf "at scale %d%%: EDF feasible, RM infeasible@." scale;
+        match S.synthesize ~policy:S.Edf tasks with
+        | Ok s -> Format.printf "%a@." S.pp_schedule s
+        | Error _ -> ()
+      end
+      else probe (scale + 5)
+  in
+  probe 20

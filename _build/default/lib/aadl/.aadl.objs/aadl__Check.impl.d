@@ -1,0 +1,1 @@
+lib/aadl/check.ml: Format Hashtbl List Option Props String Syntax

@@ -1,0 +1,1 @@
+lib/aadl/instance.ml: Format List Option Props String Syntax

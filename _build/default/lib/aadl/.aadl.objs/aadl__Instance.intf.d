@@ -1,0 +1,1 @@
+lib/aadl/instance.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/aadl/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/aadl/parser.ml: Array Format Lexer List Printf String Syntax

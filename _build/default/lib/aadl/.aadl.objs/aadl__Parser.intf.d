@@ -1,0 +1,1 @@
+lib/aadl/parser.mli: Syntax

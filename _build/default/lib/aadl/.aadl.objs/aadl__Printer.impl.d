@@ -1,0 +1,1 @@
+lib/aadl/printer.ml: Format List Syntax

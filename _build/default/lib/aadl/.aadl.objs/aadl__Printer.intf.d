@@ -1,0 +1,1 @@
+lib/aadl/printer.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/aadl/props.ml: Format List Option String Syntax

@@ -1,0 +1,1 @@
+lib/aadl/props.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/aadl/syntax.ml: List String

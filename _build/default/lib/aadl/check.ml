@@ -1,0 +1,215 @@
+open Syntax
+
+type severity = Error | Warning
+
+type issue = {
+  severity : severity;
+  where : string;
+  message : string;
+}
+
+let allowed_in container sub =
+  match container, sub with
+  | System, (System | Process | Processor | Virtual_processor | Memory
+            | Bus | Virtual_bus | Device | Data) -> true
+  | Process, (Thread | Thread_group | Data | Subprogram) -> true
+  | Thread_group, (Thread | Thread_group | Data) -> true
+  | Thread, (Data | Subprogram) -> true
+  | Processor, (Memory | Virtual_processor | Bus) -> true
+  | _, _ -> false
+
+let check_package pkg =
+  let issues = ref [] in
+  let err where fmt =
+    Format.kasprintf
+      (fun message -> issues := { severity = Error; where; message } :: !issues)
+      fmt
+  in
+  let warn where fmt =
+    Format.kasprintf
+      (fun message ->
+        issues := { severity = Warning; where; message } :: !issues)
+      fmt
+  in
+  (* qualified classifiers (Pkg::name) live in other packages; their
+     resolution is checked at instantiation time *)
+  let is_external name =
+    let rec go i =
+      i + 1 < String.length name
+      && ((name.[i] = ':' && name.[i + 1] = ':') || go (i + 1))
+    in
+    go 0
+  in
+  let check_classifier where name =
+    if not (is_external name) then begin
+      let tname = impl_base_name name in
+      match find_type pkg tname with
+      | None -> err where "classifier %s: unknown component type %s" name tname
+      | Some _ ->
+        if String.contains name '.' && find_impl pkg name = None then
+          err where "unknown component implementation %s" name
+    end
+  in
+  let duration_ok where pname assocs =
+    match Props.find pname assocs with
+    | None -> ()
+    | Some v ->
+      if Props.duration_us v = None then
+        err where "property %s is not a valid duration" pname
+  in
+  (* component types *)
+  List.iter
+    (function
+      | Dtype ct ->
+        let where = ct.ct_name in
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun f ->
+            let n = feature_name f in
+            if Hashtbl.mem seen (String.lowercase_ascii n) then
+              err where "duplicate feature %s" n
+            else Hashtbl.add seen (String.lowercase_ascii n) ())
+          ct.ct_features;
+        duration_ok where "Period" ct.ct_properties;
+        duration_ok where "Deadline" ct.ct_properties;
+        duration_ok where "Compute_Execution_Time" ct.ct_properties;
+        if ct.ct_category = Thread then begin
+          match Props.dispatch_protocol ct.ct_properties with
+          | Some Props.Periodic ->
+            if Props.period_us ct.ct_properties = None then
+              err where "periodic thread without a Period";
+            if Props.deadline_us ct.ct_properties = None then
+              warn where "periodic thread without a Deadline (defaults to Period)"
+          | Some _ -> ()
+          | None ->
+            warn where "thread without Dispatch_Protocol"
+        end;
+        (* mode automaton legality *)
+        if ct.ct_modes <> [] then begin
+          let initials =
+            List.filter (fun m -> m.m_initial) ct.ct_modes
+          in
+          (match initials with
+           | [ _ ] -> ()
+           | [] -> err where "modes declared but no initial mode"
+           | _ -> err where "several initial modes");
+          let seen_modes = Hashtbl.create 4 in
+          List.iter
+            (fun m ->
+              if Hashtbl.mem seen_modes m.m_name then
+                err where "duplicate mode %s" m.m_name
+              else Hashtbl.add seen_modes m.m_name ())
+            ct.ct_modes;
+          List.iter
+            (fun tr ->
+              let twhere = where ^ "." ^ tr.mt_name in
+              if not (Hashtbl.mem seen_modes tr.mt_src) then
+                err twhere "transition from unknown mode %s" tr.mt_src;
+              if not (Hashtbl.mem seen_modes tr.mt_dst) then
+                err twhere "transition to unknown mode %s" tr.mt_dst;
+              match find_feature ct tr.mt_trigger with
+              | Some (Port { dir = Din | Dinout;
+                             kind = Event_port | Event_data_port; _ }) -> ()
+              | Some _ ->
+                err twhere "trigger %s is not an in event port" tr.mt_trigger
+              | None -> err twhere "unknown trigger port %s" tr.mt_trigger)
+            ct.ct_transitions
+        end
+        else if ct.ct_transitions <> [] then
+          err where "mode transitions without mode declarations"
+      | Dimpl _ -> ())
+    pkg.pkg_decls;
+  (* implementations *)
+  List.iter
+    (function
+      | Dtype _ -> ()
+      | Dimpl ci ->
+        let where = ci.ci_name in
+        (match find_type pkg ci.ci_type with
+         | None -> err where "implementation of unknown type %s" ci.ci_type
+         | Some ct ->
+           if ct.ct_category <> ci.ci_category then
+             err where "category differs from its component type");
+        let sub_cat = Hashtbl.create 8 in
+        List.iter
+          (fun sc ->
+            Hashtbl.replace sub_cat sc.sc_name sc.sc_category;
+            (match sc.sc_classifier with
+             | Some c -> check_classifier (where ^ "." ^ sc.sc_name) c
+             | None ->
+               if sc.sc_category <> Data then
+                 err (where ^ "." ^ sc.sc_name) "subcomponent without classifier");
+            if not (allowed_in ci.ci_category sc.sc_category) then
+              err
+                (where ^ "." ^ sc.sc_name)
+                "%s subcomponent not allowed in %s"
+                (category_to_string sc.sc_category)
+                (category_to_string ci.ci_category))
+          ci.ci_subcomponents;
+        (* connection endpoints *)
+        let feature_of endpoint =
+          match String.index_opt endpoint '.' with
+          | None -> (
+            (* own feature *)
+            match find_type pkg ci.ci_type with
+            | None -> None
+            | Some ct ->
+              Option.map (fun f -> (`Own, f)) (find_feature ct endpoint))
+          | Some i -> (
+            let sub = String.sub endpoint 0 i in
+            let fname =
+              String.sub endpoint (i + 1) (String.length endpoint - i - 1)
+            in
+            match
+              List.find_opt (fun sc -> String.equal sc.sc_name sub)
+                ci.ci_subcomponents
+            with
+            | None -> None
+            | Some sc -> (
+              match sc.sc_classifier with
+              | None -> None
+              | Some c when is_external c ->
+                (* cannot look inside another package here; accept *)
+                Some (`External, Port { fname; dir = Dinout;
+                                        kind = Event_port; dtype = None;
+                                        fprops = [] })
+              | Some c -> (
+                match find_type pkg (impl_base_name c) with
+                | None -> None
+                | Some ct ->
+                  Option.map (fun f -> (`Sub, f)) (find_feature ct fname))))
+        in
+        List.iter
+          (fun conn ->
+            let cwhere = where ^ "." ^ conn.conn_name in
+            (* data-access endpoints may name a subcomponent directly *)
+            let endpoint_ok e =
+              feature_of e <> None
+              || (conn.conn_kind = Access_connection
+                  && List.exists
+                       (fun sc -> String.equal sc.sc_name e)
+                       ci.ci_subcomponents)
+            in
+            if not (endpoint_ok conn.conn_src) then
+              err cwhere "unknown connection source %s" conn.conn_src;
+            if not (endpoint_ok conn.conn_dst) then
+              err cwhere "unknown connection destination %s" conn.conn_dst;
+            if conn.conn_kind = Port_connection then begin
+              match feature_of conn.conn_src, feature_of conn.conn_dst with
+              | Some (`Sub, Port { dir = Din; _ }), _ ->
+                err cwhere "connection from an in port %s" conn.conn_src
+              | _, Some (`Sub, Port { dir = Dout; _ }) ->
+                err cwhere "connection into an out port %s" conn.conn_dst
+              | _, _ -> ()
+            end)
+          ci.ci_connections)
+    pkg.pkg_decls;
+  List.rev !issues
+
+let errors issues = List.filter (fun i -> i.severity = Error) issues
+let warnings issues = List.filter (fun i -> i.severity = Warning) issues
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%s: %s: %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    i.where i.message

@@ -1,0 +1,29 @@
+(** Legality and consistency checks on declarative AADL models — the
+    early-phase analyses performed on ASME models before translation. *)
+
+type severity = Error | Warning
+
+type issue = {
+  severity : severity;
+  where : string;     (** component or connection concerned *)
+  message : string;
+}
+
+val check_package : Syntax.package -> issue list
+(** All issues found:
+    - implementations whose component type is missing;
+    - subcomponents with unresolvable classifiers;
+    - subcomponent categories not allowed in their container
+      (threads only in processes/thread groups, processes not inside
+      processes, …);
+    - connection endpoints that do not name an existing feature;
+    - port connections from an in port or into an out port (at the
+      same level);
+    - periodic threads without a Period (error) or Deadline (warning,
+      defaults to the period);
+    - timing properties with unparsable durations. *)
+
+val errors : issue list -> issue list
+val warnings : issue list -> issue list
+
+val pp_issue : Format.formatter -> issue -> unit

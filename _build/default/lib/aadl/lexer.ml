@@ -1,0 +1,214 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COLON | COLONCOLON | SEMI | COMMA
+  | DOT | DOTDOT
+  | ARROW
+  | DARROW
+  | TRANS_L
+  | ANNEX_BLOB of string
+  | ASSOC
+  | PLUS_ASSOC
+  | EOF
+
+type positioned = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of string * int * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek cur k =
+  if cur.pos + k < String.length cur.src then Some cur.src.[cur.pos + k]
+  else None
+
+let advance cur =
+  (match peek cur 0 with
+   | Some '\n' ->
+     cur.line <- cur.line + 1;
+     cur.col <- 1
+   | Some _ -> cur.col <- cur.col + 1
+   | None -> ());
+  cur.pos <- cur.pos + 1
+
+let error cur fmt =
+  Format.kasprintf (fun m -> raise (Lex_error (m, cur.line, cur.col))) fmt
+
+let lex_ident cur =
+  let start = cur.pos in
+  while (match peek cur 0 with Some c -> is_ident_char c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let lex_number cur =
+  let start = cur.pos in
+  while (match peek cur 0 with Some c -> is_digit c | None -> false) do
+    advance cur
+  done;
+  (* a '.' followed by a digit makes it a real; '..' is a range *)
+  let is_real =
+    match peek cur 0, peek cur 1 with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_real then begin
+    advance cur;
+    while (match peek cur 0 with Some c -> is_digit c | None -> false) do
+      advance cur
+    done;
+    let s = String.sub cur.src start (cur.pos - start) in
+    REAL (float_of_string s)
+  end
+  else
+    let s = String.sub cur.src start (cur.pos - start) in
+    INT (int_of_string s)
+
+let lex_string cur =
+  advance cur;  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur 0 with
+    | None -> error cur "unterminated string literal"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur 0 with
+       | Some c ->
+         Buffer.add_char buf c;
+         advance cur
+       | None -> error cur "unterminated escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let emit tok line col = toks := { tok; line; col } :: !toks in
+  let rec go () =
+    match peek cur 0 with
+    | None -> emit EOF cur.line cur.col
+    | Some c ->
+      let line = cur.line and col = cur.col in
+      (match c with
+       | ' ' | '\t' | '\r' | '\n' -> advance cur
+       | '-' -> (
+         match peek cur 1 with
+         | Some '-' ->
+           (* comment to end of line *)
+           while (match peek cur 0 with Some c -> c <> '\n' | None -> false) do
+             advance cur
+           done
+         | Some '>' ->
+           advance cur; advance cur;
+           if peek cur 0 = Some '>' then begin
+             advance cur;
+             emit DARROW line col
+           end
+           else emit ARROW line col
+         | Some '[' ->
+           advance cur; advance cur;
+           emit TRANS_L line col
+         | _ -> error cur "unexpected '-'")
+       | '=' -> (
+         match peek cur 1 with
+         | Some '>' ->
+           advance cur; advance cur;
+           emit ASSOC line col
+         | _ -> error cur "unexpected '='")
+       | '+' -> (
+         match peek cur 1, peek cur 2 with
+         | Some '=', Some '>' ->
+           advance cur; advance cur; advance cur;
+           emit PLUS_ASSOC line col
+         | _ -> error cur "unexpected '+'")
+       | '{' when peek cur 1 = Some '*' && peek cur 2 = Some '*' -> (
+         (* annex blob: {** ... **} *)
+         advance cur; advance cur; advance cur;
+         let start = cur.pos in
+         let rec scan () =
+           match peek cur 0, peek cur 1, peek cur 2 with
+           | Some '*', Some '*', Some '}' ->
+             let payload = String.sub cur.src start (cur.pos - start) in
+             advance cur; advance cur; advance cur;
+             emit (ANNEX_BLOB payload) line col
+           | Some _, _, _ ->
+             advance cur;
+             scan ()
+           | None, _, _ -> error cur "unterminated annex blob"
+         in
+         scan ())
+       | '(' -> advance cur; emit LPAREN line col
+       | ')' -> advance cur; emit RPAREN line col
+       | '{' -> advance cur; emit LBRACE line col
+       | '}' -> advance cur; emit RBRACE line col
+       | '[' -> advance cur; emit LBRACKET line col
+       | ']' -> advance cur; emit RBRACKET line col
+       | ';' -> advance cur; emit SEMI line col
+       | ',' -> advance cur; emit COMMA line col
+       | ':' -> (
+         match peek cur 1 with
+         | Some ':' ->
+           advance cur; advance cur;
+           emit COLONCOLON line col
+         | _ ->
+           advance cur;
+           emit COLON line col)
+       | '.' -> (
+         match peek cur 1 with
+         | Some '.' ->
+           advance cur; advance cur;
+           emit DOTDOT line col
+         | _ ->
+           advance cur;
+           emit DOT line col)
+       | '"' -> emit (lex_string cur) line col
+       | c when is_digit c -> emit (lex_number cur) line col
+       | c when is_ident_start c -> emit (IDENT (lex_ident cur)) line col
+       | c -> error cur "unexpected character %c" c);
+      if (match !toks with { tok = EOF; _ } :: _ -> false | _ -> true) then
+        go ()
+  in
+  go ();
+  List.rev !toks
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | REAL r -> string_of_float r
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COLON -> ":" | COLONCOLON -> "::" | SEMI -> ";" | COMMA -> ","
+  | DOT -> "." | DOTDOT -> ".."
+  | ARROW -> "->" | DARROW -> "->>" | TRANS_L -> "-["
+  | ANNEX_BLOB _ -> "{** ... **}"
+  | ASSOC -> "=>" | PLUS_ASSOC -> "+=>"
+  | EOF -> "<eof>"

@@ -1,0 +1,38 @@
+(** Hand-written lexer for the AADL textual subset.
+
+    AADL identifiers are case-insensitive; tokens keep the original
+    spelling and the parser compares keywords case-insensitively.
+    Comments run from [--] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COLON | COLONCOLON | SEMI | COMMA
+  | DOT | DOTDOT
+  | ARROW          (** [->] *)
+  | DARROW         (** [->>] delayed connection *)
+  | TRANS_L        (** [-[] opening a mode-transition trigger list *)
+  | ANNEX_BLOB of string  (** [{** ... **}] annex payload, verbatim *)
+  | ASSOC          (** [=>] *)
+  | PLUS_ASSOC     (** [+=>] *)
+  | EOF
+
+type positioned = {
+  tok : token;
+  line : int;      (** 1-based *)
+  col : int;       (** 1-based *)
+}
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> positioned list
+(** Full tokenization; ends with an [EOF] token.
+    @raise Lex_error on invalid input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,161 @@
+open Syntax
+
+let rec pp_property_value ppf = function
+  | Pint (n, None) -> Format.fprintf ppf "%d" n
+  | Pint (n, Some u) -> Format.fprintf ppf "%d %s" n u
+  | Preal (r, None) -> Format.fprintf ppf "%g" r
+  | Preal (r, Some u) -> Format.fprintf ppf "%g %s" r u
+  | Pstring s -> Format.fprintf ppf "%S" s
+  | Pbool b -> Format.pp_print_string ppf (if b then "true" else "false")
+  | Pname n -> Format.pp_print_string ppf n
+  | Preference p -> Format.fprintf ppf "reference (%s)" p
+  | Pclassifier p -> Format.fprintf ppf "classifier (%s)" p
+  | Plist vs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_property_value)
+      vs
+  | Prange (lo, hi) ->
+    Format.fprintf ppf "%a .. %a" pp_property_value lo pp_property_value hi
+
+let pp_property_assoc ppf pa =
+  Format.fprintf ppf "%s => %a" pa.pname pp_property_value pa.pvalue;
+  (match pa.applies_to with
+   | [] -> ()
+   | paths ->
+     Format.fprintf ppf " applies to %a"
+       (Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+          Format.pp_print_string)
+       paths);
+  Format.fprintf ppf ";"
+
+let direction_to_string = function
+  | Din -> "in"
+  | Dout -> "out"
+  | Dinout -> "in out"
+
+let port_kind_to_string = function
+  | Data_port -> "data port"
+  | Event_port -> "event port"
+  | Event_data_port -> "event data port"
+
+let pp_feature ppf = function
+  | Port { fname; dir; kind; dtype; fprops } ->
+    Format.fprintf ppf "%s: %s %s" fname (direction_to_string dir)
+      (port_kind_to_string kind);
+    (match dtype with
+     | Some d -> Format.fprintf ppf " %s" d
+     | None -> ());
+    (match fprops with
+     | [] -> ()
+     | props ->
+       Format.fprintf ppf " {%a}"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+            pp_property_assoc)
+         props);
+    Format.fprintf ppf ";"
+  | Data_access { fname; dtype; right; provided } ->
+    Format.fprintf ppf "%s: %s data access" fname
+      (if provided then "provides" else "requires");
+    (match dtype with
+     | Some d -> Format.fprintf ppf " %s" d
+     | None -> ());
+    (match right with
+     | Read_write -> ()
+     | Read_only -> Format.fprintf ppf " {Access_Right => read_only;}"
+     | Write_only -> Format.fprintf ppf " {Access_Right => write_only;}");
+    Format.fprintf ppf ";"
+  | Subprogram_access { fname; spec; provided } ->
+    Format.fprintf ppf "%s: %s subprogram access" fname
+      (if provided then "provides" else "requires");
+    (match spec with
+     | Some s -> Format.fprintf ppf " %s" s
+     | None -> ());
+    Format.fprintf ppf ";"
+
+let pp_section ppf ~title pp items =
+  match items with
+  | [] -> ()
+  | _ ->
+    Format.fprintf ppf "@,@[<v 2>%s@,%a@]" title
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+      items
+
+let pp_mode ppf m =
+  Format.fprintf ppf "%s: %smode;" m.m_name (if m.m_initial then "initial " else "")
+
+let pp_mode_transition ppf mt =
+  Format.fprintf ppf "%s: %s -[ %s ]-> %s;" mt.mt_name mt.mt_src mt.mt_trigger
+    mt.mt_dst
+
+let pp_component_type ppf ct =
+  Format.fprintf ppf "@[<v 2>%s %s%s"
+    (category_to_string ct.ct_category)
+    ct.ct_name
+    (match ct.ct_extends with
+     | Some e -> " extends " ^ e
+     | None -> "");
+  pp_section ppf ~title:"features" pp_feature ct.ct_features;
+  (match ct.ct_modes, ct.ct_transitions with
+   | [], [] -> ()
+   | ms, ts ->
+     Format.fprintf ppf "@,@[<v 2>modes";
+     List.iter (fun m -> Format.fprintf ppf "@,%a" pp_mode m) ms;
+     List.iter (fun t -> Format.fprintf ppf "@,%a" pp_mode_transition t) ts;
+     Format.fprintf ppf "@]");
+  pp_section ppf ~title:"properties" pp_property_assoc ct.ct_properties;
+  Format.fprintf ppf "@]@,end %s;" ct.ct_name
+
+let pp_subcomponent ppf sc =
+  Format.fprintf ppf "%s: %s" sc.sc_name (category_to_string sc.sc_category);
+  (match sc.sc_classifier with
+   | Some c -> Format.fprintf ppf " %s" c
+   | None -> ());
+  (match sc.sc_properties with
+   | [] -> ()
+   | props ->
+     Format.fprintf ppf " {%a}"
+       (Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+          pp_property_assoc)
+       props);
+  Format.fprintf ppf ";"
+
+let pp_connection ppf c =
+  let kind =
+    match c.conn_kind with
+    | Port_connection -> "port"
+    | Access_connection -> "data access"
+  in
+  Format.fprintf ppf "%s: %s %s %s %s;" c.conn_name kind c.conn_src
+    (if c.immediate then "->" else "->>")
+    c.conn_dst
+
+let pp_component_impl ppf ci =
+  Format.fprintf ppf "@[<v 2>%s implementation %s%s"
+    (category_to_string ci.ci_category)
+    ci.ci_name
+    (match ci.ci_extends with
+     | Some e -> " extends " ^ e
+     | None -> "");
+  pp_section ppf ~title:"subcomponents" pp_subcomponent ci.ci_subcomponents;
+  pp_section ppf ~title:"connections" pp_connection ci.ci_connections;
+  pp_section ppf ~title:"properties" pp_property_assoc ci.ci_properties;
+  Format.fprintf ppf "@]@,end %s;" ci.ci_name
+
+let pp_declaration ppf = function
+  | Dtype ct -> pp_component_type ppf ct
+  | Dimpl ci -> pp_component_impl ppf ci
+
+let pp_package ppf pkg =
+  Format.fprintf ppf "@[<v>package %s@,public@," pkg.pkg_name;
+  List.iter (fun w -> Format.fprintf ppf "with %s;@," w) pkg.pkg_imports;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+    pp_declaration ppf pkg.pkg_decls;
+  Format.fprintf ppf "@,end %s;@]" pkg.pkg_name
+
+let package_to_string pkg = Format.asprintf "%a" pp_package pkg

@@ -1,0 +1,11 @@
+(** AADL pretty-printer. Produces standard textual syntax that
+    {!Parser} accepts again (round-trip property, tested). *)
+
+val pp_property_value : Format.formatter -> Syntax.property_value -> unit
+val pp_property_assoc : Format.formatter -> Syntax.property_assoc -> unit
+val pp_feature : Format.formatter -> Syntax.feature -> unit
+val pp_component_type : Format.formatter -> Syntax.component_type -> unit
+val pp_component_impl : Format.formatter -> Syntax.component_impl -> unit
+val pp_package : Format.formatter -> Syntax.package -> unit
+
+val package_to_string : Syntax.package -> string

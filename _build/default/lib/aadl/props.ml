@@ -1,0 +1,146 @@
+open Syntax
+
+type dispatch_protocol =
+  | Periodic
+  | Aperiodic
+  | Sporadic
+  | Background
+
+type io_time =
+  | At_dispatch
+  | At_start
+  | At_complete
+  | At_deadline
+
+type queue_protocol = Fifo | Lifo
+
+type overflow_protocol = Drop_oldest | Drop_newest | Overflow_error
+
+let base_name name =
+  match String.rindex_opt name ':' with
+  | Some i when i + 1 < String.length name ->
+    String.sub name (i + 1) (String.length name - i - 1)
+  | Some _ | None -> name
+
+let name_eq a b =
+  String.lowercase_ascii (base_name a) = String.lowercase_ascii (base_name b)
+
+let find name assocs =
+  List.fold_left
+    (fun acc pa ->
+      if pa.applies_to = [] && name_eq pa.pname name then Some pa.pvalue
+      else acc)
+    None assocs
+
+let unit_factor_us = function
+  | "ns" -> Some 0.001
+  | "us" -> Some 1.0
+  | "ms" -> Some 1000.0
+  | "s" | "sec" -> Some 1_000_000.0
+  | "min" -> Some 60_000_000.0
+  | "hr" -> Some 3_600_000_000.0
+  | _ -> None
+
+let rec duration_us = function
+  | Pint (n, u) ->
+    let u = Option.value ~default:"ms" (Option.map String.lowercase_ascii u) in
+    Option.map (fun f -> int_of_float (float_of_int n *. f)) (unit_factor_us u)
+  | Preal (r, u) ->
+    let u = Option.value ~default:"ms" (Option.map String.lowercase_ascii u) in
+    Option.map (fun f -> int_of_float (r *. f)) (unit_factor_us u)
+  | Prange (_, hi) -> duration_us hi
+  | Pstring _ | Pbool _ | Pname _ | Preference _ | Pclassifier _ | Plist _ ->
+    None
+
+let dispatch_protocol assocs =
+  match find "Dispatch_Protocol" assocs with
+  | Some (Pname n) -> (
+    match String.lowercase_ascii n with
+    | "periodic" -> Some Periodic
+    | "aperiodic" -> Some Aperiodic
+    | "sporadic" -> Some Sporadic
+    | "background" -> Some Background
+    | _ -> None)
+  | _ -> None
+
+let duration_prop name assocs = Option.bind (find name assocs) duration_us
+
+let period_us = duration_prop "Period"
+let deadline_us = duration_prop "Deadline"
+
+let compute_execution_time_us assocs =
+  duration_prop "Compute_Execution_Time" assocs
+
+let int_prop name assocs =
+  match find name assocs with
+  | Some (Pint (n, None)) -> Some n
+  | _ -> None
+
+let priority = int_prop "Priority"
+let queue_size = int_prop "Queue_Size"
+
+let queue_protocol assocs =
+  match find "Queue_Processing_Protocol" assocs with
+  | Some (Pname n) -> (
+    match String.lowercase_ascii n with
+    | "fifo" -> Some Fifo
+    | "lifo" -> Some Lifo
+    | _ -> None)
+  | _ -> None
+
+let overflow_protocol assocs =
+  match find "Overflow_Handling_Protocol" assocs with
+  | Some (Pname n) -> (
+    match String.lowercase_ascii n with
+    | "dropoldest" -> Some Drop_oldest
+    | "dropnewest" -> Some Drop_newest
+    | "error" -> Some Overflow_error
+    | _ -> None)
+  | _ -> None
+
+let rec io_time_of_value = function
+  | Pname n -> (
+    match String.lowercase_ascii n with
+    | "dispatch" -> Some At_dispatch
+    | "start" -> Some At_start
+    | "completion" | "complete" -> Some At_complete
+    | "deadline" -> Some At_deadline
+    | _ -> None)
+  | Plist [ v ] -> io_time_of_value v
+  | _ -> None
+
+let input_time assocs = Option.bind (find "Input_Time" assocs) io_time_of_value
+let output_time assocs =
+  Option.bind (find "Output_Time" assocs) io_time_of_value
+
+let processor_bindings assocs =
+  List.concat_map
+    (fun pa ->
+      if name_eq pa.pname "Actual_Processor_Binding" then
+        let target =
+          match pa.pvalue with
+          | Preference p -> Some p
+          | Plist [ Preference p ] -> Some p
+          | _ -> None
+        in
+        match target with
+        | Some cpu -> List.map (fun part -> (part, cpu)) pa.applies_to
+        | None -> []
+      else [])
+    assocs
+
+let pp_dispatch_protocol ppf p =
+  Format.pp_print_string ppf
+    (match p with
+     | Periodic -> "Periodic"
+     | Aperiodic -> "Aperiodic"
+     | Sporadic -> "Sporadic"
+     | Background -> "Background")
+
+let pp_io_time ppf t =
+  Format.pp_print_string ppf
+    (match t with
+     | At_dispatch -> "Dispatch"
+     | At_start -> "Start"
+     | At_complete -> "Complete"
+     | At_deadline -> "Deadline")

@@ -1,0 +1,147 @@
+(** Abstract syntax of the AADL textual subset (SAE AS5506).
+
+    The subset covers what the paper's tool chain consumes
+    (Sec. IV-E): software components (process, thread, thread group,
+    subprogram, data), execution platform components (processor,
+    virtual processor, memory, bus, virtual bus, device), the composite
+    system category, features (ports, data access, subprogram access),
+    subcomponents, port and access connections, property associations
+    (including [applies to] binding properties), and packages. Modes,
+    flows and annexes are out of scope (the paper defers modes to
+    future work). *)
+
+type category =
+  | System
+  | Process
+  | Thread
+  | Thread_group
+  | Subprogram
+  | Data
+  | Processor
+  | Virtual_processor
+  | Memory
+  | Bus
+  | Virtual_bus
+  | Device
+
+val category_to_string : category -> string
+val category_of_string : string -> category option
+
+type direction = Din | Dout | Dinout
+
+type port_kind = Data_port | Event_port | Event_data_port
+
+type access_right = Read_only | Write_only | Read_write
+
+type property_value =
+  | Pint of int * string option       (** integer with optional unit *)
+  | Preal of float * string option
+  | Pstring of string
+  | Pbool of bool
+  | Pname of string                   (** enumeration literal / identifier *)
+  | Preference of string              (** reference (path) *)
+  | Pclassifier of string             (** classifier (name) *)
+  | Plist of property_value list
+  | Prange of property_value * property_value
+
+type property_assoc = {
+  pname : string;                     (** possibly qualified, [Set::Name] *)
+  pvalue : property_value;
+  applies_to : string list;           (** dot-paths; empty = self *)
+}
+
+type feature =
+  | Port of {
+      fname : string;
+      dir : direction;
+      kind : port_kind;
+      dtype : string option;  (** data classifier, e.g. [Base_Types::Integer] *)
+      fprops : property_assoc list;  (** port properties, e.g. Queue_Size *)
+    }
+  | Data_access of {
+      fname : string;
+      dtype : string option;
+      right : access_right;
+      provided : bool;  (** [provides] vs [requires] *)
+    }
+  | Subprogram_access of {
+      fname : string;
+      spec : string option;
+      provided : bool;
+    }
+
+val feature_name : feature -> string
+
+type subcomponent = {
+  sc_name : string;
+  sc_category : category;
+  sc_classifier : string option;      (** ["thProducer.impl"] or type name *)
+  sc_properties : property_assoc list;
+}
+
+type connection_kind = Port_connection | Access_connection
+
+type connection = {
+  conn_name : string;
+  conn_kind : connection_kind;
+  conn_src : string;                  (** dot-path, e.g. ["thProducer.pOut"] *)
+  conn_dst : string;
+  immediate : bool;                   (** [->] immediate vs [->>] delayed *)
+  conn_properties : property_assoc list;
+}
+
+(** Mode-automaton support (paper Sec. VII perspective: modes handled
+    as SIGNAL automata). *)
+
+type mode = {
+  m_name : string;
+  m_initial : bool;
+}
+
+type mode_transition = {
+  mt_name : string;
+  mt_src : string;        (** source mode *)
+  mt_trigger : string;    (** in event port arming the transition *)
+  mt_dst : string;        (** destination mode *)
+}
+
+type component_type = {
+  ct_name : string;
+  ct_category : category;
+  ct_extends : string option;
+  ct_features : feature list;
+  ct_properties : property_assoc list;
+  ct_modes : mode list;
+  ct_transitions : mode_transition list;
+}
+
+type component_impl = {
+  ci_name : string;                   (** ["prProdCons.impl"] *)
+  ci_type : string;                   (** ["prProdCons"] *)
+  ci_category : category;
+  ci_extends : string option;
+  ci_subcomponents : subcomponent list;
+  ci_connections : connection list;
+  ci_properties : property_assoc list;
+}
+
+type declaration =
+  | Dtype of component_type
+  | Dimpl of component_impl
+
+type package = {
+  pkg_name : string;
+  pkg_imports : string list;          (** [with] clauses *)
+  pkg_decls : declaration list;
+}
+
+val impl_base_name : string -> string
+(** ["prProdCons.impl"] → ["prProdCons"]. *)
+
+val find_type : package -> string -> component_type option
+val find_impl : package -> string -> component_impl option
+
+val find_feature : component_type -> string -> feature option
+
+val property_names : package -> string list
+(** All distinct property names used in the package, sorted. *)

@@ -1,0 +1,1 @@
+lib/analysis/deadlock.ml: Clocks Digraph Format List Signal_lang

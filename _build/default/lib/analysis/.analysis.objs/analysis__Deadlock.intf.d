@@ -1,0 +1,1 @@
+lib/analysis/deadlock.mli: Clocks Digraph Format Signal_lang

@@ -1,0 +1,1 @@
+lib/analysis/determinism.ml: Clocks Format List Signal_lang

@@ -1,0 +1,1 @@
+lib/analysis/determinism.mli: Clocks Format Signal_lang

@@ -1,0 +1,1 @@
+lib/analysis/profiling.ml: Format Hashtbl List Option Signal_lang String

@@ -1,0 +1,1 @@
+lib/analysis/profiling.mli: Format Signal_lang

@@ -1,0 +1,29 @@
+(** Instantaneous-causality (deadlock) detection.
+
+    A SIGNAL process deadlocks when a cycle of instantaneous data
+    dependencies can be active at some instant: every signal on the
+    cycle waits for the previous one within the same reaction. Delays
+    break dependencies; cycles whose signals have provably disjoint
+    clocks are {e false cycles} and harmless (standard clock-directed
+    causality analysis). *)
+
+type cycle = {
+  signals : string list;       (** members of the dependency SCC *)
+  feasible : bool;             (** the signals can be present together *)
+}
+
+type report = {
+  cycles : cycle list;         (** all non-trivial dependency SCCs *)
+  deadlock_free : bool;        (** no feasible cycle *)
+}
+
+val dependency_graph : Signal_lang.Kernel.kprocess -> Digraph.t
+(** Edges x → y when computing y at an instant needs x at the same
+    instant. Primitive instances contribute their contract edges. *)
+
+val analyze :
+  ?calc:Clocks.Calculus.t -> Signal_lang.Kernel.kprocess -> report
+(** With a clock-calculus result, cycles are classified by clock
+    feasibility; without, every cycle is conservatively feasible. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,24 @@
+(** Determinism identification (paper, Sec. V-C).
+
+    A signal defined by several partial definitions is deterministic
+    only if the defining branches have pairwise disjoint clocks — this
+    is exactly the paper's case study finding: the thProducer automaton
+    is non-deterministic until priorities make its transition guards
+    exclusive. The check asks the clock calculus to prove exclusion of
+    each pair of branches under the context Φ. *)
+
+type issue = {
+  signal : string;            (** the multiply-defined signal *)
+  branch_a : string;          (** temporary holding one branch *)
+  branch_b : string;
+  reason : string;
+}
+
+type report = {
+  issues : issue list;
+  deterministic : bool;
+}
+
+val analyze : Clocks.Calculus.t -> Signal_lang.Kernel.kprocess -> report
+
+val pp_report : Format.formatter -> report -> unit

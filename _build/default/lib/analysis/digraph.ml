@@ -1,0 +1,106 @@
+type t = {
+  adj : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable edges : int;
+}
+
+let create () = { adj = Hashtbl.create 64; edges = 0 }
+
+let add_vertex g v =
+  if not (Hashtbl.mem g.adj v) then Hashtbl.add g.adj v (Hashtbl.create 4)
+
+let add_edge g a b =
+  add_vertex g a;
+  add_vertex g b;
+  let succ = Hashtbl.find g.adj a in
+  if not (Hashtbl.mem succ b) then begin
+    Hashtbl.add succ b ();
+    g.edges <- g.edges + 1
+  end
+
+let vertices g =
+  Hashtbl.fold (fun v _ acc -> v :: acc) g.adj []
+  |> List.sort String.compare
+
+let successors g v =
+  match Hashtbl.find_opt g.adj v with
+  | None -> []
+  | Some succ ->
+    Hashtbl.fold (fun w () acc -> w :: acc) succ []
+    |> List.sort String.compare
+
+let edge_count g = g.edges
+
+(* Tarjan's algorithm, iterative-friendly sizes here are small so the
+   recursive version is fine (depth bounded by vertex count). *)
+let sccs g =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v)
+    (vertices g);
+  List.rev !components
+
+let has_self_loop g v = List.mem v (successors g v)
+
+let nontrivial_sccs g =
+  List.filter
+    (fun comp ->
+      match comp with
+      | [ v ] -> has_self_loop g v
+      | _ -> List.length comp > 1)
+    (sccs g)
+
+let topological_sort g =
+  match nontrivial_sccs g with
+  | cycle :: _ -> Error cycle
+  | [] ->
+    (* Tarjan emits an SCC before every SCC that can reach it, so the
+       flattened emission order lists successors first; reversing gives
+       sources before targets. *)
+    Ok (List.rev (List.concat (sccs g)))
+
+let reachable g v =
+  let seen = Hashtbl.create 16 in
+  let rec go w =
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem seen s) then begin
+          Hashtbl.replace seen s ();
+          go s
+        end)
+      (successors g w)
+  in
+  go v;
+  Hashtbl.fold (fun w () acc -> w :: acc) seen [] |> List.sort String.compare

@@ -1,0 +1,33 @@
+(** Directed graphs over string-named vertices, with Tarjan SCC and
+    topological sorting. Used for instantaneous-dependency (causality)
+    analysis and by the simulator's evaluation ordering. *)
+
+type t
+
+val create : unit -> t
+
+val add_vertex : t -> string -> unit
+(** Idempotent. *)
+
+val add_edge : t -> string -> string -> unit
+(** [add_edge g a b] adds the edge a → b (and both vertices). Parallel
+    edges collapse. *)
+
+val vertices : t -> string list
+val successors : t -> string -> string list
+val edge_count : t -> int
+
+val sccs : t -> string list list
+(** Strongly connected components (Tarjan), in reverse topological
+    order of the condensation. *)
+
+val nontrivial_sccs : t -> string list list
+(** Components with more than one vertex, or a self-loop. *)
+
+val topological_sort : t -> (string list, string list) result
+(** [Ok order] such that for every edge a → b, a precedes b; or
+    [Error cycle] exposing one non-trivial SCC. *)
+
+val reachable : t -> string -> string list
+(** Vertices reachable from the given one (excluded unless on a cycle
+    through it). *)

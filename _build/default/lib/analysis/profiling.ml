@@ -1,0 +1,84 @@
+module K = Signal_lang.Kernel
+module Ast = Signal_lang.Ast
+
+type cost_model = {
+  c_copy : int;
+  c_arith : int;
+  c_mult : int;
+  c_if : int;
+  c_delay : int;
+  c_when : int;
+  c_default : int;
+  c_fifo_op : int;
+}
+
+let default_cost_model =
+  { c_copy = 1; c_arith = 1; c_mult = 3; c_if = 1; c_delay = 2; c_when = 1;
+    c_default = 1; c_fifo_op = 5 }
+
+type report = {
+  per_signal : (string * int) list;
+  total_static : int;
+  weighted : (string * int) list;
+  total_weighted : int;
+}
+
+let eq_cost model = function
+  | K.Kfunc { op; _ } -> (
+    match op with
+    | K.Punop _ -> model.c_arith
+    | K.Pbinop (Ast.Mul | Ast.Div | Ast.Mod) -> model.c_mult
+    | K.Pbinop _ -> model.c_arith
+    | K.Pif -> model.c_if
+    | K.Pid -> model.c_copy
+    | K.Pclock -> 0)
+  | K.Kdelay _ -> model.c_delay
+  | K.Kwhen _ -> model.c_when
+  | K.Kdefault _ -> model.c_default
+
+let eq_dst = function
+  | K.Kfunc { dst; _ } | K.Kdelay { dst; _ } | K.Kwhen { dst; _ }
+  | K.Kdefault { dst; _ } -> dst
+
+let signal_costs ?(model = default_cost_model) kp =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun eq ->
+      let dst = eq_dst eq in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl dst) in
+      Hashtbl.replace tbl dst (prev + eq_cost model eq))
+    kp.K.keqs;
+  List.iter
+    (fun ki ->
+      List.iter
+        (fun out ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl out) in
+          Hashtbl.replace tbl out (prev + model.c_fifo_op))
+        ki.K.ki_outs)
+    kp.K.kinstances;
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let static_costs ?model kp =
+  let per_signal = signal_costs ?model kp in
+  let total_static = List.fold_left (fun acc (_, c) -> acc + c) 0 per_signal in
+  { per_signal; total_static; weighted = []; total_weighted = 0 }
+
+let with_counts ?model ~counts kp =
+  let base = static_costs ?model kp in
+  let weighted =
+    List.map (fun (s, c) -> (s, c * counts s)) base.per_signal
+  in
+  let total_weighted =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 weighted
+  in
+  { base with weighted; total_weighted }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>profiling: %d signals, static reaction cost %d@,"
+    (List.length r.per_signal) r.total_static;
+  if r.weighted <> [] then
+    Format.fprintf ppf "weighted total over supplied counts: %d@,"
+      r.total_weighted;
+  Format.fprintf ppf "@]"

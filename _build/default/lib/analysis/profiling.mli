@@ -1,0 +1,49 @@
+(** Profiling-based timing evaluation of SIGNAL programs (paper ref
+    [16], Kountouris & Le Guernic).
+
+    Each kernel operator is given a temporal cost on the target
+    architecture; the cost of a signal is the cost of its defining
+    equations. Combined with per-signal instant counts from a
+    simulation run (or rates from schedule clocks), this yields an
+    estimated execution time per logical instant and per hyper-period,
+    used for architecture exploration. *)
+
+type cost_model = {
+  c_copy : int;
+  c_arith : int;     (** add/sub, comparisons, boolean ops *)
+  c_mult : int;      (** mul/div/mod *)
+  c_if : int;
+  c_delay : int;     (** state read+write *)
+  c_when : int;
+  c_default : int;
+  c_fifo_op : int;   (** per primitive-FIFO activation *)
+}
+
+val default_cost_model : cost_model
+(** Unit-cost RISC-like model: arith 1, mult 3, delay 2, fifo 5. *)
+
+type report = {
+  per_signal : (string * int) list;
+      (** static cost of producing the signal, per instant where it is
+          present *)
+  total_static : int;
+      (** sum over all signals: worst-case cost of one fully-present
+          reaction *)
+  weighted : (string * int) list;
+      (** cost × activation count, when counts are supplied *)
+  total_weighted : int;
+}
+
+val static_costs :
+  ?model:cost_model -> Signal_lang.Kernel.kprocess -> report
+(** Report with [weighted] empty. *)
+
+val with_counts :
+  ?model:cost_model ->
+  counts:(string -> int) ->
+  Signal_lang.Kernel.kprocess ->
+  report
+(** Weight each signal's cost by its activation count (e.g. presence
+    occurrences over a simulated horizon). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/clocks/affine.ml: Format List Putil

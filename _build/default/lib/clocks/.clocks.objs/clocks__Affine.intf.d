@@ -1,0 +1,1 @@
+lib/clocks/affine.mli: Format

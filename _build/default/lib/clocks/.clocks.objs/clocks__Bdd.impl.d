@@ -1,0 +1,1 @@
+lib/clocks/bdd.ml: Array Format Hashtbl List

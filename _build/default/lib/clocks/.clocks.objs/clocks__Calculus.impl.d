@@ -1,0 +1,1 @@
+lib/clocks/calculus.ml: Array Bdd Format Hashtbl List Option Printf Signal_lang String

@@ -1,0 +1,1 @@
+lib/clocks/calculus.mli: Bdd Format Signal_lang

@@ -1,0 +1,1 @@
+lib/clocks/hierarchy.ml: Array Bdd Calculus Format List Signal_lang String

@@ -1,0 +1,1 @@
+lib/clocks/hierarchy.mli: Calculus Format Signal_lang

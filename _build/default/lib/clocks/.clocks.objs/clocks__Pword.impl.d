@@ -1,0 +1,1 @@
+lib/clocks/pword.ml: Affine Array Format List Printf Putil String

@@ -1,0 +1,1 @@
+lib/clocks/pword.mli: Affine Format

@@ -1,0 +1,97 @@
+type periodic = {
+  period : int;
+  offset : int;
+}
+
+type relation = {
+  n : int;
+  phi : int;
+  d : int;
+}
+
+let periodic ~period ~offset =
+  if period < 1 then invalid_arg "Affine.periodic: period < 1";
+  if offset < 0 then invalid_arg "Affine.periodic: offset < 0";
+  { period; offset }
+
+let ticks c ~horizon =
+  let rec go t acc =
+    let pos = (c.period * t) + c.offset in
+    if pos >= horizon then List.rev acc else go (t + 1) (pos :: acc)
+  in
+  go 0 []
+
+let mem c pos = pos >= c.offset && (pos - c.offset) mod c.period = 0
+
+let subsample c ~d ~phi =
+  if d < 1 then invalid_arg "Affine.subsample: d < 1";
+  if phi < 0 then invalid_arg "Affine.subsample: phi < 0";
+  (* tick t of the result is tick (d·t + φ) of c, i.e. base instant
+     period·(d·t+φ) + offset = (period·d)·t + (offset + period·φ) *)
+  { period = c.period * d; offset = c.offset + (c.period * phi) }
+
+let synchronizable c1 c2 = c1.period = c2.period && c1.offset = c2.offset
+
+(* Common instants: period·t + o1 = period'·s + o2. *)
+let intersect c1 c2 =
+  let g = Putil.Mathx.gcd c1.period c2.period in
+  if (c2.offset - c1.offset) mod g <> 0 then None
+  else begin
+    (* CRT: find x ≡ o1 (mod p1), x ≡ o2 (mod p2), x ≥ max offsets *)
+    let p = Putil.Mathx.lcm c1.period c2.period in
+    match
+      Putil.Mathx.solve_diophantine c1.period (-c2.period)
+        (c2.offset - c1.offset)
+    with
+    | None -> None
+    | Some (t0, _) ->
+      let x0 = (c1.period * t0) + c1.offset in
+      (* shift x0 into the valid region: x ≥ max(o1, o2), minimal *)
+      let lo = max c1.offset c2.offset in
+      let x =
+        if x0 >= lo then x0 - (Putil.Mathx.floor_div (x0 - lo) p * p)
+        else x0 + (Putil.Mathx.ceil_div (lo - x0) p * p)
+      in
+      Some { period = p; offset = x }
+  end
+
+let never_together c1 c2 = intersect c1 c2 = None
+
+let relation ~n ~phi ~d =
+  if n < 1 then invalid_arg "Affine.relation: n < 1";
+  if d < 1 then invalid_arg "Affine.relation: d < 1";
+  { n; phi; d }
+
+let identity = { n = 1; phi = 0; d = 1 }
+
+let canon r =
+  let g = Putil.Mathx.gcd (Putil.Mathx.gcd r.n r.d) r.phi in
+  if g <= 1 then r else { n = r.n / g; phi = r.phi / g; d = r.d / g }
+
+let equivalent r1 r2 = canon r1 = canon r2
+
+let compose r1 r2 =
+  canon
+    { n = r1.n * r2.n;
+      phi = (r2.n * r1.phi) + (r1.d * r2.phi);
+      d = r1.d * r2.d }
+
+let inverse r = canon { n = r.d; phi = -r.phi; d = r.n }
+
+let apply_to_index r t = (r.n * t, (r.d * t) + r.phi)
+
+let relation_of ~base c =
+  (* c = {d·t + φ | t ∈ base} requires c.period = base.period·d and
+     c.offset = base.offset + base.period·φ with φ ≥ 0 *)
+  if c.period mod base.period <> 0 then None
+  else
+    let d = c.period / base.period in
+    let diff = c.offset - base.offset in
+    if diff < 0 || diff mod base.period <> 0 then None
+    else Some { n = 1; phi = diff / base.period; d }
+
+let pp_periodic ppf c =
+  Format.fprintf ppf "{%d·t + %d}" c.period c.offset
+
+let pp_relation ppf r =
+  Format.fprintf ppf "(n=%d, φ=%d, d=%d)" r.n r.phi r.d

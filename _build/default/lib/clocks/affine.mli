@@ -1,0 +1,81 @@
+(** Affine clock relations (Smarandache, Gautier, Le Guernic — paper
+    ref [13]) and periodic clocks over a discrete reference.
+
+    A {e periodic clock} on a base discrete time ticks at
+    [{period·t + offset | t ∈ ℕ}]. The paper's affine sampling
+    [y = {d·t + φ | t ∈ x}] subsamples a clock by index. An {e affine
+    relation} [(n, φ, d)] between clocks [x] and [y] states the
+    existence of a common reference [z] with [x_t = z_{n·t}] and
+    [y_t = z_{d·t+φ}]. The scheduler exports thread event clocks as
+    such relations (Sec. IV-D). *)
+
+type periodic = private {
+  period : int;  (** ≥ 1, in base ticks *)
+  offset : int;  (** ≥ 0, first tick *)
+}
+
+type relation = private {
+  n : int;    (** ≥ 1 *)
+  phi : int;  (** may be negative in intermediate results *)
+  d : int;    (** ≥ 1 *)
+}
+
+(** {1 Periodic clocks} *)
+
+val periodic : period:int -> offset:int -> periodic
+(** @raise Invalid_argument if [period < 1] or [offset < 0]. *)
+
+val ticks : periodic -> horizon:int -> int list
+(** Tick instants strictly below [horizon], ascending. *)
+
+val mem : periodic -> int -> bool
+(** Does the clock tick at the given base instant? *)
+
+val subsample : periodic -> d:int -> phi:int -> periodic
+(** The paper's affine sampling [y = {d·t + φ | t ∈ x}]: keep every
+    [d]-th tick starting at index [φ].
+    @raise Invalid_argument if [d < 1] or [phi < 0]. *)
+
+val synchronizable : periodic -> periodic -> bool
+(** The constraint [c1 ^= c2] is satisfiable on the common base, i.e.
+    the two clocks are the same set of instants. *)
+
+val never_together : periodic -> periodic -> bool
+(** The two clocks share no instant (satisfies [c1 ^# c2]). *)
+
+val intersect : periodic -> periodic -> periodic option
+(** Common instants; [None] when disjoint. The result's period is
+    [lcm] of the periods, its offset the smallest common instant. *)
+
+val relation_of : base:periodic -> periodic -> relation option
+(** [(1, φ, d)] such that the second clock is the [(d, φ)]-affine
+    subsampling of [base], if the containment holds exactly. *)
+
+(** {1 Affine relations} *)
+
+val relation : n:int -> phi:int -> d:int -> relation
+(** @raise Invalid_argument if [n < 1] or [d < 1]. *)
+
+val identity : relation
+
+val canon : relation -> relation
+(** Divide by the greatest common factor of [n], [φ], [d] — canonical
+    representative of the equivalence class. *)
+
+val equivalent : relation -> relation -> bool
+(** Same relation up to scaling. *)
+
+val compose : relation -> relation -> relation
+(** [(n1,φ1,d1) ∘ (n2,φ2,d2) = (n1·n2, n2·φ1 + d1·φ2, d1·d2)],
+    canonicalized: the relation between [x] and [u] when the first
+    relates [x,y] and the second relates [y,u]. *)
+
+val inverse : relation -> relation
+(** The relation seen from the other end. *)
+
+val apply_to_index : relation -> int -> int * int
+(** [apply_to_index r t] is [(n·t, d·t + phi)] — positions of [x_t] and
+    [y_t] on the common reference; used by property tests. *)
+
+val pp_periodic : Format.formatter -> periodic -> unit
+val pp_relation : Format.formatter -> relation -> unit

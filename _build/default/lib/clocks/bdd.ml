@@ -1,0 +1,203 @@
+(* Hash-consed ROBDDs. Nodes are integers into growable arrays; 0 and 1
+   are the terminal nodes. The classic unique-table + apply-cache
+   construction. *)
+
+type t = int
+
+type manager = {
+  mutable var_of : int array;   (* node -> variable index *)
+  mutable low_of : int array;   (* node -> low child (var = false) *)
+  mutable high_of : int array;  (* node -> high child (var = true) *)
+  mutable next : int;           (* next free node id *)
+  unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> node *)
+  apply_cache : (int * int * int, int) Hashtbl.t;  (* (op, a, b) -> node *)
+  not_cache : (int, int) Hashtbl.t;
+}
+
+let initial_capacity = 1024
+
+let manager () =
+  let m =
+    { var_of = Array.make initial_capacity max_int;
+      low_of = Array.make initial_capacity (-1);
+      high_of = Array.make initial_capacity (-1);
+      next = 2;
+      unique = Hashtbl.create 1024;
+      apply_cache = Hashtbl.create 1024;
+      not_cache = Hashtbl.create 256 }
+  in
+  (* terminals: node 0 = false, node 1 = true; their variable index is
+     max_int so every real variable tests before them. *)
+  m.var_of.(0) <- max_int;
+  m.var_of.(1) <- max_int;
+  m
+
+let zero (_ : manager) = 0
+let one (_ : manager) = 1
+
+let grow m =
+  let cap = Array.length m.var_of in
+  if m.next >= cap then begin
+    let ncap = cap * 2 in
+    let extend a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap; b
+    in
+    m.var_of <- extend m.var_of max_int;
+    m.low_of <- extend m.low_of (-1);
+    m.high_of <- extend m.high_of (-1)
+  end
+
+let mk m v low high =
+  if low = high then low
+  else
+    let key = (v, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      grow m;
+      let n = m.next in
+      m.next <- n + 1;
+      m.var_of.(n) <- v;
+      m.low_of.(n) <- low;
+      m.high_of.(n) <- high;
+      Hashtbl.add m.unique key n;
+      n
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative variable";
+  if i = max_int then invalid_arg "Bdd.var: reserved index";
+  mk m i 0 1
+
+let rec not_ m a =
+  if a = 0 then 1
+  else if a = 1 then 0
+  else
+    match Hashtbl.find_opt m.not_cache a with
+    | Some r -> r
+    | None ->
+      let r = mk m m.var_of.(a) (not_ m m.low_of.(a)) (not_ m m.high_of.(a)) in
+      Hashtbl.add m.not_cache a r;
+      r
+
+(* op codes for the apply cache *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+let rec apply m op a b =
+  let terminal =
+    if op = op_and then
+      if a = 0 || b = 0 then Some 0
+      else if a = 1 then Some b
+      else if b = 1 then Some a
+      else if a = b then Some a
+      else None
+    else if op = op_or then
+      if a = 1 || b = 1 then Some 1
+      else if a = 0 then Some b
+      else if b = 0 then Some a
+      else if a = b then Some a
+      else None
+    else if a = b then Some 0
+    else if a = 0 then Some b
+    else if b = 0 then Some a
+    else None
+  in
+  match terminal with
+  | Some r -> r
+  | None ->
+    (* commutative ops: normalize the key *)
+    let ka, kb = if a <= b then (a, b) else (b, a) in
+    let key = (op, ka, kb) in
+    (match Hashtbl.find_opt m.apply_cache key with
+     | Some r -> r
+     | None ->
+       let va = m.var_of.(a) and vb = m.var_of.(b) in
+       let v = min va vb in
+       let a0, a1 = if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a) in
+       let b0, b1 = if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b) in
+       let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+       Hashtbl.add m.apply_cache key r;
+       r)
+
+let and_ m a b = apply m op_and a b
+let or_ m a b = apply m op_or a b
+let xor_ m a b = apply m op_xor a b
+let diff m a b = and_ m a (not_ m b)
+let imp m a b = or_ m (not_ m a) b
+
+let equal (a : t) (b : t) = a = b
+let is_zero a = a = 0
+let is_one a = a = 1
+
+let implies m a b = is_zero (diff m a b)
+let exclusive m a b = is_zero (and_ m a b)
+
+let eval m env a =
+  let rec go n =
+    if n = 0 then false
+    else if n = 1 then true
+    else if env m.var_of.(n) then go m.high_of.(n)
+    else go m.low_of.(n)
+  in
+  go a
+
+let view m a =
+  if a = 0 then `Leaf false
+  else if a = 1 then `Leaf true
+  else `Node (m.var_of.(a), m.low_of.(a), m.high_of.(a))
+
+let support m a =
+  let seen = Hashtbl.create 16 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if n > 1 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars m.var_of.(n) ();
+      go m.low_of.(n);
+      go m.high_of.(n)
+    end
+  in
+  go a;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let any_sat m a =
+  if a = 0 then None
+  else
+    let rec go n acc =
+      if n = 1 then acc
+      else if m.low_of.(n) <> 0 then go m.low_of.(n) ((m.var_of.(n), false) :: acc)
+      else go m.high_of.(n) ((m.var_of.(n), true) :: acc)
+    in
+    Some (List.rev (go a []))
+
+let node_count m = m.next
+
+let pp m ~pp_var ppf a =
+  if a = 0 then Format.pp_print_string ppf "0"
+  else if a = 1 then Format.pp_print_string ppf "1"
+  else begin
+    (* enumerate paths to 1 as product terms *)
+    let first = ref true in
+    let rec go n lits =
+      if n = 1 then begin
+        if not !first then Format.fprintf ppf " + ";
+        first := false;
+        (match List.rev lits with
+         | [] -> Format.pp_print_string ppf "1"
+         | l ->
+           Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "·")
+             (fun ppf (v, pos) ->
+               if pos then pp_var ppf v
+               else Format.fprintf ppf "¬%a" pp_var v)
+             ppf l)
+      end
+      else if n <> 0 then begin
+        go m.low_of.(n) ((m.var_of.(n), false) :: lits);
+        go m.high_of.(n) ((m.var_of.(n), true) :: lits)
+      end
+    in
+    go a []
+  end

@@ -1,0 +1,67 @@
+(** Reduced ordered binary decision diagrams over integer variables.
+
+    The clock calculus encodes clocks as boolean functions over
+    presence and condition variables; BDDs give canonical forms, so
+    clock equality, inclusion and exclusion are O(1)/O(n·m) decisions.
+    Nodes are hash-consed: structural equality is physical equality.
+
+    A fresh manager is cheap; all nodes belong to the manager that
+    created them and must not be mixed across managers. *)
+
+type manager
+type t
+
+val manager : unit -> manager
+
+val zero : manager -> t
+(** The constant false (the null clock). *)
+
+val one : manager -> t
+(** The constant true (the always-present context). *)
+
+val var : manager -> int -> t
+(** The projection on variable [i] (variables are ordered by [int]). *)
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor_ : manager -> t -> t -> t
+val diff : manager -> t -> t -> t
+(** [diff m a b] is [a ∧ ¬b]. *)
+
+val imp : manager -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Physical equality (valid thanks to hash-consing). *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val implies : manager -> t -> t -> bool
+(** [implies m a b] iff [a ∧ ¬b] is unsatisfiable. *)
+
+val exclusive : manager -> t -> t -> bool
+(** [exclusive m a b] iff [a ∧ b] is unsatisfiable. *)
+
+val eval : manager -> (int -> bool) -> t -> bool
+(** Evaluate the function under a total assignment of its variables. *)
+
+val view : manager -> t -> [ `Leaf of bool | `Node of int * t * t ]
+(** Structure of a node: [`Node (var, low, high)]. Used by code
+    generators to compile clock functions to decision code. *)
+
+val support : manager -> t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val any_sat : manager -> t -> (int * bool) list option
+(** A satisfying assignment (partial, over the support), or [None] for
+    the zero function. *)
+
+val node_count : manager -> int
+(** Number of live hash-consed nodes, for benches. *)
+
+val pp :
+  manager -> pp_var:(Format.formatter -> int -> unit) ->
+  Format.formatter -> t -> unit
+(** Sum-of-products rendering; exponential in the worst case, meant for
+    small clock expressions in reports. *)

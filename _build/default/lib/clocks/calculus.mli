@@ -1,0 +1,91 @@
+(** The SIGNAL clock calculus over {!Signal_lang.Kernel} processes.
+
+    Clocks are encoded as boolean functions (BDDs) over two kinds of
+    variables: the {e presence} of a synchronization class, and the
+    {e value} of a boolean condition signal at the instants where it is
+    present. The calculus:
+
+    - partitions signals into synchronization classes (union-find over
+      step-wise functions, delays and [^=] constraints);
+    - derives one clock function per class from [when] / [default]
+      definitions, allocating a free presence variable for classes
+      without definitions (inputs) or with recursive definitions;
+    - accumulates declared constraints ([^<], [^#], redundant
+      definitions, primitive-instance contracts) in a context formula Φ;
+    - decides emptiness, inclusion and exclusion of clocks relative
+      to Φ, flags contradictions and null-clocked signals. *)
+
+type t
+
+val analyze : Signal_lang.Kernel.kprocess -> t
+
+(** {1 Queries} *)
+
+val manager : t -> Bdd.manager
+
+val context : t -> Bdd.t
+(** The accumulated constraint formula Φ. *)
+
+val consistent : t -> bool
+(** Φ is satisfiable: the clock system has at least one behaviour with
+    some signal present. *)
+
+val clock_of : t -> Signal_lang.Ast.ident -> Bdd.t
+(** The clock function of a signal.
+    @raise Not_found for unknown signals. *)
+
+val same_class : t -> Signal_lang.Ast.ident -> Signal_lang.Ast.ident -> bool
+(** Both signals were proved synchronous. *)
+
+val class_count : t -> int
+(** Number of synchronization classes, the metric of the paper's
+    "several thousand clocks" claim. *)
+
+val class_members : t -> Signal_lang.Ast.ident list list
+(** Signals grouped by synchronization class. *)
+
+val class_reprs : t -> (int * Signal_lang.Ast.ident) list
+(** Class ids with their canonical representative signal. *)
+
+val clock_of_class_id : t -> int -> Bdd.t
+(** Clock function of a class, by id. *)
+
+val class_id_of : t -> Signal_lang.Ast.ident -> int
+(** Class id of a signal. @raise Not_found for unknown signals. *)
+
+val var_kind :
+  t -> int ->
+  [ `Present of int
+  | `Cond of Signal_lang.Ast.ident
+  | `CondEq of Signal_lang.Ast.ident * int ]
+  option
+(** Interpretation of a BDD variable used by the clock functions: the
+    presence of a synchronization class, the value of a boolean
+    condition signal, or an integer signal's equality with a constant
+    (mode automata). Used by the clock-directed compiler. *)
+
+val representative : t -> Signal_lang.Ast.ident -> Signal_lang.Ast.ident
+(** Canonical signal of the argument's class. *)
+
+val is_null : t -> Signal_lang.Ast.ident -> bool
+(** The signal's clock is empty under Φ (it can never be present). *)
+
+val subclock : t -> Signal_lang.Ast.ident -> Signal_lang.Ast.ident -> bool
+(** [subclock t a b] iff every instant of [a] is an instant of [b],
+    under Φ. *)
+
+val exclusive : t -> Signal_lang.Ast.ident -> Signal_lang.Ast.ident -> bool
+(** The two signals can never be present together, under Φ. *)
+
+val null_signals : t -> Signal_lang.Ast.ident list
+(** Declared signals whose clock is provably empty. *)
+
+val conflicts : t -> string list
+(** Human-readable contradictions detected during the analysis
+    (e.g. unsatisfiable constraint system). *)
+
+val pp_clock : t -> Format.formatter -> Signal_lang.Ast.ident -> unit
+(** Render a signal's clock as a sum of products over class
+    representatives and conditions. *)
+
+val pp_summary : Format.formatter -> t -> unit

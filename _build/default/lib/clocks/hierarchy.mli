@@ -1,0 +1,36 @@
+(** Clock hierarchy synthesis.
+
+    Orders the synchronization classes of a {!Calculus} result by
+    structural (definitional) clock inclusion and arranges them in a
+    forest:
+    the parent of a class is a minimal class strictly containing it.
+    Polychrony uses this structure to synthesize the fastest simulation
+    clock (paper, Sec. III): when the forest has a single root, that
+    root is the master clock of the process and the program is
+    {e endochronous enough} to be simulated without an external
+    activation signal. *)
+
+type node = {
+  class_id : int;
+  repr : Signal_lang.Ast.ident;   (** canonical signal of the class *)
+  parent : int option;            (** class id of the parent, if any *)
+  children : int list;
+  depth : int;                    (** 0 for roots *)
+}
+
+type t
+
+val build : Calculus.t -> t
+
+val nodes : t -> node list
+val node : t -> int -> node
+val roots : t -> node list
+
+val master : t -> Signal_lang.Ast.ident option
+(** Representative of the unique root class, if the forest is a tree. *)
+
+val depth : t -> int
+(** Maximal depth of the forest. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering, one line per class. *)

@@ -1,0 +1,161 @@
+type t = {
+  u : bool array;  (* prefix *)
+  v : bool array;  (* cycle, non-empty *)
+}
+
+(* Smallest period of the cycle: the least divisor d of |v| such that v
+   is d-periodic. *)
+let reduce_cycle v =
+  let n = Array.length v in
+  let is_period d =
+    n mod d = 0
+    &&
+    let ok = ref true in
+    for i = d to n - 1 do
+      if v.(i) <> v.(i - d) then ok := false
+    done;
+    !ok
+  in
+  let rec find d = if is_period d then d else find (d + 1) in
+  let d = find 1 in
+  if d = n then v else Array.sub v 0 d
+
+(* u·(v)^ω = u'·(v')^ω when the last prefix letter equals the last
+   cycle letter and v' is v rotated right: repeatedly absorb the last
+   prefix letter into the cycle. Combined with cycle reduction this
+   yields a canonical form (shortest prefix, shortest cycle). *)
+let reduce_prefix u v =
+  let u = ref (Array.to_list u) in
+  let v = ref v in
+  let continue_ = ref true in
+  while !continue_ do
+    match List.rev !u with
+    | last :: rest_rev when last = !v.(Array.length !v - 1) ->
+      u := List.rev rest_rev;
+      let m = Array.length !v in
+      let rotated = Array.init m (fun i -> !v.((i + m - 1) mod m)) in
+      v := rotated
+    | _ -> continue_ := false
+  done;
+  (Array.of_list !u, !v)
+
+let make ~prefix ~cycle =
+  if cycle = [] then invalid_arg "Pword.make: empty cycle";
+  let v = reduce_cycle (Array.of_list cycle) in
+  let u, v = reduce_prefix (Array.of_list prefix) v in
+  let v = reduce_cycle v in
+  { u; v }
+
+let of_string s =
+  let n = String.length s in
+  let parse_bits sub =
+    List.init (String.length sub) (fun i ->
+        match sub.[i] with
+        | '1' -> true
+        | '0' -> false
+        | c -> invalid_arg (Printf.sprintf "Pword.of_string: bad char %c" c))
+  in
+  match String.index_opt s '(' with
+  | None -> invalid_arg "Pword.of_string: missing cycle"
+  | Some i ->
+    if n = 0 || s.[n - 1] <> ')' then
+      invalid_arg "Pword.of_string: missing ')'";
+    let prefix = parse_bits (String.sub s 0 i) in
+    let cycle = parse_bits (String.sub s (i + 1) (n - i - 2)) in
+    make ~prefix ~cycle
+
+let to_string w =
+  let bits a =
+    String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list a))
+  in
+  Printf.sprintf "%s(%s)" (bits w.u) (bits w.v)
+
+let of_ticks ~horizon ticks =
+  if horizon < 1 then invalid_arg "Pword.of_ticks: horizon < 1";
+  let cycle = Array.make horizon false in
+  List.iter
+    (fun t ->
+      if t < 0 || t >= horizon then
+        invalid_arg "Pword.of_ticks: instant outside horizon";
+      cycle.(t) <- true)
+    ticks;
+  make ~prefix:[] ~cycle:(Array.to_list cycle)
+
+let of_periodic (c : Affine.periodic) =
+  let prefix = List.init c.Affine.offset (fun _ -> false) in
+  let cycle = List.init c.Affine.period (fun i -> i = 0) in
+  make ~prefix ~cycle
+
+let tick w i =
+  let lu = Array.length w.u in
+  if i < lu then w.u.(i) else w.v.((i - lu) mod Array.length w.v)
+
+let prefix w = Array.to_list w.u
+let cycle w = Array.to_list w.v
+
+let rate w =
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 w.v in
+  let len = Array.length w.v in
+  let g = Putil.Mathx.gcd ones len in
+  if g = 0 then (0, 1) else (ones / g, len / g)
+
+let equal w1 w2 =
+  (* canonical forms are unique *)
+  w1.u = w2.u && w1.v = w2.v
+
+(* Apply a binary boolean operation instant-wise: align on the common
+   prefix length and the lcm of cycle lengths. *)
+let map2 f w1 w2 =
+  let lu = max (Array.length w1.u) (Array.length w2.u) in
+  let lv = Putil.Mathx.lcm (Array.length w1.v) (Array.length w2.v) in
+  let prefix = List.init lu (fun i -> f (tick w1 i) (tick w2 i)) in
+  let cycle = List.init lv (fun i -> f (tick w1 (lu + i)) (tick w2 (lu + i))) in
+  make ~prefix ~cycle
+
+let land_ = map2 ( && )
+let lor_ = map2 ( || )
+
+let lnot w =
+  make
+    ~prefix:(List.map not (Array.to_list w.u))
+    ~cycle:(List.map not (Array.to_list w.v))
+
+let disjoint w1 w2 =
+  let z = land_ w1 w2 in
+  Array.for_all not z.u && Array.for_all not z.v
+
+let subset w1 w2 = disjoint w1 (lnot w2)
+
+let first_tick w =
+  let lu = Array.length w.u in
+  let rec in_prefix i =
+    if i >= lu then in_cycle 0 else if w.u.(i) then Some i else in_prefix (i + 1)
+  and in_cycle i =
+    if i >= Array.length w.v then None
+    else if w.v.(i) then Some (lu + i)
+    else in_cycle (i + 1)
+  in
+  in_prefix 0
+
+let as_periodic w =
+  match first_tick w with
+  | None -> None
+  | Some o ->
+    let ones = Array.fold_left (fun n b -> if b then n + 1 else n) 0 w.v in
+    if ones <> 1 then
+      (* a strictly periodic clock has exactly one tick per (reduced)
+         cycle and an all-zero prefix up to the first tick *)
+      None
+    else begin
+      let p = Array.length w.v in
+      let candidate = Affine.periodic ~period:p ~offset:o in
+      (* verify over one prefix + two cycles *)
+      let horizon = Array.length w.u + (2 * p) in
+      let ok = ref true in
+      for i = 0 to horizon - 1 do
+        if tick w i <> Affine.mem candidate i then ok := false
+      done;
+      if !ok then Some candidate else None
+    end
+
+let pp ppf w = Format.pp_print_string ppf (to_string w)

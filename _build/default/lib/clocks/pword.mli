@@ -1,0 +1,61 @@
+(** Ultimately periodic binary words.
+
+    A schedule clock over the hyper-period is naturally an ultimately
+    periodic word [u(v)]: a finite prefix [u] followed by an infinitely
+    repeated cycle [v] ([v] non-empty). [1] marks a tick. The scheduler
+    exports per-event activation clocks in this form when they are not
+    strictly periodic (e.g. jobs of a thread not evenly spaced inside
+    the hyper-period). *)
+
+type t
+
+val make : prefix:bool list -> cycle:bool list -> t
+(** Canonicalized on construction: the cycle is reduced to its smallest
+    period and the prefix shortened when it ends like the cycle.
+    @raise Invalid_argument if the cycle is empty. *)
+
+val of_string : string -> t
+(** Notation ["1101(100)"]: optional prefix then parenthesised cycle.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val of_ticks : horizon:int -> int list -> t
+(** The word whose cycle of length [horizon] has a [1] at each listed
+    instant — the natural encoding of one hyper-period of a schedule.
+    @raise Invalid_argument if an instant falls outside the horizon. *)
+
+val of_periodic : Affine.periodic -> t
+(** Periodic clock [{p·t + o}] as the word [0^o (1 0^{p-1})]. *)
+
+val tick : t -> int -> bool
+(** Value of the word at the given instant (0-based). *)
+
+val prefix : t -> bool list
+val cycle : t -> bool list
+
+val rate : t -> int * int
+(** Ticks per cycle length, reduced: the asymptotic activation rate. *)
+
+val equal : t -> t -> bool
+(** Equality of the denoted infinite words. *)
+
+val land_ : t -> t -> t
+(** Instant-wise conjunction (clock intersection). *)
+
+val lor_ : t -> t -> t
+(** Instant-wise disjunction (clock union). *)
+
+val lnot : t -> t
+(** Complement (relative to the base clock). *)
+
+val disjoint : t -> t -> bool
+val subset : t -> t -> bool
+
+val first_tick : t -> int option
+(** Instant of the first [1], or [None] for the empty clock. *)
+
+val as_periodic : t -> Affine.periodic option
+(** The word as a strictly periodic clock, when it is one. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/case_study.ml: Aadl Lazy Signal_lang Trans

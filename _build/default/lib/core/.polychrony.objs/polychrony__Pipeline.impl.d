@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Aadl Analysis Clocks Format List Option Polysim Printf Putil Result Sched Signal_lang String Trans

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Aadl Analysis Clocks Format Polysim Sched Signal_lang Trans

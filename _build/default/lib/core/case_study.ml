@@ -1,0 +1,237 @@
+module B = Signal_lang.Builder
+
+let aadl_source =
+  {aadl|
+package ProducerConsumer
+public
+  with Base_Types;
+
+  -- Shared data resource between producer and consumer (Fig. 6)
+  data QueueCell
+  properties
+    Queue_Size => 8;
+  end QueueCell;
+
+  data implementation QueueCell.impl
+  end QueueCell.impl;
+
+  -- Produces data into the shared Queue every 4 ms (Sec. II)
+  thread thProducer
+    features
+      pProdStart: in event port {Queue_Size => 2;};
+      pProdTimeOut: in event port;
+      pProdStartTimer: out event port;
+      pProdStopTimer: out event port;
+      reqQueue: requires data access QueueCell {Access_Right => write_only;};
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 4 ms;
+      Deadline => 4 ms;
+      Compute_Execution_Time => 1 ms;
+  end thProducer;
+
+  thread implementation thProducer.impl
+  end thProducer.impl;
+
+  -- Consumes from the shared Queue every 6 ms
+  thread thConsumer
+    features
+      pConsStart: in event port {Queue_Size => 2;};
+      pConsTimeOut: in event port;
+      pConsStartTimer: out event port;
+      pConsStopTimer: out event port;
+      pConsOut: out event data port Base_Types::Integer;
+      reqQueue: requires data access QueueCell {Access_Right => read_only;};
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 6 ms;
+      Deadline => 6 ms;
+      Compute_Execution_Time => 1 ms;
+  end thConsumer;
+
+  thread implementation thConsumer.impl
+  end thConsumer.impl;
+
+  -- Timer service: start/stop, raises pTimeOut when expired (Sec. II)
+  thread thTimer
+    features
+      pStartTimer: in event port {Queue_Size => 4;};
+      pStopTimer: in event port {Queue_Size => 4;};
+      pTimeOut: out event port;
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 8 ms;
+      Deadline => 8 ms;
+      Compute_Execution_Time => 1 ms;
+      Timer_Duration => 3;
+  end thTimer;
+
+  thread implementation thTimer.impl
+  end thTimer.impl;
+
+  -- The prProdCons process of Fig. 1
+  process prProdCons
+    features
+      pProdStart: in event port;
+      pConsStart: in event port;
+      pProdTimeOutE: out event port;
+      pConsTimeOutE: out event port;
+      pConsData: out event data port Base_Types::Integer;
+  end prProdCons;
+
+  process implementation prProdCons.impl
+    subcomponents
+      thProducer: thread thProducer.impl;
+      thConsumer: thread thConsumer.impl;
+      thProdTimer: thread thTimer.impl;
+      thConsTimer: thread thTimer.impl;
+      Queue: data QueueCell.impl;
+    connections
+      c0: port pProdStart -> thProducer.pProdStart;
+      c1: port pConsStart -> thConsumer.pConsStart;
+      c2: port thProducer.pProdStartTimer -> thProdTimer.pStartTimer;
+      c3: port thProducer.pProdStopTimer -> thProdTimer.pStopTimer;
+      c4: port thProdTimer.pTimeOut -> thProducer.pProdTimeOut;
+      c5: port thProdTimer.pTimeOut -> pProdTimeOutE;
+      c6: port thConsumer.pConsStartTimer -> thConsTimer.pStartTimer;
+      c7: port thConsumer.pConsStopTimer -> thConsTimer.pStopTimer;
+      c8: port thConsTimer.pTimeOut -> thConsumer.pConsTimeOut;
+      c9: port thConsTimer.pTimeOut -> pConsTimeOutE;
+      c10: port thConsumer.pConsOut -> pConsData;
+      a0: data access Queue -> thProducer.reqQueue;
+      a1: data access Queue -> thConsumer.reqQueue;
+  end prProdCons.impl;
+
+  processor Processor1
+  end Processor1;
+
+  processor implementation Processor1.impl
+  end Processor1.impl;
+
+  -- Models the environment (Sec. II)
+  system sysEnv
+    features
+      pGo: out event port;
+  end sysEnv;
+
+  system implementation sysEnv.impl
+  end sysEnv.impl;
+
+  -- Informed when a timeout occurred on production or consumption
+  system sysOperatorDisplay
+    features
+      pProdAlarm: in event port;
+      pConsAlarm: in event port;
+      pData: in event data port Base_Types::Integer;
+  end sysOperatorDisplay;
+
+  system implementation sysOperatorDisplay.impl
+  end sysOperatorDisplay.impl;
+
+  system ProdConsSys
+  end ProdConsSys;
+
+  system implementation ProdConsSys.impl
+    subcomponents
+      env: system sysEnv.impl;
+      display: system sysOperatorDisplay.impl;
+      prProdCons: process prProdCons.impl;
+      Processor1: processor Processor1.impl;
+    connections
+      s0: port env.pGo -> prProdCons.pProdStart;
+      s1: port env.pGo -> prProdCons.pConsStart;
+      s2: port prProdCons.pProdTimeOutE -> display.pProdAlarm;
+      s3: port prProdCons.pConsTimeOutE -> display.pConsAlarm;
+      s4: port prProdCons.pConsData -> display.pData;
+    properties
+      Actual_Processor_Binding => reference (Processor1) applies to prProdCons;
+  end ProdConsSys.impl;
+
+end ProducerConsumer;
+|aadl}
+
+let root = "ProdConsSys.impl"
+
+let package =
+  let memo = lazy (
+    match Aadl.Parser.parse_package aadl_source with
+    | Ok pkg -> pkg
+    | Error m -> failwith ("case study does not parse: " ^ m))
+  in
+  fun () -> Lazy.force memo
+
+let instance =
+  let memo = lazy (
+    match Aadl.Instance.instantiate (package ()) ~root with
+    | Ok t -> t
+    | Error m -> failwith ("case study does not instantiate: " ^ m))
+  in
+  fun () -> Lazy.force memo
+
+(* --------------------------- behaviours --------------------------- *)
+
+(* Producer: writes the job counter to the shared Queue; arms its
+   timer every job ([arm_every_job]) or only at job 1; sends the stop
+   event each job unless [never_stop]. *)
+let producer_behavior ~arm_every_job ~never_stop
+    ~(start_port : string) ~(stop_port : string) ~(access : string)
+    (ctx : Trans.Behavior.ctx) =
+  let cnt_stmts, n = Trans.Behavior.job_counter ctx in
+  let arm_cond = if arm_every_job then B.(n > i 0) else B.(n = i 1) in
+  cnt_stmts
+  @ B.[ ctx.Trans.Behavior.write_signal access := n;
+        ctx.Trans.Behavior.out_item start_port := when_ n arm_cond ]
+  @ (if never_stop then
+       (* the stop item never carries a value *)
+       B.[ ctx.Trans.Behavior.out_item stop_port := when_ n (b false) ]
+     else B.[ ctx.Trans.Behavior.out_item stop_port := n ])
+
+(* Consumer: pops the shared Queue each job, forwards the value to its
+   out data port, and manages its timer like the producer. *)
+let consumer_behavior ~arm_every_job ~never_stop (ctx : Trans.Behavior.ctx) =
+  let cnt_stmts, n = Trans.Behavior.job_counter ctx in
+  let arm_cond = if arm_every_job then B.(n > i 0) else B.(n = i 1) in
+  cnt_stmts
+  @ B.[ ctx.Trans.Behavior.pop_signal "reqQueue"
+        := clk ctx.Trans.Behavior.start_event;
+        ctx.Trans.Behavior.out_item "pConsOut"
+        := ctx.Trans.Behavior.read_value "reqQueue";
+        ctx.Trans.Behavior.out_item "pConsStartTimer" := when_ n arm_cond ]
+  @ (if never_stop then
+       B.[ ctx.Trans.Behavior.out_item "pConsStopTimer" := when_ n (b false) ]
+     else B.[ ctx.Trans.Behavior.out_item "pConsStopTimer" := n ])
+
+(* Timer service: counts its own dispatches while armed; arms on any
+   frozen pStartTimer item, disarms on pStopTimer; emits pTimeOut when
+   the count reaches Timer_Duration. *)
+let timer_behavior (ctx : Trans.Behavior.ctx) =
+  let duration =
+    match Aadl.Props.find "Timer_Duration" ctx.Trans.Behavior.props with
+    | Some (Aadl.Syntax.Pint (n, None)) -> n
+    | _ -> 2
+  in
+  let timeout = ctx.Trans.Behavior.fresh_local Signal_lang.Types.Tevent in
+  let arm = B.(on (ctx.Trans.Behavior.frozen_count "pStartTimer" > i 0)) in
+  let disarm = B.(on (ctx.Trans.Behavior.frozen_count "pStopTimer" > i 0)) in
+  B.[ Signal_lang.Ast.Sinstance
+        { inst_label = "service";
+          inst_proc = "timer";
+          inst_ins = [ arm; disarm; ctx.Trans.Behavior.start_event ];
+          inst_outs = [ timeout ];
+          inst_params = [ Signal_lang.Types.Vint duration ] };
+      ctx.Trans.Behavior.out_item "pTimeOut" := when_ (i 1) (v timeout) ]
+
+let registry_of ~arm_every_job ~never_stop : Trans.Behavior.registry =
+  [ ("thProducer",
+     producer_behavior ~arm_every_job ~never_stop
+       ~start_port:"pProdStartTimer" ~stop_port:"pProdStopTimer"
+       ~access:"reqQueue");
+    ("thConsumer", consumer_behavior ~arm_every_job ~never_stop);
+    ("thTimer", timer_behavior) ]
+
+let registry_nominal = registry_of ~arm_every_job:true ~never_stop:false
+let registry_timeout = registry_of ~arm_every_job:false ~never_stop:true
+
+let thread_periods_us =
+  [ ("thProducer", 4_000); ("thConsumer", 6_000); ("thProdTimer", 8_000);
+    ("thConsTimer", 8_000) ]

@@ -1,0 +1,37 @@
+(** The ProducerConsumer avionic case study (C-S Toulouse / OPEES),
+    reconstructed from the paper's Sec. II and V.
+
+    Threads and periods follow the paper: thProducer 4 ms, thConsumer
+    6 ms, thProdTimer and thConsTimer 8 ms (instances of a common
+    timer-service thread). The producer and consumer exchange data
+    through the shared [Queue]; each owns a timer that raises
+    [pTimeOut] toward the operator display when production/consumption
+    takes too long. *)
+
+val aadl_source : string
+(** The full AADL package text (also available as
+    [examples/producer_consumer.aadl]). *)
+
+val root : string
+(** Name of the root system implementation, ["ProdConsSys.impl"]. *)
+
+val package : unit -> Aadl.Syntax.package
+(** Parsed package (memoized). @raise Failure on a parse error, which
+    would be a bug. *)
+
+val instance : unit -> Aadl.Instance.t
+(** Instantiated system (memoized). *)
+
+val registry_nominal : Trans.Behavior.registry
+(** Production behaviour: the producer/consumer (re)arm their timer at
+    every job and stop it in the same job — timers never expire, no
+    alarm is raised. *)
+
+val registry_timeout : Trans.Behavior.registry
+(** Fault-injection behaviour: the producer and consumer arm their
+    timers once and never stop them, so both timers expire after
+    [Timer_Duration] timer dispatches and [pTimeOut] events reach the
+    operator display — the scenario the timers exist for. *)
+
+val thread_periods_us : (string * int) list
+(** Thread base names with their paper periods, in µs. *)

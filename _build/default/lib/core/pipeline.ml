@@ -1,0 +1,224 @@
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+module K = Signal_lang.Kernel
+
+type analyzed = {
+  package : Aadl.Syntax.package;
+  aadl_issues : Aadl.Check.issue list;
+  instance : Aadl.Instance.t;
+  translation : Trans.System_trans.output;
+  kernel : K.kprocess;
+  calc : Clocks.Calculus.t;
+  hierarchy : Clocks.Hierarchy.t;
+  determinism : Analysis.Determinism.report;
+  deadlock : Analysis.Deadlock.report;
+  typecheck_errors : Signal_lang.Typecheck.error list;
+}
+
+let ( let* ) = Result.bind
+
+let default_root pkgs =
+  let impls =
+    List.concat_map
+      (fun pkg ->
+        List.filter_map
+          (function
+            | Aadl.Syntax.Dimpl ci
+              when ci.Aadl.Syntax.ci_category = Aadl.Syntax.System ->
+              Some (pkg, ci.Aadl.Syntax.ci_name)
+            | Aadl.Syntax.Dimpl _ | Aadl.Syntax.Dtype _ -> None)
+          pkg.Aadl.Syntax.pkg_decls)
+      pkgs
+  in
+  (* prefer an implementation that is not a subcomponent of another *)
+  let used_as_sub name =
+    List.exists
+      (fun pkg ->
+        List.exists
+          (function
+            | Aadl.Syntax.Dimpl ci ->
+              List.exists
+                (fun sc -> sc.Aadl.Syntax.sc_classifier = Some name)
+                ci.Aadl.Syntax.ci_subcomponents
+            | Aadl.Syntax.Dtype _ -> false)
+          pkg.Aadl.Syntax.pkg_decls)
+      pkgs
+  in
+  match List.filter (fun (_, n) -> not (used_as_sub n)) impls with
+  | [ one ] -> Ok one
+  | [] -> (
+    match impls with
+    | [ one ] -> Ok one
+    | _ -> Error "cannot determine a root system implementation")
+  | _ :: _ :: _ ->
+    Error "several candidate root systems; pass ~root explicitly"
+
+let analyze_package ?(registry = []) ?policy ?(context = []) ~root pkg =
+  let aadl_issues =
+    List.concat_map Aadl.Check.check_package (pkg :: context)
+  in
+  match Aadl.Check.errors aadl_issues with
+  | _ :: _ as errs ->
+    Error
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Aadl.Check.pp_issue) errs))
+  | [] ->
+    let* instance = Aadl.Instance.instantiate ~context pkg ~root in
+    let* translation =
+      Trans.System_trans.translate ~registry ?policy instance
+    in
+    let typecheck_errors =
+      Signal_lang.Typecheck.check_program translation.Trans.System_trans.program
+    in
+    let* kernel =
+      Signal_lang.Normalize.process
+        ~program:translation.Trans.System_trans.program
+        translation.Trans.System_trans.top
+    in
+    let calc = Clocks.Calculus.analyze kernel in
+    let hierarchy = Clocks.Hierarchy.build calc in
+    let determinism = Analysis.Determinism.analyze calc kernel in
+    let deadlock = Analysis.Deadlock.analyze ~calc kernel in
+    Ok
+      { package = pkg; aadl_issues; instance; translation; kernel; calc;
+        hierarchy; determinism; deadlock; typecheck_errors }
+
+let analyze ?registry ?policy ?root src =
+  let* pkgs = Aadl.Parser.parse_packages src in
+  let* pkg, root =
+    match root with
+    | Some r -> (
+      (* find the package defining the root *)
+      let tname = Aadl.Syntax.impl_base_name r in
+      match
+        List.find_opt
+          (fun p -> Aadl.Syntax.find_type p tname <> None)
+          pkgs
+      with
+      | Some p -> Ok (p, r)
+      | None -> (
+        match pkgs with
+        | p :: _ -> Ok (p, r)
+        | [] -> Error "no package"))
+    | None -> default_root pkgs
+  in
+  let context = List.filter (fun p -> p != pkg) pkgs in
+  analyze_package ?registry ?policy ~context ~root pkg
+
+(* Schedulers on different processors may use different base ticks;
+   simulation advances on their gcd and pulses each processor's tick at
+   its own cadence. *)
+let global_base_us a =
+  match a.translation.Trans.System_trans.schedules with
+  | [] -> 1
+  | scheds ->
+    let g =
+      Putil.Mathx.gcd_list
+        (List.map (fun (_, s) -> s.Sched.Static_sched.base_us) scheds)
+    in
+    max 1 g
+
+let global_hyper_us a =
+  match a.translation.Trans.System_trans.schedules with
+  | [] -> 1
+  | scheds ->
+    Putil.Mathx.lcm_list
+      (List.map (fun (_, s) -> s.Sched.Static_sched.hyperperiod_us) scheds)
+
+let base_ticks_per_hyperperiod a = global_hyper_us a / global_base_us a
+
+let default_env a t =
+  if t = 0 then
+    List.map
+      (fun n -> (n, 1))
+      a.translation.Trans.System_trans.env_inputs
+  else []
+
+let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
+  let env = Option.value ~default:(default_env a) env in
+  let horizon = base_ticks_per_hyperperiod a * hyperperiods in
+  let gbase = global_base_us a in
+  (* tick inputs are generated in schedule order; pulse each at its
+     processor's base cadence *)
+  let ticks =
+    List.map2
+      (fun tk (_, s) -> (tk, s.Sched.Static_sched.base_us / gbase))
+      a.translation.Trans.System_trans.tick_inputs
+      a.translation.Trans.System_trans.schedules
+  in
+  let stimulus_at t =
+    List.filter_map
+      (fun (tk, every) ->
+        if t mod every = 0 then Some (tk, Types.Vevent) else None)
+      ticks
+    @ List.map (fun (n, v) -> (n, Types.Vint v)) (env t)
+  in
+  let run step trace =
+    let rec go t =
+      if t >= horizon then Ok (trace ())
+      else
+        match step ~stimulus:(stimulus_at t) with
+        | Ok _ -> go (t + 1)
+        | Error m -> Error (Printf.sprintf "instant %d: %s" t m)
+    in
+    go 0
+  in
+  if compiled then
+    match Polysim.Compile.compile a.kernel with
+    | Error m -> Error ("compile: " ^ m)
+    | Ok c ->
+      run (fun ~stimulus -> Polysim.Compile.step c ~stimulus)
+        (fun () -> Polysim.Compile.trace c)
+  else
+    let engine = Polysim.Engine.create a.kernel in
+    run (fun ~stimulus -> Polysim.Engine.step engine ~stimulus)
+      (fun () -> Polysim.Engine.trace engine)
+
+let vcd_of_trace ?signals a tr =
+  let module_name = a.translation.Trans.System_trans.top.Ast.proc_name in
+  Polysim.Vcd.to_string ?signals ~module_name tr
+
+let pp_summary ppf a =
+  Format.fprintf ppf "@[<v>== AADL legality ==@,";
+  (match a.aadl_issues with
+   | [] -> Format.fprintf ppf "no issues@,"
+   | issues ->
+     List.iter
+       (fun i -> Format.fprintf ppf "%a@," Aadl.Check.pp_issue i)
+       issues);
+  Format.fprintf ppf "@,== schedules ==@,";
+  List.iter
+    (fun (cpu, s) ->
+      Format.fprintf ppf "processor %s:@,%a@," cpu
+        Sched.Static_sched.pp_schedule s)
+    a.translation.Trans.System_trans.schedules;
+  Format.fprintf ppf "@,== clock calculus ==@,%a@," Clocks.Calculus.pp_summary
+    a.calc;
+  Format.fprintf ppf "clock hierarchy roots: %d, depth: %d@,"
+    (List.length (Clocks.Hierarchy.roots a.hierarchy))
+    (Clocks.Hierarchy.depth a.hierarchy);
+  Format.fprintf ppf "@,== determinism ==@,%a@,"
+    Analysis.Determinism.pp_report a.determinism;
+  Format.fprintf ppf "@,== deadlock ==@,%a@," Analysis.Deadlock.pp_report
+    a.deadlock;
+  (match Polysim.Compile.compile a.kernel with
+   | Ok c ->
+     let free = Polysim.Compile.free_classes c in
+     if free = 0 then
+       Format.fprintf ppf
+         "@,endochrony: every clock is derivable — the program runs on \
+          its synthesized tick@,"
+     else
+       Format.fprintf ppf
+         "@,endochrony: %d free synchronization class(es): %s@," free
+         (String.concat ", " (Polysim.Compile.free_class_members c))
+   | Error m -> Format.fprintf ppf "@,not compilable: %s@," m);
+  (match a.typecheck_errors with
+   | [] -> Format.fprintf ppf "@,SIGNAL program is well-typed@,"
+   | errs ->
+     Format.fprintf ppf "@,SIGNAL type errors:@,";
+     List.iter
+       (fun e ->
+         Format.fprintf ppf "  %s@," (Signal_lang.Typecheck.error_to_string e))
+       errs);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/polysim/compile.ml: Analysis Array Buffer Clocks Eval Format Hashtbl List Marshal Printf Queue Signal_lang String Trace

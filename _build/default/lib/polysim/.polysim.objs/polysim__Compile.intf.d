@@ -1,0 +1,1 @@
+lib/polysim/compile.mli: Signal_lang Trace

@@ -1,0 +1,1 @@
+lib/polysim/engine.ml: Analysis Eval Format Hashtbl List Option Printf Queue Signal_lang String Trace

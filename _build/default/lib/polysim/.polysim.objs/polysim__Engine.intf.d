@@ -1,0 +1,1 @@
+lib/polysim/engine.mli: Signal_lang Trace

@@ -1,0 +1,1 @@
+lib/polysim/eval.ml: Format Signal_lang String

@@ -1,0 +1,1 @@
+lib/polysim/eval.mli: Signal_lang

@@ -1,0 +1,1 @@
+lib/polysim/explore.ml: Compile Hashtbl List Signal_lang

@@ -1,0 +1,1 @@
+lib/polysim/explore.mli: Signal_lang

@@ -1,0 +1,1 @@
+lib/polysim/trace.ml: Array Format Hashtbl List Option Printf Signal_lang String

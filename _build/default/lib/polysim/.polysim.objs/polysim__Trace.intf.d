@@ -1,0 +1,1 @@
+lib/polysim/trace.mli: Format Signal_lang

@@ -1,0 +1,1 @@
+lib/polysim/vcd.ml: Buffer Char Fun Hashtbl List Option Printf Signal_lang String Trace

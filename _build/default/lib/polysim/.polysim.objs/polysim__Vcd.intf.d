@@ -1,0 +1,1 @@
+lib/polysim/vcd.mli: Signal_lang Trace

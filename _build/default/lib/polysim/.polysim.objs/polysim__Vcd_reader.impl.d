@@ -1,0 +1,1 @@
+lib/polysim/vcd_reader.ml: List Option Signal_lang String

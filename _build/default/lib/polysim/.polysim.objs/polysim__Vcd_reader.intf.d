@@ -1,0 +1,1 @@
+lib/polysim/vcd_reader.mli: Signal_lang

@@ -1,0 +1,880 @@
+module K = Signal_lang.Kernel
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+module Stdproc = Signal_lang.Stdproc
+module Calc = Clocks.Calculus
+module Bdd = Clocks.Bdd
+
+exception Comp_error of string
+
+let errf fmt = Format.kasprintf (fun m -> raise (Comp_error m)) fmt
+
+(* compiled atom *)
+type atomc =
+  | Cvar of int
+  | Cconst of Types.value
+
+(* how a signal's value is produced *)
+type vdef =
+  | Dnone                          (* input: value comes from the stimulus *)
+  | Dfunc of K.prim * atomc array
+  | Ddelay                         (* read the delay state *)
+  | Dwhen of atomc                 (* value of the source when present *)
+  | Ddefault of atomc * atomc
+  | Dprim of int * int             (* primitive index, output position *)
+
+(* how a class's presence is decided *)
+type pdef =
+  | Pinput of int list             (* input signal indices in the class *)
+  | Pprim of int * int             (* primitive index, output position *)
+  | Pderived                       (* evaluate the clock function *)
+  | Pfree                          (* default to absent *)
+
+type op =
+  | Opres of int
+  | Oval of int
+
+type overflow_policy = Drop_oldest | Drop_newest | Overflow_error
+
+type prim_st = {
+  ki : K.kinstance;
+  ins : int array;                 (* signal indices *)
+  outs : int array;
+  queue : Types.value Queue.t;
+  capacity : int;
+  policy : overflow_policy;
+  mutable overflows : int;
+}
+
+type t = {
+  kp : K.kprocess;
+  calc : Calc.t;
+  names : string array;
+  idx : (string, int) Hashtbl.t;
+  class_of : int array;
+  nclasses : int;
+  nsignals : int;
+  is_input : bool array;
+  vdefs : vdef array;
+  pdefs : pdef array;
+  clock_bdd : Bdd.t array;         (* per class *)
+  plan : op array;
+  prims : prim_st array;
+  delay_src : int array;           (* per signal: src idx of its delay, -1 *)
+  (* runtime state *)
+  dstate : Types.value array;      (* delay state per destination signal *)
+  pres : bool array;               (* per class, this instant *)
+  vals : Types.value option array; (* per signal, this instant *)
+  stim_present : bool array;       (* per signal, this instant *)
+  tr : Trace.t;
+  mutable instants : int;
+  mutable recording : bool;
+  n_free : int;                    (* statically free classes *)
+}
+
+let capacity_of ki =
+  match ki.K.ki_params with
+  | Types.Vint n :: _ when n > 0 -> n
+  | _ -> 16
+
+let overflow_of ki =
+  match ki.K.ki_params with
+  | [ _; Types.Vstring s ] -> (
+    match String.lowercase_ascii s with
+    | "dropnewest" -> Drop_newest
+    | "error" -> Overflow_error
+    | _ -> Drop_oldest)
+  | _ -> Drop_oldest
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile kp =
+  try
+    let calc = Calc.analyze kp in
+    if not (Calc.consistent calc) then
+      errf "clock constraint system is unsatisfiable";
+    let decls = K.signals kp in
+    let nsignals = List.length decls in
+    let names = Array.make (max nsignals 1) "" in
+    let idx = Hashtbl.create nsignals in
+    List.iteri
+      (fun i vd ->
+        names.(i) <- vd.Ast.var_name;
+        Hashtbl.replace idx vd.Ast.var_name i)
+      decls;
+    let index x =
+      match Hashtbl.find_opt idx x with
+      | Some i -> i
+      | None -> errf "undeclared signal %s" x
+    in
+    let class_of = Array.init nsignals (fun i -> Calc.class_id_of calc names.(i)) in
+    let nclasses = Calc.class_count calc in
+    let clock_bdd =
+      Array.init nclasses (fun c -> Calc.clock_of_class_id calc c)
+    in
+    let is_input = Array.make nsignals false in
+    List.iter (fun vd -> is_input.(index vd.Ast.var_name) <- true) kp.K.kinputs;
+    let atomc = function
+      | K.Avar x -> Cvar (index x)
+      | K.Aconst v -> Cconst v
+    in
+    (* primitives *)
+    let prims =
+      Array.of_list
+        (List.map
+           (fun ki ->
+             { ki;
+               ins = Array.of_list (List.map index ki.K.ki_ins);
+               outs = Array.of_list (List.map index ki.K.ki_outs);
+               queue = Queue.create ();
+               capacity = capacity_of ki;
+               policy = overflow_of ki;
+               overflows = 0 })
+           kp.K.kinstances)
+    in
+    (* value definitions *)
+    let vdefs = Array.make nsignals Dnone in
+    let delay_src = Array.make nsignals (-1) in
+    List.iter
+      (fun eq ->
+        match eq with
+        | K.Kfunc { dst; op; args } ->
+          vdefs.(index dst) <- Dfunc (op, Array.of_list (List.map atomc args))
+        | K.Kdelay { dst; src; _ } ->
+          vdefs.(index dst) <- Ddelay;
+          delay_src.(index dst) <- index src
+        | K.Kwhen { dst; src; _ } -> vdefs.(index dst) <- Dwhen (atomc src)
+        | K.Kdefault { dst; left; right } ->
+          vdefs.(index dst) <- Ddefault (atomc left, atomc right))
+      kp.K.keqs;
+    Array.iteri
+      (fun pi p ->
+        Array.iteri (fun pos out -> vdefs.(out) <- Dprim (pi, pos)) p.outs)
+      prims;
+    (* presence sources per class *)
+    let pdefs = Array.make nclasses Pfree in
+    let mgr = Calc.manager calc in
+    let self_free = Array.make nclasses false in
+    for c = 0 to nclasses - 1 do
+      let support = Bdd.support mgr clock_bdd.(c) in
+      let refers_self =
+        List.exists
+          (fun v ->
+            match Calc.var_kind calc v with
+            | Some (`Present c') -> c' = c
+            | _ -> false)
+          support
+      in
+      self_free.(c) <- refers_self;
+      pdefs.(c) <- (if refers_self then Pfree else Pderived)
+    done;
+    (* stateful primitive outputs override *)
+    let stateful_outs p =
+      match p.ki.K.ki_prim with
+      | Stdproc.Pfifo | Stdproc.Pfifo_reset -> [ 0 ]       (* data *)
+      | Stdproc.Pin_event_port -> [ 0 ]                     (* frozen *)
+      | Stdproc.Pout_event_port -> [ 0 ]                    (* sent *)
+    in
+    Array.iteri
+      (fun pi p ->
+        List.iter
+          (fun pos -> pdefs.(class_of.(p.outs.(pos))) <- Pprim (pi, pos))
+          (stateful_outs p))
+      prims;
+    (* input classes *)
+    for i = 0 to nsignals - 1 do
+      if is_input.(i) then begin
+        let c = class_of.(i) in
+        match pdefs.(c) with
+        | Pinput members -> pdefs.(c) <- Pinput (i :: members)
+        | Pfree -> pdefs.(c) <- Pinput [ i ]
+        | Pderived ->
+          (* an input whose presence is derived from other clocks: we
+             trust the derivation and check the stimulus against it *)
+          pdefs.(c) <- Pinput [ i ]
+        | Pprim _ ->
+          errf "input %s is synchronized with a FIFO-driven clock"
+            names.(i)
+      end
+    done;
+    let n_free =
+      Array.fold_left
+        (fun acc p -> match p with Pfree -> acc + 1 | _ -> acc)
+        0 pdefs
+    in
+    (* dependency graph over presence/value nodes *)
+    let g = Analysis.Digraph.create () in
+    let pnode c = "P" ^ string_of_int c in
+    let vnode i = "V" ^ string_of_int i in
+    for c = 0 to nclasses - 1 do
+      Analysis.Digraph.add_vertex g (pnode c)
+    done;
+    for i = 0 to nsignals - 1 do
+      Analysis.Digraph.add_vertex g (vnode i);
+      (* a value needs its class presence *)
+      Analysis.Digraph.add_edge g (pnode class_of.(i)) (vnode i)
+    done;
+    for c = 0 to nclasses - 1 do
+      match pdefs.(c) with
+      | Pfree -> ()
+      | Pinput _ -> ()
+      | Pprim (pi, _) ->
+        Array.iter
+          (fun i -> Analysis.Digraph.add_edge g (pnode class_of.(i)) (pnode c))
+          prims.(pi).ins
+      | Pderived ->
+        List.iter
+          (fun v ->
+            match Calc.var_kind calc v with
+            | Some (`Present c') ->
+              if c' <> c then Analysis.Digraph.add_edge g (pnode c') (pnode c)
+            | Some (`Cond b) ->
+              let bi = index b in
+              Analysis.Digraph.add_edge g (vnode bi) (pnode c);
+              Analysis.Digraph.add_edge g (pnode class_of.(bi)) (pnode c)
+            | Some (`CondEq (x, _)) ->
+              let xi = index x in
+              Analysis.Digraph.add_edge g (vnode xi) (pnode c);
+              Analysis.Digraph.add_edge g (pnode class_of.(xi)) (pnode c)
+            | None -> ())
+          (Bdd.support mgr clock_bdd.(c))
+    done;
+    let dep_atom dst = function
+      | Cvar y -> Analysis.Digraph.add_edge g (vnode y) (vnode dst)
+      | Cconst _ -> ()
+    in
+    for i = 0 to nsignals - 1 do
+      match vdefs.(i) with
+      | Dnone | Ddelay -> ()
+      | Dfunc (_, args) -> Array.iter (dep_atom i) args
+      | Dwhen src -> dep_atom i src
+      | Ddefault (l, r) ->
+        dep_atom i l;
+        dep_atom i r;
+        (match l with
+         | Cvar y ->
+           Analysis.Digraph.add_edge g (pnode class_of.(y)) (vnode i)
+         | Cconst _ -> ());
+        (match r with
+         | Cvar y ->
+           Analysis.Digraph.add_edge g (pnode class_of.(y)) (vnode i)
+         | Cconst _ -> ())
+      | Dprim (pi, _) ->
+        Array.iter
+          (fun j ->
+            Analysis.Digraph.add_edge g (vnode j) (vnode i);
+            Analysis.Digraph.add_edge g (pnode class_of.(j)) (vnode i))
+          prims.(pi).ins
+    done;
+    let order =
+      match Analysis.Digraph.topological_sort g with
+      | Ok order -> order
+      | Error cycle ->
+        errf "causality cycle prevents compilation: %s"
+          (String.concat " -> " cycle)
+    in
+    let plan =
+      Array.of_list
+        (List.map
+           (fun node ->
+             let k = int_of_string (String.sub node 1 (String.length node - 1)) in
+             if node.[0] = 'P' then Opres k else Oval k)
+           order)
+    in
+    let dstate = Array.make (max nsignals 1) (Types.Vint 0) in
+    List.iter
+      (fun eq ->
+        match eq with
+        | K.Kdelay { dst; init; _ } -> dstate.(index dst) <- init
+        | K.Kfunc _ | K.Kwhen _ | K.Kdefault _ -> ())
+      kp.K.keqs;
+    Ok
+      { kp; calc; names; idx; class_of; nclasses; nsignals; is_input;
+        vdefs; pdefs; clock_bdd; plan; prims; delay_src; dstate;
+        pres = Array.make (max nclasses 1) false;
+        vals = Array.make (max nsignals 1) None;
+        stim_present = Array.make (max nsignals 1) false;
+        tr = Trace.create decls;
+        instants = 0;
+        recording = true;
+        n_free }
+  with
+  | Comp_error m -> Error m
+  | Invalid_argument m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_of st i =
+  match st.vals.(i) with
+  | Some v -> v
+  | None -> errf "instant %d: signal %s used before being computed"
+              st.instants st.names.(i)
+
+let atom_value st = function
+  | Cconst v -> v
+  | Cvar y -> value_of st y
+
+(* primitive output presence/value from state + input facts *)
+let prim_presence st p pos =
+  let pres_in k = st.pres.(st.class_of.(p.ins.(k))) in
+  match p.ki.K.ki_prim with
+  | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
+    (* data: pop present and an item available *)
+    let has_reset = Array.length p.ins = 3 in
+    let reset_p = has_reset && pres_in 2 in
+    let push_p = pres_in 0 and pop_p = pres_in 1 in
+    let qlen0 = if reset_p then 0 else Queue.length p.queue in
+    (match pos with
+     | 0 -> pop_p && qlen0 + (if push_p then 1 else 0) > 0
+     | _ -> assert false)
+  | Stdproc.Pin_event_port -> (
+    let ft_p = pres_in 1 in
+    match pos with
+    | 0 -> ft_p && not (Queue.is_empty p.queue)
+    | _ -> assert false)
+  | Stdproc.Pout_event_port -> (
+    let item_p = pres_in 0 and ot_p = pres_in 1 in
+    match pos with
+    | 0 -> ot_p && (item_p || not (Queue.is_empty p.queue))
+    | _ -> assert false)
+
+let prim_value st p pos =
+  let pres_in k = st.pres.(st.class_of.(p.ins.(k))) in
+  let val_in k = value_of st p.ins.(k) in
+  match p.ki.K.ki_prim with
+  | Stdproc.Pfifo | Stdproc.Pfifo_reset -> (
+    let has_reset = Array.length p.ins = 3 in
+    let reset_p = has_reset && pres_in 2 in
+    let push_p = pres_in 0 and pop_p = pres_in 1 in
+    let qlen0 = if reset_p then 0 else Queue.length p.queue in
+    match pos with
+    | 0 ->
+      (* data: oldest available item *)
+      if qlen0 > 0 then Queue.peek p.queue else val_in 0
+    | 1 ->
+      let n1 =
+        if push_p then min (qlen0 + 1) p.capacity else qlen0
+      in
+      Types.Vint (if pop_p && n1 > 0 then n1 - 1 else n1)
+    | _ -> assert false)
+  | Stdproc.Pin_event_port -> (
+    match pos with
+    | 0 -> Queue.peek p.queue
+    | 1 -> Types.Vint (Queue.length p.queue)
+    | _ -> assert false)
+  | Stdproc.Pout_event_port -> (
+    match pos with
+    | 0 -> if Queue.is_empty p.queue then value_of st p.ins.(0)
+           else Queue.peek p.queue
+    | _ -> assert false)
+
+let bdd_env st v =
+  match Calc.var_kind st.calc v with
+  | Some (`Present c) -> st.pres.(c)
+  | Some (`Cond b) -> (
+    let bi = Hashtbl.find st.idx b in
+    st.pres.(st.class_of.(bi))
+    &&
+    match st.vals.(bi) with
+    | Some value -> Eval.as_bool value
+    | None -> false)
+  | Some (`CondEq (x, k)) -> (
+    let xi = Hashtbl.find st.idx x in
+    st.pres.(st.class_of.(xi))
+    &&
+    match st.vals.(xi) with
+    | Some (Types.Vint n) -> n = k
+    | Some _ | None -> false)
+  | None -> false
+
+let exec_pres st c =
+  match st.pdefs.(c) with
+  | Pfree -> st.pres.(c) <- false
+  | Pinput members ->
+    let p = List.exists (fun i -> st.stim_present.(i)) members in
+    List.iter
+      (fun i ->
+        if st.stim_present.(i) <> p then
+          errf "instant %d: synchronous inputs %s disagree on presence"
+            st.instants st.names.(i))
+      members;
+    st.pres.(c) <- p
+  | Pprim (pi, pos) -> st.pres.(c) <- prim_presence st st.prims.(pi) pos
+  | Pderived ->
+    st.pres.(c) <-
+      Bdd.eval (Calc.manager st.calc) (bdd_env st) st.clock_bdd.(c)
+
+let exec_val st i =
+  if st.pres.(st.class_of.(i)) then
+    match st.vdefs.(i) with
+    | Dnone ->
+      if st.vals.(i) = None then
+        errf "instant %d: present signal %s has no value (missing input?)"
+          st.instants st.names.(i)
+    | Dfunc (op, args) ->
+      st.vals.(i) <-
+        Some (Eval.eval_func op (Array.to_list (Array.map (atom_value st) args)))
+    | Ddelay -> st.vals.(i) <- Some st.dstate.(i)
+    | Dwhen src -> st.vals.(i) <- Some (atom_value st src)
+    | Ddefault (l, r) ->
+      let branch =
+        match l with
+        | Cconst v -> v
+        | Cvar y ->
+          if st.pres.(st.class_of.(y)) then value_of st y
+          else (
+            match r with
+            | Cconst v -> v
+            | Cvar z ->
+              if st.pres.(st.class_of.(z)) then value_of st z
+              else
+                errf "instant %d: merge %s present with both branches absent"
+                  st.instants st.names.(i))
+      in
+      st.vals.(i) <- Some branch
+    | Dprim (pi, pos) ->
+      st.vals.(i) <- Some (prim_value st st.prims.(pi) pos)
+
+let push_bounded p v =
+  if Queue.length p.queue >= p.capacity then begin
+    p.overflows <- p.overflows + 1;
+    match p.policy with
+    | Drop_oldest ->
+      ignore (Queue.pop p.queue);
+      Queue.push v p.queue
+    | Drop_newest -> ()
+    | Overflow_error ->
+      errf "queue overflow on %s (Overflow_Handling_Protocol => Error)"
+        p.ki.K.ki_label
+  end
+  else Queue.push v p.queue
+
+let commit_prim st p =
+  let pres_in k = st.pres.(st.class_of.(p.ins.(k))) in
+  let val_in k = value_of st p.ins.(k) in
+  match p.ki.K.ki_prim with
+  | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
+    let has_reset = Array.length p.ins = 3 in
+    if has_reset && pres_in 2 then Queue.clear p.queue;
+    if pres_in 0 then push_bounded p (val_in 0);
+    if pres_in 1 && not (Queue.is_empty p.queue) then
+      ignore (Queue.pop p.queue)
+  | Stdproc.Pin_event_port ->
+    if pres_in 1 then Queue.clear p.queue;
+    (* NOTE: the engine moves in_fifo to frozen_fifo; since [frozen]
+       only ever exposes the head at Frozen_time, dropping the old
+       frozen content and re-freezing is equivalent observably; the
+       in_fifo is cleared after a freeze, matching Engine.commit. *)
+    if pres_in 0 then push_bounded p (val_in 0)
+  | Stdproc.Pout_event_port ->
+    if pres_in 0 then push_bounded p (val_in 0);
+    if pres_in 1 && not (Queue.is_empty p.queue) then
+      ignore (Queue.pop p.queue)
+  [@@warning "-27"]
+
+let step st ~stimulus =
+  try
+    Array.fill st.pres 0 (Array.length st.pres) false;
+    Array.fill st.vals 0 (Array.length st.vals) None;
+    Array.fill st.stim_present 0 (Array.length st.stim_present) false;
+    List.iter
+      (fun (x, v) ->
+        match Hashtbl.find_opt st.idx x with
+        | Some i when st.is_input.(i) ->
+          st.stim_present.(i) <- true;
+          st.vals.(i) <- Some v
+        | Some _ -> errf "stimulus for non-input signal %s" x
+        | None -> errf "stimulus for unknown signal %s" x)
+      stimulus;
+    Array.iter
+      (fun op ->
+        match op with
+        | Opres c -> exec_pres st c
+        | Oval i -> exec_val st i)
+      st.plan;
+    (* sanity: inputs marked present must be in present classes *)
+    for i = 0 to st.nsignals - 1 do
+      if st.stim_present.(i) && not (st.pres.(st.class_of.(i))) then
+        errf "instant %d: input %s present against its derived clock"
+          st.instants st.names.(i)
+    done;
+    let present = ref [] in
+    for i = st.nsignals - 1 downto 0 do
+      if st.pres.(st.class_of.(i)) then
+        match st.vals.(i) with
+        | Some v -> present := (st.names.(i), v) :: !present
+        | None ->
+          errf "instant %d: signal %s present without a value" st.instants
+            st.names.(i)
+    done;
+    (* commit *)
+    for i = 0 to st.nsignals - 1 do
+      let src = st.delay_src.(i) in
+      if src >= 0 && st.pres.(st.class_of.(src)) then
+        st.dstate.(i) <- value_of st src
+    done;
+    Array.iter (fun p -> commit_prim st p) st.prims;
+    if st.recording then Trace.push st.tr !present;
+    st.instants <- st.instants + 1;
+    Ok !present
+  with
+  | Comp_error m -> Error m
+  | Eval.Eval_error m -> Error (Printf.sprintf "instant %d: %s" st.instants m)
+
+let run kp ~stimuli =
+  match compile kp with
+  | Error m -> Error m
+  | Ok st ->
+    let rec go = function
+      | [] -> Ok st.tr
+      | stim :: rest -> (
+        match step st ~stimulus:stim with
+        | Ok _ -> go rest
+        | Error m -> Error m)
+    in
+    go stimuli
+
+let trace st = st.tr
+let instant st = st.instants
+
+type snapshot = {
+  s_dstate : Types.value array;
+  s_queues : Types.value list array;
+  s_instants : int;
+}
+
+let snapshot st =
+  { s_dstate = Array.copy st.dstate;
+    s_queues =
+      Array.map
+        (fun p -> List.of_seq (Queue.to_seq p.queue))
+        st.prims;
+    s_instants = st.instants }
+
+let restore st snap =
+  Array.blit snap.s_dstate 0 st.dstate 0 (Array.length st.dstate);
+  Array.iteri
+    (fun i p ->
+      Queue.clear p.queue;
+      List.iter (fun v -> Queue.push v p.queue) snap.s_queues.(i))
+    st.prims;
+  st.instants <- snap.s_instants
+
+let set_recording st b = st.recording <- b
+
+let state_digest st =
+  let queues =
+    Array.map (fun p -> List.of_seq (Queue.to_seq p.queue)) st.prims
+  in
+  Marshal.to_string (st.dstate, queues) []
+let plan_length st = Array.length st.plan
+let free_classes st = st.n_free
+
+let free_class_members st =
+  let acc = ref [] in
+  for i = st.nsignals - 1 downto 0 do
+    match st.pdefs.(st.class_of.(i)) with
+    | Pfree -> acc := st.names.(i) :: !acc
+    | Pinput _ | Pprim _ | Pderived -> ()
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* C code generation (the Polychrony back-end pillar, ref [15]):       *)
+(* compile the execution plan to a self-contained C program.           *)
+(* ------------------------------------------------------------------ *)
+
+let styp_of st i =
+  let name = st.names.(i) in
+  let rec find = function
+    | [] -> Types.Tint
+    | vd :: rest ->
+      if String.equal vd.Ast.var_name name then vd.Ast.var_type
+      else find rest
+  in
+  find (K.signals st.kp)
+
+let to_c ?(name = "signal_step") st =
+  let buf = Buffer.create 16384 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let is_real i = styp_of st i = Types.Treal in
+  (* reject string-typed signals: no C mapping *)
+  let has_string =
+    List.exists (fun vd -> vd.Ast.var_type = Types.Tstring) (K.signals st.kp)
+  in
+  if has_string then Error "string signals have no C mapping"
+  else begin
+    let v i = Printf.sprintf "v_%d" i in
+    let p c = Printf.sprintf "p_%d" c in
+    let inputs = Array.of_list st.kp.K.kinputs in
+    let input_index =
+      let h = Hashtbl.create 8 in
+      Array.iteri
+        (fun k vd -> Hashtbl.replace h (Hashtbl.find st.idx vd.Ast.var_name) k)
+        inputs;
+      h
+    in
+    pf "/* generated by polychrony-aadl from process %s */\n" st.kp.K.kname;
+    pf "#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\n\n";
+    pf "static long sdiv(long a, long b){ if(!b){fprintf(stderr,\"division by zero\\n\");exit(2);} return a/b; }\n";
+    pf "static long smod(long a, long b){ if(!b){fprintf(stderr,\"modulo by zero\\n\");exit(2);} return a%%b; }\n\n";
+    (* signal storage *)
+    for i = 0 to st.nsignals - 1 do
+      if is_real i then pf "static double %s; /* %s */\n" (v i) st.names.(i)
+      else pf "static long %s; /* %s */\n" (v i) st.names.(i)
+    done;
+    for c = 0 to st.nclasses - 1 do
+      pf "static int %s;\n" (p c)
+    done;
+    (* delay state *)
+    for i = 0 to st.nsignals - 1 do
+      if st.delay_src.(i) >= 0 then begin
+        match st.dstate.(i) with
+        | Types.Vreal r -> pf "static double d_%d = %.17g;\n" i r
+        | Types.Vint n -> pf "static long d_%d = %d;\n" i n
+        | Types.Vbool b -> pf "static long d_%d = %d;\n" i (if b then 1 else 0)
+        | Types.Vevent -> pf "static long d_%d = 1;\n" i
+        | Types.Vstring _ -> ()
+      end
+    done;
+    (* primitive queues *)
+    Array.iteri
+      (fun k pr ->
+        pf "static long q%d_buf[%d]; static int q%d_len = 0, q%d_head = 0;\n"
+          k pr.capacity k k)
+      st.prims;
+    pf "\nstatic void qpush(long*buf,int cap,int*len,int*head,int policy,long x){\n";
+    pf "  if(*len >= cap){\n";
+    pf "    if(policy==0){ buf[*head]= 0; *head=(*head+1)%%cap; (*len)--; }\n";
+    pf "    else if(policy==1){ return; }\n";
+    pf "    else { fprintf(stderr,\"queue overflow\\n\"); exit(3); }\n";
+    pf "  }\n";
+    pf "  buf[(*head + *len) %% cap] = x; (*len)++;\n}\n";
+    pf "static long qpeek(long*buf,int cap,int head){ (void)cap; return buf[head]; }\n";
+    pf "static void qpop(int cap,int*len,int*head){ if(*len>0){ *head=(*head+1)%%cap; (*len)--; } }\n\n";
+    (* input buffers *)
+    let ni = Array.length inputs in
+    pf "static int in_p[%d]; static double in_raw[%d];\n\n" (max ni 1) (max ni 1);
+    (* BDD compilation *)
+    let mgr = Calc.manager st.calc in
+    let rec bdd_expr b =
+      match Bdd.view mgr b with
+      | `Leaf true -> "1"
+      | `Leaf false -> "0"
+      | `Node (var, lo, hi) ->
+        let cond =
+          match Calc.var_kind st.calc var with
+          | Some (`Present c) -> p c
+          | Some (`Cond bsig) ->
+            let bi = Hashtbl.find st.idx bsig in
+            Printf.sprintf "(%s && %s)" (p st.class_of.(bi)) (v bi)
+          | Some (`CondEq (x, k)) ->
+            let xi = Hashtbl.find st.idx x in
+            Printf.sprintf "(%s && %s == %d)" (p st.class_of.(xi)) (v xi) k
+          | None -> "0"
+        in
+        Printf.sprintf "(%s ? %s : %s)" cond (bdd_expr hi) (bdd_expr lo)
+    in
+    let atom_expr = function
+      | Cvar y -> v y
+      | Cconst (Types.Vint n) -> string_of_int n
+      | Cconst (Types.Vbool b) -> if b then "1" else "0"
+      | Cconst Types.Vevent -> "1"
+      | Cconst (Types.Vreal r) -> Printf.sprintf "%.17g" r
+      | Cconst (Types.Vstring _) -> "0"
+    in
+    let prim_id pr st =
+      let rec go k = if st.prims.(k) == pr then k else go (k + 1) in
+      go 0
+    in
+    let prim_pres_expr pr pos =
+      let pin k = p st.class_of.(pr.ins.(k)) in
+      match pr.ki.K.ki_prim, pos with
+      | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 0 ->
+        let has_reset = Array.length pr.ins = 3 in
+        let k = prim_id pr st in
+        Printf.sprintf
+          "(%s && ((%s ? 0 : q%d_len) + (%s ? 1 : 0) > 0))"
+          (pin 1)
+          (if has_reset then pin 2 else "0")
+          k (pin 0)
+      | Stdproc.Pin_event_port, 0 ->
+        Printf.sprintf "(%s && q%d_len > 0)" (pin 1) (prim_id pr st)
+      | Stdproc.Pout_event_port, 0 ->
+        Printf.sprintf "(%s && (%s || q%d_len > 0))" (pin 1) (pin 0)
+          (prim_id pr st)
+      | _ -> "0"
+    in
+    let prim_val_expr pr pos =
+      let pin k = p st.class_of.(pr.ins.(k)) in
+      let vin k = v pr.ins.(k) in
+      let k = prim_id pr st in
+      match pr.ki.K.ki_prim, pos with
+      | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 0 ->
+        let has_reset = Array.length pr.ins = 3 in
+        Printf.sprintf
+          "(((%s ? 0 : q%d_len) > 0) ? qpeek(q%d_buf,%d,q%d_head) : %s)"
+          (if has_reset then pin 2 else "0")
+          k k pr.capacity k (vin 0)
+      | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 1 ->
+        let has_reset = Array.length pr.ins = 3 in
+        let n0 =
+          Printf.sprintf "(%s ? 0 : q%d_len)"
+            (if has_reset then pin 2 else "0") k
+        in
+        let n1 =
+          Printf.sprintf
+            "(%s ? ((%s + 1) < %d ? (%s + 1) : %d) : %s)"
+            (pin 0) n0 pr.capacity n0 pr.capacity n0
+        in
+        Printf.sprintf "((%s && %s > 0) ? %s - 1 : %s)" (pin 1) n1 n1 n1
+      | Stdproc.Pin_event_port, 0 ->
+        Printf.sprintf "qpeek(q%d_buf,%d,q%d_head)" k pr.capacity k
+      | Stdproc.Pin_event_port, 1 -> Printf.sprintf "(long)q%d_len" k
+      | Stdproc.Pout_event_port, 0 ->
+        Printf.sprintf "(q%d_len > 0 ? qpeek(q%d_buf,%d,q%d_head) : %s)"
+          k k pr.capacity k (vin 0)
+      | _ -> "0"
+    in
+    (* step function *)
+    pf "static void step(void){\n";
+    Array.iter
+      (fun op ->
+        match op with
+        | Opres c -> (
+          match st.pdefs.(c) with
+          | Pfree -> pf "  %s = 0;\n" (p c)
+          | Pinput members ->
+            let flags =
+              List.map
+                (fun i ->
+                  Printf.sprintf "in_p[%d]" (Hashtbl.find input_index i))
+                members
+            in
+            pf "  %s = %s;\n" (p c) (String.concat " || " flags)
+          | Pprim (pi, pos) ->
+            pf "  %s = %s;\n" (p c) (prim_pres_expr st.prims.(pi) pos)
+          | Pderived -> pf "  %s = %s;\n" (p c) (bdd_expr st.clock_bdd.(c)))
+        | Oval i ->
+          let guard = p st.class_of.(i) in
+          (match st.vdefs.(i) with
+           | Dnone ->
+             if st.is_input.(i) then begin
+               let k = Hashtbl.find input_index i in
+               if is_real i then
+                 pf "  if (%s) %s = in_raw[%d];\n" guard (v i) k
+               else pf "  if (%s) %s = (long)in_raw[%d];\n" guard (v i) k
+             end
+           | Dfunc (op, args) ->
+             let e =
+               match op, Array.to_list args with
+               | K.Pid, [ a ] -> atom_expr a
+               | K.Pclock, [ _ ] -> "1"
+               | K.Punop Ast.Not, [ a ] ->
+                 Printf.sprintf "(!%s)" (atom_expr a)
+               | K.Punop Ast.Neg, [ a ] ->
+                 Printf.sprintf "(-%s)" (atom_expr a)
+               | K.Pif, [ c0; t; f ] ->
+                 Printf.sprintf "(%s ? %s : %s)" (atom_expr c0) (atom_expr t)
+                   (atom_expr f)
+               | K.Pbinop bop, [ a; b ] ->
+                 let x = atom_expr a and y = atom_expr b in
+                 (match bop with
+                  | Ast.Add -> Printf.sprintf "(%s + %s)" x y
+                  | Ast.Sub -> Printf.sprintf "(%s - %s)" x y
+                  | Ast.Mul -> Printf.sprintf "(%s * %s)" x y
+                  | Ast.Div ->
+                    if is_real i then Printf.sprintf "(%s / %s)" x y
+                    else Printf.sprintf "sdiv(%s, %s)" x y
+                  | Ast.Mod -> Printf.sprintf "smod(%s, %s)" x y
+                  | Ast.And -> Printf.sprintf "(%s && %s)" x y
+                  | Ast.Or -> Printf.sprintf "(%s || %s)" x y
+                  | Ast.Xor -> Printf.sprintf "(!!%s != !!%s)" x y
+                  | Ast.Eq -> Printf.sprintf "(%s == %s)" x y
+                  | Ast.Neq -> Printf.sprintf "(%s != %s)" x y
+                  | Ast.Lt -> Printf.sprintf "(%s < %s)" x y
+                  | Ast.Le -> Printf.sprintf "(%s <= %s)" x y
+                  | Ast.Gt -> Printf.sprintf "(%s > %s)" x y
+                  | Ast.Ge -> Printf.sprintf "(%s >= %s)" x y)
+               | _, _ -> "0"
+             in
+             pf "  if (%s) %s = %s;\n" guard (v i) e
+           | Ddelay -> pf "  if (%s) %s = d_%d;\n" guard (v i) i
+           | Dwhen src -> pf "  if (%s) %s = %s;\n" guard (v i) (atom_expr src)
+           | Ddefault (l, r) ->
+             let rhs =
+               match l, r with
+               | Cconst _, _ -> atom_expr l
+               | Cvar y, Cconst _ ->
+                 Printf.sprintf "(%s ? %s : %s)" (p st.class_of.(y)) (v y)
+                   (atom_expr r)
+               | Cvar y, Cvar z ->
+                 Printf.sprintf "(%s ? %s : %s)" (p st.class_of.(y)) (v y)
+                   (v z)
+             in
+             pf "  if (%s) %s = %s;\n" guard (v i) rhs
+           | Dprim (pi, pos) ->
+             pf "  if (%s) %s = %s;\n" guard (v i)
+               (prim_val_expr st.prims.(pi) pos)))
+      st.plan;
+    (* commit: delays then queues *)
+    for i = 0 to st.nsignals - 1 do
+      let src = st.delay_src.(i) in
+      if src >= 0 then
+        pf "  if (%s) d_%d = %s;\n" (p st.class_of.(src)) i (v src)
+    done;
+    Array.iteri
+      (fun k pr ->
+        let pin j = p st.class_of.(pr.ins.(j)) in
+        let vin j = v pr.ins.(j) in
+        let policy =
+          match pr.policy with
+          | Drop_oldest -> 0
+          | Drop_newest -> 1
+          | Overflow_error -> 2
+        in
+        match pr.ki.K.ki_prim with
+        | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
+          if Array.length pr.ins = 3 then
+            pf "  if (%s) { q%d_len = 0; q%d_head = 0; }\n" (pin 2) k k;
+          pf "  if (%s) qpush(q%d_buf,%d,&q%d_len,&q%d_head,%d,(long)%s);\n"
+            (pin 0) k pr.capacity k k policy (vin 0);
+          pf "  if (%s) qpop(%d,&q%d_len,&q%d_head);\n" (pin 1) pr.capacity k k
+        | Stdproc.Pin_event_port ->
+          pf "  if (%s) { q%d_len = 0; q%d_head = 0; }\n" (pin 1) k k;
+          pf "  if (%s) qpush(q%d_buf,%d,&q%d_len,&q%d_head,%d,(long)%s);\n"
+            (pin 0) k pr.capacity k k policy (vin 0)
+        | Stdproc.Pout_event_port ->
+          pf "  if (%s) qpush(q%d_buf,%d,&q%d_len,&q%d_head,%d,(long)%s);\n"
+            (pin 0) k pr.capacity k k policy (vin 0);
+          pf "  if (%s) qpop(%d,&q%d_len,&q%d_head);\n" (pin 1) pr.capacity k k)
+      st.prims;
+    pf "}\n\n";
+    (* main: read stimuli lines, run, print present signals *)
+    pf "int main(void){\n";
+    pf "  char line[1 << 16];\n";
+    pf "  while (fgets(line, sizeof line, stdin)) {\n";
+    pf "    char *tok = strtok(line, \" \\t\\r\\n\");\n";
+    pf "    for (int k = 0; k < %d; k++) {\n" ni;
+    pf "      if (!tok || (tok[0]=='-' && tok[1]==0)) { in_p[k]=0; in_raw[k]=0; }\n";
+    pf "      else { in_p[k]=1; in_raw[k]=strtod(tok, 0); }\n";
+    pf "      if (tok) tok = strtok(0, \" \\t\\r\\n\");\n";
+    pf "    }\n";
+    pf "    step();\n";
+    for i = 0 to st.nsignals - 1 do
+      if is_real i then
+        pf "    if (%s) printf(\"%s=%%.17g \", %s);\n" (p st.class_of.(i))
+          st.names.(i) (v i)
+      else
+        pf "    if (%s) printf(\"%s=%%ld \", %s);\n" (p st.class_of.(i))
+          st.names.(i) (v i)
+    done;
+    pf "    printf(\"\\n\");\n";
+    pf "  }\n  return 0;\n}\n";
+    ignore name;
+    Ok (Buffer.contents buf)
+  end

@@ -1,0 +1,509 @@
+module K = Signal_lang.Kernel
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+module Stdproc = Signal_lang.Stdproc
+
+exception Sim_error of string
+
+let errf fmt = Format.kasprintf (fun m -> raise (Sim_error m)) fmt
+
+type presence = Unknown | Present | Absent
+
+type overflow_policy = Drop_oldest | Drop_newest | Overflow_error
+
+type prim_state = {
+  ki : K.kinstance;
+  queue : Types.value Queue.t;
+  frozen : Types.value Queue.t;   (* in_event_port only *)
+  capacity : int;
+  policy : overflow_policy;
+  mutable overflows : int;
+}
+
+type t = {
+  kp : K.kprocess;
+  types : (string, Types.styp) Hashtbl.t;
+  input_names : string list;
+  default_order : string list;
+      (* unknown-presence defaulting order: dataflow sources first, so
+         a defaulted sink never contradicts a later-resolved source *)
+  delay_state : (string, Types.value) Hashtbl.t;  (* keyed by dst *)
+  prims : prim_state list;
+  tr : Trace.t;
+  mutable instants : int;
+  mutable free : int;      (* defaulted-to-absent decisions *)
+  (* per-instant scratch, allocated once *)
+  pres : (string, presence) Hashtbl.t;
+  vals : (string, Types.value) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let capacity_of ki =
+  match ki.K.ki_params with
+  | Types.Vint n :: _ when n > 0 -> n
+  | _ -> 16
+
+let overflow_of ki =
+  match ki.K.ki_params with
+  | [ _; Types.Vstring s ] -> (
+    match String.lowercase_ascii s with
+    | "dropnewest" -> Drop_newest
+    | "error" -> Overflow_error
+    | _ -> Drop_oldest)
+  | _ -> Drop_oldest
+
+let create kp =
+  let types = Hashtbl.create 64 in
+  List.iter
+    (fun vd -> Hashtbl.replace types vd.Ast.var_name vd.Ast.var_type)
+    (K.signals kp);
+  let delay_state = Hashtbl.create 16 in
+  List.iter
+    (fun eq ->
+      match eq with
+      | K.Kdelay { dst; init; _ } -> Hashtbl.replace delay_state dst init
+      | K.Kfunc _ | K.Kwhen _ | K.Kdefault _ -> ())
+    kp.K.keqs;
+  let prims =
+    List.map
+      (fun ki ->
+        { ki; queue = Queue.create (); frozen = Queue.create ();
+          capacity = capacity_of ki; policy = overflow_of ki; overflows = 0 })
+      kp.K.kinstances
+  in
+  let default_order =
+    let declared = List.map (fun vd -> vd.Ast.var_name) (K.signals kp) in
+    match Analysis.Digraph.topological_sort (Analysis.Deadlock.dependency_graph kp) with
+    | Ok order ->
+      order @ List.filter (fun x -> not (List.mem x order)) declared
+    | Error _ -> declared
+  in
+  { kp; types;
+    input_names = List.map (fun vd -> vd.Ast.var_name) kp.K.kinputs;
+    default_order;
+    delay_state; prims;
+    tr = Trace.create (K.signals kp);
+    instants = 0; free = 0;
+    pres = Hashtbl.create 64; vals = Hashtbl.create 64; changed = false }
+
+(* ------------------------------------------------------------------ *)
+(* Fact tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let presence st x =
+  Option.value ~default:Unknown (Hashtbl.find_opt st.pres x)
+
+let set_presence st x p =
+  match presence st x, p with
+  | Unknown, (Present | Absent) ->
+    Hashtbl.replace st.pres x p;
+    st.changed <- true
+  | Present, Absent | Absent, Present ->
+    errf "instant %d: contradictory presence for signal %s" st.instants x
+  | _, _ -> ()
+
+let value_of st x = Hashtbl.find_opt st.vals x
+
+let set_value st x v =
+  match Hashtbl.find_opt st.vals x with
+  | None ->
+    Hashtbl.replace st.vals x v;
+    st.changed <- true
+  | Some v0 ->
+    if not (Types.equal_value v0 v) then
+      errf "instant %d: contradictory values for signal %s (%s vs %s)"
+        st.instants x (Types.value_to_string v0) (Types.value_to_string v)
+
+let atom_presence st = function
+  | K.Avar x -> presence st x
+  | K.Aconst _ -> Unknown  (* contextual; handled by the group rules *)
+
+let atom_value st = function
+  | K.Avar x -> value_of st x
+  | K.Aconst v -> Some v
+
+(* ------------------------------------------------------------------ *)
+(* Presence / value propagation rules                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Synchronous group: dst and all Avar args share a clock. *)
+let rule_sync_group st dst args =
+  let members = dst :: List.filter_map
+                  (function K.Avar x -> Some x | K.Aconst _ -> None)
+                  args
+  in
+  let any p = List.exists (fun x -> presence st x = p) members in
+  if any Present then List.iter (fun x -> set_presence st x Present) members
+  else if any Absent then List.iter (fun x -> set_presence st x Absent) members
+
+let rule_func st dst op args =
+  rule_sync_group st dst args;
+  if presence st dst = Present then begin
+    let arg_vals = List.map (atom_value st) args in
+    if List.for_all Option.is_some arg_vals then
+      set_value st dst (Eval.eval_func op (List.map Option.get arg_vals))
+  end
+
+let rule_delay st dst src =
+  rule_sync_group st dst [ K.Avar src ];
+  if presence st dst = Present then
+    set_value st dst (Hashtbl.find st.delay_state dst)
+
+let rule_when st dst src cond =
+  (* a constant condition has the contextual clock: false silences the
+     destination, true makes it mirror the source *)
+  (match cond with
+   | K.Aconst v when not (Eval.as_bool v) -> set_presence st dst Absent
+   | K.Aconst _ -> (
+     match src with
+     | K.Aconst v -> if presence st dst = Present then set_value st dst v
+     | K.Avar x -> (
+       match presence st x, presence st dst with
+       | Present, _ ->
+         set_presence st dst Present;
+         (match value_of st x with
+          | Some v -> set_value st dst v
+          | None -> ())
+       | Absent, _ -> set_presence st dst Absent
+       | Unknown, Absent -> set_presence st x Absent
+       | Unknown, (Present | Unknown) -> ()))
+   | K.Avar _ -> ());
+  (match atom_presence st cond, atom_value st cond with
+   | Absent, _ -> set_presence st dst Absent
+   | Present, Some v when not (Eval.as_bool v) -> set_presence st dst Absent
+   | Present, Some _ -> (
+     (* condition true: dst follows src *)
+     match src with
+     | K.Aconst v ->
+       set_presence st dst Present;
+       set_value st dst v
+     | K.Avar x -> (
+       match presence st x with
+       | Present ->
+         set_presence st dst Present;
+         (match value_of st x with
+          | Some v -> set_value st dst v
+          | None -> ())
+       | Absent -> set_presence st dst Absent
+       | Unknown -> ()))
+   | (Present | Unknown), _ -> ());
+  (* backward: dst present forces src and cond present (cond true) *)
+  if presence st dst = Present then begin
+    (match src with
+     | K.Avar x -> set_presence st x Present
+     | K.Aconst _ -> ());
+    match cond with
+    | K.Avar b -> set_presence st b Present
+    | K.Aconst _ -> ()
+  end
+
+let rule_default st dst left right =
+  let pl = atom_presence st left and pr = atom_presence st right in
+  (* union clock: either operand present forces the destination *)
+  if pl = Present || pr = Present then set_presence st dst Present;
+  (match pl with
+   | Present -> (
+     match atom_value st left with
+     | Some v -> set_value st dst v
+     | None -> ())
+   | Absent -> (
+     match pr with
+     | Present -> (
+       match atom_value st right with
+       | Some v -> set_value st dst v
+       | None -> ())
+     | Absent -> set_presence st dst Absent
+     | Unknown -> ())
+   | Unknown -> ());
+  (match presence st dst with
+   | Absent ->
+     (match left with K.Avar x -> set_presence st x Absent | K.Aconst _ -> ());
+     (match right with K.Avar x -> set_presence st x Absent | K.Aconst _ -> ())
+   | Present -> (
+     (* if left absent, right must be present *)
+     match pl, right with
+     | Absent, K.Avar x -> set_presence st x Present
+     | Absent, K.Aconst v -> set_value st dst v
+     | _, _ -> ())
+   | Unknown -> ());
+  (* constant left: when dst is present and left is a constant, the
+     merge yields the constant (a constant is contextually present) *)
+  match left, presence st dst with
+  | K.Aconst v, Present -> set_value st dst v
+  | (K.Aconst _ | K.Avar _), _ -> ()
+
+let rule_constraint st = function
+  | K.Ceq (a, b) -> (
+    match presence st a, presence st b with
+    | Present, _ -> set_presence st b Present
+    | Absent, _ -> set_presence st b Absent
+    | Unknown, Present -> set_presence st a Present
+    | Unknown, Absent -> set_presence st a Absent
+    | Unknown, Unknown -> ())
+  | K.Cle (a, b) -> (
+    (match presence st a with
+     | Present -> set_presence st b Present
+     | Absent | Unknown -> ());
+    match presence st b with
+    | Absent -> set_presence st a Absent
+    | Present | Unknown -> ())
+  | K.Cex (a, b) -> (
+    (match presence st a with
+     | Present -> set_presence st b Absent
+     | Absent | Unknown -> ());
+    match presence st b with
+    | Present -> set_presence st a Absent
+    | Absent | Unknown -> ())
+
+(* Primitive presence/value rules; effects are deferred to commit. *)
+let rule_prim st ps =
+  let ki = ps.ki in
+  match ki.K.ki_prim, ki.K.ki_ins, ki.K.ki_outs with
+  | (Stdproc.Pfifo | Stdproc.Pfifo_reset), push :: pop :: rest, [ data; size ] ->
+    let reset = match rest with [ r ] -> Some r | _ -> None in
+    let reset_pres =
+      match reset with Some r -> presence st r | None -> Absent
+    in
+    (* data: present iff pop present and an item is available; the
+       available front accounts for a same-instant reset and push *)
+    (match presence st pop with
+     | Absent -> set_presence st data Absent
+     | Present -> (
+       let after_reset_empty =
+         match reset_pres with
+         | Present -> true
+         | Absent -> Queue.is_empty ps.queue
+         | Unknown -> false (* undecidable yet; only matters if queue empty *)
+       in
+       if not after_reset_empty && reset_pres <> Unknown then begin
+         set_presence st data Present;
+         set_value st data (Queue.peek ps.queue)
+       end
+       else
+         match reset_pres, presence st push with
+         | Unknown, _ -> ()
+         | _, Present ->
+           set_presence st data Present;
+           (match value_of st push with
+            | Some v -> set_value st data v
+            | None -> ())
+         | _, Absent ->
+           if after_reset_empty then set_presence st data Absent
+         | _, Unknown -> ())
+     | Unknown -> ());
+    (* size: present iff any of push/pop/reset present *)
+    let ins = push :: pop :: rest in
+    let any p = List.exists (fun x -> presence st x = p) ins in
+    if any Present then set_presence st size Present
+    else if List.for_all (fun x -> presence st x = Absent) ins then
+      set_presence st size Absent;
+    if presence st size = Present
+       && List.for_all (fun x -> presence st x <> Unknown) ins
+    then begin
+      let n0 = if reset_pres = Present then 0 else Queue.length ps.queue in
+      let n1 = if presence st push = Present then min (n0 + 1) ps.capacity else n0 in
+      let popped =
+        presence st pop = Present && (n1 > 0)
+      in
+      set_value st size (Types.Vint (if popped then n1 - 1 else n1))
+    end
+  | Stdproc.Pin_event_port, [ _arrival; frozen_time ], [ frozen; frozen_count ]
+    -> (
+    match presence st frozen_time with
+    | Absent ->
+      set_presence st frozen Absent;
+      set_presence st frozen_count Absent
+    | Present ->
+      (* freeze happens before same-instant arrivals: decidable from
+         state alone *)
+      set_presence st frozen_count Present;
+      set_value st frozen_count (Types.Vint (Queue.length ps.queue));
+      if Queue.is_empty ps.queue then set_presence st frozen Absent
+      else begin
+        set_presence st frozen Present;
+        set_value st frozen (Queue.peek ps.queue)
+      end
+    | Unknown -> ())
+  | Stdproc.Pout_event_port, [ item; output_time ], [ sent ] -> (
+    match presence st output_time with
+    | Absent -> set_presence st sent Absent
+    | Present ->
+      if not (Queue.is_empty ps.queue) then begin
+        set_presence st sent Present;
+        set_value st sent (Queue.peek ps.queue)
+      end
+      else (
+        match presence st item with
+        | Present ->
+          set_presence st sent Present;
+          (match value_of st item with
+           | Some v -> set_value st sent v
+           | None -> ())
+        | Absent -> set_presence st sent Absent
+        | Unknown -> ())
+    | Unknown -> ())
+  | (Stdproc.Pfifo | Stdproc.Pfifo_reset | Stdproc.Pin_event_port
+    | Stdproc.Pout_event_port), _, _ ->
+    errf "primitive instance %s: malformed arity" ki.K.ki_label
+
+(* ------------------------------------------------------------------ *)
+(* Commit phase                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let push_bounded ps v =
+  if Queue.length ps.queue >= ps.capacity then begin
+    ps.overflows <- ps.overflows + 1;
+    match ps.policy with
+    | Drop_oldest ->
+      ignore (Queue.pop ps.queue);
+      Queue.push v ps.queue
+    | Drop_newest -> ()
+    | Overflow_error ->
+      errf "queue overflow on %s (Overflow_Handling_Protocol => Error)"
+        ps.ki.K.ki_label
+  end
+  else Queue.push v ps.queue
+
+let commit_prim st ps =
+  let ki = ps.ki in
+  let pres x = presence st x = Present in
+  let valof x = value_of st x in
+  match ki.K.ki_prim, ki.K.ki_ins with
+  | (Stdproc.Pfifo | Stdproc.Pfifo_reset), push :: pop :: rest ->
+    (match rest with
+     | [ r ] when pres r -> Queue.clear ps.queue
+     | _ -> ());
+    if pres push then (
+      match valof push with
+      | Some v -> push_bounded ps v
+      | None -> ());
+    if pres pop && not (Queue.is_empty ps.queue) then
+      ignore (Queue.pop ps.queue)
+  | Stdproc.Pin_event_port, [ arrival; frozen_time ] ->
+    if pres frozen_time then begin
+      Queue.clear ps.frozen;
+      Queue.transfer ps.queue ps.frozen
+    end;
+    if pres arrival then (
+      match valof arrival with
+      | Some v -> push_bounded ps v
+      | None -> ())
+  | Stdproc.Pout_event_port, [ item; output_time ] ->
+    if pres item then (
+      match valof item with
+      | Some v -> push_bounded ps v
+      | None -> ());
+    if pres output_time && not (Queue.is_empty ps.queue) then
+      ignore (Queue.pop ps.queue)
+  | (Stdproc.Pfifo | Stdproc.Pfifo_reset | Stdproc.Pin_event_port
+    | Stdproc.Pout_event_port), _ ->
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* The step                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let step st ~stimulus =
+  try
+    Hashtbl.reset st.pres;
+    Hashtbl.reset st.vals;
+    (* inputs *)
+    List.iter
+      (fun (x, v) ->
+        if not (List.mem x st.input_names) then
+          errf "stimulus for non-input signal %s" x;
+        set_presence st x Present;
+        set_value st x v)
+      stimulus;
+    List.iter
+      (fun x -> if presence st x = Unknown then set_presence st x Absent)
+      st.input_names;
+    (* fixpoint *)
+    let rec iterate guard =
+      if guard = 0 then errf "fixpoint did not converge";
+      st.changed <- false;
+      List.iter
+        (fun eq ->
+          match eq with
+          | K.Kfunc { dst; op; args } -> rule_func st dst op args
+          | K.Kdelay { dst; src; _ } -> rule_delay st dst src
+          | K.Kwhen { dst; src; cond } -> rule_when st dst src cond
+          | K.Kdefault { dst; left; right } -> rule_default st dst left right)
+        st.kp.K.keqs;
+      List.iter (rule_constraint st) st.kp.K.kconstraints;
+      List.iter (rule_prim st) st.prims;
+      if st.changed then iterate (guard - 1)
+    in
+    let nsig = List.length (K.signals st.kp) in
+    iterate ((2 * nsig) + 10);
+    (* Default remaining unknowns to absent, one signal at a time:
+       each choice is re-propagated before the next so that a signal
+       whose presence follows from an earlier default is computed
+       rather than defaulted (and cannot contradict later rules). *)
+    let rec default_one () =
+      match
+        List.find_opt (fun x -> presence st x = Unknown) st.default_order
+      with
+      | None -> ()
+      | Some x ->
+        st.free <- st.free + 1;
+        Hashtbl.replace st.pres x Absent;
+        st.changed <- true;
+        iterate ((2 * nsig) + 10);
+        default_one ()
+    in
+    default_one ();
+    (* sanity: every present signal needs a value *)
+    let present =
+      List.filter_map
+        (fun vd ->
+          let x = vd.Ast.var_name in
+          if presence st x = Present then
+            match value_of st x with
+            | Some v -> Some (x, v)
+            | None ->
+              errf "instant %d: signal %s present without a value"
+                st.instants x
+          else None)
+        (K.signals st.kp)
+    in
+    (* commit state *)
+    List.iter
+      (fun eq ->
+        match eq with
+        | K.Kdelay { dst; src; _ } ->
+          if presence st src = Present then (
+            match value_of st src with
+            | Some v -> Hashtbl.replace st.delay_state dst v
+            | None -> ())
+        | K.Kfunc _ | K.Kwhen _ | K.Kdefault _ -> ())
+      st.kp.K.keqs;
+    List.iter (commit_prim st) st.prims;
+    Trace.push st.tr present;
+    st.instants <- st.instants + 1;
+    Ok present
+  with
+  | Sim_error m -> Error m
+  | Eval.Eval_error m ->
+    Error (Printf.sprintf "instant %d: %s" st.instants m)
+
+let run kp ~stimuli =
+  let st = create kp in
+  let rec go = function
+    | [] -> Ok st.tr
+    | stim :: rest -> (
+      match step st ~stimulus:stim with
+      | Ok _ -> go rest
+      | Error m -> Error m)
+  in
+  go stimuli
+
+let trace st = st.tr
+let instant st = st.instants
+let free_choices st = st.free
+
+let overflow_count st =
+  List.fold_left (fun acc ps -> acc + ps.overflows) 0 st.prims
+
+let fifo_sizes st =
+  List.map (fun ps -> (ps.ki.K.ki_label, Queue.length ps.queue)) st.prims

@@ -1,0 +1,57 @@
+(** Instant-by-instant interpreter of kernel SIGNAL processes.
+
+    Each logical instant, the engine receives the present inputs with
+    their values and computes presence and value of every other signal
+    by a monotone fixpoint over the kernel equations (presence
+    propagates both ways across synchronous operators; [when] needs the
+    condition's value, so presence and value resolution interleave).
+    Signals still undetermined at the fixpoint are resolved to absent —
+    the count of such free choices is reported as a warning, since it
+    reveals a non-endochronous specification.
+
+    Primitive instances carry state:
+    - [fifo]/[fifo_reset]: bounded queue; same-instant ordering is
+      reset, then push, then pop; overflow drops the oldest item and is
+      counted;
+    - [in_event_port] (paper Fig. 5): items arriving at the same
+      instant as Frozen_time are {e not} frozen (freeze happens first),
+      reproducing the paper's Fig. 2 behaviour; [frozen] carries the
+      oldest frozen item, [frozen_count] the number of frozen items;
+    - [out_event_port]: items queued by the thread, released one per
+      Output_time occurrence, same-instant items are eligible.
+
+    Delays ([$ 1 init v]) update their state from present sources at
+    the end of each instant. *)
+
+type t
+
+val create : Signal_lang.Kernel.kprocess -> t
+
+val step :
+  t ->
+  stimulus:(Signal_lang.Ast.ident * Signal_lang.Types.value) list ->
+  ((Signal_lang.Ast.ident * Signal_lang.Types.value) list, string) result
+(** Execute one instant. The stimulus lists the {e present} inputs;
+    inputs not listed are absent. Returns the present signals with
+    their values (also appended to the internal trace). *)
+
+val run :
+  Signal_lang.Kernel.kprocess ->
+  stimuli:(Signal_lang.Ast.ident * Signal_lang.Types.value) list list ->
+  (Trace.t, string) result
+(** Fresh engine, one [step] per stimulus list, full trace. *)
+
+val trace : t -> Trace.t
+
+val instant : t -> int
+(** Number of instants executed so far. *)
+
+val free_choices : t -> int
+(** Signals resolved to absent by default across the run; 0 for a
+    well-clocked (endochronous) process driven on its master clock. *)
+
+val overflow_count : t -> int
+(** Total FIFO overflows across all primitive instances. *)
+
+val fifo_sizes : t -> (string * int) list
+(** Current queue length per primitive instance label. *)

@@ -1,0 +1,60 @@
+module K = Signal_lang.Kernel
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+
+exception Eval_error of string
+
+let errf fmt = Format.kasprintf (fun m -> raise (Eval_error m)) fmt
+
+let as_bool = function
+  | Types.Vbool b -> b
+  | Types.Vevent -> true
+  | v -> errf "boolean operation on %s" (Types.value_to_string v)
+
+let compare_num v1 v2 =
+  match v1, v2 with
+  | Types.Vint a, Types.Vint b -> compare a b
+  | Types.Vreal a, Types.Vreal b -> compare a b
+  | Types.Vstring a, Types.Vstring b -> String.compare a b
+  | a, b ->
+    errf "comparison of %s and %s" (Types.value_to_string a)
+      (Types.value_to_string b)
+
+let eval_binop op v1 v2 =
+  let open Ast in
+  match op, v1, v2 with
+  | Add, Types.Vint a, Types.Vint b -> Types.Vint (a + b)
+  | Sub, Types.Vint a, Types.Vint b -> Types.Vint (a - b)
+  | Mul, Types.Vint a, Types.Vint b -> Types.Vint (a * b)
+  | Div, Types.Vint a, Types.Vint b ->
+    if b = 0 then errf "division by zero" else Types.Vint (a / b)
+  | Mod, Types.Vint a, Types.Vint b ->
+    if b = 0 then errf "modulo by zero" else Types.Vint (a mod b)
+  | Add, Types.Vreal a, Types.Vreal b -> Types.Vreal (a +. b)
+  | Sub, Types.Vreal a, Types.Vreal b -> Types.Vreal (a -. b)
+  | Mul, Types.Vreal a, Types.Vreal b -> Types.Vreal (a *. b)
+  | Div, Types.Vreal a, Types.Vreal b -> Types.Vreal (a /. b)
+  | And, a, b -> Types.Vbool (as_bool a && as_bool b)
+  | Or, a, b -> Types.Vbool (as_bool a || as_bool b)
+  | Xor, a, b -> Types.Vbool (as_bool a <> as_bool b)
+  | Eq, a, b -> Types.Vbool (Types.equal_value a b)
+  | Neq, a, b -> Types.Vbool (not (Types.equal_value a b))
+  | Lt, a, b -> Types.Vbool (compare_num a b < 0)
+  | Le, a, b -> Types.Vbool (compare_num a b <= 0)
+  | Gt, a, b -> Types.Vbool (compare_num a b > 0)
+  | Ge, a, b -> Types.Vbool (compare_num a b >= 0)
+  | (Add | Sub | Mul | Div | Mod), a, b ->
+    errf "arithmetic on %s and %s" (Types.value_to_string a)
+      (Types.value_to_string b)
+
+let eval_func op args =
+  match op, args with
+  | K.Punop Ast.Not, [ v ] -> Types.Vbool (not (as_bool v))
+  | K.Punop Ast.Neg, [ Types.Vint n ] -> Types.Vint (-n)
+  | K.Punop Ast.Neg, [ Types.Vreal r ] -> Types.Vreal (-.r)
+  | K.Pbinop op, [ v1; v2 ] -> eval_binop op v1 v2
+  | K.Pif, [ c; t; f ] -> if as_bool c then t else f
+  | K.Pid, [ v ] -> v
+  | K.Pclock, [ _ ] -> Types.Vevent
+  | (K.Punop _ | K.Pbinop _ | K.Pif | K.Pid | K.Pclock), _ ->
+    errf "malformed kernel function application"

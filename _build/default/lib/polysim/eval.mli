@@ -1,0 +1,20 @@
+(** Step-wise operator evaluation, shared by the fixpoint interpreter
+    ({!Engine}) and the clock-directed compiler ({!Compile}). *)
+
+exception Eval_error of string
+
+val as_bool : Signal_lang.Types.value -> bool
+(** Events read as [true]. @raise Eval_error on non-booleans. *)
+
+val eval_binop :
+  Signal_lang.Ast.binop ->
+  Signal_lang.Types.value ->
+  Signal_lang.Types.value ->
+  Signal_lang.Types.value
+(** @raise Eval_error on type mismatches or division by zero. *)
+
+val eval_func :
+  Signal_lang.Kernel.prim ->
+  Signal_lang.Types.value list ->
+  Signal_lang.Types.value
+(** Apply a kernel step-wise operator to present argument values. *)

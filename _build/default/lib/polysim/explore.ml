@@ -1,0 +1,70 @@
+module K = Signal_lang.Kernel
+module Types = Signal_lang.Types
+
+type verdict =
+  | Holds
+  | Violated of (Signal_lang.Ast.ident * Types.value) list list
+
+(* all stimulus combinations for one instant *)
+let combinations inputs =
+  List.fold_left
+    (fun acc (name, alts) ->
+      List.concat_map
+        (fun stim ->
+          List.map
+            (fun alt ->
+              match alt with
+              | None -> stim
+              | Some v -> (name, v) :: stim)
+            alts)
+        acc)
+    [ [] ] inputs
+
+let check ?(depth = 8) ~inputs ~safe kp =
+  match Compile.compile kp with
+  | Error m -> Error m
+  | Ok c -> (
+    Compile.set_recording c false;
+    let stimuli = combinations inputs in
+    (* visited: state digest -> best (largest) remaining depth already
+       explored from that state *)
+    let visited : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    let states = ref 0 in
+    let key () = Compile.state_digest c in
+    let exception Stop of verdict in
+    let exception Sim_failure of string in
+    let rec go remaining trail =
+      if remaining > 0 then begin
+        let k = key () in
+        let seen =
+          match Hashtbl.find_opt visited k with
+          | Some r when r >= remaining -> true
+          | _ ->
+            Hashtbl.replace visited k remaining;
+            false
+        in
+        if not seen then begin
+          incr states;
+          let snap = Compile.snapshot c in
+          List.iter
+            (fun stimulus ->
+              Compile.restore c snap;
+              match Compile.step c ~stimulus with
+              | Ok present ->
+                if not (safe present) then
+                  raise (Stop (Violated (List.rev (stimulus :: trail))));
+                go (remaining - 1) (stimulus :: trail)
+              | Error m -> raise (Sim_failure m))
+            stimuli
+        end
+      end
+    in
+    match go depth [] with
+    | () -> Ok (Holds, !states)
+    | exception Stop v -> Ok (v, !states)
+    | exception Sim_failure m -> Error m)
+
+let reachable_states ?depth ~inputs kp =
+  match check ?depth ~inputs ~safe:(fun _ -> true) kp with
+  | Ok (_, n) -> Ok n
+  | Error m -> Error m

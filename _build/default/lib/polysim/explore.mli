@@ -1,0 +1,43 @@
+(** Bounded exhaustive exploration of a kernel process — the paper's
+    "model checking" connection, in bounded form.
+
+    At each instant every input nondeterministically takes one of the
+    stimulus alternatives supplied for it; the explorer walks all
+    combinations up to the given depth, pruning states (delay memories
+    + FIFO contents) already visited at an earlier-or-equal remaining
+    depth, and checks a safety predicate on every reached reaction.
+
+    The state pruning makes exploration complete for finite-state
+    processes within the depth bound, and in general turns the search
+    into bounded model checking: [`Holds] means no reachable violation
+    within [depth] instants. *)
+
+type verdict =
+  | Holds
+      (** no violation within the bound *)
+  | Violated of (Signal_lang.Ast.ident * Signal_lang.Types.value) list list
+      (** a counterexample: the stimulus sequence leading to the
+          violation, oldest first *)
+
+val check :
+  ?depth:int ->
+  inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
+  safe:((Signal_lang.Ast.ident * Signal_lang.Types.value) list -> bool) ->
+  Signal_lang.Kernel.kprocess ->
+  (verdict * int, string) result
+(** [check ~inputs ~safe kp] explores up to [depth] (default 8)
+    instants. [inputs] lists, per input signal, its alternatives each
+    instant ([None] = absent, [Some v] = present with value [v]); the
+    instant's stimulus is one choice per input (cartesian product).
+    [safe] receives each reaction's present signals. Returns the
+    verdict and the number of distinct states explored. Fails when the
+    process does not compile (causality cycle) or a simulation error
+    occurs outside the property (e.g. division by zero). *)
+
+val reachable_states :
+  ?depth:int ->
+  inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
+  Signal_lang.Kernel.kprocess ->
+  (int, string) result
+(** Count of distinct (state, depth-independent) process states reached
+    within the bound — a small verification metric. *)

@@ -1,0 +1,113 @@
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+
+(* Steps live in a growable array so random access is O(1); traces of
+   hundreds of thousands of instants appear in the benches. *)
+type t = {
+  decls : Ast.vardecl list;
+  mutable steps : (string, Types.value) Hashtbl.t array;
+  mutable len : int;
+}
+
+let create decls = { decls; steps = Array.make 16 (Hashtbl.create 0); len = 0 }
+
+let declarations t = t.decls
+
+let push t present =
+  let h = Hashtbl.create (List.length present) in
+  List.iter (fun (x, v) -> Hashtbl.replace h x v) present;
+  if t.len >= Array.length t.steps then begin
+    let bigger = Array.make (2 * Array.length t.steps) h in
+    Array.blit t.steps 0 bigger 0 t.len;
+    t.steps <- bigger
+  end;
+  t.steps.(t.len) <- h;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let step_table t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: instant out of range";
+  t.steps.(i)
+
+let get t i x = Hashtbl.find_opt (step_table t i) x
+
+let present_count t x =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if Hashtbl.mem t.steps.(i) x then incr n
+  done;
+  !n
+
+let values_of t x =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    match Hashtbl.find_opt t.steps.(i) x with
+    | Some v -> acc := v :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let tick_instants t x =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    if Hashtbl.mem t.steps.(i) x then acc := i :: !acc
+  done;
+  !acc
+
+let is_temp name =
+  String.length name > 0
+  && (name.[0] = '_'
+      ||
+      let rec has_dunder i =
+        i + 1 < String.length name
+        && ((name.[i] = '_' && name.[i + 1] = '_') || has_dunder (i + 1))
+      in
+      has_dunder 0)
+
+let observable t =
+  List.filter_map
+    (fun vd ->
+      if is_temp vd.Ast.var_name then None else Some vd.Ast.var_name)
+    t.decls
+
+let cell_of_value = function
+  | Types.Vevent -> "!"
+  | Types.Vbool true -> "T"
+  | Types.Vbool false -> "F"
+  | Types.Vint n -> string_of_int n
+  | Types.Vreal r -> Printf.sprintf "%g" r
+  | Types.Vstring s -> s
+
+let chronogram ?signals ?(from_instant = 0) ?until_instant ppf t =
+  let names = match signals with Some l -> l | None -> observable t in
+  let hi = Option.value ~default:t.len until_instant in
+  let hi = min hi t.len in
+  let lo = max 0 from_instant in
+  let width = ref 1 in
+  let cells =
+    List.map
+      (fun x ->
+        let row =
+          List.init (hi - lo) (fun k ->
+              match get t (lo + k) x with
+              | None -> "."
+              | Some v -> cell_of_value v)
+        in
+        List.iter (fun c -> width := max !width (String.length c)) row;
+        (x, row))
+      names
+  in
+  let name_w =
+    List.fold_left (fun acc (x, _) -> max acc (String.length x)) 0 cells
+  in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let lpad w s = String.make (max 0 (w - String.length s)) ' ' ^ s in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (x, row) ->
+      Format.fprintf ppf "%s |" (pad name_w x);
+      List.iter (fun c -> Format.fprintf ppf " %s" (lpad !width c)) row;
+      Format.fprintf ppf "@,")
+    cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Recorded simulation traces: per logical instant, each signal is
+    absent or present with a value. *)
+
+type t
+
+val create : Signal_lang.Ast.vardecl list -> t
+(** Empty trace over the given signal declarations. *)
+
+val declarations : t -> Signal_lang.Ast.vardecl list
+
+val push :
+  t -> (Signal_lang.Ast.ident * Signal_lang.Types.value) list -> unit
+(** Append one instant: the association list gives the present signals
+    with their values; every other declared signal is absent. *)
+
+val length : t -> int
+
+val get :
+  t -> int -> Signal_lang.Ast.ident -> Signal_lang.Types.value option
+(** Value at (instant, signal); [None] = absent.
+    @raise Invalid_argument if the instant is out of range. *)
+
+val present_count : t -> Signal_lang.Ast.ident -> int
+(** Number of instants where the signal is present. *)
+
+val values_of : t -> Signal_lang.Ast.ident -> Signal_lang.Types.value list
+(** The signal's value stream (present instants only, in order). *)
+
+val tick_instants : t -> Signal_lang.Ast.ident -> int list
+(** Instants where the signal is present. *)
+
+val observable : t -> Signal_lang.Ast.ident list
+(** Declared signals that are not generated temporaries (no leading
+    ['_'] and no ["__"] in the name), the default selection for
+    chronograms and VCD dumps. *)
+
+val chronogram :
+  ?signals:Signal_lang.Ast.ident list ->
+  ?from_instant:int ->
+  ?until_instant:int ->
+  Format.formatter -> t -> unit
+(** Textual waveform, one row per signal, one column per instant:
+    ['.'] absent, value otherwise (booleans as T/F, events as '!'). *)

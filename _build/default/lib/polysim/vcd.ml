@@ -1,0 +1,131 @@
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+
+(* VCD identifier codes: printable ASCII 33..126, possibly multi-char. *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+type kind = Kwire1 | Kvec32 | Kreal | Kstring
+
+let kind_of_type = function
+  | Types.Tevent | Types.Tbool -> Kwire1
+  | Types.Tint -> Kvec32
+  | Types.Treal -> Kreal
+  | Types.Tstring -> Kstring
+
+let bits32 n =
+  if n = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let n = n land 0xFFFFFFFF in
+    let started = ref false in
+    for i = 31 downto 0 do
+      let b = (n lsr i) land 1 in
+      if b = 1 then started := true;
+      if !started then Buffer.add_char buf (if b = 1 then '1' else '0')
+    done;
+    Buffer.contents buf
+  end
+
+let dump_value buf code kind v =
+  match kind, v with
+  | Kwire1, Some value ->
+    let b =
+      match value with
+      | Types.Vevent -> true
+      | Types.Vbool b -> b
+      | Types.Vint n -> n <> 0
+      | Types.Vreal r -> r <> 0.0
+      | Types.Vstring s -> s <> ""
+    in
+    Buffer.add_string buf (Printf.sprintf "%c%s\n" (if b then '1' else '0') code)
+  | Kwire1, None -> Buffer.add_string buf (Printf.sprintf "x%s\n" code)
+  | Kvec32, Some (Types.Vint n) ->
+    Buffer.add_string buf (Printf.sprintf "b%s %s\n" (bits32 n) code)
+  | Kvec32, Some _ -> Buffer.add_string buf (Printf.sprintf "bx %s\n" code)
+  | Kvec32, None -> Buffer.add_string buf (Printf.sprintf "bx %s\n" code)
+  | Kreal, Some (Types.Vreal r) ->
+    Buffer.add_string buf (Printf.sprintf "r%.16g %s\n" r code)
+  | Kreal, (Some _ | None) ->
+    Buffer.add_string buf (Printf.sprintf "r0 %s\n" code)
+  | Kstring, Some (Types.Vstring s) ->
+    Buffer.add_string buf (Printf.sprintf "s%s %s\n" s code)
+  | Kstring, (Some _ | None) ->
+    Buffer.add_string buf (Printf.sprintf "sx %s\n" code)
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '.' then '_' else c) name
+
+let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
+  let names = match signals with Some l -> l | None -> Trace.observable tr in
+  let types =
+    List.map
+      (fun vd -> (vd.Ast.var_name, vd.Ast.var_type))
+      (Trace.declarations tr)
+  in
+  let entries =
+    List.mapi
+      (fun i name ->
+        let typ =
+          Option.value ~default:Types.Tint (List.assoc_opt name types)
+        in
+        (name, code_of_index i, kind_of_type typ))
+      names
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date\n  polychrony-aadl simulation\n$end\n";
+  Buffer.add_string buf "$version\n  polysim VCD writer\n$end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" module_name);
+  List.iter
+    (fun (name, code, kind) ->
+      let decl =
+        match kind with
+        | Kwire1 -> Printf.sprintf "$var wire 1 %s %s $end\n" code (sanitize name)
+        | Kvec32 ->
+          Printf.sprintf "$var wire 32 %s %s [31:0] $end\n" code (sanitize name)
+        | Kreal -> Printf.sprintf "$var real 64 %s %s $end\n" code (sanitize name)
+        | Kstring ->
+          Printf.sprintf "$var string 1 %s %s $end\n" code (sanitize name)
+      in
+      Buffer.add_string buf decl)
+    entries;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* initial values: everything absent *)
+  Buffer.add_string buf "$dumpvars\n";
+  List.iter (fun (_, code, kind) -> dump_value buf code kind None) entries;
+  Buffer.add_string buf "$end\n";
+  let prev : (string, Types.value option) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (name, _, _) -> Hashtbl.replace prev name None) entries;
+  for i = 0 to Trace.length tr - 1 do
+    let changes =
+      List.filter_map
+        (fun (name, code, kind) ->
+          let now = Trace.get tr i name in
+          let before = Hashtbl.find prev name in
+          if now = before then None
+          else begin
+            Hashtbl.replace prev name now;
+            Some (code, kind, now)
+          end)
+        entries
+    in
+    if changes <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "#%d\n" i);
+      List.iter (fun (code, kind, v) -> dump_value buf code kind v) changes
+    end
+  done;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (Trace.length tr));
+  Buffer.contents buf
+
+let to_file ?signals ?module_name ?timescale path tr =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?signals ?module_name ?timescale tr))

@@ -1,0 +1,23 @@
+(** Value Change Dump output of simulation traces (paper ref [18]:
+    co-simulation demonstrated with the VCD technique).
+
+    Signals are rendered as VCD wires: events and booleans as 1-bit
+    wires (an event pulses to 1 for its instant), integers as 32-bit
+    vectors, reals as [real] variables. Absence is encoded as [x]
+    (unknown) on the wire, which makes present/absent visually distinct
+    in any VCD viewer. One logical instant = one timescale unit. *)
+
+val to_string :
+  ?signals:Signal_lang.Ast.ident list ->
+  ?module_name:string ->
+  ?timescale:string ->
+  Trace.t -> string
+(** Render the trace. Defaults: observable signals, module ["top"],
+    timescale ["1 ms"]. *)
+
+val to_file :
+  ?signals:Signal_lang.Ast.ident list ->
+  ?module_name:string ->
+  ?timescale:string ->
+  string -> Trace.t -> unit
+(** Write to the given path. *)

@@ -1,0 +1,135 @@
+module Types = Signal_lang.Types
+
+type change = {
+  c_time : int;
+  c_code : string;
+  c_value : Types.value option;
+}
+
+type t = {
+  timescale : string;
+  vars : (string * string) list;
+  changes : change list;
+}
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let timescale = ref "" in
+  let vars = ref [] in
+  let changes = ref [] in
+  let time = ref 0 in
+  let error = ref None in
+  let fail m = if !error = None then error := Some m in
+  (* header sections whose body spans several lines ($date, $version,
+     $comment) are skipped until their $end; $dumpvars bodies are value
+     changes and are parsed *)
+  let skipping = ref false in
+  let int_of_bits bits =
+    (* bits may be "x" *)
+    if String.contains bits 'x' then None
+    else
+      Some
+        (String.fold_left
+           (fun acc c -> (acc * 2) + (if c = '1' then 1 else 0))
+           0 bits)
+  in
+  let contains_end line =
+    let needle = "$end" in
+    let nh = String.length line and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub line i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if !skipping then begin
+        if contains_end line then skipping := false
+      end
+      else if
+        (String.length line >= 5 && String.sub line 0 5 = "$date")
+        || (String.length line >= 8 && String.sub line 0 8 = "$version")
+        || (String.length line >= 8 && String.sub line 0 8 = "$comment")
+      then (if not (contains_end line) then skipping := true)
+      else if String.length line >= 10 && String.sub line 0 10 = "$timescale"
+      then
+        timescale :=
+          String.trim
+            (String.concat " "
+               (List.filter
+                  (fun w -> w <> "$timescale" && w <> "$end")
+                  (String.split_on_char ' ' line)))
+      else if String.length line >= 4 && String.sub line 0 4 = "$var" then begin
+        match String.split_on_char ' ' line with
+        | "$var" :: _kind :: _width :: code :: name :: _ ->
+          vars := (code, name) :: !vars
+        | _ -> fail ("malformed $var: " ^ line)
+      end
+      else if line.[0] = '$' then ()  (* other sections *)
+      else if line.[0] = '#' then (
+        match int_of_string_opt (String.sub line 1 (String.length line - 1)) with
+        | Some t -> time := t
+        | None -> fail ("malformed timestamp: " ^ line))
+      else if line.[0] = 'b' then (
+        (* vector: bBITS code *)
+        match String.index_opt line ' ' with
+        | Some i ->
+          let bits = String.sub line 1 (i - 1) in
+          let code = String.sub line (i + 1) (String.length line - i - 1) in
+          changes :=
+            { c_time = !time; c_code = code;
+              c_value = Option.map (fun n -> Types.Vint n) (int_of_bits bits) }
+            :: !changes
+        | None -> fail ("malformed vector change: " ^ line))
+      else if line.[0] = 'r' then (
+        match String.index_opt line ' ' with
+        | Some i ->
+          let num = String.sub line 1 (i - 1) in
+          let code = String.sub line (i + 1) (String.length line - i - 1) in
+          changes :=
+            { c_time = !time; c_code = code;
+              c_value =
+                Option.map (fun r -> Types.Vreal r) (float_of_string_opt num) }
+            :: !changes
+        | None -> fail ("malformed real change: " ^ line))
+      else if line.[0] = 's' then (
+        match String.index_opt line ' ' with
+        | Some i ->
+          let sv = String.sub line 1 (i - 1) in
+          let code = String.sub line (i + 1) (String.length line - i - 1) in
+          changes :=
+            { c_time = !time; c_code = code;
+              c_value = (if sv = "x" then None else Some (Types.Vstring sv)) }
+            :: !changes
+        | None -> fail ("malformed string change: " ^ line))
+      else begin
+        (* scalar: 0code / 1code / xcode *)
+        let v = line.[0] in
+        let code = String.sub line 1 (String.length line - 1) in
+        let value =
+          match v with
+          | '0' -> Some (Types.Vbool false)
+          | '1' -> Some (Types.Vbool true)
+          | 'x' | 'X' | 'z' | 'Z' -> None
+          | _ ->
+            fail ("malformed scalar change: " ^ line);
+            None
+        in
+        changes := { c_time = !time; c_code = code; c_value = value } :: !changes
+      end)
+    lines;
+  match !error with
+  | Some m -> Error m
+  | None ->
+    Ok { timescale = !timescale; vars = List.rev !vars;
+         changes = List.rev !changes }
+
+let value_at t ~name ~time =
+  match List.find_opt (fun (_, n) -> String.equal n name) t.vars with
+  | None -> None
+  | Some (code, _) ->
+    List.fold_left
+      (fun acc ch ->
+        if String.equal ch.c_code code && ch.c_time <= time then ch.c_value
+        else acc)
+      None t.changes

@@ -1,0 +1,24 @@
+(** Minimal VCD reader, used to self-validate {!Vcd} output: the trace
+    written as VCD and read back must contain the same value changes.
+    Handles the subset {!Vcd} emits (scalar wires, 32-bit vectors,
+    reals, strings; [x] as absence). *)
+
+type change = {
+  c_time : int;
+  c_code : string;                       (** VCD identifier code *)
+  c_value : Signal_lang.Types.value option;  (** [None] = x / absent *)
+}
+
+type t = {
+  timescale : string;
+  vars : (string * string) list;  (** (code, declared name) *)
+  changes : change list;          (** chronological *)
+}
+
+val parse : string -> (t, string) result
+
+val value_at :
+  t -> name:string -> time:int -> Signal_lang.Types.value option
+(** Last change at or before [time] for the named wire; [None] when
+    absent ([x]) or never driven. Integer wires yield [Vint], 1-bit
+    wires [Vbool]. *)

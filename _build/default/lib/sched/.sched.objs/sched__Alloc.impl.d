@@ -1,0 +1,1 @@
+lib/sched/alloc.ml: Array Format List Option Printf Static_sched Task

@@ -1,0 +1,1 @@
+lib/sched/alloc.mli: Format Static_sched Task

@@ -1,0 +1,1 @@
+lib/sched/export.ml: Clocks Format List Static_sched String Task

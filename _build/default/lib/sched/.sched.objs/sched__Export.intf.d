@@ -1,0 +1,1 @@
+lib/sched/export.mli: Clocks Format Static_sched

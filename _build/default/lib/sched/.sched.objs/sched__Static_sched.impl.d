@@ -1,0 +1,1 @@
+lib/sched/static_sched.ml: Bytes Clocks Format List Option Printf Putil String Task

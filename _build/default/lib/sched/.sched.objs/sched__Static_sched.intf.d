@@ -1,0 +1,1 @@
+lib/sched/static_sched.mli: Clocks Format Task

@@ -1,0 +1,1 @@
+lib/sched/task.ml: Format List Option Printf Putil

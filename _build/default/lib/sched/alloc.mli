@@ -1,0 +1,43 @@
+(** Multi-processor allocation (the paper's connection to SynDEx,
+    ref [17]: "real-time scheduling and allocation").
+
+    Distributes a task set over a fixed set of processors and
+    synthesizes one static non-preemptive schedule per processor.
+    The allocator uses worst-fit decreasing on utilization (balances
+    load, the classic partitioned-scheduling heuristic) with
+    first-fit fallback when a bin refuses a task, then validates by
+    actually synthesizing each processor's schedule. *)
+
+type assignment = {
+  a_cpu : string;
+  a_tasks : Task.t list;
+  a_schedule : Static_sched.schedule;
+}
+
+type failure = {
+  unplaced : Task.t;
+  reason : string;
+}
+
+val allocate :
+  ?policy:Static_sched.policy ->
+  ?preloaded:(string * Task.t list) list ->
+  cpus:string list ->
+  Task.t list ->
+  (assignment list, failure) result
+(** Every processor appears in the result (possibly with no tasks).
+    [preloaded] pins tasks to processors up front (explicit AADL
+    bindings); the remaining tasks are placed around them. Fails when
+    some task fits on no processor under the policy. *)
+
+val min_processors :
+  ?policy:Static_sched.policy ->
+  ?max_cpus:int ->
+  Task.t list ->
+  (int * assignment list) option
+(** Smallest processor count (≤ [max_cpus], default 16) for which
+    allocation succeeds — the architecture-exploration question. *)
+
+val utilization_of : assignment -> float
+
+val pp_assignment : Format.formatter -> assignment -> unit

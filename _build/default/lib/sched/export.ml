@@ -1,0 +1,74 @@
+module A = Clocks.Affine
+module W = Clocks.Pword
+module S = Static_sched
+
+type clock_export =
+  | Caffine of A.periodic
+  | Cword of W.t
+
+type entry = {
+  e_task : string;
+  e_event : S.event;
+  e_clock : clock_export;
+  e_relation : A.relation option;
+}
+
+let base_clock = A.periodic ~period:1 ~offset:0
+
+let clock_of s name ev =
+  match S.event_affine s name ev with
+  | Some p -> Caffine p
+  | None -> Cword (S.event_word s name ev)
+
+let relation_of = function
+  | Caffine p -> A.relation_of ~base:base_clock p
+  | Cword _ -> None
+
+let entry s name ev =
+  let c = clock_of s name ev in
+  { e_task = name; e_event = ev; e_clock = c; e_relation = relation_of c }
+
+let task_names s =
+  List.sort_uniq String.compare
+    (List.map (fun j -> j.S.j_task.Task.t_name) s.S.jobs)
+
+let export s =
+  List.concat_map
+    (fun name ->
+      List.map (entry s name)
+        [ S.Dispatch; S.Start; S.Complete; S.Deadline ])
+    (task_names s)
+
+let dispatch_clock s name = clock_of s name S.Dispatch
+
+let word_of = function
+  | Caffine p -> W.of_periodic p
+  | Cword w -> w
+
+let synchronizable s t1 t2 ev =
+  match clock_of s t1 ev, clock_of s t2 ev with
+  | Caffine p1, Caffine p2 -> A.synchronizable p1 p2
+  | c1, c2 -> W.equal (word_of c1) (word_of c2)
+
+let event_to_string = function
+  | S.Dispatch -> "dispatch"
+  | S.Input_frozen -> "input_frozen"
+  | S.Start -> "start"
+  | S.Complete -> "complete"
+  | S.Output_release -> "output_release"
+  | S.Deadline -> "deadline"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%-16s %-14s " e.e_task (event_to_string e.e_event);
+  (match e.e_clock with
+   | Caffine p -> Format.fprintf ppf "%a" A.pp_periodic p
+   | Cword w -> Format.fprintf ppf "%a" W.pp w);
+  match e.e_relation with
+  | Some r -> Format.fprintf ppf "  affine %a vs base" A.pp_relation r
+  | None -> ()
+
+let pp_export ppf s =
+  Format.fprintf ppf "@[<v>affine clock export (base tick %d us)@,"
+    s.S.base_us;
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) (export s);
+  Format.fprintf ppf "@]"

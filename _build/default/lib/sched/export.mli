@@ -1,0 +1,41 @@
+(** Export of synthesized schedules to affine clock systems
+    (paper Sec. IV-D, step 3: "export schedules to SIGNAL affine clocks
+    in a direct way").
+
+    Every scheduled event stream becomes a clock on the base tick:
+    a strictly periodic one is rendered as an affine relation
+    [(1, φ, d)] against the base clock; an uneven one keeps its
+    ultimately periodic word. Synchronizability between thread clocks
+    (paper Sec. V: "synchronizability rules based on properties of
+    affine relations") is decided on these forms. *)
+
+type clock_export =
+  | Caffine of Clocks.Affine.periodic
+      (** strictly periodic on the base tick *)
+  | Cword of Clocks.Pword.t
+      (** general ultimately periodic activation *)
+
+type entry = {
+  e_task : string;
+  e_event : Static_sched.event;
+  e_clock : clock_export;
+  e_relation : Clocks.Affine.relation option;
+      (** affine relation to the base tick, for [Caffine] *)
+}
+
+val export : Static_sched.schedule -> entry list
+(** One entry per (task, event) for Dispatch, Start, Complete and
+    Deadline. *)
+
+val dispatch_clock : Static_sched.schedule -> string -> clock_export
+
+val synchronizable :
+  Static_sched.schedule -> string -> string -> Static_sched.event -> bool
+(** Two tasks' event clocks are synchronizable (identical instant
+    sets) — e.g. the two 8 ms timer threads' dispatches in the case
+    study. *)
+
+val word_of : clock_export -> Clocks.Pword.t
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp_export : Format.formatter -> Static_sched.schedule -> unit

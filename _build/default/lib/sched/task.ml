@@ -1,0 +1,37 @@
+type t = {
+  t_name : string;
+  period_us : int;
+  deadline_us : int;
+  wcet_us : int;
+  offset_us : int;
+  priority : int option;
+}
+
+let make ?deadline_us ?(offset_us = 0) ?priority ~name ~period_us ~wcet_us ()
+    =
+  if period_us <= 0 then invalid_arg "Task.make: period must be positive";
+  if wcet_us <= 0 then invalid_arg "Task.make: wcet must be positive";
+  if offset_us < 0 then invalid_arg "Task.make: negative offset";
+  let deadline_us = Option.value ~default:period_us deadline_us in
+  if deadline_us < wcet_us then
+    invalid_arg "Task.make: deadline smaller than wcet";
+  { t_name = name; period_us; deadline_us; wcet_us; offset_us; priority }
+
+let utilization tasks =
+  List.fold_left
+    (fun acc t -> acc +. (float_of_int t.wcet_us /. float_of_int t.period_us))
+    0.0 tasks
+
+let hyperperiod_us tasks =
+  Putil.Mathx.lcm_list (List.map (fun t -> t.period_us) tasks)
+
+let job_count t ~hyperperiod_us =
+  if t.offset_us >= hyperperiod_us then 0
+  else Putil.Mathx.ceil_div (hyperperiod_us - t.offset_us) t.period_us
+
+let pp ppf t =
+  Format.fprintf ppf "%s(T=%dus, D=%dus, C=%dus, O=%dus%s)" t.t_name
+    t.period_us t.deadline_us t.wcet_us t.offset_us
+    (match t.priority with
+     | Some p -> Printf.sprintf ", prio %d" p
+     | None -> "")

@@ -1,0 +1,31 @@
+(** Periodic task model for thread-level scheduler synthesis
+    (paper, Sec. IV-D). All times in microseconds. *)
+
+type t = {
+  t_name : string;
+  period_us : int;         (** > 0 *)
+  deadline_us : int;       (** relative; defaults to the period *)
+  wcet_us : int;           (** worst-case execution time, > 0 *)
+  offset_us : int;         (** release of the first job, ≥ 0 *)
+  priority : int option;   (** larger = more urgent (AADL convention) *)
+}
+
+val make :
+  ?deadline_us:int ->
+  ?offset_us:int ->
+  ?priority:int ->
+  name:string -> period_us:int -> wcet_us:int -> unit -> t
+(** @raise Invalid_argument on non-positive period/wcet, negative
+    offset, or deadline < wcet. *)
+
+val utilization : t list -> float
+(** Σ wcet/period. *)
+
+val hyperperiod_us : t list -> int
+(** lcm of the periods (the paper's "least common multiple
+    principle"); 1 for the empty set. *)
+
+val job_count : t -> hyperperiod_us:int -> int
+(** Jobs of this task released strictly inside one hyper-period. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/signal_lang/ast.ml: List String Types

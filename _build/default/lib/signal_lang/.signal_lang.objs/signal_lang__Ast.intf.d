@@ -1,0 +1,1 @@
+lib/signal_lang/ast.mli: Types

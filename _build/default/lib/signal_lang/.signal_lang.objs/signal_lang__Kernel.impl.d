@@ -1,0 +1,1 @@
+lib/signal_lang/kernel.ml: Ast Format List Pp Stdproc String Types

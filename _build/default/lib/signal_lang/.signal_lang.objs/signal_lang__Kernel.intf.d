@@ -1,0 +1,1 @@
+lib/signal_lang/kernel.mli: Ast Format Stdproc Types

@@ -1,0 +1,1 @@
+lib/signal_lang/normalize.ml: Ast Format Hashtbl Kernel List Map Option Printf Stdproc String Typecheck Types

@@ -1,0 +1,1 @@
+lib/signal_lang/normalize.mli: Ast Kernel Types

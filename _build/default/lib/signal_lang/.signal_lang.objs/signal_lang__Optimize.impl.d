@@ -1,0 +1,1 @@
+lib/signal_lang/optimize.ml: Ast Hashtbl Kernel List Printf Queue Set String

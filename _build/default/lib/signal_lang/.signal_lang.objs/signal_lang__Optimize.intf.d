@@ -1,0 +1,1 @@
+lib/signal_lang/optimize.mli: Ast Kernel

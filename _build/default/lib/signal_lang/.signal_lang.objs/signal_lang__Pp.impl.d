@@ -1,0 +1,1 @@
+lib/signal_lang/pp.ml: Ast Format List Types

@@ -1,0 +1,1 @@
+lib/signal_lang/sig_lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/signal_lang/sig_parser.ml: Array Ast Format List Printf Sig_lexer Types

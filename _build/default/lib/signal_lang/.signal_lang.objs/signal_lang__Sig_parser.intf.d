@@ -1,0 +1,1 @@
+lib/signal_lang/sig_parser.mli: Ast

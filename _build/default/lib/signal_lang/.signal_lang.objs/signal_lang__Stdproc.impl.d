@@ -1,0 +1,1 @@
+lib/signal_lang/stdproc.ml: Ast List String Types

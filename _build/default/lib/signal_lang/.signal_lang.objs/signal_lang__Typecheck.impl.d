@@ -1,0 +1,1 @@
+lib/signal_lang/typecheck.ml: Ast Format Hashtbl List Map Option Printf Result Stdproc String Types

@@ -1,0 +1,1 @@
+lib/signal_lang/typecheck.mli: Ast Format Types

@@ -1,0 +1,1 @@
+lib/signal_lang/types.ml: Format Printf String

@@ -1,0 +1,134 @@
+type ident = string
+
+type unop =
+  | Not
+  | Neg
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor
+  | Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Econst of Types.value
+  | Evar of ident
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eif of expr * expr * expr
+  | Edelay of expr * Types.value
+  | Ewhen of expr * expr
+  | Edefault of expr * expr
+  | Eclock of expr
+
+type stmt =
+  | Sdef of ident * expr
+  | Spartial of ident * expr
+  | Sclk_eq of expr * expr
+  | Sclk_le of expr * expr
+  | Sclk_ex of expr * expr
+  | Sinstance of instance
+
+and instance = {
+  inst_label : string;
+  inst_proc : ident;
+  inst_ins : expr list;
+  inst_outs : ident list;
+  inst_params : Types.value list;
+}
+
+type vardecl = {
+  var_name : ident;
+  var_type : Types.styp;
+}
+
+type process = {
+  proc_name : ident;
+  params : vardecl list;
+  inputs : vardecl list;
+  outputs : vardecl list;
+  locals : vardecl list;
+  body : stmt list;
+  subprocesses : process list;
+  pragmas : (string * string) list;
+}
+
+type program = {
+  prog_name : ident;
+  processes : process list;
+}
+
+let var var_name var_type = { var_name; var_type }
+
+let empty_process name =
+  { proc_name = name; params = []; inputs = []; outputs = []; locals = [];
+    body = []; subprocesses = []; pragmas = [] }
+
+let find_process prog name =
+  List.find_opt (fun p -> String.equal p.proc_name name) prog.processes
+
+let find_subprocess proc name =
+  List.find_opt (fun p -> String.equal p.proc_name name) proc.subprocesses
+
+let sort_uniq_idents l = List.sort_uniq String.compare l
+
+let rec free_vars_acc acc = function
+  | Econst _ -> acc
+  | Evar x -> x :: acc
+  | Eunop (_, e) | Eclock e | Edelay (e, _) -> free_vars_acc acc e
+  | Ebinop (_, e1, e2) | Ewhen (e1, e2) | Edefault (e1, e2) ->
+    free_vars_acc (free_vars_acc acc e1) e2
+  | Eif (c, t, f) -> free_vars_acc (free_vars_acc (free_vars_acc acc c) t) f
+
+let free_signals e = sort_uniq_idents (free_vars_acc [] e)
+
+let defined_signals stmts =
+  let defs = function
+    | Sdef (x, _) | Spartial (x, _) -> [ x ]
+    | Sinstance i -> i.inst_outs
+    | Sclk_eq _ | Sclk_le _ | Sclk_ex _ -> []
+  in
+  sort_uniq_idents (List.concat_map defs stmts)
+
+let stmt_reads = function
+  | Sdef (_, e) | Spartial (_, e) -> free_signals e
+  | Sclk_eq (e1, e2) | Sclk_le (e1, e2) | Sclk_ex (e1, e2) ->
+    sort_uniq_idents (free_vars_acc (free_vars_acc [] e1) e2)
+  | Sinstance i ->
+    sort_uniq_idents (List.concat_map free_signals i.inst_ins)
+
+let rec rename_expr f = function
+  | Econst _ as e -> e
+  | Evar x -> Evar (f x)
+  | Eunop (op, e) -> Eunop (op, rename_expr f e)
+  | Ebinop (op, e1, e2) -> Ebinop (op, rename_expr f e1, rename_expr f e2)
+  | Eif (c, t, e) -> Eif (rename_expr f c, rename_expr f t, rename_expr f e)
+  | Edelay (e, v) -> Edelay (rename_expr f e, v)
+  | Ewhen (e, b) -> Ewhen (rename_expr f e, rename_expr f b)
+  | Edefault (e1, e2) -> Edefault (rename_expr f e1, rename_expr f e2)
+  | Eclock e -> Eclock (rename_expr f e)
+
+let rename_stmt f = function
+  | Sdef (x, e) -> Sdef (f x, rename_expr f e)
+  | Spartial (x, e) -> Spartial (f x, rename_expr f e)
+  | Sclk_eq (e1, e2) -> Sclk_eq (rename_expr f e1, rename_expr f e2)
+  | Sclk_le (e1, e2) -> Sclk_le (rename_expr f e1, rename_expr f e2)
+  | Sclk_ex (e1, e2) -> Sclk_ex (rename_expr f e1, rename_expr f e2)
+  | Sinstance i ->
+    Sinstance
+      { i with
+        inst_ins = List.map (rename_expr f) i.inst_ins;
+        inst_outs = List.map f i.inst_outs }
+
+let equal_expr (a : expr) (b : expr) = a = b
+let compare_expr (a : expr) (b : expr) = compare a b
+
+let rec expr_size = function
+  | Econst _ | Evar _ -> 1
+  | Eunop (_, e) | Eclock e | Edelay (e, _) -> 1 + expr_size e
+  | Ebinop (_, e1, e2) | Ewhen (e1, e2) | Edefault (e1, e2) ->
+    1 + expr_size e1 + expr_size e2
+  | Eif (c, t, f) -> 1 + expr_size c + expr_size t + expr_size f
+
+let rec process_size p =
+  List.length p.body
+  + List.fold_left (fun acc sub -> acc + process_size sub) 0 p.subprocesses

@@ -1,0 +1,101 @@
+(** Abstract syntax of the SIGNAL subset used by the AADL translation.
+
+    The language is the polychronous kernel of SIGNAL (Le Guernic et
+    al., "Polychrony for System Design"): step-wise functions, delay,
+    sampling ([when]), deterministic merge ([default]), clock
+    constraints, partial definitions and process composition. *)
+
+type ident = string
+
+type unop =
+  | Not
+  | Neg
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor
+  | Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Econst of Types.value
+  | Evar of ident
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Eif of expr * expr * expr
+      (** synchronous conditional: all three operands share one clock *)
+  | Edelay of expr * Types.value  (** [e $ 1 init v] *)
+  | Ewhen of expr * expr          (** [e when b]: e sampled where b true *)
+  | Edefault of expr * expr       (** [e default f]: e, else f *)
+  | Eclock of expr                (** [^e]: event clock of e *)
+
+(** A statement of a process body. *)
+type stmt =
+  | Sdef of ident * expr       (** [x := e] total definition *)
+  | Spartial of ident * expr   (** [x ::= e] partial definition *)
+  | Sclk_eq of expr * expr     (** [e1 ^= e2] synchrony constraint *)
+  | Sclk_le of expr * expr     (** [e1 ^< e2] clock inclusion *)
+  | Sclk_ex of expr * expr     (** [e1 ^# e2] clock exclusion *)
+  | Sinstance of instance      (** sub-process instantiation *)
+
+and instance = {
+  inst_label : string;       (** unique label, used for traceability *)
+  inst_proc : ident;          (** name of the instantiated process model *)
+  inst_ins : expr list;       (** actual input expressions, positional *)
+  inst_outs : ident list;     (** signals receiving the outputs *)
+  inst_params : Types.value list;  (** static parameters, e.g. FIFO size *)
+}
+
+type vardecl = {
+  var_name : ident;
+  var_type : Types.styp;
+}
+
+type process = {
+  proc_name : ident;
+  params : vardecl list;       (** static (constant) parameters *)
+  inputs : vardecl list;
+  outputs : vardecl list;
+  locals : vardecl list;
+  body : stmt list;
+  subprocesses : process list; (** local process models, in scope of body *)
+  pragmas : (string * string) list;
+      (** free-form annotations; used for AADL traceability *)
+}
+
+type program = {
+  prog_name : ident;
+  processes : process list;    (** global process models *)
+}
+
+val var : ident -> Types.styp -> vardecl
+
+val empty_process : ident -> process
+(** A process with the given name and no content. *)
+
+val find_process : program -> ident -> process option
+(** Global lookup by name. *)
+
+val find_subprocess : process -> ident -> process option
+(** Lookup among a process's local models. *)
+
+val free_signals : expr -> ident list
+(** Signal names read by an expression (without duplicates, sorted). *)
+
+val defined_signals : stmt list -> ident list
+(** Names defined by [Sdef], [Spartial] or instance outputs (sorted,
+    without duplicates). *)
+
+val stmt_reads : stmt -> ident list
+(** Signal names read by a statement (sorted, without duplicates). *)
+
+val rename_expr : (ident -> ident) -> expr -> expr
+val rename_stmt : (ident -> ident) -> stmt -> stmt
+
+val equal_expr : expr -> expr -> bool
+val compare_expr : expr -> expr -> int
+
+val expr_size : expr -> int
+(** Number of AST nodes, used by profiling and benches. *)
+
+val process_size : process -> int
+(** Total number of statements, including subprocesses. *)

@@ -1,0 +1,54 @@
+open Ast
+
+let v x = Evar x
+let i n = Econst (Types.Vint n)
+let b x = Econst (Types.Vbool x)
+let r x = Econst (Types.Vreal x)
+let s x = Econst (Types.Vstring x)
+let ev = Econst Types.Vevent
+
+let ( + ) e1 e2 = Ebinop (Add, e1, e2)
+let ( - ) e1 e2 = Ebinop (Sub, e1, e2)
+let ( * ) e1 e2 = Ebinop (Mul, e1, e2)
+let ( / ) e1 e2 = Ebinop (Div, e1, e2)
+let ( mod ) e1 e2 = Ebinop (Mod, e1, e2)
+let ( && ) e1 e2 = Ebinop (And, e1, e2)
+let ( || ) e1 e2 = Ebinop (Or, e1, e2)
+let xor e1 e2 = Ebinop (Xor, e1, e2)
+let not_ e = Eunop (Not, e)
+let neg e = Eunop (Neg, e)
+let ( = ) e1 e2 = Ebinop (Eq, e1, e2)
+let ( <> ) e1 e2 = Ebinop (Neq, e1, e2)
+let ( < ) e1 e2 = Ebinop (Lt, e1, e2)
+let ( <= ) e1 e2 = Ebinop (Le, e1, e2)
+let ( > ) e1 e2 = Ebinop (Gt, e1, e2)
+let ( >= ) e1 e2 = Ebinop (Ge, e1, e2)
+
+let if_ c t e = Eif (c, t, e)
+
+let delay ?(init = Types.Vint 0) e = Edelay (e, init)
+
+let when_ e cond = Ewhen (e, cond)
+let default e1 e2 = Edefault (e1, e2)
+let clk e = Eclock e
+let on cond = Ewhen (cond, cond)
+
+let count () = failwith "Builder.count: use Stdproc.counter"
+
+let ( := ) x e = Sdef (x, e)
+let ( =:: ) x e = Spartial (x, e)
+let ( ^= ) e1 e2 = Sclk_eq (e1, e2)
+let ( ^< ) e1 e2 = Sclk_le (e1, e2)
+let ( ^! ) e1 e2 = Sclk_ex (e1, e2)
+
+let inst ?(params = []) ~label proc_name ins outs =
+  Sinstance
+    { inst_label = label; inst_proc = proc_name; inst_ins = ins;
+      inst_outs = outs; inst_params = params }
+
+let proc ?(params = []) ?(locals = []) ?(subprocesses = []) ?(pragmas = [])
+    ~name ~inputs ~outputs body =
+  { proc_name = name; params; inputs; outputs; locals; body; subprocesses;
+    pragmas }
+
+let program prog_name processes = { prog_name; processes }

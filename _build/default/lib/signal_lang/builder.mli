@@ -1,0 +1,90 @@
+(** Combinators for building SIGNAL processes programmatically.
+
+    The translator and the examples build SIGNAL abstract syntax with
+    these helpers rather than with raw constructors; they keep the
+    generated code uniform and readable. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val v : ident -> expr
+(** Signal reference. *)
+
+val i : int -> expr
+(** Integer constant. *)
+
+val b : bool -> expr
+(** Boolean constant. *)
+
+val r : float -> expr
+val s : string -> expr
+val ev : expr
+(** The event value constant. *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( mod ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val xor : expr -> expr -> expr
+val not_ : expr -> expr
+val neg : expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+
+val if_ : expr -> expr -> expr -> expr
+(** Synchronous conditional. *)
+
+val delay : ?init:Types.value -> expr -> expr
+(** [delay ~init e] is [e $ 1 init v]; default init is 0/false. *)
+
+val when_ : expr -> expr -> expr
+(** [when_ e cond] is [e when cond]. *)
+
+val default : expr -> expr -> expr
+val clk : expr -> expr
+(** [clk e] is [^e]. *)
+
+val on : expr -> expr
+(** [on cond] is the event clock [when cond], i.e. [cond when cond]. *)
+
+val count : unit -> expr
+(** Not a kernel operator; see {!Stdproc.counter} instead.
+    @raise Failure always — documents the absence. *)
+
+(** {1 Statements} *)
+
+val ( := ) : ident -> expr -> stmt
+val ( =:: ) : ident -> expr -> stmt
+(** Partial definition [x ::= e]. *)
+
+val ( ^= ) : expr -> expr -> stmt
+val ( ^< ) : expr -> expr -> stmt
+val ( ^! ) : expr -> expr -> stmt
+
+val inst :
+  ?params:Types.value list ->
+  label:string -> ident -> expr list -> ident list -> stmt
+(** [inst ~label proc ins outs] instantiates process model [proc]. *)
+
+(** {1 Processes} *)
+
+val proc :
+  ?params:vardecl list ->
+  ?locals:vardecl list ->
+  ?subprocesses:process list ->
+  ?pragmas:(string * string) list ->
+  name:ident ->
+  inputs:vardecl list ->
+  outputs:vardecl list ->
+  stmt list ->
+  process
+
+val program : string -> process list -> program

@@ -1,0 +1,64 @@
+(** Kernel normal form of SIGNAL processes.
+
+    Every equation is three-address over {e atoms} (signal names or
+    constants). Non-primitive process instances are inlined; primitive
+    (simulator-native) instances are kept as nodes. This is the common
+    input of the clock calculus, the static analyses and the simulator. *)
+
+type atom =
+  | Avar of Ast.ident
+  | Aconst of Types.value
+
+(** Step-wise (single-instant) operators. *)
+type prim =
+  | Punop of Ast.unop
+  | Pbinop of Ast.binop
+  | Pif              (** 3 args: condition, then, else — synchronous *)
+  | Pid              (** copy *)
+  | Pclock           (** [^x] : event extraction, synchronous with arg *)
+
+type keq =
+  | Kfunc of { dst : Ast.ident; op : prim; args : atom list }
+  | Kdelay of { dst : Ast.ident; src : Ast.ident; init : Types.value }
+  | Kwhen of { dst : Ast.ident; src : atom; cond : atom }
+  | Kdefault of { dst : Ast.ident; left : atom; right : atom }
+
+type kconstraint =
+  | Ceq of Ast.ident * Ast.ident  (** synchronous signals *)
+  | Cle of Ast.ident * Ast.ident  (** clock inclusion *)
+  | Cex of Ast.ident * Ast.ident  (** clock exclusion *)
+
+(** A primitive instance kept as a black box; its inputs have been
+    flattened to signal names. *)
+type kinstance = {
+  ki_label : string;
+  ki_prim : Stdproc.primitive;
+  ki_ins : Ast.ident list;
+  ki_outs : Ast.ident list;
+  ki_params : Types.value list;
+}
+
+type kprocess = {
+  kname : string;
+  kinputs : Ast.vardecl list;
+  koutputs : Ast.vardecl list;
+  klocals : Ast.vardecl list;  (** declared locals and generated temps *)
+  keqs : keq list;
+  kconstraints : kconstraint list;
+  kinstances : kinstance list;
+  kpartials : (Ast.ident * Ast.ident list) list;
+      (** signals defined by merging partial definitions, with the
+          temporaries holding each branch, in source order *)
+}
+
+val atom_type :
+  (Ast.ident -> Types.styp option) -> atom -> Types.styp option
+
+val signals : kprocess -> Ast.vardecl list
+(** All signals of the process: inputs, outputs, locals. *)
+
+val defined_by : kprocess -> Ast.ident -> keq list
+(** Equations whose destination is the given signal. *)
+
+val pp_keq : Format.formatter -> keq -> unit
+val pp_kprocess : Format.formatter -> kprocess -> unit

@@ -1,0 +1,326 @@
+open Ast
+open Kernel
+
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+type state = {
+  mutable counter : int;
+  used : (string, unit) Hashtbl.t;
+  mutable locals : vardecl list;   (* reversed *)
+  mutable eqs : keq list;          (* reversed *)
+  mutable constraints : kconstraint list;
+  mutable instances : kinstance list;
+  mutable partials : (ident * ident list) list;
+}
+
+let fresh st ?(hint = "t") typ =
+  let rec pick () =
+    st.counter <- st.counter + 1;
+    let name = Printf.sprintf "_%s%d" hint st.counter in
+    if Hashtbl.mem st.used name then pick () else name
+  in
+  let name = pick () in
+  Hashtbl.replace st.used name ();
+  st.locals <- var name typ :: st.locals;
+  name
+
+let emit st eq = st.eqs <- eq :: st.eqs
+
+(* A typing + renaming environment for the scope being normalized. *)
+type scope = {
+  rename : ident -> ident;
+  tenv : ident -> Types.styp option;
+  subst : (ident * Types.value) list;  (* static parameters *)
+}
+
+let type_of scope e =
+  match Typecheck.type_of_expr scope.tenv e with
+  | Ok t -> t
+  | Error m -> errf "%s" m
+
+(* Substitute static parameters by their constant values. *)
+let rec subst_params subst = function
+  | Econst _ as e -> e
+  | Evar x as e -> (
+    match List.assoc_opt x subst with
+    | Some v -> Econst v
+    | None -> e)
+  | Eunop (op, e) -> Eunop (op, subst_params subst e)
+  | Ebinop (op, e1, e2) ->
+    Ebinop (op, subst_params subst e1, subst_params subst e2)
+  | Eif (c, t, f) ->
+    Eif (subst_params subst c, subst_params subst t, subst_params subst f)
+  | Edelay (e, v) -> Edelay (subst_params subst e, v)
+  | Ewhen (e, b) -> Ewhen (subst_params subst e, subst_params subst b)
+  | Edefault (e1, e2) ->
+    Edefault (subst_params subst e1, subst_params subst e2)
+  | Eclock e -> Eclock (subst_params subst e)
+
+let atom_ident st typ = function
+  | Avar x -> x
+  | Aconst v ->
+    let t = fresh st ~hint:"c" typ in
+    emit st (Kfunc { dst = t; op = Pid; args = [ Aconst v ] });
+    t
+
+(* Flatten an expression to an atom, emitting kernel equations. *)
+let rec norm_expr st scope e =
+  let e = subst_params scope.subst e in
+  match e with
+  | Econst v -> Aconst v
+  | Evar x -> Avar (scope.rename x)
+  | Eunop (op, e1) ->
+    let t = type_of scope e in
+    let a = norm_expr st scope e1 in
+    let dst = fresh st t in
+    emit st (Kfunc { dst; op = Punop op; args = [ a ] });
+    Avar dst
+  | Ebinop (op, e1, e2) ->
+    let t = type_of scope e in
+    let a1 = norm_expr st scope e1 in
+    let a2 = norm_expr st scope e2 in
+    let dst = fresh st t in
+    emit st (Kfunc { dst; op = Pbinop op; args = [ a1; a2 ] });
+    Avar dst
+  | Eif (c, e1, e2) ->
+    let t = type_of scope e in
+    let ac = norm_expr st scope c in
+    let a1 = norm_expr st scope e1 in
+    let a2 = norm_expr st scope e2 in
+    let dst = fresh st t in
+    emit st (Kfunc { dst; op = Pif; args = [ ac; a1; a2 ] });
+    Avar dst
+  | Edelay (e1, init) ->
+    let t = type_of scope e in
+    let a = norm_expr st scope e1 in
+    let src = atom_ident st t a in
+    let dst = fresh st t in
+    emit st (Kdelay { dst; src; init });
+    Avar dst
+  | Ewhen (e1, b) ->
+    let t = type_of scope e in
+    let a = norm_expr st scope e1 in
+    let ab = norm_expr st scope b in
+    let dst = fresh st t in
+    emit st (Kwhen { dst; src = a; cond = ab });
+    Avar dst
+  | Edefault (e1, e2) ->
+    let t = type_of scope e in
+    let a1 = norm_expr st scope e1 in
+    let a2 = norm_expr st scope e2 in
+    let dst = fresh st t in
+    emit st (Kdefault { dst; left = a1; right = a2 });
+    Avar dst
+  | Eclock e1 ->
+    let a = norm_expr st scope e1 in
+    let dst = fresh st Types.Tevent in
+    emit st (Kfunc { dst; op = Pclock; args = [ a ] });
+    Avar dst
+
+let norm_expr_ident st scope e =
+  let typ = type_of scope (subst_params scope.subst e) in
+  atom_ident st typ (norm_expr st scope e)
+
+(* Copy an atom into a named destination. *)
+let assign st dst a = emit st (Kfunc { dst; op = Pid; args = [ a ] })
+
+let scope_env p params_bound =
+  let module SMap = Map.Make (String) in
+  let add acc vd = SMap.add vd.var_name vd.var_type acc in
+  let env = List.fold_left add SMap.empty p.params in
+  let env = List.fold_left add env p.inputs in
+  let env = List.fold_left add env p.outputs in
+  let env = List.fold_left add env p.locals in
+  fun x ->
+    match SMap.find_opt x env with
+    | Some t -> Some t
+    | None -> Option.map Types.type_of_value (List.assoc_opt x params_bound)
+
+let resolve_model ~program ~host name =
+  match find_subprocess host name with
+  | Some p -> Some p
+  | None -> (
+    match Option.bind program (fun prog -> find_process prog name) with
+    | Some p -> Some p
+    | None ->
+      List.find_opt (fun p -> String.equal p.proc_name name) Stdproc.all)
+
+(* Normalize the body of [p] in the given scope, recursing into
+   instances. [stack] guards against recursive models. *)
+let rec norm_body st ~program ~stack p scope =
+  let partials : (ident, Types.styp * ident list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let do_stmt = function
+    | Sdef (x, e) ->
+      let dst = scope.rename x in
+      let a = norm_expr st scope e in
+      assign st dst a
+    | Spartial (x, e) ->
+      let dst = scope.rename x in
+      let typ = type_of scope (subst_params scope.subst e) in
+      let a = norm_expr st scope e in
+      let t = atom_ident st typ a in
+      let prev =
+        match Hashtbl.find_opt partials dst with
+        | Some (_, l) -> l
+        | None -> []
+      in
+      Hashtbl.replace partials dst (typ, t :: prev)
+    | Sclk_eq (e1, e2) ->
+      let x1 = norm_expr_ident st scope e1 in
+      let x2 = norm_expr_ident st scope e2 in
+      st.constraints <- Ceq (x1, x2) :: st.constraints
+    | Sclk_le (e1, e2) ->
+      let x1 = norm_expr_ident st scope e1 in
+      let x2 = norm_expr_ident st scope e2 in
+      st.constraints <- Cle (x1, x2) :: st.constraints
+    | Sclk_ex (e1, e2) ->
+      let x1 = norm_expr_ident st scope e1 in
+      let x2 = norm_expr_ident st scope e2 in
+      st.constraints <- Cex (x1, x2) :: st.constraints
+    | Sinstance inst -> norm_instance st ~program ~stack p scope inst
+  in
+  List.iter do_stmt p.body;
+  (* Materialize partial definitions as a recorded merge. *)
+  Hashtbl.iter
+    (fun dst (typ, sources) ->
+      let sources = List.rev sources in
+      st.partials <- (dst, sources) :: st.partials;
+      match sources with
+      | [] -> ()
+      | [ one ] -> assign st dst (Avar one)
+      | first :: rest ->
+        (* dst := s1 default s2 default ... *)
+        let merged =
+          List.fold_left
+            (fun acc src ->
+              let t = fresh st ~hint:"m" typ in
+              emit st (Kdefault { dst = t; left = Avar acc; right = Avar src });
+              t)
+            first rest
+        in
+        assign st dst (Avar merged))
+    partials
+
+and norm_instance st ~program ~stack host scope inst =
+  match Stdproc.primitive_of_name inst.inst_proc with
+  | Some prim ->
+    let ins = List.map (norm_expr_ident st scope) inst.inst_ins in
+    let outs = List.map scope.rename inst.inst_outs in
+    st.instances <-
+      { ki_label = inst.inst_label; ki_prim = prim; ki_ins = ins;
+        ki_outs = outs; ki_params = inst.inst_params }
+      :: st.instances
+  | None -> (
+    match resolve_model ~program ~host inst.inst_proc with
+    | None -> errf "unknown process model %s" inst.inst_proc
+    | Some model ->
+      if List.mem model.proc_name stack then
+        errf "recursive instantiation of process %s" model.proc_name;
+      inline st ~program ~stack:(model.proc_name :: stack) scope inst model)
+
+(* Inline a non-primitive instance: bind actual inputs/outputs, rename
+   locals with a fresh prefix, substitute static parameters. *)
+and inline st ~program ~stack outer_scope inst model =
+  if List.length inst.inst_ins <> List.length model.inputs then
+    errf "instance %s of %s: bad input arity" inst.inst_label model.proc_name;
+  if List.length inst.inst_outs <> List.length model.outputs then
+    errf "instance %s of %s: bad output arity" inst.inst_label model.proc_name;
+  if List.length inst.inst_params <> List.length model.params then
+    errf "instance %s of %s: bad parameter arity" inst.inst_label
+      model.proc_name;
+  let params_bound =
+    List.map2 (fun vd v -> (vd.var_name, v)) model.params inst.inst_params
+  in
+  (* Bind each formal input to a signal carrying the actual value. *)
+  let in_bindings =
+    List.map2
+      (fun vd actual ->
+        let a = norm_expr st outer_scope actual in
+        match a with
+        | Avar x -> (vd.var_name, x)
+        | Aconst _ ->
+          let x = atom_ident st vd.var_type a in
+          (vd.var_name, x))
+      model.inputs inst.inst_ins
+  in
+  let out_bindings =
+    List.map2
+      (fun vd actual -> (vd.var_name, outer_scope.rename actual))
+      model.outputs inst.inst_outs
+  in
+  (* Fresh names for locals. *)
+  let local_bindings =
+    List.map
+      (fun vd ->
+        let rec pick k =
+          let name =
+            if k = 0 then Printf.sprintf "%s__%s" inst.inst_label vd.var_name
+            else Printf.sprintf "%s__%s_%d" inst.inst_label vd.var_name k
+          in
+          if Hashtbl.mem st.used name then pick (k + 1) else name
+        in
+        let name = pick 0 in
+        Hashtbl.replace st.used name ();
+        st.locals <- var name vd.var_type :: st.locals;
+        (vd.var_name, name))
+      model.locals
+  in
+  let renaming = in_bindings @ out_bindings @ local_bindings in
+  let rename x =
+    match List.assoc_opt x renaming with
+    | Some y -> y
+    | None -> x  (* parameters are substituted, not renamed *)
+  in
+  let inner_scope =
+    { rename;
+      tenv = scope_env model params_bound;
+      subst = params_bound }
+  in
+  norm_body st ~program ~stack model inner_scope
+
+let process ?program ?(params = []) p =
+  let st =
+    { counter = 0; used = Hashtbl.create 64; locals = []; eqs = [];
+      constraints = []; instances = []; partials = [] }
+  in
+  try
+    if List.length params <> List.length p.params then
+      errf "process %s expects %d static parameters, %d given" p.proc_name
+        (List.length p.params) (List.length params);
+    let params_bound =
+      List.map2 (fun vd v -> (vd.var_name, v)) p.params params
+    in
+    List.iter
+      (fun vd -> Hashtbl.replace st.used vd.var_name ())
+      (p.inputs @ p.outputs @ p.locals);
+    st.locals <- List.rev p.locals;
+    let scope =
+      { rename = (fun x -> x); tenv = scope_env p params_bound;
+        subst = params_bound }
+    in
+    norm_body st ~program ~stack:[ p.proc_name ] p scope;
+    (* Generated temporaries were prepended; declared locals were seeded
+       first, so a single reverse restores declaration order. *)
+    let declared = List.map (fun vd -> vd.var_name) p.locals in
+    let gen_locals =
+      List.filter (fun vd -> not (List.mem vd.var_name declared)) st.locals
+    in
+    Ok
+      { kname = p.proc_name;
+        kinputs = p.inputs;
+        koutputs = p.outputs;
+        klocals = p.locals @ List.rev gen_locals;
+        keqs = List.rev st.eqs;
+        kconstraints = List.rev st.constraints;
+        kinstances = List.rev st.instances;
+        kpartials = List.rev st.partials }
+  with Error m -> Error (Printf.sprintf "normalize %s: %s" p.proc_name m)
+
+let process_exn ?program ?params p =
+  match process ?program ?params p with
+  | Ok kp -> kp
+  | Error m -> failwith m

@@ -1,0 +1,29 @@
+(** Normalization of SIGNAL processes to {!Kernel} form.
+
+    - expressions are flattened to three-address equations over fresh,
+      typed temporaries;
+    - non-primitive process instances (including the kernel-expressible
+      AADL2SIGNAL library models) are inlined, with static parameters
+      substituted by their actual constant values;
+    - primitive instances are kept as {!Kernel.kinstance} nodes;
+    - partial definitions are turned into a recorded merge of
+      per-branch temporaries.
+
+    Fresh names are built as ["label__name"] for inlined instances and
+    ["_tN"] for temporaries, so they cannot clash with source names
+    produced by the AADL translator. *)
+
+val process :
+  ?program:Ast.program ->
+  ?params:Types.value list ->
+  Ast.process ->
+  (Kernel.kprocess, string) result
+(** Normalize one process. [params] instantiates its static parameters
+    (required when the process declares any). [program] provides the
+    global scope for instance resolution; the AADL2SIGNAL library is
+    always in scope. *)
+
+val process_exn :
+  ?program:Ast.program -> ?params:Types.value list -> Ast.process ->
+  Kernel.kprocess
+(** @raise Failure on normalization errors. *)

@@ -1,0 +1,213 @@
+open Kernel
+
+module SSet = Set.Make (String)
+
+let eq_dst = function
+  | Kfunc { dst; _ } | Kdelay { dst; _ } | Kwhen { dst; _ }
+  | Kdefault { dst; _ } -> dst
+
+let atom_vars = function
+  | Avar x -> [ x ]
+  | Aconst _ -> []
+
+let eq_reads = function
+  | Kfunc { args; _ } -> List.concat_map atom_vars args
+  | Kdelay { src; _ } -> [ src ]
+  | Kwhen { src; cond; _ } -> atom_vars src @ atom_vars cond
+  | Kdefault { left; right; _ } -> atom_vars left @ atom_vars right
+
+let slice ?keep kp =
+  let roots =
+    match keep with
+    | Some l -> l
+    | None -> List.map (fun vd -> vd.Ast.var_name) kp.koutputs
+  in
+  (* producers: signal -> equations defining it; instances -> via outs *)
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun eq -> Hashtbl.add defs (eq_dst eq) (`Eq eq))
+    kp.keqs;
+  List.iter
+    (fun ki -> List.iter (fun o -> Hashtbl.add defs o (`Inst ki)) ki.ki_outs)
+    kp.kinstances;
+  (* read-cone of each signal (transitive reads through its defining
+     equations), used to decide which clock constraints matter: a
+     constraint like [c1 ^= c2] with [c1 := ^y] pins the clock of [y]
+     even though nothing live reads [c1] *)
+  let cone_memo : (string, SSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec cone ?(stack = SSet.empty) x =
+    match Hashtbl.find_opt cone_memo x with
+    | Some s -> s
+    | None ->
+      if SSet.mem x stack then SSet.empty
+      else begin
+        let stack = SSet.add x stack in
+        let s =
+          List.fold_left
+            (fun acc producer ->
+              match producer with
+              | `Eq eq ->
+                List.fold_left
+                  (fun acc r -> SSet.union acc (SSet.add r (cone ~stack r)))
+                  acc (eq_reads eq)
+              | `Inst ki ->
+                List.fold_left
+                  (fun acc r -> SSet.union acc (SSet.add r (cone ~stack r)))
+                  acc ki.ki_ins)
+            SSet.empty
+            (Hashtbl.find_all defs x)
+        in
+        Hashtbl.replace cone_memo x s;
+        s
+      end
+  in
+  let live = ref SSet.empty in
+  let queue = Queue.create () in
+  let touch x =
+    if not (SSet.mem x !live) then begin
+      live := SSet.add x !live;
+      Queue.push x queue
+    end
+  in
+  List.iter touch roots;
+  let live_constraints = Hashtbl.create 16 in
+  let drain () =
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun producer ->
+          match producer with
+          | `Eq eq -> List.iter touch (eq_reads eq)
+          | `Inst ki ->
+            List.iter touch ki.ki_ins;
+            (* all outputs of a kept instance stay: the instance runs *)
+            List.iter touch ki.ki_outs)
+        (Hashtbl.find_all defs x)
+    done
+  in
+  drain ();
+  (* a constraint becomes live when the read-cone of either side
+     touches a live signal; its sides (and their cones) then join the
+     live set — iterate to a fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iteri
+      (fun i c ->
+        if not (Hashtbl.mem live_constraints i) then begin
+          let a, b =
+            match c with Ceq (a, b) | Cle (a, b) | Cex (a, b) -> (a, b)
+          in
+          let touches s =
+            SSet.mem s !live
+            || SSet.exists (fun r -> SSet.mem r !live) (cone s)
+          in
+          if touches a || touches b then begin
+            Hashtbl.replace live_constraints i ();
+            touch a;
+            touch b;
+            drain ();
+            changed := true
+          end
+        end)
+      kp.kconstraints
+  done;
+  let is_live x = SSet.mem x !live in
+  let keqs = List.filter (fun eq -> is_live (eq_dst eq)) kp.keqs in
+  let kinstances =
+    List.filter (fun ki -> List.exists is_live ki.ki_outs) kp.kinstances
+  in
+  let kconstraints =
+    List.filteri (fun i _ -> Hashtbl.mem live_constraints i) kp.kconstraints
+  in
+  let kpartials = List.filter (fun (x, _) -> is_live x) kp.kpartials in
+  let klocals = List.filter (fun vd -> is_live vd.Ast.var_name) kp.klocals in
+  { kp with keqs; kinstances; kconstraints; kpartials; klocals }
+
+let copy_propagate kp =
+  let is_interface =
+    let s =
+      SSet.of_list
+        (List.map (fun vd -> vd.Ast.var_name) (kp.kinputs @ kp.koutputs))
+    in
+    fun x -> SSet.mem x s
+  in
+  (* y := id(x): y local, substitute y -> x everywhere *)
+  let subst = Hashtbl.create 16 in
+  List.iter
+    (fun eq ->
+      match eq with
+      | Kfunc { dst; op = Pid; args = [ Avar src ] }
+        when not (is_interface dst) ->
+        Hashtbl.replace subst dst src
+      | _ -> ())
+    kp.keqs;
+  (* resolve chains *)
+  let rec resolve ?(fuel = 64) x =
+    match Hashtbl.find_opt subst x with
+    | Some y when fuel > 0 -> resolve ~fuel:(fuel - 1) y
+    | _ -> x
+  in
+  let sub_atom = function
+    | Avar x -> Avar (resolve x)
+    | Aconst _ as a -> a
+  in
+  let keqs =
+    List.filter_map
+      (fun eq ->
+        match eq with
+        | Kfunc { dst; op = Pid; args = [ Avar _ ] }
+          when Hashtbl.mem subst dst ->
+          None
+        | Kfunc { dst; op; args } ->
+          Some (Kfunc { dst; op; args = List.map sub_atom args })
+        | Kdelay { dst; src; init } ->
+          Some (Kdelay { dst; src = resolve src; init })
+        | Kwhen { dst; src; cond } ->
+          Some (Kwhen { dst; src = sub_atom src; cond = sub_atom cond })
+        | Kdefault { dst; left; right } ->
+          Some (Kdefault { dst; left = sub_atom left; right = sub_atom right }))
+      kp.keqs
+  in
+  let kconstraints =
+    List.map
+      (fun c ->
+        match c with
+        | Ceq (a, b) -> Ceq (resolve a, resolve b)
+        | Cle (a, b) -> Cle (resolve a, resolve b)
+        | Cex (a, b) -> Cex (resolve a, resolve b))
+      kp.kconstraints
+  in
+  let kinstances =
+    List.map
+      (fun ki -> { ki with ki_ins = List.map resolve ki.ki_ins })
+      kp.kinstances
+  in
+  let kpartials =
+    List.map (fun (x, srcs) -> (x, List.map resolve srcs)) kp.kpartials
+  in
+  let dropped = Hashtbl.fold (fun x _ acc -> SSet.add x acc) subst SSet.empty in
+  let klocals =
+    List.filter (fun vd -> not (SSet.mem vd.Ast.var_name dropped)) kp.klocals
+  in
+  { kp with keqs; kconstraints; kinstances; kpartials; klocals }
+
+let size kp =
+  ( List.length (signals kp),
+    List.length kp.keqs,
+    List.length kp.kconstraints,
+    List.length kp.kinstances )
+
+let optimize ?keep kp =
+  let rec go fuel kp =
+    if fuel = 0 then kp
+    else
+      let kp' = slice ?keep (copy_propagate kp) in
+      if size kp' = size kp then kp' else go (fuel - 1) kp'
+  in
+  go 8 kp
+
+let stats kp =
+  let s, e, c, i = size kp in
+  Printf.sprintf "%d signals, %d equations, %d constraints, %d instances"
+    s e c i

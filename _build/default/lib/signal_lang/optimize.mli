@@ -1,0 +1,28 @@
+(** Kernel-level optimization passes, as performed by the Polychrony
+    compiler before code generation (ref [15]).
+
+    Both passes preserve the observable behaviour: traces projected
+    onto the kept signals are unchanged (tested against the
+    interpreter). *)
+
+val slice :
+  ?keep:Ast.ident list -> Kernel.kprocess -> Kernel.kprocess
+(** Dead-code elimination: keep only the equations, constraints and
+    primitive instances that (transitively) contribute to the [keep]
+    signals — by default the process outputs. Clock constraints are
+    kept when they mention a kept signal (they may determine its
+    presence); a primitive instance is kept when any of its outputs is
+    kept. Locals that no longer appear are dropped from the
+    declarations. *)
+
+val copy_propagate : Kernel.kprocess -> Kernel.kprocess
+(** Replace reads of pure copies ([y := x] with [y] a local) by their
+    source and drop the copy equation. Outputs and inputs are never
+    substituted away. *)
+
+val optimize :
+  ?keep:Ast.ident list -> Kernel.kprocess -> Kernel.kprocess
+(** [copy_propagate] then [slice], iterated to a fixpoint (bounded). *)
+
+val stats : Kernel.kprocess -> string
+(** One-line size summary: signals/equations/constraints/instances. *)

@@ -1,0 +1,176 @@
+open Ast
+
+let unop_to_string = function
+  | Not -> "not"
+  | Neg -> "-"
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "modulo"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Eq -> "=" | Neq -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(* Precedence levels, loosely following the SIGNAL reference manual:
+   higher binds tighter. *)
+let binop_prec = function
+  | Or | Xor -> 2
+  | And -> 3
+  | Eq | Neq | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let prec_default = 1
+let prec_when = 1
+let prec_delay = 7
+let prec_atom = 9
+
+let rec pp_expr_prec ctx ppf e =
+  let p = prec_of e in
+  let body ppf () =
+    match e with
+    | Econst v -> Types.pp_value ppf v
+    | Evar x -> Format.pp_print_string ppf x
+    | Eunop (op, e1) ->
+      Format.fprintf ppf "%s %a" (unop_to_string op)
+        (pp_expr_prec prec_atom) e1
+    | Ebinop (op, e1, e2) ->
+      let bp = binop_prec op in
+      Format.fprintf ppf "@[<hv>%a %s@ %a@]"
+        (pp_expr_prec bp) e1 (binop_to_string op)
+        (pp_expr_prec (bp + 1)) e2
+    | Eif (c, t, f) ->
+      Format.fprintf ppf "@[<hv>if %a@ then %a@ else %a@]"
+        (pp_expr_prec 0) c (pp_expr_prec 0) t (pp_expr_prec 0) f
+    | Edelay (e1, init) ->
+      Format.fprintf ppf "%a $ 1 init %a"
+        (pp_expr_prec (prec_delay + 1)) e1 Types.pp_value init
+    | Ewhen (e1, e2) when equal_expr e1 e2 ->
+      Format.fprintf ppf "when %a" (pp_expr_prec prec_atom) e2
+    | Ewhen (e1, e2) ->
+      Format.fprintf ppf "@[<hv>%a when@ %a@]"
+        (pp_expr_prec (prec_when + 1)) e1 (pp_expr_prec (prec_when + 1)) e2
+    | Edefault (e1, e2) ->
+      Format.fprintf ppf "@[<hv>%a default@ %a@]"
+        (pp_expr_prec (prec_default + 1)) e1 (pp_expr_prec prec_default) e2
+    | Eclock e1 -> Format.fprintf ppf "^%a" (pp_expr_prec prec_atom) e1
+  in
+  if p < ctx then Format.fprintf ppf "(%a)" body () else body ppf ()
+
+and prec_of = function
+  | Econst _ | Evar _ -> prec_atom
+  | Eunop _ | Eclock _ -> 8
+  | Ebinop (op, _, _) -> binop_prec op
+  | Eif _ -> 0
+  | Edelay _ -> prec_delay
+  | Ewhen (e1, e2) when equal_expr e1 e2 -> 8
+  | Ewhen _ -> prec_when
+  | Edefault _ -> prec_default
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_comma_list pp ppf l =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp ppf l
+
+let pp_stmt ppf = function
+  | Sdef (x, e) -> Format.fprintf ppf "@[<hv 2>%s :=@ %a@]" x pp_expr e
+  | Spartial (x, e) -> Format.fprintf ppf "@[<hv 2>%s ::=@ %a@]" x pp_expr e
+  | Sclk_eq (e1, e2) ->
+    Format.fprintf ppf "@[<hv 2>%a ^=@ %a@]" pp_expr e1 pp_expr e2
+  | Sclk_le (e1, e2) ->
+    Format.fprintf ppf "@[<hv 2>%a ^<@ %a@]" pp_expr e1 pp_expr e2
+  | Sclk_ex (e1, e2) ->
+    Format.fprintf ppf "@[<hv 2>%a ^#@ %a@]" pp_expr e1 pp_expr e2
+  | Sinstance inst ->
+    let pp_outs ppf = function
+      | [] -> ()
+      | outs -> Format.fprintf ppf "(%a) := " (pp_comma_list Format.pp_print_string) outs
+    in
+    let pp_params ppf = function
+      | [] -> ()
+      | ps -> Format.fprintf ppf "{%a}" (pp_comma_list Types.pp_value) ps
+    in
+    Format.fprintf ppf "@[<hv 2>%a%s%a(%a)@]"
+      pp_outs inst.inst_outs inst.inst_proc pp_params inst.inst_params
+      (pp_comma_list pp_expr) inst.inst_ins
+
+let group_by_type vars =
+  (* Group consecutive declarations of the same type, preserving order,
+     to print "integer x, y, z;" like the Polychrony tools do. *)
+  let rec loop acc current = function
+    | [] -> List.rev (match current with None -> acc | Some g -> g :: acc)
+    | { var_name; var_type } :: rest -> (
+      match current with
+      | Some (t, names) when t = var_type ->
+        loop acc (Some (t, var_name :: names)) rest
+      | Some g -> loop (g :: acc) (Some (var_type, [ var_name ])) rest
+      | None -> loop acc (Some (var_type, [ var_name ])) rest)
+  in
+  List.map (fun (t, names) -> (t, List.rev names)) (loop [] None vars)
+
+let pp_decl_group ppf (t, names) =
+  Format.fprintf ppf "@[<hov 2>%a %a@]" Types.pp_styp t
+    (pp_comma_list Format.pp_print_string) names
+
+let pp_io_section ppf (mark, vars) =
+  match vars with
+  | [] -> ()
+  | _ ->
+    let groups = group_by_type vars in
+    Format.fprintf ppf "%s " mark;
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+      pp_decl_group ppf groups;
+    Format.fprintf ppf ";@ "
+
+let rec pp_process_indent ppf p =
+  let pp_pragma ppf (k, v) =
+    Format.fprintf ppf "@[%%pragma %s \"%s\"%%@]" k v
+  in
+  Format.fprintf ppf "@[<v 2>process %s =%a@," p.proc_name
+    (fun ppf params ->
+      match params with
+      | [] -> ()
+      | _ ->
+        Format.fprintf ppf "@,{ @[<hov>%a@] }"
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+             pp_decl_group)
+          (group_by_type params))
+    p.params;
+  Format.fprintf ppf "@[<hv 2>( %a%a)@]@,"
+    pp_io_section ("?", p.inputs)
+    pp_io_section ("!", p.outputs);
+  (match p.body with
+  | [] -> Format.fprintf ppf "(| |)"
+  | body ->
+    Format.fprintf ppf "@[<v 1>(| %a@ |)@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ | ")
+         pp_stmt)
+      body);
+  let has_where = p.locals <> [] || p.subprocesses <> [] in
+  if has_where then begin
+    Format.fprintf ppf "@,@[<v 2>where";
+    List.iter
+      (fun g -> Format.fprintf ppf "@,%a;" pp_decl_group g)
+      (group_by_type p.locals);
+    List.iter
+      (fun sub -> Format.fprintf ppf "@,%a" pp_process_indent sub)
+      p.subprocesses;
+    Format.fprintf ppf "@]@,end"
+  end;
+  List.iter (fun pr -> Format.fprintf ppf "@,%a" pp_pragma pr) p.pragmas;
+  Format.fprintf ppf ";@]"
+
+let pp_process ppf p = Format.fprintf ppf "@[<v>%a@]" pp_process_indent p
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v>module %s =@,@," prog.prog_name;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+    pp_process ppf prog.processes;
+  Format.fprintf ppf "@]"
+
+let to_string pp x = Format.asprintf "%a" pp x
+let expr_to_string = to_string pp_expr
+let stmt_to_string = to_string pp_stmt
+let process_to_string = to_string pp_process
+let program_to_string = to_string pp_program

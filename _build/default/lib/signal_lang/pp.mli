@@ -1,0 +1,27 @@
+(** Pretty-printer to SIGNAL concrete syntax.
+
+    The output follows the Polychrony textual style:
+    {[
+      process thProducer =
+        ( ? event Dispatch;
+          ! integer pOut; )
+        (| pOut := z + 1
+         | z := pOut $ 1 init 0
+         |)
+        where
+          integer z;
+        end;
+    ]} *)
+
+val unop_to_string : Ast.unop -> string
+val binop_to_string : Ast.binop -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_process : Format.formatter -> Ast.process -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val process_to_string : Ast.process -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,254 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | KW of string
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LCOMP | RCOMP
+  | BAR
+  | QUESTION | BANG
+  | SEMI | COMMA
+  | DEFINE
+  | PARTIAL
+  | CLK_EQ | CLK_LE | CLK_EX
+  | HAT
+  | DOLLAR
+  | PLUS | MINUS | STAR | SLASH
+  | EQ | NEQ | LT | LE | GT | GE
+  | PRAGMA of string * string
+  | EOF
+
+let keywords =
+  [ "process"; "where"; "end"; "module"; "when"; "default"; "if"; "then";
+    "else"; "init"; "not"; "and"; "or"; "xor"; "modulo"; "true"; "false";
+    "event"; "boolean"; "integer"; "real"; "string" ]
+
+exception Lex_error of string * int
+
+let error pos fmt = Format.kasprintf (fun m -> raise (Lex_error (m, pos))) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let starts_with s =
+    !pos + String.length s <= n && String.sub src !pos (String.length s) = s
+  in
+  let lex_ident () =
+    let start = !pos in
+    while (match peek 0 with Some c -> is_ident_char c | None -> false) do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  let lex_string () =
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek 0 with
+      | None -> error !pos "unterminated string"
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek 0 with
+         | Some c ->
+           Buffer.add_char buf c;
+           incr pos
+         | None -> error !pos "unterminated escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let lex_number () =
+    let start = !pos in
+    while (match peek 0 with Some c -> is_digit c | None -> false) do
+      incr pos
+    done;
+    let is_real =
+      match peek 0, peek 1 with
+      | Some '.', Some c when is_digit c -> true
+      | _ -> false
+    in
+    if is_real then begin
+      incr pos;
+      while (match peek 0 with Some c -> is_digit c | None -> false) do
+        incr pos
+      done;
+      (* exponent *)
+      (match peek 0 with
+       | Some ('e' | 'E') ->
+         incr pos;
+         (match peek 0 with
+          | Some ('+' | '-') -> incr pos
+          | _ -> ());
+         while (match peek 0 with Some c -> is_digit c | None -> false) do
+           incr pos
+         done
+       | _ -> ());
+      REAL (float_of_string (String.sub src start (!pos - start)))
+    end
+    else INT (int_of_string (String.sub src start (!pos - start)))
+  in
+  let rec go () =
+    if !pos >= n then emit EOF
+    else begin
+      (match src.[!pos] with
+       | ' ' | '\t' | '\r' | '\n' -> incr pos
+       | '%' ->
+         if starts_with "%pragma" then begin
+           pos := !pos + 7;
+           while (match peek 0 with Some ' ' -> true | _ -> false) do
+             incr pos
+           done;
+           let key = lex_ident () in
+           while (match peek 0 with Some ' ' -> true | _ -> false) do
+             incr pos
+           done;
+           let value =
+             match peek 0 with
+             | Some '"' -> lex_string ()
+             | _ -> error !pos "pragma value must be a string"
+           in
+           (match peek 0 with
+            | Some '%' -> incr pos
+            | _ -> error !pos "unterminated pragma");
+           emit (PRAGMA (key, value))
+         end
+         else begin
+           (* comment: to the next % *)
+           incr pos;
+           while (match peek 0 with Some c -> c <> '%' | None -> false) do
+             incr pos
+           done;
+           match peek 0 with
+           | Some _ -> incr pos
+           | None -> error !pos "unterminated comment"
+         end
+       | '(' ->
+         if peek 1 = Some '|' then begin
+           pos := !pos + 2;
+           emit LCOMP
+         end
+         else begin
+           incr pos;
+           emit LPAREN
+         end
+       | '|' ->
+         if peek 1 = Some ')' then begin
+           pos := !pos + 2;
+           emit RCOMP
+         end
+         else begin
+           incr pos;
+           emit BAR
+         end
+       | ')' -> incr pos; emit RPAREN
+       | '{' -> incr pos; emit LBRACE
+       | '}' -> incr pos; emit RBRACE
+       | '?' -> incr pos; emit QUESTION
+       | '!' -> incr pos; emit BANG
+       | ';' -> incr pos; emit SEMI
+       | ',' -> incr pos; emit COMMA
+       | '$' -> incr pos; emit DOLLAR
+       | '+' -> incr pos; emit PLUS
+       | '-' -> incr pos; emit MINUS
+       | '*' -> incr pos; emit STAR
+       | '/' ->
+         if peek 1 = Some '=' then begin
+           pos := !pos + 2;
+           emit NEQ
+         end
+         else begin
+           incr pos;
+           emit SLASH
+         end
+       | '=' -> incr pos; emit EQ
+       | '<' ->
+         if peek 1 = Some '=' then begin
+           pos := !pos + 2;
+           emit LE
+         end
+         else begin
+           incr pos;
+           emit LT
+         end
+       | '>' ->
+         if peek 1 = Some '=' then begin
+           pos := !pos + 2;
+           emit GE
+         end
+         else begin
+           incr pos;
+           emit GT
+         end
+       | ':' ->
+         if starts_with "::=" then begin
+           pos := !pos + 3;
+           emit PARTIAL
+         end
+         else if starts_with ":=" then begin
+           pos := !pos + 2;
+           emit DEFINE
+         end
+         else error !pos "unexpected ':'"
+       | '^' -> (
+         match peek 1 with
+         | Some '=' ->
+           pos := !pos + 2;
+           emit CLK_EQ
+         | Some '<' ->
+           pos := !pos + 2;
+           emit CLK_LE
+         | Some '#' ->
+           pos := !pos + 2;
+           emit CLK_EX
+         | _ ->
+           incr pos;
+           emit HAT)
+       | '"' -> emit (STRING (lex_string ()))
+       | c when is_digit c -> emit (lex_number ())
+       | c when is_ident_start c ->
+         let id = lex_ident () in
+         let low = String.lowercase_ascii id in
+         if List.mem low keywords then emit (KW low) else emit (IDENT id)
+       | c -> error !pos "unexpected character %c" c);
+      if (match !toks with EOF :: _ -> false | _ -> true) then go ()
+    end
+  in
+  go ();
+  List.rev !toks
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | REAL r -> string_of_float r
+  | STRING s -> Printf.sprintf "%S" s
+  | KW s -> s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LCOMP -> "(|" | RCOMP -> "|)"
+  | BAR -> "|"
+  | QUESTION -> "?" | BANG -> "!"
+  | SEMI -> ";" | COMMA -> ","
+  | DEFINE -> ":=" | PARTIAL -> "::="
+  | CLK_EQ -> "^=" | CLK_LE -> "^<" | CLK_EX -> "^#"
+  | HAT -> "^" | DOLLAR -> "$"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | EQ -> "=" | NEQ -> "/=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | PRAGMA (k, v) -> Printf.sprintf "%%pragma %s %S%%" k v
+  | EOF -> "<eof>"

@@ -1,0 +1,37 @@
+(** Lexer for the SIGNAL concrete syntax emitted by {!Pp}. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | KW of string        (** lowercased keyword *)
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LCOMP | RCOMP       (** [(|] and [|)] *)
+  | BAR
+  | QUESTION | BANG
+  | SEMI | COMMA
+  | DEFINE              (** [:=] *)
+  | PARTIAL             (** [::=] *)
+  | CLK_EQ | CLK_LE | CLK_EX   (** [^=], [^<], [^#] *)
+  | HAT                 (** [^] *)
+  | DOLLAR
+  | PLUS | MINUS | STAR | SLASH
+  | EQ | NEQ | LT | LE | GT | GE
+  | PRAGMA of string * string
+  | EOF
+
+val keywords : string list
+(** process, where, end, module, when, default, if, then, else, init,
+    not, and, or, xor, modulo, true, false, event, boolean, integer,
+    real, string. *)
+
+exception Lex_error of string * int
+(** message, offset *)
+
+val tokenize : string -> token list
+(** Ends with [EOF]. Comments run between [%] pairs, except
+    [%pragma key "value"%] which lexes as a {!PRAGMA} token. *)
+
+val token_to_string : token -> string

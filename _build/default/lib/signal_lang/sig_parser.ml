@@ -1,0 +1,448 @@
+open Ast
+module L = Sig_lexer
+
+exception Parse_error of string
+
+type state = {
+  toks : L.token array;
+  mutable idx : int;
+}
+
+let cur st = st.toks.(st.idx)
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let error st fmt =
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Parse_error
+           (Printf.sprintf "%s (at '%s')" m (L.token_to_string (cur st)))))
+    fmt
+
+let expect st tok =
+  if cur st = tok then advance st
+  else error st "expected '%s'" (L.token_to_string tok)
+
+let accept st tok =
+  if cur st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (L.KW kw)
+let expect_kw st kw = expect st (L.KW kw)
+
+let ident st =
+  match cur st with
+  | L.IDENT s ->
+    advance st;
+    s
+  | _ -> error st "expected identifier"
+
+let styp_of_kw st =
+  match cur st with
+  | L.KW "event" -> advance st; Some Types.Tevent
+  | L.KW "boolean" -> advance st; Some Types.Tbool
+  | L.KW "integer" -> advance st; Some Types.Tint
+  | L.KW "real" -> advance st; Some Types.Treal
+  | L.KW "string" -> advance st; Some Types.Tstring
+  | _ -> None
+
+(* literal values, with optional sign, for init/params *)
+let value st =
+  match cur st with
+  | L.KW "true" -> advance st; Types.Vbool true
+  | L.KW "false" -> advance st; Types.Vbool false
+  | L.INT n -> advance st; Types.Vint n
+  | L.REAL r -> advance st; Types.Vreal r
+  | L.STRING s -> advance st; Types.Vstring s
+  | L.MINUS -> (
+    advance st;
+    match cur st with
+    | L.INT n -> advance st; Types.Vint (-n)
+    | L.REAL r -> advance st; Types.Vreal (-.r)
+    | _ -> error st "expected a number after '-'")
+  | _ -> error st "expected a literal value"
+
+(* ---------------------------- expressions ------------------------- *)
+
+let rec expr0 st =
+  if accept_kw st "if" then begin
+    let c = expr0 st in
+    expect_kw st "then";
+    let t = expr0 st in
+    expect_kw st "else";
+    let e = expr0 st in
+    Eif (c, t, e)
+  end
+  else expr1 st
+
+(* when / default level *)
+and expr1 st =
+  let e = ref (expr2 st) in
+  let rec loop () =
+    if accept_kw st "when" then begin
+      let b = expr2 st in
+      e := Ewhen (!e, b);
+      loop ()
+    end
+    else if accept_kw st "default" then
+      (* right associative *)
+      e := Edefault (!e, expr1 st)
+  in
+  loop ();
+  !e
+
+and expr2 st =
+  let e = ref (expr3 st) in
+  let rec loop () =
+    if accept_kw st "or" then begin
+      e := Ebinop (Or, !e, expr3 st);
+      loop ()
+    end
+    else if accept_kw st "xor" then begin
+      e := Ebinop (Xor, !e, expr3 st);
+      loop ()
+    end
+  in
+  loop ();
+  !e
+
+and expr3 st =
+  let e = ref (expr4 st) in
+  while accept_kw st "and" do
+    e := Ebinop (And, !e, expr4 st)
+  done;
+  !e
+
+and expr4 st =
+  let e = ref (expr5 st) in
+  let rec loop () =
+    let op =
+      match cur st with
+      | L.EQ -> Some Eq
+      | L.NEQ -> Some Neq
+      | L.LT -> Some Lt
+      | L.LE -> Some Le
+      | L.GT -> Some Gt
+      | L.GE -> Some Ge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      advance st;
+      e := Ebinop (op, !e, expr5 st);
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !e
+
+and expr5 st =
+  let e = ref (expr6 st) in
+  let rec loop () =
+    if accept st L.PLUS then begin
+      e := Ebinop (Add, !e, expr6 st);
+      loop ()
+    end
+    else if accept st L.MINUS then begin
+      e := Ebinop (Sub, !e, expr6 st);
+      loop ()
+    end
+  in
+  loop ();
+  !e
+
+and expr6 st =
+  let e = ref (expr7 st) in
+  let rec loop () =
+    if accept st L.STAR then begin
+      e := Ebinop (Mul, !e, expr7 st);
+      loop ()
+    end
+    else if accept st L.SLASH then begin
+      e := Ebinop (Div, !e, expr7 st);
+      loop ()
+    end
+    else if accept_kw st "modulo" then begin
+      e := Ebinop (Mod, !e, expr7 st);
+      loop ()
+    end
+  in
+  loop ();
+  !e
+
+(* delay: e $ 1 init v *)
+and expr7 st =
+  let e = ref (expr8 st) in
+  while accept st L.DOLLAR do
+    (match cur st with
+     | L.INT 1 -> advance st
+     | _ -> error st "only unit delays '$ 1' are supported");
+    expect_kw st "init";
+    let v = value st in
+    e := Edelay (!e, v)
+  done;
+  !e
+
+and expr8 st =
+  match cur st with
+  | L.KW "not" ->
+    advance st;
+    Eunop (Not, atom st)
+  | L.MINUS -> (
+    advance st;
+    (* '- <number>' is canonicalized to a negative literal: the
+       concrete syntax cannot distinguish it from unary negation *)
+    match cur st with
+    | L.INT n -> advance st; Econst (Types.Vint (-n))
+    | L.REAL r -> advance st; Econst (Types.Vreal (-.r))
+    | _ -> Eunop (Neg, atom st))
+  | L.HAT ->
+    advance st;
+    Eclock (atom st)
+  | L.KW "when" ->
+    (* prefix clock sugar: when b  ≡  b when b *)
+    advance st;
+    let b = atom st in
+    Ewhen (b, b)
+  | _ -> atom st
+
+and atom st =
+  match cur st with
+  | L.MINUS -> (
+    (* negative literal, as printed by the value pretty-printer *)
+    advance st;
+    match cur st with
+    | L.INT n -> advance st; Econst (Types.Vint (-n))
+    | L.REAL r -> advance st; Econst (Types.Vreal (-.r))
+    | _ -> error st "expected a number after '-'")
+  | L.IDENT x ->
+    advance st;
+    Evar x
+  | L.KW "true" -> advance st; Econst (Types.Vbool true)
+  | L.KW "false" -> advance st; Econst (Types.Vbool false)
+  | L.INT n -> advance st; Econst (Types.Vint n)
+  | L.REAL r -> advance st; Econst (Types.Vreal r)
+  | L.STRING s -> advance st; Econst (Types.Vstring s)
+  | L.LPAREN ->
+    advance st;
+    let e = expr0 st in
+    expect st L.RPAREN;
+    e
+  | _ -> error st "expected an expression"
+
+(* ---------------------------- statements -------------------------- *)
+
+(* instance calls: [(outs) :=] name [{params}] (args) *)
+let instance_outs_lookahead st =
+  (* at '(' — does "( id, id ) :=" follow? *)
+  let i = ref (st.idx + 1) in
+  let toks = st.toks in
+  let rec idents () =
+    match toks.(!i) with
+    | L.IDENT _ -> (
+      incr i;
+      match toks.(!i) with
+      | L.COMMA ->
+        incr i;
+        idents ()
+      | L.RPAREN -> toks.(!i + 1) = L.DEFINE
+      | _ -> false)
+    | _ -> false
+  in
+  idents ()
+
+let rec instance_call st ~outs ~label_hint =
+  let proc_name = ident st in
+  let params =
+    if accept st L.LBRACE then begin
+      let rec go acc =
+        let v = value st in
+        if accept st L.COMMA then go (v :: acc) else List.rev (v :: acc)
+      in
+      let ps = go [] in
+      expect st L.RBRACE;
+      ps
+    end
+    else []
+  in
+  expect st L.LPAREN;
+  let args =
+    if cur st = L.RPAREN then []
+    else begin
+      let rec go acc =
+        let e = expr0 st in
+        if accept st L.COMMA then go (e :: acc) else List.rev (e :: acc)
+      in
+      go []
+    end
+  in
+  expect st L.RPAREN;
+  Sinstance
+    { inst_label = label_hint; inst_proc = proc_name; inst_ins = args;
+      inst_outs = outs; inst_params = params }
+
+and stmt st ~fresh_label =
+  match cur st with
+  | L.LPAREN when instance_outs_lookahead st ->
+    advance st;
+    let rec outs acc =
+      let o = ident st in
+      if accept st L.COMMA then outs (o :: acc) else List.rev (o :: acc)
+    in
+    let outs = outs [] in
+    expect st L.RPAREN;
+    expect st L.DEFINE;
+    instance_call st ~outs ~label_hint:(fresh_label ())
+  | L.IDENT x when st.toks.(st.idx + 1) = L.DEFINE ->
+    advance st;
+    advance st;
+    (* could still be an out-less instance? no: Pp prints defs here *)
+    Sdef (x, expr0 st)
+  | L.IDENT x when st.toks.(st.idx + 1) = L.PARTIAL ->
+    advance st;
+    advance st;
+    Spartial (x, expr0 st)
+  | L.IDENT _
+    when (match st.toks.(st.idx + 1) with
+          | L.LPAREN | L.LBRACE -> true
+          | _ -> false) ->
+    instance_call st ~outs:[] ~label_hint:(fresh_label ())
+  | _ ->
+    let e1 = expr0 st in
+    (match cur st with
+     | L.CLK_EQ ->
+       advance st;
+       Sclk_eq (e1, expr0 st)
+     | L.CLK_LE ->
+       advance st;
+       Sclk_le (e1, expr0 st)
+     | L.CLK_EX ->
+       advance st;
+       Sclk_ex (e1, expr0 st)
+     | _ -> error st "expected a clock relation")
+
+(* --------------------------- declarations ------------------------- *)
+
+let decl_group st typ =
+  let rec go acc =
+    let x = ident st in
+    let acc = var x typ :: acc in
+    if accept st L.COMMA then go acc else List.rev acc
+  in
+  go []
+
+(* a ';'-separated sequence of typed groups, ending before a closer *)
+let decl_groups st =
+  let rec go acc =
+    match styp_of_kw st with
+    | Some typ ->
+      let g = decl_group st typ in
+      if accept st L.SEMI then go (acc @ g) else acc @ g
+    | None -> acc
+  in
+  go []
+
+(* ----------------------------- processes -------------------------- *)
+
+let rec process st =
+  expect_kw st "process";
+  let name = ident st in
+  expect st L.EQ;
+  let params =
+    if accept st L.LBRACE then begin
+      let ps = decl_groups st in
+      expect st L.RBRACE;
+      ps
+    end
+    else []
+  in
+  expect st L.LPAREN;
+  let inputs = if accept st L.QUESTION then decl_groups st else [] in
+  let outputs = if accept st L.BANG then decl_groups st else [] in
+  expect st L.RPAREN;
+  expect st L.LCOMP;
+  let label_counter = ref 0 in
+  let fresh_label () =
+    incr label_counter;
+    Printf.sprintf "i%d" !label_counter
+  in
+  let body =
+    if accept st L.RCOMP then []
+    else begin
+      let rec go acc =
+        let s = stmt st ~fresh_label in
+        if accept st L.BAR then go (s :: acc)
+        else begin
+          expect st L.RCOMP;
+          List.rev (s :: acc)
+        end
+      in
+      go []
+    end
+  in
+  let locals = ref [] and subprocesses = ref [] in
+  if accept_kw st "where" then begin
+    let rec go () =
+      match styp_of_kw st with
+      | Some typ ->
+        let g = decl_group st typ in
+        expect st L.SEMI;
+        locals := !locals @ g;
+        go ()
+      | None ->
+        if cur st = L.KW "process" then begin
+          let sub = process st in
+          subprocesses := !subprocesses @ [ sub ];
+          go ()
+        end
+    in
+    go ();
+    expect_kw st "end"
+  end;
+  let pragmas = ref [] in
+  let rec prag () =
+    match cur st with
+    | L.PRAGMA (k, v) ->
+      advance st;
+      pragmas := !pragmas @ [ (k, v) ];
+      prag ()
+    | _ -> ()
+  in
+  prag ();
+  expect st L.SEMI;
+  { proc_name = name; params; inputs; outputs; locals = !locals;
+    body; subprocesses = !subprocesses; pragmas = !pragmas }
+
+let program st =
+  expect_kw st "module";
+  let name = ident st in
+  expect st L.EQ;
+  let rec go acc =
+    if cur st = L.KW "process" then go (process st :: acc) else List.rev acc
+  in
+  let processes = go [] in
+  { prog_name = name; processes }
+
+let with_tokens src f =
+  let toks = Array.of_list (L.tokenize src) in
+  let st = { toks; idx = 0 } in
+  let r = f st in
+  (match cur st with
+   | L.EOF -> ()
+   | _ -> error st "trailing input");
+  r
+
+let wrap f src =
+  match with_tokens src f with
+  | r -> Ok r
+  | exception Parse_error m -> Error m
+  | exception L.Lex_error (m, pos) ->
+    Error (Printf.sprintf "lexical error at offset %d: %s" pos m)
+
+let parse_program src = wrap program src
+let parse_process src = wrap process src
+let parse_expr src = wrap expr0 src

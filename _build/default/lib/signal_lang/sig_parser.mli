@@ -1,0 +1,18 @@
+(** Parser for the SIGNAL concrete syntax produced by {!Pp}.
+
+    Accepts modules and single processes; {!Pp} followed by this parser
+    is the identity on abstract syntax up to value normalization (the
+    event value prints as [true] and reparses as a boolean), a property
+    exercised by the test suite on every generated program. *)
+
+exception Parse_error of string
+(** message, with the offending token. *)
+
+val parse_program : string -> (Ast.program, string) result
+(** Parse [module N = process…]. *)
+
+val parse_process : string -> (Ast.process, string) result
+(** Parse a single [process N = …;]. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** Parse a standalone expression (tooling and tests). *)

@@ -1,0 +1,78 @@
+(** The AADL2SIGNAL library of common SIGNAL processes (paper, Sec. IV-E).
+
+    Kernel-expressible processes ([fm], [freeze], [send], [counter],
+    [timer]) carry a full SIGNAL body. Queue-like processes ([fifo],
+    [fifo_reset], [in_event_port], [out_event_port]) are {e primitive}:
+    their interface and clock contract are SIGNAL, their value semantics
+    is implemented natively by the simulator (bounded circular buffers),
+    exactly as the Polychrony tool links external C processes. *)
+
+(** Identifier of a primitive process implemented by the simulator. *)
+type primitive =
+  | Pfifo            (** bounded FIFO: push/pop, param = capacity *)
+  | Pfifo_reset      (** FIFO with flush, used for shared data *)
+  | Pin_event_port   (** paper Fig. 5: in_fifo + frozen_fifo pair *)
+  | Pout_event_port  (** out FIFO drained at Output_Time *)
+
+val fm : Ast.process
+(** The memory process [o = fm(i, b)] of Sec. IV-C: [o] carries the
+    current [i] when [i] is present and [b] true, the last [i]
+    otherwise when [b] true, and is absent elsewhere.
+    Interface: inputs [i : integer], [b : boolean]; output [o]. *)
+
+val fm_bool : Ast.process
+(** [fm] for boolean payloads (the kernel is monomorphic). *)
+
+val freeze : Ast.process
+(** Input freezing [z = x ◮ t]: [fm] applied to the port behaviour
+    output, frozen at event [t]. Inputs [x : integer], [t : event]. *)
+
+val send : Ast.process
+(** Output sending [w = y ⊲ t]: hold and release at Output_Time. *)
+
+val counter : Ast.process
+(** Occurrence counter: output [n] counts occurrences of event [e]. *)
+
+val counter_reset : Ast.process
+(** Counter with a reset event input. *)
+
+val timer : Ast.process
+(** AADL timer service (thProdTimer/thConsTimer behaviour): inputs
+    [start], [stop] (events) and [tick] (periodic event); static
+    parameter [duration] (number of ticks); output [timeout] event
+    raised once when the timer expires. *)
+
+val fifo : Ast.process
+(** Primitive bounded FIFO. Param: capacity. Inputs: [push : integer]
+    (enqueue on each occurrence), [pop : event]. Outputs: [data]
+    (present on pop of a non-empty queue), [size : integer] (on any
+    activity). *)
+
+val fifo_reset : Ast.process
+(** Primitive FIFO with a [reset] event input flushing the queue
+    (paper Fig. 6, shared data [Queue]). *)
+
+val in_event_port : Ast.process
+(** Primitive in event port (paper Fig. 5). Params: queue size.
+    Inputs: [arrival : integer] (incoming items), [frozen_time : event].
+    Outputs: [frozen : integer] (head of frozen_fifo, at frozen_time),
+    [frozen_count : integer]. Items arriving after a freeze are only
+    visible at the next freeze. *)
+
+val out_event_port : Ast.process
+(** Primitive out event port: items pushed by the thread are released
+    at [output_time]. Inputs: [item : integer], [output_time : event].
+    Output: [sent : integer]. *)
+
+val all : Ast.process list
+(** Every library model, for inclusion in generated programs. *)
+
+val primitive_of_name : string -> primitive option
+(** Recognize a primitive by process-model name. *)
+
+val is_library_name : string -> bool
+
+val instantaneous_deps : primitive -> (string * string) list
+(** [(input, output)] pairs with an instantaneous data dependency,
+    used by deadlock analysis to close the dependency graph across
+    primitive instances. *)

@@ -1,0 +1,251 @@
+open Ast
+
+type error = {
+  err_proc : string;
+  err_msg : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "process %s: %s" e.err_proc e.err_msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* [event] promotes to [boolean]. *)
+let compatible expected actual =
+  expected = actual || (expected = Types.Tbool && actual = Types.Tevent)
+
+let join t1 t2 =
+  if t1 = t2 then Some t1
+  else
+    match t1, t2 with
+    | Types.Tbool, Types.Tevent | Types.Tevent, Types.Tbool -> Some Types.Tbool
+    | _ -> None
+
+let type_of_expr env expr =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let rec infer = function
+    | Econst v -> Ok (Types.type_of_value v)
+    | Evar x -> (
+      match env x with
+      | Some t -> Ok t
+      | None -> err "undeclared signal %s" x)
+    | Eunop (Not, e) ->
+      let* t = infer e in
+      if compatible Types.Tbool t then Ok Types.Tbool
+      else err "operand of 'not' has type %s" (Types.styp_to_string t)
+    | Eunop (Neg, e) ->
+      let* t = infer e in
+      (match t with
+       | Types.Tint | Types.Treal -> Ok t
+       | _ -> err "operand of unary '-' has type %s" (Types.styp_to_string t))
+    | Ebinop ((Add | Sub | Mul | Div | Mod) as op, e1, e2) ->
+      let* t1 = infer e1 in
+      let* t2 = infer e2 in
+      (match t1, t2 with
+       | Types.Tint, Types.Tint -> Ok Types.Tint
+       | Types.Treal, Types.Treal when op <> Mod -> Ok Types.Treal
+       | _ ->
+         err "arithmetic on %s and %s"
+           (Types.styp_to_string t1) (Types.styp_to_string t2))
+    | Ebinop ((And | Or | Xor), e1, e2) ->
+      let* t1 = infer e1 in
+      let* t2 = infer e2 in
+      if compatible Types.Tbool t1 && compatible Types.Tbool t2 then
+        Ok Types.Tbool
+      else
+        err "boolean operator on %s and %s"
+          (Types.styp_to_string t1) (Types.styp_to_string t2)
+    | Ebinop ((Eq | Neq | Lt | Le | Gt | Ge), e1, e2) ->
+      let* t1 = infer e1 in
+      let* t2 = infer e2 in
+      (match join t1 t2 with
+       | Some _ -> Ok Types.Tbool
+       | None ->
+         err "comparison of %s and %s"
+           (Types.styp_to_string t1) (Types.styp_to_string t2))
+    | Eif (c, t, f) ->
+      let* tc = infer c in
+      if not (compatible Types.Tbool tc) then
+        err "condition of 'if' has type %s" (Types.styp_to_string tc)
+      else
+        let* tt = infer t in
+        let* tf = infer f in
+        (match join tt tf with
+         | Some ty -> Ok ty
+         | None ->
+           err "branches of 'if' have types %s and %s"
+             (Types.styp_to_string tt) (Types.styp_to_string tf))
+    | Edelay (e, init) ->
+      let* t = infer e in
+      let ti = Types.type_of_value init in
+      (match join t ti with
+       | Some ty -> Ok ty
+       | None ->
+         err "delay of %s initialised with %s"
+           (Types.styp_to_string t) (Types.styp_to_string ti))
+    | Ewhen (e, b) ->
+      let* tb = infer b in
+      if not (compatible Types.Tbool tb) then
+        err "sampling condition has type %s" (Types.styp_to_string tb)
+      else infer e
+    | Edefault (e1, e2) ->
+      let* t1 = infer e1 in
+      let* t2 = infer e2 in
+      (match join t1 t2 with
+       | Some ty -> Ok ty
+       | None ->
+         err "merge of %s and %s"
+           (Types.styp_to_string t1) (Types.styp_to_string t2))
+    | Eclock _ -> Ok Types.Tevent
+  in
+  infer expr
+
+module SMap = Map.Make (String)
+
+let declared_env p =
+  let add acc vd = SMap.add vd.var_name vd.var_type acc in
+  let env = List.fold_left add SMap.empty p.params in
+  let env = List.fold_left add env p.inputs in
+  let env = List.fold_left add env p.outputs in
+  List.fold_left add env p.locals
+
+(* Resolve a process-model name: local subprocesses shadow global
+   models, which shadow the AADL2SIGNAL library. *)
+let resolve_model ~program ~host name =
+  match find_subprocess host name with
+  | Some p -> Some p
+  | None -> (
+    match Option.bind program (fun prog -> find_process prog name) with
+    | Some p -> Some p
+    | None -> List.find_opt (fun p -> String.equal p.proc_name name) Stdproc.all)
+
+let rec check_process ?program p =
+  let errors = ref [] in
+  let err fmt =
+    Format.kasprintf
+      (fun m -> errors := { err_proc = p.proc_name; err_msg = m } :: !errors)
+      fmt
+  in
+  (* 1. distinct declarations *)
+  let all_decls = p.params @ p.inputs @ p.outputs @ p.locals in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun vd ->
+      if Hashtbl.mem seen vd.var_name then
+        err "duplicate declaration of %s" vd.var_name
+      else Hashtbl.add seen vd.var_name ())
+    all_decls;
+  let env = declared_env p in
+  let lookup x = SMap.find_opt x env in
+  let is_input x =
+    List.exists (fun vd -> String.equal vd.var_name x) p.inputs
+    || List.exists (fun vd -> String.equal vd.var_name x) p.params
+  in
+  (* 2. definition discipline *)
+  let total = Hashtbl.create 16 and partial = Hashtbl.create 16 in
+  let record_def ~partial:is_partial x =
+    if not (SMap.mem x env) then err "definition of undeclared signal %s" x
+    else if is_input x then err "definition of input or parameter %s" x
+    else if is_partial then Hashtbl.replace partial x ()
+    else if Hashtbl.mem total x then err "signal %s defined twice" x
+    else Hashtbl.replace total x ()
+  in
+  let check_expr e =
+    match type_of_expr lookup e with
+    | Ok _ -> ()
+    | Error m -> err "%s" m
+  in
+  let check_expr_against ~what expected e =
+    match type_of_expr lookup e with
+    | Ok t ->
+      if not (compatible expected t || join expected t <> None) then
+        err "%s: expected %s, got %s" what
+          (Types.styp_to_string expected) (Types.styp_to_string t)
+    | Error m -> err "%s" m
+  in
+  let check_stmt = function
+    | Sdef (x, e) ->
+      record_def ~partial:false x;
+      (match lookup x with
+       | Some tx -> check_expr_against ~what:("definition of " ^ x) tx e
+       | None -> check_expr e)
+    | Spartial (x, e) ->
+      record_def ~partial:true x;
+      (match lookup x with
+       | Some tx ->
+         check_expr_against ~what:("partial definition of " ^ x) tx e
+       | None -> check_expr e)
+    | Sclk_eq (e1, e2) | Sclk_le (e1, e2) | Sclk_ex (e1, e2) ->
+      check_expr e1; check_expr e2
+    | Sinstance inst -> (
+      List.iter check_expr inst.inst_ins;
+      List.iter (fun x -> record_def ~partial:false x) inst.inst_outs;
+      match resolve_model ~program ~host:p inst.inst_proc with
+      | None -> err "instance %s: unknown process %s" inst.inst_label inst.inst_proc
+      | Some model ->
+        if List.length inst.inst_ins <> List.length model.inputs then
+          err "instance %s of %s: %d inputs given, %d expected"
+            inst.inst_label inst.inst_proc
+            (List.length inst.inst_ins) (List.length model.inputs);
+        if List.length inst.inst_outs <> List.length model.outputs then
+          err "instance %s of %s: %d outputs given, %d expected"
+            inst.inst_label inst.inst_proc
+            (List.length inst.inst_outs) (List.length model.outputs);
+        if List.length inst.inst_params <> List.length model.params then
+          err "instance %s of %s: %d params given, %d expected"
+            inst.inst_label inst.inst_proc
+            (List.length inst.inst_params) (List.length model.params);
+        List.iteri
+          (fun k e ->
+            match List.nth_opt model.inputs k with
+            | Some vd ->
+              check_expr_against
+                ~what:(Printf.sprintf "instance %s input %s" inst.inst_label
+                         vd.var_name)
+                vd.var_type e
+            | None -> ())
+          inst.inst_ins;
+        List.iteri
+          (fun k x ->
+            match List.nth_opt model.outputs k, lookup x with
+            | Some vd, Some tx ->
+              if join vd.var_type tx = None then
+                err "instance %s output %s: %s connected to %s of type %s"
+                  inst.inst_label vd.var_name
+                  (Types.styp_to_string vd.var_type) x (Types.styp_to_string tx)
+            | _, None | None, _ -> ())
+          inst.inst_outs)
+  in
+  List.iter check_stmt p.body;
+  (* 3. totality: every output/local is defined somehow; primitive
+     models (simulator-native value semantics) are exempt *)
+  let is_primitive = List.mem_assoc "primitive" p.pragmas in
+  let is_defined x = Hashtbl.mem total x || Hashtbl.mem partial x in
+  if not is_primitive then begin
+    List.iter
+      (fun vd ->
+        if not (is_defined vd.var_name) then
+          err "output %s is never defined" vd.var_name)
+      p.outputs;
+    List.iter
+      (fun vd ->
+        if not (is_defined vd.var_name) then
+          err "local %s is never defined" vd.var_name)
+      p.locals
+  end;
+  Hashtbl.iter
+    (fun x () ->
+      if Hashtbl.mem partial x then
+        err "signal %s has both total and partial definitions" x)
+    total;
+  (* 4. recurse into local models *)
+  let sub_errors =
+    List.concat_map (fun sub -> check_process ?program sub) p.subprocesses
+  in
+  List.rev !errors @ sub_errors
+
+let check_program prog =
+  List.concat_map (fun p -> check_process ~program:prog p) prog.processes
+
+let is_well_typed prog = check_program prog = []

@@ -1,0 +1,60 @@
+type styp =
+  | Tevent
+  | Tbool
+  | Tint
+  | Treal
+  | Tstring
+
+type value =
+  | Vevent
+  | Vbool of bool
+  | Vint of int
+  | Vreal of float
+  | Vstring of string
+
+let type_of_value = function
+  | Vevent -> Tevent
+  | Vbool _ -> Tbool
+  | Vint _ -> Tint
+  | Vreal _ -> Treal
+  | Vstring _ -> Tstring
+
+let default_init = function
+  | Tevent -> Vevent
+  | Tbool -> Vbool false
+  | Tint -> Vint 0
+  | Treal -> Vreal 0.0
+  | Tstring -> Vstring ""
+
+let equal_value v1 v2 =
+  match v1, v2 with
+  | Vevent, Vevent -> true
+  | Vevent, Vbool b | Vbool b, Vevent -> b
+  | Vbool a, Vbool b -> a = b
+  | Vint a, Vint b -> a = b
+  | Vreal a, Vreal b -> a = b
+  | Vstring a, Vstring b -> String.equal a b
+  | (Vevent | Vbool _ | Vint _ | Vreal _ | Vstring _), _ -> false
+
+let truthy = function
+  | Vevent -> true
+  | Vbool b -> b
+  | Vint _ | Vreal _ | Vstring _ ->
+    invalid_arg "Types.truthy: non-boolean value"
+
+let styp_to_string = function
+  | Tevent -> "event"
+  | Tbool -> "boolean"
+  | Tint -> "integer"
+  | Treal -> "real"
+  | Tstring -> "string"
+
+let value_to_string = function
+  | Vevent -> "true"
+  | Vbool b -> if b then "true" else "false"
+  | Vint n -> string_of_int n
+  | Vreal r -> Printf.sprintf "%g" r
+  | Vstring s -> Printf.sprintf "%S" s
+
+let pp_styp ppf t = Format.pp_print_string ppf (styp_to_string t)
+let pp_value ppf v = Format.pp_print_string ppf (value_to_string v)

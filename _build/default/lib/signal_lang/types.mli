@@ -1,0 +1,40 @@
+(** Value and type domains of the SIGNAL kernel.
+
+    A signal is an unbounded series of values implicitly indexed by
+    discrete time; at any instant it is either {e present} with a value
+    of its type, or {e absent} (⊥). Presence is not a value: it is
+    handled by the clock calculus and the simulator, so this module only
+    describes present values. *)
+
+type styp =
+  | Tevent  (** pure event: present implies value [true] *)
+  | Tbool
+  | Tint
+  | Treal
+  | Tstring
+
+type value =
+  | Vevent  (** the unique value carried by an event occurrence *)
+  | Vbool of bool
+  | Vint of int
+  | Vreal of float
+  | Vstring of string
+
+val type_of_value : value -> styp
+
+val default_init : styp -> value
+(** Conventional initial value used for uninitialised delays. *)
+
+val equal_value : value -> value -> bool
+(** Structural equality, with [Vevent] equal to [Vbool true] so that
+    events can flow through boolean operators. *)
+
+val truthy : value -> bool
+(** [truthy v] is the boolean reading of [v]; events read as [true].
+    @raise Invalid_argument on non-boolean values. *)
+
+val pp_styp : Format.formatter -> styp -> unit
+val pp_value : Format.formatter -> value -> unit
+
+val styp_to_string : styp -> string
+val value_to_string : value -> string

@@ -1,0 +1,1 @@
+lib/trans/behavior.ml: Aadl List Signal_lang String

@@ -1,0 +1,1 @@
+lib/trans/behavior.mli: Aadl Signal_lang

@@ -1,0 +1,1 @@
+lib/trans/latency.ml: Aadl Format List Option Printf Sched String

@@ -1,0 +1,1 @@
+lib/trans/latency.mli: Aadl Format Sched

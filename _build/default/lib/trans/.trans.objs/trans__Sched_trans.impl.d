@@ -1,0 +1,1 @@
+lib/trans/sched_trans.ml: List Printf Sched Signal_lang String

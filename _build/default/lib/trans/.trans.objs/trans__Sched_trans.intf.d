@@ -1,0 +1,1 @@
+lib/trans/sched_trans.mli: Sched Signal_lang

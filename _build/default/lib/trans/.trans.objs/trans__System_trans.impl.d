@@ -1,0 +1,1 @@
+lib/trans/system_trans.ml: Aadl Format Hashtbl List Option Printf Sched Sched_trans Signal_lang String Thread_trans Traceability

@@ -1,0 +1,1 @@
+lib/trans/system_trans.mli: Aadl Behavior Sched Signal_lang Traceability

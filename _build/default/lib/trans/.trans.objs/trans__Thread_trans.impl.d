@@ -1,0 +1,1 @@
+lib/trans/thread_trans.ml: Aadl Behavior Hashtbl List Printf Signal_lang String

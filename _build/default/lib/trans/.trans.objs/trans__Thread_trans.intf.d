@@ -1,0 +1,1 @@
+lib/trans/thread_trans.mli: Aadl Behavior Signal_lang

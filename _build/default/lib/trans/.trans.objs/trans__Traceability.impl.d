@@ -1,0 +1,1 @@
+lib/trans/traceability.ml: Format Hashtbl List

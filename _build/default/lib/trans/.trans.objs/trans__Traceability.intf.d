@@ -1,0 +1,1 @@
+lib/trans/traceability.mli: Format

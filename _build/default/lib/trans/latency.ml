@@ -1,0 +1,237 @@
+module Syn = Aadl.Syntax
+module Inst = Aadl.Instance
+module S = Sched.Static_sched
+
+type hop = {
+  h_thread : string;
+  h_in_port : string option;
+  h_in_kind : Syn.port_kind option;
+  h_out_port : string option;
+  h_delayed : bool;
+}
+
+type report = {
+  flow_src : string;
+  flow_dst : string;
+  hops : hop list;
+  best_us : int;
+  worst_us : int;
+  average_us : float;
+  samples : (int * int) list;
+}
+
+let split_feature path =
+  match String.rindex_opt path '.' with
+  | None -> None
+  | Some i ->
+    Some
+      ( String.sub path 0 i,
+        String.sub path (i + 1) (String.length path - i - 1) )
+
+let port_kind_of t comp_path fname =
+  match Inst.find t comp_path with
+  | None -> None
+  | Some inst ->
+    List.find_map
+      (fun f ->
+        match f with
+        | Syn.Port { fname = n; kind; _ } when String.equal n fname ->
+          Some kind
+        | Syn.Port _ | Syn.Data_access _ | Syn.Subprogram_access _ -> None)
+      inst.Inst.i_features
+
+let is_thread t path =
+  match Inst.find t path with
+  | Some i -> i.Inst.i_category = Syn.Thread
+  | None -> false
+
+(* DFS over port connections between threads, from the source feature
+   to the destination feature. *)
+let find_path t ~src ~dst =
+  let conns =
+    List.filter
+      (fun c -> c.Inst.ci_kind = Syn.Port_connection)
+      (Inst.semantic_connections t)
+  in
+  (* entry edges: connections leaving the source feature *)
+  let rec dfs visited at =
+    (* [at] is a (thread path, in port, kind) the flow has reached *)
+    let th, in_port, in_kind = at in
+    if List.mem th visited then None
+    else
+      (* does any out port of this thread connect to dst or onward? *)
+      let outgoing =
+        List.filter_map
+          (fun c ->
+            match split_feature c.Inst.ci_src with
+            | Some (th', out_port) when String.equal th' th ->
+              Some (out_port, c)
+            | _ -> None)
+          conns
+      in
+      (* direct edge to the destination *)
+      let direct =
+        List.find_map
+          (fun (out_port, c) ->
+            if String.equal c.Inst.ci_dst dst then
+              Some
+                [ { h_thread = th; h_in_port = in_port; h_in_kind = in_kind;
+                    h_out_port = Some out_port;
+                    h_delayed = not c.Inst.ci_immediate } ]
+            else None)
+          outgoing
+      in
+      match direct with
+      | Some hops -> Some hops
+      | None ->
+        List.find_map
+          (fun (out_port, c) ->
+            match split_feature c.Inst.ci_dst with
+            | Some (th', in_port') when is_thread t th' ->
+              let kind' = port_kind_of t th' in_port' in
+              (match dfs (th :: visited) (th', Some in_port', kind') with
+               | Some rest ->
+                 Some
+                   ({ h_thread = th; h_in_port = in_port; h_in_kind = in_kind;
+                      h_out_port = Some out_port;
+                      h_delayed = not c.Inst.ci_immediate }
+                    :: rest)
+               | None -> None)
+            | _ -> None)
+          outgoing
+  in
+  (* starting points: connections from src into a thread port *)
+  let starts =
+    List.filter_map
+      (fun c ->
+        if String.equal c.Inst.ci_src src then
+          match split_feature c.Inst.ci_dst with
+          | Some (th, p) when is_thread t th ->
+            Some (th, Some p, port_kind_of t th p)
+          | _ -> None
+        else None)
+      conns
+  in
+  (* the source may itself be a thread feature *)
+  let starts =
+    match split_feature src with
+    | Some (th, _) when is_thread t th -> (th, None, None) :: starts
+    | _ -> starts
+  in
+  match List.find_map (fun at -> dfs [] at) starts with
+  | Some hops -> Ok hops
+  | None ->
+    Error (Printf.sprintf "no port-connection flow from %s to %s" src dst)
+
+(* time of the next event of [kind] for thread [th] at or strictly
+   after [time], unrolling the hyper-period *)
+let next_event sched th ev ~after ~strict =
+  let hyper = sched.S.hyperperiod_us in
+  let times = S.event_times sched th ev in
+  let rec search base =
+    let candidates =
+      List.filter_map
+        (fun tm ->
+          let tm = tm + base in
+          if (strict && tm > after) || ((not strict) && tm >= after) then
+            Some tm
+          else None)
+        times
+    in
+    match candidates with
+    | [] -> search (base + hyper)
+    | c :: rest -> List.fold_left min c rest
+  in
+  search 0
+
+let sched_of schedules th =
+  (* the schedule containing this thread *)
+  List.find_opt
+    (fun (_, s) ->
+      List.exists (fun j -> String.equal j.S.j_task.Sched.Task.t_name th)
+        s.S.jobs)
+    schedules
+  |> Option.map snd
+
+let analyze t ~schedules ~src ~dst =
+  match find_path t ~src ~dst with
+  | Error m -> Error m
+  | Ok hops -> (
+    match hops with
+    | [] -> Error "empty flow"
+    | first :: _ -> (
+      match sched_of schedules first.h_thread with
+      | None ->
+        Error (Printf.sprintf "thread %s is not scheduled" first.h_thread)
+      | Some s0 ->
+        let hyper = s0.S.hyperperiod_us in
+        (* propagate a stimulus arriving at absolute time t0 *)
+        let propagate t0 =
+          List.fold_left
+            (fun tm hop ->
+              match sched_of schedules hop.h_thread with
+              | None -> tm
+              | Some s ->
+                (* freeze at the thread's next Input_Time; event ports
+                   require strict precedence (freeze-then-arrival) *)
+                let strict =
+                  match hop.h_in_kind with
+                  | Some Syn.Data_port -> false
+                  | Some (Syn.Event_port | Syn.Event_data_port) -> true
+                  | None -> false
+                in
+                let freeze =
+                  next_event s hop.h_thread S.Dispatch ~after:tm ~strict
+                in
+                (* the job dispatched at [freeze] releases its output at
+                   Complete (immediate) or Deadline (delayed) *)
+                let release_ev =
+                  if hop.h_delayed then S.Deadline else S.Output_release
+                in
+                next_event s hop.h_thread release_ev ~after:freeze
+                  ~strict:false)
+            t0 hops
+        in
+        (* sweep release phases at event granularity *)
+        let phases =
+          List.sort_uniq compare
+            (0
+             :: List.concat_map
+                  (fun (_, s) ->
+                    List.concat_map
+                      (fun j ->
+                        [ j.S.dispatch_us mod hyper;
+                          j.S.complete_us mod hyper;
+                          (j.S.complete_us + 1) mod hyper ])
+                      s.S.jobs)
+                  schedules)
+        in
+        let samples =
+          List.map (fun t0 -> (t0, propagate t0 - t0)) phases
+        in
+        let lats = List.map snd samples in
+        let best = List.fold_left min max_int lats in
+        let worst = List.fold_left max 0 lats in
+        let average =
+          float_of_int (List.fold_left ( + ) 0 lats)
+          /. float_of_int (List.length lats)
+        in
+        Ok
+          { flow_src = src; flow_dst = dst; hops; best_us = best;
+            worst_us = worst; average_us = average; samples }))
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>flow %s -> %s@," r.flow_src r.flow_dst;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "  via %s%s%s%s@," h.h_thread
+        (match h.h_in_port with
+         | Some p -> " (in " ^ p ^ ")"
+         | None -> "")
+        (match h.h_out_port with
+         | Some p -> " (out " ^ p ^ ")"
+         | None -> "")
+        (if h.h_delayed then " [delayed]" else ""))
+    r.hops;
+  Format.fprintf ppf "latency: best %d us, worst %d us, average %.0f us@]"
+    r.best_us r.worst_us r.average_us

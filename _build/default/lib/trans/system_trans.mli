@@ -1,0 +1,47 @@
+(** ASME2SSME top-level assembly.
+
+    Builds the complete SIGNAL program for an AADL system instance:
+
+    - one SIGNAL process model per thread ({!Thread_trans});
+    - one scheduler process model per processor, synthesized from the
+      bound threads' timing properties ({!Sched_trans});
+    - one top-level process instantiating schedulers, threads and
+      shared-data FIFOs (Fig. 6) and wiring semantic connections;
+      environment components (systems/devices without behaviour) have
+      their ports lifted to top-level inputs/outputs;
+    - the ctl/time bundles: in-port Frozen_time defaults to the
+      thread's Dispatch, out-port Output_time to Complete for immediate
+      connections and Deadline for delayed ones (Sec. IV-A), both
+      overridable with Input_Time/Output_Time properties;
+    - a top [Alarm] output merging every thread's deadline alarm.
+
+    The result records the synthesized schedules and a traceability
+    table from AADL paths to SIGNAL names. *)
+
+type output = {
+  program : Signal_lang.Ast.program;
+  top : Signal_lang.Ast.process;      (** also contained in [program] *)
+  schedules : (string * Sched.Static_sched.schedule) list;
+      (** per processor instance path *)
+  tasks : (string * Sched.Task.t list) list;
+      (** task sets per processor, as extracted from the AADL model *)
+  trace : Traceability.t;
+  tick_inputs : string list;          (** one tick input per processor *)
+  env_inputs : string list;           (** lifted environment out ports *)
+  env_outputs : string list;          (** lifted environment in ports *)
+}
+
+val translate :
+  ?registry:Behavior.registry ->
+  ?policy:Sched.Static_sched.policy ->
+  Aadl.Instance.t ->
+  (output, string) result
+(** Fails when a process is not bound to any processor, when a thread
+    lacks the timing properties needed for scheduling, or when no valid
+    schedule exists under the chosen policy. *)
+
+val task_of_thread : Aadl.Instance.instance -> (Sched.Task.t, string) result
+(** Extract the scheduler task (period, deadline, WCET in µs) from a
+    thread instance's properties. WCET defaults to the largest value
+    that divides the other parameters when absent: the
+    Compute_Execution_Time property is strongly recommended. *)

@@ -1,0 +1,24 @@
+type t = {
+  mutable pairs : (string * string) list;  (* reversed *)
+  by_aadl : (string, string) Hashtbl.t;
+  by_signal : (string, string) Hashtbl.t;
+}
+
+let create () =
+  { pairs = []; by_aadl = Hashtbl.create 64; by_signal = Hashtbl.create 64 }
+
+let add t ~aadl ~signal =
+  t.pairs <- (aadl, signal) :: t.pairs;
+  Hashtbl.replace t.by_aadl aadl signal;
+  Hashtbl.replace t.by_signal signal aadl
+
+let signal_of t aadl = Hashtbl.find_opt t.by_aadl aadl
+let aadl_of t signal = Hashtbl.find_opt t.by_signal signal
+let entries t = List.rev t.pairs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (a, s) -> Format.fprintf ppf "%-48s -> %s@," a s)
+    (entries t);
+  Format.fprintf ppf "@]"

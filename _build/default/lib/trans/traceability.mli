@@ -1,0 +1,14 @@
+(** Traceability between AADL model elements and generated SIGNAL
+    signals/processes (paper Sec. IV-E: names preserved as names or in
+    annotations). *)
+
+type t
+
+val create : unit -> t
+val add : t -> aadl:string -> signal:string -> unit
+val signal_of : t -> string -> string option
+val aadl_of : t -> string -> string option
+val entries : t -> (string * string) list
+(** (aadl path, signal name) pairs in insertion order. *)
+
+val pp : Format.formatter -> t -> unit

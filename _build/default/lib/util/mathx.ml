@@ -1,0 +1,34 @@
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let lcm_list = List.fold_left lcm 1
+
+let gcd_list = List.fold_left gcd 0
+
+let rec egcd a b =
+  if b = 0 then (abs a, (if a < 0 then -1 else 1), 0)
+  else
+    let g, u, v = egcd b (a mod b) in
+    (g, v, u - (a / b) * v)
+
+let solve_diophantine a b c =
+  let g, u, v = egcd a b in
+  if g = 0 then if c = 0 then Some (0, 0) else None
+  else if c mod g <> 0 then None
+  else Some (u * (c / g), v * (c / g))
+
+let floor_div a b =
+  assert (b > 0);
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let ceil_div a b =
+  assert (b > 0);
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let pos_mod a b =
+  assert (b > 0);
+  let r = a mod b in
+  if r < 0 then r + b else r

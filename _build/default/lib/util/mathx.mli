@@ -1,0 +1,30 @@
+(** Small integer-arithmetic helpers shared by the affine clock calculus
+    and the scheduler. All functions operate on OCaml [int]. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the non-negative least common multiple; [lcm x 0 = 0]. *)
+
+val lcm_list : int list -> int
+(** Least common multiple of a list; [lcm_list [] = 1]. *)
+
+val gcd_list : int list -> int
+(** Greatest common divisor of a list; [gcd_list [] = 0]. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b] is [(g, u, v)] with [g = gcd a b] and [a*u + b*v = g]. *)
+
+val solve_diophantine : int -> int -> int -> (int * int) option
+(** [solve_diophantine a b c] returns a particular solution [(x, y)] of
+    [a*x + b*y = c] if one exists. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is ⌈a/b⌉ for [b > 0], correct for negative [a]. *)
+
+val floor_div : int -> int -> int
+(** [floor_div a b] is ⌊a/b⌋ for [b > 0], correct for negative [a]. *)
+
+val pos_mod : int -> int -> int
+(** [pos_mod a b] is the representative of [a] modulo [b] in [0, b-1]. *)

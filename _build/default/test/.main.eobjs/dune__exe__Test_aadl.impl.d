@@ -1,0 +1,1 @@
+test/test_aadl.ml: Aadl Alcotest Format List Polychrony String

@@ -1,0 +1,1 @@
+test/test_affine.ml: Alcotest Array Clocks Fun List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest List Polychrony Polysim Printf QCheck2 QCheck_alcotest Sched String Trans

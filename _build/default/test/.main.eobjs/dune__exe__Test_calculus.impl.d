@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Clocks Format List Printf Signal_lang String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Filename List Polychrony Polysim Printf Signal_lang String Sys Unix

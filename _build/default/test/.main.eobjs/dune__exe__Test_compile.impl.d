@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Format Fun List Polychrony Polysim Printf QCheck2 QCheck_alcotest Signal_lang String

@@ -1,0 +1,1 @@
+test/test_crossval.ml: Alcotest Array Clocks Format List Polychrony Polysim Printf QCheck2 QCheck_alcotest Signal_lang

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest List Polysim Signal_lang String

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest List Polysim Printf Signal_lang

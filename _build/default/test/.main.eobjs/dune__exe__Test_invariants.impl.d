@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Buffer Clocks Fun Hashtbl List Option Polychrony Polysim Printf QCheck2 QCheck_alcotest Sched Signal_lang

@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Format Fun Lazy List Polychrony Polysim Printf Sched Signal_lang String Trans

@@ -1,0 +1,1 @@
+test/test_mathx.ml: Alcotest List Putil QCheck2 QCheck_alcotest

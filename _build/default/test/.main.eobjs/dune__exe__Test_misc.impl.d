@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Clocks Format List Polychrony Polysim Sched Signal_lang String Trans

@@ -1,0 +1,1 @@
+test/test_modes.ml: Aadl Alcotest Analysis Fun Lazy List Polychrony Polysim Signal_lang Str Trans

@@ -1,0 +1,1 @@
+test/test_multipkg.ml: Aadl Alcotest Analysis List Polychrony Polysim String

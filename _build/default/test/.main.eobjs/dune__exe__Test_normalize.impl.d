@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest List Printf Result Signal_lang String

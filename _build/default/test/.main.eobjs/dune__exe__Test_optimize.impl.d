@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Fun List Polychrony Polysim Signal_lang

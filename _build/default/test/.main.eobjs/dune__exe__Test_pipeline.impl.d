@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Aadl Alcotest Analysis Clocks Format Lazy List Polychrony Polysim Sched Signal_lang String

@@ -1,0 +1,1 @@
+test/test_pword.ml: Alcotest Clocks Fun List Printf QCheck2 QCheck_alcotest

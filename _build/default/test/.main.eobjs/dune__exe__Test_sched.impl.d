@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Clocks Format List Printf QCheck2 QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_sig_parser.ml: Alcotest Format List Polychrony Polysim QCheck2 QCheck_alcotest Signal_lang Trans

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest List Printf Result Signal_lang String

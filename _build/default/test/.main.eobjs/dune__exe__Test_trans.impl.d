@@ -1,0 +1,1 @@
+test/test_trans.ml: Aadl Alcotest List Polychrony Sched Signal_lang String Trans

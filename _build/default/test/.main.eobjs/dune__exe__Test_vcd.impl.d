@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Format Fun List Option Polychrony Polysim Printf Sched Signal_lang String

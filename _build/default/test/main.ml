@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "polychrony-aadl"
+    (Test_mathx.suite
+     @ Test_signal.suite
+     @ Test_normalize.suite
+     @ Test_engine.suite
+     @ Test_bdd.suite
+     @ Test_calculus.suite
+     @ Test_affine.suite
+     @ Test_pword.suite
+     @ Test_analysis.suite
+     @ Test_aadl.suite
+     @ Test_sched.suite
+     @ Test_trans.suite
+     @ Test_pipeline.suite
+     @ Test_compile.suite
+     @ Test_sig_parser.suite
+     @ Test_alloc.suite
+     @ Test_modes.suite
+     @ Test_crossval.suite
+     @ Test_optimize.suite
+     @ Test_latency.suite
+     @ Test_multipkg.suite
+     @ Test_vcd.suite
+     @ Test_invariants.suite
+     @ Test_explore.suite
+     @ Test_codegen.suite
+     @ Test_misc.suite)

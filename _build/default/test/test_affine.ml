@@ -1,0 +1,163 @@
+(* Affine clock relations: algebraic laws plus brute-force agreement
+   with index unrolling. *)
+
+module A = Clocks.Affine
+
+let horizon = 600
+
+let test_periodic_basics () =
+  let c = A.periodic ~period:4 ~offset:2 in
+  Alcotest.(check (list int)) "ticks" [ 2; 6; 10; 14 ] (A.ticks c ~horizon:17);
+  Alcotest.(check bool) "mem" true (A.mem c 10);
+  Alcotest.(check bool) "not mem" false (A.mem c 11);
+  Alcotest.(check bool) "before offset" false (A.mem c 0)
+
+let test_periodic_invalid () =
+  Alcotest.check_raises "period 0" (Invalid_argument "Affine.periodic: period < 1")
+    (fun () -> ignore (A.periodic ~period:0 ~offset:0));
+  Alcotest.check_raises "negative offset"
+    (Invalid_argument "Affine.periodic: offset < 0") (fun () ->
+      ignore (A.periodic ~period:2 ~offset:(-1)))
+
+let test_subsample () =
+  let c = A.periodic ~period:2 ~offset:1 in
+  let s = A.subsample c ~d:3 ~phi:1 in
+  (* ticks of c: 1,3,5,7,9,11,... keep indices 1,4,7,... -> 3,9,15 *)
+  Alcotest.(check (list int)) "subsampled" [ 3; 9; 15 ] (A.ticks s ~horizon:17)
+
+let test_synchronizable () =
+  let c1 = A.periodic ~period:4 ~offset:2 in
+  let c2 = A.periodic ~period:4 ~offset:2 in
+  let c3 = A.periodic ~period:4 ~offset:0 in
+  Alcotest.(check bool) "same" true (A.synchronizable c1 c2);
+  Alcotest.(check bool) "shifted" false (A.synchronizable c1 c3)
+
+let test_intersect () =
+  let c1 = A.periodic ~period:4 ~offset:0 in
+  let c2 = A.periodic ~period:6 ~offset:2 in
+  (match A.intersect c1 c2 with
+   | Some c ->
+     Alcotest.(check int) "period lcm" 12 c.A.period;
+     Alcotest.(check int) "first common" 8 c.A.offset
+   | None -> Alcotest.fail "4t and 6t+2 do intersect");
+  let c3 = A.periodic ~period:4 ~offset:1 in
+  let c4 = A.periodic ~period:4 ~offset:2 in
+  Alcotest.(check bool) "disjoint" true (A.never_together c3 c4);
+  let c5 = A.periodic ~period:2 ~offset:1 in
+  let c6 = A.periodic ~period:4 ~offset:2 in
+  Alcotest.(check bool) "odd vs 4t+2 disjoint" true (A.never_together c5 c6)
+
+let test_relation_of () =
+  let base = A.periodic ~period:2 ~offset:1 in
+  let sub = A.subsample base ~d:3 ~phi:2 in
+  (match A.relation_of ~base sub with
+   | Some r ->
+     Alcotest.(check int) "d" 3 r.A.d;
+     Alcotest.(check int) "phi" 2 r.A.phi
+   | None -> Alcotest.fail "subsample must be recognized");
+  let unrelated = A.periodic ~period:3 ~offset:0 in
+  Alcotest.(check bool) "unrelated rejected" true
+    (A.relation_of ~base unrelated = None)
+
+let test_relation_canon () =
+  let r1 = A.relation ~n:2 ~phi:4 ~d:6 in
+  let r2 = A.relation ~n:1 ~phi:2 ~d:3 in
+  Alcotest.(check bool) "canon scales down" true (A.equivalent r1 r2);
+  let r3 = A.relation ~n:2 ~phi:3 ~d:6 in
+  Alcotest.(check bool) "phi blocks reduction" false (A.equivalent r3 r2)
+
+let test_compose_example () =
+  (* paper-style: thread at period 4 vs base 1, thread at period 8 *)
+  let r48 = A.compose (A.relation ~n:1 ~phi:0 ~d:4) (A.relation ~n:1 ~phi:0 ~d:2) in
+  Alcotest.(check bool) "4 then x2 = 8" true
+    (A.equivalent r48 (A.relation ~n:1 ~phi:0 ~d:8))
+
+let prop_compose_identity =
+  QCheck2.Test.make ~name:"identity is neutral for compose" ~count:300
+    QCheck2.Gen.(triple (int_range 1 20) (int_range 0 20) (int_range 1 20))
+    (fun (n, phi, d) ->
+      let r = A.relation ~n ~phi ~d in
+      A.equivalent (A.compose r A.identity) r
+      && A.equivalent (A.compose A.identity r) r)
+
+let prop_compose_inverse =
+  QCheck2.Test.make ~name:"r ∘ r⁻¹ ≡ identity" ~count:300
+    QCheck2.Gen.(triple (int_range 1 20) (int_range 0 20) (int_range 1 20))
+    (fun (n, phi, d) ->
+      let r = A.relation ~n ~phi ~d in
+      A.equivalent (A.compose r (A.inverse r)) A.identity)
+
+let prop_compose_assoc =
+  QCheck2.Test.make ~name:"compose is associative (canon)" ~count:300
+    QCheck2.Gen.(
+      triple
+        (triple (int_range 1 8) (int_range 0 8) (int_range 1 8))
+        (triple (int_range 1 8) (int_range 0 8) (int_range 1 8))
+        (triple (int_range 1 8) (int_range 0 8) (int_range 1 8)))
+    (fun ((a, b, c), (d, e, f), (g, h, i)) ->
+      let r1 = A.relation ~n:a ~phi:b ~d:c in
+      let r2 = A.relation ~n:d ~phi:e ~d:f in
+      let r3 = A.relation ~n:g ~phi:h ~d:i in
+      A.equivalent
+        (A.compose (A.compose r1 r2) r3)
+        (A.compose r1 (A.compose r2 r3)))
+
+let prop_subsample_unrolling =
+  QCheck2.Test.make ~name:"subsample agrees with index unrolling" ~count:300
+    QCheck2.Gen.(
+      tup4 (int_range 1 6) (int_range 0 6) (int_range 1 5) (int_range 0 5))
+    (fun (p, o, d, phi) ->
+      let c = A.periodic ~period:p ~offset:o in
+      let s = A.subsample c ~d ~phi in
+      let base_ticks = Array.of_list (A.ticks c ~horizon) in
+      let expected =
+        List.filteri (fun i _ -> i >= phi && (i - phi) mod d = 0)
+          (Array.to_list base_ticks)
+      in
+      let got = A.ticks s ~horizon in
+      (* compare on the common prefix (horizon truncation) *)
+      let k = min (List.length expected) (List.length got) in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      take k expected = take k got)
+
+let prop_intersect_sound =
+  QCheck2.Test.make ~name:"intersect = set intersection" ~count:300
+    QCheck2.Gen.(
+      tup4 (int_range 1 9) (int_range 0 9) (int_range 1 9) (int_range 0 9))
+    (fun (p1, o1, p2, o2) ->
+      let c1 = A.periodic ~period:p1 ~offset:o1 in
+      let c2 = A.periodic ~period:p2 ~offset:o2 in
+      let inter t = A.mem c1 t && A.mem c2 t in
+      match A.intersect c1 c2 with
+      | None -> List.for_all (fun t -> not (inter t)) (List.init horizon Fun.id)
+      | Some c ->
+        List.for_all (fun t -> A.mem c t = inter t) (List.init horizon Fun.id))
+
+let prop_relation_of_roundtrip =
+  QCheck2.Test.make ~name:"relation_of inverts subsample" ~count:300
+    QCheck2.Gen.(
+      tup4 (int_range 1 6) (int_range 0 6) (int_range 1 5) (int_range 0 5))
+    (fun (p, o, d, phi) ->
+      let base = A.periodic ~period:p ~offset:o in
+      let sub = A.subsample base ~d ~phi in
+      match A.relation_of ~base sub with
+      | Some r -> r.A.d = d && r.A.phi = phi && r.A.n = 1
+      | None -> false)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_compose_identity; prop_compose_inverse; prop_compose_assoc;
+      prop_subsample_unrolling; prop_intersect_sound;
+      prop_relation_of_roundtrip ]
+
+let suite =
+  [ ("affine",
+     [ Alcotest.test_case "periodic basics" `Quick test_periodic_basics;
+       Alcotest.test_case "invalid arguments" `Quick test_periodic_invalid;
+       Alcotest.test_case "subsample" `Quick test_subsample;
+       Alcotest.test_case "synchronizable" `Quick test_synchronizable;
+       Alcotest.test_case "intersect" `Quick test_intersect;
+       Alcotest.test_case "relation_of" `Quick test_relation_of;
+       Alcotest.test_case "canonical form" `Quick test_relation_canon;
+       Alcotest.test_case "compose example" `Quick test_compose_example ]
+     @ qsuite) ]

@@ -1,0 +1,201 @@
+(* Multi-processor allocation (SynDEx connection, ref [17]). *)
+
+module T = Sched.Task
+module S = Sched.Static_sched
+module A = Sched.Alloc
+
+let mk ?priority name period wcet =
+  T.make ?priority ~name ~period_us:period ~wcet_us:wcet ()
+
+let test_single_bin () =
+  let tasks = [ mk "a" 4000 1000; mk "b" 8000 1000 ] in
+  match A.allocate ~cpus:[ "cpu0" ] tasks with
+  | Ok [ a ] ->
+    Alcotest.(check int) "both on cpu0" 2 (List.length a.A.a_tasks);
+    Alcotest.(check bool) "schedule valid" true (S.is_valid a.A.a_schedule)
+  | Ok _ -> Alcotest.fail "one assignment expected"
+  | Error f -> Alcotest.fail f.A.reason
+
+let test_load_balancing () =
+  (* four half-load tasks over two processors: worst-fit spreads 2+2 *)
+  let tasks = List.init 4 (fun i -> mk (Printf.sprintf "t%d" i) 4000 1900) in
+  match A.allocate ~cpus:[ "cpu0"; "cpu1" ] tasks with
+  | Error f -> Alcotest.fail f.A.reason
+  | Ok assignments ->
+    List.iter
+      (fun a ->
+        Alcotest.(check int) (a.A.a_cpu ^ " gets two tasks") 2
+          (List.length a.A.a_tasks);
+        Alcotest.(check bool) "valid" true (S.is_valid a.A.a_schedule))
+      assignments
+
+let test_overload_refused () =
+  let tasks = List.init 5 (fun i -> mk (Printf.sprintf "t%d" i) 2000 1500) in
+  match A.allocate ~cpus:[ "cpu0"; "cpu1" ] tasks with
+  | Ok _ -> Alcotest.fail "5 x 75% load cannot fit on 2 cpus"
+  | Error f -> Alcotest.(check bool) "names a task" true (f.A.unplaced.T.t_name <> "")
+
+let test_preloaded_respected () =
+  let pinned = mk "pinned" 2000 1500 in
+  let tasks = [ mk "free1" 2000 1500; mk "free2" 2000 300 ] in
+  match
+    A.allocate ~preloaded:[ ("cpu0", [ pinned ]) ] ~cpus:[ "cpu0"; "cpu1" ]
+      tasks
+  with
+  | Error f -> Alcotest.fail f.A.reason
+  | Ok assignments ->
+    let find cpu =
+      List.find (fun a -> String.equal a.A.a_cpu cpu) assignments
+    in
+    Alcotest.(check bool) "pinned stays on cpu0" true
+      (List.exists (fun t -> t.T.t_name = "pinned") (find "cpu0").A.a_tasks);
+    (* free1 at 75% cannot share with pinned at 75% *)
+    Alcotest.(check bool) "heavy task pushed to cpu1" true
+      (List.exists (fun t -> t.T.t_name = "free1") (find "cpu1").A.a_tasks)
+
+let test_min_processors () =
+  let tasks = List.init 6 (fun i -> mk (Printf.sprintf "t%d" i) 2000 900) in
+  match A.min_processors tasks with
+  | Some (n, assignments) ->
+    (* 6 x 45% needs three processors (non-preemptive, two per cpu) *)
+    Alcotest.(check int) "three processors" 3 n;
+    Alcotest.(check int) "all placed" 6
+      (List.fold_left (fun acc a -> acc + List.length a.A.a_tasks) 0
+         assignments)
+  | None -> Alcotest.fail "allocatable set"
+
+let test_min_processors_bound () =
+  let tasks = List.init 40 (fun i -> mk (Printf.sprintf "t%d" i) 1000 999) in
+  Alcotest.(check bool) "gives up beyond max_cpus" true
+    (A.min_processors ~max_cpus:4 tasks = None)
+
+let prop_allocation_valid =
+  QCheck2.Test.make ~name:"allocations produce valid schedules" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 4)
+        (list_size (int_range 1 8) (pair (int_range 1 4) (int_range 1 3))))
+    (fun (ncpu, specs) ->
+      let tasks =
+        List.mapi
+          (fun i (p, c) -> mk (Printf.sprintf "t%d" i) (p * 2000) (c * 500))
+          specs
+      in
+      let cpus = List.init ncpu (fun i -> Printf.sprintf "cpu%d" i) in
+      match A.allocate ~cpus tasks with
+      | Error _ -> true
+      | Ok assignments ->
+        List.for_all (fun a -> S.is_valid a.A.a_schedule) assignments
+        && List.fold_left (fun acc a -> acc + List.length a.A.a_tasks) 0
+             assignments
+           = List.length tasks)
+
+(* end-to-end: AADL model with two processors and no bindings *)
+let test_aadl_auto_allocation () =
+  let src =
+    {|package Multi public
+      thread worker
+        features o: out event port;
+        properties Dispatch_Protocol => Periodic; Period => 4 ms;
+          Compute_Execution_Time => 3 ms;
+      end worker;
+      thread implementation worker.impl end worker.impl;
+      process host end host;
+      process implementation host.impl
+        subcomponents
+          w1: thread worker.impl;
+          w2: thread worker.impl;
+      end host.impl;
+      processor core end core;
+      processor implementation core.impl end core.impl;
+      system rig end rig;
+      system implementation rig.impl
+        subcomponents
+          h: process host.impl;
+          cpu0: processor core.impl;
+          cpu1: processor core.impl;
+      end rig.impl;
+      end Multi;|}
+  in
+  match Polychrony.Pipeline.analyze src with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+    let scheds = a.Polychrony.Pipeline.translation.Trans.System_trans.schedules in
+    (* two 75%-load workers cannot share one cpu: allocation must use
+       both *)
+    Alcotest.(check int) "two processors scheduled" 2 (List.length scheds);
+    Alcotest.(check (list string)) "two ticks"
+      [ "tick_cpu0"; "tick_cpu1" ]
+      (List.sort String.compare
+         a.Polychrony.Pipeline.translation.Trans.System_trans.tick_inputs);
+    (* and the two-processor system simulates *)
+    match Polychrony.Pipeline.simulate ~hyperperiods:2 a with
+    | Ok tr -> Alcotest.(check bool) "runs" true (Polysim.Trace.length tr > 0)
+    | Error m -> Alcotest.fail m
+
+(* multi-rate distribution: processors whose schedules use different
+   base ticks must be pulsed at their own cadence *)
+let test_multirate_tick_cadence () =
+  let src =
+    {|package MR public
+      thread fast
+        features o: out event data port;
+        properties Dispatch_Protocol => Periodic; Period => 4 ms;
+          Compute_Execution_Time => 3 ms;
+      end fast;
+      thread implementation fast.impl end fast.impl;
+      thread slow
+        features i: in event data port;
+        properties Dispatch_Protocol => Periodic; Period => 8 ms;
+          Compute_Execution_Time => 6 ms;
+      end slow;
+      thread implementation slow.impl end slow.impl;
+      process host end host;
+      process implementation host.impl
+        subcomponents
+          f: thread fast.impl;
+          s: thread slow.impl;
+        connections k0: port f.o -> s.i;
+      end host.impl;
+      processor core end core;
+      processor implementation core.impl end core.impl;
+      system rig end rig;
+      system implementation rig.impl
+        subcomponents
+          h: process host.impl;
+          cpu0: processor core.impl;
+          cpu1: processor core.impl;
+      end rig.impl;
+      end MR;|}
+  in
+  match Polychrony.Pipeline.analyze src with
+  | Error m -> Alcotest.fail m
+  | Ok a -> (
+    match Polychrony.Pipeline.simulate ~hyperperiods:2 a with
+    | Error m -> Alcotest.fail m
+    | Ok tr ->
+      let cadence name =
+        match Polysim.Trace.tick_instants tr name with
+        | a :: b :: _ -> b - a
+        | _ -> Alcotest.fail (name ^ " never dispatches twice")
+      in
+      (* global base is the gcd of the two schedules' bases; the fast
+         thread must dispatch twice as often as the slow one *)
+      Alcotest.(check int) "fast:slow cadence ratio" (2 * cadence "h_f_dispatch")
+        (cadence "h_s_dispatch"))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_allocation_valid ]
+
+let suite =
+  [ ("alloc",
+     [ Alcotest.test_case "single bin" `Quick test_single_bin;
+       Alcotest.test_case "load balancing" `Quick test_load_balancing;
+       Alcotest.test_case "overload refused" `Quick test_overload_refused;
+       Alcotest.test_case "preloaded bindings" `Quick test_preloaded_respected;
+       Alcotest.test_case "min processors" `Quick test_min_processors;
+       Alcotest.test_case "min processors bound" `Quick
+         test_min_processors_bound;
+       Alcotest.test_case "AADL auto allocation" `Quick
+         test_aadl_auto_allocation;
+       Alcotest.test_case "multi-rate tick cadence" `Quick
+         test_multirate_tick_cadence ]
+     @ qsuite) ]

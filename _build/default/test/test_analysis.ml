@@ -1,0 +1,256 @@
+(* Digraph, deadlock (causality) and determinism analyses, and the
+   profiling cost model. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module G = Analysis.Digraph
+module D = Analysis.Deadlock
+module Det = Analysis.Determinism
+module Prof = Analysis.Profiling
+module C = Clocks.Calculus
+
+let tint = Types.Tint
+let tbool = Types.Tbool
+
+(* ----------------------------- digraph ---------------------------- *)
+
+let test_graph_basics () =
+  let g = G.create () in
+  G.add_edge g "a" "b";
+  G.add_edge g "b" "c";
+  G.add_edge g "a" "b";
+  Alcotest.(check int) "edges deduplicated" 2 (G.edge_count g);
+  Alcotest.(check (list string)) "succ of a" [ "b" ] (G.successors g "a");
+  Alcotest.(check (list string)) "vertices" [ "a"; "b"; "c" ] (G.vertices g)
+
+let test_sccs () =
+  let g = G.create () in
+  G.add_edge g "a" "b";
+  G.add_edge g "b" "c";
+  G.add_edge g "c" "a";
+  G.add_edge g "c" "d";
+  let nt = G.nontrivial_sccs g in
+  Alcotest.(check int) "one cycle" 1 (List.length nt);
+  Alcotest.(check (list string)) "cycle members" [ "a"; "b"; "c" ]
+    (List.sort String.compare (List.hd nt))
+
+let test_self_loop () =
+  let g = G.create () in
+  G.add_edge g "a" "a";
+  Alcotest.(check int) "self loop is a cycle" 1
+    (List.length (G.nontrivial_sccs g))
+
+let test_topo_sort () =
+  let g = G.create () in
+  G.add_edge g "a" "b";
+  G.add_edge g "b" "c";
+  G.add_edge g "a" "c";
+  (match G.topological_sort g with
+   | Ok order ->
+     let pos x =
+       let rec go i = function
+         | [] -> -1
+         | y :: rest -> if String.equal x y then i else go (i + 1) rest
+       in
+       go 0 order
+     in
+     Alcotest.(check bool) "a before b" true (pos "a" < pos "b");
+     Alcotest.(check bool) "b before c" true (pos "b" < pos "c")
+   | Error _ -> Alcotest.fail "acyclic graph");
+  let g2 = G.create () in
+  G.add_edge g2 "x" "y";
+  G.add_edge g2 "y" "x";
+  Alcotest.(check bool) "cycle detected" true
+    (Result.is_error (G.topological_sort g2))
+
+let test_reachable () =
+  let g = G.create () in
+  G.add_edge g "a" "b";
+  G.add_edge g "b" "c";
+  G.add_edge g "d" "a";
+  Alcotest.(check (list string)) "from a" [ "b"; "c" ] (G.reachable g "a")
+
+(* ----------------------------- deadlock --------------------------- *)
+
+let test_deadlock_free () =
+  let p =
+    B.proc ~name:"ok"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := delay (v "y") + v "x" ]
+  in
+  let kp = N.process_exn p in
+  let r = D.analyze kp in
+  Alcotest.(check bool) "no cycle" true r.D.deadlock_free;
+  Alcotest.(check int) "no scc" 0 (List.length r.D.cycles)
+
+let test_deadlock_cycle () =
+  let p =
+    B.proc ~name:"dead"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      ~locals:[ Ast.var "w" tint ]
+      B.[ "y" := v "w" + v "x"; "w" := v "y" + i 1 ]
+  in
+  let kp = N.process_exn p in
+  let r = D.analyze kp in
+  Alcotest.(check bool) "cycle found" false r.D.deadlock_free;
+  match r.D.cycles with
+  | [ c ] ->
+    Alcotest.(check bool) "y on cycle" true (List.mem "y" c.D.signals);
+    Alcotest.(check bool) "w on cycle" true (List.mem "w" c.D.signals)
+  | _ -> Alcotest.fail "expected one cycle"
+
+let test_false_cycle_clock_disjoint () =
+  (* y and w depend on each other but on exclusive clocks: the classic
+     false cycle resolved by clock information *)
+  let p =
+    B.proc ~name:"falsecycle"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool ]
+      ~outputs:[ Ast.var "y" tint; Ast.var "w" tint ]
+      B.[ "y" := when_ (v "w" + i 1) (v "c") ;
+          "w" := when_ (v "y" + i 1) (not_ (v "c")) ]
+  in
+  let kp = N.process_exn p in
+  let c = C.analyze kp in
+  let r = D.analyze ~calc:c kp in
+  (* the SCC exists but is infeasible *)
+  Alcotest.(check bool) "scc reported" true (List.length r.D.cycles >= 1);
+  Alcotest.(check bool) "classified deadlock-free" true r.D.deadlock_free
+
+let test_deadlock_through_fifo () =
+  (* pop of a fifo feeding its own push through stepwise logic *)
+  let p =
+    B.proc ~name:"loop_fifo"
+      ~inputs:[ Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "d" tint ]
+      ~locals:[ Ast.var "s" tint; Ast.var "x" tint ]
+      B.[ "x" := v "d" + i 1;
+          inst ~params:[ Types.Vint 4; Types.Vstring "dropoldest" ] ~label:"q" "fifo"
+            [ v "x"; v "e" ] [ "d"; "s" ] ]
+  in
+  let kp = N.process_exn p in
+  let r = D.analyze kp in
+  (* d -> x (stepwise) and push x -> size s, pop e -> d: the d/x loop
+     goes through the fifo's push->size edge only, so d->x->s is not a
+     cycle; but push->data is NOT an instantaneous dep, so this is
+     actually deadlock-free. *)
+  Alcotest.(check bool) "fifo breaks the loop" true r.D.deadlock_free
+
+(* --------------------------- determinism -------------------------- *)
+
+let test_determinism_exclusive () =
+  let p =
+    B.proc ~name:"det"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" =:: when_ (v "x") (v "c");
+          "y" =:: when_ (v "x" + i 1) (not_ (v "c")) ]
+  in
+  let kp = N.process_exn p in
+  let c = C.analyze kp in
+  let r = Det.analyze c kp in
+  Alcotest.(check bool) "exclusive guards deterministic" true
+    r.Det.deterministic
+
+let test_determinism_overlap () =
+  (* the paper's finding: guards without priorities overlap *)
+  let p =
+    B.proc ~name:"nondet"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool; Ast.var "d" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" =:: when_ (v "x") (v "c");
+          "y" =:: when_ (v "x" + i 1) (v "d") ]
+  in
+  let kp = N.process_exn p in
+  let c = C.analyze kp in
+  let r = Det.analyze c kp in
+  Alcotest.(check bool) "overlap detected" false r.Det.deterministic;
+  match r.Det.issues with
+  | [ i ] -> Alcotest.(check string) "on y" "y" i.Det.signal
+  | _ -> Alcotest.fail "expected exactly one issue"
+
+let test_determinism_priority_fix () =
+  (* priorities encoded by guarding the second branch with ¬c: the
+     automaton becomes deterministic, as in the case study *)
+  let p =
+    B.proc ~name:"prioritized"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool; Ast.var "d" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ clk (v "c") ^= clk (v "d");
+          "y" =:: when_ (v "x") (v "c");
+          "y" =:: when_ (v "x" + i 1) (v "d" && not_ (v "c")) ]
+  in
+  let kp = N.process_exn p in
+  let c = C.analyze kp in
+  let r = Det.analyze c kp in
+  Alcotest.(check bool) "priorities restore determinism" true
+    r.Det.deterministic
+
+(* ---------------------------- profiling --------------------------- *)
+
+let test_profiling_static () =
+  let p =
+    B.proc ~name:"prof"
+      ~inputs:[ Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint; Ast.var "z" tint ]
+      B.[ "y" := v "a" + v "b"; "z" := v "a" * v "b" ]
+  in
+  let kp = N.process_exn p in
+  let r = Prof.static_costs kp in
+  Alcotest.(check bool) "total positive" true (r.Prof.total_static > 0);
+  (* multiplication costs more than addition in the default model *)
+  let cost x = List.assoc x r.Prof.per_signal in
+  Alcotest.(check bool) "mul > add" true (cost "_t2" > cost "_t1" || cost "z" >= cost "y")
+
+let test_profiling_weighted () =
+  let p =
+    B.proc ~name:"prof"
+      ~inputs:[ Ast.var "a" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "a" + i 1 ]
+  in
+  let kp = N.process_exn p in
+  let r = Prof.with_counts ~counts:(fun _ -> 10) kp in
+  Alcotest.(check int) "weighted = 10x static" (10 * r.Prof.total_static)
+    r.Prof.total_weighted
+
+let test_profiling_model_sensitivity () =
+  let p =
+    B.proc ~name:"prof"
+      ~inputs:[ Ast.var "a" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "a" * v "a" ]
+  in
+  let kp = N.process_exn p in
+  let cheap = { Prof.default_cost_model with Prof.c_mult = 1 } in
+  let r1 = Prof.static_costs kp in
+  let r2 = Prof.static_costs ~model:cheap kp in
+  Alcotest.(check bool) "expensive model costs more" true
+    (r1.Prof.total_static > r2.Prof.total_static)
+
+let suite =
+  [ ("digraph",
+     [ Alcotest.test_case "basics" `Quick test_graph_basics;
+       Alcotest.test_case "sccs" `Quick test_sccs;
+       Alcotest.test_case "self loop" `Quick test_self_loop;
+       Alcotest.test_case "topological sort" `Quick test_topo_sort;
+       Alcotest.test_case "reachable" `Quick test_reachable ]);
+    ("deadlock",
+     [ Alcotest.test_case "deadlock-free with delay" `Quick test_deadlock_free;
+       Alcotest.test_case "instantaneous cycle" `Quick test_deadlock_cycle;
+       Alcotest.test_case "false cycle (clocks)" `Quick
+         test_false_cycle_clock_disjoint;
+       Alcotest.test_case "fifo breaks cycles" `Quick test_deadlock_through_fifo ]);
+    ("determinism",
+     [ Alcotest.test_case "exclusive guards" `Quick test_determinism_exclusive;
+       Alcotest.test_case "overlapping guards" `Quick test_determinism_overlap;
+       Alcotest.test_case "priorities fix (paper V-C)" `Quick
+         test_determinism_priority_fix ]);
+    ("profiling",
+     [ Alcotest.test_case "static costs" `Quick test_profiling_static;
+       Alcotest.test_case "weighted costs" `Quick test_profiling_weighted;
+       Alcotest.test_case "model sensitivity" `Quick
+         test_profiling_model_sensitivity ]) ]

@@ -1,0 +1,150 @@
+(* Boolean-algebra laws of the BDD core, mostly property-based. *)
+
+module Bdd = Clocks.Bdd
+
+let mgr () = Bdd.manager ()
+
+(* random boolean expressions over k variables, evaluated both through
+   the BDD and directly *)
+type bexp =
+  | Var of int
+  | Const of bool
+  | Not of bexp
+  | And of bexp * bexp
+  | Or of bexp * bexp
+  | Xor of bexp * bexp
+
+let gen_bexp k =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then
+           oneof [ map (fun i -> Var i) (int_range 0 (k - 1));
+                   map (fun b -> Const b) bool ]
+         else
+           oneof
+             [ map (fun i -> Var i) (int_range 0 (k - 1));
+               map (fun e -> Not e) (self (n - 1));
+               map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+               map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+               map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2)) ])
+
+let rec to_bdd m = function
+  | Var i -> Bdd.var m i
+  | Const true -> Bdd.one m
+  | Const false -> Bdd.zero m
+  | Not e -> Bdd.not_ m (to_bdd m e)
+  | And (a, b) -> Bdd.and_ m (to_bdd m a) (to_bdd m b)
+  | Or (a, b) -> Bdd.or_ m (to_bdd m a) (to_bdd m b)
+  | Xor (a, b) -> Bdd.xor_ m (to_bdd m a) (to_bdd m b)
+
+let rec eval env = function
+  | Var i -> env.(i)
+  | Const b -> b
+  | Not e -> not (eval env e)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+let nvars = 5
+
+let all_envs =
+  List.init (1 lsl nvars) (fun mask ->
+      Array.init nvars (fun i -> (mask lsr i) land 1 = 1))
+
+let prop_semantics =
+  QCheck2.Test.make ~name:"bdd computes the boolean function" ~count:200
+    (gen_bexp nvars) (fun e ->
+      let m = mgr () in
+      let b = to_bdd m e in
+      (* compare to truth table via implication with minterms *)
+      List.for_all
+        (fun env ->
+          let minterm =
+            List.fold_left
+              (fun acc i ->
+                let v = Bdd.var m i in
+                Bdd.and_ m acc (if env.(i) then v else Bdd.not_ m v))
+              (Bdd.one m)
+              (List.init nvars (fun i -> i))
+          in
+          let expected = eval env e in
+          Bdd.implies m minterm b = expected)
+        all_envs)
+
+let prop_canonical =
+  QCheck2.Test.make ~name:"equal functions share a node" ~count:200
+    QCheck2.Gen.(pair (gen_bexp nvars) (gen_bexp nvars))
+    (fun (e1, e2) ->
+      let m = mgr () in
+      let b1 = to_bdd m e1 and b2 = to_bdd m e2 in
+      let same_fun = List.for_all (fun env -> eval env e1 = eval env e2) all_envs in
+      Bdd.equal b1 b2 = same_fun)
+
+let prop_de_morgan =
+  QCheck2.Test.make ~name:"de morgan" ~count:200
+    QCheck2.Gen.(pair (gen_bexp nvars) (gen_bexp nvars))
+    (fun (e1, e2) ->
+      let m = mgr () in
+      let a = to_bdd m e1 and b = to_bdd m e2 in
+      Bdd.equal
+        (Bdd.not_ m (Bdd.and_ m a b))
+        (Bdd.or_ m (Bdd.not_ m a) (Bdd.not_ m b)))
+
+let prop_involution =
+  QCheck2.Test.make ~name:"double negation" ~count:200 (gen_bexp nvars)
+    (fun e ->
+      let m = mgr () in
+      let b = to_bdd m e in
+      Bdd.equal b (Bdd.not_ m (Bdd.not_ m b)))
+
+let test_terminals () =
+  let m = mgr () in
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool) "x and not x" true
+    (let x = Bdd.var m 0 in
+     Bdd.is_zero (Bdd.and_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x or not x" true
+    (let x = Bdd.var m 0 in
+     Bdd.is_one (Bdd.or_ m x (Bdd.not_ m x)))
+
+let test_implies_exclusive () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let xy = Bdd.and_ m x y in
+  Alcotest.(check bool) "xy implies x" true (Bdd.implies m xy x);
+  Alcotest.(check bool) "x does not imply xy" false (Bdd.implies m x xy);
+  Alcotest.(check bool) "x excl not-x" true
+    (Bdd.exclusive m x (Bdd.not_ m x));
+  Alcotest.(check bool) "x not excl y" false (Bdd.exclusive m x y)
+
+let test_support () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 3 in
+  let f = Bdd.or_ m x y in
+  Alcotest.(check (list int)) "support" [ 0; 3 ] (Bdd.support m f);
+  (* y or not y cancels out *)
+  let g = Bdd.and_ m f (Bdd.or_ m y (Bdd.not_ m y)) in
+  Alcotest.(check (list int)) "redundant var eliminated" [ 0; 3 ]
+    (Bdd.support m g)
+
+let test_any_sat () =
+  let m = mgr () in
+  Alcotest.(check bool) "zero unsat" true (Bdd.any_sat m (Bdd.zero m) = None);
+  let x = Bdd.var m 0 in
+  match Bdd.any_sat m x with
+  | Some [ (0, true) ] -> ()
+  | _ -> Alcotest.fail "expected assignment {0 -> true}"
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_semantics; prop_canonical; prop_de_morgan; prop_involution ]
+
+let suite =
+  [ ("bdd",
+     [ Alcotest.test_case "terminals" `Quick test_terminals;
+       Alcotest.test_case "implies/exclusive" `Quick test_implies_exclusive;
+       Alcotest.test_case "support" `Quick test_support;
+       Alcotest.test_case "any_sat" `Quick test_any_sat ]
+     @ qsuite) ]

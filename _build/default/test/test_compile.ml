@@ -1,0 +1,332 @@
+(* Clock-directed compiler (ref [15]): equivalence with the fixpoint
+   interpreter on library processes, random programs, and the full
+   translated case study. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module Engine = Polysim.Engine
+module Compile = Polysim.Compile
+module Trace = Polysim.Trace
+
+let vi n = Types.Vint n
+let vb b = Types.Vbool b
+let ve = Types.Vevent
+
+let traces_equal t1 t2 =
+  let names =
+    List.map (fun vd -> vd.Ast.var_name) (Trace.declarations t1)
+  in
+  Trace.length t1 = Trace.length t2
+  && List.for_all
+       (fun x ->
+         List.for_all
+           (fun i -> Trace.get t1 i x = Trace.get t2 i x)
+           (List.init (Trace.length t1) Fun.id))
+       names
+
+let check_equiv ?(msg = "traces agree") p stimuli =
+  let kp = N.process_exn p in
+  match Engine.run kp ~stimuli, Compile.run kp ~stimuli with
+  | Ok t1, Ok t2 -> Alcotest.(check bool) msg true (traces_equal t1 t2)
+  | Error m, _ -> Alcotest.fail ("engine: " ^ m)
+  | _, Error m -> Alcotest.fail ("compile: " ^ m)
+
+let test_fm_equiv () =
+  let p =
+    B.proc ~name:"use_fm"
+      ~inputs:[ Ast.var "i" Types.Tint; Ast.var "b" Types.Tbool ]
+      ~outputs:[ Ast.var "o" Types.Tint ]
+      B.[ inst ~label:"mem" "fm" [ v "i"; v "b" ] [ "o" ] ]
+  in
+  check_equiv p
+    [ [ ("i", vi 1); ("b", vb true) ]; [ ("b", vb true) ]; [ ("i", vi 2) ];
+      [ ("i", vi 3); ("b", vb false) ]; [ ("b", vb true) ];
+      [ ("i", vi 4); ("b", vb true) ]; [] ]
+
+let test_timer_equiv () =
+  let p =
+    B.proc ~name:"use_timer"
+      ~inputs:[ Ast.var "go" Types.Tevent; Ast.var "halt" Types.Tevent;
+                Ast.var "tk" Types.Tevent ]
+      ~outputs:[ Ast.var "out" Types.Tevent ]
+      B.[ inst ~params:[ vi 2 ] ~label:"tm" "timer"
+            [ v "go"; v "halt"; v "tk" ] [ "out" ] ]
+  in
+  check_equiv p
+    [ [ ("go", ve) ]; [ ("tk", ve) ]; [ ("tk", ve) ]; [ ("tk", ve) ];
+      [ ("go", ve) ]; [ ("halt", ve) ]; [ ("tk", ve) ] ]
+
+let test_fifo_equiv () =
+  let p =
+    B.proc ~name:"use_fifo"
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "pop" Types.Tevent ]
+      ~outputs:[ Ast.var "d" Types.Tint; Ast.var "s" Types.Tint ]
+      B.[ inst ~params:[ vi 3; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "pop" ]
+            [ "d"; "s" ] ]
+  in
+  check_equiv p
+    [ [ ("x", vi 1) ]; [ ("x", vi 2) ]; [ ("pop", ve) ];
+      [ ("x", vi 3); ("pop", ve) ]; [ ("x", vi 4) ]; [ ("x", vi 5) ];
+      [ ("x", vi 6) ]; (* overflow *)
+      [ ("pop", ve) ]; [ ("pop", ve) ]; [ ("pop", ve) ]; [ ("pop", ve) ] ]
+
+let test_in_port_equiv () =
+  let p =
+    B.proc ~name:"use_inport"
+      ~inputs:[ Ast.var "arr" Types.Tint; Ast.var "ft" Types.Tevent ]
+      ~outputs:[ Ast.var "frz" Types.Tint; Ast.var "cnt" Types.Tint ]
+      B.[ inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"port" "in_event_port"
+            [ v "arr"; v "ft" ] [ "frz"; "cnt" ] ]
+  in
+  check_equiv p
+    [ [ ("arr", vi 1) ]; [ ("ft", ve) ]; [ ("arr", vi 2) ];
+      [ ("arr", vi 3) ]; [ ("arr", vi 9); ("ft", ve) ]; [ ("ft", ve) ];
+      [ ("ft", ve) ] ]
+
+let test_out_port_equiv () =
+  let p =
+    B.proc ~name:"use_outport"
+      ~inputs:[ Ast.var "item" Types.Tint; Ast.var "ot" Types.Tevent ]
+      ~outputs:[ Ast.var "sent" Types.Tint ]
+      B.[ inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"port" "out_event_port"
+            [ v "item"; v "ot" ] [ "sent" ] ]
+  in
+  check_equiv p
+    [ [ ("item", vi 1) ]; [ ("item", vi 2) ]; [ ("ot", ve) ]; [ ("ot", ve) ];
+      [ ("item", vi 3); ("ot", ve) ]; [ ("ot", ve) ] ]
+
+let test_cycle_rejected () =
+  let p =
+    B.proc ~name:"cyclic"
+      ~inputs:[ Ast.var "x" Types.Tint ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "w" Types.Tint ]
+      B.[ "y" := v "w" + v "x"; "w" := v "y" + i 1 ]
+  in
+  let kp = N.process_exn p in
+  match Compile.compile kp with
+  | Ok _ -> Alcotest.fail "instantaneous cycle must not compile"
+  | Error m ->
+    Alcotest.(check bool) "mentions cycle" true
+      (String.length m > 0)
+
+let test_case_study_equiv () =
+  List.iter
+    (fun registry ->
+      let a =
+        match
+          Polychrony.Pipeline.analyze ~registry
+            Polychrony.Case_study.aadl_source
+        with
+        | Ok a -> a
+        | Error m -> Alcotest.fail m
+      in
+      let kp = a.Polychrony.Pipeline.kernel in
+      let horizon = 48 in
+      let stimuli =
+        List.init horizon (fun t ->
+            ("tick", ve) :: (if t = 0 then [ ("env_pGo", vi 1) ] else []))
+      in
+      match Engine.run kp ~stimuli, Compile.run kp ~stimuli with
+      | Ok t1, Ok t2 ->
+        Alcotest.(check bool) "case study traces identical" true
+          (traces_equal t1 t2)
+      | Error m, _ -> Alcotest.fail ("engine: " ^ m)
+      | _, Error m -> Alcotest.fail ("compile: " ^ m))
+    [ Polychrony.Case_study.registry_nominal;
+      Polychrony.Case_study.registry_timeout ]
+
+let test_case_study_plan_properties () =
+  let a =
+    match
+      Polychrony.Pipeline.analyze
+        ~registry:Polychrony.Case_study.registry_nominal
+        Polychrony.Case_study.aadl_source
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  match Compile.compile a.Polychrony.Pipeline.kernel with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    (* the translated system is endochronous: nothing is left free *)
+    Alcotest.(check int) "no free classes" 0 (Compile.free_classes c);
+    Alcotest.(check bool) "plan covers classes and signals" true
+      (Compile.plan_length c
+       > List.length (Signal_lang.Kernel.signals a.Polychrony.Pipeline.kernel))
+
+(* ---------------- random-program equivalence ---------------------- *)
+
+(* Build random acyclic, clock-consistent programs over two
+   always-present inputs. Every signal carries a clock tag; synchronous
+   operators (arith, boolean, if, delay) only combine signals of one
+   tag, while when/default appear at definition level and mint new
+   tags. This mirrors how the translator emits code and guarantees the
+   interpreter never hits a clock contradiction. *)
+
+type rsig = { rname : string; rtype : [ `I | `B ]; rtag : int }
+
+let gen_program =
+  let open QCheck2.Gen in
+  (* expression synchronous with a given tag *)
+  let rec gen_sync env tag depth ty =
+    let candidates =
+      List.filter (fun s -> s.rtype = ty && s.rtag = tag) env
+    in
+    let atoms =
+      List.map (fun s -> return (B.v s.rname)) candidates
+      @ (if candidates = [] then []
+         else
+           match ty with
+           | `I -> [ map B.i (int_range (-5) 5) ]
+           | `B -> [ map B.b bool ])
+    in
+    if atoms = [] then
+      (* no signal of this type at this tag: fall back to a variable of
+         the right tag and adapt *)
+      let same_tag = List.filter (fun sg -> sg.rtag = tag) env in
+      match same_tag with
+      | [] -> assert false
+      | sg :: _ ->
+        let name = sg.rname in
+        (match ty, sg.rtype with
+         | `I, `B -> return B.(if_ (v name) (i 1) (i 0))
+         | `B, `I -> return B.(v name < i 0)
+         | _ -> return (B.v name))
+    else if depth = 0 then oneof atoms
+    else
+      let sub = gen_sync env tag (depth - 1) in
+      let compound =
+        match ty with
+        | `I ->
+          [ map2 (fun e1 e2 -> B.(e1 + e2)) (sub `I) (sub `I);
+            map2 (fun e1 e2 -> B.(e1 * e2)) (sub `I) (sub `I);
+            map3 (fun e0 e1 e2 -> B.if_ e0 e1 e2) (sub `B) (sub `I) (sub `I);
+            map (fun e1 -> B.delay ~init:(vi 0) e1) (sub `I) ]
+        | `B ->
+          [ map2 (fun e1 e2 -> B.(e1 && e2)) (sub `B) (sub `B);
+            map2 (fun e1 e2 -> B.(e1 || e2)) (sub `B) (sub `B);
+            map B.not_ (sub `B);
+            map2 (fun e1 e2 -> B.(e1 < e2)) (sub `I) (sub `I);
+            map (fun e1 -> B.delay ~init:(vb false) e1) (sub `B) ]
+      in
+      oneof (compound @ atoms)
+  in
+  let base =
+    [ { rname = "x"; rtype = `I; rtag = 0 };
+      { rname = "c"; rtype = `B; rtag = 0 } ]
+  in
+  let tags env = List.sort_uniq compare (List.map (fun s -> s.rtag) env) in
+  let pick_tag env = QCheck2.Gen.oneofl (tags env) in
+  let gen_def env fresh_tag =
+    let* choice = int_range 0 9 in
+    if choice < 6 then
+      (* synchronous definition at an existing tag *)
+      let* tag = pick_tag env in
+      let* ty = oneofl [ `I; `B ] in
+      let* e = gen_sync env tag 2 ty in
+      return (ty, tag, e, fresh_tag)
+    else if choice < 8 then
+      (* subsampling: src when cond, new tag *)
+      let* src_tag = pick_tag env in
+      let* cond_tag = pick_tag env in
+      let* ty = oneofl [ `I; `B ] in
+      let* src = gen_sync env src_tag 1 ty in
+      let* cond = gen_sync env cond_tag 1 `B in
+      return (ty, fresh_tag, B.when_ src cond, fresh_tag + 1)
+    else
+      (* merge: a default b, new tag *)
+      let* t1 = pick_tag env in
+      let* t2 = pick_tag env in
+      let* ty = oneofl [ `I; `B ] in
+      let* e1 = gen_sync env t1 1 ty in
+      let* e2 = gen_sync env t2 1 ty in
+      return (ty, fresh_tag, B.default e1 e2, fresh_tag + 1)
+  in
+  let rec gen_locals k env fresh_tag acc =
+    if k = 0 then return (List.rev acc, env)
+    else
+      let* ty, tag, e, fresh_tag = gen_def env fresh_tag in
+      let name = Printf.sprintf "s%d" (List.length acc) in
+      gen_locals (k - 1)
+        ({ rname = name; rtype = ty; rtag = tag } :: env)
+        fresh_tag ((name, ty, e) :: acc)
+  in
+  let* n = int_range 1 6 in
+  let* locals, env = gen_locals n base 1 [] in
+  let last = List.hd env in
+  let out_ty = last.rtype in
+  let decls =
+    List.map
+      (fun (name, ty, _) ->
+        Ast.var name (match ty with `I -> Types.Tint | `B -> Types.Tbool))
+      locals
+  in
+  let body =
+    List.map (fun (name, _, e) -> B.(name := e)) locals
+    @ [ B.("out" := v last.rname) ]
+  in
+  return
+    (B.proc ~name:"rand"
+       ~inputs:[ Ast.var "x" Types.Tint; Ast.var "c" Types.Tbool ]
+       ~outputs:
+         [ Ast.var "out"
+             (match out_ty with `I -> Types.Tint | `B -> Types.Tbool) ]
+       ~locals:decls body)
+
+let gen_stimuli =
+  QCheck2.Gen.(
+    list_size (return 16)
+      (pair (int_range (-4) 4) bool))
+
+let prop_random_equivalence =
+  QCheck2.Test.make ~name:"compiled = interpreted on random programs"
+    ~count:300
+    QCheck2.Gen.(pair gen_program gen_stimuli)
+    (fun (p, stims) ->
+      match N.process p with
+      | Error _ -> true  (* ill-typed generation is skipped *)
+      | Ok kp ->
+        let stimuli =
+          List.map (fun (n, b) -> [ ("x", vi n); ("c", vb b) ]) stims
+        in
+        (match Engine.run kp ~stimuli, Compile.run kp ~stimuli with
+         | Ok t1, Ok t2 ->
+           let ok = traces_equal t1 t2 in
+           if not ok then
+             Format.eprintf "@.MISMATCH on:@.%a@."
+               Signal_lang.Pp.pp_process p;
+           ok
+         | Error _, Error _ -> true
+         | Ok _, Error m ->
+           (* the compiler may reject cyclic-looking programs the
+              interpreter handles; only accept that specific refusal *)
+           String.length m > 0
+           && (let needle = "cycle" in
+               let nh = String.length m and nn = String.length needle in
+               let rec go i =
+                 i + nn <= nh && (String.sub m i nn = needle || go (i + 1))
+               in
+               go 0)
+         | Error m, Ok _ ->
+           Format.eprintf "@.ENGINE-ONLY failure (%s) on:@.%a@." m
+             Signal_lang.Pp.pp_process p;
+           false))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_equivalence ]
+
+let suite =
+  [ ("compile",
+     [ Alcotest.test_case "fm equivalence" `Quick test_fm_equiv;
+       Alcotest.test_case "timer equivalence" `Quick test_timer_equiv;
+       Alcotest.test_case "fifo equivalence" `Quick test_fifo_equiv;
+       Alcotest.test_case "in port equivalence" `Quick test_in_port_equiv;
+       Alcotest.test_case "out port equivalence" `Quick test_out_port_equiv;
+       Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+       Alcotest.test_case "case study equivalence" `Quick
+         test_case_study_equiv;
+       Alcotest.test_case "case study plan" `Quick
+         test_case_study_plan_properties ]
+     @ qsuite) ]

@@ -1,0 +1,462 @@
+(* Semantic tests of the polychronous interpreter, including the
+   paper's memory-process law (Sec. IV-C) and the input-freezing
+   behaviour of Fig. 2 / Fig. 5. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module Engine = Polysim.Engine
+module Trace = Polysim.Trace
+
+let tint = Types.Tint
+let tbool = Types.Tbool
+let tevent = Types.Tevent
+
+let vi n = Types.Vint n
+let vb b = Types.Vbool b
+let ve = Types.Vevent
+
+let run_proc p stimuli =
+  let kp = N.process_exn p in
+  match Engine.run kp ~stimuli with
+  | Ok tr -> tr
+  | Error m -> Alcotest.fail m
+
+let int_stream tr x =
+  List.map
+    (function Types.Vint n -> n | v ->
+      Alcotest.fail ("non-int in stream: " ^ Types.value_to_string v))
+    (Trace.values_of tr x)
+
+let test_delay () =
+  let p =
+    B.proc ~name:"d"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := delay ~init:(vi 0) (v "x") ]
+  in
+  let tr = run_proc p [ [ ("x", vi 1) ]; [ ("x", vi 2) ]; [ ("x", vi 3) ] ] in
+  Alcotest.(check (list int)) "delayed stream" [ 0; 1; 2 ] (int_stream tr "y")
+
+let test_delay_skips_absences () =
+  let p =
+    B.proc ~name:"d"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := delay ~init:(vi 9) (v "x") ]
+  in
+  let tr = run_proc p [ [ ("x", vi 1) ]; []; [ ("x", vi 2) ]; [] ] in
+  (* y is synchronous with x: absent at instants 1 and 3 *)
+  Alcotest.(check (list int)) "stream" [ 9; 1 ] (int_stream tr "y");
+  Alcotest.(check (list int)) "instants" [ 0; 2 ] (Trace.tick_instants tr "y")
+
+let test_when () =
+  let p =
+    B.proc ~name:"w"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := when_ (v "x") (v "c") ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("x", vi 1); ("c", vb true) ];
+        [ ("x", vi 2); ("c", vb false) ];
+        [ ("x", vi 3) ];
+        [ ("c", vb true) ];
+        [ ("x", vi 5); ("c", vb true) ] ]
+  in
+  Alcotest.(check (list int)) "sampled" [ 1; 5 ] (int_stream tr "y");
+  Alcotest.(check (list int)) "instants" [ 0; 4 ] (Trace.tick_instants tr "y")
+
+let test_default () =
+  let p =
+    B.proc ~name:"m"
+      ~inputs:[ Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := default (v "a") (v "b") ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("a", vi 1); ("b", vi 10) ];
+        [ ("b", vi 20) ];
+        [ ("a", vi 3) ];
+        [] ]
+  in
+  Alcotest.(check (list int)) "merge priority" [ 1; 20; 3 ] (int_stream tr "y");
+  Alcotest.(check (list int)) "instants" [ 0; 1; 2 ] (Trace.tick_instants tr "y")
+
+let test_stepwise_sync () =
+  let p =
+    B.proc ~name:"s"
+      ~inputs:[ Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "a" + v "b" ]
+  in
+  let kp = N.process_exn p in
+  (* presenting only one operand of a synchronous function is a clock
+     contradiction *)
+  (match Engine.run kp ~stimuli:[ [ ("a", vi 1) ] ] with
+   | Ok _ -> Alcotest.fail "expected a synchrony violation"
+   | Error _ -> ());
+  match Engine.run kp ~stimuli:[ [ ("a", vi 1); ("b", vi 2) ] ] with
+  | Ok tr -> Alcotest.(check (list int)) "sum" [ 3 ] (int_stream tr "y")
+  | Error m -> Alcotest.fail m
+
+(* The paper's memory process law:
+   o_t = i_t if i present and b true; i_pred(t) if i absent and b true;
+   absent otherwise. *)
+let test_fm_law () =
+  let p =
+    B.proc ~name:"use_fm"
+      ~inputs:[ Ast.var "i" tint; Ast.var "b" tbool ]
+      ~outputs:[ Ast.var "o" tint ]
+      B.[ inst ~label:"mem" "fm" [ v "i"; v "b" ] [ "o" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("i", vi 1); ("b", vb true) ];   (* i present, b true -> 1 *)
+        [ ("b", vb true) ];                (* i absent, b true -> last i = 1 *)
+        [ ("i", vi 2) ];                   (* b absent -> o absent *)
+        [ ("i", vi 3); ("b", vb false) ];  (* b false -> o absent *)
+        [ ("b", vb true) ];                (* -> last i = 3 *)
+        [ ("i", vi 4); ("b", vb true) ] ]  (* -> 4 *)
+  in
+  Alcotest.(check (list int)) "fm law" [ 1; 1; 3; 4 ] (int_stream tr "o");
+  Alcotest.(check (list int)) "fm instants" [ 0; 1; 4; 5 ]
+    (Trace.tick_instants tr "o")
+
+let test_counter () =
+  let p =
+    B.proc ~name:"use_counter"
+      ~inputs:[ Ast.var "e" tevent ]
+      ~outputs:[ Ast.var "n" tint ]
+      B.[ inst ~label:"c" "counter" [ v "e" ] [ "n" ] ]
+  in
+  let tr = run_proc p [ [ ("e", ve) ]; []; [ ("e", ve) ]; [ ("e", ve) ] ] in
+  Alcotest.(check (list int)) "counts" [ 1; 2; 3 ] (int_stream tr "n")
+
+let test_counter_reset () =
+  let p =
+    B.proc ~name:"use_cr"
+      ~inputs:[ Ast.var "e" tevent; Ast.var "r" tevent ]
+      ~outputs:[ Ast.var "n" tint ]
+      B.[ inst ~label:"c" "counter_reset" [ v "e"; v "r" ] [ "n" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("e", ve) ]; [ ("e", ve) ]; [ ("r", ve) ]; [ ("e", ve) ] ]
+  in
+  Alcotest.(check (list int)) "counts with reset" [ 1; 2; 0; 1 ]
+    (int_stream tr "n")
+
+let test_freeze_process () =
+  (* z = x |> t : value frozen at t, later arrivals invisible until next t *)
+  let p =
+    B.proc ~name:"use_freeze"
+      ~inputs:[ Ast.var "x" tint; Ast.var "t" tevent ]
+      ~outputs:[ Ast.var "z" tint ]
+      B.[ inst ~label:"fr" "freeze" [ v "x"; v "t" ] [ "z" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("x", vi 1) ];
+        [ ("t", ve) ];            (* freeze -> 1 *)
+        [ ("x", vi 2) ];
+        [ ("x", vi 3) ];
+        [ ("t", ve) ];            (* freeze -> 3 (latest before t) *)
+        [ ("x", vi 4); ("t", ve) ] ]  (* same-instant x visible: fm law *)
+  in
+  Alcotest.(check (list int)) "frozen values" [ 1; 3; 4 ] (int_stream tr "z")
+
+let test_timer () =
+  let p =
+    B.proc ~name:"use_timer"
+      ~inputs:[ Ast.var "go" tevent; Ast.var "halt" tevent;
+                Ast.var "tk" tevent ]
+      ~outputs:[ Ast.var "out" tevent ]
+      B.[ inst ~params:[ vi 3 ] ~label:"tm" "timer"
+            [ v "go"; v "halt"; v "tk" ] [ "out" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("go", ve) ];
+        [ ("tk", ve) ];    (* cnt 1 *)
+        [ ("tk", ve) ];    (* cnt 2 *)
+        [ ("tk", ve) ];    (* cnt 3 = duration -> timeout *)
+        [ ("tk", ve) ];    (* timer no longer active *)
+        [ ("go", ve) ];
+        [ ("halt", ve) ];
+        [ ("tk", ve) ] ]   (* stopped: no timeout *)
+  in
+  Alcotest.(check (list int)) "timeout instants" [ 3 ]
+    (Trace.tick_instants tr "out")
+
+let test_fifo_primitive () =
+  let p =
+    B.proc ~name:"use_fifo"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ vi 8; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "pop" ]
+            [ "d"; "s" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("x", vi 1) ];
+        [ ("x", vi 2) ];
+        [ ("pop", ve) ];             (* -> 1 *)
+        [ ("x", vi 3); ("pop", ve) ];(* -> 2 (push then pop) *)
+        [ ("pop", ve) ];             (* -> 3 *)
+        [ ("pop", ve) ] ]            (* empty: d absent *)
+  in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (int_stream tr "d");
+  Alcotest.(check (list int)) "sizes" [ 1; 2; 1; 1; 0; 0 ] (int_stream tr "s")
+
+let test_fifo_empty_pop_same_instant_push () =
+  let p =
+    B.proc ~name:"use_fifo"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ vi 8; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "pop" ]
+            [ "d"; "s" ] ]
+  in
+  let tr = run_proc p [ [ ("x", vi 7); ("pop", ve) ] ] in
+  Alcotest.(check (list int)) "push visible to same-instant pop" [ 7 ]
+    (int_stream tr "d")
+
+let test_fifo_overflow () =
+  let p =
+    B.proc ~name:"use_fifo"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ vi 2; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "pop" ]
+            [ "d"; "s" ] ]
+  in
+  let kp = N.process_exn p in
+  let st = Engine.create kp in
+  List.iter
+    (fun stim ->
+      match Engine.step st ~stimulus:stim with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    [ [ ("x", vi 1) ]; [ ("x", vi 2) ]; [ ("x", vi 3) ] ];
+  Alcotest.(check int) "one overflow" 1 (Engine.overflow_count st);
+  (* oldest item was dropped *)
+  (match Engine.step st ~stimulus:[ ("pop", ve) ] with
+   | Ok present ->
+     Alcotest.(check bool) "head is 2" true
+       (List.assoc_opt "d" present = Some (vi 2))
+   | Error m -> Alcotest.fail m)
+
+let test_fifo_overflow_dropnewest () =
+  let p =
+    B.proc ~name:"use_fifo"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ vi 2; Types.Vstring "dropnewest" ] ~label:"q" "fifo"
+            [ v "x"; v "pop" ] [ "d"; "s" ] ]
+  in
+  let kp = N.process_exn p in
+  let st = Engine.create kp in
+  List.iter
+    (fun stim -> ignore (Engine.step st ~stimulus:stim))
+    [ [ ("x", vi 1) ]; [ ("x", vi 2) ]; [ ("x", vi 3) ] ];
+  Alcotest.(check int) "one overflow" 1 (Engine.overflow_count st);
+  (* the NEW item was dropped: head is still 1 *)
+  (match Engine.step st ~stimulus:[ ("pop", ve) ] with
+   | Ok present ->
+     Alcotest.(check bool) "head is 1" true
+       (List.assoc_opt "d" present = Some (vi 1))
+   | Error m -> Alcotest.fail m)
+
+let test_fifo_overflow_error_protocol () =
+  let p =
+    B.proc ~name:"use_fifo"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ vi 1; Types.Vstring "error" ] ~label:"q" "fifo"
+            [ v "x"; v "pop" ] [ "d"; "s" ] ]
+  in
+  let kp = N.process_exn p in
+  match Engine.run kp ~stimuli:[ [ ("x", vi 1) ]; [ ("x", vi 2) ] ] with
+  | Ok _ -> Alcotest.fail "Error protocol must fail on overflow"
+  | Error m ->
+    Alcotest.(check bool) "mentions overflow" true
+      (String.length m > 0)
+
+let test_fifo_reset () =
+  let p =
+    B.proc ~name:"use_fr"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent; Ast.var "rst" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ vi 8; Types.Vstring "dropoldest" ] ~label:"q" "fifo_reset"
+            [ v "x"; v "pop"; v "rst" ] [ "d"; "s" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("x", vi 1) ];
+        [ ("x", vi 2) ];
+        [ ("rst", ve) ];
+        [ ("pop", ve) ];                (* empty after reset: absent *)
+        [ ("x", vi 5); ("pop", ve) ] ]  (* reset cleared; 5 flows *)
+  in
+  Alcotest.(check (list int)) "post-reset pops" [ 5 ] (int_stream tr "d")
+
+(* Fig. 2 / Fig. 5: values arriving after Input_Time are not processed
+   until the next Input_Time. *)
+let test_in_event_port_freezing () =
+  let p =
+    B.proc ~name:"use_inport"
+      ~inputs:[ Ast.var "arr" tint; Ast.var "ft" tevent ]
+      ~outputs:[ Ast.var "frz" tint; Ast.var "cnt" tint ]
+      B.[ inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"port" "in_event_port"
+            [ v "arr"; v "ft" ] [ "frz"; "cnt" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("arr", vi 1) ];
+        [ ("ft", ve) ];                 (* freeze: sees 1 *)
+        [ ("arr", vi 2) ];
+        [ ("arr", vi 3) ];
+        [ ("arr", vi 9); ("ft", ve) ];  (* freeze sees 2,3 but NOT 9 *)
+        [ ("ft", ve) ] ]                (* freeze sees 9 *)
+  in
+  Alcotest.(check (list int)) "frozen heads" [ 1; 2; 9 ] (int_stream tr "frz");
+  Alcotest.(check (list int)) "frozen counts" [ 1; 2; 1 ] (int_stream tr "cnt")
+
+let test_in_event_port_empty_freeze () =
+  let p =
+    B.proc ~name:"use_inport"
+      ~inputs:[ Ast.var "arr" tint; Ast.var "ft" tevent ]
+      ~outputs:[ Ast.var "frz" tint; Ast.var "cnt" tint ]
+      B.[ inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"port" "in_event_port"
+            [ v "arr"; v "ft" ] [ "frz"; "cnt" ] ]
+  in
+  let tr = run_proc p [ [ ("ft", ve) ] ] in
+  Alcotest.(check (list int)) "no frozen item" [] (int_stream tr "frz");
+  Alcotest.(check (list int)) "count zero" [ 0 ] (int_stream tr "cnt")
+
+let test_out_event_port () =
+  let p =
+    B.proc ~name:"use_outport"
+      ~inputs:[ Ast.var "item" tint; Ast.var "ot" tevent ]
+      ~outputs:[ Ast.var "sent" tint ]
+      B.[ inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"port" "out_event_port"
+            [ v "item"; v "ot" ] [ "sent" ] ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("item", vi 1) ];
+        [ ("item", vi 2) ];
+        [ ("ot", ve) ];                 (* sends 1 *)
+        [ ("ot", ve) ];                 (* sends 2 *)
+        [ ("item", vi 3); ("ot", ve) ]; (* same-instant item eligible *)
+        [ ("ot", ve) ] ]                (* empty *)
+  in
+  Alcotest.(check (list int)) "sent order" [ 1; 2; 3 ] (int_stream tr "sent")
+
+let test_if_synchronous () =
+  let p =
+    B.proc ~name:"sel"
+      ~inputs:[ Ast.var "c" tbool; Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := if_ (v "c") (v "a") (v "b") ]
+  in
+  let tr =
+    run_proc p
+      [ [ ("c", vb true); ("a", vi 1); ("b", vi 2) ];
+        [ ("c", vb false); ("a", vi 3); ("b", vi 4) ] ]
+  in
+  Alcotest.(check (list int)) "selection" [ 1; 4 ] (int_stream tr "y")
+
+let test_division_by_zero () =
+  let p =
+    B.proc ~name:"div"
+      ~inputs:[ Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "a" / v "b" ]
+  in
+  let kp = N.process_exn p in
+  match Engine.run kp ~stimuli:[ [ ("a", vi 1); ("b", vi 0) ] ] with
+  | Ok _ -> Alcotest.fail "division by zero must fail"
+  | Error m ->
+    Alcotest.(check bool) "mentions zero" true
+      (String.length m > 0)
+
+let test_unknown_input_rejected () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "x" ]
+  in
+  let kp = N.process_exn p in
+  match Engine.run kp ~stimuli:[ [ ("zz", vi 1) ] ] with
+  | Ok _ -> Alcotest.fail "unknown input must be rejected"
+  | Error _ -> ()
+
+let test_no_free_choices_in_closed_program () =
+  let p =
+    B.proc ~name:"closed"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := (delay (v "y")) + v "x" ]
+  in
+  let kp = N.process_exn p in
+  let st = Engine.create kp in
+  List.iter
+    (fun stim -> ignore (Engine.step st ~stimulus:stim))
+    [ [ ("x", vi 1) ]; [ ("x", vi 2) ]; [] ];
+  Alcotest.(check int) "no free choices" 0 (Engine.free_choices st)
+
+let test_determinism_across_runs () =
+  (* same stimuli => identical traces *)
+  let p =
+    B.proc ~name:"d"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := when_ (delay (v "x") + v "x") (v "c") ]
+  in
+  let stimuli =
+    [ [ ("x", vi 1); ("c", vb true) ];
+      [ ("x", vi 2); ("c", vb false) ];
+      [ ("x", vi 3); ("c", vb true) ] ]
+  in
+  let t1 = run_proc p stimuli and t2 = run_proc p stimuli in
+  Alcotest.(check (list int)) "identical streams"
+    (int_stream t1 "y") (int_stream t2 "y")
+
+let suite =
+  [ ("engine.kernel",
+     [ Alcotest.test_case "delay" `Quick test_delay;
+       Alcotest.test_case "delay skips absences" `Quick test_delay_skips_absences;
+       Alcotest.test_case "when" `Quick test_when;
+       Alcotest.test_case "default" `Quick test_default;
+       Alcotest.test_case "stepwise synchrony" `Quick test_stepwise_sync;
+       Alcotest.test_case "if is synchronous" `Quick test_if_synchronous;
+       Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+       Alcotest.test_case "unknown input" `Quick test_unknown_input_rejected;
+       Alcotest.test_case "closed program endochrony" `Quick
+         test_no_free_choices_in_closed_program;
+       Alcotest.test_case "run determinism" `Quick test_determinism_across_runs ]);
+    ("engine.library",
+     [ Alcotest.test_case "fm law (paper IV-C)" `Quick test_fm_law;
+       Alcotest.test_case "counter" `Quick test_counter;
+       Alcotest.test_case "counter_reset" `Quick test_counter_reset;
+       Alcotest.test_case "freeze x |> t" `Quick test_freeze_process;
+       Alcotest.test_case "timer" `Quick test_timer ]);
+    ("engine.primitives",
+     [ Alcotest.test_case "fifo order" `Quick test_fifo_primitive;
+       Alcotest.test_case "fifo same-instant push/pop" `Quick
+         test_fifo_empty_pop_same_instant_push;
+       Alcotest.test_case "fifo overflow" `Quick test_fifo_overflow;
+       Alcotest.test_case "overflow dropnewest" `Quick
+         test_fifo_overflow_dropnewest;
+       Alcotest.test_case "overflow error protocol" `Quick
+         test_fifo_overflow_error_protocol;
+       Alcotest.test_case "fifo_reset" `Quick test_fifo_reset;
+       Alcotest.test_case "in port freezing (Fig. 2/5)" `Quick
+         test_in_event_port_freezing;
+       Alcotest.test_case "in port empty freeze" `Quick
+         test_in_event_port_empty_freeze;
+       Alcotest.test_case "out port (Output_Time)" `Quick test_out_event_port ]) ]

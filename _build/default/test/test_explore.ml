@@ -1,0 +1,170 @@
+(* Bounded exhaustive exploration: safety properties verified over ALL
+   input patterns up to a depth, with counterexamples when violated. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module E = Polysim.Explore
+
+let vi n = Types.Vint n
+let ve = Types.Vevent
+
+(* the timer never raises a timeout before [duration] ticks have
+   elapsed since the last arm, whatever the start/stop/tick pattern *)
+let test_timer_never_early () =
+  let p =
+    B.proc ~name:"use_timer"
+      ~inputs:[ Ast.var "go" Types.Tevent; Ast.var "halt" Types.Tevent;
+                Ast.var "tk" Types.Tevent ]
+      ~outputs:[ Ast.var "out" Types.Tevent ]
+      B.[ inst ~params:[ vi 3 ] ~label:"tm" "timer"
+            [ v "go"; v "halt"; v "tk" ] [ "out" ] ]
+  in
+  let kp = N.process_exn p in
+  (* within 3 instants a duration-3 timer can never expire *)
+  match
+    E.check ~depth:3
+      ~inputs:
+        [ ("go", [ None; Some ve ]); ("halt", [ None; Some ve ]);
+          ("tk", [ None; Some ve ]) ]
+      ~safe:(fun present -> not (List.mem_assoc "out" present))
+      kp
+  with
+  | Ok (E.Holds, states) ->
+    Alcotest.(check bool) "explored several states" true (states > 1)
+  | Ok (E.Violated tr, _) ->
+    Alcotest.fail
+      (Printf.sprintf "early timeout after %d instants" (List.length tr))
+  | Error m -> Alcotest.fail m
+
+let test_timer_can_expire () =
+  (* at depth 5 the timeout IS reachable: arm then tick 4 times *)
+  let p =
+    B.proc ~name:"use_timer"
+      ~inputs:[ Ast.var "go" Types.Tevent; Ast.var "halt" Types.Tevent;
+                Ast.var "tk" Types.Tevent ]
+      ~outputs:[ Ast.var "out" Types.Tevent ]
+      B.[ inst ~params:[ vi 3 ] ~label:"tm" "timer"
+            [ v "go"; v "halt"; v "tk" ] [ "out" ] ]
+  in
+  let kp = N.process_exn p in
+  match
+    E.check ~depth:5
+      ~inputs:
+        [ ("go", [ None; Some ve ]); ("halt", [ None; Some ve ]);
+          ("tk", [ None; Some ve ]) ]
+      ~safe:(fun present -> not (List.mem_assoc "out" present))
+      kp
+  with
+  | Ok (E.Violated trail, _) ->
+    Alcotest.(check bool) "counterexample within depth" true
+      (List.length trail <= 5 && List.length trail >= 4)
+  | Ok (E.Holds, _) -> Alcotest.fail "timeout must be reachable at depth 5"
+  | Error m -> Alcotest.fail m
+
+(* the fm memory law universally: o equals the last present i *)
+let test_fm_law_universal () =
+  let p =
+    B.proc ~name:"use_fm"
+      ~inputs:[ Ast.var "i" Types.Tint; Ast.var "b" Types.Tbool ]
+      ~outputs:[ Ast.var "o" Types.Tint ]
+      B.[ inst ~label:"mem" "fm" [ v "i"; v "b" ] [ "o" ] ]
+  in
+  let kp = N.process_exn p in
+  (* per-instant consistency: whenever i and b=true are both present,
+     o must be present and equal to i (the instantaneous half of the
+     fm law; the memory half is covered by the engine tests) *)
+  let safe present =
+    match List.assoc_opt "i" present, List.assoc_opt "b" present,
+          List.assoc_opt "o" present
+    with
+    | Some (Types.Vint n), Some bv, Some (Types.Vint m)
+      when (match bv with Types.Vbool b -> b | _ -> false) ->
+      n = m
+    | Some _, Some bv, None
+      when (match bv with Types.Vbool b -> b | _ -> false) ->
+      false (* i and b=true present but o absent: violates fm *)
+    | _ -> true
+  in
+  match
+    E.check ~depth:5
+      ~inputs:
+        [ ("i", [ None; Some (vi 1); Some (vi 2) ]);
+          ("b", [ None; Some (Types.Vbool true); Some (Types.Vbool false) ]) ]
+      ~safe kp
+  with
+  | Ok (E.Holds, states) ->
+    Alcotest.(check bool) "nontrivial exploration" true (states > 3)
+  | Ok (E.Violated _, _) -> Alcotest.fail "fm law violated"
+  | Error m -> Alcotest.fail m
+
+let test_counterexample_replays () =
+  (* a deliberately falsifiable property: the counter never reaches 3 *)
+  let p =
+    B.proc ~name:"use_counter"
+      ~inputs:[ Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "n" Types.Tint ]
+      B.[ inst ~label:"c" "counter" [ v "e" ] [ "n" ] ]
+  in
+  let kp = N.process_exn p in
+  match
+    E.check ~depth:6
+      ~inputs:[ ("e", [ None; Some ve ]) ]
+      ~safe:(fun present -> List.assoc_opt "n" present <> Some (vi 3))
+      kp
+  with
+  | Ok (E.Violated trail, _) -> (
+    (* the trail, replayed on the interpreter, reproduces the bug *)
+    Alcotest.(check int) "trail carries three events" 3
+      (List.length (List.filter (fun s -> s <> []) trail));
+    match Polysim.Engine.run kp ~stimuli:trail with
+    | Ok tr ->
+      let last = Polysim.Trace.length tr - 1 in
+      Alcotest.(check bool) "replay reaches n=3" true
+        (Polysim.Trace.get tr last "n" = Some (vi 3))
+    | Error m -> Alcotest.fail m)
+  | Ok (E.Holds, _) -> Alcotest.fail "n=3 is reachable"
+  | Error m -> Alcotest.fail m
+
+let test_state_pruning_counts () =
+  (* a 1-bit toggle has exactly 2 distinct states regardless of depth *)
+  let p =
+    B.proc ~name:"toggle"
+      ~inputs:[ Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "q" Types.Tbool ]
+      B.[ "q" := not_ (delay ~init:(Types.Vbool false) (v "q"));
+          clk (v "q") ^= clk (v "e") ]
+  in
+  let kp = N.process_exn p in
+  match
+    E.reachable_states ~depth:10 ~inputs:[ ("e", [ None; Some ve ]) ] kp
+  with
+  | Ok n -> Alcotest.(check int) "two states" 2 n
+  | Error m -> Alcotest.fail m
+
+let test_uncompilable_rejected () =
+  let p =
+    B.proc ~name:"cyclic"
+      ~inputs:[ Ast.var "x" Types.Tint ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "w" Types.Tint ]
+      B.[ "y" := v "w" + v "x"; "w" := v "y" + i 1 ]
+  in
+  let kp = N.process_exn p in
+  match E.check ~inputs:[] ~safe:(fun _ -> true) kp with
+  | Ok _ -> Alcotest.fail "cyclic process must not explore"
+  | Error _ -> ()
+
+let suite =
+  [ ("explore",
+     [ Alcotest.test_case "timer never early (BMC)" `Quick
+         test_timer_never_early;
+       Alcotest.test_case "timer expiry reachable" `Quick
+         test_timer_can_expire;
+       Alcotest.test_case "fm law universal" `Quick test_fm_law_universal;
+       Alcotest.test_case "counterexample replays" `Quick
+         test_counterexample_replays;
+       Alcotest.test_case "state pruning" `Quick test_state_pruning_counts;
+       Alcotest.test_case "uncompilable rejected" `Quick
+         test_uncompilable_rejected ]) ]

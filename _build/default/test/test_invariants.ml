@@ -1,0 +1,294 @@
+(* Cross-cutting invariants and extra property tests: kernel
+   well-formedness after normalization, scheduler export coherence,
+   calculus stability, word algebra laws. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module K = Signal_lang.Kernel
+module T = Sched.Task
+module S = Sched.Static_sched
+module W = Clocks.Pword
+
+(* ---------------- kernel well-formedness -------------------------- *)
+
+let eq_dst = function
+  | K.Kfunc { dst; _ } | K.Kdelay { dst; _ } | K.Kwhen { dst; _ }
+  | K.Kdefault { dst; _ } -> dst
+
+let eq_reads = function
+  | K.Kfunc { args; _ } ->
+    List.filter_map (function K.Avar x -> Some x | K.Aconst _ -> None) args
+  | K.Kdelay { src; _ } -> [ src ]
+  | K.Kwhen { src; cond; _ } ->
+    List.filter_map (function K.Avar x -> Some x | K.Aconst _ -> None)
+      [ src; cond ]
+  | K.Kdefault { left; right; _ } ->
+    List.filter_map (function K.Avar x -> Some x | K.Aconst _ -> None)
+      [ left; right ]
+
+(* every non-input signal defined exactly once (equation or primitive
+   output); every read signal declared *)
+let kernel_wf kp =
+  let declared = Hashtbl.create 64 in
+  List.iter
+    (fun vd -> Hashtbl.replace declared vd.Ast.var_name ())
+    (K.signals kp);
+  let inputs =
+    List.map (fun vd -> vd.Ast.var_name) kp.K.kinputs
+  in
+  let defs = Hashtbl.create 64 in
+  let add_def x = Hashtbl.replace defs x (1 + Option.value ~default:0 (Hashtbl.find_opt defs x)) in
+  List.iter (fun eq -> add_def (eq_dst eq)) kp.K.keqs;
+  List.iter (fun ki -> List.iter add_def ki.K.ki_outs) kp.K.kinstances;
+  let problems = ref [] in
+  List.iter
+    (fun vd ->
+      let x = vd.Ast.var_name in
+      let n = Option.value ~default:0 (Hashtbl.find_opt defs x) in
+      if List.mem x inputs then begin
+        if n > 0 then problems := (x ^ " input defined") :: !problems
+      end
+      else if n = 0 then problems := (x ^ " undefined") :: !problems
+      else if n > 1 then problems := (x ^ " multiply defined") :: !problems)
+    (K.signals kp);
+  List.iter
+    (fun eq ->
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem declared r) then
+            problems := (r ^ " read but undeclared") :: !problems)
+        (eq_reads eq))
+    kp.K.keqs;
+  !problems
+
+let test_kernel_wf_case_study () =
+  let a =
+    match
+      Polychrony.Pipeline.analyze
+        ~registry:Polychrony.Case_study.registry_nominal
+        Polychrony.Case_study.aadl_source
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check (list string)) "kernel well-formed" []
+    (kernel_wf a.Polychrony.Pipeline.kernel)
+
+let test_kernel_wf_library () =
+  List.iter
+    (fun p ->
+      match Signal_lang.Stdproc.primitive_of_name p.Ast.proc_name with
+      | Some _ -> ()
+      | None ->
+        let params =
+          List.map
+            (fun vd -> Types.default_init vd.Ast.var_type)
+            p.Ast.params
+        in
+        (match N.process ~params p with
+         | Ok kp ->
+           Alcotest.(check (list string))
+             (p.Ast.proc_name ^ " kernel well-formed")
+             [] (kernel_wf kp)
+         | Error m -> Alcotest.fail m))
+    Signal_lang.Stdproc.all
+
+(* ---------------- scheduler export coherence ----------------------- *)
+
+let gen_tasks =
+  QCheck2.Gen.(
+    list_size (int_range 1 5) (pair (int_range 1 4) (int_range 1 3))
+    |> map (fun specs ->
+           List.mapi
+             (fun i (p, c) ->
+               T.make
+                 ~name:(Printf.sprintf "t%d" i)
+                 ~period_us:(p * 2000)
+                 ~wcet_us:(min (c * 500) (p * 2000))
+                 ())
+             specs))
+
+let prop_word_vs_affine =
+  QCheck2.Test.make ~name:"event_word agrees with event_affine" ~count:150
+    gen_tasks (fun tasks ->
+      match S.synthesize tasks with
+      | Error _ -> true
+      | Ok s ->
+        List.for_all
+          (fun t ->
+            List.for_all
+              (fun ev ->
+                match S.event_affine s t.T.t_name ev with
+                | None -> true
+                | Some p ->
+                  W.equal (S.event_word s t.T.t_name ev) (W.of_periodic p))
+              [ S.Dispatch; S.Start; S.Complete ])
+          tasks)
+
+let prop_dispatch_counts =
+  QCheck2.Test.make ~name:"dispatch count = hyperperiod / period"
+    ~count:150 gen_tasks (fun tasks ->
+      match S.synthesize tasks with
+      | Error _ -> true
+      | Ok s ->
+        List.for_all
+          (fun t ->
+            List.length (S.event_times s t.T.t_name S.Dispatch)
+            = s.S.hyperperiod_us / t.T.period_us)
+          tasks)
+
+let prop_busy_time_conserved =
+  QCheck2.Test.make ~name:"total busy time = Σ jobs × wcet" ~count:150
+    gen_tasks (fun tasks ->
+      match S.synthesize tasks with
+      | Error _ -> true
+      | Ok s ->
+        let busy =
+          List.fold_left
+            (fun acc j -> acc + (j.S.complete_us - j.S.start_us))
+            0 s.S.jobs
+        in
+        let expected =
+          List.fold_left
+            (fun acc t ->
+              acc + (s.S.hyperperiod_us / t.T.period_us * t.T.wcet_us))
+            0 tasks
+        in
+        busy = expected)
+
+(* ---------------- calculus stability ------------------------------ *)
+
+let prop_calculus_deterministic =
+  QCheck2.Test.make ~name:"clock calculus is deterministic" ~count:50
+    QCheck2.Gen.(int_range 2 30)
+    (fun n ->
+      let locals =
+        List.init n (fun i -> Ast.var (Printf.sprintf "l%d" i) Types.Tint)
+      in
+      let body =
+        B.("l0" := v "x")
+        :: List.init (n - 1) (fun i ->
+               let dst = Printf.sprintf "l%d" (i + 1) in
+               let src = Printf.sprintf "l%d" i in
+               if i mod 2 = 0 then B.(dst := when_ (v src) (v "c"))
+               else B.(dst := delay (v src)))
+        @
+        let last = Printf.sprintf "l%d" (n - 1) in
+        [ B.("y" := v last) ]
+      in
+      let p =
+        B.proc ~name:"chain" ~locals
+          ~inputs:[ Ast.var "x" Types.Tint; Ast.var "c" Types.Tbool ]
+          ~outputs:[ Ast.var "y" Types.Tint ]
+          body
+      in
+      let kp = N.process_exn p in
+      let c1 = Clocks.Calculus.analyze kp in
+      let c2 = Clocks.Calculus.analyze kp in
+      Clocks.Calculus.class_count c1 = Clocks.Calculus.class_count c2
+      && Clocks.Calculus.null_signals c1 = Clocks.Calculus.null_signals c2)
+
+(* ---------------- word algebra laws -------------------------------- *)
+
+let gen_word =
+  QCheck2.Gen.(
+    map2
+      (fun prefix cycle -> W.make ~prefix ~cycle)
+      (list_size (int_range 0 5) bool)
+      (list_size (int_range 1 6) bool))
+
+let prop_land_comm =
+  QCheck2.Test.make ~name:"word intersection commutative" ~count:300
+    QCheck2.Gen.(pair gen_word gen_word)
+    (fun (a, b) -> W.equal (W.land_ a b) (W.land_ b a))
+
+let prop_land_assoc =
+  QCheck2.Test.make ~name:"word intersection associative" ~count:300
+    QCheck2.Gen.(triple gen_word gen_word gen_word)
+    (fun (a, b, c) ->
+      W.equal (W.land_ a (W.land_ b c)) (W.land_ (W.land_ a b) c))
+
+let prop_absorption =
+  QCheck2.Test.make ~name:"word absorption: a ∧ (a ∨ b) = a" ~count:300
+    QCheck2.Gen.(pair gen_word gen_word)
+    (fun (a, b) -> W.equal (W.land_ a (W.lor_ a b)) a)
+
+(* ---------------- scale: 8-pair system end to end ------------------ *)
+
+let test_scaled_system_runs () =
+  (* a larger generated model (16 threads, 8 shared queues): translate,
+     compile, simulate, and check compiled = interpreted *)
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n = 8 in
+  pf "package Big public\n";
+  pf "  data Cell properties Queue_Size => 4; end Cell;\n";
+  pf "  data implementation Cell.impl end Cell.impl;\n";
+  for k = 0 to n - 1 do
+    pf "  thread p%d features\n" k;
+    pf "      q: requires data access Cell {Access_Right => write_only;};\n";
+    pf "    properties Dispatch_Protocol => Periodic; Period => 4 ms;\n";
+    pf "      Compute_Execution_Time => 100 us;\n  end p%d;\n" k;
+    pf "  thread implementation p%d.impl end p%d.impl;\n" k k;
+    pf "  thread c%d features\n" k;
+    pf "      q: requires data access Cell {Access_Right => read_only;};\n";
+    pf "    properties Dispatch_Protocol => Periodic; Period => 6 ms;\n";
+    pf "      Compute_Execution_Time => 100 us;\n  end c%d;\n" k;
+    pf "  thread implementation c%d.impl end c%d.impl;\n" k k
+  done;
+  pf "  process host end host;\n";
+  pf "  process implementation host.impl\n    subcomponents\n";
+  for k = 0 to n - 1 do
+    pf "      pp%d: thread p%d.impl;\n      cc%d: thread c%d.impl;\n" k k k k;
+    pf "      qq%d: data Cell.impl;\n" k
+  done;
+  pf "    connections\n";
+  for k = 0 to n - 1 do
+    pf "      a%d: data access qq%d -> pp%d.q;\n" k k k;
+    pf "      b%d: data access qq%d -> cc%d.q;\n" k k k
+  done;
+  pf "  end host.impl;\n";
+  pf "  processor cpu end cpu;\n";
+  pf "  processor implementation cpu.impl end cpu.impl;\n";
+  pf "  system rig end rig;\n  system implementation rig.impl\n";
+  pf "    subcomponents h: process host.impl; c0: processor cpu.impl;\n";
+  pf "    properties Actual_Processor_Binding => reference (c0) applies to h;\n";
+  pf "  end rig.impl;\nend Big;\n";
+  match Polychrony.Pipeline.analyze (Buffer.contents buf) with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+    Alcotest.(check bool) "many classes" true
+      (Clocks.Calculus.class_count a.Polychrony.Pipeline.calc > 80);
+    let t1 =
+      match Polychrony.Pipeline.simulate ~hyperperiods:1 a with
+      | Ok t -> t
+      | Error m -> Alcotest.fail m
+    in
+    let t2 =
+      match Polychrony.Pipeline.simulate ~compiled:true ~hyperperiods:1 a with
+      | Ok t -> t
+      | Error m -> Alcotest.fail m
+    in
+    Alcotest.(check bool) "16-thread system: compiled = interpreted" true
+      (List.for_all
+         (fun x ->
+           List.for_all
+             (fun i -> Polysim.Trace.get t1 i x = Polysim.Trace.get t2 i x)
+             (List.init (Polysim.Trace.length t1) Fun.id))
+         (Polysim.Trace.observable t1))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_word_vs_affine; prop_dispatch_counts; prop_busy_time_conserved;
+      prop_calculus_deterministic; prop_land_comm; prop_land_assoc;
+      prop_absorption ]
+
+let suite =
+  [ ("invariants",
+     [ Alcotest.test_case "kernel wf: case study" `Quick
+         test_kernel_wf_case_study;
+       Alcotest.test_case "kernel wf: library" `Quick test_kernel_wf_library;
+       Alcotest.test_case "16-thread scale" `Quick test_scaled_system_runs ]
+     @ qsuite) ]

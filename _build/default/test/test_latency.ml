@@ -1,0 +1,201 @@
+(* Flow latency analysis: path discovery, schedule-based prediction,
+   and validation of the prediction against a simulated trace. *)
+
+module P = Polychrony.Pipeline
+module L = Trans.Latency
+module Trace = Polysim.Trace
+module Types = Signal_lang.Types
+
+let case_analyzed =
+  lazy
+    (match
+       P.analyze ~registry:Polychrony.Case_study.registry_nominal
+         Polychrony.Case_study.aadl_source
+     with
+     | Ok a -> a
+     | Error m -> failwith m)
+
+let test_find_path_case_study () =
+  let a = Lazy.force case_analyzed in
+  let t = a.P.instance in
+  match
+    L.find_path t ~src:"ProdConsSys.env.pGo"
+      ~dst:"ProdConsSys.display.pProdAlarm"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok hops ->
+    Alcotest.(check int) "two hops (producer, timer)" 2 (List.length hops);
+    (match hops with
+     | [ h1; h2 ] ->
+       Alcotest.(check string) "first thread"
+         "ProdConsSys.prProdCons.thProducer" h1.L.h_thread;
+       Alcotest.(check string) "second thread"
+         "ProdConsSys.prProdCons.thProdTimer" h2.L.h_thread
+     | _ -> Alcotest.fail "hop shape")
+
+let test_no_path () =
+  let a = Lazy.force case_analyzed in
+  match
+    L.find_path a.P.instance ~src:"ProdConsSys.display.pProdAlarm"
+      ~dst:"ProdConsSys.env.pGo"
+  with
+  | Ok _ -> Alcotest.fail "reversed flow must not exist"
+  | Error _ -> ()
+
+let test_latency_bounds_case_study () =
+  let a = Lazy.force case_analyzed in
+  let schedules = a.P.translation.Trans.System_trans.schedules in
+  match
+    L.analyze a.P.instance ~schedules ~src:"ProdConsSys.env.pGo"
+      ~dst:"ProdConsSys.display.pProdAlarm"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    (* two hops with periods 4 and 8 ms: at least one complete each *)
+    Alcotest.(check bool) "best above 1 ms" true (r.L.best_us >= 1000);
+    (* and bounded by two periods + executions *)
+    Alcotest.(check bool) "worst under 16 ms" true (r.L.worst_us <= 16000);
+    Alcotest.(check bool) "best <= avg <= worst" true
+      (float_of_int r.L.best_us <= r.L.average_us
+       && r.L.average_us <= float_of_int r.L.worst_us)
+
+(* Validate the schedule-based prediction against an actual simulation
+   of the flight-control data-port chain: a value produced by nav must
+   reach the servo within [best, worst] of its dispatch. *)
+let flight_aadl =
+  (* reuse the example's model: inline a trimmed copy *)
+  {|package FlightControl
+public
+  thread navigation
+    features position: out data port;
+    properties Dispatch_Protocol => Periodic; Period => 40 ms;
+      Compute_Execution_Time => 6 ms;
+  end navigation;
+  thread implementation navigation.impl end navigation.impl;
+  thread control
+    features
+      setpoint: in data port;
+      surface: out data port;
+    properties Dispatch_Protocol => Periodic; Period => 10 ms;
+      Compute_Execution_Time => 2 ms;
+  end control;
+  thread implementation control.impl end control.impl;
+  process fcs
+    features surface_cmd: out data port;
+  end fcs;
+  process implementation fcs.impl
+    subcomponents
+      nav: thread navigation.impl;
+      ctl: thread control.impl;
+    connections
+      k0: port nav.position -> ctl.setpoint;
+      k2: port ctl.surface -> surface_cmd;
+  end fcs.impl;
+  processor fcc end fcc;
+  processor implementation fcc.impl end fcc.impl;
+  system actuators
+    features surface: in data port;
+  end actuators;
+  system implementation actuators.impl end actuators.impl;
+  system aircraft end aircraft;
+  system implementation aircraft.impl
+    subcomponents
+      flight: process fcs.impl;
+      cpu: processor fcc.impl;
+      servo: system actuators.impl;
+    connections
+      s0: port flight.surface_cmd -> servo.surface;
+    properties
+      Actual_Processor_Binding => reference (cpu) applies to flight;
+  end aircraft.impl;
+end FlightControl;|}
+
+let test_latency_matches_simulation () =
+  let a =
+    match P.analyze flight_aadl with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  let schedules = a.P.translation.Trans.System_trans.schedules in
+  let r =
+    match
+      L.analyze a.P.instance ~schedules
+        ~src:"aircraft.flight.nav.position" ~dst:"aircraft.servo.surface"
+    with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  (* simulate and observe: nav's k-th output value is the job counter;
+     find when each fresh value first reaches the servo *)
+  match P.simulate ~hyperperiods:4 a with
+  | Error m -> Alcotest.fail m
+  | Ok tr ->
+    let base =
+      match schedules with
+      | (_, s) :: _ -> s.Sched.Static_sched.base_us
+      | [] -> Alcotest.fail "no schedule"
+    in
+    (* nav releases its value at Complete of each job *)
+    let nav_out = Trace.tick_instants tr "flight_nav_position" in
+    let nav_vals = Trace.values_of tr "flight_nav_position" in
+    let servo_at v =
+      (* first instant where the servo sees value v *)
+      List.find_opt
+        (fun i -> Trace.get tr i "servo_surface" = Some v)
+        (List.init (Trace.length tr) Fun.id)
+    in
+    let nav_sched =
+      match schedules with (_, s) :: _ -> s | [] -> assert false
+    in
+    List.iteri
+      (fun k (inst, v) ->
+        match servo_at v with
+        | None -> ()  (* value superseded before reaching the servo *)
+        | Some arrival ->
+          (* latency measured from the nav job's dispatch *)
+          let dispatches =
+            Sched.Static_sched.event_times nav_sched
+              "aircraft.flight.nav" Sched.Static_sched.Dispatch
+          in
+          let hyper = nav_sched.Sched.Static_sched.hyperperiod_us in
+          let release_us = inst * base in
+          let dispatch_us =
+            (* latest dispatch at or before the release *)
+            List.fold_left
+              (fun acc d ->
+                let rec fit d = if d + hyper <= release_us then fit (d + hyper) else d in
+                let d = fit d in
+                if d <= release_us then max acc d else acc)
+              0 dispatches
+          in
+          let measured = (arrival * base) - dispatch_us in
+          ignore k;
+          Alcotest.(check bool)
+            (Printf.sprintf "measured latency %d us within [%d, %d]" measured
+               r.L.best_us r.L.worst_us)
+            true
+            (measured >= r.L.best_us - nav_sched.Sched.Static_sched.base_us
+             && measured <= r.L.worst_us + nav_sched.Sched.Static_sched.base_us))
+      (List.combine nav_out nav_vals)
+
+let test_pp_report () =
+  let a = Lazy.force case_analyzed in
+  let schedules = a.P.translation.Trans.System_trans.schedules in
+  match
+    L.analyze a.P.instance ~schedules ~src:"ProdConsSys.env.pGo"
+      ~dst:"ProdConsSys.display.pProdAlarm"
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    let s = Format.asprintf "%a" L.pp_report r in
+    Alcotest.(check bool) "mentions latency" true (String.length s > 40)
+
+let suite =
+  [ ("latency",
+     [ Alcotest.test_case "path discovery" `Quick test_find_path_case_study;
+       Alcotest.test_case "no reversed path" `Quick test_no_path;
+       Alcotest.test_case "case-study bounds" `Quick
+         test_latency_bounds_case_study;
+       Alcotest.test_case "prediction matches simulation" `Quick
+         test_latency_matches_simulation;
+       Alcotest.test_case "report printer" `Quick test_pp_report ]) ]

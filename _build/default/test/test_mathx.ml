@@ -1,0 +1,88 @@
+(* Unit and property tests for Putil.Mathx. *)
+
+module M = Putil.Mathx
+
+let check = Alcotest.(check int)
+
+let test_gcd () =
+  check "gcd 12 18" 6 (M.gcd 12 18);
+  check "gcd 0 5" 5 (M.gcd 0 5);
+  check "gcd 5 0" 5 (M.gcd 5 0);
+  check "gcd 0 0" 0 (M.gcd 0 0);
+  check "gcd negative" 6 (M.gcd (-12) 18);
+  check "gcd both negative" 6 (M.gcd (-12) (-18));
+  check "gcd coprime" 1 (M.gcd 17 13)
+
+let test_lcm () =
+  check "lcm 4 6" 12 (M.lcm 4 6);
+  check "lcm 4 0" 0 (M.lcm 4 0);
+  check "lcm 1 9" 9 (M.lcm 1 9);
+  check "lcm of paper periods" 24 (M.lcm_list [ 4; 6; 8; 8 ]);
+  check "lcm_list empty" 1 (M.lcm_list []);
+  check "gcd_list" 4 (M.gcd_list [ 8; 12; 20 ])
+
+let test_egcd () =
+  let g, u, v = M.egcd 240 46 in
+  check "egcd gcd" 2 g;
+  check "egcd identity" 2 ((240 * u) + (46 * v))
+
+let test_diophantine () =
+  (match M.solve_diophantine 3 5 7 with
+   | Some (x, y) -> check "3x+5y=7" 7 ((3 * x) + (5 * y))
+   | None -> Alcotest.fail "3x+5y=7 has solutions");
+  (match M.solve_diophantine 4 6 7 with
+   | Some _ -> Alcotest.fail "4x+6y=7 has no solution"
+   | None -> ());
+  match M.solve_diophantine 0 0 0 with
+  | Some (x, y) -> check "trivial x" 0 x; check "trivial y" 0 y
+  | None -> Alcotest.fail "0x+0y=0 is solvable"
+
+let test_divisions () =
+  check "floor_div pos" 2 (M.floor_div 7 3);
+  check "floor_div neg" (-3) (M.floor_div (-7) 3);
+  check "ceil_div pos" 3 (M.ceil_div 7 3);
+  check "ceil_div neg" (-2) (M.ceil_div (-7) 3);
+  check "floor_div exact" (-2) (M.floor_div (-6) 3);
+  check "ceil_div exact" 2 (M.ceil_div 6 3);
+  check "pos_mod" 2 (M.pos_mod (-7) 3);
+  check "pos_mod positive" 1 (M.pos_mod 7 3)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both operands" ~count:500
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      let g = M.gcd a b in
+      if a = 0 && b = 0 then g = 0 else a mod g = 0 && b mod g = 0)
+
+let prop_lcm_multiple =
+  QCheck2.Test.make ~name:"lcm is a common multiple" ~count:500
+    QCheck2.Gen.(pair (int_range 1 500) (int_range 1 500))
+    (fun (a, b) ->
+      let l = M.lcm a b in
+      l mod a = 0 && l mod b = 0 && l <= a * b)
+
+let prop_egcd_bezout =
+  QCheck2.Test.make ~name:"egcd satisfies Bezout" ~count:500
+    QCheck2.Gen.(pair (int_range (-500) 500) (int_range (-500) 500))
+    (fun (a, b) ->
+      let g, u, v = M.egcd a b in
+      (a * u) + (b * v) = g && g = M.gcd a b)
+
+let prop_floor_ceil =
+  QCheck2.Test.make ~name:"floor_div/ceil_div bracket the quotient" ~count:500
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range 1 50))
+    (fun (a, b) ->
+      let f = M.floor_div a b and c = M.ceil_div a b in
+      f * b <= a && a <= c * b && c - f <= 1)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_gcd_divides; prop_lcm_multiple; prop_egcd_bezout; prop_floor_ceil ]
+
+let suite =
+  [ ("mathx",
+     [ Alcotest.test_case "gcd" `Quick test_gcd;
+       Alcotest.test_case "lcm" `Quick test_lcm;
+       Alcotest.test_case "egcd" `Quick test_egcd;
+       Alcotest.test_case "diophantine" `Quick test_diophantine;
+       Alcotest.test_case "integer divisions" `Quick test_divisions ]
+     @ qsuite) ]

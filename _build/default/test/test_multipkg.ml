@@ -1,0 +1,189 @@
+(* Multi-package models: a library package of reusable thread types and
+   a system package referencing them with qualified classifiers. *)
+
+module P = Polychrony.Pipeline
+module Syn = Aadl.Syntax
+
+let multi_src =
+  {|package Components
+public
+  thread worker
+    features
+      inp: in event port;
+      outp: out event data port;
+    properties
+      Dispatch_Protocol => Periodic;
+      Period => 10 ms;
+      Compute_Execution_Time => 2 ms;
+  end worker;
+
+  thread implementation worker.impl
+  end worker.impl;
+
+  processor generic_cpu
+  end generic_cpu;
+
+  processor implementation generic_cpu.impl
+  end generic_cpu.impl;
+end Components;
+
+package MainSystem
+public
+  with Components;
+
+  process pipeline_proc
+    features
+      result: out event data port;
+  end pipeline_proc;
+
+  process implementation pipeline_proc.impl
+    subcomponents
+      stage1: thread Components::worker.impl;
+      stage2: thread Components::worker.impl;
+    connections
+      k0: port stage1.outp -> stage2.inp;
+      k1: port stage2.outp -> result;
+  end pipeline_proc.impl;
+
+  system sink_sys
+    features
+      display: in event data port;
+  end sink_sys;
+
+  system implementation sink_sys.impl
+  end sink_sys.impl;
+
+  system top
+  end top;
+
+  system implementation top.impl
+    subcomponents
+      main: process pipeline_proc.impl;
+      cpu0: processor Components::generic_cpu.impl;
+      sink: system sink_sys.impl;
+    connections
+      s0: port main.result -> sink.display;
+    properties
+      Actual_Processor_Binding => reference (cpu0) applies to main;
+  end top.impl;
+end MainSystem;|}
+
+let test_parse_two_packages () =
+  match Aadl.Parser.parse_packages multi_src with
+  | Error m -> Alcotest.fail m
+  | Ok pkgs ->
+    Alcotest.(check int) "two packages" 2 (List.length pkgs);
+    Alcotest.(check (list string)) "names"
+      [ "Components"; "MainSystem" ]
+      (List.map (fun p -> p.Syn.pkg_name) pkgs)
+
+let test_single_package_still_works () =
+  match Aadl.Parser.parse_packages Polychrony.Case_study.aadl_source with
+  | Error m -> Alcotest.fail m
+  | Ok pkgs -> Alcotest.(check int) "one package" 1 (List.length pkgs)
+
+let test_cross_package_instantiation () =
+  let pkgs =
+    match Aadl.Parser.parse_packages multi_src with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  match pkgs with
+  | [ lib; main ] -> (
+    match Aadl.Instance.instantiate ~context:[ lib ] main ~root:"top.impl" with
+    | Error m -> Alcotest.fail m
+    | Ok t ->
+      Alcotest.(check int) "two worker threads" 2
+        (List.length (Aadl.Instance.threads t));
+      (* classifier resolved in the library, properties flow through *)
+      (match Aadl.Instance.find t "top.main.stage1" with
+       | Some th ->
+         Alcotest.(check (option int)) "period from library" (Some 10000)
+           (Aadl.Props.period_us th.Aadl.Instance.i_props)
+       | None -> Alcotest.fail "stage1 missing"))
+  | _ -> Alcotest.fail "expected two packages"
+
+let test_unknown_package_rejected () =
+  let src =
+    {|package P public
+      process q end q;
+      process implementation q.impl
+        subcomponents w: thread Nowhere::worker.impl;
+      end q.impl;
+      end P;|}
+  in
+  let pkg =
+    match Aadl.Parser.parse_package src with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  match Aadl.Instance.instantiate pkg ~root:"q.impl" with
+  | Ok _ -> Alcotest.fail "unknown package must fail"
+  | Error m ->
+    Alcotest.(check bool) "mentions the package" true
+      (String.length m > 0)
+
+let test_end_to_end_multipackage () =
+  match P.analyze multi_src with
+  | Error m -> Alcotest.fail m
+  | Ok a -> (
+    Alcotest.(check bool) "deadlock free" true
+      a.P.deadlock.Analysis.Deadlock.deadlock_free;
+    match P.simulate ~hyperperiods:3 a with
+    | Error m -> Alcotest.fail m
+    | Ok tr ->
+      (* stage1's job counter flows to stage2 and out to the sink *)
+      Alcotest.(check bool) "pipeline delivers" true
+        (Polysim.Trace.present_count tr "sink_display" >= 1))
+
+let test_property_set_and_annex () =
+  (* real AADL files open with property sets and sprinkle annexes *)
+  let src =
+    {|property set Custom_Props is
+        Watchdog_Budget: aadlinteger 0 .. 1000 applies to (thread);
+      end Custom_Props;
+
+      package P
+      public
+        thread t
+          features e: in event port;
+          annex behavior_specification {**
+            states s0: initial state; transitions t0: s0 -[on dispatch]-> s0;
+          **};
+          properties
+            Dispatch_Protocol => Periodic;
+            Period => 10 ms;
+            Custom_Props::Watchdog_Budget => 5;
+        end t;
+        thread implementation t.impl
+          annex behavior_specification {** anything ** here **};
+        end t.impl;
+      end P;|}
+  in
+  match Aadl.Parser.parse_packages src with
+  | Error m -> Alcotest.fail m
+  | Ok [ pkg ] -> (
+    match Syn.find_type pkg "t" with
+    | Some ct ->
+      Alcotest.(check (option int)) "period parsed around annex"
+        (Some 10000)
+        (Aadl.Props.period_us ct.Syn.ct_properties);
+      (* the custom qualified property is kept verbatim *)
+      Alcotest.(check bool) "custom property present" true
+        (Aadl.Props.find "Watchdog_Budget" ct.Syn.ct_properties
+         = Some (Syn.Pint (5, None)))
+    | None -> Alcotest.fail "t missing")
+  | Ok _ -> Alcotest.fail "one package expected"
+
+let suite =
+  [ ("multipkg",
+     [ Alcotest.test_case "parse two packages" `Quick test_parse_two_packages;
+       Alcotest.test_case "single package" `Quick
+         test_single_package_still_works;
+       Alcotest.test_case "cross-package instantiation" `Quick
+         test_cross_package_instantiation;
+       Alcotest.test_case "unknown package" `Quick
+         test_unknown_package_rejected;
+       Alcotest.test_case "end to end" `Quick test_end_to_end_multipackage;
+       Alcotest.test_case "property sets and annexes" `Quick
+         test_property_set_and_annex ]) ]

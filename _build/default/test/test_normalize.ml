@@ -1,0 +1,223 @@
+(* Tests for normalization into kernel form. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module K = Signal_lang.Kernel
+module N = Signal_lang.Normalize
+module Stdproc = Signal_lang.Stdproc
+
+let tint = Types.Tint
+let tbool = Types.Tbool
+let tevent = Types.Tevent
+
+let norm p = N.process_exn p
+
+let eq_kinds kp =
+  List.map
+    (function
+      | K.Kfunc _ -> `F
+      | K.Kdelay _ -> `D
+      | K.Kwhen _ -> `W
+      | K.Kdefault _ -> `M)
+    kp.K.keqs
+
+let test_flat_arith () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := (v "a" + v "b") * i 2 ]
+  in
+  let kp = norm p in
+  (* two Kfunc for +, *, one Pid copy into y *)
+  Alcotest.(check int) "three equations" 3 (List.length kp.K.keqs);
+  Alcotest.(check bool) "all stepwise" true
+    (List.for_all (fun k -> k = `F) (eq_kinds kp))
+
+let test_delay_init () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := delay ~init:(Types.Vint 7) (v "x") ]
+  in
+  let kp = norm p in
+  let found =
+    List.exists
+      (function
+        | K.Kdelay { init = Types.Vint 7; src = "x"; _ } -> true
+        | _ -> false)
+      kp.K.keqs
+  in
+  Alcotest.(check bool) "delay preserved with init" true found
+
+let test_partial_definitions () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "a" tint; Ast.var "ca" tbool; Ast.var "cb" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" =:: when_ (v "a") (v "ca"); "y" =:: when_ (v "a" + i 1) (v "cb") ]
+  in
+  let kp = norm p in
+  (match kp.K.kpartials with
+   | [ ("y", sources) ] ->
+     Alcotest.(check int) "two branches" 2 (List.length sources)
+   | _ -> Alcotest.fail "expected one partial merge for y");
+  (* y must end up with a total definition (merge) *)
+  Alcotest.(check bool) "y defined" true (K.defined_by kp "y" <> [])
+
+let test_inline_fm () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "x" tint; Ast.var "c" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ inst ~label:"mem" "fm" [ v "x"; v "c" ] [ "y" ] ]
+  in
+  let kp = norm p in
+  Alcotest.(check int) "no primitive instances" 0 (List.length kp.K.kinstances);
+  (* fm's local m appears renamed *)
+  Alcotest.(check bool) "inlined local present" true
+    (List.exists
+       (fun vd -> vd.Ast.var_name = "mem__m")
+       kp.K.klocals);
+  Alcotest.(check bool) "y defined" true (K.defined_by kp "y" <> [])
+
+let test_inline_nested () =
+  (* freeze instantiates fm internally: two levels of inlining *)
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "x" tint; Ast.var "t" tevent ]
+      ~outputs:[ Ast.var "z" tint ]
+      B.[ inst ~label:"fr" "freeze" [ v "x"; v "t" ] [ "z" ] ]
+  in
+  let kp = norm p in
+  Alcotest.(check int) "fully inlined" 0 (List.length kp.K.kinstances);
+  Alcotest.(check bool) "z defined" true (K.defined_by kp "z" <> [])
+
+let test_primitive_kept () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "x" tint; Ast.var "pop" tevent ]
+      ~outputs:[ Ast.var "d" tint; Ast.var "s" tint ]
+      B.[ inst ~params:[ Types.Vint 4; Types.Vstring "dropoldest" ] ~label:"q" "fifo"
+            [ v "x"; v "pop" ] [ "d"; "s" ] ]
+  in
+  let kp = norm p in
+  (match kp.K.kinstances with
+   | [ ki ] ->
+     Alcotest.(check bool) "is fifo" true (ki.K.ki_prim = Stdproc.Pfifo);
+     Alcotest.(check (list string)) "outs" [ "d"; "s" ] ki.K.ki_outs
+   | _ -> Alcotest.fail "expected exactly one primitive instance")
+
+let test_param_substitution () =
+  let model =
+    B.proc ~name:"scale"
+      ~params:[ Ast.var "k" tint ]
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "x" * v "k" ]
+  in
+  let p =
+    B.proc ~name:"p" ~subprocesses:[ model ]
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ inst ~params:[ Types.Vint 3 ] ~label:"s3" "scale" [ v "x" ] [ "y" ] ]
+  in
+  let kp = norm p in
+  let has_const_3 =
+    List.exists
+      (function
+        | K.Kfunc { args; _ } ->
+          List.exists (fun a -> a = K.Aconst (Types.Vint 3)) args
+        | _ -> false)
+      kp.K.keqs
+  in
+  Alcotest.(check bool) "parameter became constant" true has_const_3
+
+let test_param_arity_error () =
+  let model =
+    B.proc ~name:"scale"
+      ~params:[ Ast.var "k" tint ]
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "x" * v "k" ]
+  in
+  let p =
+    B.proc ~name:"p" ~subprocesses:[ model ]
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ inst ~label:"s" "scale" [ v "x" ] [ "y" ] ]
+  in
+  Alcotest.(check bool) "missing parameter detected" true
+    (Result.is_error (N.process p))
+
+let test_recursive_instance_error () =
+  let rec_model =
+    B.proc ~name:"loop_me"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ inst ~label:"again" "loop_me" [ v "x" ] [ "y" ] ]
+  in
+  let prog = B.program "m" [ rec_model ] in
+  Alcotest.(check bool) "recursion rejected" true
+    (Result.is_error (N.process ~program:prog rec_model))
+
+let test_clock_constraints_normalized () =
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "a" tint; Ast.var "b" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "a"; clk (v "a") ^= clk (v "b") ]
+  in
+  let kp = norm p in
+  Alcotest.(check int) "one constraint" 1 (List.length kp.K.kconstraints);
+  match kp.K.kconstraints with
+  | [ K.Ceq (_, _) ] -> ()
+  | _ -> Alcotest.fail "expected a Ceq"
+
+let test_stdlib_all_normalize () =
+  (* every kernel-expressible library process normalizes *)
+  List.iter
+    (fun p ->
+      match Stdproc.primitive_of_name p.Ast.proc_name with
+      | Some _ -> ()
+      | None ->
+        let params =
+          List.map (fun vd -> Types.default_init vd.Ast.var_type) p.Ast.params
+        in
+        (match N.process ~params p with
+         | Ok _ -> ()
+         | Error m ->
+           Alcotest.fail (Printf.sprintf "%s: %s" p.Ast.proc_name m)))
+    Stdproc.all
+
+let test_fresh_names_no_clash () =
+  (* a user signal named like a temp must not collide *)
+  let p =
+    B.proc ~name:"p"
+      ~inputs:[ Ast.var "a" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      ~locals:[ Ast.var "_t1" tint ]
+      B.[ "_t1" := v "a" + i 1; "y" := v "_t1" * i 2 ]
+  in
+  let kp = norm p in
+  let names = List.map (fun vd -> vd.Ast.var_name) (K.signals kp) in
+  let uniq = List.sort_uniq String.compare names in
+  Alcotest.(check int) "no duplicate declarations"
+    (List.length uniq) (List.length names)
+
+let suite =
+  [ ("normalize",
+     [ Alcotest.test_case "flat arithmetic" `Quick test_flat_arith;
+       Alcotest.test_case "delay with init" `Quick test_delay_init;
+       Alcotest.test_case "partial definitions" `Quick test_partial_definitions;
+       Alcotest.test_case "inline fm" `Quick test_inline_fm;
+       Alcotest.test_case "inline nested freeze" `Quick test_inline_nested;
+       Alcotest.test_case "primitive kept" `Quick test_primitive_kept;
+       Alcotest.test_case "parameter substitution" `Quick test_param_substitution;
+       Alcotest.test_case "parameter arity" `Quick test_param_arity_error;
+       Alcotest.test_case "recursive instance" `Quick test_recursive_instance_error;
+       Alcotest.test_case "clock constraints" `Quick test_clock_constraints_normalized;
+       Alcotest.test_case "library normalizes" `Quick test_stdlib_all_normalize;
+       Alcotest.test_case "fresh name hygiene" `Quick test_fresh_names_no_clash ]) ]

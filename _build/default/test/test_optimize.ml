@@ -1,0 +1,161 @@
+(* Kernel optimization passes (ref [15]): behaviour preservation on
+   outputs, size reduction, idempotence. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module K = Signal_lang.Kernel
+module O = Signal_lang.Optimize
+module Engine = Polysim.Engine
+module Trace = Polysim.Trace
+
+let vi n = Types.Vint n
+
+let outputs_equal kp tr1 tr2 =
+  let outs = List.map (fun vd -> vd.Ast.var_name) kp.K.koutputs in
+  Trace.length tr1 = Trace.length tr2
+  && List.for_all
+       (fun x ->
+         List.for_all
+           (fun i -> Trace.get tr1 i x = Trace.get tr2 i x)
+           (List.init (Trace.length tr1) Fun.id))
+       outs
+
+let check_preserves p stimuli =
+  let kp = N.process_exn p in
+  let kp' = O.optimize kp in
+  match Engine.run kp ~stimuli, Engine.run kp' ~stimuli with
+  | Ok t1, Ok t2 ->
+    Alcotest.(check bool) "outputs preserved" true (outputs_equal kp t1 t2);
+    kp, kp'
+  | Error m, _ -> Alcotest.fail ("original: " ^ m)
+  | _, Error m -> Alcotest.fail ("optimized: " ^ m)
+
+let test_dead_code_removed () =
+  let p =
+    B.proc ~name:"dead"
+      ~inputs:[ Ast.var "x" Types.Tint ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "unused" Types.Tint; Ast.var "unused2" Types.Tint ]
+      B.[ "y" := v "x" + i 1;
+          "unused" := v "x" * i 2;
+          "unused2" := delay (v "unused") ]
+  in
+  let kp, kp' =
+    check_preserves p [ [ ("x", vi 1) ]; [ ("x", vi 2) ]; [] ]
+  in
+  Alcotest.(check bool) "equations reduced" true
+    (List.length kp'.K.keqs < List.length kp.K.keqs);
+  Alcotest.(check bool) "unused local dropped" true
+    (not (List.exists (fun vd -> vd.Ast.var_name = "unused") kp'.K.klocals))
+
+let test_copy_chain_collapsed () =
+  let p =
+    B.proc ~name:"copies"
+      ~inputs:[ Ast.var "x" Types.Tint ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "a" Types.Tint; Ast.var "b" Types.Tint ]
+      B.[ "a" := v "x"; "b" := v "a"; "y" := v "b" + i 0 ]
+  in
+  let _, kp' = check_preserves p [ [ ("x", vi 5) ]; [ ("x", vi 7) ] ] in
+  (* a and b collapse into x *)
+  Alcotest.(check bool) "copies removed" true (List.length kp'.K.keqs <= 2)
+
+let test_unused_fifo_dropped () =
+  let p =
+    B.proc ~name:"deadfifo"
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "d" Types.Tint; Ast.var "s" Types.Tint ]
+      B.[ "y" := v "x" + i 1;
+          inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "e" ]
+            [ "d"; "s" ] ]
+  in
+  let kp, kp' =
+    check_preserves p [ [ ("x", vi 1) ]; [ ("x", vi 2); ("e", Types.Vevent) ] ]
+  in
+  Alcotest.(check int) "fifo was there" 1 (List.length kp.K.kinstances);
+  Alcotest.(check int) "fifo dropped" 0 (List.length kp'.K.kinstances)
+
+let test_used_fifo_kept () =
+  let p =
+    B.proc ~name:"livefifo"
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      ~locals:[ Ast.var "d" Types.Tint; Ast.var "s" Types.Tint ]
+      B.[ "y" := v "d" + i 1;
+          inst ~params:[ vi 4; Types.Vstring "dropoldest" ] ~label:"q" "fifo" [ v "x"; v "e" ]
+            [ "d"; "s" ] ]
+  in
+  let _, kp' =
+    check_preserves p
+      [ [ ("x", vi 1) ]; [ ("e", Types.Vevent) ];
+        [ ("x", vi 2); ("e", Types.Vevent) ] ]
+  in
+  Alcotest.(check int) "fifo kept" 1 (List.length kp'.K.kinstances)
+
+let test_constraint_kept_when_relevant () =
+  (* the clock constraint determines y's presence: must survive *)
+  let p =
+    B.proc ~name:"constrained"
+      ~inputs:[ Ast.var "x" Types.Tint; Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "y" Types.Tint ]
+      B.[ "y" := delay (v "y") + i 1; clk (v "y") ^= clk (v "e") ]
+  in
+  let _, kp' =
+    check_preserves p [ [ ("e", Types.Vevent) ]; []; [ ("e", Types.Vevent) ] ]
+  in
+  Alcotest.(check int) "constraint kept" 1 (List.length kp'.K.kconstraints)
+
+let test_case_study_shrinks_and_preserves () =
+  let a =
+    match
+      Polychrony.Pipeline.analyze
+        ~registry:Polychrony.Case_study.registry_nominal
+        Polychrony.Case_study.aadl_source
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  let kp = a.Polychrony.Pipeline.kernel in
+  let kp' = O.optimize kp in
+  Alcotest.(check bool) "fewer signals" true
+    (List.length (K.signals kp') < List.length (K.signals kp));
+  let stimuli =
+    List.init 48 (fun t ->
+        ("tick", Types.Vevent)
+        :: (if t = 0 then [ ("env_pGo", vi 1) ] else []))
+  in
+  match Engine.run kp ~stimuli, Engine.run kp' ~stimuli with
+  | Ok t1, Ok t2 ->
+    Alcotest.(check bool) "case-study outputs preserved" true
+      (outputs_equal kp t1 t2)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_idempotent () =
+  let a =
+    match
+      Polychrony.Pipeline.analyze
+        ~registry:Polychrony.Case_study.registry_nominal
+        Polychrony.Case_study.aadl_source
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  let kp' = O.optimize a.Polychrony.Pipeline.kernel in
+  let kp'' = O.optimize kp' in
+  Alcotest.(check string) "fixed point" (O.stats kp') (O.stats kp'')
+
+let suite =
+  [ ("optimize",
+     [ Alcotest.test_case "dead code removed" `Quick test_dead_code_removed;
+       Alcotest.test_case "copy chains collapsed" `Quick
+         test_copy_chain_collapsed;
+       Alcotest.test_case "unused fifo dropped" `Quick test_unused_fifo_dropped;
+       Alcotest.test_case "used fifo kept" `Quick test_used_fifo_kept;
+       Alcotest.test_case "relevant constraint kept" `Quick
+         test_constraint_kept_when_relevant;
+       Alcotest.test_case "case study shrinks, preserved" `Quick
+         test_case_study_shrinks_and_preserves;
+       Alcotest.test_case "idempotent" `Quick test_idempotent ]) ]

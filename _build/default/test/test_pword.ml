@@ -1,0 +1,154 @@
+(* Ultimately periodic binary words. *)
+
+module W = Clocks.Pword
+module A = Clocks.Affine
+
+let horizon = 200
+
+let points w = List.init horizon (W.tick w)
+
+let test_of_string () =
+  let w = W.of_string "01(10)" in
+  Alcotest.(check bool) "t0" false (W.tick w 0);
+  Alcotest.(check bool) "t1" true (W.tick w 1);
+  Alcotest.(check bool) "t2" true (W.tick w 2);
+  Alcotest.(check bool) "t3" false (W.tick w 3);
+  Alcotest.(check bool) "t4" true (W.tick w 4)
+
+let test_of_string_invalid () =
+  Alcotest.(check bool) "missing cycle" true
+    (try ignore (W.of_string "101"); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad char" true
+    (try ignore (W.of_string "1(2)"); false with Invalid_argument _ -> true)
+
+let test_cycle_reduction () =
+  let w1 = W.of_string "(101101)" in
+  let w2 = W.of_string "(101)" in
+  Alcotest.(check bool) "cycle reduced" true (W.equal w1 w2);
+  Alcotest.(check (list bool)) "reduced cycle" [ true; false; true ]
+    (W.cycle w1)
+
+let test_prefix_absorption () =
+  (* 1(01) denotes 101010... = (10) *)
+  let w1 = W.of_string "1(01)" in
+  let w2 = W.of_string "(10)" in
+  Alcotest.(check bool) "absorbed" true (W.equal w1 w2)
+
+let test_rate () =
+  Alcotest.(check (pair int int)) "rate 2/3" (2, 3)
+    (W.rate (W.of_string "(110)"));
+  Alcotest.(check (pair int int)) "rate reduced" (1, 2)
+    (W.rate (W.of_string "(1010)"));
+  Alcotest.(check (pair int int)) "empty clock" (0, 1)
+    (W.rate (W.of_string "(000)"))
+
+let test_ops () =
+  let a = W.of_string "(10)" in
+  let b = W.of_string "(110)" in
+  let both = W.land_ a b in
+  let either = W.lor_ a b in
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "and @%d" i)
+        (W.tick a i && W.tick b i)
+        (W.tick both i);
+      Alcotest.(check bool)
+        (Printf.sprintf "or @%d" i)
+        (W.tick a i || W.tick b i)
+        (W.tick either i))
+    (List.init 30 Fun.id)
+
+let test_of_ticks () =
+  let w = W.of_ticks ~horizon:6 [ 0; 3 ] in
+  Alcotest.(check bool) "t0" true (W.tick w 0);
+  Alcotest.(check bool) "t3" true (W.tick w 3);
+  Alcotest.(check bool) "t1" false (W.tick w 1);
+  Alcotest.(check bool) "t6 wraps" true (W.tick w 6)
+
+let test_of_periodic_roundtrip () =
+  let c = A.periodic ~period:4 ~offset:2 in
+  let w = W.of_periodic c in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Printf.sprintf "@%d" t) (A.mem c t) (W.tick w t))
+    (List.init 40 Fun.id);
+  match W.as_periodic w with
+  | Some c' ->
+    Alcotest.(check int) "period" 4 c'.A.period;
+    Alcotest.(check int) "offset" 2 c'.A.offset
+  | None -> Alcotest.fail "periodic word must be recognized"
+
+let test_as_periodic_negative () =
+  Alcotest.(check bool) "two ticks per cycle" true
+    (W.as_periodic (W.of_string "(1100)") = None)
+
+let test_subset_disjoint () =
+  let a = W.of_string "(1000)" in
+  let b = W.of_string "(1010)" in
+  let c = W.of_string "(0100)" in
+  Alcotest.(check bool) "a ⊆ b" true (W.subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (W.subset b a);
+  Alcotest.(check bool) "a # c" true (W.disjoint a c);
+  Alcotest.(check bool) "a !# b" false (W.disjoint a b)
+
+let test_first_tick () =
+  Alcotest.(check (option int)) "first" (Some 2)
+    (W.first_tick (W.of_string "001(10)"));
+  Alcotest.(check (option int)) "none" None
+    (W.first_tick (W.of_string "00(0)"))
+
+let gen_word =
+  let open QCheck2.Gen in
+  let bits n = list_size (int_range 0 n) bool in
+  map2
+    (fun prefix cycle -> W.make ~prefix ~cycle:(true :: cycle))
+    (bits 6) (bits 6)
+
+(* second generator biased towards empty/degenerate cycles *)
+let gen_word_any =
+  let open QCheck2.Gen in
+  let bits lo hi = list_size (int_range lo hi) bool in
+  map2 (fun prefix cycle -> W.make ~prefix ~cycle) (bits 0 6) (bits 1 7)
+
+let prop_equal_is_pointwise =
+  QCheck2.Test.make ~name:"equal = pointwise equality" ~count:400
+    QCheck2.Gen.(pair gen_word_any gen_word_any)
+    (fun (w1, w2) -> W.equal w1 w2 = (points w1 = points w2))
+
+let prop_canonical_roundtrip =
+  QCheck2.Test.make ~name:"to_string/of_string roundtrip" ~count:400
+    gen_word_any (fun w -> W.equal w (W.of_string (W.to_string w)))
+
+let prop_demorgan =
+  QCheck2.Test.make ~name:"word de morgan" ~count:300
+    QCheck2.Gen.(pair gen_word gen_word_any)
+    (fun (a, b) ->
+      W.equal (W.lnot (W.land_ a b)) (W.lor_ (W.lnot a) (W.lnot b)))
+
+let prop_subset_pointwise =
+  QCheck2.Test.make ~name:"subset = pointwise implication" ~count:300
+    QCheck2.Gen.(pair gen_word_any gen_word_any)
+    (fun (a, b) ->
+      W.subset a b
+      = List.for_all2 (fun x y -> (not x) || y) (points a) (points b))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_equal_is_pointwise; prop_canonical_roundtrip; prop_demorgan;
+      prop_subset_pointwise ]
+
+let suite =
+  [ ("pword",
+     [ Alcotest.test_case "of_string" `Quick test_of_string;
+       Alcotest.test_case "invalid strings" `Quick test_of_string_invalid;
+       Alcotest.test_case "cycle reduction" `Quick test_cycle_reduction;
+       Alcotest.test_case "prefix absorption" `Quick test_prefix_absorption;
+       Alcotest.test_case "rate" `Quick test_rate;
+       Alcotest.test_case "and/or" `Quick test_ops;
+       Alcotest.test_case "of_ticks" `Quick test_of_ticks;
+       Alcotest.test_case "of_periodic" `Quick test_of_periodic_roundtrip;
+       Alcotest.test_case "as_periodic negative" `Quick test_as_periodic_negative;
+       Alcotest.test_case "subset/disjoint" `Quick test_subset_disjoint;
+       Alcotest.test_case "first_tick" `Quick test_first_tick ]
+     @ qsuite) ]

@@ -1,0 +1,248 @@
+(* Scheduler synthesis, validity, policies, affine export — including
+   the paper's 4/6/8/8 ms case (Sec. V). *)
+
+module T = Sched.Task
+module S = Sched.Static_sched
+module E = Sched.Export
+module A = Clocks.Affine
+module W = Clocks.Pword
+
+let mk ?deadline ?offset ?priority name period wcet =
+  T.make ?deadline_us:deadline ?offset_us:offset ?priority ~name
+    ~period_us:period ~wcet_us:wcet ()
+
+let paper_tasks =
+  [ mk "thProducer" 4000 1000;
+    mk "thConsumer" 6000 1000;
+    mk "thProdTimer" 8000 1000;
+    mk "thConsTimer" 8000 1000 ]
+
+let synth ?policy tasks =
+  match S.synthesize ?policy tasks with
+  | Ok s -> s
+  | Error f -> Alcotest.fail f.S.f_message
+
+let test_task_invalid () =
+  Alcotest.(check bool) "zero period" true
+    (try ignore (mk "x" 0 1); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero wcet" true
+    (try ignore (mk "x" 10 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "deadline < wcet" true
+    (try ignore (mk ~deadline:1 "x" 10 5); false
+     with Invalid_argument _ -> true)
+
+let test_hyperperiod_paper () =
+  Alcotest.(check int) "lcm(4,6,8,8) = 24 ms" 24000
+    (T.hyperperiod_us paper_tasks)
+
+let test_utilization_paper () =
+  let u = T.utilization paper_tasks in
+  Alcotest.(check bool) "2/3 utilization" true (abs_float (u -. (2.0 /. 3.0)) < 1e-9)
+
+let test_paper_schedule_edf () =
+  let s = synth ~policy:S.Edf paper_tasks in
+  Alcotest.(check int) "hyper-period" 24000 s.S.hyperperiod_us;
+  Alcotest.(check int) "base tick 1 ms" 1000 s.S.base_us;
+  Alcotest.(check (list string)) "valid" [] (S.validate s);
+  (* jobs per hyper-period: 6 + 4 + 3 + 3 = 16 *)
+  Alcotest.(check int) "job count" 16 (List.length s.S.jobs)
+
+let test_paper_schedule_rm () =
+  let s = synth ~policy:S.Rm paper_tasks in
+  Alcotest.(check (list string)) "valid under RM" [] (S.validate s);
+  (* under RM the producer (smallest period) always starts first at
+     simultaneous dispatch *)
+  match s.S.jobs with
+  | first :: _ ->
+    Alcotest.(check string) "producer first" "thProducer"
+      first.S.j_task.T.t_name
+  | [] -> Alcotest.fail "empty schedule"
+
+let test_fifo_policy () =
+  let s = synth ~policy:S.Fifo paper_tasks in
+  Alcotest.(check (list string)) "valid under FIFO" [] (S.validate s)
+
+let test_fp_policy () =
+  let tasks =
+    [ mk ~priority:1 "low" 4000 1000; mk ~priority:9 "high" 4000 1000 ]
+  in
+  let s = synth ~policy:S.Fp tasks in
+  match s.S.jobs with
+  | first :: _ ->
+    Alcotest.(check string) "high priority first" "high"
+      first.S.j_task.T.t_name
+  | [] -> Alcotest.fail "empty schedule"
+
+let test_infeasible_overload () =
+  (* utilization > 1 cannot be scheduled *)
+  let tasks = [ mk "a" 2000 1500; mk "b" 2000 1500 ] in
+  match S.synthesize tasks with
+  | Ok _ -> Alcotest.fail "overloaded set must fail"
+  | Error f -> Alcotest.(check bool) "names a task" true (f.S.f_task <> "")
+
+let test_infeasible_nonpreemptive_blocking () =
+  (* a long low-rate job blocks a short-deadline task: non-preemptive
+     EDF misses even at low utilization *)
+  let tasks = [ mk "long" 100_000 60_000; mk ~deadline:2000 "short" 50_000 1000 ] in
+  match S.synthesize ~policy:S.Fifo tasks with
+  | Ok s -> Alcotest.fail ("should be infeasible: " ^ Format.asprintf "%a" S.pp_schedule s)
+  | Error _ -> ()
+
+let test_offsets () =
+  let tasks = [ mk ~offset:2000 "a" 4000 1000 ] in
+  let s = synth tasks in
+  match s.S.jobs with
+  | j :: _ -> Alcotest.(check int) "first dispatch at offset" 2000 j.S.dispatch_us
+  | [] -> Alcotest.fail "no jobs"
+
+let test_event_times () =
+  let s = synth ~policy:S.Edf paper_tasks in
+  Alcotest.(check (list int)) "producer dispatches"
+    [ 0; 4000; 8000; 12000; 16000; 20000 ]
+    (S.event_times s "thProducer" S.Dispatch);
+  Alcotest.(check (list int)) "producer deadlines"
+    [ 4000; 8000; 12000; 16000; 20000; 24000 ]
+    (S.event_times s "thProducer" S.Deadline);
+  Alcotest.(check int) "six starts" 6
+    (List.length (S.event_times s "thProducer" S.Start))
+
+let test_event_affine_dispatch () =
+  let s = synth ~policy:S.Edf paper_tasks in
+  (match S.event_affine s "thProducer" S.Dispatch with
+   | Some p ->
+     Alcotest.(check int) "period 4 ticks" 4 p.A.period;
+     Alcotest.(check int) "offset 0" 0 p.A.offset
+   | None -> Alcotest.fail "dispatch is strictly periodic");
+  match S.event_affine s "thProdTimer" S.Dispatch with
+  | Some p -> Alcotest.(check int) "timer period 8" 8 p.A.period
+  | None -> Alcotest.fail "timer dispatch is periodic"
+
+let test_event_word_matches_times () =
+  let s = synth ~policy:S.Edf paper_tasks in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun ev ->
+          let w = S.event_word s t.T.t_name ev in
+          let times = S.event_times s t.T.t_name ev in
+          List.iter
+            (fun us ->
+              let tick = us / s.S.base_us mod (s.S.hyperperiod_us / s.S.base_us) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s tick %d" t.T.t_name tick)
+                true (W.tick w tick))
+            times)
+        [ S.Dispatch; S.Start; S.Complete ])
+    paper_tasks
+
+let test_export_relations () =
+  let s = synth ~policy:S.Edf paper_tasks in
+  let entries = E.export s in
+  (* 4 tasks x 4 events *)
+  Alcotest.(check int) "entry count" 16 (List.length entries);
+  let dispatch_rel name =
+    List.find_map
+      (fun e ->
+        if e.E.e_task = name && e.E.e_event = S.Dispatch then e.E.e_relation
+        else None)
+      entries
+  in
+  match dispatch_rel "thProducer" with
+  | Some r ->
+    Alcotest.(check bool) "affine (1,0,4)" true
+      (A.equivalent r (A.relation ~n:1 ~phi:0 ~d:4))
+  | None -> Alcotest.fail "producer dispatch must export an affine relation"
+
+let test_timer_synchronizability () =
+  (* the paper's two 8 ms timers: dispatch clocks are synchronizable *)
+  let s = synth ~policy:S.Edf paper_tasks in
+  Alcotest.(check bool) "timers synchronizable" true
+    (E.synchronizable s "thProdTimer" "thConsTimer" S.Dispatch);
+  Alcotest.(check bool) "producer/consumer not" false
+    (E.synchronizable s "thProducer" "thConsumer" S.Dispatch)
+
+let test_start_not_always_periodic () =
+  (* under EDF the consumer's start wanders inside the hyper-period *)
+  let s = synth ~policy:S.Edf paper_tasks in
+  let words_ok =
+    List.for_all
+      (fun t ->
+        let w = S.event_word s t.T.t_name S.Start in
+        let n_ticks = List.length (S.event_times s t.T.t_name S.Start) in
+        fst (W.rate w) * ((s.S.hyperperiod_us / s.S.base_us) / snd (W.rate w))
+        = n_ticks)
+      paper_tasks
+  in
+  Alcotest.(check bool) "word rates consistent" true words_ok
+
+(* property: any random feasible-looking task set either schedules
+   validly or is refused — never an invalid schedule *)
+let prop_schedule_valid_or_refused =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 5)
+        (pair (int_range 1 4) (int_range 1 3)))
+  in
+  QCheck2.Test.make ~name:"synthesized schedules are always valid" ~count:200
+    gen (fun specs ->
+      let tasks =
+        List.mapi
+          (fun i (p, c) ->
+            let period = p * 2000 in
+            let wcet = min (c * 500) period in
+            mk (Printf.sprintf "t%d" i) period wcet)
+          specs
+      in
+      match S.synthesize tasks with
+      | Ok s -> S.is_valid s
+      | Error _ -> true)
+
+let prop_policies_agree_on_validity =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 4) (pair (int_range 1 4) (int_range 1 2)))
+  in
+  QCheck2.Test.make ~name:"EDF succeeds whenever RM does" ~count:200 gen
+    (fun specs ->
+      let tasks =
+        List.mapi
+          (fun i (p, c) -> mk (Printf.sprintf "t%d" i) (p * 2000) (c * 500))
+          specs
+      in
+      match S.synthesize ~policy:S.Rm tasks with
+      | Ok _ -> (
+        (* EDF is at least as powerful as RM for these synchronous sets *)
+        match S.synthesize ~policy:S.Edf tasks with
+        | Ok s -> S.is_valid s
+        | Error _ -> false)
+      | Error _ -> true)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_schedule_valid_or_refused; prop_policies_agree_on_validity ]
+
+let suite =
+  [ ("sched.task",
+     [ Alcotest.test_case "invalid tasks" `Quick test_task_invalid;
+       Alcotest.test_case "paper hyper-period 24 ms" `Quick
+         test_hyperperiod_paper;
+       Alcotest.test_case "paper utilization" `Quick test_utilization_paper ]);
+    ("sched.synthesis",
+     [ Alcotest.test_case "paper set under EDF" `Quick test_paper_schedule_edf;
+       Alcotest.test_case "paper set under RM" `Quick test_paper_schedule_rm;
+       Alcotest.test_case "FIFO policy" `Quick test_fifo_policy;
+       Alcotest.test_case "fixed priority" `Quick test_fp_policy;
+       Alcotest.test_case "overload refused" `Quick test_infeasible_overload;
+       Alcotest.test_case "non-preemptive blocking" `Quick
+         test_infeasible_nonpreemptive_blocking;
+       Alcotest.test_case "offsets" `Quick test_offsets ]
+     @ qsuite);
+    ("sched.export",
+     [ Alcotest.test_case "event times" `Quick test_event_times;
+       Alcotest.test_case "dispatch affine" `Quick test_event_affine_dispatch;
+       Alcotest.test_case "words match times" `Quick
+         test_event_word_matches_times;
+       Alcotest.test_case "affine relations" `Quick test_export_relations;
+       Alcotest.test_case "timer synchronizability (paper V)" `Quick
+         test_timer_synchronizability;
+       Alcotest.test_case "start words" `Quick test_start_not_always_periodic ]) ]

@@ -1,0 +1,213 @@
+(* Tests for the SIGNAL AST, builder, pretty-printer and type checker. *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module Pp = Signal_lang.Pp
+module Tc = Signal_lang.Typecheck
+module Stdproc = Signal_lang.Stdproc
+
+let tint = Types.Tint
+let tbool = Types.Tbool
+let tevent = Types.Tevent
+
+(* y := x + 1 with a delayed feedback, the running example *)
+let simple_counter =
+  B.proc ~name:"count_up"
+    ~inputs:[ Ast.var "tick" tevent ]
+    ~outputs:[ Ast.var "n" tint ]
+    B.[ "n" := delay (v "n") + i 1; clk (v "n") ^= clk (v "tick") ]
+
+let test_free_signals () =
+  let e = B.(v "a" + (v "b" * v "a")) in
+  Alcotest.(check (list string)) "free vars" [ "a"; "b" ] (Ast.free_signals e);
+  Alcotest.(check (list string)) "const has none" []
+    (Ast.free_signals (B.i 42))
+
+let test_defined_signals () =
+  Alcotest.(check (list string)) "definitions" [ "n" ]
+    (Ast.defined_signals simple_counter.Ast.body)
+
+let test_stmt_reads () =
+  let s = B.("x" := v "a" + v "b") in
+  Alcotest.(check (list string)) "reads" [ "a"; "b" ] (Ast.stmt_reads s)
+
+let test_rename () =
+  let e = B.(v "a" + i 1) in
+  let e' = Ast.rename_expr (fun x -> x ^ "_r") e in
+  Alcotest.(check (list string)) "renamed" [ "a_r" ] (Ast.free_signals e')
+
+let test_expr_size () =
+  Alcotest.(check int) "size" 5 (Ast.expr_size B.(v "a" + (v "b" * i 2)))
+
+let test_pp_expr () =
+  let s = Pp.expr_to_string B.(v "a" + (v "b" * i 2)) in
+  Alcotest.(check string) "mul binds tighter" "a + b * 2" s;
+  let s = Pp.expr_to_string B.((v "a" + v "b") * i 2) in
+  Alcotest.(check string) "parens kept" "(a + b) * 2" s;
+  let s = Pp.expr_to_string B.(delay ~init:(Types.Vint 5) (v "x")) in
+  Alcotest.(check string) "delay" "x $ 1 init 5" s;
+  let s = Pp.expr_to_string B.(when_ (v "x") (v "b")) in
+  Alcotest.(check string) "when" "x when b" s;
+  let s = Pp.expr_to_string B.(on (v "b")) in
+  Alcotest.(check string) "clock-when sugar" "when b" s;
+  let s = Pp.expr_to_string B.(default (v "x") (v "y")) in
+  Alcotest.(check string) "default" "x default y" s;
+  let s = Pp.expr_to_string B.(clk (v "x")) in
+  Alcotest.(check string) "clock" "^x" s
+
+let test_pp_process_roundtrip_text () =
+  let s = Pp.process_to_string simple_counter in
+  Alcotest.(check bool) "mentions process name" true
+    (String.length s > 0
+     &&
+     let re = "process count_up" in
+     String.length s >= String.length re
+     && String.sub s 0 (String.length re) = re)
+
+let test_pp_stdprocs () =
+  (* every library model renders without exceptions *)
+  List.iter
+    (fun p -> ignore (Pp.process_to_string p))
+    Stdproc.all
+
+let test_typecheck_ok () =
+  Alcotest.(check (list string)) "counter well-typed" []
+    (List.map Tc.error_to_string (Tc.check_process simple_counter));
+  List.iter
+    (fun p ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "library %s well-typed" p.Ast.proc_name)
+        []
+        (List.map Tc.error_to_string (Tc.check_process p)))
+    Stdproc.all
+
+let test_typecheck_unbound () =
+  let p =
+    B.proc ~name:"bad" ~inputs:[] ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "nowhere" ]
+  in
+  Alcotest.(check bool) "unbound detected" false (Tc.check_process p = [])
+
+let test_typecheck_double_def () =
+  let p =
+    B.proc ~name:"bad"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "x"; "y" := v "x" + i 1 ]
+  in
+  Alcotest.(check bool) "double definition detected" false
+    (Tc.check_process p = [])
+
+let test_typecheck_partial_mix () =
+  let p =
+    B.proc ~name:"bad"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "x"; "y" =:: (v "x" + i 1) ]
+  in
+  Alcotest.(check bool) "total+partial mix detected" false
+    (Tc.check_process p = [])
+
+let test_typecheck_input_def () =
+  let p =
+    B.proc ~name:"bad"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "x" := i 1; "y" := v "x" ]
+  in
+  Alcotest.(check bool) "input definition detected" false
+    (Tc.check_process p = [])
+
+let test_typecheck_type_clash () =
+  let p =
+    B.proc ~name:"bad"
+      ~inputs:[ Ast.var "x" tint; Ast.var "b" tbool ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ "y" := v "x" + v "b" ]
+  in
+  Alcotest.(check bool) "int+bool detected" false (Tc.check_process p = [])
+
+let test_typecheck_undefined_output () =
+  let p =
+    B.proc ~name:"bad" ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint; Ast.var "z" tint ]
+      B.[ "y" := v "x" ]
+  in
+  let errs = Tc.check_process p in
+  Alcotest.(check bool) "undefined output flagged" true
+    (List.exists (fun e -> e.Tc.err_msg = "output z is never defined") errs)
+
+let test_typecheck_instance_arity () =
+  let p =
+    B.proc ~name:"bad"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ inst ~label:"m" "fm" [ v "x" ] [ "y" ] ]
+  in
+  Alcotest.(check bool) "fm needs two inputs" false (Tc.check_process p = [])
+
+let test_typecheck_unknown_instance () =
+  let p =
+    B.proc ~name:"bad"
+      ~inputs:[ Ast.var "x" tint ]
+      ~outputs:[ Ast.var "y" tint ]
+      B.[ inst ~label:"m" "no_such_model" [ v "x" ] [ "y" ] ]
+  in
+  Alcotest.(check bool) "unknown model detected" false (Tc.check_process p = [])
+
+let test_event_promotes_to_bool () =
+  let p =
+    B.proc ~name:"promo"
+      ~inputs:[ Ast.var "e" tevent; Ast.var "b" tbool ]
+      ~outputs:[ Ast.var "y" tbool ]
+      B.[ "y" := v "e" && v "b" ]
+  in
+  Alcotest.(check (list string)) "event usable as bool" []
+    (List.map Tc.error_to_string (Tc.check_process p))
+
+let test_type_of_expr () =
+  let env = function
+    | "x" -> Some tint
+    | "b" -> Some tbool
+    | _ -> None
+  in
+  let t e = Tc.type_of_expr env e in
+  Alcotest.(check bool) "int" true (t B.(v "x" + i 1) = Ok tint);
+  Alcotest.(check bool) "cmp" true (t B.(v "x" < i 1) = Ok tbool);
+  Alcotest.(check bool) "clock" true (t B.(clk (v "x")) = Ok tevent);
+  Alcotest.(check bool) "if" true
+    (t B.(if_ (v "b") (v "x") (i 0)) = Ok tint);
+  Alcotest.(check bool) "error" true (Result.is_error (t B.(v "b" + i 1)))
+
+let test_find_process () =
+  let prog = B.program "m" [ simple_counter ] in
+  Alcotest.(check bool) "found" true
+    (Ast.find_process prog "count_up" <> None);
+  Alcotest.(check bool) "not found" true
+    (Ast.find_process prog "nope" = None)
+
+let suite =
+  [ ("signal.ast",
+     [ Alcotest.test_case "free_signals" `Quick test_free_signals;
+       Alcotest.test_case "defined_signals" `Quick test_defined_signals;
+       Alcotest.test_case "stmt_reads" `Quick test_stmt_reads;
+       Alcotest.test_case "rename" `Quick test_rename;
+       Alcotest.test_case "expr_size" `Quick test_expr_size;
+       Alcotest.test_case "find_process" `Quick test_find_process ]);
+    ("signal.pp",
+     [ Alcotest.test_case "expressions" `Quick test_pp_expr;
+       Alcotest.test_case "process header" `Quick test_pp_process_roundtrip_text;
+       Alcotest.test_case "library processes" `Quick test_pp_stdprocs ]);
+    ("signal.typecheck",
+     [ Alcotest.test_case "well-typed" `Quick test_typecheck_ok;
+       Alcotest.test_case "unbound signal" `Quick test_typecheck_unbound;
+       Alcotest.test_case "double definition" `Quick test_typecheck_double_def;
+       Alcotest.test_case "total/partial mix" `Quick test_typecheck_partial_mix;
+       Alcotest.test_case "input definition" `Quick test_typecheck_input_def;
+       Alcotest.test_case "type clash" `Quick test_typecheck_type_clash;
+       Alcotest.test_case "undefined output" `Quick test_typecheck_undefined_output;
+       Alcotest.test_case "instance arity" `Quick test_typecheck_instance_arity;
+       Alcotest.test_case "unknown instance" `Quick test_typecheck_unknown_instance;
+       Alcotest.test_case "event promotes to bool" `Quick test_event_promotes_to_bool;
+       Alcotest.test_case "type_of_expr" `Quick test_type_of_expr ]) ]

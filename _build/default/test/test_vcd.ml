@@ -1,0 +1,128 @@
+(* VCD writer/reader: the written dump, parsed back, reproduces the
+   trace value-for-value (ref [18] demonstration artifact). *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module N = Signal_lang.Normalize
+module Trace = Polysim.Trace
+module Vcd = Polysim.Vcd
+module R = Polysim.Vcd_reader
+module S = Sched.Static_sched
+
+let small_trace () =
+  let tr =
+    Trace.create
+      [ Ast.var "n" Types.Tint; Ast.var "b" Types.Tbool;
+        Ast.var "e" Types.Tevent ]
+  in
+  Trace.push tr [ ("n", Types.Vint 1); ("b", Types.Vbool true) ];
+  Trace.push tr [ ("e", Types.Vevent) ];
+  Trace.push tr [ ("n", Types.Vint 2); ("b", Types.Vbool false) ];
+  Trace.push tr [];
+  tr
+
+let test_roundtrip_small () =
+  let tr = small_trace () in
+  let dump = Vcd.to_string tr in
+  match R.parse dump with
+  | Error m -> Alcotest.fail m
+  | Ok vcd ->
+    Alcotest.(check int) "three vars" 3 (List.length vcd.R.vars);
+    Alcotest.(check (option string)) "n at 0" (Some "1")
+      (Option.map Types.value_to_string (R.value_at vcd ~name:"n" ~time:0));
+    Alcotest.(check bool) "n absent at 1" true
+      (R.value_at vcd ~name:"n" ~time:1 = None);
+    Alcotest.(check (option string)) "n at 2" (Some "2")
+      (Option.map Types.value_to_string (R.value_at vcd ~name:"n" ~time:2));
+    Alcotest.(check bool) "b false at 2" true
+      (R.value_at vcd ~name:"b" ~time:2 = Some (Types.Vbool false));
+    Alcotest.(check bool) "e pulses at 1" true
+      (R.value_at vcd ~name:"e" ~time:1 = Some (Types.Vbool true));
+    Alcotest.(check bool) "all absent at 3" true
+      (R.value_at vcd ~name:"n" ~time:3 = None
+       && R.value_at vcd ~name:"b" ~time:3 = None
+       && R.value_at vcd ~name:"e" ~time:3 = None)
+
+let test_roundtrip_case_study () =
+  let a =
+    match
+      Polychrony.Pipeline.analyze
+        ~registry:Polychrony.Case_study.registry_nominal
+        Polychrony.Case_study.aadl_source
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  let tr =
+    match Polychrony.Pipeline.simulate ~hyperperiods:1 a with
+    | Ok tr -> tr
+    | Error m -> Alcotest.fail m
+  in
+  let dump = Polychrony.Pipeline.vcd_of_trace a tr in
+  match R.parse dump with
+  | Error m -> Alcotest.fail m
+  | Ok vcd ->
+    (* integer wires agree instant by instant *)
+    List.iter
+      (fun name ->
+        List.iter
+          (fun i ->
+            let expected =
+              match Trace.get tr i name with
+              | Some (Types.Vint n) -> Some (Types.Vint n)
+              | Some _ | None -> None
+            in
+            let got = R.value_at vcd ~name ~time:i in
+            if expected <> None || got <> None then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s at %d" name i)
+                true (expected = got))
+          (List.init (Trace.length tr) Fun.id))
+      [ "display_pData"; "prProdCons_Queue_size";
+        "prProdCons_thProducer_reqQueue_w" ]
+
+let test_gantt_renders () =
+  let tasks =
+    List.map
+      (fun (name, period) ->
+        Sched.Task.make ~name ~period_us:period ~wcet_us:1000 ())
+      Polychrony.Case_study.thread_periods_us
+  in
+  match S.synthesize tasks with
+  | Error f -> Alcotest.fail f.S.f_message
+  | Ok s ->
+    let g = Format.asprintf "%a" S.pp_gantt s in
+    Alcotest.(check bool) "has execution marks" true (String.contains g '#');
+    Alcotest.(check bool) "has waiting marks" true (String.contains g 'd');
+    (* row per task *)
+    List.iter
+      (fun (name, _) ->
+        let contains =
+          let nh = String.length g and nn = String.length name in
+          let rec go i =
+            i + nn <= nh && (String.sub g i nn = name || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) (name ^ " row") true contains)
+      Polychrony.Case_study.thread_periods_us;
+    (* executing columns equal the summed wcet ticks *)
+    let hashes =
+      String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 g
+    in
+    Alcotest.(check int) "16 executed ticks" 16 hashes
+
+let test_reader_rejects_garbage () =
+  match R.parse "#notanumber\n1!" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let suite =
+  [ ("vcd",
+     [ Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
+       Alcotest.test_case "roundtrip case study" `Quick
+         test_roundtrip_case_study;
+       Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
+       Alcotest.test_case "reader rejects garbage" `Quick
+         test_reader_rejects_garbage ]) ]
