@@ -598,24 +598,45 @@ let latency_section () =
     [ ("ProdConsSys.env.pGo", "ProdConsSys.display.pProdAlarm");
       ("ProdConsSys.env.pGo", "ProdConsSys.display.pConsAlarm") ]
 
+(* No argument: everything. [quick]: artifacts only. Any other
+   argument selects one bench section by name (e.g. [simulate] for a
+   CI smoke run of just that timing section). *)
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
-  fig1 ();
-  fig2 ();
-  fig3_fig4 ();
-  fig5 ();
-  fig6 ();
-  sched_section ();
-  determ_section ();
-  deadlock_section ();
-  profiling_section ();
-  latency_section ();
-  if not quick then begin
-    bench_clock_calculus ();
-    bench_translate ();
-    bench_parser ();
-    bench_simulate ();
-    bench_affine ();
-    bench_ablations ()
-  end;
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  let benches =
+    [ ("clock-calculus", bench_clock_calculus);
+      ("translate", bench_translate);
+      ("parser", bench_parser);
+      ("simulate", bench_simulate);
+      ("affine", bench_affine);
+      ("ablations", bench_ablations) ]
+  in
+  (match List.assoc_opt arg benches with
+   | Some bench -> bench ()
+   | None ->
+     fig1 ();
+     fig2 ();
+     fig3_fig4 ();
+     fig5 ();
+     fig6 ();
+     sched_section ();
+     determ_section ();
+     deadlock_section ();
+     profiling_section ();
+     latency_section ();
+     if arg <> "quick" then begin
+       if arg <> "" then
+         Format.printf
+           "unknown section %S; running everything (sections: quick%a)@." arg
+           (Format.pp_print_list
+              ~pp_sep:(fun _ () -> ())
+              (fun ppf (n, _) -> Format.fprintf ppf ", %s" n))
+           benches;
+       bench_clock_calculus ();
+       bench_translate ();
+       bench_parser ();
+       bench_simulate ();
+       bench_affine ();
+       bench_ablations ()
+     end);
   Format.printf "@.done.@."

@@ -67,7 +67,7 @@ type cdef =
 
 type t = {
   mgr : Bdd.manager;
-  index_of : (Ast.ident, int) Hashtbl.t;   (* signal -> dense index *)
+  tab : K.sigtab;                           (* signal <-> dense index *)
   names : Ast.ident array;                  (* dense index -> signal *)
   uf : Uf.t;
   mutable class_ids : int array;            (* root index -> class id *)
@@ -83,7 +83,7 @@ type t = {
 }
 
 let sig_index st x =
-  match Hashtbl.find_opt st.index_of x with
+  match K.st_index_opt st.tab x with
   | Some i -> i
   | None -> raise Not_found
 
@@ -203,18 +203,12 @@ and resolve_copy ~defmap ?(fuel = 32) x =
 (* ------------------------------------------------------------------ *)
 
 let analyze (kp : K.kprocess) =
-  let decls = K.signals kp in
-  let n = List.length decls in
-  let index_of = Hashtbl.create n in
-  let names = Array.make (max n 1) "" in
-  List.iteri
-    (fun i vd ->
-      Hashtbl.replace index_of vd.Ast.var_name i;
-      names.(i) <- vd.Ast.var_name)
-    decls;
+  let tab = K.sigtab kp in
+  let n = K.st_count tab in
+  let names = Array.init n (K.st_name tab) in
   let uf = Uf.create n in
   let idx x =
-    match Hashtbl.find_opt index_of x with
+    match K.st_index_opt tab x with
     | Some i -> i
     | None -> invalid_arg (Printf.sprintf "Calculus.analyze: undeclared %s" x)
   in
@@ -263,7 +257,7 @@ let analyze (kp : K.kprocess) =
   done;
   let mgr = Bdd.manager () in
   let st =
-    { mgr; index_of; names; uf; class_ids; reprs;
+    { mgr; tab; names; uf; class_ids; reprs;
       clocks = Array.make (max nclasses 1) (Bdd.one mgr);
       phi = Bdd.one mgr; confl = [];
       cond_vars = Hashtbl.create 16; nvars = 0; var_doc = [] }
@@ -503,7 +497,7 @@ let class_count st =
 
 let class_members st =
   let buckets = Array.make (Array.length st.reprs) [] in
-  let n = Hashtbl.length st.index_of in
+  let n = K.st_count st.tab in
   for i = n - 1 downto 0 do
     let c = st.class_ids.(i) in
     buckets.(c) <- st.names.(i) :: buckets.(c)
@@ -535,7 +529,7 @@ let exclusive st a b =
     (Bdd.and_ st.mgr st.phi (Bdd.and_ st.mgr (clock_of st a) (clock_of st b)))
 
 let null_signals st =
-  let n = Hashtbl.length st.index_of in
+  let n = K.st_count st.tab in
   let acc = ref [] in
   for i = n - 1 downto 0 do
     let x = st.names.(i) in
@@ -557,7 +551,7 @@ let pp_clock st ppf x =
 
 let pp_summary ppf st =
   Format.fprintf ppf "@[<v>clock calculus: %d signals, %d classes@,"
-    (Hashtbl.length st.index_of) (class_count st);
+    (K.st_count st.tab) (class_count st);
   if not (consistent st) then
     Format.fprintf ppf "INCONSISTENT constraint system@,";
   List.iter (fun m -> Format.fprintf ppf "conflict: %s@," m) (conflicts st);

@@ -9,20 +9,6 @@ exception Comp_error of string
 
 let errf fmt = Format.kasprintf (fun m -> raise (Comp_error m)) fmt
 
-(* compiled atom *)
-type atomc =
-  | Cvar of int
-  | Cconst of Types.value
-
-(* how a signal's value is produced *)
-type vdef =
-  | Dnone                          (* input: value comes from the stimulus *)
-  | Dfunc of K.prim * atomc array
-  | Ddelay                         (* read the delay state *)
-  | Dwhen of atomc                 (* value of the source when present *)
-  | Ddefault of atomc * atomc
-  | Dprim of int * int             (* primitive index, output position *)
-
 (* how a class's presence is decided *)
 type pdef =
   | Pinput of int list             (* input signal indices in the class *)
@@ -34,33 +20,30 @@ type op =
   | Opres of int
   | Oval of int
 
-type overflow_policy = Drop_oldest | Drop_newest | Overflow_error
-
 type prim_st = {
-  ki : K.kinstance;
-  ins : int array;                 (* signal indices *)
-  outs : int array;
+  lp : Prog.lprim;
   queue : Types.value Queue.t;
-  capacity : int;
-  policy : overflow_policy;
   mutable overflows : int;
 }
 
+(* BDD variable, resolved at compile time so the per-instant clock
+   evaluation is pure array indexing *)
+type varres =
+  | Rpresent of int                (* class id *)
+  | Rcond of int                   (* boolean signal index *)
+  | Rcondeq of int * int           (* integer signal index, constant *)
+  | Rnone
+
 type t = {
-  kp : K.kprocess;
+  prog : Prog.t;                   (* shared lowered IR (same as Engine) *)
   calc : Calc.t;
-  names : string array;
-  idx : (string, int) Hashtbl.t;
   class_of : int array;
   nclasses : int;
-  nsignals : int;
-  is_input : bool array;
-  vdefs : vdef array;
   pdefs : pdef array;
   clock_bdd : Bdd.t array;         (* per class *)
+  bddvars : varres array;          (* bdd variable -> resolution *)
   plan : op array;
   prims : prim_st array;
-  delay_src : int array;           (* per signal: src idx of its delay, -1 *)
   (* runtime state *)
   dstate : Types.value array;      (* delay state per destination signal *)
   pres : bool array;               (* per class, this instant *)
@@ -72,91 +55,39 @@ type t = {
   n_free : int;                    (* statically free classes *)
 }
 
-let capacity_of ki =
-  match ki.K.ki_params with
-  | Types.Vint n :: _ when n > 0 -> n
-  | _ -> 16
-
-let overflow_of ki =
-  match ki.K.ki_params with
-  | [ _; Types.Vstring s ] -> (
-    match String.lowercase_ascii s with
-    | "dropnewest" -> Drop_newest
-    | "error" -> Overflow_error
-    | _ -> Drop_oldest)
-  | _ -> Drop_oldest
-
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let compile kp =
   try
+    let prog = Prog.of_kprocess kp in
     let calc = Calc.analyze kp in
     if not (Calc.consistent calc) then
       errf "clock constraint system is unsatisfiable";
-    let decls = K.signals kp in
-    let nsignals = List.length decls in
-    let names = Array.make (max nsignals 1) "" in
-    let idx = Hashtbl.create nsignals in
-    List.iteri
-      (fun i vd ->
-        names.(i) <- vd.Ast.var_name;
-        Hashtbl.replace idx vd.Ast.var_name i)
-      decls;
+    let nsignals = prog.Prog.n in
     let index x =
-      match Hashtbl.find_opt idx x with
+      match Prog.index_opt prog x with
       | Some i -> i
       | None -> errf "undeclared signal %s" x
     in
-    let class_of = Array.init nsignals (fun i -> Calc.class_id_of calc names.(i)) in
+    let class_of =
+      Array.init nsignals (fun i ->
+          Calc.class_id_of calc prog.Prog.names.(i))
+    in
     let nclasses = Calc.class_count calc in
     let clock_bdd =
       Array.init nclasses (fun c -> Calc.clock_of_class_id calc c)
     in
-    let is_input = Array.make nsignals false in
-    List.iter (fun vd -> is_input.(index vd.Ast.var_name) <- true) kp.K.kinputs;
-    let atomc = function
-      | K.Avar x -> Cvar (index x)
-      | K.Aconst v -> Cconst v
-    in
-    (* primitives *)
+    let is_input = prog.Prog.is_input in
     let prims =
-      Array.of_list
-        (List.map
-           (fun ki ->
-             { ki;
-               ins = Array.of_list (List.map index ki.K.ki_ins);
-               outs = Array.of_list (List.map index ki.K.ki_outs);
-               queue = Queue.create ();
-               capacity = capacity_of ki;
-               policy = overflow_of ki;
-               overflows = 0 })
-           kp.K.kinstances)
+      Array.map
+        (fun lp -> { lp; queue = Queue.create (); overflows = 0 })
+        prog.Prog.prims
     in
-    (* value definitions *)
-    let vdefs = Array.make nsignals Dnone in
-    let delay_src = Array.make nsignals (-1) in
-    List.iter
-      (fun eq ->
-        match eq with
-        | K.Kfunc { dst; op; args } ->
-          vdefs.(index dst) <- Dfunc (op, Array.of_list (List.map atomc args))
-        | K.Kdelay { dst; src; _ } ->
-          vdefs.(index dst) <- Ddelay;
-          delay_src.(index dst) <- index src
-        | K.Kwhen { dst; src; _ } -> vdefs.(index dst) <- Dwhen (atomc src)
-        | K.Kdefault { dst; left; right } ->
-          vdefs.(index dst) <- Ddefault (atomc left, atomc right))
-      kp.K.keqs;
-    Array.iteri
-      (fun pi p ->
-        Array.iteri (fun pos out -> vdefs.(out) <- Dprim (pi, pos)) p.outs)
-      prims;
     (* presence sources per class *)
     let pdefs = Array.make nclasses Pfree in
     let mgr = Calc.manager calc in
-    let self_free = Array.make nclasses false in
     for c = 0 to nclasses - 1 do
       let support = Bdd.support mgr clock_bdd.(c) in
       let refers_self =
@@ -167,12 +98,11 @@ let compile kp =
             | _ -> false)
           support
       in
-      self_free.(c) <- refers_self;
       pdefs.(c) <- (if refers_self then Pfree else Pderived)
     done;
     (* stateful primitive outputs override *)
     let stateful_outs p =
-      match p.ki.K.ki_prim with
+      match p.lp.Prog.lp_ki.K.ki_prim with
       | Stdproc.Pfifo | Stdproc.Pfifo_reset -> [ 0 ]       (* data *)
       | Stdproc.Pin_event_port -> [ 0 ]                     (* frozen *)
       | Stdproc.Pout_event_port -> [ 0 ]                    (* sent *)
@@ -180,7 +110,8 @@ let compile kp =
     Array.iteri
       (fun pi p ->
         List.iter
-          (fun pos -> pdefs.(class_of.(p.outs.(pos))) <- Pprim (pi, pos))
+          (fun pos ->
+            pdefs.(class_of.(p.lp.Prog.lp_outs.(pos))) <- Pprim (pi, pos))
           (stateful_outs p))
       prims;
     (* input classes *)
@@ -196,7 +127,7 @@ let compile kp =
           pdefs.(c) <- Pinput [ i ]
         | Pprim _ ->
           errf "input %s is synchronized with a FIFO-driven clock"
-            names.(i)
+            prog.Prog.names.(i)
       end
     done;
     let n_free =
@@ -204,6 +135,26 @@ let compile kp =
         (fun acc p -> match p with Pfree -> acc + 1 | _ -> acc)
         0 pdefs
     in
+    (* resolve every bdd variable appearing in a clock function once,
+       so evaluation never consults a name table *)
+    let max_var =
+      Array.fold_left
+        (fun acc b ->
+          List.fold_left max acc (Bdd.support mgr b))
+        (-1) clock_bdd
+    in
+    let bddvars = Array.make (max_var + 1) Rnone in
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun v ->
+            match Calc.var_kind calc v with
+            | Some (`Present c) -> bddvars.(v) <- Rpresent c
+            | Some (`Cond bsig) -> bddvars.(v) <- Rcond (index bsig)
+            | Some (`CondEq (x, k)) -> bddvars.(v) <- Rcondeq (index x, k)
+            | None -> ())
+          (Bdd.support mgr b))
+      clock_bdd;
     (* dependency graph over presence/value nodes *)
     let g = Analysis.Digraph.create () in
     let pnode c = "P" ^ string_of_int c in
@@ -223,50 +174,48 @@ let compile kp =
       | Pprim (pi, _) ->
         Array.iter
           (fun i -> Analysis.Digraph.add_edge g (pnode class_of.(i)) (pnode c))
-          prims.(pi).ins
+          prims.(pi).lp.Prog.lp_ins
       | Pderived ->
         List.iter
           (fun v ->
-            match Calc.var_kind calc v with
-            | Some (`Present c') ->
+            match bddvars.(v) with
+            | Rpresent c' ->
               if c' <> c then Analysis.Digraph.add_edge g (pnode c') (pnode c)
-            | Some (`Cond b) ->
-              let bi = index b in
+            | Rcond bi ->
               Analysis.Digraph.add_edge g (vnode bi) (pnode c);
               Analysis.Digraph.add_edge g (pnode class_of.(bi)) (pnode c)
-            | Some (`CondEq (x, _)) ->
-              let xi = index x in
+            | Rcondeq (xi, _) ->
               Analysis.Digraph.add_edge g (vnode xi) (pnode c);
               Analysis.Digraph.add_edge g (pnode class_of.(xi)) (pnode c)
-            | None -> ())
+            | Rnone -> ())
           (Bdd.support mgr clock_bdd.(c))
     done;
     let dep_atom dst = function
-      | Cvar y -> Analysis.Digraph.add_edge g (vnode y) (vnode dst)
-      | Cconst _ -> ()
+      | Prog.Avar y -> Analysis.Digraph.add_edge g (vnode y) (vnode dst)
+      | Prog.Aconst _ -> ()
     in
     for i = 0 to nsignals - 1 do
-      match vdefs.(i) with
-      | Dnone | Ddelay -> ()
-      | Dfunc (_, args) -> Array.iter (dep_atom i) args
-      | Dwhen src -> dep_atom i src
-      | Ddefault (l, r) ->
+      match prog.Prog.vdefs.(i) with
+      | Prog.Vnone | Prog.Vdelay -> ()
+      | Prog.Vfunc (_, args) -> Array.iter (dep_atom i) args
+      | Prog.Vwhen src -> dep_atom i src
+      | Prog.Vdefault (l, r) ->
         dep_atom i l;
         dep_atom i r;
         (match l with
-         | Cvar y ->
+         | Prog.Avar y ->
            Analysis.Digraph.add_edge g (pnode class_of.(y)) (vnode i)
-         | Cconst _ -> ());
+         | Prog.Aconst _ -> ());
         (match r with
-         | Cvar y ->
+         | Prog.Avar y ->
            Analysis.Digraph.add_edge g (pnode class_of.(y)) (vnode i)
-         | Cconst _ -> ())
-      | Dprim (pi, _) ->
+         | Prog.Aconst _ -> ())
+      | Prog.Vprim (pi, _) ->
         Array.iter
           (fun j ->
             Analysis.Digraph.add_edge g (vnode j) (vnode i);
             Analysis.Digraph.add_edge g (pnode class_of.(j)) (vnode i))
-          prims.(pi).ins
+          prims.(pi).lp.Prog.lp_ins
     done;
     let order =
       match Analysis.Digraph.topological_sort g with
@@ -283,25 +232,20 @@ let compile kp =
              if node.[0] = 'P' then Opres k else Oval k)
            order)
     in
-    let dstate = Array.make (max nsignals 1) (Types.Vint 0) in
-    List.iter
-      (fun eq ->
-        match eq with
-        | K.Kdelay { dst; init; _ } -> dstate.(index dst) <- init
-        | K.Kfunc _ | K.Kwhen _ | K.Kdefault _ -> ())
-      kp.K.keqs;
     Ok
-      { kp; calc; names; idx; class_of; nclasses; nsignals; is_input;
-        vdefs; pdefs; clock_bdd; plan; prims; delay_src; dstate;
+      { prog; calc; class_of; nclasses; pdefs; clock_bdd; bddvars; plan;
+        prims;
+        dstate = Array.copy prog.Prog.delay_init;
         pres = Array.make (max nclasses 1) false;
         vals = Array.make (max nsignals 1) None;
         stim_present = Array.make (max nsignals 1) false;
-        tr = Trace.create decls;
+        tr = Trace.create (Prog.decls prog);
         instants = 0;
         recording = true;
         n_free }
   with
   | Comp_error m -> Error m
+  | Prog.Lower_error m -> Error m
   | Invalid_argument m -> Error m
 
 (* ------------------------------------------------------------------ *)
@@ -312,19 +256,20 @@ let value_of st i =
   match st.vals.(i) with
   | Some v -> v
   | None -> errf "instant %d: signal %s used before being computed"
-              st.instants st.names.(i)
+              st.instants st.prog.Prog.names.(i)
 
 let atom_value st = function
-  | Cconst v -> v
-  | Cvar y -> value_of st y
+  | Prog.Aconst v -> v
+  | Prog.Avar y -> value_of st y
 
 (* primitive output presence/value from state + input facts *)
 let prim_presence st p pos =
-  let pres_in k = st.pres.(st.class_of.(p.ins.(k))) in
-  match p.ki.K.ki_prim with
+  let ins = p.lp.Prog.lp_ins in
+  let pres_in k = st.pres.(st.class_of.(ins.(k))) in
+  match p.lp.Prog.lp_ki.K.ki_prim with
   | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
     (* data: pop present and an item available *)
-    let has_reset = Array.length p.ins = 3 in
+    let has_reset = Array.length ins = 3 in
     let reset_p = has_reset && pres_in 2 in
     let push_p = pres_in 0 and pop_p = pres_in 1 in
     let qlen0 = if reset_p then 0 else Queue.length p.queue in
@@ -343,11 +288,12 @@ let prim_presence st p pos =
     | _ -> assert false)
 
 let prim_value st p pos =
-  let pres_in k = st.pres.(st.class_of.(p.ins.(k))) in
-  let val_in k = value_of st p.ins.(k) in
-  match p.ki.K.ki_prim with
+  let ins = p.lp.Prog.lp_ins in
+  let pres_in k = st.pres.(st.class_of.(ins.(k))) in
+  let val_in k = value_of st ins.(k) in
+  match p.lp.Prog.lp_ki.K.ki_prim with
   | Stdproc.Pfifo | Stdproc.Pfifo_reset -> (
-    let has_reset = Array.length p.ins = 3 in
+    let has_reset = Array.length ins = 3 in
     let reset_p = has_reset && pres_in 2 in
     let push_p = pres_in 0 and pop_p = pres_in 1 in
     let qlen0 = if reset_p then 0 else Queue.length p.queue in
@@ -357,7 +303,7 @@ let prim_value st p pos =
       if qlen0 > 0 then Queue.peek p.queue else val_in 0
     | 1 ->
       let n1 =
-        if push_p then min (qlen0 + 1) p.capacity else qlen0
+        if push_p then min (qlen0 + 1) p.lp.Prog.lp_capacity else qlen0
       in
       Types.Vint (if pop_p && n1 > 0 then n1 - 1 else n1)
     | _ -> assert false)
@@ -368,28 +314,28 @@ let prim_value st p pos =
     | _ -> assert false)
   | Stdproc.Pout_event_port -> (
     match pos with
-    | 0 -> if Queue.is_empty p.queue then value_of st p.ins.(0)
+    | 0 -> if Queue.is_empty p.queue then value_of st ins.(0)
            else Queue.peek p.queue
     | _ -> assert false)
 
 let bdd_env st v =
-  match Calc.var_kind st.calc v with
-  | Some (`Present c) -> st.pres.(c)
-  | Some (`Cond b) -> (
-    let bi = Hashtbl.find st.idx b in
-    st.pres.(st.class_of.(bi))
-    &&
-    match st.vals.(bi) with
-    | Some value -> Eval.as_bool value
-    | None -> false)
-  | Some (`CondEq (x, k)) -> (
-    let xi = Hashtbl.find st.idx x in
-    st.pres.(st.class_of.(xi))
-    &&
-    match st.vals.(xi) with
-    | Some (Types.Vint n) -> n = k
-    | Some _ | None -> false)
-  | None -> false
+  if v >= Array.length st.bddvars then false
+  else
+    match st.bddvars.(v) with
+    | Rpresent c -> st.pres.(c)
+    | Rcond bi -> (
+      st.pres.(st.class_of.(bi))
+      &&
+      match st.vals.(bi) with
+      | Some value -> Eval.as_bool value
+      | None -> false)
+    | Rcondeq (xi, k) -> (
+      st.pres.(st.class_of.(xi))
+      &&
+      match st.vals.(xi) with
+      | Some (Types.Vint n) -> n = k
+      | Some _ | None -> false)
+    | Rnone -> false
 
 let exec_pres st c =
   match st.pdefs.(c) with
@@ -400,7 +346,7 @@ let exec_pres st c =
       (fun i ->
         if st.stim_present.(i) <> p then
           errf "instant %d: synchronous inputs %s disagree on presence"
-            st.instants st.names.(i))
+            st.instants st.prog.Prog.names.(i))
       members;
     st.pres.(c) <- p
   | Pprim (pi, pos) -> st.pres.(c) <- prim_presence st st.prims.(pi) pos
@@ -410,55 +356,56 @@ let exec_pres st c =
 
 let exec_val st i =
   if st.pres.(st.class_of.(i)) then
-    match st.vdefs.(i) with
-    | Dnone ->
+    match st.prog.Prog.vdefs.(i) with
+    | Prog.Vnone ->
       if st.vals.(i) = None then
         errf "instant %d: present signal %s has no value (missing input?)"
-          st.instants st.names.(i)
-    | Dfunc (op, args) ->
+          st.instants st.prog.Prog.names.(i)
+    | Prog.Vfunc (op, args) ->
       st.vals.(i) <-
         Some (Eval.eval_func op (Array.to_list (Array.map (atom_value st) args)))
-    | Ddelay -> st.vals.(i) <- Some st.dstate.(i)
-    | Dwhen src -> st.vals.(i) <- Some (atom_value st src)
-    | Ddefault (l, r) ->
+    | Prog.Vdelay -> st.vals.(i) <- Some st.dstate.(i)
+    | Prog.Vwhen src -> st.vals.(i) <- Some (atom_value st src)
+    | Prog.Vdefault (l, r) ->
       let branch =
         match l with
-        | Cconst v -> v
-        | Cvar y ->
+        | Prog.Aconst v -> v
+        | Prog.Avar y ->
           if st.pres.(st.class_of.(y)) then value_of st y
           else (
             match r with
-            | Cconst v -> v
-            | Cvar z ->
+            | Prog.Aconst v -> v
+            | Prog.Avar z ->
               if st.pres.(st.class_of.(z)) then value_of st z
               else
                 errf "instant %d: merge %s present with both branches absent"
-                  st.instants st.names.(i))
+                  st.instants st.prog.Prog.names.(i))
       in
       st.vals.(i) <- Some branch
-    | Dprim (pi, pos) ->
+    | Prog.Vprim (pi, pos) ->
       st.vals.(i) <- Some (prim_value st st.prims.(pi) pos)
 
 let push_bounded p v =
-  if Queue.length p.queue >= p.capacity then begin
+  if Queue.length p.queue >= p.lp.Prog.lp_capacity then begin
     p.overflows <- p.overflows + 1;
-    match p.policy with
-    | Drop_oldest ->
+    match p.lp.Prog.lp_policy with
+    | Prog.Drop_oldest ->
       ignore (Queue.pop p.queue);
       Queue.push v p.queue
-    | Drop_newest -> ()
-    | Overflow_error ->
+    | Prog.Drop_newest -> ()
+    | Prog.Overflow_error ->
       errf "queue overflow on %s (Overflow_Handling_Protocol => Error)"
-        p.ki.K.ki_label
+        p.lp.Prog.lp_ki.K.ki_label
   end
   else Queue.push v p.queue
 
 let commit_prim st p =
-  let pres_in k = st.pres.(st.class_of.(p.ins.(k))) in
-  let val_in k = value_of st p.ins.(k) in
-  match p.ki.K.ki_prim with
+  let ins = p.lp.Prog.lp_ins in
+  let pres_in k = st.pres.(st.class_of.(ins.(k))) in
+  let val_in k = value_of st ins.(k) in
+  match p.lp.Prog.lp_ki.K.ki_prim with
   | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
-    let has_reset = Array.length p.ins = 3 in
+    let has_reset = Array.length ins = 3 in
     if has_reset && pres_in 2 then Queue.clear p.queue;
     if pres_in 0 then push_bounded p (val_in 0);
     if pres_in 1 && not (Queue.is_empty p.queue) then
@@ -474,17 +421,18 @@ let commit_prim st p =
     if pres_in 0 then push_bounded p (val_in 0);
     if pres_in 1 && not (Queue.is_empty p.queue) then
       ignore (Queue.pop p.queue)
-  [@@warning "-27"]
 
 let step st ~stimulus =
   try
+    let prog = st.prog in
+    let nsignals = prog.Prog.n in
     Array.fill st.pres 0 (Array.length st.pres) false;
     Array.fill st.vals 0 (Array.length st.vals) None;
     Array.fill st.stim_present 0 (Array.length st.stim_present) false;
     List.iter
       (fun (x, v) ->
-        match Hashtbl.find_opt st.idx x with
-        | Some i when st.is_input.(i) ->
+        match Prog.index_opt prog x with
+        | Some i when prog.Prog.is_input.(i) ->
           st.stim_present.(i) <- true;
           st.vals.(i) <- Some v
         | Some _ -> errf "stimulus for non-input signal %s" x
@@ -497,28 +445,30 @@ let step st ~stimulus =
         | Oval i -> exec_val st i)
       st.plan;
     (* sanity: inputs marked present must be in present classes *)
-    for i = 0 to st.nsignals - 1 do
+    for i = 0 to nsignals - 1 do
       if st.stim_present.(i) && not (st.pres.(st.class_of.(i))) then
         errf "instant %d: input %s present against its derived clock"
-          st.instants st.names.(i)
+          st.instants prog.Prog.names.(i)
     done;
-    let present = ref [] in
-    for i = st.nsignals - 1 downto 0 do
+    let row = ref [] and present = ref [] in
+    for i = nsignals - 1 downto 0 do
       if st.pres.(st.class_of.(i)) then
         match st.vals.(i) with
-        | Some v -> present := (st.names.(i), v) :: !present
+        | Some v ->
+          row := (i, v) :: !row;
+          present := (prog.Prog.names.(i), v) :: !present
         | None ->
           errf "instant %d: signal %s present without a value" st.instants
-            st.names.(i)
+            prog.Prog.names.(i)
     done;
     (* commit *)
-    for i = 0 to st.nsignals - 1 do
-      let src = st.delay_src.(i) in
+    for i = 0 to nsignals - 1 do
+      let src = prog.Prog.delay_src.(i) in
       if src >= 0 && st.pres.(st.class_of.(src)) then
         st.dstate.(i) <- value_of st src
     done;
     Array.iter (fun p -> commit_prim st p) st.prims;
-    if st.recording then Trace.push st.tr !present;
+    if st.recording then Trace.push_row st.tr (Array.of_list !row);
     st.instants <- st.instants + 1;
     Ok !present
   with
@@ -576,9 +526,9 @@ let free_classes st = st.n_free
 
 let free_class_members st =
   let acc = ref [] in
-  for i = st.nsignals - 1 downto 0 do
+  for i = st.prog.Prog.n - 1 downto 0 do
     match st.pdefs.(st.class_of.(i)) with
-    | Pfree -> acc := st.names.(i) :: !acc
+    | Pfree -> acc := st.prog.Prog.names.(i) :: !acc
     | Pinput _ | Pprim _ | Pderived -> ()
   done;
   !acc
@@ -588,51 +538,45 @@ let free_class_members st =
 (* compile the execution plan to a self-contained C program.           *)
 (* ------------------------------------------------------------------ *)
 
-let styp_of st i =
-  let name = st.names.(i) in
-  let rec find = function
-    | [] -> Types.Tint
-    | vd :: rest ->
-      if String.equal vd.Ast.var_name name then vd.Ast.var_type
-      else find rest
-  in
-  find (K.signals st.kp)
+let styp_of st i = st.prog.Prog.types.(i)
 
 let to_c ?(name = "signal_step") st =
   let buf = Buffer.create 16384 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let prog = st.prog in
+  let nsignals = prog.Prog.n in
+  let names = prog.Prog.names in
   let is_real i = styp_of st i = Types.Treal in
   (* reject string-typed signals: no C mapping *)
   let has_string =
-    List.exists (fun vd -> vd.Ast.var_type = Types.Tstring) (K.signals st.kp)
+    Array.exists (fun ty -> ty = Types.Tstring) prog.Prog.types
   in
   if has_string then Error "string signals have no C mapping"
   else begin
     let v i = Printf.sprintf "v_%d" i in
     let p c = Printf.sprintf "p_%d" c in
-    let inputs = Array.of_list st.kp.K.kinputs in
+    let inputs = prog.Prog.inputs in
     let input_index =
       let h = Hashtbl.create 8 in
-      Array.iteri
-        (fun k vd -> Hashtbl.replace h (Hashtbl.find st.idx vd.Ast.var_name) k)
-        inputs;
+      Array.iteri (fun k i -> Hashtbl.replace h i k) inputs;
       h
     in
-    pf "/* generated by polychrony-aadl from process %s */\n" st.kp.K.kname;
+    pf "/* generated by polychrony-aadl from process %s */\n"
+      prog.Prog.kp.K.kname;
     pf "#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\n\n";
     pf "static long sdiv(long a, long b){ if(!b){fprintf(stderr,\"division by zero\\n\");exit(2);} return a/b; }\n";
     pf "static long smod(long a, long b){ if(!b){fprintf(stderr,\"modulo by zero\\n\");exit(2);} return a%%b; }\n\n";
     (* signal storage *)
-    for i = 0 to st.nsignals - 1 do
-      if is_real i then pf "static double %s; /* %s */\n" (v i) st.names.(i)
-      else pf "static long %s; /* %s */\n" (v i) st.names.(i)
+    for i = 0 to nsignals - 1 do
+      if is_real i then pf "static double %s; /* %s */\n" (v i) names.(i)
+      else pf "static long %s; /* %s */\n" (v i) names.(i)
     done;
     for c = 0 to st.nclasses - 1 do
       pf "static int %s;\n" (p c)
     done;
     (* delay state *)
-    for i = 0 to st.nsignals - 1 do
-      if st.delay_src.(i) >= 0 then begin
+    for i = 0 to nsignals - 1 do
+      if prog.Prog.delay_src.(i) >= 0 then begin
         match st.dstate.(i) with
         | Types.Vreal r -> pf "static double d_%d = %.17g;\n" i r
         | Types.Vint n -> pf "static long d_%d = %d;\n" i n
@@ -645,7 +589,7 @@ let to_c ?(name = "signal_step") st =
     Array.iteri
       (fun k pr ->
         pf "static long q%d_buf[%d]; static int q%d_len = 0, q%d_head = 0;\n"
-          k pr.capacity k k)
+          k pr.lp.Prog.lp_capacity k k)
       st.prims;
     pf "\nstatic void qpush(long*buf,int cap,int*len,int*head,int policy,long x){\n";
     pf "  if(*len >= cap){\n";
@@ -667,35 +611,36 @@ let to_c ?(name = "signal_step") st =
       | `Leaf false -> "0"
       | `Node (var, lo, hi) ->
         let cond =
-          match Calc.var_kind st.calc var with
-          | Some (`Present c) -> p c
-          | Some (`Cond bsig) ->
-            let bi = Hashtbl.find st.idx bsig in
+          match
+            (if var < Array.length st.bddvars then st.bddvars.(var) else Rnone)
+          with
+          | Rpresent c -> p c
+          | Rcond bi ->
             Printf.sprintf "(%s && %s)" (p st.class_of.(bi)) (v bi)
-          | Some (`CondEq (x, k)) ->
-            let xi = Hashtbl.find st.idx x in
+          | Rcondeq (xi, k) ->
             Printf.sprintf "(%s && %s == %d)" (p st.class_of.(xi)) (v xi) k
-          | None -> "0"
+          | Rnone -> "0"
         in
         Printf.sprintf "(%s ? %s : %s)" cond (bdd_expr hi) (bdd_expr lo)
     in
     let atom_expr = function
-      | Cvar y -> v y
-      | Cconst (Types.Vint n) -> string_of_int n
-      | Cconst (Types.Vbool b) -> if b then "1" else "0"
-      | Cconst Types.Vevent -> "1"
-      | Cconst (Types.Vreal r) -> Printf.sprintf "%.17g" r
-      | Cconst (Types.Vstring _) -> "0"
+      | Prog.Avar y -> v y
+      | Prog.Aconst (Types.Vint n) -> string_of_int n
+      | Prog.Aconst (Types.Vbool b) -> if b then "1" else "0"
+      | Prog.Aconst Types.Vevent -> "1"
+      | Prog.Aconst (Types.Vreal r) -> Printf.sprintf "%.17g" r
+      | Prog.Aconst (Types.Vstring _) -> "0"
     in
     let prim_id pr st =
       let rec go k = if st.prims.(k) == pr then k else go (k + 1) in
       go 0
     in
     let prim_pres_expr pr pos =
-      let pin k = p st.class_of.(pr.ins.(k)) in
-      match pr.ki.K.ki_prim, pos with
+      let ins = pr.lp.Prog.lp_ins in
+      let pin k = p st.class_of.(ins.(k)) in
+      match pr.lp.Prog.lp_ki.K.ki_prim, pos with
       | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 0 ->
-        let has_reset = Array.length pr.ins = 3 in
+        let has_reset = Array.length ins = 3 in
         let k = prim_id pr st in
         Printf.sprintf
           "(%s && ((%s ? 0 : q%d_len) + (%s ? 1 : 0) > 0))"
@@ -710,18 +655,20 @@ let to_c ?(name = "signal_step") st =
       | _ -> "0"
     in
     let prim_val_expr pr pos =
-      let pin k = p st.class_of.(pr.ins.(k)) in
-      let vin k = v pr.ins.(k) in
+      let ins = pr.lp.Prog.lp_ins in
+      let cap = pr.lp.Prog.lp_capacity in
+      let pin k = p st.class_of.(ins.(k)) in
+      let vin k = v ins.(k) in
       let k = prim_id pr st in
-      match pr.ki.K.ki_prim, pos with
+      match pr.lp.Prog.lp_ki.K.ki_prim, pos with
       | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 0 ->
-        let has_reset = Array.length pr.ins = 3 in
+        let has_reset = Array.length ins = 3 in
         Printf.sprintf
           "(((%s ? 0 : q%d_len) > 0) ? qpeek(q%d_buf,%d,q%d_head) : %s)"
           (if has_reset then pin 2 else "0")
-          k k pr.capacity k (vin 0)
+          k k cap k (vin 0)
       | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 1 ->
-        let has_reset = Array.length pr.ins = 3 in
+        let has_reset = Array.length ins = 3 in
         let n0 =
           Printf.sprintf "(%s ? 0 : q%d_len)"
             (if has_reset then pin 2 else "0") k
@@ -729,15 +676,15 @@ let to_c ?(name = "signal_step") st =
         let n1 =
           Printf.sprintf
             "(%s ? ((%s + 1) < %d ? (%s + 1) : %d) : %s)"
-            (pin 0) n0 pr.capacity n0 pr.capacity n0
+            (pin 0) n0 cap n0 cap n0
         in
         Printf.sprintf "((%s && %s > 0) ? %s - 1 : %s)" (pin 1) n1 n1 n1
       | Stdproc.Pin_event_port, 0 ->
-        Printf.sprintf "qpeek(q%d_buf,%d,q%d_head)" k pr.capacity k
+        Printf.sprintf "qpeek(q%d_buf,%d,q%d_head)" k cap k
       | Stdproc.Pin_event_port, 1 -> Printf.sprintf "(long)q%d_len" k
       | Stdproc.Pout_event_port, 0 ->
         Printf.sprintf "(q%d_len > 0 ? qpeek(q%d_buf,%d,q%d_head) : %s)"
-          k k pr.capacity k (vin 0)
+          k k cap k (vin 0)
       | _ -> "0"
     in
     (* step function *)
@@ -761,15 +708,15 @@ let to_c ?(name = "signal_step") st =
           | Pderived -> pf "  %s = %s;\n" (p c) (bdd_expr st.clock_bdd.(c)))
         | Oval i ->
           let guard = p st.class_of.(i) in
-          (match st.vdefs.(i) with
-           | Dnone ->
-             if st.is_input.(i) then begin
+          (match prog.Prog.vdefs.(i) with
+           | Prog.Vnone ->
+             if prog.Prog.is_input.(i) then begin
                let k = Hashtbl.find input_index i in
                if is_real i then
                  pf "  if (%s) %s = in_raw[%d];\n" guard (v i) k
                else pf "  if (%s) %s = (long)in_raw[%d];\n" guard (v i) k
              end
-           | Dfunc (op, args) ->
+           | Prog.Vfunc (op, args) ->
              let e =
                match op, Array.to_list args with
                | K.Pid, [ a ] -> atom_expr a
@@ -803,55 +750,58 @@ let to_c ?(name = "signal_step") st =
                | _, _ -> "0"
              in
              pf "  if (%s) %s = %s;\n" guard (v i) e
-           | Ddelay -> pf "  if (%s) %s = d_%d;\n" guard (v i) i
-           | Dwhen src -> pf "  if (%s) %s = %s;\n" guard (v i) (atom_expr src)
-           | Ddefault (l, r) ->
+           | Prog.Vdelay -> pf "  if (%s) %s = d_%d;\n" guard (v i) i
+           | Prog.Vwhen src ->
+             pf "  if (%s) %s = %s;\n" guard (v i) (atom_expr src)
+           | Prog.Vdefault (l, r) ->
              let rhs =
                match l, r with
-               | Cconst _, _ -> atom_expr l
-               | Cvar y, Cconst _ ->
+               | Prog.Aconst _, _ -> atom_expr l
+               | Prog.Avar y, Prog.Aconst _ ->
                  Printf.sprintf "(%s ? %s : %s)" (p st.class_of.(y)) (v y)
                    (atom_expr r)
-               | Cvar y, Cvar z ->
+               | Prog.Avar y, Prog.Avar z ->
                  Printf.sprintf "(%s ? %s : %s)" (p st.class_of.(y)) (v y)
                    (v z)
              in
              pf "  if (%s) %s = %s;\n" guard (v i) rhs
-           | Dprim (pi, pos) ->
+           | Prog.Vprim (pi, pos) ->
              pf "  if (%s) %s = %s;\n" guard (v i)
                (prim_val_expr st.prims.(pi) pos)))
       st.plan;
     (* commit: delays then queues *)
-    for i = 0 to st.nsignals - 1 do
-      let src = st.delay_src.(i) in
+    for i = 0 to nsignals - 1 do
+      let src = prog.Prog.delay_src.(i) in
       if src >= 0 then
         pf "  if (%s) d_%d = %s;\n" (p st.class_of.(src)) i (v src)
     done;
     Array.iteri
       (fun k pr ->
-        let pin j = p st.class_of.(pr.ins.(j)) in
-        let vin j = v pr.ins.(j) in
+        let ins = pr.lp.Prog.lp_ins in
+        let cap = pr.lp.Prog.lp_capacity in
+        let pin j = p st.class_of.(ins.(j)) in
+        let vin j = v ins.(j) in
         let policy =
-          match pr.policy with
-          | Drop_oldest -> 0
-          | Drop_newest -> 1
-          | Overflow_error -> 2
+          match pr.lp.Prog.lp_policy with
+          | Prog.Drop_oldest -> 0
+          | Prog.Drop_newest -> 1
+          | Prog.Overflow_error -> 2
         in
-        match pr.ki.K.ki_prim with
+        match pr.lp.Prog.lp_ki.K.ki_prim with
         | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
-          if Array.length pr.ins = 3 then
+          if Array.length ins = 3 then
             pf "  if (%s) { q%d_len = 0; q%d_head = 0; }\n" (pin 2) k k;
           pf "  if (%s) qpush(q%d_buf,%d,&q%d_len,&q%d_head,%d,(long)%s);\n"
-            (pin 0) k pr.capacity k k policy (vin 0);
-          pf "  if (%s) qpop(%d,&q%d_len,&q%d_head);\n" (pin 1) pr.capacity k k
+            (pin 0) k cap k k policy (vin 0);
+          pf "  if (%s) qpop(%d,&q%d_len,&q%d_head);\n" (pin 1) cap k k
         | Stdproc.Pin_event_port ->
           pf "  if (%s) { q%d_len = 0; q%d_head = 0; }\n" (pin 1) k k;
           pf "  if (%s) qpush(q%d_buf,%d,&q%d_len,&q%d_head,%d,(long)%s);\n"
-            (pin 0) k pr.capacity k k policy (vin 0)
+            (pin 0) k cap k k policy (vin 0)
         | Stdproc.Pout_event_port ->
           pf "  if (%s) qpush(q%d_buf,%d,&q%d_len,&q%d_head,%d,(long)%s);\n"
-            (pin 0) k pr.capacity k k policy (vin 0);
-          pf "  if (%s) qpop(%d,&q%d_len,&q%d_head);\n" (pin 1) pr.capacity k k)
+            (pin 0) k cap k k policy (vin 0);
+          pf "  if (%s) qpop(%d,&q%d_len,&q%d_head);\n" (pin 1) cap k k)
       st.prims;
     pf "}\n\n";
     (* main: read stimuli lines, run, print present signals *)
@@ -865,13 +815,13 @@ let to_c ?(name = "signal_step") st =
     pf "      if (tok) tok = strtok(0, \" \\t\\r\\n\");\n";
     pf "    }\n";
     pf "    step();\n";
-    for i = 0 to st.nsignals - 1 do
+    for i = 0 to nsignals - 1 do
       if is_real i then
         pf "    if (%s) printf(\"%s=%%.17g \", %s);\n" (p st.class_of.(i))
-          st.names.(i) (v i)
+          names.(i) (v i)
       else
         pf "    if (%s) printf(\"%s=%%ld \", %s);\n" (p st.class_of.(i))
-          st.names.(i) (v i)
+          names.(i) (v i)
     done;
     pf "    printf(\"\\n\");\n";
     pf "  }\n  return 0;\n}\n";

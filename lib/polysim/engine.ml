@@ -1,5 +1,4 @@
 module K = Signal_lang.Kernel
-module Ast = Signal_lang.Ast
 module Types = Signal_lang.Types
 module Stdproc = Signal_lang.Stdproc
 
@@ -9,118 +8,116 @@ let errf fmt = Format.kasprintf (fun m -> raise (Sim_error m)) fmt
 
 type presence = Unknown | Present | Absent
 
-type overflow_policy = Drop_oldest | Drop_newest | Overflow_error
-
 type prim_state = {
-  ki : K.kinstance;
+  lp : Prog.lprim;
   queue : Types.value Queue.t;
   frozen : Types.value Queue.t;   (* in_event_port only *)
-  capacity : int;
-  policy : overflow_policy;
   mutable overflows : int;
 }
 
+(* All per-signal state is indexed by the dense signal index of the
+   shared program IR (Prog): the fixpoint loop is pure array reads and
+   writes, names are only materialized in diagnostics and results. *)
 type t = {
-  kp : K.kprocess;
-  types : (string, Types.styp) Hashtbl.t;
-  input_names : string list;
-  default_order : string list;
+  prog : Prog.t;
+  default_order : int array;
       (* unknown-presence defaulting order: dataflow sources first, so
          a defaulted sink never contradicts a later-resolved source *)
-  delay_state : (string, Types.value) Hashtbl.t;  (* keyed by dst *)
-  prims : prim_state list;
+  rank : int array;  (* inverse of default_order *)
+  delay_state : Types.value array;  (* indexed by dst *)
+  prims : prim_state array;
   tr : Trace.t;
   mutable instants : int;
   mutable free : int;      (* defaulted-to-absent decisions *)
   (* per-instant scratch, allocated once *)
-  pres : (string, presence) Hashtbl.t;
-  vals : (string, Types.value) Hashtbl.t;
+  pres : presence array;
+  vals : Types.value option array;
   mutable changed : bool;
 }
 
-let capacity_of ki =
-  match ki.K.ki_params with
-  | Types.Vint n :: _ when n > 0 -> n
-  | _ -> 16
-
-let overflow_of ki =
-  match ki.K.ki_params with
-  | [ _; Types.Vstring s ] -> (
-    match String.lowercase_ascii s with
-    | "dropnewest" -> Drop_newest
-    | "error" -> Overflow_error
-    | _ -> Drop_oldest)
-  | _ -> Drop_oldest
-
 let create kp =
-  let types = Hashtbl.create 64 in
-  List.iter
-    (fun vd -> Hashtbl.replace types vd.Ast.var_name vd.Ast.var_type)
-    (K.signals kp);
-  let delay_state = Hashtbl.create 16 in
-  List.iter
-    (fun eq ->
-      match eq with
-      | K.Kdelay { dst; init; _ } -> Hashtbl.replace delay_state dst init
-      | K.Kfunc _ | K.Kwhen _ | K.Kdefault _ -> ())
-    kp.K.keqs;
+  let prog = Prog.of_kprocess kp in
+  let n = prog.Prog.n in
+  let delay_state = Array.copy prog.Prog.delay_init in
   let prims =
-    List.map
-      (fun ki ->
-        { ki; queue = Queue.create (); frozen = Queue.create ();
-          capacity = capacity_of ki; policy = overflow_of ki; overflows = 0 })
-      kp.K.kinstances
+    Array.map
+      (fun lp ->
+        { lp; queue = Queue.create (); frozen = Queue.create ();
+          overflows = 0 })
+      prog.Prog.prims
   in
   let default_order =
-    let declared = List.map (fun vd -> vd.Ast.var_name) (K.signals kp) in
-    match Analysis.Digraph.topological_sort (Analysis.Deadlock.dependency_graph kp) with
+    match
+      Analysis.Digraph.topological_sort
+        (Analysis.Deadlock.dependency_graph kp)
+    with
     | Ok order ->
-      order @ List.filter (fun x -> not (List.mem x order)) declared
-    | Error _ -> declared
+      (* topological prefix, then remaining signals in declaration
+         order; a seen-array keeps the construction linear *)
+      let seen = Array.make (max n 1) false in
+      let acc = ref [] in
+      List.iter
+        (fun x ->
+          match Prog.index_opt prog x with
+          | Some i when not seen.(i) ->
+            seen.(i) <- true;
+            acc := i :: !acc
+          | Some _ | None -> ())
+        order;
+      for i = n - 1 downto 0 do
+        if not seen.(i) then acc := i :: !acc
+      done;
+      (* both pieces were accumulated in reverse *)
+      let arr = Array.of_list !acc in
+      let len = Array.length arr in
+      Array.init len (fun k -> arr.(len - 1 - k))
+    | Error _ -> Array.init n Fun.id
   in
-  { kp; types;
-    input_names = List.map (fun vd -> vd.Ast.var_name) kp.K.kinputs;
-    default_order;
-    delay_state; prims;
-    tr = Trace.create (K.signals kp);
+  let rank = Array.make (max n 1) 0 in
+  Array.iteri (fun k x -> rank.(x) <- k) default_order;
+  { prog; default_order; rank; delay_state; prims;
+    tr = Trace.create (Prog.decls prog);
     instants = 0; free = 0;
-    pres = Hashtbl.create 64; vals = Hashtbl.create 64; changed = false }
+    pres = Array.make (max n 1) Unknown;
+    vals = Array.make (max n 1) None;
+    changed = false }
 
 (* ------------------------------------------------------------------ *)
 (* Fact tables                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let presence st x =
-  Option.value ~default:Unknown (Hashtbl.find_opt st.pres x)
+let presence st x = st.pres.(x)
 
 let set_presence st x p =
-  match presence st x, p with
+  match st.pres.(x), p with
   | Unknown, (Present | Absent) ->
-    Hashtbl.replace st.pres x p;
+    st.pres.(x) <- p;
     st.changed <- true
   | Present, Absent | Absent, Present ->
-    errf "instant %d: contradictory presence for signal %s" st.instants x
+    errf "instant %d: contradictory presence for signal %s" st.instants
+      (Prog.name st.prog x)
   | _, _ -> ()
 
-let value_of st x = Hashtbl.find_opt st.vals x
+let value_of st x = st.vals.(x)
 
 let set_value st x v =
-  match Hashtbl.find_opt st.vals x with
+  match st.vals.(x) with
   | None ->
-    Hashtbl.replace st.vals x v;
+    st.vals.(x) <- Some v;
     st.changed <- true
   | Some v0 ->
     if not (Types.equal_value v0 v) then
       errf "instant %d: contradictory values for signal %s (%s vs %s)"
-        st.instants x (Types.value_to_string v0) (Types.value_to_string v)
+        st.instants (Prog.name st.prog x) (Types.value_to_string v0)
+        (Types.value_to_string v)
 
 let atom_presence st = function
-  | K.Avar x -> presence st x
-  | K.Aconst _ -> Unknown  (* contextual; handled by the group rules *)
+  | Prog.Avar x -> presence st x
+  | Prog.Aconst _ -> Unknown  (* contextual; handled by the group rules *)
 
 let atom_value st = function
-  | K.Avar x -> value_of st x
-  | K.Aconst v -> Some v
+  | Prog.Avar x -> value_of st x
+  | Prog.Aconst v -> Some v
 
 (* ------------------------------------------------------------------ *)
 (* Presence / value propagation rules                                  *)
@@ -128,36 +125,42 @@ let atom_value st = function
 
 (* Synchronous group: dst and all Avar args share a clock. *)
 let rule_sync_group st dst args =
-  let members = dst :: List.filter_map
-                  (function K.Avar x -> Some x | K.Aconst _ -> None)
-                  args
+  let any p =
+    presence st dst = p
+    || Array.exists
+         (function Prog.Avar x -> presence st x = p | Prog.Aconst _ -> false)
+         args
   in
-  let any p = List.exists (fun x -> presence st x = p) members in
-  if any Present then List.iter (fun x -> set_presence st x Present) members
-  else if any Absent then List.iter (fun x -> set_presence st x Absent) members
+  let set p =
+    set_presence st dst p;
+    Array.iter
+      (function Prog.Avar x -> set_presence st x p | Prog.Aconst _ -> ())
+      args
+  in
+  if any Present then set Present else if any Absent then set Absent
 
 let rule_func st dst op args =
   rule_sync_group st dst args;
   if presence st dst = Present then begin
-    let arg_vals = List.map (atom_value st) args in
-    if List.for_all Option.is_some arg_vals then
-      set_value st dst (Eval.eval_func op (List.map Option.get arg_vals))
+    let arg_vals = Array.map (atom_value st) args in
+    if Array.for_all Option.is_some arg_vals then
+      set_value st dst
+        (Eval.eval_func op (Array.to_list (Array.map Option.get arg_vals)))
   end
 
 let rule_delay st dst src =
-  rule_sync_group st dst [ K.Avar src ];
-  if presence st dst = Present then
-    set_value st dst (Hashtbl.find st.delay_state dst)
+  rule_sync_group st dst [| Prog.Avar src |];
+  if presence st dst = Present then set_value st dst st.delay_state.(dst)
 
 let rule_when st dst src cond =
   (* a constant condition has the contextual clock: false silences the
      destination, true makes it mirror the source *)
   (match cond with
-   | K.Aconst v when not (Eval.as_bool v) -> set_presence st dst Absent
-   | K.Aconst _ -> (
+   | Prog.Aconst v when not (Eval.as_bool v) -> set_presence st dst Absent
+   | Prog.Aconst _ -> (
      match src with
-     | K.Aconst v -> if presence st dst = Present then set_value st dst v
-     | K.Avar x -> (
+     | Prog.Aconst v -> if presence st dst = Present then set_value st dst v
+     | Prog.Avar x -> (
        match presence st x, presence st dst with
        | Present, _ ->
          set_presence st dst Present;
@@ -167,17 +170,17 @@ let rule_when st dst src cond =
        | Absent, _ -> set_presence st dst Absent
        | Unknown, Absent -> set_presence st x Absent
        | Unknown, (Present | Unknown) -> ()))
-   | K.Avar _ -> ());
+   | Prog.Avar _ -> ());
   (match atom_presence st cond, atom_value st cond with
    | Absent, _ -> set_presence st dst Absent
    | Present, Some v when not (Eval.as_bool v) -> set_presence st dst Absent
    | Present, Some _ -> (
      (* condition true: dst follows src *)
      match src with
-     | K.Aconst v ->
+     | Prog.Aconst v ->
        set_presence st dst Present;
        set_value st dst v
-     | K.Avar x -> (
+     | Prog.Avar x -> (
        match presence st x with
        | Present ->
          set_presence st dst Present;
@@ -190,11 +193,11 @@ let rule_when st dst src cond =
   (* backward: dst present forces src and cond present (cond true) *)
   if presence st dst = Present then begin
     (match src with
-     | K.Avar x -> set_presence st x Present
-     | K.Aconst _ -> ());
+     | Prog.Avar x -> set_presence st x Present
+     | Prog.Aconst _ -> ());
     match cond with
-    | K.Avar b -> set_presence st b Present
-    | K.Aconst _ -> ()
+    | Prog.Avar b -> set_presence st b Present
+    | Prog.Aconst _ -> ()
   end
 
 let rule_default st dst left right =
@@ -217,37 +220,41 @@ let rule_default st dst left right =
    | Unknown -> ());
   (match presence st dst with
    | Absent ->
-     (match left with K.Avar x -> set_presence st x Absent | K.Aconst _ -> ());
-     (match right with K.Avar x -> set_presence st x Absent | K.Aconst _ -> ())
+     (match left with
+      | Prog.Avar x -> set_presence st x Absent
+      | Prog.Aconst _ -> ());
+     (match right with
+      | Prog.Avar x -> set_presence st x Absent
+      | Prog.Aconst _ -> ())
    | Present -> (
      (* if left absent, right must be present *)
      match pl, right with
-     | Absent, K.Avar x -> set_presence st x Present
-     | Absent, K.Aconst v -> set_value st dst v
+     | Absent, Prog.Avar x -> set_presence st x Present
+     | Absent, Prog.Aconst v -> set_value st dst v
      | _, _ -> ())
    | Unknown -> ());
   (* constant left: when dst is present and left is a constant, the
      merge yields the constant (a constant is contextually present) *)
   match left, presence st dst with
-  | K.Aconst v, Present -> set_value st dst v
-  | (K.Aconst _ | K.Avar _), _ -> ()
+  | Prog.Aconst v, Present -> set_value st dst v
+  | (Prog.Aconst _ | Prog.Avar _), _ -> ()
 
 let rule_constraint st = function
-  | K.Ceq (a, b) -> (
+  | Prog.Leq (a, b) -> (
     match presence st a, presence st b with
     | Present, _ -> set_presence st b Present
     | Absent, _ -> set_presence st b Absent
     | Unknown, Present -> set_presence st a Present
     | Unknown, Absent -> set_presence st a Absent
     | Unknown, Unknown -> ())
-  | K.Cle (a, b) -> (
+  | Prog.Lle (a, b) -> (
     (match presence st a with
      | Present -> set_presence st b Present
      | Absent | Unknown -> ());
     match presence st b with
     | Absent -> set_presence st a Absent
     | Present | Unknown -> ())
-  | K.Cex (a, b) -> (
+  | Prog.Lex (a, b) -> (
     (match presence st a with
      | Present -> set_presence st b Absent
      | Absent | Unknown -> ());
@@ -257,10 +264,14 @@ let rule_constraint st = function
 
 (* Primitive presence/value rules; effects are deferred to commit. *)
 let rule_prim st ps =
-  let ki = ps.ki in
-  match ki.K.ki_prim, ki.K.ki_ins, ki.K.ki_outs with
-  | (Stdproc.Pfifo | Stdproc.Pfifo_reset), push :: pop :: rest, [ data; size ] ->
-    let reset = match rest with [ r ] -> Some r | _ -> None in
+  let lp = ps.lp in
+  let ins = lp.Prog.lp_ins and outs = lp.Prog.lp_outs in
+  match lp.Prog.lp_ki.K.ki_prim with
+  | (Stdproc.Pfifo | Stdproc.Pfifo_reset)
+    when Array.length ins >= 2 && Array.length outs = 2 ->
+    let push = ins.(0) and pop = ins.(1) in
+    let data = outs.(0) and size = outs.(1) in
+    let reset = if Array.length ins = 3 then Some ins.(2) else None in
     let reset_pres =
       match reset with Some r -> presence st r | None -> Absent
     in
@@ -292,23 +303,25 @@ let rule_prim st ps =
          | _, Unknown -> ())
      | Unknown -> ());
     (* size: present iff any of push/pop/reset present *)
-    let ins = push :: pop :: rest in
-    let any p = List.exists (fun x -> presence st x = p) ins in
+    let any p = Array.exists (fun x -> presence st x = p) ins in
     if any Present then set_presence st size Present
-    else if List.for_all (fun x -> presence st x = Absent) ins then
+    else if Array.for_all (fun x -> presence st x = Absent) ins then
       set_presence st size Absent;
     if presence st size = Present
-       && List.for_all (fun x -> presence st x <> Unknown) ins
+       && Array.for_all (fun x -> presence st x <> Unknown) ins
     then begin
       let n0 = if reset_pres = Present then 0 else Queue.length ps.queue in
-      let n1 = if presence st push = Present then min (n0 + 1) ps.capacity else n0 in
-      let popped =
-        presence st pop = Present && (n1 > 0)
+      let n1 =
+        if presence st push = Present then min (n0 + 1) lp.Prog.lp_capacity
+        else n0
       in
+      let popped = presence st pop = Present && n1 > 0 in
       set_value st size (Types.Vint (if popped then n1 - 1 else n1))
     end
-  | Stdproc.Pin_event_port, [ _arrival; frozen_time ], [ frozen; frozen_count ]
-    -> (
+  | Stdproc.Pin_event_port
+    when Array.length ins = 2 && Array.length outs = 2 -> (
+    let frozen_time = ins.(1) in
+    let frozen = outs.(0) and frozen_count = outs.(1) in
     match presence st frozen_time with
     | Absent ->
       set_presence st frozen Absent;
@@ -324,7 +337,10 @@ let rule_prim st ps =
         set_value st frozen (Queue.peek ps.queue)
       end
     | Unknown -> ())
-  | Stdproc.Pout_event_port, [ item; output_time ], [ sent ] -> (
+  | Stdproc.Pout_event_port
+    when Array.length ins = 2 && Array.length outs = 1 -> (
+    let item = ins.(0) and output_time = ins.(1) in
+    let sent = outs.(0) in
     match presence st output_time with
     | Absent -> set_presence st sent Absent
     | Present ->
@@ -342,61 +358,60 @@ let rule_prim st ps =
         | Absent -> set_presence st sent Absent
         | Unknown -> ())
     | Unknown -> ())
-  | (Stdproc.Pfifo | Stdproc.Pfifo_reset | Stdproc.Pin_event_port
-    | Stdproc.Pout_event_port), _, _ ->
-    errf "primitive instance %s: malformed arity" ki.K.ki_label
+  | Stdproc.Pfifo | Stdproc.Pfifo_reset | Stdproc.Pin_event_port
+  | Stdproc.Pout_event_port ->
+    errf "primitive instance %s: malformed arity" lp.Prog.lp_ki.K.ki_label
 
 (* ------------------------------------------------------------------ *)
 (* Commit phase                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let push_bounded ps v =
-  if Queue.length ps.queue >= ps.capacity then begin
+  if Queue.length ps.queue >= ps.lp.Prog.lp_capacity then begin
     ps.overflows <- ps.overflows + 1;
-    match ps.policy with
-    | Drop_oldest ->
+    match ps.lp.Prog.lp_policy with
+    | Prog.Drop_oldest ->
       ignore (Queue.pop ps.queue);
       Queue.push v ps.queue
-    | Drop_newest -> ()
-    | Overflow_error ->
+    | Prog.Drop_newest -> ()
+    | Prog.Overflow_error ->
       errf "queue overflow on %s (Overflow_Handling_Protocol => Error)"
-        ps.ki.K.ki_label
+        ps.lp.Prog.lp_ki.K.ki_label
   end
   else Queue.push v ps.queue
 
 let commit_prim st ps =
-  let ki = ps.ki in
+  let lp = ps.lp in
+  let ins = lp.Prog.lp_ins in
   let pres x = presence st x = Present in
   let valof x = value_of st x in
-  match ki.K.ki_prim, ki.K.ki_ins with
-  | (Stdproc.Pfifo | Stdproc.Pfifo_reset), push :: pop :: rest ->
-    (match rest with
-     | [ r ] when pres r -> Queue.clear ps.queue
-     | _ -> ());
-    if pres push then (
-      match valof push with
+  match lp.Prog.lp_ki.K.ki_prim with
+  | (Stdproc.Pfifo | Stdproc.Pfifo_reset) when Array.length ins >= 2 ->
+    if Array.length ins = 3 && pres ins.(2) then Queue.clear ps.queue;
+    if pres ins.(0) then (
+      match valof ins.(0) with
       | Some v -> push_bounded ps v
       | None -> ());
-    if pres pop && not (Queue.is_empty ps.queue) then
+    if pres ins.(1) && not (Queue.is_empty ps.queue) then
       ignore (Queue.pop ps.queue)
-  | Stdproc.Pin_event_port, [ arrival; frozen_time ] ->
-    if pres frozen_time then begin
+  | Stdproc.Pin_event_port when Array.length ins = 2 ->
+    if pres ins.(1) then begin
       Queue.clear ps.frozen;
       Queue.transfer ps.queue ps.frozen
     end;
-    if pres arrival then (
-      match valof arrival with
+    if pres ins.(0) then (
+      match valof ins.(0) with
       | Some v -> push_bounded ps v
       | None -> ())
-  | Stdproc.Pout_event_port, [ item; output_time ] ->
-    if pres item then (
-      match valof item with
+  | Stdproc.Pout_event_port when Array.length ins = 2 ->
+    if pres ins.(0) then (
+      match valof ins.(0) with
       | Some v -> push_bounded ps v
       | None -> ());
-    if pres output_time && not (Queue.is_empty ps.queue) then
+    if pres ins.(1) && not (Queue.is_empty ps.queue) then
       ignore (Queue.pop ps.queue)
-  | (Stdproc.Pfifo | Stdproc.Pfifo_reset | Stdproc.Pin_event_port
-    | Stdproc.Pout_event_port), _ ->
+  | Stdproc.Pfifo | Stdproc.Pfifo_reset | Stdproc.Pin_event_port
+  | Stdproc.Pout_event_port ->
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -405,105 +420,165 @@ let commit_prim st ps =
 
 let step st ~stimulus =
   try
-    Hashtbl.reset st.pres;
-    Hashtbl.reset st.vals;
+    let prog = st.prog in
+    let n = prog.Prog.n in
+    Array.fill st.pres 0 (Array.length st.pres) Unknown;
+    Array.fill st.vals 0 (Array.length st.vals) None;
     (* inputs *)
     List.iter
       (fun (x, v) ->
-        if not (List.mem x st.input_names) then
-          errf "stimulus for non-input signal %s" x;
-        set_presence st x Present;
-        set_value st x v)
+        match Prog.index_opt prog x with
+        | Some i when prog.Prog.is_input.(i) ->
+          set_presence st i Present;
+          set_value st i v
+        | Some _ | None -> errf "stimulus for non-input signal %s" x)
       stimulus;
-    List.iter
-      (fun x -> if presence st x = Unknown then set_presence st x Absent)
-      st.input_names;
+    Array.iter
+      (fun i -> if presence st i = Unknown then set_presence st i Absent)
+      prog.Prog.inputs;
     (* fixpoint *)
+    let eqs = prog.Prog.eqs in
+    let constraints = prog.Prog.constraints in
     let rec iterate guard =
       if guard = 0 then errf "fixpoint did not converge";
       st.changed <- false;
-      List.iter
+      Array.iter
         (fun eq ->
           match eq with
-          | K.Kfunc { dst; op; args } -> rule_func st dst op args
-          | K.Kdelay { dst; src; _ } -> rule_delay st dst src
-          | K.Kwhen { dst; src; cond } -> rule_when st dst src cond
-          | K.Kdefault { dst; left; right } -> rule_default st dst left right)
-        st.kp.K.keqs;
-      List.iter (rule_constraint st) st.kp.K.kconstraints;
-      List.iter (rule_prim st) st.prims;
+          | Prog.Lfunc { dst; op; args } -> rule_func st dst op args
+          | Prog.Ldelay { dst; src; _ } -> rule_delay st dst src
+          | Prog.Lwhen { dst; src; cond } -> rule_when st dst src cond
+          | Prog.Ldefault { dst; left; right } ->
+            rule_default st dst left right)
+        eqs;
+      Array.iter (rule_constraint st) constraints;
+      Array.iter (rule_prim st) st.prims;
       if st.changed then iterate (guard - 1)
     in
-    let nsig = List.length (K.signals st.kp) in
-    iterate ((2 * nsig) + 10);
+    iterate ((2 * n) + 10);
     (* Default remaining unknowns to absent, one signal at a time:
        each choice is re-propagated before the next so that a signal
        whose presence follows from an earlier default is computed
-       rather than defaulted (and cannot contradict later rules). *)
+       rather than defaulted (and cannot contradict later rules).
+       Within an instant presence only moves Unknown -> decided, so
+       the first-unknown position is monotone and a cursor keeps the
+       whole defaulting sweep linear. *)
+    let order = st.default_order in
+    let cursor = ref 0 in
+    (* A signal that is already Present but still value-less is waiting
+       on the value of an Unknown-presence operand (e.g. a constant-only
+       function feeding a default).  Those operands must be resolved
+       before any other free choice: their decision lets the cascade
+       COMPUTE downstream presences that a blind sweep would guess — and
+       a wrong guess surfaces as a contradiction once the value arrives.
+       The compiled evaluator makes the same choice (free clock classes
+       are absent, everything else derived). *)
+    let value_blocker () =
+      let best = ref (-1) in
+      let consider = function
+        | Prog.Avar x ->
+          if st.pres.(x) = Unknown
+             && (!best < 0 || st.rank.(x) < st.rank.(!best))
+          then best := x
+        | Prog.Aconst _ -> ()
+      in
+      Array.iter
+        (fun eq ->
+          let dst =
+            match eq with
+            | Prog.Lfunc { dst; _ } | Prog.Ldelay { dst; _ }
+            | Prog.Lwhen { dst; _ } | Prog.Ldefault { dst; _ } -> dst
+          in
+          if st.pres.(dst) = Present && st.vals.(dst) = None then
+            match eq with
+            | Prog.Lfunc { args; _ } -> Array.iter consider args
+            | Prog.Ldelay _ -> ()
+            | Prog.Lwhen { src; cond; _ } ->
+              consider src;
+              consider cond
+            | Prog.Ldefault { left; right; _ } ->
+              consider left;
+              consider right)
+        eqs;
+      if !best < 0 then None else Some !best
+    in
+    let choose x =
+      st.free <- st.free + 1;
+      st.pres.(x) <- Absent;
+      st.changed <- true;
+      iterate ((2 * n) + 10)
+    in
     let rec default_one () =
-      match
-        List.find_opt (fun x -> presence st x = Unknown) st.default_order
-      with
-      | None -> ()
+      match value_blocker () with
       | Some x ->
-        st.free <- st.free + 1;
-        Hashtbl.replace st.pres x Absent;
-        st.changed <- true;
-        iterate ((2 * nsig) + 10);
+        choose x;
         default_one ()
+      | None ->
+        while
+          !cursor < Array.length order
+          && presence st order.(!cursor) <> Unknown
+        do
+          incr cursor
+        done;
+        if !cursor < Array.length order then begin
+          choose order.(!cursor);
+          default_one ()
+        end
     in
     default_one ();
     (* sanity: every present signal needs a value *)
-    let present =
-      List.filter_map
-        (fun vd ->
-          let x = vd.Ast.var_name in
-          if presence st x = Present then
-            match value_of st x with
-            | Some v -> Some (x, v)
-            | None ->
-              errf "instant %d: signal %s present without a value"
-                st.instants x
-          else None)
-        (K.signals st.kp)
-    in
+    let row = ref [] and present = ref [] in
+    for i = n - 1 downto 0 do
+      if st.pres.(i) = Present then
+        match st.vals.(i) with
+        | Some v ->
+          row := (i, v) :: !row;
+          present := (Prog.name prog i, v) :: !present
+        | None ->
+          errf "instant %d: signal %s present without a value" st.instants
+            (Prog.name prog i)
+    done;
     (* commit state *)
-    List.iter
-      (fun eq ->
-        match eq with
-        | K.Kdelay { dst; src; _ } ->
-          if presence st src = Present then (
-            match value_of st src with
-            | Some v -> Hashtbl.replace st.delay_state dst v
-            | None -> ())
-        | K.Kfunc _ | K.Kwhen _ | K.Kdefault _ -> ())
-      st.kp.K.keqs;
-    List.iter (commit_prim st) st.prims;
-    Trace.push st.tr present;
+    let delay_src = prog.Prog.delay_src in
+    for i = 0 to n - 1 do
+      let src = delay_src.(i) in
+      if src >= 0 && st.pres.(src) = Present then
+        match st.vals.(src) with
+        | Some v -> st.delay_state.(i) <- v
+        | None -> ()
+    done;
+    Array.iter (commit_prim st) st.prims;
+    Trace.push_row st.tr (Array.of_list !row);
     st.instants <- st.instants + 1;
-    Ok present
+    Ok !present
   with
   | Sim_error m -> Error m
+  | Prog.Lower_error m -> Error m
   | Eval.Eval_error m ->
     Error (Printf.sprintf "instant %d: %s" st.instants m)
 
 let run kp ~stimuli =
-  let st = create kp in
-  let rec go = function
-    | [] -> Ok st.tr
-    | stim :: rest -> (
-      match step st ~stimulus:stim with
-      | Ok _ -> go rest
-      | Error m -> Error m)
-  in
-  go stimuli
+  match create kp with
+  | exception Prog.Lower_error m -> Error m
+  | st ->
+    let rec go = function
+      | [] -> Ok st.tr
+      | stim :: rest -> (
+        match step st ~stimulus:stim with
+        | Ok _ -> go rest
+        | Error m -> Error m)
+    in
+    go stimuli
 
 let trace st = st.tr
 let instant st = st.instants
 let free_choices st = st.free
 
 let overflow_count st =
-  List.fold_left (fun acc ps -> acc + ps.overflows) 0 st.prims
+  Array.fold_left (fun acc ps -> acc + ps.overflows) 0 st.prims
 
 let fifo_sizes st =
-  List.map (fun ps -> (ps.ki.K.ki_label, Queue.length ps.queue)) st.prims
+  Array.to_list
+    (Array.map
+       (fun ps -> (ps.lp.Prog.lp_ki.K.ki_label, Queue.length ps.queue))
+       st.prims)

@@ -1,0 +1,162 @@
+(* The int-indexed program IR shared by the fixpoint interpreter
+   (Engine) and the clock-directed compiler (Compile).
+
+   One lowering pass resolves every signal name of a kernel process to
+   a dense index (Kernel.sigtab), rewrites equations, constraints and
+   primitive instances over those indices, and derives the per-signal
+   value definitions the compiled evaluator executes. Both evaluators
+   consume this structure, so they cannot diverge on name resolution,
+   primitive arity or queue-policy parsing. *)
+
+module K = Signal_lang.Kernel
+module Ast = Signal_lang.Ast
+module Types = Signal_lang.Types
+module Stdproc = Signal_lang.Stdproc
+
+exception Lower_error of string
+
+let errf fmt = Format.kasprintf (fun m -> raise (Lower_error m)) fmt
+
+type atom =
+  | Avar of int
+  | Aconst of Types.value
+
+type leq =
+  | Lfunc of { dst : int; op : K.prim; args : atom array }
+  | Ldelay of { dst : int; src : int; init : Types.value }
+  | Lwhen of { dst : int; src : atom; cond : atom }
+  | Ldefault of { dst : int; left : atom; right : atom }
+
+type lconstraint =
+  | Leq of int * int
+  | Lle of int * int
+  | Lex of int * int
+
+type overflow_policy = Drop_oldest | Drop_newest | Overflow_error
+
+type lprim = {
+  lp_ki : K.kinstance;
+  lp_ins : int array;
+  lp_outs : int array;
+  lp_capacity : int;
+  lp_policy : overflow_policy;
+}
+
+(* how a signal's value is produced, for the plan-driven evaluator *)
+type vdef =
+  | Vnone                          (* input: value comes from the stimulus *)
+  | Vfunc of K.prim * atom array
+  | Vdelay                         (* read the delay state *)
+  | Vwhen of atom                  (* value of the source when present *)
+  | Vdefault of atom * atom
+  | Vprim of int * int             (* primitive index, output position *)
+
+type t = {
+  kp : K.kprocess;
+  tab : K.sigtab;
+  n : int;
+  names : string array;            (* local idx -> name *)
+  types : Types.styp array;
+  is_input : bool array;
+  inputs : int array;              (* input indices, interface order *)
+  eqs : leq array;
+  constraints : lconstraint array;
+  prims : lprim array;
+  vdefs : vdef array;
+  delay_src : int array;           (* per signal: src idx of its delay, -1 *)
+  delay_init : Types.value array;  (* per delay destination; Vint 0 elsewhere *)
+}
+
+let capacity_of ki =
+  match ki.K.ki_params with
+  | Types.Vint n :: _ when n > 0 -> n
+  | _ -> 16
+
+let policy_of ki =
+  match ki.K.ki_params with
+  | [ _; Types.Vstring s ] -> (
+    match String.lowercase_ascii s with
+    | "dropnewest" -> Drop_newest
+    | "error" -> Overflow_error
+    | _ -> Drop_oldest)
+  | _ -> Drop_oldest
+
+let of_kprocess kp =
+  let tab = K.sigtab kp in
+  let n = K.st_count tab in
+  let index x =
+    match K.st_index_opt tab x with
+    | Some i -> i
+    | None -> errf "undeclared signal %s" x
+  in
+  let names = Array.init n (K.st_name tab) in
+  let types = Array.init n (fun i -> (K.st_decl tab i).Ast.var_type) in
+  let is_input = Array.make n false in
+  List.iter (fun vd -> is_input.(index vd.Ast.var_name) <- true) kp.K.kinputs;
+  let inputs =
+    Array.of_list (List.map (fun vd -> index vd.Ast.var_name) kp.K.kinputs)
+  in
+  let atom = function
+    | K.Avar x -> Avar (index x)
+    | K.Aconst v -> Aconst v
+  in
+  let eqs =
+    Array.of_list
+      (List.map
+         (fun eq ->
+           match eq with
+           | K.Kfunc { dst; op; args } ->
+             Lfunc
+               { dst = index dst; op; args = Array.of_list (List.map atom args) }
+           | K.Kdelay { dst; src; init } ->
+             Ldelay { dst = index dst; src = index src; init }
+           | K.Kwhen { dst; src; cond } ->
+             Lwhen { dst = index dst; src = atom src; cond = atom cond }
+           | K.Kdefault { dst; left; right } ->
+             Ldefault { dst = index dst; left = atom left; right = atom right })
+         kp.K.keqs)
+  in
+  let constraints =
+    Array.of_list
+      (List.map
+         (function
+           | K.Ceq (a, b) -> Leq (index a, index b)
+           | K.Cle (a, b) -> Lle (index a, index b)
+           | K.Cex (a, b) -> Lex (index a, index b))
+         kp.K.kconstraints)
+  in
+  let prims =
+    Array.of_list
+      (List.map
+         (fun ki ->
+           { lp_ki = ki;
+             lp_ins = Array.of_list (List.map index ki.K.ki_ins);
+             lp_outs = Array.of_list (List.map index ki.K.ki_outs);
+             lp_capacity = capacity_of ki;
+             lp_policy = policy_of ki })
+         kp.K.kinstances)
+  in
+  let vdefs = Array.make (max n 1) Vnone in
+  let delay_src = Array.make (max n 1) (-1) in
+  let delay_init = Array.make (max n 1) (Types.Vint 0) in
+  Array.iter
+    (fun eq ->
+      match eq with
+      | Lfunc { dst; op; args } -> vdefs.(dst) <- Vfunc (op, args)
+      | Ldelay { dst; src; init } ->
+        vdefs.(dst) <- Vdelay;
+        delay_src.(dst) <- src;
+        delay_init.(dst) <- init
+      | Lwhen { dst; src; _ } -> vdefs.(dst) <- Vwhen src
+      | Ldefault { dst; left; right } -> vdefs.(dst) <- Vdefault (left, right))
+    eqs;
+  Array.iteri
+    (fun pi p ->
+      Array.iteri (fun pos out -> vdefs.(out) <- Vprim (pi, pos)) p.lp_outs)
+    prims;
+  { kp; tab; n; names; types; is_input; inputs; eqs; constraints; prims;
+    vdefs; delay_src; delay_init }
+
+let index_opt prog x = K.st_index_opt prog.tab x
+let name prog i = prog.names.(i)
+let decls prog = K.signals prog.kp

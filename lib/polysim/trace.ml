@@ -1,59 +1,139 @@
 module Ast = Signal_lang.Ast
 module Types = Signal_lang.Types
+module Symbol = Putil.Symbol
 
 (* Steps live in a growable array so random access is O(1); traces of
-   hundreds of thousands of instants appear in the benches. *)
+   hundreds of thousands of instants appear in the benches.
+
+   Rows are recorded against dense signal indices (declaration order),
+   not names: the simulators push int-indexed rows straight from their
+   per-instant arrays and names are only materialized by the printing
+   and dumping layers. Each row is sorted by index, so point lookups
+   are a binary search over the present signals of that instant. *)
+
+type row = (int * Types.value) array
+
 type t = {
-  decls : Ast.vardecl list;
-  mutable steps : (string, Types.value) Hashtbl.t array;
+  decls : Ast.vardecl array;
+  names : string array;
+  lookup : int Symbol.Tbl.t;        (* symbol -> index, -1 *)
+  mutable steps : row array;
   mutable len : int;
 }
 
-let create decls = { decls; steps = Array.make 16 (Hashtbl.create 0); len = 0 }
+let empty_row : row = [||]
 
-let declarations t = t.decls
+let create decl_list =
+  let decls = Array.of_list decl_list in
+  let names = Array.map (fun vd -> vd.Ast.var_name) decls in
+  let lookup = Symbol.Tbl.create ~size:(Array.length decls) (-1) in
+  Array.iteri
+    (fun i name -> Symbol.Tbl.set lookup (Symbol.of_string name) i)
+    names;
+  { decls; names; lookup; steps = Array.make 16 empty_row; len = 0 }
 
-let push t present =
-  let h = Hashtbl.create (List.length present) in
-  List.iter (fun (x, v) -> Hashtbl.replace h x v) present;
+let declarations t = Array.to_list t.decls
+
+let index_of t x =
+  let i = Symbol.Tbl.get t.lookup (Symbol.of_string x) in
+  if i >= 0 then Some i else None
+
+let name_of t i = t.names.(i)
+
+let push_row t row =
   if t.len >= Array.length t.steps then begin
-    let bigger = Array.make (2 * Array.length t.steps) h in
+    let bigger = Array.make (2 * Array.length t.steps) empty_row in
     Array.blit t.steps 0 bigger 0 t.len;
     t.steps <- bigger
   end;
-  t.steps.(t.len) <- h;
+  t.steps.(t.len) <- row;
   t.len <- t.len + 1
+
+let push t present =
+  (* compat path: resolve names and dedupe (last occurrence wins, as
+     the previous hashtable representation did) *)
+  let n = Array.length t.decls in
+  let tmp = Array.make n None in
+  List.iter
+    (fun (x, v) ->
+      match index_of t x with
+      | Some i -> tmp.(i) <- Some v
+      | None -> ())
+    present;
+  let count =
+    Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 tmp
+  in
+  let row = Array.make count (0, Types.Vint 0) in
+  let k = ref 0 in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some v ->
+        row.(!k) <- (i, v);
+        incr k
+      | None -> ())
+    tmp;
+  push_row t row
 
 let length t = t.len
 
-let step_table t i =
+let row_find (row : row) i =
+  let lo = ref 0 and hi = ref (Array.length row - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let j, v = row.(mid) in
+    if j = i then begin
+      found := Some v;
+      lo := !hi + 1
+    end
+    else if j < i then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let step_row t i =
   if i < 0 || i >= t.len then invalid_arg "Trace.get: instant out of range";
   t.steps.(i)
 
-let get t i x = Hashtbl.find_opt (step_table t i) x
+let get_idx t i x = row_find (step_row t i) x
+
+let get t i x =
+  match index_of t x with
+  | Some xi -> get_idx t i xi
+  | None -> None
 
 let present_count t x =
-  let n = ref 0 in
-  for i = 0 to t.len - 1 do
-    if Hashtbl.mem t.steps.(i) x then incr n
-  done;
-  !n
+  match index_of t x with
+  | None -> 0
+  | Some xi ->
+    let n = ref 0 in
+    for i = 0 to t.len - 1 do
+      if row_find t.steps.(i) xi <> None then incr n
+    done;
+    !n
 
 let values_of t x =
-  let acc = ref [] in
-  for i = t.len - 1 downto 0 do
-    match Hashtbl.find_opt t.steps.(i) x with
-    | Some v -> acc := v :: !acc
-    | None -> ()
-  done;
-  !acc
+  match index_of t x with
+  | None -> []
+  | Some xi ->
+    let acc = ref [] in
+    for i = t.len - 1 downto 0 do
+      match row_find t.steps.(i) xi with
+      | Some v -> acc := v :: !acc
+      | None -> ()
+    done;
+    !acc
 
 let tick_instants t x =
-  let acc = ref [] in
-  for i = t.len - 1 downto 0 do
-    if Hashtbl.mem t.steps.(i) x then acc := i :: !acc
-  done;
-  !acc
+  match index_of t x with
+  | None -> []
+  | Some xi ->
+    let acc = ref [] in
+    for i = t.len - 1 downto 0 do
+      if row_find t.steps.(i) xi <> None then acc := i :: !acc
+    done;
+    !acc
 
 let is_temp name =
   String.length name > 0
@@ -69,7 +149,7 @@ let observable t =
   List.filter_map
     (fun vd ->
       if is_temp vd.Ast.var_name then None else Some vd.Ast.var_name)
-    t.decls
+    (declarations t)
 
 let cell_of_value = function
   | Types.Vevent -> "!"

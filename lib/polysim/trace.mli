@@ -11,7 +11,19 @@ val declarations : t -> Signal_lang.Ast.vardecl list
 val push :
   t -> (Signal_lang.Ast.ident * Signal_lang.Types.value) list -> unit
 (** Append one instant: the association list gives the present signals
-    with their values; every other declared signal is absent. *)
+    with their values; every other declared signal is absent.
+    Undeclared names are ignored. *)
+
+val push_row : t -> (int * Signal_lang.Types.value) array -> unit
+(** Int-indexed fast path used by the simulators: the row lists the
+    present signals by declaration index, {e sorted ascending}, with
+    their values. The array is owned by the trace after the call. *)
+
+val index_of : t -> Signal_lang.Ast.ident -> int option
+(** Declaration index of a signal name. *)
+
+val name_of : t -> int -> Signal_lang.Ast.ident
+(** Name of a declaration index. *)
 
 val length : t -> int
 
@@ -19,6 +31,9 @@ val get :
   t -> int -> Signal_lang.Ast.ident -> Signal_lang.Types.value option
 (** Value at (instant, signal); [None] = absent.
     @raise Invalid_argument if the instant is out of range. *)
+
+val get_idx : t -> int -> int -> Signal_lang.Types.value option
+(** [get] by declaration index instead of name. *)
 
 val present_count : t -> Signal_lang.Ast.ident -> int
 (** Number of instants where the signal is present. *)

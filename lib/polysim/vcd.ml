@@ -75,7 +75,9 @@ let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
         let typ =
           Option.value ~default:Types.Tint (List.assoc_opt name types)
         in
-        (name, code_of_index i, kind_of_type typ))
+        (* resolve the trace index once; per-instant sampling below is
+           then index-based (undeclared signals stay absent) *)
+        (name, code_of_index i, kind_of_type typ, Trace.index_of tr name))
       names
   in
   let buf = Buffer.create 4096 in
@@ -84,7 +86,7 @@ let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
   Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
   Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" module_name);
   List.iter
-    (fun (name, code, kind) ->
+    (fun (name, code, kind, _) ->
       let decl =
         match kind with
         | Kwire1 -> Printf.sprintf "$var wire 1 %s %s $end\n" code (sanitize name)
@@ -99,27 +101,26 @@ let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
   (* initial values: everything absent *)
   Buffer.add_string buf "$dumpvars\n";
-  List.iter (fun (_, code, kind) -> dump_value buf code kind None) entries;
+  List.iter (fun (_, code, kind, _) -> dump_value buf code kind None) entries;
   Buffer.add_string buf "$end\n";
-  let prev : (string, Types.value option) Hashtbl.t = Hashtbl.create 64 in
-  List.iter (fun (name, _, _) -> Hashtbl.replace prev name None) entries;
+  let entries = Array.of_list entries in
+  let prev = Array.make (Array.length entries) None in
   for i = 0 to Trace.length tr - 1 do
-    let changes =
-      List.filter_map
-        (fun (name, code, kind) ->
-          let now = Trace.get tr i name in
-          let before = Hashtbl.find prev name in
-          if now = before then None
-          else begin
-            Hashtbl.replace prev name now;
-            Some (code, kind, now)
-          end)
-        entries
-    in
-    if changes <> [] then begin
-      Buffer.add_string buf (Printf.sprintf "#%d\n" i);
-      List.iter (fun (code, kind, v) -> dump_value buf code kind v) changes
-    end
+    let changed = ref false in
+    Array.iteri
+      (fun k (_, code, kind, xi) ->
+        let now =
+          match xi with Some xi -> Trace.get_idx tr i xi | None -> None
+        in
+        if now <> prev.(k) then begin
+          prev.(k) <- now;
+          if not !changed then begin
+            changed := true;
+            Buffer.add_string buf (Printf.sprintf "#%d\n" i)
+          end;
+          dump_value buf code kind now
+        end)
+      entries
   done;
   Buffer.add_string buf (Printf.sprintf "#%d\n" (Trace.length tr));
   Buffer.contents buf

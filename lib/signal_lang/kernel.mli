@@ -57,6 +57,27 @@ val atom_type :
 val signals : kprocess -> Ast.vardecl list
 (** All signals of the process: inputs, outputs, locals. *)
 
+(** {1 Indexed signal table}
+
+    Dense per-process indexing of the declared signals, in {!signals}
+    order. Names are interned ({!Putil.Symbol}) so lookup is a flat
+    array read; the simulator, the compiler and the clock calculus all
+    key their per-signal state on these indices. *)
+
+type sigtab
+
+val sigtab : kprocess -> sigtab
+
+val st_count : sigtab -> int
+val st_sym : sigtab -> int -> Putil.Symbol.t
+val st_name : sigtab -> int -> Ast.ident
+val st_decl : sigtab -> int -> Ast.vardecl
+val st_index_sym : sigtab -> Putil.Symbol.t -> int option
+val st_index_opt : sigtab -> Ast.ident -> int option
+
+val st_index_exn : sigtab -> Ast.ident -> int
+(** @raise Not_found for undeclared signals. *)
+
 val defined_by : kprocess -> Ast.ident -> keq list
 (** Equations whose destination is the given signal. *)
 

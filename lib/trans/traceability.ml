@@ -1,20 +1,33 @@
+module Symbol = Putil.Symbol
+
+(* Both directions of the mapping are kept as symbol-indexed tables:
+   names are interned once on [add] and the lookups are dense int
+   indexing, not string hashing. The public API stays string-based. *)
 type t = {
-  mutable pairs : (string * string) list;  (* reversed *)
-  by_aadl : (string, string) Hashtbl.t;
-  by_signal : (string, string) Hashtbl.t;
+  mutable pairs : (Symbol.t * Symbol.t) list;  (* reversed *)
+  by_aadl : Symbol.t option Symbol.Tbl.t;
+  by_signal : Symbol.t option Symbol.Tbl.t;
 }
 
 let create () =
-  { pairs = []; by_aadl = Hashtbl.create 64; by_signal = Hashtbl.create 64 }
+  { pairs = [];
+    by_aadl = Symbol.Tbl.create None;
+    by_signal = Symbol.Tbl.create None }
 
 let add t ~aadl ~signal =
-  t.pairs <- (aadl, signal) :: t.pairs;
-  Hashtbl.replace t.by_aadl aadl signal;
-  Hashtbl.replace t.by_signal signal aadl
+  let a = Symbol.of_string aadl and s = Symbol.of_string signal in
+  t.pairs <- (a, s) :: t.pairs;
+  Symbol.Tbl.set t.by_aadl a (Some s);
+  Symbol.Tbl.set t.by_signal s (Some a)
 
-let signal_of t aadl = Hashtbl.find_opt t.by_aadl aadl
-let aadl_of t signal = Hashtbl.find_opt t.by_signal signal
-let entries t = List.rev t.pairs
+let signal_of t aadl =
+  Option.map Symbol.name (Symbol.Tbl.get t.by_aadl (Symbol.of_string aadl))
+
+let aadl_of t signal =
+  Option.map Symbol.name (Symbol.Tbl.get t.by_signal (Symbol.of_string signal))
+
+let entries t =
+  List.rev_map (fun (a, s) -> (Symbol.name a, Symbol.name s)) t.pairs
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

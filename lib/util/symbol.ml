@@ -1,0 +1,69 @@
+(* Hash-consed symbols: every distinct string is interned once and
+   identified by a dense integer id, so symbol equality/hashing is
+   integer equality and symbol-keyed maps can be flat arrays. *)
+
+type t = int
+
+(* The interner is global and append-only: ids are dense and stable
+   for the lifetime of the program, which is what lets per-process
+   tables be plain int arrays. *)
+let strings : string array ref = ref (Array.make 1024 "")
+let count = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+
+let of_string s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !count in
+    if id >= Array.length !strings then begin
+      let bigger = Array.make (2 * Array.length !strings) "" in
+      Array.blit !strings 0 bigger 0 id;
+      strings := bigger
+    end;
+    !strings.(id) <- s;
+    count := id + 1;
+    Hashtbl.add table s id;
+    id
+
+let name t = !strings.(t)
+let id t = t
+let interned_count () = !count
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (t : t) = t
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+(* Symbol-indexed growable arrays: flat int-indexed storage with a
+   default for slots never written (symbols interned after creation
+   included). *)
+module Tbl = struct
+  type sym = t
+
+  type 'a t = {
+    default : 'a;
+    mutable slots : 'a array;
+  }
+
+  let create ?(size = 64) default =
+    { default; slots = Array.make (max size 1) default }
+
+  let ensure t i =
+    if i >= Array.length t.slots then begin
+      let n = ref (2 * Array.length t.slots) in
+      while i >= !n do
+        n := 2 * !n
+      done;
+      let bigger = Array.make !n t.default in
+      Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+      t.slots <- bigger
+    end
+
+  let get t (s : sym) =
+    if s < Array.length t.slots then t.slots.(s) else t.default
+
+  let set t (s : sym) v =
+    ensure t s;
+    t.slots.(s) <- v
+end

@@ -1,0 +1,38 @@
+(** Hash-consed symbols with dense integer ids.
+
+    [of_string] interns a string once for the lifetime of the program;
+    the resulting symbol compares, hashes and prints in O(1) (modulo
+    the interned string's length for printing). Dense ids make
+    symbol-keyed maps flat arrays ({!Tbl}), the representation the
+    simulator and the clock calculus index their signal tables with. *)
+
+type t
+
+val of_string : string -> t
+(** Intern. Two calls with equal strings return the same symbol. *)
+
+val name : t -> string
+(** The interned string. *)
+
+val id : t -> int
+(** The dense id: [0 <= id s < interned_count ()], allocated in
+    interning order. *)
+
+val interned_count : unit -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Symbol-indexed growable arrays. Reads of symbols never written
+    return the creation-time default, including symbols interned after
+    the table was created. *)
+module Tbl : sig
+  type sym := t
+  type 'a t
+
+  val create : ?size:int -> 'a -> 'a t
+  val get : 'a t -> sym -> 'a
+  val set : 'a t -> sym -> 'a -> unit
+end

@@ -95,6 +95,55 @@ let test_case_study_crossval () =
     Alcotest.(check bool) "some relations were actually proved" true
       (!checked > 10)
 
+(* Interpreter/compiler agreement: both evaluators are lowered from
+   the same program IR, so their traces must agree signal-by-signal at
+   every instant on the translated case studies. *)
+let assert_traces_agree what tr_i tr_c =
+  Alcotest.(check int)
+    (what ^ ": trace lengths")
+    (Trace.length tr_i) (Trace.length tr_c);
+  let names = signals_of tr_i in
+  Alcotest.(check int)
+    (what ^ ": declared signals")
+    (List.length names)
+    (List.length (signals_of tr_c));
+  List.iter
+    (fun x ->
+      for i = 0 to Trace.length tr_i - 1 do
+        let vi = Trace.get tr_i i x and vc = Trace.get tr_c i x in
+        if vi <> vc then
+          Alcotest.fail
+            (Printf.sprintf "%s: %s differs at instant %d (%s vs %s)" what x
+               i
+               (match vi with
+                | None -> "absent"
+                | Some v -> Types.value_to_string v)
+               (match vc with
+                | None -> "absent"
+                | Some v -> Types.value_to_string v))
+      done)
+    names
+
+let simulate_both ?registry what source =
+  let a =
+    match Polychrony.Pipeline.analyze ?registry source with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  let run compiled =
+    match Polychrony.Pipeline.simulate ~compiled ~hyperperiods:2 a with
+    | Ok tr -> tr
+    | Error m -> Alcotest.fail (what ^ ": " ^ m)
+  in
+  assert_traces_agree what (run false) (run true)
+
+let test_agreement_producer_consumer () =
+  simulate_both ~registry:Polychrony.Case_study.registry_nominal
+    "ProducerConsumer" Polychrony.Case_study.aadl_source
+
+let test_agreement_flight_controller () =
+  simulate_both "FlightControl" Test_latency.flight_aadl
+
 (* reuse a small clock-safe generator (subset of the compile one) *)
 let gen_program =
   let open QCheck2.Gen in
@@ -154,5 +203,9 @@ let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_calculus_sound_on_trace
 let suite =
   [ ("crossval",
      [ Alcotest.test_case "case study proofs hold" `Quick
-         test_case_study_crossval ]
+         test_case_study_crossval;
+       Alcotest.test_case "engine/compile agree on ProducerConsumer" `Quick
+         test_agreement_producer_consumer;
+       Alcotest.test_case "engine/compile agree on FlightControl" `Quick
+         test_agreement_flight_controller ]
      @ qsuite) ]

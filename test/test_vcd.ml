@@ -82,6 +82,72 @@ let test_roundtrip_case_study () =
       [ "display_pData"; "prProdCons_Queue_size";
         "prProdCons_thProducer_reqQueue_w" ]
 
+(* Write an engine-simulated trace as VCD, read it back, and require
+   presence and value to agree at every instant for every observable
+   signal (events and booleans travel as 1-bit wires). *)
+let test_roundtrip_simulated () =
+  let p =
+    B.proc ~name:"rt"
+      ~inputs:[ Ast.var "x" Types.Tint ]
+      ~outputs:
+        [ Ast.var "acc" Types.Tint; Ast.var "pos" Types.Tbool;
+          Ast.var "tick" Types.Tevent ]
+      ~locals:[ Ast.var "mem" Types.Tint ]
+      B.[ "mem" := delay (v "acc");
+          "acc" := v "mem" + v "x";
+          "pos" := v "acc" > i 2;
+          "tick" := clk (v "x") ]
+  in
+  let kp =
+    match N.process p with
+    | Ok kp -> kp
+    | Error m -> Alcotest.fail m
+  in
+  let stimuli =
+    [ [ ("x", Types.Vint 1) ]; []; [ ("x", Types.Vint 2) ];
+      [ ("x", Types.Vint 3) ]; []; [ ("x", Types.Vint 0) ] ]
+  in
+  let tr =
+    match Polysim.Engine.run kp ~stimuli with
+    | Ok tr -> tr
+    | Error m -> Alcotest.fail m
+  in
+  let dump = Vcd.to_string tr in
+  match R.parse dump with
+  | Error m -> Alcotest.fail m
+  | Ok vcd ->
+    let types =
+      List.map
+        (fun vd -> (vd.Ast.var_name, vd.Ast.var_type))
+        (Trace.declarations tr)
+    in
+    List.iter
+      (fun name ->
+        let typ = List.assoc name types in
+        for t = 0 to Trace.length tr - 1 do
+          let expected =
+            match Trace.get tr t name, typ with
+            | None, _ -> None
+            | Some v, (Types.Tevent | Types.Tbool) ->
+              (* 1-bit wire representation *)
+              let b =
+                match v with
+                | Types.Vevent -> true
+                | Types.Vbool b -> b
+                | Types.Vint n -> n <> 0
+                | Types.Vreal r -> r <> 0.0
+                | Types.Vstring s -> s <> ""
+              in
+              Some (Types.Vbool b)
+            | Some v, _ -> Some v
+          in
+          let got = R.value_at vcd ~name ~time:t in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at instant %d" name t)
+            true (expected = got)
+        done)
+      (Trace.observable tr)
+
 let test_gantt_renders () =
   let tasks =
     List.map
@@ -123,6 +189,8 @@ let suite =
      [ Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
        Alcotest.test_case "roundtrip case study" `Quick
          test_roundtrip_case_study;
+       Alcotest.test_case "roundtrip simulated" `Quick
+         test_roundtrip_simulated;
        Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
        Alcotest.test_case "reader rejects garbage" `Quick
          test_reader_rejects_garbage ]) ]
