@@ -332,6 +332,9 @@ let translate_scaled src =
 open Bechamel
 open Toolkit
 
+(* all (test, ns/run) rows measured in this process, for --json *)
+let all_rows : (string * float) list ref = ref []
+
 let run_benchs name tests =
   section name;
   let ols =
@@ -356,6 +359,7 @@ let run_benchs name tests =
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  all_rows := !all_rows @ rows;
   List.iter
     (fun (test, ns) ->
       if ns >= 1e9 then Format.printf "  %-52s %10.3f  s/run@." test (ns /. 1e9)
@@ -598,11 +602,46 @@ let latency_section () =
     [ ("ProdConsSys.env.pGo", "ProdConsSys.display.pProdAlarm");
       ("ProdConsSys.env.pGo", "ProdConsSys.display.pConsAlarm") ]
 
+(* --json PATH: after the run, write a BENCH_<section>.json-style
+   record: {schema, section, rows: [{name, ns_per_run}], metrics} where
+   [metrics] is the global Putil.Metrics snapshot accumulated by the
+   instrumented libraries during the bench itself. *)
+let write_json ~section:sec path =
+  let module J = Putil.Metrics.Json in
+  let record =
+    J.Obj
+      [ ("schema", J.String "polychrony-bench/v1");
+        ("section", J.String (if sec = "" then "all" else sec));
+        ("timestamp_unix", J.Float (Unix.gettimeofday ()));
+        ( "rows",
+          J.Arr
+            (List.map
+               (fun (name, ns) ->
+                 J.Obj [ ("name", J.String name); ("ns_per_run", J.Float ns) ])
+               !all_rows) );
+        ("metrics", Putil.Metrics.to_json Putil.Metrics.global) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string record);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.bench record written to %s@." path
+
 (* No argument: everything. [quick]: artifacts only. Any other
    argument selects one bench section by name (e.g. [simulate] for a
    CI smoke run of just that timing section). *)
 let () =
-  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  let rec parse_args (sec, json) = function
+    | [] -> (sec, json)
+    | "--json" :: path :: rest -> parse_args (sec, Some path) rest
+    | [ "--json" ] ->
+      prerr_endline "error: --json requires a file argument";
+      exit 2
+    | a :: rest -> parse_args (a, json) rest
+  in
+  let arg, json =
+    parse_args ("", None) (List.tl (Array.to_list Sys.argv))
+  in
   let benches =
     [ ("clock-calculus", bench_clock_calculus);
       ("translate", bench_translate);
@@ -639,4 +678,7 @@ let () =
        bench_affine ();
        bench_ablations ()
      end);
+  (match json with
+   | Some path -> write_json ~section:arg path
+   | None -> ());
   Format.printf "@.done.@."

@@ -63,6 +63,15 @@ let policy_arg =
   Arg.(value & opt string "edf" & info [ "policy" ] ~docv:"POLICY"
          ~doc:"Scheduling policy: edf, rm, fp or fifo.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print the run-metrics report (engine fixpoint iterations, \
+               instants/sec, clock-calculus, translation and scheduling \
+               counters) on stdout after the command.")
+
+let print_stats_if enabled =
+  if enabled then Format.printf "%a@." Polychrony.Pipeline.pp_stats ()
+
 let parse_cmd =
   let run file =
     let src = load_source file in
@@ -104,28 +113,32 @@ let check_cmd =
     Term.(const run $ file_arg $ root_arg)
 
 let translate_cmd =
-  let run file root registry policy =
+  let run file root registry policy stats =
     let a = analyzed file root registry policy in
     Format.printf "%a@." Signal_lang.Pp.pp_program
-      a.Polychrony.Pipeline.translation.Trans.System_trans.program
+      a.Polychrony.Pipeline.translation.Trans.System_trans.program;
+    print_stats_if stats
   in
   Cmd.v (Cmd.info "translate" ~doc:"Emit the generated SIGNAL program")
-    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg)
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ stats_arg)
 
 let schedule_cmd =
-  let run file root registry policy =
+  let run file root registry policy stats =
     let a = analyzed file root registry policy in
     List.iter
       (fun (cpu, s) ->
         Format.printf "processor %s:@.%a@.%a@.%a@." cpu
           Sched.Static_sched.pp_schedule s Sched.Static_sched.pp_gantt s
           Sched.Export.pp_export s)
-      a.Polychrony.Pipeline.translation.Trans.System_trans.schedules
+      a.Polychrony.Pipeline.translation.Trans.System_trans.schedules;
+    print_stats_if stats
   in
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Synthesize the static schedule and its affine clock export")
-    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg)
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ stats_arg)
 
 let analyze_cmd =
   let run file root registry policy =
@@ -153,26 +166,27 @@ let simulate_cmd =
            ~doc:"Use the clock-directed compiled step instead of the \
                  fixpoint interpreter.")
   in
-  let run file root registry policy hyperperiods vcd compiled =
+  let run file root registry policy hyperperiods vcd compiled stats =
     let a = analyzed file root registry policy in
     let tr =
       or_die (Polychrony.Pipeline.simulate ~compiled ~hyperperiods a)
     in
     Format.printf "%a@." (fun ppf tr -> Polysim.Trace.chronogram ppf tr) tr;
-    match vcd with
-    | Some path ->
-      let s = Polychrony.Pipeline.vcd_of_trace a tr in
-      let oc = open_out path in
-      output_string oc s;
-      close_out oc;
-      Format.printf "VCD written to %s@." path
-    | None -> ()
+    (match vcd with
+     | Some path ->
+       let s = Polychrony.Pipeline.vcd_of_trace a tr in
+       let oc = open_out path in
+       output_string oc s;
+       close_out oc;
+       Format.printf "VCD written to %s@." path
+     | None -> ());
+    print_stats_if stats
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the scheduled system and print a chronogram")
     Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
-          $ hyper_arg $ vcd_arg $ compiled_arg)
+          $ hyper_arg $ vcd_arg $ compiled_arg $ stats_arg)
 
 let latency_cmd =
   let src_arg =

@@ -12,6 +12,8 @@ type manager = {
   unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> node *)
   apply_cache : (int * int * int, int) Hashtbl.t;  (* (op, a, b) -> node *)
   not_cache : (int, int) Hashtbl.t;
+  mutable applies : int;     (* apply-cache consultations *)
+  mutable apply_hits : int;  (* ... of which hits *)
 }
 
 let initial_capacity = 1024
@@ -24,7 +26,9 @@ let manager () =
       next = 2;
       unique = Hashtbl.create 1024;
       apply_cache = Hashtbl.create 1024;
-      not_cache = Hashtbl.create 256 }
+      not_cache = Hashtbl.create 256;
+      applies = 0;
+      apply_hits = 0 }
   in
   (* terminals: node 0 = false, node 1 = true; their variable index is
      max_int so every real variable tests before them. *)
@@ -110,8 +114,9 @@ let rec apply m op a b =
     (* commutative ops: normalize the key *)
     let ka, kb = if a <= b then (a, b) else (b, a) in
     let key = (op, ka, kb) in
+    m.applies <- m.applies + 1;
     (match Hashtbl.find_opt m.apply_cache key with
-     | Some r -> r
+     | Some r -> m.apply_hits <- m.apply_hits + 1; r
      | None ->
        let va = m.var_of.(a) and vb = m.var_of.(b) in
        let v = min va vb in
@@ -173,6 +178,8 @@ let any_sat m a =
     Some (List.rev (go a []))
 
 let node_count m = m.next
+
+let apply_stats m = (m.applies, m.apply_hits)
 
 let pp m ~pp_var ppf a =
   if a = 0 then Format.pp_print_string ppf "0"

@@ -60,6 +60,10 @@ val any_sat : manager -> t -> (int * bool) list option
 val node_count : manager -> int
 (** Number of live hash-consed nodes, for benches. *)
 
+val apply_stats : manager -> int * int
+(** [(consultations, hits)] of the binary apply cache since manager
+    creation, for cache-hit-rate metrics. *)
+
 val pp :
   manager -> pp_var:(Format.formatter -> int -> unit) ->
   Format.formatter -> t -> unit

@@ -2,6 +2,15 @@ module K = Signal_lang.Kernel
 module Ast = Signal_lang.Ast
 module Types = Signal_lang.Types
 module Stdproc = Signal_lang.Stdproc
+module Metrics = Putil.Metrics
+
+let m_analyses = Metrics.counter "calculus.analyses"
+let m_uf_finds = Metrics.counter "calculus.uf_finds"
+let m_uf_unions = Metrics.counter "calculus.uf_unions"
+let m_constraints = Metrics.counter "calculus.constraints"
+let m_signals = Metrics.gauge "calculus.signals"
+let m_classes = Metrics.gauge "calculus.classes"
+let m_analyze_ns = Metrics.timer "calculus.analyze_ns"
 
 (* ------------------------------------------------------------------ *)
 (* Union-find over signal indices                                      *)
@@ -12,24 +21,30 @@ module Uf = struct
 
   let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
 
-  let rec find uf i =
+  let rec root uf i =
     let p = uf.parent.(i) in
     if p = i then i
     else begin
-      let r = find uf p in
+      let r = root uf p in
       uf.parent.(i) <- r;
       r
     end
 
+  let find uf i =
+    Metrics.incr m_uf_finds;
+    root uf i
+
   let union uf i j =
     let ri = find uf i and rj = find uf j in
-    if ri <> rj then
+    if ri <> rj then begin
+      Metrics.incr m_uf_unions;
       if uf.rank.(ri) < uf.rank.(rj) then uf.parent.(ri) <- rj
       else if uf.rank.(ri) > uf.rank.(rj) then uf.parent.(rj) <- ri
       else begin
         uf.parent.(rj) <- ri;
         uf.rank.(ri) <- uf.rank.(ri) + 1
       end
+    end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -202,7 +217,7 @@ and resolve_copy ~defmap ?(fuel = 32) x =
 (* Main analysis                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let analyze (kp : K.kprocess) =
+let analyze_impl (kp : K.kprocess) =
   let tab = K.sigtab kp in
   let n = K.st_count tab in
   let names = Array.init n (K.st_name tab) in
@@ -462,6 +477,7 @@ let analyze (kp : K.kprocess) =
   let clock_of_sig x = clocks.(class_of x) in
   List.iter
     (fun c ->
+      Metrics.incr m_constraints;
       match c with
       | K.Ceq _ -> ()
       | K.Cle (a, b) ->
@@ -474,6 +490,13 @@ let analyze (kp : K.kprocess) =
     (kp.K.kconstraints @ !prim_constraints);
   if Bdd.is_zero st.phi then
     st.confl <- "clock constraint system is unsatisfiable" :: st.confl;
+  st
+
+let analyze kp =
+  Metrics.incr m_analyses;
+  let st = Metrics.time m_analyze_ns (fun () -> analyze_impl kp) in
+  Metrics.set m_signals (K.st_count st.tab);
+  Metrics.set m_classes (Array.length st.reprs);
   st
 
 (* ------------------------------------------------------------------ *)

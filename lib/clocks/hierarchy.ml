@@ -11,6 +11,9 @@ type t = {
   root_ids : int list;
 }
 
+let m_depth = Putil.Metrics.gauge "calculus.hierarchy_depth"
+let m_builds = Putil.Metrics.counter "calculus.hierarchy_builds"
+
 (* c1 strictly below c2: c1 ⊆ c2 and not c2 ⊆ c1 (under Φ). *)
 let build calc =
   let mgr = Calculus.manager calc in
@@ -78,6 +81,8 @@ let build calc =
     |> List.filter (fun nd -> nd.parent = None)
     |> List.map (fun nd -> nd.class_id)
   in
+  Putil.Metrics.incr m_builds;
+  Putil.Metrics.set m_depth (Array.fold_left max 0 depth);
   { all; root_ids }
 
 let nodes t = Array.to_list t.all

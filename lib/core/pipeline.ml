@@ -121,9 +121,14 @@ let global_base_us a =
 let global_hyper_us a =
   match a.translation.Trans.System_trans.schedules with
   | [] -> 1
-  | scheds ->
-    Putil.Mathx.lcm_list
-      (List.map (fun (_, s) -> s.Sched.Static_sched.hyperperiod_us) scheds)
+  | scheds -> (
+    match
+      Putil.Mathx.lcm_list
+        (List.map (fun (_, s) -> s.Sched.Static_sched.hyperperiod_us) scheds)
+    with
+    | hp -> hp
+    | exception Putil.Mathx.Overflow m ->
+      invalid_arg ("Pipeline.global_hyper_us: " ^ m))
 
 let base_ticks_per_hyperperiod a = global_hyper_us a / global_base_us a
 
@@ -221,4 +226,12 @@ let pp_summary ppf a =
        (fun e ->
          Format.fprintf ppf "  %s@," (Signal_lang.Typecheck.error_to_string e))
        errs);
+  Format.fprintf ppf "@,== run metrics ==@,%a@," Putil.Metrics.pp
+    Putil.Metrics.global;
   Format.fprintf ppf "@]"
+
+let pp_stats ppf () =
+  Format.fprintf ppf "@[<v>== run metrics ==@,%a@]" Putil.Metrics.pp
+    Putil.Metrics.global
+
+let stats_json () = Putil.Metrics.to_json Putil.Metrics.global

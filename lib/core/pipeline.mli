@@ -62,4 +62,16 @@ val vcd_of_trace :
 
 val pp_summary : Format.formatter -> analyzed -> unit
 (** Compact multi-section report: AADL issues, schedule tables, clock
-    classes, determinism/deadlock verdicts. *)
+    classes, determinism/deadlock verdicts, and the run-metrics
+    section of {!pp_stats}. *)
+
+val pp_stats : Format.formatter -> unit -> unit
+(** Structured run-metrics report from the global {!Putil.Metrics}
+    registry: engine fixpoint iterations, instants simulated and
+    instants/sec, compiled-evaluator and BDD statistics, clock-calculus
+    union-find and constraint counters, translation and scheduling
+    counters — everything instrumented since process start. *)
+
+val stats_json : unit -> Putil.Metrics.Json.t
+(** The same snapshot as {!pp_stats}, as a JSON object keyed by
+    metric name. *)

@@ -4,6 +4,18 @@ module Types = Signal_lang.Types
 module Stdproc = Signal_lang.Stdproc
 module Calc = Clocks.Calculus
 module Bdd = Clocks.Bdd
+module Metrics = Putil.Metrics
+
+let m_compilations = Metrics.counter "compile.compilations"
+let m_compile_ns = Metrics.timer "compile.compile_ns"
+let m_plan_ops = Metrics.gauge "compile.plan_ops"
+let m_bdd_nodes = Metrics.gauge "compile.bdd_nodes"
+let m_bdd_apply_calls = Metrics.gauge "compile.bdd_apply_calls"
+let m_bdd_apply_hit_pct = Metrics.gauge "compile.bdd_apply_hit_pct"
+let m_free_classes = Metrics.gauge "compile.free_classes"
+let m_instants = Metrics.counter "compile.instants"
+let m_step_ns = Metrics.timer "compile.step_ns"
+let m_codegen_bytes = Metrics.gauge "compile.codegen_bytes"
 
 exception Comp_error of string
 
@@ -59,7 +71,7 @@ type t = {
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let compile kp =
+let compile_impl kp =
   try
     let prog = Prog.of_kprocess kp in
     let calc = Calc.analyze kp in
@@ -248,6 +260,22 @@ let compile kp =
   | Prog.Lower_error m -> Error m
   | Invalid_argument m -> Error m
 
+let compile kp =
+  Metrics.incr m_compilations;
+  let r = Metrics.time m_compile_ns (fun () -> compile_impl kp) in
+  (match r with
+   | Ok st ->
+     let mgr = Calc.manager st.calc in
+     Metrics.set m_plan_ops (Array.length st.plan);
+     Metrics.set m_bdd_nodes (Bdd.node_count mgr);
+     let calls, hits = Bdd.apply_stats mgr in
+     Metrics.set m_bdd_apply_calls calls;
+     Metrics.set m_bdd_apply_hit_pct
+       (if calls = 0 then 0 else 100 * hits / calls);
+     Metrics.set m_free_classes st.n_free
+   | Error _ -> ());
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -423,6 +451,7 @@ let commit_prim st p =
       ignore (Queue.pop p.queue)
 
 let step st ~stimulus =
+  Metrics.time m_step_ns @@ fun () ->
   try
     let prog = st.prog in
     let nsignals = prog.Prog.n in
@@ -470,6 +499,7 @@ let step st ~stimulus =
     Array.iter (fun p -> commit_prim st p) st.prims;
     if st.recording then Trace.push_row st.tr (Array.of_list !row);
     st.instants <- st.instants + 1;
+    Metrics.incr m_instants;
     Ok !present
   with
   | Comp_error m -> Error m
@@ -826,5 +856,6 @@ let to_c ?(name = "signal_step") st =
     pf "    printf(\"\\n\");\n";
     pf "  }\n  return 0;\n}\n";
     ignore name;
+    Metrics.set m_codegen_bytes (Buffer.length buf);
     Ok (Buffer.contents buf)
   end

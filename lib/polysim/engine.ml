@@ -1,6 +1,12 @@
 module K = Signal_lang.Kernel
 module Types = Signal_lang.Types
 module Stdproc = Signal_lang.Stdproc
+module Metrics = Putil.Metrics
+
+let m_instants = Metrics.counter "engine.instants"
+let m_fixpoint_iters = Metrics.counter "engine.fixpoint_iters"
+let m_defaults = Metrics.counter "engine.defaults"
+let m_step_ns = Metrics.timer "engine.step_ns"
 
 exception Sim_error of string
 
@@ -419,6 +425,7 @@ let commit_prim st ps =
 (* ------------------------------------------------------------------ *)
 
 let step st ~stimulus =
+  Metrics.time m_step_ns @@ fun () ->
   try
     let prog = st.prog in
     let n = prog.Prog.n in
@@ -441,6 +448,7 @@ let step st ~stimulus =
     let constraints = prog.Prog.constraints in
     let rec iterate guard =
       if guard = 0 then errf "fixpoint did not converge";
+      Metrics.incr m_fixpoint_iters;
       st.changed <- false;
       Array.iter
         (fun eq ->
@@ -503,6 +511,7 @@ let step st ~stimulus =
       if !best < 0 then None else Some !best
     in
     let choose x =
+      Metrics.incr m_defaults;
       st.free <- st.free + 1;
       st.pres.(x) <- Absent;
       st.changed <- true;
@@ -550,6 +559,7 @@ let step st ~stimulus =
     Array.iter (commit_prim st) st.prims;
     Trace.push_row st.tr (Array.of_list !row);
     st.instants <- st.instants + 1;
+    Metrics.incr m_instants;
     Ok !present
   with
   | Sim_error m -> Error m

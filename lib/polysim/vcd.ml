@@ -33,6 +33,24 @@ let bits32 n =
     Buffer.contents buf
   end
 
+(* String values travel on a space-delimited line ([sVALUE code]), so
+   whitespace, '%' and control characters are percent-encoded; the
+   literal value "x" is encoded too, else it would collide with the
+   absent marker [sx]. [Vcd_reader] reverses this. *)
+let escape_string s =
+  if s = "x" then "%78"
+  else begin
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        let n = Char.code c in
+        if c = '%' || c = ' ' || n < 0x21 || n = 0x7F then
+          Buffer.add_string buf (Printf.sprintf "%%%02X" n)
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
 let dump_value buf code kind v =
   match kind, v with
   | Kwire1, Some value ->
@@ -51,16 +69,42 @@ let dump_value buf code kind v =
   | Kvec32, Some _ -> Buffer.add_string buf (Printf.sprintf "bx %s\n" code)
   | Kvec32, None -> Buffer.add_string buf (Printf.sprintf "bx %s\n" code)
   | Kreal, Some (Types.Vreal r) ->
-    Buffer.add_string buf (Printf.sprintf "r%.16g %s\n" r code)
+    Buffer.add_string buf (Printf.sprintf "r%.17g %s\n" r code)
   | Kreal, (Some _ | None) ->
-    Buffer.add_string buf (Printf.sprintf "r0 %s\n" code)
+    (* explicit absent marker — [r0] would be indistinguishable from a
+       present 0.0 *)
+    Buffer.add_string buf (Printf.sprintf "rx %s\n" code)
   | Kstring, Some (Types.Vstring s) ->
-    Buffer.add_string buf (Printf.sprintf "s%s %s\n" s code)
+    Buffer.add_string buf (Printf.sprintf "s%s %s\n" (escape_string s) code)
   | Kstring, (Some _ | None) ->
     Buffer.add_string buf (Printf.sprintf "sx %s\n" code)
 
 let sanitize name =
   String.map (fun c -> if c = ' ' || c = '.' then '_' else c) name
+
+(* distinct trace names can sanitize to the same identifier ("a.b" and
+   "a b" both become "a_b"); suffix later arrivals so every $var keeps
+   a distinct declared name *)
+let uniquify names =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun n ->
+      match Hashtbl.find_opt seen n with
+      | None ->
+        Hashtbl.replace seen n 1;
+        n
+      | Some k ->
+        let rec fresh k =
+          let cand = Printf.sprintf "%s__%d" n (k + 1) in
+          if Hashtbl.mem seen cand then fresh (k + 1)
+          else begin
+            Hashtbl.replace seen n (k + 1);
+            Hashtbl.replace seen cand 1;
+            cand
+          end
+        in
+        fresh k)
+    names
 
 let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
   let names = match signals with Some l -> l | None -> Trace.observable tr in
@@ -69,16 +113,17 @@ let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
       (fun vd -> (vd.Ast.var_name, vd.Ast.var_type))
       (Trace.declarations tr)
   in
+  let ids = uniquify (List.map sanitize names) in
   let entries =
     List.mapi
-      (fun i name ->
+      (fun i (name, id) ->
         let typ =
           Option.value ~default:Types.Tint (List.assoc_opt name types)
         in
         (* resolve the trace index once; per-instant sampling below is
            then index-based (undeclared signals stay absent) *)
-        (name, code_of_index i, kind_of_type typ, Trace.index_of tr name))
-      names
+        (id, code_of_index i, kind_of_type typ, Trace.index_of tr name))
+      (List.combine names ids)
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "$date\n  polychrony-aadl simulation\n$end\n";
@@ -86,15 +131,15 @@ let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
   Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
   Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" module_name);
   List.iter
-    (fun (name, code, kind, _) ->
+    (fun (id, code, kind, _) ->
       let decl =
         match kind with
-        | Kwire1 -> Printf.sprintf "$var wire 1 %s %s $end\n" code (sanitize name)
+        | Kwire1 -> Printf.sprintf "$var wire 1 %s %s $end\n" code id
         | Kvec32 ->
-          Printf.sprintf "$var wire 32 %s %s [31:0] $end\n" code (sanitize name)
-        | Kreal -> Printf.sprintf "$var real 64 %s %s $end\n" code (sanitize name)
+          Printf.sprintf "$var wire 32 %s %s [31:0] $end\n" code id
+        | Kreal -> Printf.sprintf "$var real 64 %s %s $end\n" code id
         | Kstring ->
-          Printf.sprintf "$var string 1 %s %s $end\n" code (sanitize name)
+          Printf.sprintf "$var string 1 %s %s $end\n" code id
       in
       Buffer.add_string buf decl)
     entries;

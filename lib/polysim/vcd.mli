@@ -4,8 +4,15 @@
     Signals are rendered as VCD wires: events and booleans as 1-bit
     wires (an event pulses to 1 for its instant), integers as 32-bit
     vectors, reals as [real] variables. Absence is encoded as [x]
-    (unknown) on the wire, which makes present/absent visually distinct
-    in any VCD viewer. One logical instant = one timescale unit. *)
+    (unknown) on the wire — [rx] for reals, [sx] for strings — which
+    makes present/absent visually distinct in any VCD viewer. One
+    logical instant = one timescale unit.
+
+    String values are percent-encoded (whitespace, ['%'], control
+    characters, and the literal value ["x"]) so arbitrary strings
+    survive the space-delimited change format; {!Vcd_reader} decodes
+    them. Declared names are sanitized for VCD identifiers and
+    uniquified ([name__2], …) when two signals sanitize alike. *)
 
 val to_string :
   ?signals:Signal_lang.Ast.ident list ->

@@ -12,6 +12,35 @@ type t = {
   changes : change list;
 }
 
+(* reverse of Vcd.escape_string: %HH percent-decoding *)
+let unescape_string s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then (
+        match (hex s.[i + 1], hex s.[i + 2]) with
+        | Some h, Some l ->
+          Buffer.add_char buf (Char.chr ((h * 16) + l));
+          go (i + 3)
+        | _ ->
+          Buffer.add_char buf s.[i];
+          go (i + 1))
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
 let parse src =
   let lines = String.split_on_char '\n' src in
   let timescale = ref "" in
@@ -86,11 +115,19 @@ let parse src =
         | Some i ->
           let num = String.sub line 1 (i - 1) in
           let code = String.sub line (i + 1) (String.length line - i - 1) in
+          (* [rx] is the writer's explicit absent marker; anything else
+             must parse as a float *)
+          let value =
+            if num = "x" || num = "X" then None
+            else
+              match float_of_string_opt num with
+              | Some r -> Some (Types.Vreal r)
+              | None ->
+                fail ("malformed real change: " ^ line);
+                None
+          in
           changes :=
-            { c_time = !time; c_code = code;
-              c_value =
-                Option.map (fun r -> Types.Vreal r) (float_of_string_opt num) }
-            :: !changes
+            { c_time = !time; c_code = code; c_value = value } :: !changes
         | None -> fail ("malformed real change: " ^ line))
       else if line.[0] = 's' then (
         match String.index_opt line ' ' with
@@ -99,7 +136,9 @@ let parse src =
           let code = String.sub line (i + 1) (String.length line - i - 1) in
           changes :=
             { c_time = !time; c_code = code;
-              c_value = (if sv = "x" then None else Some (Types.Vstring sv)) }
+              c_value =
+                (if sv = "x" then None
+                 else Some (Types.Vstring (unescape_string sv))) }
             :: !changes
         | None -> fail ("malformed string change: " ^ line))
       else begin

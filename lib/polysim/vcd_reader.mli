@@ -1,7 +1,9 @@
 (** Minimal VCD reader, used to self-validate {!Vcd} output: the trace
     written as VCD and read back must contain the same value changes.
     Handles the subset {!Vcd} emits (scalar wires, 32-bit vectors,
-    reals, strings; [x] as absence). *)
+    reals, strings; [x] / [bx] / [rx] / [sx] as absence). String values
+    are percent-decoded, reversing the writer's escaping, so strings
+    with whitespace round-trip unchanged. *)
 
 type change = {
   c_time : int;

@@ -1,3 +1,11 @@
+module Metrics = Putil.Metrics
+
+let m_syntheses = Metrics.counter "sched.syntheses"
+let m_jobs_placed = Metrics.counter "sched.jobs_placed"
+let m_idle_advances = Metrics.counter "sched.idle_advances"
+let m_infeasible = Metrics.counter "sched.infeasible"
+let m_synthesize_ns = Metrics.timer "sched.synthesize_ns"
+
 type policy =
   | Edf
   | Rm
@@ -64,6 +72,8 @@ let compare_by policy a b =
 
 let synthesize ?(policy = Edf) tasks =
   if tasks = [] then invalid_arg "Static_sched.synthesize: no tasks";
+  Metrics.incr m_syntheses;
+  Metrics.time m_synthesize_ns @@ fun () ->
   let hyper = Task.hyperperiod_us tasks in
   (* all jobs of the hyper-period *)
   let all_pending =
@@ -90,6 +100,7 @@ let synthesize ?(policy = Edf) tasks =
         let next =
           List.fold_left (fun acc p -> min acc p.p_dispatch) max_int future
         in
+        Metrics.incr m_idle_advances;
         time := next
       | _ ->
         let chosen = List.sort (compare_by policy) ready |> List.hd in
@@ -115,6 +126,7 @@ let synthesize ?(policy = Edf) tasks =
             complete_us = complete;
             deadline_abs_us = chosen.p_deadline }
           :: !scheduled;
+        Metrics.incr m_jobs_placed;
         time := complete;
         remaining :=
           List.filter
@@ -137,7 +149,9 @@ let synthesize ?(policy = Edf) tasks =
     in
     let base = if base = 0 then 1 else base in
     Ok { s_policy = policy; hyperperiod_us = hyper; base_us = base; jobs }
-  with Infeasible f -> Error f
+  with Infeasible f ->
+    Metrics.incr m_infeasible;
+    Error f
 
 let validate s =
   let problems = ref [] in

@@ -23,7 +23,14 @@ let utilization tasks =
     0.0 tasks
 
 let hyperperiod_us tasks =
-  Putil.Mathx.lcm_list (List.map (fun t -> t.period_us) tasks)
+  match Putil.Mathx.lcm_list (List.map (fun t -> t.period_us) tasks) with
+  | hp -> hp
+  | exception Putil.Mathx.Overflow _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Task.hyperperiod_us: lcm of periods {%s} overflows native int"
+           (String.concat ", "
+              (List.map (fun t -> string_of_int t.period_us) tasks)))
 
 let job_count t ~hyperperiod_us =
   if t.offset_us >= hyperperiod_us then 0

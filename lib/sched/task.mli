@@ -23,7 +23,9 @@ val utilization : t list -> float
 
 val hyperperiod_us : t list -> int
 (** lcm of the periods (the paper's "least common multiple
-    principle"); 1 for the empty set. *)
+    principle"); 1 for the empty set.
+    @raise Invalid_argument when the lcm overflows the native [int]
+    range — a wrapped hyper-period would validate a wrong schedule. *)
 
 val job_count : t -> hyperperiod_us:int -> int
 (** Jobs of this task released strictly inside one hyper-period. *)

@@ -33,8 +33,6 @@ let default e1 e2 = Edefault (e1, e2)
 let clk e = Eclock e
 let on cond = Ewhen (cond, cond)
 
-let count () = failwith "Builder.count: use Stdproc.counter"
-
 let ( := ) x e = Sdef (x, e)
 let ( =:: ) x e = Spartial (x, e)
 let ( ^= ) e1 e2 = Sclk_eq (e1, e2)

@@ -55,9 +55,7 @@ val clk : expr -> expr
 val on : expr -> expr
 (** [on cond] is the event clock [when cond], i.e. [cond when cond]. *)
 
-val count : unit -> expr
-(** Not a kernel operator; see {!Stdproc.counter} instead.
-    @raise Failure always — documents the absence. *)
+(** Counting is not a kernel operator; see {!Stdproc.counter}. *)
 
 (** {1 Statements} *)
 

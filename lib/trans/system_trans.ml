@@ -20,6 +20,32 @@ exception Trans_error of string
 
 let errf fmt = Format.kasprintf (fun m -> raise (Trans_error m)) fmt
 
+module Metrics = Putil.Metrics
+
+let m_translations = Metrics.counter "trans.translations"
+let m_processes = Metrics.counter "trans.processes"
+let m_equations = Metrics.counter "trans.equations"
+let m_fifos = Metrics.counter "trans.fifos"
+let m_translate_ns = Metrics.timer "trans.translate_ns"
+
+let record_output_metrics (program : Ast.program) =
+  let is_fifo = function
+    | Ast.Sinstance i ->
+      (match Signal_lang.Stdproc.primitive_of_name i.Ast.inst_proc with
+       | Some _ -> true
+       | None -> false)
+    | _ -> false
+  in
+  let rec count_proc (p : Ast.process) =
+    Metrics.incr m_processes;
+    Metrics.incr ~by:(List.length p.Ast.body) m_equations;
+    Metrics.incr
+      ~by:(List.length (List.filter is_fifo p.Ast.body))
+      m_fifos;
+    List.iter count_proc p.Ast.subprocesses
+  in
+  List.iter count_proc program.Ast.processes
+
 let sanitize path = String.map (fun c -> if c = '.' then '_' else c) path
 
 (* local name of an instance: path without the root component *)
@@ -87,6 +113,8 @@ let is_thread_path t path =
   | None -> false
 
 let translate ?(registry = []) ?(policy = S.Edf) t =
+  Metrics.incr m_translations;
+  Metrics.time m_translate_ns @@ fun () ->
   try
     let trace = Traceability.create () in
     let root_path = t.Inst.root.Inst.i_path in
@@ -549,6 +577,7 @@ let translate ?(registry = []) ?(policy = S.Edf) t =
          @ List.map snd sched_models
          @ [ top ])
     in
+    record_output_metrics program;
     Ok
       { program; top;
         schedules;

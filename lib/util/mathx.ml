@@ -1,8 +1,29 @@
+exception Overflow of string
+
 let rec gcd a b =
   let a = abs a and b = abs b in
   if b = 0 then a else gcd b (a mod b)
 
-let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+(* [abs min_int] is still negative: reject it up front so the checked
+   multiply below only ever sees non-negative operands. *)
+let checked_abs ctx a =
+  if a = min_int then raise (Overflow (ctx ^ ": operand is min_int"))
+  else abs a
+
+let mul_ovf a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then
+      raise
+        (Overflow (Printf.sprintf "lcm: %d * %d exceeds native int range" a b))
+    else p
+
+let lcm a b =
+  if a = 0 || b = 0 then 0
+  else
+    let a = checked_abs "lcm" a and b = checked_abs "lcm" b in
+    mul_ovf (a / gcd a b) b
 
 let lcm_list = List.fold_left lcm 1
 

@@ -1,14 +1,22 @@
 (** Small integer-arithmetic helpers shared by the affine clock calculus
     and the scheduler. All functions operate on OCaml [int]. *)
 
+exception Overflow of string
+(** Raised by {!lcm}/{!lcm_list} when the mathematical result does not
+    fit a native [int]. A silently wrapped lcm would fabricate a
+    wrong-but-plausible hyper-period, so overflow fails loudly. *)
+
 val gcd : int -> int -> int
 (** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
 
 val lcm : int -> int -> int
-(** [lcm a b] is the non-negative least common multiple; [lcm x 0 = 0]. *)
+(** [lcm a b] is the non-negative least common multiple; [lcm x 0 = 0].
+    Raises {!Overflow} when the result (or [abs] of a [min_int]
+    operand) exceeds the native [int] range. *)
 
 val lcm_list : int list -> int
-(** Least common multiple of a list; [lcm_list [] = 1]. *)
+(** Least common multiple of a list; [lcm_list [] = 1]. Raises
+    {!Overflow} as {!lcm} does. *)
 
 val gcd_list : int list -> int
 (** Greatest common divisor of a list; [gcd_list [] = 0]. *)

@@ -1,0 +1,271 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+type timer = { mutable spans : int; mutable total_ns : int }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  buckets : int array; (* index i counts values v with 2^(i-1) <= |v| < 2^i *)
+}
+
+type instrument =
+  | Icounter of counter
+  | Igauge of gauge
+  | Itimer of timer
+  | Ihist of histogram
+
+type registry = (string, instrument) Hashtbl.t
+
+let create () : registry = Hashtbl.create 64
+let global : registry = create ()
+
+let kind_name = function
+  | Icounter _ -> "counter"
+  | Igauge _ -> "gauge"
+  | Itimer _ -> "timer"
+  | Ihist _ -> "histogram"
+
+let get_or_create (reg : registry) name make expect =
+  match Hashtbl.find_opt reg name with
+  | Some i -> (
+      match expect i with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics.%s: %S already registered as a %s"
+               (kind_name (make ())) name (kind_name i)))
+  | None ->
+      let i = make () in
+      Hashtbl.replace reg name i;
+      (match expect i with Some x -> x | None -> assert false)
+
+let counter ?(registry = global) name =
+  get_or_create registry name
+    (fun () -> Icounter { c = 0 })
+    (function Icounter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = c.c <- c.c + by
+
+let gauge ?(registry = global) name =
+  get_or_create registry name
+    (fun () -> Igauge { g = 0 })
+    (function Igauge g -> Some g | _ -> None)
+
+let set g v = g.g <- v
+let max_gauge g v = if v > g.g then g.g <- v
+
+let timer ?(registry = global) name =
+  get_or_create registry name
+    (fun () -> Itimer { spans = 0; total_ns = 0 })
+    (function Itimer t -> Some t | _ -> None)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let add_span_ns t ns =
+  t.spans <- t.spans + 1;
+  t.total_ns <- t.total_ns + max 0 ns
+
+let time t f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_span_ns t (now_ns () - t0)) f
+
+let histogram ?(registry = global) name =
+  get_or_create registry name
+    (fun () ->
+      Ihist { n = 0; sum = 0.; mn = infinity; mx = neg_infinity;
+              buckets = Array.make 64 0 })
+    (function Ihist h -> Some h | _ -> None)
+
+let bucket_of v =
+  let v = Float.abs v in
+  if not (Float.is_finite v) || v < 1. then 0
+  else min 63 (1 + int_of_float (Float.log2 v))
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.mn then h.mn <- v;
+  if v > h.mx then h.mx <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+type stat =
+  | Counter of int
+  | Gauge of int
+  | Timer of { spans : int; total_ns : int }
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+let stat_of = function
+  | Icounter c -> Counter c.c
+  | Igauge g -> Gauge g.g
+  | Itimer t -> Timer { spans = t.spans; total_ns = t.total_ns }
+  | Ihist h -> Histogram { count = h.n; sum = h.sum; min = h.mn; max = h.mx }
+
+let snapshot reg =
+  Hashtbl.fold (fun name i acc -> (name, stat_of i) :: acc) reg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find reg name = Option.map stat_of (Hashtbl.find_opt reg name)
+
+let counter_value reg name =
+  match find reg name with
+  | Some (Counter n) | Some (Gauge n) -> n
+  | _ -> 0
+
+let reset reg =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Icounter c -> c.c <- 0
+      | Igauge g -> g.g <- 0
+      | Itimer t ->
+          t.spans <- 0;
+          t.total_ns <- 0
+      | Ihist h ->
+          h.n <- 0;
+          h.sum <- 0.;
+          h.mn <- infinity;
+          h.mx <- neg_infinity;
+          Array.fill h.buckets 0 (Array.length h.buckets) 0)
+    reg
+
+let prefix_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if f < 1e3 then Format.fprintf ppf "%d ns" ns
+  else if f < 1e6 then Format.fprintf ppf "%.1f us" (f /. 1e3)
+  else if f < 1e9 then Format.fprintf ppf "%.1f ms" (f /. 1e6)
+  else Format.fprintf ppf "%.2f s" (f /. 1e9)
+
+let pp_stat ppf = function
+  | Counter n -> Format.fprintf ppf "%d" n
+  | Gauge n -> Format.fprintf ppf "%d" n
+  | Timer { spans; total_ns } ->
+      if spans = 0 then Format.fprintf ppf "0 spans"
+      else begin
+        Format.fprintf ppf "%d spans, %a total, %a/span" spans pp_ns total_ns
+          pp_ns (total_ns / spans);
+        if total_ns > 0 then
+          Format.fprintf ppf ", %.0f/s"
+            (float_of_int spans /. (float_of_int total_ns /. 1e9))
+      end
+  | Histogram { count; sum; min; max } ->
+      if count = 0 then Format.fprintf ppf "0 observations"
+      else
+        Format.fprintf ppf "n=%d sum=%g mean=%g min=%g max=%g" count sum
+          (sum /. float_of_int count)
+          min max
+
+let pp ppf reg =
+  let stats = snapshot reg in
+  if stats = [] then Format.fprintf ppf "(no metrics recorded)@."
+  else begin
+    let last_prefix = ref "" in
+    List.iter
+      (fun (name, st) ->
+        let p = prefix_of name in
+        if p <> !last_prefix then begin
+          if !last_prefix <> "" then Format.fprintf ppf "@,";
+          Format.fprintf ppf "[%s]@," p;
+          last_prefix := p
+        end;
+        Format.fprintf ppf "  %-32s %a@," name pp_stat st)
+      stats
+  end
+
+let pp ppf reg = Format.fprintf ppf "@[<v>%a@]" pp reg
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else Buffer.add_string buf "null"
+    | String s -> escape_string buf s
+    | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+end
+
+let json_of_stat = function
+  | Counter n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge n -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Int n) ]
+  | Timer { spans; total_ns } ->
+      let extra =
+        if spans = 0 then []
+        else
+          [ ("mean_ns", Json.Int (total_ns / spans));
+            ( "rate_per_s",
+              if total_ns = 0 then Json.Null
+              else
+                Json.Float
+                  (float_of_int spans /. (float_of_int total_ns /. 1e9)) ) ]
+      in
+      Json.Obj
+        ([ ("type", Json.String "timer");
+           ("spans", Json.Int spans);
+           ("total_ns", Json.Int total_ns) ]
+        @ extra)
+  | Histogram { count; sum; min; max } ->
+      Json.Obj
+        [ ("type", Json.String "histogram");
+          ("count", Json.Int count);
+          ("sum", Json.Float sum);
+          ("min", if count = 0 then Json.Null else Json.Float min);
+          ("max", if count = 0 then Json.Null else Json.Float max) ]
+
+let to_json reg =
+  Json.Obj (List.map (fun (name, st) -> (name, json_of_stat st)) (snapshot reg))

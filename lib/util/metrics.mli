@@ -1,0 +1,111 @@
+(** Zero-dependency run metrics: monotonic counters, gauges, span
+    timers and simple log-scale histograms, grouped in registries.
+
+    Every instrument is identified by a dotted name ([engine.instants],
+    [compile.bdd_nodes], ...); the prefix before the first dot is the
+    subsystem and groups lines in the printed report. Instruments are
+    created on first use and accumulate for the lifetime of the
+    registry; [reset] zeroes them without forgetting their names.
+
+    The default [global] registry is what the instrumented libraries
+    (engine, compile, calculus, trans, sched) write into; fresh
+    registries are for tests and for callers that need isolation.
+
+    Overhead is a field mutation per event and two [Unix.gettimeofday]
+    calls per timed span — safe to leave enabled in benches. *)
+
+type registry
+
+val global : registry
+(** Shared registry used by the instrumented libraries. *)
+
+val create : unit -> registry
+(** A fresh, empty registry, independent of {!global}. *)
+
+(** {1 Instruments}
+
+    The [?registry] argument defaults to {!global}. Looking up a name
+    that already exists with a different instrument kind raises
+    [Invalid_argument]. *)
+
+type counter
+type gauge
+type timer
+type histogram
+
+val counter : ?registry:registry -> string -> counter
+(** Get or create the monotonic counter [name]. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to a counter. *)
+
+val gauge : ?registry:registry -> string -> gauge
+(** Get or create the gauge [name] (a last-write-wins level). *)
+
+val set : gauge -> int -> unit
+
+val max_gauge : gauge -> int -> unit
+(** [max_gauge g v] sets [g] to [max v (current value)]. *)
+
+val timer : ?registry:registry -> string -> timer
+(** Get or create the span timer [name]: accumulates a span count and
+    total elapsed nanoseconds, from which the report derives mean span
+    duration and spans/second. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk as one span; the span is recorded even if the thunk
+    raises. *)
+
+val add_span_ns : timer -> int -> unit
+(** Record one span of a given duration directly. *)
+
+val histogram : ?registry:registry -> string -> histogram
+(** Get or create the histogram [name]: tracks count, sum, min, max and
+    coarse base-2 magnitude buckets of observed values. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Reading} *)
+
+type stat =
+  | Counter of int
+  | Gauge of int
+  | Timer of { spans : int; total_ns : int }
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+val snapshot : registry -> (string * stat) list
+(** All instruments, sorted by name. *)
+
+val find : registry -> string -> stat option
+
+val counter_value : registry -> string -> int
+(** Current value of counter (or gauge) [name]; 0 when absent. *)
+
+val reset : registry -> unit
+(** Zero every instrument, keeping the instrument set. *)
+
+val pp : Format.formatter -> registry -> unit
+(** Structured text report, one section per dotted-name prefix. Timers
+    render count, total, mean and rate (e.g. instants/sec). *)
+
+(** {1 JSON} *)
+
+(** Minimal JSON tree + serializer, so metric snapshots and bench
+    records can be emitted without external dependencies. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact, RFC 8259-conformant rendering (strings escaped;
+      non-finite floats serialized as [null]). *)
+end
+
+val to_json : registry -> Json.t
+(** Snapshot as a JSON object keyed by instrument name. *)

@@ -11,6 +11,32 @@ module Trace = Polysim.Trace
 
 let have_cc = Sys.command "which cc > /dev/null 2> /dev/null" = 0
 
+(* atomic mkdtemp: create the directory directly (retrying on EEXIST)
+   instead of the temp_file/remove/mkdir dance, which leaves a window
+   where another process can claim the path *)
+let make_temp_dir prefix =
+  let rng = lazy (Random.State.make_self_init ()) in
+  let rec go tries =
+    let cand =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "%s%06x" prefix
+           (Random.State.int (Lazy.force rng) 0x1000000))
+    in
+    match Unix.mkdir cand 0o700 with
+    | () -> cand
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when tries > 0 ->
+      go (tries - 1)
+  in
+  go 100
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
 let write_file path s =
   let oc = open_out path in
   output_string oc s;
@@ -75,22 +101,29 @@ let differential ?(label = "prog") kp stimuli =
     | Ok s -> s
     | Error m -> Alcotest.fail ("to_c: " ^ m)
   in
-  let dir = Filename.temp_file ("cg_" ^ label) "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
+  let dir = make_temp_dir ("cg_" ^ label) in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let c_path = Filename.concat dir "gen.c" in
   let exe = Filename.concat dir "gen.exe" in
   let in_path = Filename.concat dir "stim.txt" in
   let out_path = Filename.concat dir "out.txt" in
+  let cc_log = Filename.concat dir "cc.log" in
   write_file c_path csrc;
-  let rc = Sys.command (Printf.sprintf "cc -O1 -o %s %s 2> %s/cc.log" exe c_path dir) in
+  let rc =
+    Sys.command
+      (Printf.sprintf "cc -O1 -o %s %s 2> %s" (Filename.quote exe)
+         (Filename.quote c_path) (Filename.quote cc_log))
+  in
   if rc <> 0 then
-    Alcotest.fail
-      ("cc failed:\n" ^ String.concat "\n" (read_lines (dir ^ "/cc.log")));
+    Alcotest.fail ("cc failed:\n" ^ String.concat "\n" (read_lines cc_log));
   write_file in_path
     (String.concat "\n" (List.map (stim_line kp.Signal_lang.Kernel.kinputs) stimuli)
      ^ "\n");
-  let rc = Sys.command (Printf.sprintf "%s < %s > %s" exe in_path out_path) in
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s < %s > %s" (Filename.quote exe)
+         (Filename.quote in_path) (Filename.quote out_path))
+  in
   Alcotest.(check int) "C program exit code" 0 rc;
   let c_lines = read_lines out_path in
   (* reference run *)

@@ -21,6 +21,33 @@ let test_lcm () =
   check "lcm_list empty" 1 (M.lcm_list []);
   check "gcd_list" 4 (M.gcd_list [ 8; 12; 20 ])
 
+let test_lcm_overflow () =
+  (match M.lcm max_int 2 with
+   | n -> Alcotest.failf "lcm max_int 2 returned %d instead of raising" n
+   | exception M.Overflow _ -> ());
+  (match M.lcm min_int 3 with
+   | n -> Alcotest.failf "lcm min_int 3 returned %d instead of raising" n
+   | exception M.Overflow _ -> ());
+  (match M.lcm_list [ 4; 6; max_int - 1 ] with
+   | n -> Alcotest.failf "overflowing lcm_list returned %d" n
+   | exception M.Overflow _ -> ());
+  (* large-but-representable results still come back exactly *)
+  let half = max_int / 2 in
+  check "lcm (max_int/2) 2" (half * 2) (M.lcm half 2);
+  check "lcm max_int max_int" max_int (M.lcm max_int max_int);
+  check "lcm max_int 1" max_int (M.lcm max_int 1);
+  check "lcm 0 max_int" 0 (M.lcm 0 max_int)
+
+let test_hyperperiod_overflow () =
+  let task period = Sched.Task.make ~name:"t" ~period_us:period ~wcet_us:1 () in
+  (* two large coprime periods whose lcm exceeds the native int range *)
+  let huge = [ task (max_int - 1); task ((max_int / 2) - 1) ] in
+  (match Sched.Task.hyperperiod_us huge with
+   | n -> Alcotest.failf "hyperperiod_us returned %d instead of raising" n
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "sane hyper-period still works" 24
+    (Sched.Task.hyperperiod_us [ task 4; task 6; task 8 ])
+
 let test_egcd () =
   let g, u, v = M.egcd 240 46 in
   check "egcd gcd" 2 g;
@@ -61,6 +88,19 @@ let prop_lcm_multiple =
       let l = M.lcm a b in
       l mod a = 0 && l mod b = 0 && l <= a * b)
 
+(* over the full int range, lcm either returns an exact common multiple
+   or raises Overflow — never a silently wrapped value *)
+let prop_lcm_exact_or_raises =
+  QCheck2.Test.make ~name:"lcm is exact or raises Overflow" ~count:500
+    QCheck2.Gen.(
+      pair
+        (oneof [ int_range 1 1000; int_range (max_int / 2) max_int ])
+        (oneof [ int_range 1 1000; int_range (max_int / 2) max_int ]))
+    (fun (a, b) ->
+      match M.lcm a b with
+      | l -> l > 0 && l mod a = 0 && l mod b = 0
+      | exception M.Overflow _ -> true)
+
 let prop_egcd_bezout =
   QCheck2.Test.make ~name:"egcd satisfies Bezout" ~count:500
     QCheck2.Gen.(pair (int_range (-500) 500) (int_range (-500) 500))
@@ -76,12 +116,16 @@ let prop_floor_ceil =
       f * b <= a && a <= c * b && c - f <= 1)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
-    [ prop_gcd_divides; prop_lcm_multiple; prop_egcd_bezout; prop_floor_ceil ]
+    [ prop_gcd_divides; prop_lcm_multiple; prop_lcm_exact_or_raises;
+      prop_egcd_bezout; prop_floor_ceil ]
 
 let suite =
   [ ("mathx",
      [ Alcotest.test_case "gcd" `Quick test_gcd;
        Alcotest.test_case "lcm" `Quick test_lcm;
+       Alcotest.test_case "lcm overflow" `Quick test_lcm_overflow;
+       Alcotest.test_case "hyperperiod overflow" `Quick
+         test_hyperperiod_overflow;
        Alcotest.test_case "egcd" `Quick test_egcd;
        Alcotest.test_case "diophantine" `Quick test_diophantine;
        Alcotest.test_case "integer divisions" `Quick test_divisions ]

@@ -1,0 +1,245 @@
+(* Putil.Metrics: instruments, snapshots, JSON rendering, and the
+   end-to-end smoke check that a pipeline run actually feeds the global
+   registry (what `asme2ssme --stats` prints). *)
+
+module M = Putil.Metrics
+
+let test_counters () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "t.hits" in
+  M.incr c;
+  M.incr ~by:41 c;
+  Alcotest.(check int) "counter accumulates" 42 (M.counter_value r "t.hits");
+  Alcotest.(check int) "absent counter reads 0" 0 (M.counter_value r "t.nope");
+  let c' = M.counter ~registry:r "t.hits" in
+  M.incr c';
+  Alcotest.(check int) "get-or-create shares state" 43
+    (M.counter_value r "t.hits");
+  M.reset r;
+  Alcotest.(check int) "reset zeroes" 0 (M.counter_value r "t.hits");
+  Alcotest.(check bool) "reset keeps the instrument" true
+    (M.find r "t.hits" <> None)
+
+let test_gauges_and_timers () =
+  let r = M.create () in
+  let g = M.gauge ~registry:r "t.level" in
+  M.set g 7;
+  M.max_gauge g 3;
+  Alcotest.(check int) "max_gauge keeps the max" 7 (M.counter_value r "t.level");
+  M.max_gauge g 9;
+  Alcotest.(check int) "max_gauge raises" 9 (M.counter_value r "t.level");
+  let tm = M.timer ~registry:r "t.work_ns" in
+  let x = M.time tm (fun () -> 5) in
+  Alcotest.(check int) "time returns the thunk value" 5 x;
+  (try M.time tm (fun () -> failwith "boom") with Failure _ -> 0) |> ignore;
+  M.add_span_ns tm 1_000;
+  (match M.find r "t.work_ns" with
+   | Some (M.Timer { spans; total_ns }) ->
+     Alcotest.(check int) "spans recorded, raising thunk included" 3 spans;
+     Alcotest.(check bool) "total accumulates" true (total_ns >= 1_000)
+   | _ -> Alcotest.fail "timer stat missing");
+  (* name reuse with a different kind is a programming error *)
+  match M.gauge ~registry:r "t.work_ns" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram () =
+  let r = M.create () in
+  let h = M.histogram ~registry:r "t.sizes" in
+  List.iter (M.observe h) [ 1.0; 4.0; 16.0 ];
+  match M.find r "t.sizes" with
+  | Some (M.Histogram { count; sum; min; max }) ->
+    Alcotest.(check int) "count" 3 count;
+    Alcotest.(check (float 1e-9)) "sum" 21.0 sum;
+    Alcotest.(check (float 1e-9)) "min" 1.0 min;
+    Alcotest.(check (float 1e-9)) "max" 16.0 max
+  | _ -> Alcotest.fail "histogram stat missing"
+
+(* minimal RFC 8259 well-formedness checker, enough to validate our own
+   serializer's output without an external JSON dependency *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail = ref false in
+  let expect c =
+    if peek () = Some c then advance () else fail := true
+  in
+  let skip_ws () =
+    while (match peek () with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false)
+    do advance () done
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            if peek () = Some ',' then begin advance (); members () end
+            else expect '}'
+          in
+          members ()
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            if peek () = Some ',' then begin advance (); elements () end
+            else expect ']'
+          in
+          elements ()
+        end
+      | Some '"' -> string_lit ()
+      | Some ('t' | 'f' | 'n') -> keyword ()
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail := true
+    end
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail := true
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+           advance ();
+           go ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             (match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> fail := true)
+           done;
+           go ()
+         | _ -> fail := true)
+      | Some c when Char.code c < 0x20 -> fail := true
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  and keyword () =
+    let kw k =
+      let l = String.length k in
+      if !pos + l <= n && String.sub s !pos l = k then pos := !pos + l
+      else fail := true
+    in
+    match peek () with
+    | Some 't' -> kw "true"
+    | Some 'f' -> kw "false"
+    | _ -> kw "null"
+  and number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let seen = ref false in
+      while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+        seen := true;
+        advance ()
+      done;
+      if not !seen then fail := true
+    in
+    digits ();
+    if peek () = Some '.' then begin advance (); digits () end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ())
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+let test_json_well_formed () =
+  let r = M.create () in
+  M.incr (M.counter ~registry:r "a.count");
+  M.set (M.gauge ~registry:r "a.level") (-3);
+  M.add_span_ns (M.timer ~registry:r "a.span_ns") 500;
+  M.observe (M.histogram ~registry:r "a.h") 2.5;
+  let s = M.Json.to_string (M.to_json r) in
+  Alcotest.(check bool) "registry JSON is well-formed" true (json_well_formed s);
+  (* tricky leaves: escapes, non-finite floats as null *)
+  let tricky =
+    M.Json.Obj
+      [ ("quote\"back\\slash", M.Json.String "tab\tnl\n\x01");
+        ("nan", M.Json.Float Float.nan);
+        ("inf", M.Json.Float Float.infinity);
+        ("arr", M.Json.Arr [ M.Json.Bool true; M.Json.Null; M.Json.Int (-7) ]) ]
+  in
+  Alcotest.(check bool) "escapes and non-finite floats" true
+    (json_well_formed (M.Json.to_string tricky))
+
+(* a full pipeline run must light up every instrumented subsystem in
+   the global registry — this is what `asme2ssme simulate --stats` and
+   `bench --json` report *)
+let test_pipeline_feeds_global () =
+  let a =
+    match
+      Polychrony.Pipeline.analyze
+        ~registry:Polychrony.Case_study.registry_nominal
+        Polychrony.Case_study.aadl_source
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  (match Polychrony.Pipeline.simulate ~hyperperiods:1 a with
+   | Ok _ -> ()
+   | Error m -> Alcotest.fail m);
+  (match Polychrony.Pipeline.simulate ~compiled:true ~hyperperiods:1 a with
+   | Ok _ -> ()
+   | Error m -> Alcotest.fail m);
+  let nonzero name =
+    Alcotest.(check bool) (name ^ " > 0") true
+      (M.counter_value M.global name > 0)
+  in
+  List.iter nonzero
+    [ "engine.instants"; "engine.fixpoint_iters"; "calculus.analyses";
+      "calculus.uf_finds"; "calculus.signals"; "compile.compilations";
+      "compile.instants"; "compile.bdd_nodes"; "trans.translations";
+      "trans.processes"; "trans.equations"; "sched.syntheses";
+      "sched.jobs_placed" ];
+  let s = M.Json.to_string (Polychrony.Pipeline.stats_json ()) in
+  Alcotest.(check bool) "stats_json is well-formed JSON" true
+    (json_well_formed s);
+  (* the printed report renders and mentions the subsystem sections *)
+  let report = Format.asprintf "%a" Polychrony.Pipeline.pp_stats () in
+  List.iter
+    (fun section ->
+      let contains =
+        let nh = String.length report and nn = String.length section in
+        let rec go i =
+          i + nn <= nh && (String.sub report i nn = section || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("report has " ^ section) true contains)
+    [ "[engine]"; "[compile]"; "[calculus]"; "[trans]"; "[sched]" ]
+
+let suite =
+  [ ("metrics",
+     [ Alcotest.test_case "counters" `Quick test_counters;
+       Alcotest.test_case "gauges and timers" `Quick test_gauges_and_timers;
+       Alcotest.test_case "histogram" `Quick test_histogram;
+       Alcotest.test_case "json well-formed" `Quick test_json_well_formed;
+       Alcotest.test_case "pipeline feeds global registry" `Quick
+         test_pipeline_feeds_global ]) ]

@@ -148,6 +148,87 @@ let test_roundtrip_simulated () =
         done)
       (Trace.observable tr)
 
+(* strings with whitespace and '%', the literal value "x" (which must
+   stay distinct from the absent marker), and reals where absence must
+   stay distinct from a present 0.0 *)
+let test_roundtrip_strings_and_reals () =
+  let tr =
+    Trace.create
+      [ Ast.var "msg" Types.Tstring; Ast.var "temp" Types.Treal ]
+  in
+  Trace.push tr
+    [ ("msg", Types.Vstring "hello world"); ("temp", Types.Vreal 0.0) ];
+  Trace.push tr [ ("msg", Types.Vstring "x") ];
+  Trace.push tr
+    [ ("msg", Types.Vstring "50% done\nnext"); ("temp", Types.Vreal (0.1 +. 0.2)) ];
+  Trace.push tr [ ("msg", Types.Vstring "") ];
+  let dump = Vcd.to_string tr in
+  match R.parse dump with
+  | Error m -> Alcotest.fail m
+  | Ok vcd ->
+    let str_at t = R.value_at vcd ~name:"msg" ~time:t in
+    Alcotest.(check bool) "string with space" true
+      (str_at 0 = Some (Types.Vstring "hello world"));
+    Alcotest.(check bool) "literal x is a value, not absence" true
+      (str_at 1 = Some (Types.Vstring "x"));
+    Alcotest.(check bool) "percent and newline" true
+      (str_at 2 = Some (Types.Vstring "50% done\nnext"));
+    Alcotest.(check bool) "empty string" true
+      (str_at 3 = Some (Types.Vstring ""));
+    let real_at t = R.value_at vcd ~name:"temp" ~time:t in
+    Alcotest.(check bool) "present 0.0 is not absence" true
+      (real_at 0 = Some (Types.Vreal 0.0));
+    Alcotest.(check bool) "real absent at 1" true (real_at 1 = None);
+    Alcotest.(check bool) "real full precision" true
+      (real_at 2 = Some (Types.Vreal (0.1 +. 0.2)));
+    Alcotest.(check bool) "real absent at 3" true (real_at 3 = None)
+
+(* "a.b" and "a b" both sanitize to "a_b"; the writer must keep their
+   $var declarations distinct so both remain addressable *)
+let test_colliding_names () =
+  let tr =
+    Trace.create [ Ast.var "a.b" Types.Tint; Ast.var "a b" Types.Tint ]
+  in
+  Trace.push tr [ ("a.b", Types.Vint 1); ("a b", Types.Vint 2) ];
+  let dump = Vcd.to_string tr in
+  match R.parse dump with
+  | Error m -> Alcotest.fail m
+  | Ok vcd ->
+    let declared = List.map snd vcd.R.vars in
+    Alcotest.(check (list string)) "uniquified declarations"
+      [ "a_b"; "a_b__2" ] declared;
+    Alcotest.(check bool) "first keeps the plain name" true
+      (R.value_at vcd ~name:"a_b" ~time:0 = Some (Types.Vint 1));
+    Alcotest.(check bool) "second gets the suffix" true
+      (R.value_at vcd ~name:"a_b__2" ~time:0 = Some (Types.Vint 2))
+
+(* any byte string survives write + read-back unchanged *)
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"vcd string values round-trip" ~count:200
+    QCheck2.Gen.(oneof [ string_printable; string ])
+    (fun s ->
+      let tr = Trace.create [ Ast.var "s" Types.Tstring ] in
+      Trace.push tr [ ("s", Types.Vstring s) ];
+      Trace.push tr [];
+      match R.parse (Vcd.to_string tr) with
+      | Error _ -> false
+      | Ok vcd ->
+        R.value_at vcd ~name:"s" ~time:0 = Some (Types.Vstring s)
+        && R.value_at vcd ~name:"s" ~time:1 = None)
+
+let prop_real_roundtrip =
+  QCheck2.Test.make ~name:"vcd real values round-trip" ~count:200
+    QCheck2.Gen.(float_range (-1e12) 1e12)
+    (fun r ->
+      let tr = Trace.create [ Ast.var "r" Types.Treal ] in
+      Trace.push tr [ ("r", Types.Vreal r) ];
+      Trace.push tr [];
+      match R.parse (Vcd.to_string tr) with
+      | Error _ -> false
+      | Ok vcd ->
+        R.value_at vcd ~name:"r" ~time:0 = Some (Types.Vreal r)
+        && R.value_at vcd ~name:"r" ~time:1 = None)
+
 let test_gantt_renders () =
   let tasks =
     List.map
@@ -191,6 +272,11 @@ let suite =
          test_roundtrip_case_study;
        Alcotest.test_case "roundtrip simulated" `Quick
          test_roundtrip_simulated;
+       Alcotest.test_case "strings and reals" `Quick
+         test_roundtrip_strings_and_reals;
+       Alcotest.test_case "colliding names" `Quick test_colliding_names;
        Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
        Alcotest.test_case "reader rejects garbage" `Quick
-         test_reader_rejects_garbage ]) ]
+         test_reader_rejects_garbage ]
+     @ List.map QCheck_alcotest.to_alcotest
+         [ prop_string_roundtrip; prop_real_roundtrip ]) ]
