@@ -93,11 +93,15 @@ let fig3_fig4 () =
   (match Ast.find_process prog "th_ProdConsSys_prProdCons_thProducer" with
    | Some p -> Format.printf "%a@." Signal_lang.Pp.pp_process p
    | None -> failwith "producer model missing");
-  (* the complete generated module, as an inspectable artifact *)
-  let oc = open_out "prodcons.sig" in
+  (* the complete generated module, as an inspectable artifact (under
+     the temp dir so bench runs leave no strays in the work tree) *)
+  let sig_path =
+    Filename.concat (Filename.get_temp_dir_name ()) "prodcons.sig"
+  in
+  let oc = open_out sig_path in
   output_string oc (Signal_lang.Pp.program_to_string prog);
   close_out oc;
-  Format.printf "@.full SIGNAL module written to prodcons.sig@." 
+  Format.printf "@.full SIGNAL module written to %s@." sig_path
 
 (* ------------------------------------------------------------------ *)
 (* FIG 5: the in event port process                                    *)
@@ -452,6 +456,13 @@ let bench_simulate () =
            | Ok _ -> ()
            | Error m -> failwith m))
   in
+  let compile_cold =
+    Test.make ~name:"simulate/compile-cold"
+      (Staged.stage (fun () ->
+           match Polysim.Compile.compile_uncached kp with
+           | Ok _ -> ()
+           | Error m -> failwith m))
+  in
   let codegen =
     Test.make ~name:"simulate/c-codegen(text)"
       (Staged.stage (fun () ->
@@ -463,7 +474,7 @@ let bench_simulate () =
              | Error m -> failwith m)))
   in
   run_benchs "C5: polychronous simulation throughput (ref [15] ablation)"
-    [ interpreted; compiled; compile_only; codegen ]
+    [ interpreted; compiled; compile_only; compile_cold; codegen ]
 
 (* C4: affine clock calculus micro-ops *)
 let bench_affine () =
@@ -588,6 +599,84 @@ let bench_ablations () =
       Test.make ~name:"ablation/fm-kernel(64-instants)"
         (Staged.stage (fun () -> drive kp_fm)) ]
 
+(* C8: domain-parallel bounded exploration. The workload is n
+   independent event counters: after d instants each counter ranges
+   over 0..d, so the explorer visits (d+1)^n - ish distinct states —
+   n=4, depth=11 gives 14641, comfortably past the 10k mark. Each row
+   is one full check timed wall-clock (a check takes seconds, far past
+   Bechamel's sampling regime); verdicts, counterexamples and state
+   counts are asserted identical across job counts and against the
+   sequential DFS. *)
+let multi_counter_process n =
+  B.proc
+    ~name:(Printf.sprintf "mcount%d" n)
+    ~inputs:
+      (List.init n (fun i -> Ast.var (Printf.sprintf "e%d" i) Types.Tevent))
+    ~outputs:
+      (List.init n (fun i -> Ast.var (Printf.sprintf "n%d" i) Types.Tint))
+    (List.init n (fun i ->
+         B.inst
+           ~label:(Printf.sprintf "c%d" i)
+           "counter"
+           [ B.v (Printf.sprintf "e%d" i) ]
+           [ Printf.sprintf "n%d" i ]))
+
+let bench_explore () =
+  section "C8: domain-parallel bounded exploration";
+  let n = 4 and depth = 11 in
+  let kp = N.process_exn (multi_counter_process n) in
+  let inputs =
+    List.init n (fun i ->
+        (Printf.sprintf "e%d" i, [ None; Some Types.Vevent ]))
+  in
+  let safe _ = true in
+  (* violated variant: counter 0 reaches 3 — exercises counterexample
+     determinism across job counts *)
+  let unsafe present = List.assoc_opt "n0" present <> Some (Types.Vint 3) in
+  (* warm the plan memo so rows measure exploration, not compilation *)
+  (match Polysim.Explore.check ~depth:1 ~jobs:1 ~inputs ~safe kp with
+   | Ok _ -> ()
+   | Error m -> failwith m);
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let r = Polysim.Explore.check ~depth ~jobs ~inputs ~safe kp in
+      let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      match r with
+      | Error m -> failwith m
+      | Ok (v, states) ->
+        let cex =
+          match Polysim.Explore.check ~depth ~jobs ~inputs ~safe:unsafe kp with
+          | Ok (Polysim.Explore.Violated trail, _) -> trail
+          | Ok (Polysim.Explore.Holds, _) ->
+            failwith "explore bench: violation not found"
+          | Error m -> failwith m
+        in
+        (match !reference with
+         | None -> reference := Some (v, states, cex)
+         | Some (v0, s0, cex0) ->
+           if v0 <> v || s0 <> states then
+             failwith
+               (Printf.sprintf
+                  "explore/%d-jobs diverged from 1-jobs: %d vs %d states"
+                  jobs states s0);
+           if cex0 <> cex then
+             failwith
+               (Printf.sprintf
+                  "explore/%d-jobs: counterexample differs from 1-jobs" jobs));
+        let name = Printf.sprintf "explore/%d-jobs" jobs in
+        all_rows := !all_rows @ [ (name, dt_ns) ];
+        Format.printf "  %-52s %10.3f ms/run  (%d states, depth %d)@." name
+          (dt_ns /. 1e6) states depth)
+    [ 1; 2; 4 ];
+  (* the parallel search against the sequential reference semantics *)
+  match Polysim.Explore.check_dfs ~depth ~inputs ~safe:unsafe kp, !reference with
+  | Ok (Polysim.Explore.Violated _, _), Some _ ->
+    Format.printf "  verdicts identical across 1/2/4 jobs and DFS@."
+  | Ok _, _ -> failwith "explore bench: DFS verdict differs"
+  | Error m, _ -> failwith m
+
 let latency_section () =
   section "LATENCY: end-to-end flow latency over the static schedule";
   let a = analyzed CS.registry_nominal in
@@ -627,20 +716,127 @@ let write_json ~section:sec path =
   close_out oc;
   Format.printf "@.bench record written to %s@." path
 
+(* --baseline FILE: diff this run's rows and metrics against a
+   committed polychrony-bench/v1 record. Reporting only — it never
+   fails the run, so CI can surface drift without gating merges on a
+   noisy timing signal. *)
+let baseline_diff ~threshold path =
+  let module J = Putil.Metrics.Json in
+  let warn m = Format.printf "@.baseline diff skipped: %s@." m in
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Some
+        (Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> really_input_string ic (in_channel_length ic)))
+    with Sys_error m ->
+      warn m;
+      None
+  in
+  match contents with
+  | None -> ()
+  | Some s -> (
+    match J.of_string s with
+    | Error m -> warn ("parse error: " ^ m)
+    | Ok record
+      when J.member "schema" record <> Some (J.String "polychrony-bench/v1")
+      -> warn "not a polychrony-bench/v1 record"
+    | Ok record ->
+      let base_rows =
+        match J.member "rows" record with
+        | Some (J.Arr rows) ->
+          List.filter_map
+            (fun r ->
+              match
+                (J.member "name" r, J.to_float (J.member "ns_per_run" r))
+              with
+              | Some (J.String nm), Some ns -> Some (nm, ns)
+              | _ -> None)
+            rows
+        | _ -> []
+      in
+      section
+        (Printf.sprintf "BASELINE DIFF vs %s (threshold +%.0f%%)" path
+           threshold);
+      let regressions = ref 0 in
+      List.iter
+        (fun (name, cur) ->
+          match List.assoc_opt name base_rows with
+          | None -> Format.printf "  %-52s %10s  (new row)@." name "-"
+          | Some base when base > 0. ->
+            let ratio = cur /. base in
+            let flag =
+              if ratio > 1. +. (threshold /. 100.) then begin
+                incr regressions;
+                "  REGRESSION"
+              end
+              else ""
+            in
+            Format.printf "  %-52s %+9.1f%%  (%.3f ms -> %.3f ms)%s@." name
+              ((ratio -. 1.) *. 100.)
+              (base /. 1e6) (cur /. 1e6) flag
+          | Some _ -> ())
+        !all_rows;
+      (* numeric metrics that moved more than the threshold; timers and
+         other structured instruments are skipped *)
+      (match (J.member "metrics" record, Putil.Metrics.to_json Putil.Metrics.global) with
+       | Some (J.Obj base), J.Obj cur ->
+         (* counters and gauges carry {"type", "value"}; timers have no
+            single value and are skipped *)
+         let num v = J.to_float (J.member "value" v) in
+         let moved =
+           List.filter_map
+             (fun (k, v) ->
+               match
+                 (num v, Option.bind (List.assoc_opt k base) num)
+               with
+               | Some c, Some b
+                 when b <> c
+                      && Float.abs (c -. b)
+                         > threshold /. 100. *. Float.max 1. (Float.abs b) ->
+                 Some (k, b, c)
+               | _ -> None)
+             cur
+         in
+         if moved <> [] then begin
+           Format.printf "@.  metrics moved more than %.0f%%:@." threshold;
+           List.iter
+             (fun (k, b, c) ->
+               Format.printf "    %-40s %14.0f -> %14.0f@." k b c)
+             moved
+         end
+       | _ -> ());
+      Format.printf "@.  %d row regression(s) above +%.0f%%@." !regressions
+        threshold)
+
 (* No argument: everything. [quick]: artifacts only. Any other
    argument selects one bench section by name (e.g. [simulate] for a
    CI smoke run of just that timing section). *)
 let () =
-  let rec parse_args (sec, json) = function
-    | [] -> (sec, json)
-    | "--json" :: path :: rest -> parse_args (sec, Some path) rest
-    | [ "--json" ] ->
-      prerr_endline "error: --json requires a file argument";
-      exit 2
-    | a :: rest -> parse_args (a, json) rest
+  let missing flag =
+    prerr_endline ("error: " ^ flag ^ " requires an argument");
+    exit 2
   in
-  let arg, json =
-    parse_args ("", None) (List.tl (Array.to_list Sys.argv))
+  let rec parse_args (sec, json, baseline, threshold) = function
+    | [] -> (sec, json, baseline, threshold)
+    | "--json" :: path :: rest ->
+      parse_args (sec, Some path, baseline, threshold) rest
+    | [ "--json" ] -> missing "--json"
+    | "--baseline" :: path :: rest ->
+      parse_args (sec, json, Some path, threshold) rest
+    | [ "--baseline" ] -> missing "--baseline"
+    | "--threshold" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some t -> parse_args (sec, json, baseline, t) rest
+      | None ->
+        prerr_endline "error: --threshold requires a number (percent)";
+        exit 2)
+    | [ "--threshold" ] -> missing "--threshold"
+    | a :: rest -> parse_args (a, json, baseline, threshold) rest
+  in
+  let arg, json, baseline, threshold =
+    parse_args ("", None, None, 25.) (List.tl (Array.to_list Sys.argv))
   in
   let benches =
     [ ("clock-calculus", bench_clock_calculus);
@@ -648,6 +844,7 @@ let () =
       ("parser", bench_parser);
       ("simulate", bench_simulate);
       ("affine", bench_affine);
+      ("explore", bench_explore);
       ("ablations", bench_ablations) ]
   in
   (match List.assoc_opt arg benches with
@@ -676,9 +873,13 @@ let () =
        bench_parser ();
        bench_simulate ();
        bench_affine ();
+       bench_explore ();
        bench_ablations ()
      end);
   (match json with
    | Some path -> write_json ~section:arg path
+   | None -> ());
+  (match baseline with
+   | Some path -> baseline_diff ~threshold path
    | None -> ());
   Format.printf "@.done.@."

@@ -257,7 +257,14 @@ let verify_cmd =
     Arg.(value & opt string "Alarm" & info [ "never" ] ~docv:"SIGNAL"
            ~doc:"Safety property: this signal is never present.")
   in
-  let run file root registry policy depth signal =
+  let jobs_arg =
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Explore each depth slice on N domains in parallel \
+                 (default: the EXPLORE_JOBS environment variable, else \
+                 1). The verdict and counterexample are identical for \
+                 every N.")
+  in
+  let run file root registry policy depth signal jobs stats =
     let a = analyzed file root registry policy in
     let tr = a.Polychrony.Pipeline.translation in
     (* ticks always present; every environment input may arrive (value
@@ -270,38 +277,39 @@ let verify_cmd =
           (fun e -> (e, [ None; Some (Signal_lang.Types.Vint 1) ]))
           tr.Trans.System_trans.env_inputs
     in
-    match
-      Polysim.Explore.check ~depth ~inputs
-        ~safe:(fun present -> not (List.mem_assoc signal present))
-        a.Polychrony.Pipeline.kernel
-    with
-    | Ok (Polysim.Explore.Holds, states) ->
-      Format.printf
-        "HOLDS: %s never present within %d ticks for any environment pattern (%d states explored)@."
-        signal depth states
-    | Ok (Polysim.Explore.Violated trail, states) ->
-      Format.printf
-        "VIOLATED after %d ticks (%d states explored); stimulus trail:@."
-        (List.length trail) states;
-      List.iteri
-        (fun t stim ->
-          Format.printf "  t=%d: %s@." t
-            (String.concat ", "
-               (List.map
-                  (fun (n, v) ->
-                    Printf.sprintf "%s=%s" n
-                      (Signal_lang.Types.value_to_string v))
-                  stim)))
-        trail
-    | Error m ->
-      prerr_endline ("error: " ^ m);
-      exit 1
+    (match
+       Polysim.Explore.check ~depth ?jobs ~inputs
+         ~safe:(fun present -> not (List.mem_assoc signal present))
+         a.Polychrony.Pipeline.kernel
+     with
+     | Ok (Polysim.Explore.Holds, states) ->
+       Format.printf
+         "HOLDS: %s never present within %d ticks for any environment pattern (%d states explored)@."
+         signal depth states
+     | Ok (Polysim.Explore.Violated trail, states) ->
+       Format.printf
+         "VIOLATED after %d ticks (%d states explored); stimulus trail:@."
+         (List.length trail) states;
+       List.iteri
+         (fun t stim ->
+           Format.printf "  t=%d: %s@." t
+             (String.concat ", "
+                (List.map
+                   (fun (n, v) ->
+                     Printf.sprintf "%s=%s" n
+                       (Signal_lang.Types.value_to_string v))
+                   stim)))
+         trail
+     | Error m ->
+       prerr_endline ("error: " ^ m);
+       exit 1);
+    print_stats_if stats
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Bounded exhaustive verification of a safety property")
     Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
-          $ depth_arg $ signal_arg)
+          $ depth_arg $ signal_arg $ jobs_arg $ stats_arg)
 
 let () =
   let doc = "AADL to polychronous SIGNAL tool chain (ASME2SSME)" in

@@ -34,9 +34,13 @@ let () =
        (List.map Signal_lang.Types.value_to_string
           (Polysim.Trace.values_of tr "display_pData")));
 
-  (* write the VCD trace for any waveform viewer (paper ref [18]) *)
-  Polysim.Vcd.to_file "prodcons.vcd" tr;
-  Format.printf "VCD written to prodcons.vcd@.@.";
+  (* write the VCD trace for any waveform viewer (paper ref [18]);
+     under the temp dir so example runs leave no strays in the tree *)
+  let vcd_path =
+    Filename.concat (Filename.get_temp_dir_name ()) "prodcons.vcd"
+  in
+  Polysim.Vcd.to_file vcd_path tr;
+  Format.printf "VCD written to %s@.@." vcd_path;
 
   (* fault injection: the producer and consumer arm their timers but
      never stop them — pTimeOut must reach the operator display *)

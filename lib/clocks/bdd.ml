@@ -1,6 +1,19 @@
 (* Hash-consed ROBDDs. Nodes are integers into growable arrays; 0 and 1
    are the terminal nodes. The classic unique-table + apply-cache
-   construction. *)
+   construction, with the hot paths flattened:
+
+   - the unique table is open-addressing over node ids (slot 0 = empty;
+     node keys are re-read from the node arrays, so a probe is three
+     int array loads and no allocation), kept under 50% load;
+   - the apply cache is direct-mapped over packed immediate-int keys
+     [(((a lsl 30) lor b) lsl 2) lor op], replaced on collision — the
+     leak-free replacement for an ever-growing [Hashtbl.add] cache;
+   - negations are memoized in a per-node array, in both directions
+     ([¬a = r] also records [¬r = a]), making complements O(1) once
+     computed and enabling complement terminals ([a ∧ ¬a = 0],
+     [a ∨ ¬a = 1], [a ⊕ ¬a = 1]) as plain array probes.
+
+   Packed keys need node ids below 2^30; [mk] enforces the limit. *)
 
 type t = int
 
@@ -8,25 +21,33 @@ type manager = {
   mutable var_of : int array;   (* node -> variable index *)
   mutable low_of : int array;   (* node -> low child (var = false) *)
   mutable high_of : int array;  (* node -> high child (var = true) *)
+  mutable not_of : int array;   (* node -> memoized negation, -1 unknown *)
   mutable next : int;           (* next free node id *)
-  unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> node *)
-  apply_cache : (int * int * int, int) Hashtbl.t;  (* (op, a, b) -> node *)
-  not_cache : (int, int) Hashtbl.t;
+  mutable uniq : int array;     (* open addressing: node ids, 0 = empty *)
+  mutable cache_key : int array;  (* direct-mapped apply cache, 0 = empty *)
+  mutable cache_val : int array;
+  mutable cache_mask : int;
   mutable applies : int;     (* apply-cache consultations *)
   mutable apply_hits : int;  (* ... of which hits *)
 }
 
 let initial_capacity = 1024
+let initial_table = 4096   (* unique table; power of two *)
+let initial_cache = 32768  (* apply cache; power of two *)
+
+let node_limit = 1 lsl 30  (* ids must pack into 30 bits of an apply key *)
 
 let manager () =
   let m =
     { var_of = Array.make initial_capacity max_int;
       low_of = Array.make initial_capacity (-1);
       high_of = Array.make initial_capacity (-1);
+      not_of = Array.make initial_capacity (-1);
       next = 2;
-      unique = Hashtbl.create 1024;
-      apply_cache = Hashtbl.create 1024;
-      not_cache = Hashtbl.create 256;
+      uniq = Array.make initial_table 0;
+      cache_key = Array.make initial_cache 0;
+      cache_val = Array.make initial_cache 0;
+      cache_mask = initial_cache - 1;
       applies = 0;
       apply_hits = 0 }
   in
@@ -34,6 +55,8 @@ let manager () =
      max_int so every real variable tests before them. *)
   m.var_of.(0) <- max_int;
   m.var_of.(1) <- max_int;
+  m.not_of.(0) <- 1;
+  m.not_of.(1) <- 0;
   m
 
 let zero (_ : manager) = 0
@@ -49,24 +72,88 @@ let grow m =
     in
     m.var_of <- extend m.var_of max_int;
     m.low_of <- extend m.low_of (-1);
-    m.high_of <- extend m.high_of (-1)
+    m.high_of <- extend m.high_of (-1);
+    m.not_of <- extend m.not_of (-1)
+  end
+
+let uniq_hash v low high =
+  let h = ((v * 0x9e3779b1) + low) * 0x9e3779b1 + high in
+  (h lxor (h lsr 29)) land max_int
+
+let uniq_insert_node m tbl mask n =
+  let h = uniq_hash m.var_of.(n) m.low_of.(n) m.high_of.(n) in
+  let i = ref (h land mask) in
+  while tbl.(!i) <> 0 do i := (!i + 1) land mask done;
+  tbl.(!i) <- n
+
+(* keep the unique table under 50% load so probe chains stay short *)
+let uniq_maybe_grow m =
+  if 2 * m.next >= Array.length m.uniq then begin
+    let size = 2 * Array.length m.uniq in
+    let tbl = Array.make size 0 in
+    let mask = size - 1 in
+    for n = 2 to m.next - 1 do
+      uniq_insert_node m tbl mask n
+    done;
+    m.uniq <- tbl
+  end
+
+let cache_slot m key = ((key * 0x2545F4914F6CDD1D) lsr 32) land m.cache_mask
+
+(* scale the cache with the node count (entries survive the move), up
+   to a bound that keeps it resident for pathological managers *)
+let cache_maybe_grow m =
+  if m.next > Array.length m.cache_key
+     && Array.length m.cache_key < 1 lsl 22
+  then begin
+    let old_key = m.cache_key and old_val = m.cache_val in
+    let size = 2 * Array.length old_key in
+    m.cache_key <- Array.make size 0;
+    m.cache_val <- Array.make size 0;
+    m.cache_mask <- size - 1;
+    Array.iteri
+      (fun i k ->
+        if k <> 0 then begin
+          let s = cache_slot m k in
+          m.cache_key.(s) <- k;
+          m.cache_val.(s) <- old_val.(i)
+        end)
+      old_key
   end
 
 let mk m v low high =
   if low = high then low
-  else
-    let key = (v, low, high) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n -> n
-    | None ->
+  else begin
+    let mask = Array.length m.uniq - 1 in
+    let i = ref (uniq_hash v low high land mask) in
+    let found = ref (-1) in
+    let probing = ref true in
+    while !probing do
+      let n = m.uniq.(!i) in
+      if n = 0 then probing := false
+      else if m.var_of.(n) = v && m.low_of.(n) = low && m.high_of.(n) = high
+      then begin
+        found := n;
+        probing := false
+      end
+      else i := (!i + 1) land mask
+    done;
+    if !found >= 0 then !found
+    else begin
+      if m.next >= node_limit then
+        failwith "Bdd.mk: node limit (2^30) exceeded";
       grow m;
       let n = m.next in
       m.next <- n + 1;
       m.var_of.(n) <- v;
       m.low_of.(n) <- low;
       m.high_of.(n) <- high;
-      Hashtbl.add m.unique key n;
+      m.uniq.(!i) <- n;
+      uniq_maybe_grow m;
+      cache_maybe_grow m;
       n
+    end
+  end
 
 let var m i =
   if i < 0 then invalid_arg "Bdd.var: negative variable";
@@ -74,15 +161,14 @@ let var m i =
   mk m i 0 1
 
 let rec not_ m a =
-  if a = 0 then 1
-  else if a = 1 then 0
-  else
-    match Hashtbl.find_opt m.not_cache a with
-    | Some r -> r
-    | None ->
-      let r = mk m m.var_of.(a) (not_ m m.low_of.(a)) (not_ m m.high_of.(a)) in
-      Hashtbl.add m.not_cache a r;
-      r
+  let r = m.not_of.(a) in
+  if r >= 0 then r
+  else begin
+    let r = mk m m.var_of.(a) (not_ m m.low_of.(a)) (not_ m m.high_of.(a)) in
+    m.not_of.(a) <- r;
+    m.not_of.(r) <- a;
+    r
+  end
 
 (* op codes for the apply cache *)
 let op_and = 0
@@ -92,45 +178,65 @@ let op_xor = 2
 let rec apply m op a b =
   let terminal =
     if op = op_and then
-      if a = 0 || b = 0 then Some 0
-      else if a = 1 then Some b
-      else if b = 1 then Some a
-      else if a = b then Some a
-      else None
+      if a = 0 || b = 0 then 0
+      else if a = 1 then b
+      else if b = 1 then a
+      else if a = b then a
+      else if m.not_of.(a) = b then 0
+      else -1
     else if op = op_or then
-      if a = 1 || b = 1 then Some 1
-      else if a = 0 then Some b
-      else if b = 0 then Some a
-      else if a = b then Some a
-      else None
-    else if a = b then Some 0
-    else if a = 0 then Some b
-    else if b = 0 then Some a
-    else None
+      if a = 1 || b = 1 then 1
+      else if a = 0 then b
+      else if b = 0 then a
+      else if a = b then a
+      else if m.not_of.(a) = b then 1
+      else -1
+    else if a = b then 0
+    else if a = 0 then b
+    else if b = 0 then a
+    else if a = 1 then not_ m b
+    else if b = 1 then not_ m a
+    else if m.not_of.(a) = b then 1
+    else -1
   in
-  match terminal with
-  | Some r -> r
-  | None ->
-    (* commutative ops: normalize the key *)
-    let ka, kb = if a <= b then (a, b) else (b, a) in
-    let key = (op, ka, kb) in
+  if terminal >= 0 then terminal
+  else begin
+    (* all three ops are commutative: normalize the key *)
+    let ka = if a < b then a else b in
+    let kb = if a < b then b else a in
+    let key = (((ka lsl 30) lor kb) lsl 2) lor op in
     m.applies <- m.applies + 1;
-    (match Hashtbl.find_opt m.apply_cache key with
-     | Some r -> m.apply_hits <- m.apply_hits + 1; r
-     | None ->
-       let va = m.var_of.(a) and vb = m.var_of.(b) in
-       let v = min va vb in
-       let a0, a1 = if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a) in
-       let b0, b1 = if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b) in
-       let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
-       Hashtbl.add m.apply_cache key r;
-       r)
+    (* 2-way set associative: a paired slot halves conflict evictions *)
+    let slot = cache_slot m key in
+    let slot =
+      if m.cache_key.(slot) = key then slot
+      else if m.cache_key.(slot lxor 1) = key then slot lxor 1
+      else -1
+    in
+    if slot >= 0 then begin
+      m.apply_hits <- m.apply_hits + 1;
+      m.cache_val.(slot)
+    end
+    else begin
+      let va = m.var_of.(a) and vb = m.var_of.(b) in
+      let v = min va vb in
+      let a0, a1 = if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b) in
+      let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+      (* re-derive the slot: the cache may have been resized by [mk] *)
+      let slot = cache_slot m key in
+      let slot = if m.cache_key.(slot) = 0 then slot else slot lxor 1 in
+      m.cache_key.(slot) <- key;
+      m.cache_val.(slot) <- r;
+      r
+    end
+  end
 
 let and_ m a b = apply m op_and a b
 let or_ m a b = apply m op_or a b
 let xor_ m a b = apply m op_xor a b
-let diff m a b = and_ m a (not_ m b)
-let imp m a b = or_ m (not_ m a) b
+let diff m a b = apply m op_and a (not_ m b)
+let imp m a b = apply m op_or (not_ m a) b
 
 let equal (a : t) (b : t) = a = b
 let is_zero a = a = 0

@@ -18,6 +18,12 @@
 type t
 
 val analyze : Signal_lang.Kernel.kprocess -> t
+(** Analyze a kernel process. Memoized on {!Signal_lang.Kernel.digest}:
+    structurally equal processes share one analysis (and one BDD
+    manager), so repeated pipeline runs pay for the clock calculus
+    once. The memo table itself is safe to consult from several
+    domains; the returned [t] must be queried from one domain at a
+    time (queries consult the shared BDD manager's caches). *)
 
 (** {1 Queries} *)
 

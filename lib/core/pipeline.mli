@@ -53,7 +53,14 @@ val simulate :
     default: one arrival of value 1 on every environment input at
     instant 0. With [~compiled:true] the clock-directed compiled step
     ({!Polysim.Compile}) replaces the fixpoint interpreter — same
-    traces, roughly an order of magnitude faster. *)
+    traces, roughly an order of magnitude faster.
+
+    Clock analysis and compilation are memoized on the kernel's
+    structural digest (see {!Clocks.Calculus.analyze} and
+    {!Polysim.Compile.compile}), so repeated simulations of one system
+    pay the front-end once; the [pipeline.cache_hits] /
+    [pipeline.cache_misses] counters in the metrics registry record
+    the traffic. *)
 
 val base_ticks_per_hyperperiod : analyzed -> int
 

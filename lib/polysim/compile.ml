@@ -7,6 +7,9 @@ module Bdd = Clocks.Bdd
 module Metrics = Putil.Metrics
 
 let m_compilations = Metrics.counter "compile.compilations"
+let m_plan_builds = Metrics.counter "compile.plan_builds"
+let m_cache_hits = Metrics.counter "pipeline.cache_hits"
+let m_cache_misses = Metrics.counter "pipeline.cache_misses"
 let m_compile_ns = Metrics.timer "compile.compile_ns"
 let m_plan_ops = Metrics.gauge "compile.plan_ops"
 let m_bdd_nodes = Metrics.gauge "compile.bdd_nodes"
@@ -46,17 +49,41 @@ type varres =
   | Rcondeq of int * int           (* integer signal index, constant *)
   | Rnone
 
+(* The compiler is split in two: an immutable [plan] — everything that
+   depends only on the kernel (lowered IR, clock analysis, presence
+   definitions, clock BDDs, topologically sorted op schedule) — and a
+   mutable instance [t] holding per-run state (delay registers,
+   primitive queues, per-instant scratch, trace). Plans are memoized
+   on the kernel's structural digest and shared freely, including
+   across domains: stepping an instance only reads the plan (clock
+   evaluation uses [Bdd.eval], which never mutates the manager), so
+   each worker of the parallel explorer instantiates its own [t] over
+   the one shared plan. *)
+type plan = {
+  p_prog : Prog.t;                 (* shared lowered IR (same as Engine) *)
+  p_calc : Calc.t;
+  p_class_of : int array;
+  p_nclasses : int;
+  p_pdefs : pdef array;
+  p_clock_bdd : Bdd.t array;       (* per class *)
+  p_bddvars : varres array;        (* bdd variable -> resolution *)
+  p_plan : op array;
+  p_n_free : int;                  (* statically free classes *)
+}
+
 type t = {
-  prog : Prog.t;                   (* shared lowered IR (same as Engine) *)
+  (* plan fields, aliased for direct access on the hot path *)
+  prog : Prog.t;
   calc : Calc.t;
   class_of : int array;
   nclasses : int;
   pdefs : pdef array;
-  clock_bdd : Bdd.t array;         (* per class *)
-  bddvars : varres array;          (* bdd variable -> resolution *)
+  clock_bdd : Bdd.t array;
+  bddvars : varres array;
   plan : op array;
+  n_free : int;
+  (* instance-owned state *)
   prims : prim_st array;
-  (* runtime state *)
   dstate : Types.value array;      (* delay state per destination signal *)
   pres : bool array;               (* per class, this instant *)
   vals : Types.value option array; (* per signal, this instant *)
@@ -64,7 +91,6 @@ type t = {
   tr : Trace.t;
   mutable instants : int;
   mutable recording : bool;
-  n_free : int;                    (* statically free classes *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -92,11 +118,7 @@ let compile_impl kp =
       Array.init nclasses (fun c -> Calc.clock_of_class_id calc c)
     in
     let is_input = prog.Prog.is_input in
-    let prims =
-      Array.map
-        (fun lp -> { lp; queue = Queue.create (); overflows = 0 })
-        prog.Prog.prims
-    in
+    let lprims = prog.Prog.prims in
     (* presence sources per class *)
     let pdefs = Array.make nclasses Pfree in
     let mgr = Calc.manager calc in
@@ -113,19 +135,19 @@ let compile_impl kp =
       pdefs.(c) <- (if refers_self then Pfree else Pderived)
     done;
     (* stateful primitive outputs override *)
-    let stateful_outs p =
-      match p.lp.Prog.lp_ki.K.ki_prim with
+    let stateful_outs lp =
+      match lp.Prog.lp_ki.K.ki_prim with
       | Stdproc.Pfifo | Stdproc.Pfifo_reset -> [ 0 ]       (* data *)
       | Stdproc.Pin_event_port -> [ 0 ]                     (* frozen *)
       | Stdproc.Pout_event_port -> [ 0 ]                    (* sent *)
     in
     Array.iteri
-      (fun pi p ->
+      (fun pi lp ->
         List.iter
           (fun pos ->
-            pdefs.(class_of.(p.lp.Prog.lp_outs.(pos))) <- Pprim (pi, pos))
-          (stateful_outs p))
-      prims;
+            pdefs.(class_of.(lp.Prog.lp_outs.(pos))) <- Pprim (pi, pos))
+          (stateful_outs lp))
+      lprims;
     (* input classes *)
     for i = 0 to nsignals - 1 do
       if is_input.(i) then begin
@@ -186,7 +208,7 @@ let compile_impl kp =
       | Pprim (pi, _) ->
         Array.iter
           (fun i -> Analysis.Digraph.add_edge g (pnode class_of.(i)) (pnode c))
-          prims.(pi).lp.Prog.lp_ins
+          lprims.(pi).Prog.lp_ins
       | Pderived ->
         List.iter
           (fun v ->
@@ -227,7 +249,7 @@ let compile_impl kp =
           (fun j ->
             Analysis.Digraph.add_edge g (vnode j) (vnode i);
             Analysis.Digraph.add_edge g (pnode class_of.(j)) (vnode i))
-          prims.(pi).lp.Prog.lp_ins
+          lprims.(pi).Prog.lp_ins
     done;
     let order =
       match Analysis.Digraph.topological_sort g with
@@ -245,36 +267,82 @@ let compile_impl kp =
            order)
     in
     Ok
-      { prog; calc; class_of; nclasses; pdefs; clock_bdd; bddvars; plan;
-        prims;
-        dstate = Array.copy prog.Prog.delay_init;
-        pres = Array.make (max nclasses 1) false;
-        vals = Array.make (max nsignals 1) None;
-        stim_present = Array.make (max nsignals 1) false;
-        tr = Trace.create (Prog.decls prog);
-        instants = 0;
-        recording = true;
-        n_free }
+      { p_prog = prog; p_calc = calc; p_class_of = class_of;
+        p_nclasses = nclasses; p_pdefs = pdefs; p_clock_bdd = clock_bdd;
+        p_bddvars = bddvars; p_plan = plan; p_n_free = n_free }
   with
   | Comp_error m -> Error m
   | Prog.Lower_error m -> Error m
   | Invalid_argument m -> Error m
 
+(* a fresh mutable instance over a (possibly shared) plan *)
+let instantiate pl =
+  let prog = pl.p_prog in
+  { prog;
+    calc = pl.p_calc;
+    class_of = pl.p_class_of;
+    nclasses = pl.p_nclasses;
+    pdefs = pl.p_pdefs;
+    clock_bdd = pl.p_clock_bdd;
+    bddvars = pl.p_bddvars;
+    plan = pl.p_plan;
+    n_free = pl.p_n_free;
+    prims =
+      Array.map
+        (fun lp -> { lp; queue = Queue.create (); overflows = 0 })
+        prog.Prog.prims;
+    dstate = Array.copy prog.Prog.delay_init;
+    pres = Array.make (max pl.p_nclasses 1) false;
+    vals = Array.make (max prog.Prog.n 1) None;
+    stim_present = Array.make (max prog.Prog.n 1) false;
+    tr = Trace.create (Prog.decls prog);
+    instants = 0;
+    recording = true }
+
+let record_plan_metrics pl =
+  let mgr = Calc.manager pl.p_calc in
+  Metrics.set m_plan_ops (Array.length pl.p_plan);
+  Metrics.set m_bdd_nodes (Bdd.node_count mgr);
+  let calls, hits = Bdd.apply_stats mgr in
+  Metrics.set m_bdd_apply_calls calls;
+  Metrics.set m_bdd_apply_hit_pct
+    (if calls = 0 then 0 else 100 * hits / calls);
+  Metrics.set m_free_classes pl.p_n_free
+
+(* Plans are memoized on the kernel digest (compile errors too — they
+   are just as deterministic). The mutex makes the memo safe from the
+   explorer's worker domains and prevents two domains from building
+   one plan twice; cold builds are serialized, which is irrelevant
+   next to their cost being paid once. *)
+let plan_cache : (string, (plan, string) result) Hashtbl.t = Hashtbl.create 64
+let plan_lock = Mutex.create ()
+let plan_cache_cap = 256
+
+let plan_of kp =
+  let dg = K.digest kp in
+  Mutex.protect plan_lock @@ fun () ->
+  match Hashtbl.find_opt plan_cache dg with
+  | Some r -> Metrics.incr m_cache_hits; r
+  | None ->
+    Metrics.incr m_cache_misses;
+    Metrics.incr m_plan_builds;
+    let r = Metrics.time m_compile_ns (fun () -> compile_impl kp) in
+    (match r with Ok pl -> record_plan_metrics pl | Error _ -> ());
+    if Hashtbl.length plan_cache >= plan_cache_cap then
+      Hashtbl.reset plan_cache;
+    Hashtbl.add plan_cache dg r;
+    r
+
 let compile kp =
   Metrics.incr m_compilations;
+  Result.map instantiate (plan_of kp)
+
+let compile_uncached kp =
+  Metrics.incr m_compilations;
+  Metrics.incr m_plan_builds;
   let r = Metrics.time m_compile_ns (fun () -> compile_impl kp) in
-  (match r with
-   | Ok st ->
-     let mgr = Calc.manager st.calc in
-     Metrics.set m_plan_ops (Array.length st.plan);
-     Metrics.set m_bdd_nodes (Bdd.node_count mgr);
-     let calls, hits = Bdd.apply_stats mgr in
-     Metrics.set m_bdd_apply_calls calls;
-     Metrics.set m_bdd_apply_hit_pct
-       (if calls = 0 then 0 else 100 * hits / calls);
-     Metrics.set m_free_classes st.n_free
-   | Error _ -> ());
-  r
+  (match r with Ok pl -> record_plan_metrics pl | Error _ -> ());
+  Result.map instantiate r
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)

@@ -25,6 +25,18 @@
 type t
 
 val compile : Signal_lang.Kernel.kprocess -> (t, string) result
+(** Compile, or fetch the memoized compilation. The expensive immutable
+    part — clock analysis, clock BDDs, the toposorted execution plan —
+    is cached on {!Signal_lang.Kernel.digest} and shared between all
+    instances of a kernel; each call returns a fresh mutable instance
+    (own delay registers, FIFO queues, trace). Instances over one plan
+    are independent: stepping one never observes another, and distinct
+    domains may each step their own instance concurrently (the shared
+    plan is read-only at step time). *)
+
+val compile_uncached : Signal_lang.Kernel.kprocess -> (t, string) result
+(** [compile] bypassing the plan memo: always rebuilds. For benches
+    that want to measure a cold compilation, and tests. *)
 
 val step :
   t ->

@@ -1,5 +1,15 @@
 module K = Signal_lang.Kernel
 module Types = Signal_lang.Types
+module Metrics = Putil.Metrics
+module Pool = Putil.Domain_pool
+module Shard_tbl = Putil.Shard_tbl
+
+let m_checks = Metrics.counter "explore.checks"
+let m_steps = Metrics.counter "explore.steps"
+let m_domains = Metrics.gauge "explore.domains"
+let m_states = Metrics.gauge "explore.states"
+let m_frontier_max = Metrics.gauge "explore.frontier_max"
+let m_check_ns = Metrics.timer "explore.check_ns"
 
 type verdict =
   | Holds
@@ -20,7 +30,14 @@ let combinations inputs =
         acc)
     [ [] ] inputs
 
-let check ?(depth = 8) ~inputs ~safe kp =
+let default_jobs () =
+  match Sys.getenv_opt "EXPLORE_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* The original sequential depth-first search, kept as the reference
+   semantics the parallel search is tested against. *)
+let check_dfs ?(depth = 8) ~inputs ~safe kp =
   match Compile.compile kp with
   | Error m -> Error m
   | Ok c -> (
@@ -64,7 +81,211 @@ let check ?(depth = 8) ~inputs ~safe kp =
     | exception Stop v -> Ok (v, !states)
     | exception Sim_failure m -> Error m)
 
-let reachable_states ?depth ~inputs kp =
-  match check ?depth ~inputs ~safe:(fun _ -> true) kp with
+(* Breadth-first frontier search, one depth slice at a time, fanned out
+   over a domain pool.
+
+   Level [d] holds every state first reached after [d] instants. The
+   level's items are expanded in parallel: each task borrows a compiled
+   instance (all instances share one memoized plan, so an extra instance
+   is just fresh delay/FIFO state), restores the item's snapshot, and
+   steps it once per stimulus. New states are claimed in a sharded
+   visited table keyed by {!Compile.state_digest}.
+
+   Determinism. Every run — any job count, any scheduling — returns the
+   same verdict, the same counterexample, and the same state count:
+
+   - an edge is (item index, stimulus index), encoded as
+     [item * nstim + stim]; items keep their frontier order, so edge
+     keys are schedule-independent;
+   - a violating (or failing) edge is min-merged into [best_edge]; edges
+     strictly above the current bound may be skipped (they cannot win),
+     edges below it always complete, so the surviving edge is the global
+     minimum — the shallowest, lexicographically-least counterexample;
+   - a fresh state may be claimed by several same-level edges
+     concurrently; the table min-merges their keys and the sequential
+     merge after the level barrier keeps exactly the child whose edge
+     key equals the table's value, i.e. the least edge producing that
+     state. The next frontier (order included) is therefore independent
+     of the race outcome.
+
+   The claim protocol in the visited table: [-1] marks a state already
+   merged into some frontier (expanded, never to be re-entered); a
+   non-negative value is the least edge key claiming it during the level
+   in flight. The merge promotes claims to [-1].
+
+   The state count matches the DFS within dedup tolerance: BFS reaches
+   every state at its minimal depth, hence maximal remaining budget, and
+   expands it exactly once, while the DFS may re-expand a state reached
+   again with a larger remaining budget. *)
+let check ?(depth = 8) ?jobs ~inputs ~safe kp =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match Compile.compile kp with
+  | Error m -> Error m
+  | Ok c0 ->
+    Metrics.incr m_checks;
+    Metrics.set m_domains jobs;
+    Metrics.time m_check_ns @@ fun () ->
+    if depth <= 0 then Ok (Holds, 0)
+    else begin
+      Compile.set_recording c0 false;
+      let stimuli = Array.of_list (combinations inputs) in
+      let nstim = Array.length stimuli in
+      (* Instance lending: a task borrows an instance for a whole chunk,
+         so at most [jobs] instances ever exist. [c0] seeds the pool. *)
+      let inst_free = ref [ c0 ] in
+      let inst_mu = Mutex.create () in
+      let with_instance f =
+        let borrowed =
+          Mutex.protect inst_mu (fun () ->
+            match !inst_free with
+            | c :: tl ->
+              inst_free := tl;
+              Some c
+            | [] -> None)
+        in
+        let c =
+          match borrowed with
+          | Some c -> c
+          | None -> (
+            match Compile.compile kp with
+            | Ok c ->
+              Compile.set_recording c false;
+              c
+            | Error m -> failwith ("Explore: cannot re-instantiate: " ^ m))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect inst_mu (fun () -> inst_free := c :: !inst_free))
+          (fun () -> f c)
+      in
+      let visited : int Shard_tbl.t = Shard_tbl.create () in
+      Shard_tbl.update visited (Compile.state_digest c0) (fun _ -> Some (-1));
+      let states = ref 1 in
+      let frontier =
+        ref
+          [|
+            ( Compile.snapshot c0,
+              ([] : (Signal_lang.Ast.ident * Types.value) list list) );
+          |]
+      in
+      let frontier_peak = ref 1 in
+      let best_edge = Atomic.make max_int in
+      let best_outcome :
+          (int * ((verdict, string) result)) option ref =
+        ref None
+      in
+      let outcome_mu = Mutex.create () in
+      let record ek out =
+        let rec lower () =
+          let cur = Atomic.get best_edge in
+          if ek < cur && not (Atomic.compare_and_set best_edge cur ek) then
+            lower ()
+        in
+        lower ();
+        Mutex.protect outcome_mu @@ fun () ->
+        match !best_outcome with
+        | Some (bek, _) when bek <= ek -> ()
+        | _ -> best_outcome := Some (ek, out)
+      in
+      let result = ref None in
+      Pool.with_pool jobs @@ fun pool ->
+      let level = ref 0 in
+      while !result = None && !level < depth && Array.length !frontier > 0 do
+        let items = !frontier in
+        let n = Array.length items in
+        if n > !frontier_peak then frontier_peak := n;
+        let expand_children = !level + 1 < depth in
+        let children = Array.make n [||] in
+        Atomic.set best_edge max_int;
+        best_outcome := None;
+        let chunk = max 1 ((n + (jobs * 8) - 1) / (jobs * 8)) in
+        let tasks = ref [] in
+        let lo = ref 0 in
+        while !lo < n do
+          let lo0 = !lo in
+          let hi0 = min n (lo0 + chunk) in
+          lo := hi0;
+          tasks :=
+            (fun () ->
+              with_instance @@ fun c ->
+              for i = lo0 to hi0 - 1 do
+                let base = i * nstim in
+                if base < Atomic.get best_edge then begin
+                  let snap, trail = items.(i) in
+                  let kids =
+                    if expand_children then Array.make nstim None else [||]
+                  in
+                  for s = 0 to nstim - 1 do
+                    let ek = base + s in
+                    if ek < Atomic.get best_edge then begin
+                      Compile.restore c snap;
+                      let stimulus = stimuli.(s) in
+                      match Compile.step c ~stimulus with
+                      | Ok present ->
+                        Metrics.incr m_steps;
+                        if not (safe present) then
+                          record ek
+                            (Ok (Violated (List.rev (stimulus :: trail))))
+                        else if expand_children then begin
+                          let dg = Compile.state_digest c in
+                          let claimed = ref false in
+                          Shard_tbl.update visited dg (function
+                            | None ->
+                              claimed := true;
+                              Some ek
+                            | Some cur when cur >= 0 && ek < cur ->
+                              claimed := true;
+                              Some ek
+                            | keep -> keep);
+                          if !claimed then
+                            kids.(s) <-
+                              Some (dg, Compile.snapshot c, stimulus :: trail)
+                        end
+                      | Error m -> record ek (Error m)
+                    end
+                  done;
+                  children.(i) <- kids
+                end
+              done)
+            :: !tasks
+        done;
+        Pool.run_tasks pool (List.rev !tasks);
+        (match !best_outcome with
+        | Some (_, Ok v) -> result := Some (Ok (v, !states))
+        | Some (_, Error m) -> result := Some (Error m)
+        | None ->
+          if expand_children then begin
+            let next = ref [] in
+            for i = 0 to n - 1 do
+              let kids = children.(i) in
+              for s = 0 to Array.length kids - 1 do
+                match kids.(s) with
+                | Some (dg, snap, trail) -> (
+                  let ek = (i * nstim) + s in
+                  match Shard_tbl.find_opt visited dg with
+                  | Some v when v = ek ->
+                    (* least edge producing [dg]: its child is the
+                       state's canonical representative *)
+                    Shard_tbl.update visited dg (fun _ -> Some (-1));
+                    incr states;
+                    next := (snap, trail) :: !next
+                  | _ -> ())
+                | None -> ()
+              done
+            done;
+            frontier := Array.of_list (List.rev !next)
+          end
+          else frontier := [||]);
+        incr level
+      done;
+      Metrics.set m_states !states;
+      Metrics.set m_frontier_max !frontier_peak;
+      match !result with
+      | Some r -> r
+      | None -> Ok (Holds, !states)
+    end
+
+let reachable_states ?depth ?jobs ~inputs kp =
+  match check ?depth ?jobs ~inputs ~safe:(fun _ -> true) kp with
   | Ok (_, n) -> Ok n
   | Error m -> Error m

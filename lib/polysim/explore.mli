@@ -4,13 +4,24 @@
     At each instant every input nondeterministically takes one of the
     stimulus alternatives supplied for it; the explorer walks all
     combinations up to the given depth, pruning states (delay memories
-    + FIFO contents) already visited at an earlier-or-equal remaining
-    depth, and checks a safety predicate on every reached reaction.
+    + FIFO contents) already visited, and checks a safety predicate on
+    every reached reaction.
 
     The state pruning makes exploration complete for finite-state
     processes within the depth bound, and in general turns the search
     into bounded model checking: [`Holds] means no reachable violation
-    within [depth] instants. *)
+    within [depth] instants.
+
+    {!check} runs a breadth-first frontier search, one depth slice at a
+    time, fanned out over an OCaml 5 domain pool ({!Putil.Domain_pool})
+    with a sharded visited table ({!Putil.Shard_tbl}) keyed by
+    {!Compile.state_digest}. It is deterministic: any [jobs] value and
+    any scheduling yield the same verdict, the same counterexample (the
+    shallowest, and among those the lexicographically least in
+    (frontier-position, stimulus-index) order), and the same state
+    count. The original sequential depth-first search remains available
+    as {!check_dfs} and serves as the reference semantics in the test
+    suite. *)
 
 type verdict =
   | Holds
@@ -21,6 +32,7 @@ type verdict =
 
 val check :
   ?depth:int ->
+  ?jobs:int ->
   inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
   safe:((Signal_lang.Ast.ident * Signal_lang.Types.value) list -> bool) ->
   Signal_lang.Kernel.kprocess ->
@@ -32,10 +44,30 @@ val check :
     [safe] receives each reaction's present signals. Returns the
     verdict and the number of distinct states explored. Fails when the
     process does not compile (causality cycle) or a simulation error
-    occurs outside the property (e.g. division by zero). *)
+    occurs outside the property (e.g. division by zero).
+
+    [jobs] (default: the [EXPLORE_JOBS] environment variable, else 1)
+    spreads each depth slice over that many domains; [jobs:1] runs
+    entirely on the calling domain. The verdict, counterexample and
+    state count do not depend on [jobs]. [safe] is called concurrently
+    from several domains when [jobs > 1], so it must be thread-safe
+    (pure predicates, the common case, are). *)
+
+val check_dfs :
+  ?depth:int ->
+  inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
+  safe:((Signal_lang.Ast.ident * Signal_lang.Types.value) list -> bool) ->
+  Signal_lang.Kernel.kprocess ->
+  (verdict * int, string) result
+(** Sequential depth-first exploration — same contract as {!check} with
+    [jobs:1], but the counterexample is the first found in depth-first
+    order (not necessarily shallowest) and a state may be re-expanded
+    when reached again with a larger remaining budget. Kept as the
+    reference implementation the parallel search is validated against. *)
 
 val reachable_states :
   ?depth:int ->
+  ?jobs:int ->
   inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
   Signal_lang.Kernel.kprocess ->
   (int, string) result

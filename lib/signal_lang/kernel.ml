@@ -45,6 +45,10 @@ let atom_type env = function
 
 let signals kp = kp.kinputs @ kp.koutputs @ kp.klocals
 
+(* kprocess is pure data (strings, values, lists), so a structural
+   marshalling is a faithful canonical form *)
+let digest kp = Digest.string (Marshal.to_string kp [ Marshal.No_sharing ])
+
 (* ------------------------------------------------------------------ *)
 (* Indexed signal table                                                *)
 (* ------------------------------------------------------------------ *)

@@ -57,6 +57,12 @@ val atom_type :
 val signals : kprocess -> Ast.vardecl list
 (** All signals of the process: inputs, outputs, locals. *)
 
+val digest : kprocess -> string
+(** Structural digest (16 raw bytes): structurally equal processes
+    yield equal digests. Keys the clock-analysis and compilation memo
+    tables, so repeated pipeline runs over one kernel analyze it
+    once. *)
+
 (** {1 Indexed signal table}
 
     Dense per-process indexing of the declared signals, in {!signals}

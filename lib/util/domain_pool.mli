@@ -1,0 +1,46 @@
+(** Fixed pool of OCaml 5 domains with work-stealing deques.
+
+    Built for the bounded state-space explorer: a batch of independent
+    thunks per search level, executed by [lanes] workers (the calling
+    domain participates as lane 0, so [create n] spawns [n - 1]
+    domains). Each lane owns a deque; owners pop newest-first, idle
+    lanes steal oldest-first from the others, so unbalanced batches
+    still spread.
+
+    Cancellation is cooperative and sticky: after {!cancel}, remaining
+    tasks of the current batch are drained without running and later
+    batches return immediately, until {!reset_cancel}.
+
+    Not reentrant: tasks must not call {!run_tasks} on their own pool. *)
+
+type t
+
+val create : int -> t
+(** [create lanes] with [lanes >= 1]. [create 1] spawns no domains:
+    {!run_tasks} then runs every task inline on the caller, which is
+    the sequential reference behaviour. *)
+
+val size : t -> int
+(** Number of lanes (including the calling domain). *)
+
+val run_tasks : t -> (unit -> unit) list -> unit
+(** Run one batch to completion (or to drained cancellation). The
+    caller works alongside the pool and returns when every task has
+    either run or been skipped. If a task raises, the first exception
+    is re-raised here after the batch drains (the rest of the batch is
+    cancelled); the cancel flag is left raised. *)
+
+val cancel : t -> unit
+(** Raise the cancellation flag (an [Atomic] visible to every lane). *)
+
+val cancelled : t -> bool
+(** Poll the flag — long-running tasks should check it themselves. *)
+
+val reset_cancel : t -> unit
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must be idle. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool lanes f] creates a pool, runs [f] and always shuts the
+    pool down. *)

@@ -1,6 +1,11 @@
-type counter = { mutable c : int }
-type gauge = { mutable g : int }
-type timer = { mutable spans : int; mutable total_ns : int }
+(* Counters, gauges and timers are lock-free atomics so the
+   instrumented hot paths (compiled step, explorer workers) can be
+   driven from several domains without losing events. Histograms keep
+   plain mutable fields: they are only written from single-domain
+   sections and a mutex per observation would not pay for itself. *)
+type counter = { c : int Atomic.t }
+type gauge = { g : int Atomic.t }
+type timer = { spans : int Atomic.t; total_ns : int Atomic.t }
 
 type histogram = {
   mutable n : int;
@@ -43,29 +48,32 @@ let get_or_create (reg : registry) name make expect =
 
 let counter ?(registry = global) name =
   get_or_create registry name
-    (fun () -> Icounter { c = 0 })
+    (fun () -> Icounter { c = Atomic.make 0 })
     (function Icounter c -> Some c | _ -> None)
 
-let incr ?(by = 1) c = c.c <- c.c + by
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c by)
 
 let gauge ?(registry = global) name =
   get_or_create registry name
-    (fun () -> Igauge { g = 0 })
+    (fun () -> Igauge { g = Atomic.make 0 })
     (function Igauge g -> Some g | _ -> None)
 
-let set g v = g.g <- v
-let max_gauge g v = if v > g.g then g.g <- v
+let set g v = Atomic.set g.g v
+
+let rec max_gauge g v =
+  let cur = Atomic.get g.g in
+  if v > cur && not (Atomic.compare_and_set g.g cur v) then max_gauge g v
 
 let timer ?(registry = global) name =
   get_or_create registry name
-    (fun () -> Itimer { spans = 0; total_ns = 0 })
+    (fun () -> Itimer { spans = Atomic.make 0; total_ns = Atomic.make 0 })
     (function Itimer t -> Some t | _ -> None)
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let add_span_ns t ns =
-  t.spans <- t.spans + 1;
-  t.total_ns <- t.total_ns + max 0 ns
+  ignore (Atomic.fetch_and_add t.spans 1);
+  ignore (Atomic.fetch_and_add t.total_ns (max 0 ns))
 
 let time t f =
   let t0 = now_ns () in
@@ -98,9 +106,10 @@ type stat =
   | Histogram of { count : int; sum : float; min : float; max : float }
 
 let stat_of = function
-  | Icounter c -> Counter c.c
-  | Igauge g -> Gauge g.g
-  | Itimer t -> Timer { spans = t.spans; total_ns = t.total_ns }
+  | Icounter c -> Counter (Atomic.get c.c)
+  | Igauge g -> Gauge (Atomic.get g.g)
+  | Itimer t ->
+      Timer { spans = Atomic.get t.spans; total_ns = Atomic.get t.total_ns }
   | Ihist h -> Histogram { count = h.n; sum = h.sum; min = h.mn; max = h.mx }
 
 let snapshot reg =
@@ -118,11 +127,11 @@ let reset reg =
   Hashtbl.iter
     (fun _ i ->
       match i with
-      | Icounter c -> c.c <- 0
-      | Igauge g -> g.g <- 0
+      | Icounter c -> Atomic.set c.c 0
+      | Igauge g -> Atomic.set g.g 0
       | Itimer t ->
-          t.spans <- 0;
-          t.total_ns <- 0
+          Atomic.set t.spans 0;
+          Atomic.set t.total_ns 0
       | Ihist h ->
           h.n <- 0;
           h.sum <- 0.;
@@ -238,6 +247,162 @@ module Json = struct
     let buf = Buffer.create 256 in
     write buf t;
     Buffer.contents buf
+
+  (* Minimal RFC 8259 parser, enough to read back the records this
+     module writes (bench baselines, metric snapshots). Numbers with a
+     fraction or exponent parse as [Float], bare integers as [Int]. *)
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+             pos := !pos + 4;
+             (* escape to UTF-8; surrogate pairs are not recombined,
+                which is fine for the ASCII metric names we emit *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+           | _ -> fail "bad escape");
+          go ())
+        | c -> Buffer.add_char buf c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') -> advance (); go ()
+        | Some ('.' | 'e' | 'E') -> is_float := true; advance (); go ()
+        | _ -> ()
+      in
+      go ();
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> String (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (items [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | _ -> fail "unexpected character"
+    in
+    match parse_value () with
+    | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+      else Ok v
+    | exception Parse_error m -> Error m
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let to_float = function
+    | Some (Float f) -> Some f
+    | Some (Int i) -> Some (float_of_int i)
+    | _ -> None
 end
 
 let json_of_stat = function

@@ -11,8 +11,13 @@
     (engine, compile, calculus, trans, sched) write into; fresh
     registries are for tests and for callers that need isolation.
 
-    Overhead is a field mutation per event and two [Unix.gettimeofday]
-    calls per timed span — safe to leave enabled in benches. *)
+    Overhead is an atomic fetch-and-add per event and two
+    [Unix.gettimeofday] calls per timed span — safe to leave enabled in
+    benches. Counters, gauges and timers are lock-free atomics, so the
+    instrumented hot paths can run on several domains concurrently
+    without losing events; creating instruments concurrently is not
+    supported (create them at module-initialization time, as the
+    libraries do). Histograms are not synchronized. *)
 
 type registry
 
@@ -105,6 +110,18 @@ module Json : sig
   val to_string : t -> string
   (** Compact, RFC 8259-conformant rendering (strings escaped;
       non-finite floats serialized as [null]). *)
+
+  val of_string : string -> (t, string) result
+  (** Parse a complete JSON document (the inverse of {!to_string}, and
+      enough of RFC 8259 to read foreign records). Bare integers parse
+      as [Int], numbers with a fraction or exponent as [Float]. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the value bound to [k]; [None] for
+      missing keys and non-object values. *)
+
+  val to_float : t option -> float option
+  (** Numeric coercion helper: [Int]/[Float] to [float]. *)
 end
 
 val to_json : registry -> Json.t

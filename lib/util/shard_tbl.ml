@@ -1,0 +1,53 @@
+(* A string-keyed hash table split into independently locked shards.
+   Callers hash to a shard by key, so concurrent access from several
+   domains only contends when two keys land in the same shard. The
+   per-key [update] is the primitive: a read-modify-write under the
+   shard's mutex, which is enough to build atomic claim/min-merge
+   protocols (the state-space explorer's visited table) without a
+   global lock. *)
+
+type 'v t = {
+  mutexes : Mutex.t array;
+  tables : (string, 'v) Hashtbl.t array;
+  mask : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let create ?(shards = 16) () =
+  if shards < 1 then invalid_arg "Shard_tbl.create: need at least one shard";
+  let n = pow2_at_least shards 1 in
+  { mutexes = Array.init n (fun _ -> Mutex.create ());
+    tables = Array.init n (fun _ -> Hashtbl.create 64);
+    mask = n - 1 }
+
+let shard_count t = Array.length t.tables
+
+let shard_of t k = Hashtbl.hash k land t.mask
+
+let find_opt t k =
+  let s = shard_of t k in
+  Mutex.protect t.mutexes.(s) @@ fun () -> Hashtbl.find_opt t.tables.(s) k
+
+let mem t k = find_opt t k <> None
+
+let update t k f =
+  let s = shard_of t k in
+  Mutex.protect t.mutexes.(s) @@ fun () ->
+  let tbl = t.tables.(s) in
+  match f (Hashtbl.find_opt tbl k) with
+  | Some v -> Hashtbl.replace tbl k v
+  | None -> Hashtbl.remove tbl k
+
+let length t =
+  let n = ref 0 in
+  Array.iteri
+    (fun s tbl ->
+      Mutex.protect t.mutexes.(s) (fun () -> n := !n + Hashtbl.length tbl))
+    t.tables;
+  !n
+
+let clear t =
+  Array.iteri
+    (fun s tbl -> Mutex.protect t.mutexes.(s) (fun () -> Hashtbl.reset tbl))
+    t.tables

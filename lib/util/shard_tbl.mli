@@ -1,0 +1,29 @@
+(** A string-keyed hash table in independently locked shards, for
+    tables shared across domains (the explorer's visited-state set).
+
+    Each operation locks exactly one shard, chosen by hashing the key,
+    so domains working on disjoint keys rarely contend. {!update} is an
+    atomic per-key read-modify-write — enough to express first-writer
+    claims and min-merges without a global lock. Operations on
+    different keys are independent; there is no whole-table snapshot
+    primitive ({!length} sums shard sizes one lock at a time). *)
+
+type 'v t
+
+val create : ?shards:int -> unit -> 'v t
+(** [create ~shards ()] with [shards] rounded up to a power of two
+    (default 16). *)
+
+val shard_count : 'v t -> int
+
+val find_opt : 'v t -> string -> 'v option
+val mem : 'v t -> string -> bool
+
+val update : 'v t -> string -> ('v option -> 'v option) -> unit
+(** [update t k f] replaces the binding of [k] by [f (current)],
+    atomically for the key: [None] means absent (returning [None]
+    removes). [f] runs under the shard lock — keep it short and never
+    reenter the table from it. *)
+
+val length : 'v t -> int
+val clear : 'v t -> unit

@@ -6,12 +6,16 @@ type t = int
 
 (* The interner is global and append-only: ids are dense and stable
    for the lifetime of the program, which is what lets per-process
-   tables be plain int arrays. *)
+   tables be plain int arrays. All reads and writes of the intern
+   structures happen under [lock] so symbols can be interned from any
+   domain (the parallel explorer compiles on worker domains). *)
 let strings : string array ref = ref (Array.make 1024 "")
 let count = ref 0
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+let lock = Mutex.create ()
 
 let of_string s =
+  Mutex.protect lock @@ fun () ->
   match Hashtbl.find_opt table s with
   | Some id -> id
   | None ->
@@ -26,9 +30,9 @@ let of_string s =
     Hashtbl.add table s id;
     id
 
-let name t = !strings.(t)
+let name t = Mutex.protect lock (fun () -> !strings.(t))
 let id t = t
-let interned_count () = !count
+let interned_count () = Mutex.protect lock (fun () -> !count)
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Int.compare a b

@@ -4,7 +4,12 @@
     the resulting symbol compares, hashes and prints in O(1) (modulo
     the interned string's length for printing). Dense ids make
     symbol-keyed maps flat arrays ({!Tbl}), the representation the
-    simulator and the clock calculus index their signal tables with. *)
+    simulator and the clock calculus index their signal tables with.
+
+    Interning and name lookup are thread-safe: symbols may be created
+    and resolved from any domain (the parallel state-space explorer
+    compiles processes on worker domains). {!Tbl} values themselves are
+    not synchronized — share one table across domains only read-only. *)
 
 type t
 

@@ -129,6 +129,32 @@ let test_support () =
   Alcotest.(check (list int)) "redundant var eliminated" [ 0; 3 ]
     (Bdd.support m g)
 
+(* the apply cache has replace semantics: recomputing an expression
+   over already-built nodes must answer every consultation from the
+   cache. This is the regression test for the old insert-once cache,
+   whose entries could never be refreshed and whose measured hit rate
+   stagnated around 21%. *)
+let test_apply_cache_growth () =
+  let m = mgr () in
+  let build () =
+    let acc = ref (Bdd.one m) in
+    for i = 0 to 7 do
+      let x = Bdd.var m i and y = Bdd.var m ((i + 3) mod 8) in
+      acc := Bdd.and_ m !acc (Bdd.or_ m x (Bdd.xor_ m y (Bdd.not_ m x)))
+    done;
+    !acc
+  in
+  let f1 = build () in
+  let consults1, hits1 = Bdd.apply_stats m in
+  let f2 = build () in
+  let consults2, hits2 = Bdd.apply_stats m in
+  Alcotest.(check bool) "hash-consed to the same node" true (Bdd.equal f1 f2);
+  let replay_consults = consults2 - consults1 in
+  let replay_hits = hits2 - hits1 in
+  Alcotest.(check bool) "replay consults the cache" true (replay_consults > 0);
+  Alcotest.(check int) "every replayed consultation hits" replay_consults
+    replay_hits
+
 let test_any_sat () =
   let m = mgr () in
   Alcotest.(check bool) "zero unsat" true (Bdd.any_sat m (Bdd.zero m) = None);
@@ -146,5 +172,7 @@ let suite =
      [ Alcotest.test_case "terminals" `Quick test_terminals;
        Alcotest.test_case "implies/exclusive" `Quick test_implies_exclusive;
        Alcotest.test_case "support" `Quick test_support;
+       Alcotest.test_case "apply cache replays as hits" `Quick
+         test_apply_cache_growth;
        Alcotest.test_case "any_sat" `Quick test_any_sat ]
      @ qsuite) ]

@@ -315,6 +315,35 @@ let prop_random_equivalence =
              Signal_lang.Pp.pp_process p;
            false))
 
+(* [compile] memoizes the plan and returns fresh instances: stepping
+   one instance must never leak into another, and the memoized path
+   must behave exactly like a cold compilation *)
+let test_memoized_instances_independent () =
+  let p =
+    B.proc ~name:"use_counter_memo"
+      ~inputs:[ Ast.var "e" Types.Tevent ]
+      ~outputs:[ Ast.var "n" Types.Tint ]
+      B.[ inst ~label:"c" "counter" [ v "e" ] [ "n" ] ]
+  in
+  let kp = N.process_exn p in
+  let c1 = Result.get_ok (Compile.compile kp) in
+  let c2 = Result.get_ok (Compile.compile kp) in
+  let d0 = Compile.state_digest c2 in
+  let step c =
+    match Compile.step c ~stimulus:[ ("e", ve) ] with
+    | Ok present -> List.assoc_opt "n" present
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "c1 counts 1" true (step c1 = Some (vi 1));
+  Alcotest.(check bool) "c1 counts 2" true (step c1 = Some (vi 2));
+  Alcotest.(check string) "c2 state untouched by c1" d0
+    (Compile.state_digest c2);
+  Alcotest.(check bool) "c2 starts fresh" true (step c2 = Some (vi 1));
+  Alcotest.(check bool) "c1 keeps its own count" true (step c1 = Some (vi 3));
+  (* the uncached path agrees with the memoized one *)
+  let c3 = Result.get_ok (Compile.compile_uncached kp) in
+  Alcotest.(check bool) "cold compile agrees" true (step c3 = Some (vi 1))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_equivalence ]
 
 let suite =
@@ -328,5 +357,7 @@ let suite =
        Alcotest.test_case "case study equivalence" `Quick
          test_case_study_equiv;
        Alcotest.test_case "case study plan" `Quick
-         test_case_study_plan_properties ]
+         test_case_study_plan_properties;
+       Alcotest.test_case "memoized instances independent" `Quick
+         test_memoized_instances_independent ]
      @ qsuite) ]

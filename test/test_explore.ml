@@ -95,7 +95,9 @@ let test_fm_law_universal () =
       ~safe kp
   with
   | Ok (E.Holds, states) ->
-    Alcotest.(check bool) "nontrivial exploration" true (states > 3)
+    (* the memory cell ranges over {init, 1, 2}: the breadth-first
+       search counts each distinct state exactly once *)
+    Alcotest.(check int) "distinct memory states" 3 states
   | Ok (E.Violated _, _) -> Alcotest.fail "fm law violated"
   | Error m -> Alcotest.fail m
 
@@ -156,6 +158,123 @@ let test_uncompilable_rejected () =
   | Ok _ -> Alcotest.fail "cyclic process must not explore"
   | Error _ -> ()
 
+(* the parallel frontier search returns bit-identical results for any
+   job count and any scheduling: verdict, counterexample and state
+   count *)
+let two_counters =
+  lazy
+    (N.process_exn
+       (B.proc ~name:"two_counters"
+          ~inputs:[ Ast.var "e0" Types.Tevent; Ast.var "e1" Types.Tevent ]
+          ~outputs:[ Ast.var "n0" Types.Tint; Ast.var "n1" Types.Tint ]
+          B.[ inst ~label:"c0" "counter" [ v "e0" ] [ "n0" ];
+              inst ~label:"c1" "counter" [ v "e1" ] [ "n1" ] ]))
+
+let two_counter_inputs =
+  [ ("e0", [ None; Some ve ]); ("e1", [ None; Some ve ]) ]
+
+let test_parallel_determinism () =
+  let kp = Lazy.force two_counters in
+  (* falsifiable: counter 0 reaches 2 — many equally-deep witnesses, so
+     determinism of the reported one is the interesting part *)
+  let safe present = List.assoc_opt "n0" present <> Some (vi 2) in
+  let runs =
+    List.map
+      (fun jobs ->
+        E.check ~depth:6 ~jobs ~inputs:two_counter_inputs ~safe kp)
+      [ 1; 2; 4; 4; 4 ]
+  in
+  match runs with
+  | first :: rest ->
+    List.iteri
+      (fun i r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "run %d identical to jobs:1" (i + 1))
+          true (r = first))
+      rest;
+    (match first with
+     | Ok (E.Violated trail, _) ->
+       (* the BFS minimum: two events on e0, nothing longer *)
+       Alcotest.(check int) "shallowest counterexample" 2 (List.length trail)
+     | _ -> Alcotest.fail "expected a violation")
+  | [] -> assert false
+
+let test_parallel_matches_dfs_verdict () =
+  let kp = Lazy.force two_counters in
+  let holds present = List.assoc_opt "n1" present <> Some (vi 9) in
+  let violated present = List.assoc_opt "n1" present <> Some (vi 3) in
+  List.iter
+    (fun safe ->
+      let d = E.check_dfs ~depth:5 ~inputs:two_counter_inputs ~safe kp in
+      List.iter
+        (fun jobs ->
+          let b = E.check ~depth:5 ~jobs ~inputs:two_counter_inputs ~safe kp in
+          match (d, b) with
+          | Ok (E.Holds, _), Ok (E.Holds, _) -> ()
+          | Ok (E.Violated _, _), Ok (E.Violated _, _) -> ()
+          | _ -> Alcotest.fail "parallel verdict differs from DFS")
+        [ 1; 2; 4 ])
+    [ holds; violated ]
+
+(* random programs: same verdict from the DFS reference and the
+   parallel search at 1, 2 and 4 jobs, and identical results across
+   job counts *)
+let gen_program =
+  let open QCheck2.Gen in
+  let* n = int_range 1 5 in
+  let rec build k env acc =
+    if k = 0 then return (List.rev acc, env)
+    else
+      let* pick = int_range 0 5 in
+      let name = Printf.sprintf "s%d" (List.length acc) in
+      let* src = oneofl env in
+      let* e =
+        match pick with
+        | 0 | 1 ->
+          let* cnd = oneofl env in
+          return B.(when_ (v src) (v cnd < i 2))
+        | 2 ->
+          let* other = oneofl env in
+          return B.(default (v src) (v other))
+        | 3 -> return B.(delay (v src))
+        | _ -> return B.(v src + i 1)
+      in
+      build (k - 1) (name :: env) ((name, e) :: acc)
+  in
+  let* locals, _ = build n [ "x" ] [] in
+  let decls = List.map (fun (nm, _) -> Ast.var nm Types.Tint) locals in
+  let body = List.map (fun (nm, e) -> B.(nm := e)) locals in
+  let last = fst (List.nth locals (List.length locals - 1)) in
+  return
+    (B.proc ~name:"ex"
+       ~inputs:[ Ast.var "x" Types.Tint ]
+       ~outputs:[ Ast.var "out" Types.Tint ]
+       ~locals:decls
+       (body @ [ B.("out" := v last) ]))
+
+let prop_parallel_parity =
+  QCheck2.Test.make ~name:"parallel check agrees with sequential DFS"
+    ~count:40 gen_program (fun p ->
+      match N.process p with
+      | Error _ -> true
+      | Ok kp ->
+        let inputs = [ ("x", [ None; Some (vi 1); Some (vi 2) ]) ] in
+        let safe present = List.assoc_opt "out" present <> Some (vi 3) in
+        let verdict_of = function
+          | Ok (E.Holds, _) -> `Holds
+          | Ok (E.Violated _, _) -> `Violated
+          | Error _ -> `Error
+        in
+        let dfs = verdict_of (E.check_dfs ~depth:4 ~inputs ~safe kp) in
+        let seq = E.check ~depth:4 ~jobs:1 ~inputs ~safe kp in
+        verdict_of seq = dfs
+        && List.for_all
+             (fun jobs ->
+               E.check ~depth:4 ~jobs ~inputs ~safe kp = seq)
+             [ 2; 4 ])
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_parallel_parity ]
+
 let suite =
   [ ("explore",
      [ Alcotest.test_case "timer never early (BMC)" `Quick
@@ -167,4 +286,9 @@ let suite =
          test_counterexample_replays;
        Alcotest.test_case "state pruning" `Quick test_state_pruning_counts;
        Alcotest.test_case "uncompilable rejected" `Quick
-         test_uncompilable_rejected ]) ]
+         test_uncompilable_rejected;
+       Alcotest.test_case "parallel determinism" `Quick
+         test_parallel_determinism;
+       Alcotest.test_case "parallel matches DFS verdict" `Quick
+         test_parallel_matches_dfs_verdict ]
+     @ qsuite) ]

@@ -1,0 +1,142 @@
+(* The concurrency substrate of the parallel explorer: the fixed
+   domain pool with work-stealing deques, and the sharded visited
+   table. *)
+
+module Pool = Putil.Domain_pool
+module Shard_tbl = Putil.Shard_tbl
+
+let test_parallel_sum () =
+  Pool.with_pool 4 @@ fun pool ->
+  Alcotest.(check int) "size" 4 (Pool.size pool);
+  let n = 1000 in
+  let acc = Atomic.make 0 in
+  Pool.run_tasks pool
+    (List.init n (fun i -> fun () -> ignore (Atomic.fetch_and_add acc i)));
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) (Atomic.get acc)
+
+let test_uneven_tasks_complete () =
+  (* wildly uneven task durations force the stealing path: lanes that
+     drain their own deque must pull the stragglers' oldest work *)
+  Pool.with_pool 4 @@ fun pool ->
+  let acc = Atomic.make 0 in
+  Pool.run_tasks pool
+    (List.init 64 (fun i ->
+         fun () ->
+          let spin = if i mod 16 = 0 then 20_000 else 10 in
+          let s = ref 0 in
+          for k = 1 to spin do
+            s := !s + k
+          done;
+          ignore (Atomic.fetch_and_add acc (if !s > 0 then 1 else 0))));
+  Alcotest.(check int) "all ran" 64 (Atomic.get acc)
+
+let test_single_lane_inline () =
+  (* one lane spawns no domains: everything runs on the caller *)
+  Pool.with_pool 1 @@ fun pool ->
+  let me = Domain.self () in
+  let ok = ref true in
+  Pool.run_tasks pool
+    (List.init 10 (fun _ -> fun () -> if Domain.self () <> me then ok := false));
+  Alcotest.(check bool) "caller executed every task" true !ok
+
+let test_batch_reuse () =
+  Pool.with_pool 3 @@ fun pool ->
+  let acc = Atomic.make 0 in
+  for _ = 1 to 5 do
+    Pool.run_tasks pool
+      (List.init 64 (fun _ -> fun () -> ignore (Atomic.fetch_and_add acc 1)))
+  done;
+  Alcotest.(check int) "five batches" 320 (Atomic.get acc)
+
+let test_cancellation_sticky () =
+  Pool.with_pool 2 @@ fun pool ->
+  Pool.run_tasks pool [ (fun () -> Pool.cancel pool) ];
+  Alcotest.(check bool) "flag raised" true (Pool.cancelled pool);
+  (* a cancelled pool drains batches without running them *)
+  let ran = Atomic.make 0 in
+  Pool.run_tasks pool
+    (List.init 50 (fun _ -> fun () -> ignore (Atomic.fetch_and_add ran 1)));
+  Alcotest.(check int) "skipped while cancelled" 0 (Atomic.get ran);
+  Pool.reset_cancel pool;
+  Pool.run_tasks pool
+    (List.init 50 (fun _ -> fun () -> ignore (Atomic.fetch_and_add ran 1)));
+  Alcotest.(check int) "runs after reset" 50 (Atomic.get ran)
+
+let test_exception_propagates () =
+  Pool.with_pool 2 @@ fun pool ->
+  (match Pool.run_tasks pool [ (fun () -> failwith "boom") ] with
+   | () -> Alcotest.fail "expected the task exception to re-raise"
+   | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* a failing task cancels the batch; the pool stays usable *)
+  Alcotest.(check bool) "failure cancels" true (Pool.cancelled pool);
+  Pool.reset_cancel pool;
+  let ok = Atomic.make 0 in
+  Pool.run_tasks pool [ (fun () -> ignore (Atomic.fetch_and_add ok 1)) ];
+  Alcotest.(check int) "usable after failure" 1 (Atomic.get ok)
+
+(* ------------------------------------------------------------------ *)
+(* sharded table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_basic () =
+  let t : int Shard_tbl.t = Shard_tbl.create ~shards:5 () in
+  Alcotest.(check int) "shards round up to a power of two" 8
+    (Shard_tbl.shard_count t);
+  Shard_tbl.update t "a" (fun _ -> Some 1);
+  Shard_tbl.update t "b" (fun _ -> Some 2);
+  Alcotest.(check (option int)) "find" (Some 1) (Shard_tbl.find_opt t "a");
+  Shard_tbl.update t "a" (function Some v -> Some (v + 10) | None -> None);
+  Alcotest.(check (option int)) "read-modify-write" (Some 11)
+    (Shard_tbl.find_opt t "a");
+  Alcotest.(check int) "length" 2 (Shard_tbl.length t);
+  Shard_tbl.update t "a" (fun _ -> None);
+  Alcotest.(check bool) "removed" false (Shard_tbl.mem t "a");
+  Shard_tbl.clear t;
+  Alcotest.(check int) "cleared" 0 (Shard_tbl.length t)
+
+let test_shard_concurrent_min_merge () =
+  (* 8 writers race a min-merge per key from 4 domains; the result must
+     be the true minimum whatever the interleaving — the exact protocol
+     the explorer's visited table relies on *)
+  let t : int Shard_tbl.t = Shard_tbl.create () in
+  let nkeys = 32 and writers = 8 in
+  let value i w = ((i * 7) + (w * 13)) mod 101 in
+  Pool.with_pool 4 (fun pool ->
+      Pool.run_tasks pool
+        (List.concat_map
+           (fun w ->
+             List.init nkeys (fun i ->
+                 fun () ->
+                  Shard_tbl.update t
+                    (Printf.sprintf "k%d" i)
+                    (function
+                      | None -> Some (value i w)
+                      | Some cur -> Some (min cur (value i w)))))
+           (List.init writers Fun.id)));
+  for i = 0 to nkeys - 1 do
+    let expected =
+      List.fold_left min max_int
+        (List.init writers (fun w -> value i w))
+    in
+    Alcotest.(check (option int))
+      (Printf.sprintf "k%d" i)
+      (Some expected)
+      (Shard_tbl.find_opt t (Printf.sprintf "k%d" i))
+  done;
+  Alcotest.(check int) "one entry per key" nkeys (Shard_tbl.length t)
+
+let suite =
+  [ ("pool",
+     [ Alcotest.test_case "parallel sum" `Quick test_parallel_sum;
+       Alcotest.test_case "uneven tasks complete (stealing)" `Quick
+         test_uneven_tasks_complete;
+       Alcotest.test_case "single lane runs inline" `Quick
+         test_single_lane_inline;
+       Alcotest.test_case "batch reuse" `Quick test_batch_reuse;
+       Alcotest.test_case "cancellation is sticky" `Quick
+         test_cancellation_sticky;
+       Alcotest.test_case "task exception propagates" `Quick
+         test_exception_propagates;
+       Alcotest.test_case "shard table basics" `Quick test_shard_basic;
+       Alcotest.test_case "shard table concurrent min-merge" `Quick
+         test_shard_concurrent_min_merge ]) ]
