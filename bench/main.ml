@@ -26,7 +26,7 @@ let section name = Format.printf "@.======== %s ========@." name
 let analyzed registry =
   match P.analyze ~registry CS.aadl_source with
   | Ok a -> a
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
 
 (* ------------------------------------------------------------------ *)
 (* FIG 1: the prProdCons process in AADL (instance tree)               *)
@@ -132,7 +132,7 @@ let fig6 () =
     top.Ast.body;
   (* and its runtime behaviour *)
   match P.simulate ~hyperperiods:2 a with
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
   | Ok tr ->
     Polysim.Trace.chronogram
       ~signals:
@@ -225,7 +225,7 @@ let profiling_section () =
   section "PROFILING: cost-model timing evaluation (ref [16])";
   let a = analyzed CS.registry_nominal in
   match P.simulate ~hyperperiods:4 a with
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
   | Ok tr ->
     let counts x = Polysim.Trace.present_count tr x in
     let r = Analysis.Profiling.with_counts ~counts a.P.kernel in

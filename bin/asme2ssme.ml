@@ -38,11 +38,30 @@ let or_die = function
     prerr_endline ("error: " ^ m);
     exit 1
 
+(* Render a diagnostic report on the chosen channel and format. The
+   exit-code contract: 0 when nothing worse than a note was reported,
+   2 when the worst is a warning, 1 when any error is present. *)
+let print_diags ?(oc = stdout) ~format ~src diags =
+  match format with
+  | `Text -> output_string oc (Putil.Diag.render_list ~src diags)
+  | `Json ->
+    output_string oc
+      (Putil.Metrics.Json.to_string (Putil.Diag.list_to_json diags));
+    output_char oc '\n'
+
 let analyzed file root registry policy =
   let src = load_source file in
   let registry = or_die (registry_named registry) in
   let policy = or_die (policy_named policy) in
-  or_die (Polychrony.Pipeline.analyze ~registry ~policy ?root src)
+  match Polychrony.Pipeline.analyze ~registry ~policy ?root ?file src with
+  | Ok a ->
+    if a.Polychrony.Pipeline.diags <> [] then
+      print_diags ~oc:stderr ~format:`Text ~src
+        a.Polychrony.Pipeline.diags;
+    a
+  | Error ds ->
+    print_diags ~oc:stderr ~format:`Text ~src ds;
+    exit (Putil.Diag.exit_code ds)
 
 open Cmdliner
 
@@ -62,6 +81,14 @@ let registry_arg =
 let policy_arg =
   Arg.(value & opt string "edf" & info [ "policy" ] ~docv:"POLICY"
          ~doc:"Scheduling policy: edf, rm, fp or fifo.")
+
+let format_arg =
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Diagnostics format: $(b,text) (human-readable, with \
+                 source excerpts) or $(b,json) (the polychrony-diag/v1 \
+                 schema).")
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ]
@@ -85,32 +112,27 @@ let parse_cmd =
     Term.(const run $ file_arg)
 
 let check_cmd =
-  let run file root =
+  let run file root format =
     let src = load_source file in
-    let pkg = or_die (Aadl.Parser.parse_package src) in
-    let issues = Aadl.Check.check_package pkg in
-    List.iter (fun i -> Format.printf "%a@." Aadl.Check.pp_issue i) issues;
-    if issues = [] then print_endline "no issues";
-    let root =
-      match root with
-      | Some r -> Some r
-      | None -> (
-        match Polychrony.Pipeline.analyze ~registry:[] src with
-        | Ok a ->
-          Some
-            a.Polychrony.Pipeline.instance.Aadl.Instance.root
-              .Aadl.Instance.i_classifier
-        | Error _ -> None)
+    (* the whole pipeline runs so independent defects across layers —
+       legality, instantiation, scheduling, typing, clocking — are
+       reported in one invocation *)
+    let diags =
+      match Polychrony.Pipeline.analyze ~registry:[] ?root ?file src with
+      | Ok a -> a.Polychrony.Pipeline.diags
+      | Error ds -> ds
     in
-    match root with
-    | None -> ()
-    | Some root -> (
-      match Aadl.Instance.instantiate pkg ~root with
-      | Ok t -> Format.printf "@.%a@." Aadl.Instance.pp_tree t
-      | Error m -> prerr_endline ("instantiation: " ^ m))
+    print_diags ~format ~src diags;
+    (match format, diags with
+     | `Text, [] -> print_endline "no issues"
+     | _ -> ());
+    exit (Putil.Diag.exit_code diags)
   in
-  Cmd.v (Cmd.info "check" ~doc:"AADL legality checks and instance tree")
-    Term.(const run $ file_arg $ root_arg)
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Report every defect the pipeline can find, with stable \
+             codes and source spans; exit 0/1/2 by worst severity")
+    Term.(const run $ file_arg $ root_arg $ format_arg)
 
 let translate_cmd =
   let run file root registry policy stats =
@@ -141,16 +163,35 @@ let schedule_cmd =
           $ stats_arg)
 
 let analyze_cmd =
-  let run file root registry policy =
-    let a = analyzed file root registry policy in
-    Format.printf "%a@." Polychrony.Pipeline.pp_summary a;
-    Format.printf "@.traceability:@.%a@." Trans.Traceability.pp
-      a.Polychrony.Pipeline.translation.Trans.System_trans.trace
+  let run file root registry policy format =
+    let src = load_source file in
+    let registry = or_die (registry_named registry) in
+    let policy = or_die (policy_named policy) in
+    match
+      Polychrony.Pipeline.analyze ~registry ~policy ?root ?file src
+    with
+    | Error ds ->
+      print_diags ~format ~src ds;
+      exit (Putil.Diag.exit_code ds)
+    | Ok a ->
+      (match format with
+       | `Text ->
+         Format.printf "%a@." Polychrony.Pipeline.pp_summary a;
+         Format.printf "@.traceability:@.%a@." Trans.Traceability.pp
+           a.Polychrony.Pipeline.translation.Trans.System_trans.trace;
+         if a.Polychrony.Pipeline.diags <> [] then begin
+           print_newline ();
+           print_diags ~format ~src a.Polychrony.Pipeline.diags
+         end
+       | `Json -> print_diags ~format ~src a.Polychrony.Pipeline.diags);
+      exit (Putil.Diag.exit_code a.Polychrony.Pipeline.diags)
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Clock calculus, determinism and deadlock reports")
-    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg)
+       ~doc:"Clock calculus, determinism and deadlock reports; exit \
+             0/1/2 by worst diagnostic severity")
+    Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
+          $ format_arg)
 
 let simulate_cmd =
   let hyper_arg =
@@ -169,7 +210,11 @@ let simulate_cmd =
   let run file root registry policy hyperperiods vcd compiled stats =
     let a = analyzed file root registry policy in
     let tr =
-      or_die (Polychrony.Pipeline.simulate ~compiled ~hyperperiods a)
+      match Polychrony.Pipeline.simulate ~compiled ~hyperperiods a with
+      | Ok tr -> tr
+      | Error ds ->
+        prerr_string (Putil.Diag.render_list ds);
+        exit (Putil.Diag.exit_code ds)
     in
     Format.printf "%a@." (fun ppf tr -> Polysim.Trace.chronogram ppf tr) tr;
     (match vcd with

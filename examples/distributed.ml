@@ -90,7 +90,7 @@ let () =
   let a =
     match Polychrony.Pipeline.analyze aadl with
     | Ok a -> a
-    | Error m -> failwith m
+    | Error m -> failwith (Putil.Diag.list_to_string m)
   in
   let schedules = a.Polychrony.Pipeline.translation.Trans.System_trans.schedules in
   Format.printf "=== automatic partitioning over %d processors ===@."
@@ -128,7 +128,7 @@ let () =
 
   (* and it runs: both schedulers tick, data crosses the chain *)
   match Polychrony.Pipeline.simulate ~compiled:true ~hyperperiods:3 a with
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
   | Ok tr ->
     Format.printf "@.=== execution (both processors ticking) ===@.";
     Polysim.Trace.chronogram

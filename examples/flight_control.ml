@@ -104,7 +104,7 @@ let () =
   let a =
     match Polychrony.Pipeline.analyze aadl with
     | Ok a -> a
-    | Error m -> failwith m
+    | Error m -> failwith (Putil.Diag.list_to_string m)
   in
   let cpu, sched =
     match a.Polychrony.Pipeline.translation.Trans.System_trans.schedules with
@@ -139,7 +139,7 @@ let () =
 
   (* run it: the data-port chain forwards values down the rates *)
   match Polychrony.Pipeline.simulate ~hyperperiods:3 a with
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
   | Ok tr ->
     Format.printf "@.=== dataflow across rates (120 ms) ===@.";
     Polysim.Trace.chronogram

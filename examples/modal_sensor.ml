@@ -95,7 +95,7 @@ let () =
   let a =
     match Polychrony.Pipeline.analyze ~registry aadl with
     | Ok a -> a
-    | Error m -> failwith m
+    | Error m -> failwith (Putil.Diag.list_to_string m)
   in
   Format.printf "%a@.@." Polychrony.Pipeline.pp_summary a;
 
@@ -126,7 +126,7 @@ let () =
     else []
   in
   match Polychrony.Pipeline.simulate ~compiled:true ~env ~hyperperiods:12 a with
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
   | Ok tr ->
     Format.printf "@.=== fault at 12 ms, reset at 37 ms ===@.";
     Polysim.Trace.chronogram

@@ -10,7 +10,7 @@ module CS = Polychrony.Case_study
 let analyze registry =
   match P.analyze ~registry CS.aadl_source with
   | Ok a -> a
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
 
 let () =
   (* nominal behaviour: timers are started and stopped every job *)
@@ -20,7 +20,7 @@ let () =
   let tr =
     match P.simulate ~hyperperiods:3 a with
     | Ok tr -> tr
-    | Error m -> failwith m
+    | Error m -> failwith (Putil.Diag.list_to_string m)
   in
   Format.printf "=== nominal run, 3 hyper-periods (72 ms) ===@.";
   Polysim.Trace.chronogram
@@ -48,7 +48,7 @@ let () =
   let tr_fault =
     match P.simulate ~hyperperiods:3 a_fault with
     | Ok tr -> tr
-    | Error m -> failwith m
+    | Error m -> failwith (Putil.Diag.list_to_string m)
   in
   Format.printf "=== fault injection: timers never stopped ===@.";
   Polysim.Trace.chronogram

@@ -81,7 +81,7 @@ let () =
   let a =
     match Polychrony.Pipeline.analyze aadl with
     | Ok a -> a
-    | Error m -> failwith m
+    | Error m -> failwith (Putil.Diag.list_to_string m)
   in
   Format.printf "=== analysis summary ===@.%a@." Polychrony.Pipeline.pp_summary
     a;
@@ -96,7 +96,7 @@ let () =
 
   (* 3. simulate four hyper-periods and display the dataflow *)
   match Polychrony.Pipeline.simulate ~hyperperiods:4 a with
-  | Error m -> failwith m
+  | Error m -> failwith (Putil.Diag.list_to_string m)
   | Ok tr ->
     Format.printf "=== chronogram (first 2 hyper-periods) ===@.";
     Polysim.Trace.chronogram

@@ -6,7 +6,35 @@ type issue = {
   severity : severity;
   where : string;
   message : string;
+  code : string;
+  loc : Syntax.loc;
 }
+
+(* Stable legality-check codes. *)
+let code_dup_feature = Putil.Diag.code "AADL-CHECK-001" "duplicate feature name"
+let code_bad_duration =
+  Putil.Diag.code "AADL-CHECK-002" "timing property is not a valid duration"
+let code_no_period =
+  Putil.Diag.code "AADL-CHECK-003" "periodic thread without a Period"
+let code_no_deadline =
+  Putil.Diag.code "AADL-CHECK-004"
+    "periodic thread without a Deadline (defaults to Period)"
+let code_no_dispatch =
+  Putil.Diag.code "AADL-CHECK-005" "thread without Dispatch_Protocol"
+let code_modes =
+  Putil.Diag.code "AADL-CHECK-006" "ill-formed mode automaton"
+let code_mode_ref =
+  Putil.Diag.code "AADL-CHECK-007"
+    "mode transition references an unknown mode or trigger"
+let code_classifier =
+  Putil.Diag.code "AADL-CHECK-008" "unresolvable classifier"
+let code_impl_type =
+  Putil.Diag.code "AADL-CHECK-009"
+    "implementation inconsistent with its component type"
+let code_subcomponent =
+  Putil.Diag.code "AADL-CHECK-010" "illegal subcomponent"
+let code_connection =
+  Putil.Diag.code "AADL-CHECK-011" "ill-formed connection"
 
 let allowed_in container sub =
   match container, sub with
@@ -20,15 +48,16 @@ let allowed_in container sub =
 
 let check_package pkg =
   let issues = ref [] in
-  let err where fmt =
-    Format.kasprintf
-      (fun message -> issues := { severity = Error; where; message } :: !issues)
-      fmt
-  in
-  let warn where fmt =
+  let err ~code ~loc where fmt =
     Format.kasprintf
       (fun message ->
-        issues := { severity = Warning; where; message } :: !issues)
+        issues := { severity = Error; where; message; code; loc } :: !issues)
+      fmt
+  in
+  let warn ~code ~loc where fmt =
+    Format.kasprintf
+      (fun message ->
+        issues := { severity = Warning; where; message; code; loc } :: !issues)
       fmt
   in
   (* qualified classifiers (Pkg::name) live in other packages; their
@@ -40,49 +69,70 @@ let check_package pkg =
     in
     go 0
   in
-  let check_classifier where name =
+  let check_classifier ~loc where name =
     if not (is_external name) then begin
       let tname = impl_base_name name in
       match find_type pkg tname with
-      | None -> err where "classifier %s: unknown component type %s" name tname
+      | None ->
+        err ~code:code_classifier ~loc where
+          "classifier %s: unknown component type %s" name tname
       | Some _ ->
         if String.contains name '.' && find_impl pkg name = None then
-          err where "unknown component implementation %s" name
+          err ~code:code_classifier ~loc where
+            "unknown component implementation %s" name
     end
   in
-  let duration_ok where pname assocs =
+  let find_assoc pname assocs =
+    List.find_opt
+      (fun pa ->
+        pa.applies_to = []
+        && String.lowercase_ascii pa.pname = String.lowercase_ascii pname)
+      assocs
+  in
+  let duration_ok ~loc where pname assocs =
     match Props.find pname assocs with
     | None -> ()
     | Some v ->
       if Props.duration_us v = None then
-        err where "property %s is not a valid duration" pname
+        let loc =
+          match find_assoc pname assocs with
+          | Some pa -> pa.pa_loc
+          | None -> loc
+        in
+        err ~code:code_bad_duration ~loc where
+          "property %s is not a valid duration" pname
   in
   (* component types *)
   List.iter
     (function
       | Dtype ct ->
         let where = ct.ct_name in
+        let tloc = ct.ct_loc in
         let seen = Hashtbl.create 8 in
         List.iter
           (fun f ->
             let n = feature_name f in
             if Hashtbl.mem seen (String.lowercase_ascii n) then
-              err where "duplicate feature %s" n
+              err ~code:code_dup_feature ~loc:(feature_loc f) where
+                "duplicate feature %s" n
             else Hashtbl.add seen (String.lowercase_ascii n) ())
           ct.ct_features;
-        duration_ok where "Period" ct.ct_properties;
-        duration_ok where "Deadline" ct.ct_properties;
-        duration_ok where "Compute_Execution_Time" ct.ct_properties;
+        duration_ok ~loc:tloc where "Period" ct.ct_properties;
+        duration_ok ~loc:tloc where "Deadline" ct.ct_properties;
+        duration_ok ~loc:tloc where "Compute_Execution_Time" ct.ct_properties;
         if ct.ct_category = Thread then begin
           match Props.dispatch_protocol ct.ct_properties with
           | Some Props.Periodic ->
             if Props.period_us ct.ct_properties = None then
-              err where "periodic thread without a Period";
+              err ~code:code_no_period ~loc:tloc where
+                "periodic thread without a Period";
             if Props.deadline_us ct.ct_properties = None then
-              warn where "periodic thread without a Deadline (defaults to Period)"
+              warn ~code:code_no_deadline ~loc:tloc where
+                "periodic thread without a Deadline (defaults to Period)"
           | Some _ -> ()
           | None ->
-            warn where "thread without Dispatch_Protocol"
+            warn ~code:code_no_dispatch ~loc:tloc where
+              "thread without Dispatch_Protocol"
         end;
         (* mode automaton legality *)
         if ct.ct_modes <> [] then begin
@@ -91,32 +141,42 @@ let check_package pkg =
           in
           (match initials with
            | [ _ ] -> ()
-           | [] -> err where "modes declared but no initial mode"
-           | _ -> err where "several initial modes");
+           | [] ->
+             err ~code:code_modes ~loc:tloc where
+               "modes declared but no initial mode"
+           | m :: _ ->
+             err ~code:code_modes ~loc:m.m_loc where "several initial modes");
           let seen_modes = Hashtbl.create 4 in
           List.iter
             (fun m ->
               if Hashtbl.mem seen_modes m.m_name then
-                err where "duplicate mode %s" m.m_name
+                err ~code:code_modes ~loc:m.m_loc where "duplicate mode %s"
+                  m.m_name
               else Hashtbl.add seen_modes m.m_name ())
             ct.ct_modes;
           List.iter
             (fun tr ->
               let twhere = where ^ "." ^ tr.mt_name in
               if not (Hashtbl.mem seen_modes tr.mt_src) then
-                err twhere "transition from unknown mode %s" tr.mt_src;
+                err ~code:code_mode_ref ~loc:tr.mt_loc twhere
+                  "transition from unknown mode %s" tr.mt_src;
               if not (Hashtbl.mem seen_modes tr.mt_dst) then
-                err twhere "transition to unknown mode %s" tr.mt_dst;
+                err ~code:code_mode_ref ~loc:tr.mt_loc twhere
+                  "transition to unknown mode %s" tr.mt_dst;
               match find_feature ct tr.mt_trigger with
               | Some (Port { dir = Din | Dinout;
                              kind = Event_port | Event_data_port; _ }) -> ()
               | Some _ ->
-                err twhere "trigger %s is not an in event port" tr.mt_trigger
-              | None -> err twhere "unknown trigger port %s" tr.mt_trigger)
+                err ~code:code_mode_ref ~loc:tr.mt_loc twhere
+                  "trigger %s is not an in event port" tr.mt_trigger
+              | None ->
+                err ~code:code_mode_ref ~loc:tr.mt_loc twhere
+                  "unknown trigger port %s" tr.mt_trigger)
             ct.ct_transitions
         end
         else if ct.ct_transitions <> [] then
-          err where "mode transitions without mode declarations"
+          err ~code:code_modes ~loc:tloc where
+            "mode transitions without mode declarations"
       | Dimpl _ -> ())
     pkg.pkg_decls;
   (* implementations *)
@@ -125,22 +185,28 @@ let check_package pkg =
       | Dtype _ -> ()
       | Dimpl ci ->
         let where = ci.ci_name in
+        let iloc = ci.ci_loc in
         (match find_type pkg ci.ci_type with
-         | None -> err where "implementation of unknown type %s" ci.ci_type
+         | None ->
+           err ~code:code_impl_type ~loc:iloc where
+             "implementation of unknown type %s" ci.ci_type
          | Some ct ->
            if ct.ct_category <> ci.ci_category then
-             err where "category differs from its component type");
+             err ~code:code_impl_type ~loc:iloc where
+               "category differs from its component type");
         let sub_cat = Hashtbl.create 8 in
         List.iter
           (fun sc ->
             Hashtbl.replace sub_cat sc.sc_name sc.sc_category;
             (match sc.sc_classifier with
-             | Some c -> check_classifier (where ^ "." ^ sc.sc_name) c
+             | Some c ->
+               check_classifier ~loc:sc.sc_loc (where ^ "." ^ sc.sc_name) c
              | None ->
                if sc.sc_category <> Data then
-                 err (where ^ "." ^ sc.sc_name) "subcomponent without classifier");
+                 err ~code:code_subcomponent ~loc:sc.sc_loc
+                   (where ^ "." ^ sc.sc_name) "subcomponent without classifier");
             if not (allowed_in ci.ci_category sc.sc_category) then
-              err
+              err ~code:code_subcomponent ~loc:sc.sc_loc
                 (where ^ "." ^ sc.sc_name)
                 "%s subcomponent not allowed in %s"
                 (category_to_string sc.sc_category)
@@ -172,7 +238,7 @@ let check_package pkg =
                 (* cannot look inside another package here; accept *)
                 Some (`External, Port { fname; dir = Dinout;
                                         kind = Event_port; dtype = None;
-                                        fprops = [] })
+                                        fprops = []; floc = no_loc })
               | Some c -> (
                 match find_type pkg (impl_base_name c) with
                 | None -> None
@@ -182,6 +248,7 @@ let check_package pkg =
         List.iter
           (fun conn ->
             let cwhere = where ^ "." ^ conn.conn_name in
+            let cloc = conn.conn_loc in
             (* data-access endpoints may name a subcomponent directly *)
             let endpoint_ok e =
               feature_of e <> None
@@ -191,15 +258,19 @@ let check_package pkg =
                        ci.ci_subcomponents)
             in
             if not (endpoint_ok conn.conn_src) then
-              err cwhere "unknown connection source %s" conn.conn_src;
+              err ~code:code_connection ~loc:cloc cwhere
+                "unknown connection source %s" conn.conn_src;
             if not (endpoint_ok conn.conn_dst) then
-              err cwhere "unknown connection destination %s" conn.conn_dst;
+              err ~code:code_connection ~loc:cloc cwhere
+                "unknown connection destination %s" conn.conn_dst;
             if conn.conn_kind = Port_connection then begin
               match feature_of conn.conn_src, feature_of conn.conn_dst with
               | Some (`Sub, Port { dir = Din; _ }), _ ->
-                err cwhere "connection from an in port %s" conn.conn_src
+                err ~code:code_connection ~loc:cloc cwhere
+                  "connection from an in port %s" conn.conn_src
               | _, Some (`Sub, Port { dir = Dout; _ }) ->
-                err cwhere "connection into an out port %s" conn.conn_dst
+                err ~code:code_connection ~loc:cloc cwhere
+                  "connection into an out port %s" conn.conn_dst
               | _, _ -> ()
             end)
           ci.ci_connections)
@@ -213,3 +284,19 @@ let pp_issue ppf i =
   Format.fprintf ppf "%s: %s: %s"
     (match i.severity with Error -> "error" | Warning -> "warning")
     i.where i.message
+
+let diag_of_issue ?file i =
+  let severity =
+    match i.severity with
+    | Error -> Putil.Diag.Error
+    | Warning -> Putil.Diag.Warning
+  in
+  let span =
+    if i.loc.l_line > 0 then
+      Some (Putil.Diag.span ?file ~line:i.loc.l_line ~col:i.loc.l_col ())
+    else None
+  in
+  Putil.Diag.make ?span severity ~code:i.code
+    (Printf.sprintf "%s: %s" i.where i.message)
+
+let to_diags ?file issues = List.map (diag_of_issue ?file) issues

@@ -7,6 +7,8 @@ type issue = {
   severity : severity;
   where : string;     (** component or connection concerned *)
   message : string;
+  code : string;      (** stable [AADL-CHECK-0xx] code *)
+  loc : Syntax.loc;   (** declaration position ({!Syntax.no_loc} if unknown) *)
 }
 
 val check_package : Syntax.package -> issue list
@@ -27,3 +29,8 @@ val errors : issue list -> issue list
 val warnings : issue list -> issue list
 
 val pp_issue : Format.formatter -> issue -> unit
+
+val diag_of_issue : ?file:string -> issue -> Putil.Diag.t
+val to_diags : ?file:string -> issue list -> Putil.Diag.t list
+(** Issues as structured diagnostics; [file] names the source in
+    reported spans. *)

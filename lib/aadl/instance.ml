@@ -10,6 +10,7 @@ type instance = {
   i_modes : mode list;
   i_transitions : mode_transition list;
   i_children : instance list;
+  i_loc : loc;
 }
 
 type conn_inst = {
@@ -27,7 +28,24 @@ type t = {
 
 exception Inst_error of string
 
-let errf fmt = Format.kasprintf (fun m -> raise (Inst_error m)) fmt
+(* Stable instantiation error codes. *)
+let code_unknown_package =
+  Putil.Diag.code "AADL-INST-001" "unknown package in a qualified classifier"
+let code_unresolved =
+  Putil.Diag.code "AADL-INST-002"
+    "classifier does not resolve to a component type or implementation"
+let code_category =
+  Putil.Diag.code "AADL-INST-003"
+    "subcomponent category differs from its classifier's category"
+let code_no_classifier =
+  Putil.Diag.code "AADL-INST-004" "subcomponent without a classifier"
+
+(* Internal carrier keeping the code and declaration position; the
+   public Inst_error keeps its message-only shape for compatibility. *)
+exception Ierror of string * string * Syntax.loc
+
+let errf ?(code = code_unresolved) ?(loc = Syntax.no_loc) fmt =
+  Format.kasprintf (fun m -> raise (Ierror (code, m, loc))) fmt
 
 (* A resolution environment: the package being elaborated plus every
    other package in scope ([with] imports are not enforced — any
@@ -48,7 +66,7 @@ let split_qualified name =
 
 (* Resolve a classifier name to (defining package, type, impl option);
    subcomponents of a library component resolve within that library. *)
-let resolve_classifier env name =
+let resolve_classifier ?loc env name =
   let pkg, local =
     match split_qualified name with
     | None -> (env.current, name)
@@ -61,30 +79,33 @@ let resolve_classifier env name =
           (env.current :: env.context)
       with
       | Some p -> (p, local)
-      | None -> errf "unknown package %s in classifier %s" pkg_name name)
+      | None ->
+        errf ~code:code_unknown_package ?loc
+          "unknown package %s in classifier %s" pkg_name name)
   in
   let tname = impl_base_name local in
   let ct =
     match find_type pkg tname with
     | Some ct -> ct
-    | None -> errf "unknown component type %s" local
+    | None -> errf ?loc "unknown component type %s" local
   in
   let ci =
     if String.contains local '.' then
       match find_impl pkg local with
       | Some ci -> Some ci
-      | None -> errf "unknown component implementation %s" local
+      | None -> errf ?loc "unknown component implementation %s" local
     else find_impl pkg (local ^ ".impl")
     (* a bare type name resolves to its ".impl" when it exists, the
        OSATE convention for default implementations *)
   in
   (pkg, ct, ci)
 
-let rec build env ~path ~name ~category:cat ~classifier ~extra_props =
-  let def_pkg, ct, ci = resolve_classifier env classifier in
+let rec build env ~loc ~path ~name ~category:cat ~classifier ~extra_props =
+  let def_pkg, ct, ci = resolve_classifier ~loc env classifier in
   let env = { env with current = def_pkg } in
   if ct.ct_category <> cat then
-    errf "subcomponent %s: category mismatch (%s declared, %s classifier)"
+    errf ~code:code_category ~loc
+      "subcomponent %s: category mismatch (%s declared, %s classifier)"
       name
       (category_to_string cat)
       (category_to_string ct.ct_category);
@@ -102,8 +123,9 @@ let rec build env ~path ~name ~category:cat ~classifier ~extra_props =
             | None when sc.sc_category = Data ->
               (* anonymous data subcomponent: synthesize an int cell *)
               "__anonymous_data__"
-            | None -> errf "subcomponent %s.%s has no classifier" name
-                        sc.sc_name
+            | None ->
+              errf ~code:code_no_classifier ~loc:sc.sc_loc
+                "subcomponent %s.%s has no classifier" name sc.sc_name
           in
           if sub_classifier = "__anonymous_data__" then
             { i_name = sc.sc_name;
@@ -114,9 +136,10 @@ let rec build env ~path ~name ~category:cat ~classifier ~extra_props =
               i_props = sc.sc_properties;
               i_modes = [];
               i_transitions = [];
-              i_children = [] }
+              i_children = [];
+              i_loc = sc.sc_loc }
           else
-            build env
+            build env ~loc:sc.sc_loc
               ~path:(path ^ "." ^ sc.sc_name)
               ~name:sc.sc_name ~category:sc.sc_category
               ~classifier:sub_classifier ~extra_props:sc.sc_properties)
@@ -125,7 +148,10 @@ let rec build env ~path ~name ~category:cat ~classifier ~extra_props =
   { i_name = name; i_path = path; i_category = cat;
     i_classifier = classifier; i_features = ct.ct_features;
     i_props = props; i_modes = ct.ct_modes;
-    i_transitions = ct.ct_transitions; i_children = children }
+    i_transitions = ct.ct_transitions; i_children = children;
+    (* prefer the subcomponent declaration site; fall back to the
+       classifier's component type *)
+    i_loc = (if loc <> no_loc then loc else ct.ct_loc) }
 
 (* Collect declared connections of every implementation level, with
    endpoints turned into absolute paths. *)
@@ -162,7 +188,7 @@ let rec collect_bindings inst acc =
   List.fold_left (fun acc child -> collect_bindings child acc)
     (own @ acc) inst.i_children
 
-let instantiate_exn ?(context = []) pkg ~root =
+let instantiate_raw ?(context = []) pkg ~root =
   let env = { current = pkg; context } in
   let cat =
     let _, ct, _ = resolve_classifier env root in
@@ -175,16 +201,32 @@ let instantiate_exn ?(context = []) pkg ~root =
     impl_base_name local
   in
   let inst =
-    build env ~path:name ~name ~category:cat ~classifier:root ~extra_props:[]
+    build env ~loc:Syntax.no_loc ~path:name ~name ~category:cat
+      ~classifier:root ~extra_props:[]
   in
   let connections = List.rev (collect_connections env inst []) in
   let bindings = collect_bindings inst [] in
   { root = inst; connections; bindings }
 
+let instantiate_exn ?context pkg ~root =
+  try instantiate_raw ?context pkg ~root
+  with Ierror (_, m, _) -> raise (Inst_error m)
+
 let instantiate ?context pkg ~root =
   match instantiate_exn ?context pkg ~root with
   | t -> Ok t
   | exception Inst_error m -> Error m
+
+let instantiate_diag ?file ?context pkg ~root =
+  match instantiate_raw ?context pkg ~root with
+  | t -> Ok t
+  | exception Ierror (code, m, loc) ->
+    let span =
+      if loc.l_line > 0 then
+        Some (Putil.Diag.span ?file ~line:loc.l_line ~col:loc.l_col ())
+      else None
+    in
+    Error [ Putil.Diag.errorf ?span ~code "%s" m ]
 
 let rec walk inst acc = inst :: List.fold_right walk inst.i_children acc
 

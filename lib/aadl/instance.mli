@@ -18,6 +18,9 @@ type instance = {
   i_modes : Syntax.mode list;
   i_transitions : Syntax.mode_transition list;
   i_children : instance list;
+  i_loc : Syntax.loc;
+      (** subcomponent declaration site, or the component type's when
+          the instance is a root ({!Syntax.no_loc} if unknown) *)
 }
 
 type conn_inst = {
@@ -46,6 +49,13 @@ val instantiate :
 
 val instantiate_exn :
   ?context:Syntax.package list -> Syntax.package -> root:string -> t
+
+val instantiate_diag :
+  ?file:string -> ?context:Syntax.package list ->
+  Syntax.package -> root:string -> (t, Putil.Diag.t list) result
+(** Like {!instantiate}, but failures are structured diagnostics with
+    a stable [AADL-INST-00x] code and, when the defect traces to a
+    declaration, a source span. [file] names the source in spans. *)
 
 val find : t -> string -> instance option
 (** Lookup by absolute path; the root's path is its name. *)

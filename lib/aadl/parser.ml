@@ -2,6 +2,21 @@ open Syntax
 
 exception Parse_error of string * int * int
 
+(* Stable parser error codes (registered in Putil.Diag's registry). *)
+let code_syntax = Putil.Diag.code "AADL-PARSE-001" "AADL syntax error"
+let code_trailing =
+  Putil.Diag.code "AADL-PARSE-002" "trailing input after a complete package"
+let code_mismatched_end =
+  Putil.Diag.code "AADL-PARSE-003"
+    "'end' name does not match the declaration it closes"
+let code_empty =
+  Putil.Diag.code "AADL-PARSE-004" "source contains no package"
+let code_lex = Putil.Diag.code "AADL-LEX-001" "AADL lexical error"
+
+(* Internal error carrier keeping the code alongside the position; the
+   public Parse_error drops the code for compatibility. *)
+exception Perror of string * string * int * int
+
 type state = {
   toks : Lexer.positioned array;
   mutable idx : int;
@@ -11,15 +26,20 @@ let cur st = st.toks.(st.idx)
 
 let peek_tok st = (cur st).Lexer.tok
 
+let loc_of st =
+  let { Lexer.line; col; _ } = cur st in
+  Syntax.loc ~line ~col
+
 let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
 
-let error st fmt =
+let error ?(code = code_syntax) st fmt =
   let { Lexer.line; col; tok; _ } = cur st in
   Format.kasprintf
     (fun m ->
       raise
-        (Parse_error
-           (Printf.sprintf "%s (at '%s')" m (Lexer.token_to_string tok),
+        (Perror
+           (code,
+            Printf.sprintf "%s (at '%s')" m (Lexer.token_to_string tok),
             line, col)))
     fmt
 
@@ -215,6 +235,7 @@ let rec property_value st =
   else base
 
 let property_assoc st =
+  let pa_loc = loc_of st in
   let pname = qname st in
   (match peek_tok st with
    | Lexer.ASSOC | Lexer.PLUS_ASSOC -> advance st
@@ -237,7 +258,7 @@ let property_assoc st =
     else []
   in
   expect st Lexer.SEMI;
-  { pname; pvalue; applies_to }
+  { pname; pvalue; applies_to; pa_loc }
 
 (* properties section: 'properties' (assoc ';')* or 'none ;' *)
 let properties_section st =
@@ -271,6 +292,7 @@ let direction st =
   else error st "expected port direction"
 
 let feature st =
+  let floc = loc_of st in
   let fname = ident st in
   expect st Lexer.COLON;
   let f =
@@ -302,7 +324,7 @@ let feature st =
           in
           go ()
         end;
-        Data_access { fname; dtype; right = !right; provided }
+        Data_access { fname; dtype; right = !right; provided; floc }
       end
       else if accept_kw st "subprogram" then begin
         expect_kw st "access";
@@ -311,7 +333,7 @@ let feature st =
           | Lexer.IDENT _ -> Some (dot_path st)
           | _ -> None
         in
-        Subprogram_access { fname; spec; provided }
+        Subprogram_access { fname; spec; provided; floc }
       end
       else error st "expected 'data access' or 'subprogram access'"
     end
@@ -354,7 +376,7 @@ let feature st =
         in
         go ()
       end;
-      Port { fname; dir; kind; dtype; fprops = List.rev !fprops }
+      Port { fname; dir; kind; dtype; fprops = List.rev !fprops; floc }
     end
   in
   expect st Lexer.SEMI;
@@ -385,6 +407,7 @@ let features_section st =
 (* ------------------------------------------------------------------ *)
 
 let subcomponent st =
+  let sc_loc = loc_of st in
   let sc_name = ident st in
   expect st Lexer.COLON;
   let sc_category = category st in
@@ -408,7 +431,7 @@ let subcomponent st =
   end;
   expect st Lexer.SEMI;
   { sc_name; sc_category; sc_classifier;
-    sc_properties = List.rev !sc_properties }
+    sc_properties = List.rev !sc_properties; sc_loc }
 
 let subcomponents_section st =
   if accept_kw st "none" then begin
@@ -431,6 +454,7 @@ let subcomponents_section st =
   end
 
 let connection st =
+  let conn_loc = loc_of st in
   let conn_name = ident st in
   expect st Lexer.COLON;
   let conn_kind =
@@ -472,7 +496,7 @@ let connection st =
   end;
   expect st Lexer.SEMI;
   { conn_name; conn_kind; conn_src; conn_dst; immediate;
-    conn_properties = List.rev !conn_properties }
+    conn_properties = List.rev !conn_properties; conn_loc }
 
 let connections_section st =
   if accept_kw st "none" then begin
@@ -512,14 +536,15 @@ let modes_section st =
              (List.mem kw
                 [ "end"; "features"; "properties"; "subcomponents";
                   "connections"; "flows"; "annex" ]) ->
+      let item_loc = loc_of st in
       let name = ident st in
       expect st Lexer.COLON;
       (if accept_kw st "initial" then begin
          expect_kw st "mode";
-         modes := { m_name = name; m_initial = true } :: !modes
+         modes := { m_name = name; m_initial = true; m_loc = item_loc } :: !modes
        end
        else if accept_kw st "mode" then
-         modes := { m_name = name; m_initial = false } :: !modes
+         modes := { m_name = name; m_initial = false; m_loc = item_loc } :: !modes
        else begin
          let src = ident st in
          expect st Lexer.TRANS_L;
@@ -542,7 +567,7 @@ let modes_section st =
            (fun trig ->
              transitions :=
                { mt_name = name; mt_src = src; mt_trigger = trig;
-                 mt_dst = dst }
+                 mt_dst = dst; mt_loc = item_loc }
                :: !transitions)
            trigs
        end);
@@ -567,6 +592,7 @@ let annex_clause st =
 (* ------------------------------------------------------------------ *)
 
 let declaration st =
+  let decl_loc = loc_of st in
   let cat = category st in
   if accept_kw st "implementation" then begin
     let tname = ident st in
@@ -613,13 +639,13 @@ let declaration st =
     expect st Lexer.DOT;
     let e_iname = ident st in
     if not (kw_eq e_tname tname && kw_eq e_iname iname) then
-      error st "mismatched 'end %s.%s' for implementation %s" e_tname e_iname
-        full;
+      error ~code:code_mismatched_end st
+        "mismatched 'end %s.%s' for implementation %s" e_tname e_iname full;
     expect st Lexer.SEMI;
     Dimpl
       { ci_name = full; ci_type = tname; ci_category = cat; ci_extends;
         ci_subcomponents = !subs; ci_connections = !conns;
-        ci_properties = !props }
+        ci_properties = !props; ci_loc = decl_loc }
   end
   else begin
     let ct_name = ident st in
@@ -652,12 +678,13 @@ let declaration st =
     expect_kw st "end";
     let e_name = ident st in
     if not (kw_eq e_name ct_name) then
-      error st "mismatched 'end %s' for component type %s" e_name ct_name;
+      error ~code:code_mismatched_end st
+        "mismatched 'end %s' for component type %s" e_name ct_name;
     expect st Lexer.SEMI;
     Dtype
       { ct_name; ct_category = cat; ct_extends; ct_features = !feats;
         ct_properties = !props; ct_modes = !modes;
-        ct_transitions = !transitions }
+        ct_transitions = !transitions; ct_loc = decl_loc }
   end
 
 let package_body st =
@@ -689,7 +716,8 @@ let package_body st =
   expect_kw st "end";
   let e_name = qname st in
   if not (kw_eq e_name pkg_name) then
-    error st "mismatched 'end %s' for package %s" e_name pkg_name;
+    error ~code:code_mismatched_end st "mismatched 'end %s' for package %s"
+      e_name pkg_name;
   expect st Lexer.SEMI;
   { pkg_name; pkg_imports = List.rev !imports; pkg_decls = List.rev !decls }
 
@@ -699,12 +727,13 @@ let with_state src f =
   let r = f st in
   (match peek_tok st with
    | Lexer.EOF -> ()
-   | _ -> error st "trailing input after package");
+   | _ -> error ~code:code_trailing st "trailing input after package");
   r
 
 let parse_package_exn src =
-  try with_state src package_body
-  with Lexer.Lex_error (m, l, c) -> raise (Parse_error (m, l, c))
+  try with_state src package_body with
+  | Perror (_, m, l, c) -> raise (Parse_error (m, l, c))
+  | Lexer.Lex_error (m, l, c) -> raise (Parse_error (m, l, c))
 
 let parse_package src =
   match parse_package_exn src with
@@ -747,16 +776,32 @@ let packages_body st =
     | _, _ -> go (package_body st :: acc)
   in
   match go [] with
-  | [] -> error st "expected at least one package"
+  | [] -> error ~code:code_empty st "expected at least one package"
   | pkgs -> pkgs
 
 let parse_packages src =
   match with_state src packages_body with
   | pkgs -> Ok pkgs
-  | exception Parse_error (m, l, c) ->
+  | exception Perror (_, m, l, c) ->
     Error (Printf.sprintf "parse error at %d:%d: %s" l c m)
   | exception Lexer.Lex_error (m, l, c) ->
     Error (Printf.sprintf "parse error at %d:%d: %s" l c m)
+
+let diag_of ?file code m l c =
+  Putil.Diag.errorf ~span:(Putil.Diag.span ?file ~line:l ~col:c ())
+    ~code "%s" m
+
+let parse_packages_diag ?file src =
+  match with_state src packages_body with
+  | pkgs -> Ok pkgs
+  | exception Perror (code, m, l, c) -> Error [ diag_of ?file code m l c ]
+  | exception Lexer.Lex_error (m, l, c) -> Error [ diag_of ?file code_lex m l c ]
+
+let parse_package_diag ?file src =
+  match with_state src package_body with
+  | pkg -> Ok pkg
+  | exception Perror (code, m, l, c) -> Error [ diag_of ?file code m l c ]
+  | exception Lexer.Lex_error (m, l, c) -> Error [ diag_of ?file code_lex m l c ]
 
 let parse_property_value src =
   try
@@ -767,5 +812,5 @@ let parse_property_value src =
      | Lexer.EOF -> Ok v
      | _ -> Error "trailing input after property value")
   with
-  | Parse_error (m, l, c) | Lexer.Lex_error (m, l, c) ->
+  | Perror (_, m, l, c) | Lexer.Lex_error (m, l, c) ->
     Error (Printf.sprintf "parse error at %d:%d: %s" l c m)

@@ -39,5 +39,15 @@ val parse_packages : string -> (Syntax.package list, string) result
 (** Parse a file containing several packages (at least one), e.g. a
     library package plus the system package that imports it. *)
 
+val parse_package_diag :
+  ?file:string -> string -> (Syntax.package, Putil.Diag.t list) result
+(** Like {!parse_package}, but failures are structured diagnostics
+    carrying a stable code ([AADL-PARSE-00x] / [AADL-LEX-001]) and a
+    source span. [file] names the source in reported spans. *)
+
+val parse_packages_diag :
+  ?file:string -> string -> (Syntax.package list, Putil.Diag.t list) result
+(** Like {!parse_packages}, with structured diagnostics. *)
+
 val parse_property_value : string -> (Syntax.property_value, string) result
 (** Parse a standalone property value (used by tests and tooling). *)

@@ -42,7 +42,7 @@ let port_kind_to_string = function
   | Event_data_port -> "event data port"
 
 let pp_feature ppf = function
-  | Port { fname; dir; kind; dtype; fprops } ->
+  | Port { fname; dir; kind; dtype; fprops; _ } ->
     Format.fprintf ppf "%s: %s %s" fname (direction_to_string dir)
       (port_kind_to_string kind);
     (match dtype with
@@ -57,7 +57,7 @@ let pp_feature ppf = function
             pp_property_assoc)
          props);
     Format.fprintf ppf ";"
-  | Data_access { fname; dtype; right; provided } ->
+  | Data_access { fname; dtype; right; provided; _ } ->
     Format.fprintf ppf "%s: %s data access" fname
       (if provided then "provides" else "requires");
     (match dtype with
@@ -68,7 +68,7 @@ let pp_feature ppf = function
      | Read_only -> Format.fprintf ppf " {Access_Right => read_only;}"
      | Write_only -> Format.fprintf ppf " {Access_Right => write_only;}");
     Format.fprintf ppf ";"
-  | Subprogram_access { fname; spec; provided } ->
+  | Subprogram_access { fname; spec; provided; _ } ->
     Format.fprintf ppf "%s: %s subprogram access" fname
       (if provided then "provides" else "requires");
     (match spec with

@@ -1,3 +1,13 @@
+(* Source location of a declaration, 1-based; {0,0} = synthesized. *)
+type loc = {
+  l_line : int;
+  l_col : int;
+}
+
+let no_loc = { l_line = 0; l_col = 0 }
+
+let loc ~line ~col = { l_line = line; l_col = col }
+
 type category =
   | System
   | Process
@@ -62,7 +72,11 @@ type property_assoc = {
   pname : string;
   pvalue : property_value;
   applies_to : string list;
+  pa_loc : loc;
 }
+
+let assoc ?(loc = no_loc) pname pvalue applies_to =
+  { pname; pvalue; applies_to; pa_loc = loc }
 
 type feature =
   | Port of {
@@ -71,28 +85,36 @@ type feature =
       kind : port_kind;
       dtype : string option;
       fprops : property_assoc list;
+      floc : loc;
     }
   | Data_access of {
       fname : string;
       dtype : string option;
       right : access_right;
       provided : bool;
+      floc : loc;
     }
   | Subprogram_access of {
       fname : string;
       spec : string option;
       provided : bool;
+      floc : loc;
     }
 
 let feature_name = function
   | Port { fname; _ } | Data_access { fname; _ }
   | Subprogram_access { fname; _ } -> fname
 
+let feature_loc = function
+  | Port { floc; _ } | Data_access { floc; _ }
+  | Subprogram_access { floc; _ } -> floc
+
 type subcomponent = {
   sc_name : string;
   sc_category : category;
   sc_classifier : string option;
   sc_properties : property_assoc list;
+  sc_loc : loc;
 }
 
 type connection_kind = Port_connection | Access_connection
@@ -104,11 +126,13 @@ type connection = {
   conn_dst : string;
   immediate : bool;
   conn_properties : property_assoc list;
+  conn_loc : loc;
 }
 
 type mode = {
   m_name : string;
   m_initial : bool;
+  m_loc : loc;
 }
 
 type mode_transition = {
@@ -116,6 +140,7 @@ type mode_transition = {
   mt_src : string;
   mt_trigger : string;
   mt_dst : string;
+  mt_loc : loc;
 }
 
 type component_type = {
@@ -126,6 +151,7 @@ type component_type = {
   ct_properties : property_assoc list;
   ct_modes : mode list;
   ct_transitions : mode_transition list;
+  ct_loc : loc;
 }
 
 type component_impl = {
@@ -136,6 +162,7 @@ type component_impl = {
   ci_subcomponents : subcomponent list;
   ci_connections : connection list;
   ci_properties : property_assoc list;
+  ci_loc : loc;
 }
 
 type declaration =
@@ -147,6 +174,47 @@ type package = {
   pkg_imports : string list;
   pkg_decls : declaration list;
 }
+
+(* Erase every source location, e.g. to compare two parses of the same
+   model structurally (printer round-trips). *)
+let strip_locs pkg =
+  let pa pa = { pa with pa_loc = no_loc } in
+  let feature = function
+    | Port p -> Port { p with fprops = List.map pa p.fprops; floc = no_loc }
+    | Data_access d -> Data_access { d with floc = no_loc }
+    | Subprogram_access s -> Subprogram_access { s with floc = no_loc }
+  in
+  let decl = function
+    | Dtype ct ->
+      Dtype
+        { ct with
+          ct_features = List.map feature ct.ct_features;
+          ct_properties = List.map pa ct.ct_properties;
+          ct_modes = List.map (fun m -> { m with m_loc = no_loc }) ct.ct_modes;
+          ct_transitions =
+            List.map (fun t -> { t with mt_loc = no_loc }) ct.ct_transitions;
+          ct_loc = no_loc }
+    | Dimpl ci ->
+      Dimpl
+        { ci with
+          ci_subcomponents =
+            List.map
+              (fun sc ->
+                { sc with
+                  sc_properties = List.map pa sc.sc_properties;
+                  sc_loc = no_loc })
+              ci.ci_subcomponents;
+          ci_connections =
+            List.map
+              (fun c ->
+                { c with
+                  conn_properties = List.map pa c.conn_properties;
+                  conn_loc = no_loc })
+              ci.ci_connections;
+          ci_properties = List.map pa ci.ci_properties;
+          ci_loc = no_loc }
+  in
+  { pkg with pkg_decls = List.map decl pkg.pkg_decls }
 
 let impl_base_name name =
   match String.index_opt name '.' with

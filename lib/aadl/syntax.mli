@@ -10,6 +10,14 @@
     flows and annexes are out of scope (the paper defers modes to
     future work). *)
 
+type loc = {
+  l_line : int;   (** 1-based; 0 = synthesized (no source position) *)
+  l_col : int;
+}
+
+val no_loc : loc
+val loc : line:int -> col:int -> loc
+
 type category =
   | System
   | Process
@@ -48,7 +56,12 @@ type property_assoc = {
   pname : string;                     (** possibly qualified, [Set::Name] *)
   pvalue : property_value;
   applies_to : string list;           (** dot-paths; empty = self *)
+  pa_loc : loc;
 }
+
+val assoc :
+  ?loc:loc -> string -> property_value -> string list -> property_assoc
+(** Build a property association; [loc] defaults to {!no_loc}. *)
 
 type feature =
   | Port of {
@@ -57,26 +70,31 @@ type feature =
       kind : port_kind;
       dtype : string option;  (** data classifier, e.g. [Base_Types::Integer] *)
       fprops : property_assoc list;  (** port properties, e.g. Queue_Size *)
+      floc : loc;
     }
   | Data_access of {
       fname : string;
       dtype : string option;
       right : access_right;
       provided : bool;  (** [provides] vs [requires] *)
+      floc : loc;
     }
   | Subprogram_access of {
       fname : string;
       spec : string option;
       provided : bool;
+      floc : loc;
     }
 
 val feature_name : feature -> string
+val feature_loc : feature -> loc
 
 type subcomponent = {
   sc_name : string;
   sc_category : category;
   sc_classifier : string option;      (** ["thProducer.impl"] or type name *)
   sc_properties : property_assoc list;
+  sc_loc : loc;
 }
 
 type connection_kind = Port_connection | Access_connection
@@ -88,6 +106,7 @@ type connection = {
   conn_dst : string;
   immediate : bool;                   (** [->] immediate vs [->>] delayed *)
   conn_properties : property_assoc list;
+  conn_loc : loc;
 }
 
 (** Mode-automaton support (paper Sec. VII perspective: modes handled
@@ -96,6 +115,7 @@ type connection = {
 type mode = {
   m_name : string;
   m_initial : bool;
+  m_loc : loc;
 }
 
 type mode_transition = {
@@ -103,6 +123,7 @@ type mode_transition = {
   mt_src : string;        (** source mode *)
   mt_trigger : string;    (** in event port arming the transition *)
   mt_dst : string;        (** destination mode *)
+  mt_loc : loc;
 }
 
 type component_type = {
@@ -113,6 +134,7 @@ type component_type = {
   ct_properties : property_assoc list;
   ct_modes : mode list;
   ct_transitions : mode_transition list;
+  ct_loc : loc;
 }
 
 type component_impl = {
@@ -123,6 +145,7 @@ type component_impl = {
   ci_subcomponents : subcomponent list;
   ci_connections : connection list;
   ci_properties : property_assoc list;
+  ci_loc : loc;
 }
 
 type declaration =
@@ -134,6 +157,10 @@ type package = {
   pkg_imports : string list;          (** [with] clauses *)
   pkg_decls : declaration list;
 }
+
+val strip_locs : package -> package
+(** Erase every source location ({!no_loc} everywhere), e.g. to
+    compare two parses structurally (printer round-trips). *)
 
 val impl_base_name : string -> string
 (** ["prProdCons.impl"] → ["prProdCons"]. *)

@@ -91,3 +91,24 @@ let pp_report ppf r =
         c.signals)
     r.cycles;
   Format.fprintf ppf "@]"
+
+(* ---- structured diagnostics ---- *)
+
+let code_cycle =
+  Putil.Diag.code "ANA-DLK-001" "feasible instantaneous dependency cycle"
+let code_false_cycle =
+  Putil.Diag.code "ANA-DLK-002"
+    "clock-disjoint dependency cycle (false cycle, harmless)"
+
+let diags_of_report r =
+  List.map
+    (fun c ->
+      let chain = String.concat " -> " c.signals in
+      if c.feasible then
+        Putil.Diag.errorf ~code:code_cycle
+          "possible deadlock: instantaneous dependency cycle %s can be \
+           active at one instant" chain
+      else
+        Putil.Diag.notef ~code:code_false_cycle
+          "false cycle %s: members have provably disjoint clocks" chain)
+    r.cycles

@@ -27,3 +27,7 @@ val analyze :
     feasibility; without, every cycle is conservatively feasible. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val diags_of_report : report -> Putil.Diag.t list
+(** One [ANA-DLK-001] error per feasible cycle, one [ANA-DLK-002] note
+    per false cycle. *)

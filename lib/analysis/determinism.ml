@@ -46,3 +46,17 @@ let pp_report ppf r =
         i.signal i.branch_a i.branch_b i.reason)
     r.issues;
   Format.fprintf ppf "@]"
+
+(* ---- structured diagnostics ---- *)
+
+let code_overlap =
+  Putil.Diag.code "ANA-DET-001"
+    "partial definitions with overlapping clocks (non-deterministic merge)"
+
+let diags_of_report r =
+  List.map
+    (fun i ->
+      Putil.Diag.warningf ~code:code_overlap
+        "signal %s: branches %s and %s %s" i.signal i.branch_a i.branch_b
+        i.reason)
+    r.issues

@@ -22,3 +22,6 @@ type report = {
 val analyze : Clocks.Calculus.t -> Signal_lang.Kernel.kprocess -> report
 
 val pp_report : Format.formatter -> report -> unit
+
+val diags_of_report : report -> Putil.Diag.t list
+(** One [ANA-DET-001] warning per overlapping branch pair. *)

@@ -610,3 +610,30 @@ let pp_summary ppf st =
           Format.pp_print_string)
        l);
   Format.fprintf ppf "@]"
+
+(* ---- structured diagnostics ---- *)
+
+let code_conflict =
+  Putil.Diag.code "CLK-CONSTR-001" "contradictory clock constraint"
+let code_inconsistent =
+  Putil.Diag.code "CLK-CONSTR-002" "unsatisfiable clock constraint system"
+let code_null =
+  Putil.Diag.code "CLK-NULL-001" "signal with a provably empty clock"
+
+let diags st =
+  let c = Putil.Diag.collector () in
+  List.iter
+    (fun m -> Putil.Diag.add c (Putil.Diag.errorf ~code:code_conflict "%s" m))
+    (conflicts st);
+  if not (consistent st) then
+    Putil.Diag.add c
+      (Putil.Diag.errorf ~code:code_inconsistent
+         "clock constraint system is unsatisfiable: no behaviour has any \
+          signal present");
+  List.iter
+    (fun x ->
+      Putil.Diag.add c
+        (Putil.Diag.notef ~code:code_null
+           "signal %s has a provably empty clock (never present)" x))
+    (null_signals st);
+  Putil.Diag.result c

@@ -95,3 +95,11 @@ val pp_clock : t -> Format.formatter -> Signal_lang.Ast.ident -> unit
     representatives and conditions. *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+val diags : t -> Putil.Diag.t list
+(** The analysis verdict as structured diagnostics: one
+    [CLK-CONSTR-001] error per recorded contradiction, a
+    [CLK-CONSTR-002] error when Φ is unsatisfiable, and one
+    [CLK-NULL-001] note per null-clocked signal (translation creates
+    intentionally-absent signals, so emptiness alone is not an
+    error). *)

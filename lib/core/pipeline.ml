@@ -13,7 +13,84 @@ type analyzed = {
   determinism : Analysis.Determinism.report;
   deadlock : Analysis.Deadlock.report;
   typecheck_errors : Signal_lang.Typecheck.error list;
+  diags : Putil.Diag.t list;
 }
+
+(* Stable codes for the defects detected by the pipeline itself. *)
+let code_root =
+  Putil.Diag.code "CORE-ROOT-001"
+    "cannot determine a root system implementation"
+let code_norm =
+  Putil.Diag.code "SIG-NORM-001"
+    "generated SIGNAL program cannot be normalized"
+let code_sim = Putil.Diag.code "SIM-001" "simulation step failed"
+let code_compile =
+  Putil.Diag.code "COMPILE-001"
+    "clock-directed compilation failed"
+
+let span_of_loc ?file (l : Aadl.Syntax.loc) =
+  if l.Aadl.Syntax.l_line > 0 then
+    Some
+      (Putil.Diag.span ?file ~line:l.Aadl.Syntax.l_line
+         ~col:l.Aadl.Syntax.l_col ())
+  else None
+
+(* Declaration position of [signal] inside the process named
+   [proc_name], when the generated code recorded one (ports carry the
+   source position of the AADL feature they translate). *)
+let find_var_loc program proc_name signal =
+  let rec in_proc p =
+    if String.equal p.Ast.proc_name proc_name then
+      let all =
+        p.Ast.params @ p.Ast.inputs @ p.Ast.outputs @ p.Ast.locals
+      in
+      match
+        List.find_opt
+          (fun vd -> String.equal vd.Ast.var_name signal)
+          all
+      with
+      | Some { Ast.var_loc = Some lc; _ } -> Some lc
+      | Some _ | None -> None
+    else List.find_map in_proc p.Ast.subprocesses
+  in
+  List.find_map in_proc program.Ast.processes
+
+(* A SIGNAL type error as a located diagnostic: the span is the
+   declaration that produced the offending signal; the related entry
+   points back at the AADL component the process was generated for,
+   via the traceability table. *)
+let diag_of_type_error ?file ~translation ~instance
+    (e : Signal_lang.Typecheck.error) =
+  let program = translation.Trans.System_trans.program in
+  let span =
+    match e.Signal_lang.Typecheck.err_signal with
+    | Some signal -> (
+      match
+        find_var_loc program e.Signal_lang.Typecheck.err_proc signal
+      with
+      | Some (l, c) -> Some (Putil.Diag.span ?file ~line:l ~col:c ())
+      | None -> None)
+    | None -> None
+  in
+  let related =
+    match
+      Trans.Traceability.aadl_of translation.Trans.System_trans.trace
+        e.Signal_lang.Typecheck.err_proc
+    with
+    | Some path ->
+      let rel_span =
+        match Aadl.Instance.find instance path with
+        | Some i -> span_of_loc ?file i.Aadl.Instance.i_loc
+        | None -> None
+      in
+      [ { Putil.Diag.rel_message =
+            "in the SIGNAL model generated for " ^ path;
+          rel_span } ]
+    | None -> []
+  in
+  Putil.Diag.errorf ?span ~related ~code:e.Signal_lang.Typecheck.err_code
+    "process %s: %s" e.Signal_lang.Typecheck.err_proc
+    e.Signal_lang.Typecheck.err_msg
 
 let ( let* ) = Result.bind
 
@@ -53,38 +130,75 @@ let default_root pkgs =
   | _ :: _ :: _ ->
     Error "several candidate root systems; pass ~root explicitly"
 
-let analyze_package ?(registry = []) ?policy ?(context = []) ~root pkg =
+(* Every layer contributes to one collector, so independent defects —
+   an AADL legality error, a type error in the generated program and an
+   infeasible thread set — are all reported in a single run. The
+   result is [Error] only when a stage failure prevents building the
+   full record; the accumulated diagnostics (including warnings and
+   notes from the analyses) otherwise ride in [analyzed.diags]. *)
+let analyze_package ?(registry = []) ?policy ?(context = []) ?file ~root
+    pkg =
+  let diags = Putil.Diag.collector () in
+  let fail () = Error (Putil.Diag.result diags) in
   let aadl_issues =
     List.concat_map Aadl.Check.check_package (pkg :: context)
   in
-  match Aadl.Check.errors aadl_issues with
-  | _ :: _ as errs ->
-    Error
-      (String.concat "; "
-         (List.map (Format.asprintf "%a" Aadl.Check.pp_issue) errs))
-  | [] ->
-    let* instance = Aadl.Instance.instantiate ~context pkg ~root in
-    let* translation =
-      Trans.System_trans.translate ~registry ?policy instance
+  Putil.Diag.add_list diags (Aadl.Check.to_diags ?file aadl_issues);
+  match Aadl.Instance.instantiate_diag ?file ~context pkg ~root with
+  | Error ds ->
+    Putil.Diag.add_list diags ds;
+    fail ()
+  | Ok instance -> (
+    let out, tdiags =
+      Trans.System_trans.translate_diag ?file ~registry ?policy instance
     in
-    let typecheck_errors =
-      Signal_lang.Typecheck.check_program translation.Trans.System_trans.program
-    in
-    let* kernel =
-      Signal_lang.Normalize.process
-        ~program:translation.Trans.System_trans.program
-        translation.Trans.System_trans.top
-    in
-    let calc = Clocks.Calculus.analyze kernel in
-    let hierarchy = Clocks.Hierarchy.build calc in
-    let determinism = Analysis.Determinism.analyze calc kernel in
-    let deadlock = Analysis.Deadlock.analyze ~calc kernel in
-    Ok
-      { package = pkg; aadl_issues; instance; translation; kernel; calc;
-        hierarchy; determinism; deadlock; typecheck_errors }
+    Putil.Diag.add_list diags tdiags;
+    match out with
+    | None -> fail ()
+    | Some translation -> (
+      let typecheck_errors =
+        Signal_lang.Typecheck.check_program
+          translation.Trans.System_trans.program
+      in
+      Putil.Diag.add_list diags
+        (List.map
+           (diag_of_type_error ?file ~translation ~instance)
+           typecheck_errors);
+      match
+        Signal_lang.Normalize.process
+          ~program:translation.Trans.System_trans.program
+          translation.Trans.System_trans.top
+      with
+      | Error m ->
+        Putil.Diag.add diags (Putil.Diag.errorf ~code:code_norm "%s" m);
+        fail ()
+      | Ok kernel ->
+        let calc = Clocks.Calculus.analyze kernel in
+        (* a failed schedule or task extraction is stubbed with
+           never-present events, so null-clock notes would only echo a
+           defect already reported — drop them in that case *)
+        let calc_diags =
+          if Putil.Diag.has_errors tdiags then
+            List.filter
+              (fun d -> not (String.equal d.Putil.Diag.code "CLK-NULL-001"))
+              (Clocks.Calculus.diags calc)
+          else Clocks.Calculus.diags calc
+        in
+        Putil.Diag.add_list diags calc_diags;
+        let hierarchy = Clocks.Hierarchy.build calc in
+        let determinism = Analysis.Determinism.analyze calc kernel in
+        Putil.Diag.add_list diags
+          (Analysis.Determinism.diags_of_report determinism);
+        let deadlock = Analysis.Deadlock.analyze ~calc kernel in
+        Putil.Diag.add_list diags
+          (Analysis.Deadlock.diags_of_report deadlock);
+        Ok
+          { package = pkg; aadl_issues; instance; translation; kernel;
+            calc; hierarchy; determinism; deadlock; typecheck_errors;
+            diags = Putil.Diag.result diags }))
 
-let analyze ?registry ?policy ?root src =
-  let* pkgs = Aadl.Parser.parse_packages src in
+let analyze ?registry ?policy ?root ?file src =
+  let* pkgs = Aadl.Parser.parse_packages_diag ?file src in
   let* pkg, root =
     match root with
     | Some r -> (
@@ -99,11 +213,15 @@ let analyze ?registry ?policy ?root src =
       | None -> (
         match pkgs with
         | p :: _ -> Ok (p, r)
-        | [] -> Error "no package"))
-    | None -> default_root pkgs
+        | [] ->
+          Error [ Putil.Diag.errorf ~code:code_root "no package" ]))
+    | None ->
+      Result.map_error
+        (fun m -> [ Putil.Diag.errorf ~code:code_root "%s" m ])
+        (default_root pkgs)
   in
   let context = List.filter (fun p -> p != pkg) pkgs in
-  analyze_package ?registry ?policy ~context ~root pkg
+  analyze_package ?registry ?policy ~context ?file ~root pkg
 
 (* Schedulers on different processors may use different base ticks;
    simulation advances on their gcd and pulses each processor's tick at
@@ -164,13 +282,16 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
       else
         match step ~stimulus:(stimulus_at t) with
         | Ok _ -> go (t + 1)
-        | Error m -> Error (Printf.sprintf "instant %d: %s" t m)
+        | Error m ->
+          Error
+            [ Putil.Diag.errorf ~code:code_sim "instant %d: %s" t m ]
     in
     go 0
   in
   if compiled then
     match Polysim.Compile.compile a.kernel with
-    | Error m -> Error ("compile: " ^ m)
+    | Error m ->
+      Error [ Putil.Diag.errorf ~code:code_compile "compile: %s" m ]
     | Ok c ->
       run (fun ~stimulus -> Polysim.Compile.step c ~stimulus)
         (fun () -> Polysim.Compile.trace c)

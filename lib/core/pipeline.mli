@@ -16,27 +16,46 @@ type analyzed = {
   determinism : Analysis.Determinism.report;
   deadlock : Analysis.Deadlock.report;
   typecheck_errors : Signal_lang.Typecheck.error list;
+  diags : Putil.Diag.t list;
+      (** every diagnostic accumulated across the run, in emission
+          order: AADL legality issues, translation/scheduling defects,
+          SIGNAL type errors, clock-calculus conflicts and the
+          determinism/deadlock verdicts. Check
+          {!Putil.Diag.has_errors} / {!Putil.Diag.exit_code} for the
+          overall outcome. *)
 }
 
 val analyze :
   ?registry:Trans.Behavior.registry ->
   ?policy:Sched.Static_sched.policy ->
   ?root:string ->
+  ?file:string ->
   string ->
-  (analyzed, string) result
+  (analyzed, Putil.Diag.t list) result
 (** Parse (the source may contain several packages; qualified
     classifiers such as [Lib::worker.impl] resolve across them),
     instantiate (root defaults to the top-most system implementation),
     translate, normalize, run the clock calculus and both static
-    analyses. *)
+    analyses.
+
+    Defects {e accumulate}: independent failures — an AADL legality
+    error, a type error in the generated SIGNAL, an infeasible thread
+    set — are all reported in one run, each as a coded, located
+    {!Putil.Diag.t}. [Error] is returned only when a stage failure
+    prevents building the record (syntax error, unresolvable root,
+    fatal translation, normalization failure), carrying everything
+    accumulated up to that point; otherwise the full list (errors
+    included) rides in [analyzed.diags]. [file] names the AADL source
+    in diagnostic spans. *)
 
 val analyze_package :
   ?registry:Trans.Behavior.registry ->
   ?policy:Sched.Static_sched.policy ->
   ?context:Aadl.Syntax.package list ->
+  ?file:string ->
   root:string ->
   Aadl.Syntax.package ->
-  (analyzed, string) result
+  (analyzed, Putil.Diag.t list) result
 
 (** {1 Simulation} *)
 
@@ -45,7 +64,7 @@ val simulate :
   ?env:(int -> (string * int) list) ->
   ?hyperperiods:int ->
   analyzed ->
-  (Polysim.Trace.t, string) result
+  (Polysim.Trace.t, Putil.Diag.t list) result
 (** Drive the translated system: one engine instant per base tick of
     the (first) processor schedule, for the given number of
     hyper-periods (default 2). [env] supplies environment-port arrivals

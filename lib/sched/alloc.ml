@@ -102,3 +102,10 @@ let pp_assignment ppf a =
     (utilization_of a);
   List.iter (fun t -> Format.fprintf ppf "%a@," Task.pp t) a.a_tasks;
   Format.fprintf ppf "@]"
+
+let code_unplaced =
+  Putil.Diag.code "SCHED-ALLOC-001" "task fits on no processor"
+
+let diag_of_failure ?span ?related f =
+  Putil.Diag.errorf ?span ?related ~code:code_unplaced
+    "allocation failed for task %s: %s" f.unplaced.Task.t_name f.reason

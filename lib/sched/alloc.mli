@@ -41,3 +41,8 @@ val min_processors :
 val utilization_of : assignment -> float
 
 val pp_assignment : Format.formatter -> assignment -> unit
+
+val diag_of_failure :
+  ?span:Putil.Diag.span -> ?related:Putil.Diag.related list ->
+  failure -> Putil.Diag.t
+(** The allocation failure as a [SCHED-ALLOC-001] diagnostic. *)

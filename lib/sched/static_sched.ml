@@ -283,3 +283,10 @@ let pp_schedule ppf s =
         j.j_index j.dispatch_us j.start_us j.complete_us j.deadline_abs_us)
     s.jobs;
   Format.fprintf ppf "@]"
+
+let code_infeasible =
+  Putil.Diag.code "SCHED-INFEAS-001" "no valid static schedule exists"
+
+let diag_of_failure ?span ?related f =
+  Putil.Diag.errorf ?span ?related ~code:code_infeasible
+    "infeasible schedule: %s" f.f_message

@@ -78,3 +78,8 @@ val pp_gantt : Format.formatter -> schedule -> unit
 (** ASCII Gantt chart over one hyper-period, one row per task, one
     column per base tick: [#] executing, [d] dispatch waiting, [.]
     idle. *)
+
+val diag_of_failure :
+  ?span:Putil.Diag.span -> ?related:Putil.Diag.related list ->
+  failure -> Putil.Diag.t
+(** The synthesis failure as a [SCHED-INFEAS-001] diagnostic. *)

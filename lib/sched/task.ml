@@ -42,3 +42,12 @@ let pp ppf t =
     (match t.priority with
      | Some p -> Printf.sprintf ", prio %d" p
      | None -> "")
+
+let code_params = Putil.Diag.code "SCHED-TASK-001" "invalid task timing parameters"
+
+let make_checked ?deadline_us ?offset_us ?priority ~name ~period_us ~wcet_us
+    () =
+  match make ?deadline_us ?offset_us ?priority ~name ~period_us ~wcet_us () with
+  | t -> Ok t
+  | exception Invalid_argument m ->
+    Error (Putil.Diag.errorf ~code:code_params "task %s: %s" name m)

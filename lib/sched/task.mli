@@ -31,3 +31,13 @@ val job_count : t -> hyperperiod_us:int -> int
 (** Jobs of this task released strictly inside one hyper-period. *)
 
 val pp : Format.formatter -> t -> unit
+
+val make_checked :
+  ?deadline_us:int ->
+  ?offset_us:int ->
+  ?priority:int ->
+  name:string -> period_us:int -> wcet_us:int -> unit ->
+  (t, Putil.Diag.t) result
+(** {!make} with the precondition failures turned into a
+    [SCHED-TASK-001] diagnostic — the entry point for task parameters
+    that come from user models rather than trusted code. *)

@@ -39,6 +39,7 @@ and instance = {
 type vardecl = {
   var_name : ident;
   var_type : Types.styp;
+  var_loc : (int * int) option;
 }
 
 type process = {
@@ -57,7 +58,9 @@ type program = {
   processes : process list;
 }
 
-let var var_name var_type = { var_name; var_type }
+let var var_name var_type = { var_name; var_type; var_loc = None }
+
+let var_at ~loc var_name var_type = { var_name; var_type; var_loc = Some loc }
 
 let empty_process name =
   { proc_name = name; params = []; inputs = []; outputs = []; locals = [];

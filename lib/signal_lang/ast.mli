@@ -48,6 +48,9 @@ and instance = {
 type vardecl = {
   var_name : ident;
   var_type : Types.styp;
+  var_loc : (int * int) option;
+      (** (line, column) of the declaration that produced this signal —
+          for generated code, the position of the source AADL construct *)
 }
 
 type process = {
@@ -68,6 +71,9 @@ type program = {
 }
 
 val var : ident -> Types.styp -> vardecl
+(** A declaration with no source position. *)
+
+val var_at : loc:(int * int) -> ident -> Types.styp -> vardecl
 
 val empty_process : ident -> process
 (** A process with the given name and no content. *)

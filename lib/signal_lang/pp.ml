@@ -97,7 +97,7 @@ let group_by_type vars =
      to print "integer x, y, z;" like the Polychrony tools do. *)
   let rec loop acc current = function
     | [] -> List.rev (match current with None -> acc | Some g -> g :: acc)
-    | { var_name; var_type } :: rest -> (
+    | { var_name; var_type; _ } :: rest -> (
       match current with
       | Some (t, names) when t = var_type ->
         loop acc (Some (t, var_name :: names)) rest

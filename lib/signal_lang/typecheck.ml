@@ -3,7 +3,24 @@ open Ast
 type error = {
   err_proc : string;
   err_msg : string;
+  err_code : string;
+  err_signal : string option;
 }
+
+(* Stable SIGNAL typing codes. *)
+let code_dup_decl =
+  Putil.Diag.code "SIG-TYPE-001" "duplicate declaration in a process interface"
+let code_undeclared =
+  Putil.Diag.code "SIG-TYPE-002" "undeclared signal referenced or defined"
+let code_def_input =
+  Putil.Diag.code "SIG-TYPE-003" "definition of an input or parameter"
+let code_multi_def =
+  Putil.Diag.code "SIG-TYPE-004" "conflicting definitions of a signal"
+let code_expr = Putil.Diag.code "SIG-TYPE-005" "ill-typed expression"
+let code_instance =
+  Putil.Diag.code "SIG-TYPE-006" "ill-formed process instance"
+let code_undefined =
+  Putil.Diag.code "SIG-TYPE-007" "output or local signal is never defined"
 
 let pp_error ppf e =
   Format.fprintf ppf "process %s: %s" e.err_proc e.err_msg
@@ -122,9 +139,13 @@ let resolve_model ~program ~host name =
 
 let rec check_process ?program p =
   let errors = ref [] in
-  let err fmt =
+  let err ?signal ~code fmt =
     Format.kasprintf
-      (fun m -> errors := { err_proc = p.proc_name; err_msg = m } :: !errors)
+      (fun m ->
+        errors :=
+          { err_proc = p.proc_name; err_msg = m; err_code = code;
+            err_signal = signal }
+          :: !errors)
       fmt
   in
   (* 1. distinct declarations *)
@@ -133,7 +154,8 @@ let rec check_process ?program p =
   List.iter
     (fun vd ->
       if Hashtbl.mem seen vd.var_name then
-        err "duplicate declaration of %s" vd.var_name
+        err ~signal:vd.var_name ~code:code_dup_decl
+          "duplicate declaration of %s" vd.var_name
       else Hashtbl.add seen vd.var_name ())
     all_decls;
   let env = declared_env p in
@@ -145,36 +167,43 @@ let rec check_process ?program p =
   (* 2. definition discipline *)
   let total = Hashtbl.create 16 and partial = Hashtbl.create 16 in
   let record_def ~partial:is_partial x =
-    if not (SMap.mem x env) then err "definition of undeclared signal %s" x
-    else if is_input x then err "definition of input or parameter %s" x
+    if not (SMap.mem x env) then
+      err ~signal:x ~code:code_undeclared
+        "definition of undeclared signal %s" x
+    else if is_input x then
+      err ~signal:x ~code:code_def_input
+        "definition of input or parameter %s" x
     else if is_partial then Hashtbl.replace partial x ()
-    else if Hashtbl.mem total x then err "signal %s defined twice" x
+    else if Hashtbl.mem total x then
+      err ~signal:x ~code:code_multi_def "signal %s defined twice" x
     else Hashtbl.replace total x ()
   in
   let check_expr e =
     match type_of_expr lookup e with
     | Ok _ -> ()
-    | Error m -> err "%s" m
+    | Error m -> err ~code:code_expr "%s" m
   in
-  let check_expr_against ~what expected e =
+  let check_expr_against ?signal ~what expected e =
     match type_of_expr lookup e with
     | Ok t ->
       if not (compatible expected t || join expected t <> None) then
-        err "%s: expected %s, got %s" what
+        err ?signal ~code:code_expr "%s: expected %s, got %s" what
           (Types.styp_to_string expected) (Types.styp_to_string t)
-    | Error m -> err "%s" m
+    | Error m -> err ?signal ~code:code_expr "%s" m
   in
   let check_stmt = function
     | Sdef (x, e) ->
       record_def ~partial:false x;
       (match lookup x with
-       | Some tx -> check_expr_against ~what:("definition of " ^ x) tx e
+       | Some tx ->
+         check_expr_against ~signal:x ~what:("definition of " ^ x) tx e
        | None -> check_expr e)
     | Spartial (x, e) ->
       record_def ~partial:true x;
       (match lookup x with
        | Some tx ->
-         check_expr_against ~what:("partial definition of " ^ x) tx e
+         check_expr_against ~signal:x
+           ~what:("partial definition of " ^ x) tx e
        | None -> check_expr e)
     | Sclk_eq (e1, e2) | Sclk_le (e1, e2) | Sclk_ex (e1, e2) ->
       check_expr e1; check_expr e2
@@ -182,18 +211,23 @@ let rec check_process ?program p =
       List.iter check_expr inst.inst_ins;
       List.iter (fun x -> record_def ~partial:false x) inst.inst_outs;
       match resolve_model ~program ~host:p inst.inst_proc with
-      | None -> err "instance %s: unknown process %s" inst.inst_label inst.inst_proc
+      | None ->
+        err ~code:code_instance "instance %s: unknown process %s"
+          inst.inst_label inst.inst_proc
       | Some model ->
         if List.length inst.inst_ins <> List.length model.inputs then
-          err "instance %s of %s: %d inputs given, %d expected"
+          err ~code:code_instance
+            "instance %s of %s: %d inputs given, %d expected"
             inst.inst_label inst.inst_proc
             (List.length inst.inst_ins) (List.length model.inputs);
         if List.length inst.inst_outs <> List.length model.outputs then
-          err "instance %s of %s: %d outputs given, %d expected"
+          err ~code:code_instance
+            "instance %s of %s: %d outputs given, %d expected"
             inst.inst_label inst.inst_proc
             (List.length inst.inst_outs) (List.length model.outputs);
         if List.length inst.inst_params <> List.length model.params then
-          err "instance %s of %s: %d params given, %d expected"
+          err ~code:code_instance
+            "instance %s of %s: %d params given, %d expected"
             inst.inst_label inst.inst_proc
             (List.length inst.inst_params) (List.length model.params);
         List.iteri
@@ -211,7 +245,8 @@ let rec check_process ?program p =
             match List.nth_opt model.outputs k, lookup x with
             | Some vd, Some tx ->
               if join vd.var_type tx = None then
-                err "instance %s output %s: %s connected to %s of type %s"
+                err ~signal:x ~code:code_instance
+                  "instance %s output %s: %s connected to %s of type %s"
                   inst.inst_label vd.var_name
                   (Types.styp_to_string vd.var_type) x (Types.styp_to_string tx)
             | _, None | None, _ -> ())
@@ -226,18 +261,21 @@ let rec check_process ?program p =
     List.iter
       (fun vd ->
         if not (is_defined vd.var_name) then
-          err "output %s is never defined" vd.var_name)
+          err ~signal:vd.var_name ~code:code_undefined
+            "output %s is never defined" vd.var_name)
       p.outputs;
     List.iter
       (fun vd ->
         if not (is_defined vd.var_name) then
-          err "local %s is never defined" vd.var_name)
+          err ~signal:vd.var_name ~code:code_undefined
+            "local %s is never defined" vd.var_name)
       p.locals
   end;
   Hashtbl.iter
     (fun x () ->
       if Hashtbl.mem partial x then
-        err "signal %s has both total and partial definitions" x)
+        err ~signal:x ~code:code_multi_def
+          "signal %s has both total and partial definitions" x)
     total;
   (* 4. recurse into local models *)
   let sub_errors =

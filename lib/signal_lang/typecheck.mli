@@ -13,6 +13,10 @@
 type error = {
   err_proc : string;  (** process in which the error was found *)
   err_msg : string;
+  err_code : string;  (** stable [SIG-TYPE-0xx] code *)
+  err_signal : string option;
+      (** concerned signal, when attributable — lets callers recover
+          the declaration span from {!Ast.vardecl.var_loc} *)
 }
 
 val pp_error : Format.formatter -> error -> unit

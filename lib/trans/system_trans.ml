@@ -16,9 +16,22 @@ type output = {
   env_outputs : string list;
 }
 
-exception Trans_error of string
+(* Stable translation error codes (TRANS-001/002 live in
+   {!Thread_trans}). *)
+let code_sched_props =
+  Putil.Diag.code "TRANS-003"
+    "thread lacks the properties needed for static scheduling"
+let code_fatal =
+  Putil.Diag.code "TRANS-004" "translation cannot produce a program"
 
-let errf fmt = Format.kasprintf (fun m -> raise (Trans_error m)) fmt
+(* A defect after which no output program can be assembled; recoverable
+   defects accumulate in the collector instead. *)
+exception Fatal of Putil.Diag.t
+
+let span_of_loc ?file (l : Syn.loc) =
+  if l.Syn.l_line > 0 then
+    Some (Putil.Diag.span ?file ~line:l.Syn.l_line ~col:l.Syn.l_col ())
+  else None
 
 module Metrics = Putil.Metrics
 
@@ -60,8 +73,14 @@ let local_name root_path path =
   in
   sanitize p
 
-let task_of_thread inst =
+let task_of_thread_diag ?file inst =
   let props = inst.Inst.i_props in
+  let span = span_of_loc ?file inst.Inst.i_loc in
+  let err fmt =
+    Format.kasprintf
+      (fun m -> Error (Putil.Diag.errorf ?span ~code:code_sched_props "%s" m))
+      fmt
+  in
   (* Periodic threads schedule directly; a Sporadic thread reserves a
      periodic server slot at its minimum interarrival rate (its Period
      property), the standard static treatment — the paper's scheduler
@@ -69,16 +88,13 @@ let task_of_thread inst =
      Background dispatching have no static slot and are rejected. *)
   match Aadl.Props.dispatch_protocol props with
   | Some (Aadl.Props.Aperiodic | Aadl.Props.Background) ->
-    Error
-      (Printf.sprintf
-         "thread %s: aperiodic/background dispatch cannot be scheduled \
-          statically"
-         inst.Inst.i_path)
+    err
+      "thread %s: aperiodic/background dispatch cannot be scheduled \
+       statically"
+      inst.Inst.i_path
   | Some Aadl.Props.Periodic | Some Aadl.Props.Sporadic | None -> (
   match Aadl.Props.period_us props with
-  | None ->
-    Error
-      (Printf.sprintf "thread %s: no Period property" inst.Inst.i_path)
+  | None -> err "thread %s: no Period property" inst.Inst.i_path
   | Some period_us ->
     let deadline_us =
       Option.value ~default:period_us (Aadl.Props.deadline_us props)
@@ -93,15 +109,25 @@ let task_of_thread inst =
       | Some v -> Option.value ~default:0 (Aadl.Props.duration_us v)
       | None -> 0
     in
-    (match Aadl.Props.priority props with
-     | Some p ->
-       Ok
-         (Sched.Task.make ~deadline_us ~offset_us ~priority:p
-            ~name:inst.Inst.i_path ~period_us ~wcet_us ())
-     | None ->
-       Ok
-         (Sched.Task.make ~deadline_us ~offset_us ~name:inst.Inst.i_path
-            ~period_us ~wcet_us ())))
+    (* route user-model parameters through the checked constructor so
+       an inconsistent property set becomes a located SCHED-TASK-001
+       rather than an Invalid_argument trap *)
+    (match
+       Sched.Task.make_checked ~deadline_us ~offset_us
+         ?priority:(Aadl.Props.priority props)
+         ~name:inst.Inst.i_path ~period_us ~wcet_us ()
+     with
+     | Ok task -> Ok task
+     | Error d ->
+       Error
+         (match d.Putil.Diag.span with
+          | Some _ -> d
+          | None -> { d with Putil.Diag.span = span })))
+
+let task_of_thread inst =
+  Result.map_error
+    (fun d -> d.Putil.Diag.message)
+    (task_of_thread_diag inst)
 
 (* never-present expressions, used for unconnected inputs *)
 let never_int = B.(when_ (i 0) (b false))
@@ -112,15 +138,14 @@ let is_thread_path t path =
   | Some i -> i.Inst.i_category = Syn.Thread
   | None -> false
 
-let translate ?(registry = []) ?(policy = S.Edf) t =
-  Metrics.incr m_translations;
-  Metrics.time m_translate_ns @@ fun () ->
-  try
+let translate_core ?file ~registry ~policy ~diags t =
     let trace = Traceability.create () in
     let root_path = t.Inst.root.Inst.i_path in
     let lname inst = local_name root_path inst.Inst.i_path in
     let threads = Inst.threads t in
-    if threads = [] then errf "model contains no thread";
+    if threads = [] then
+      raise
+        (Fatal (Putil.Diag.errorf ~code:code_fatal "model contains no thread"));
     let datas = Inst.instances_of_category t Syn.Data in
     let processors =
       Inst.instances_of_category t Syn.Processor
@@ -138,10 +163,24 @@ let translate ?(registry = []) ?(policy = S.Edf) t =
           else None)
         t.Inst.bindings
     in
+    (* Memoized per thread: a failed extraction is reported once and
+       replaced by a harmless placeholder slot, so one defective thread
+       does not mask defects elsewhere in the model. *)
+    let task_cache = Hashtbl.create 8 in
     let task_of th =
-      match task_of_thread th with
-      | Ok task -> task
-      | Error m -> errf "%s" m
+      match Hashtbl.find_opt task_cache th.Inst.i_path with
+      | Some task -> task
+      | None ->
+        let task =
+          match task_of_thread_diag ?file th with
+          | Ok task -> task
+          | Error d ->
+            Putil.Diag.add diags d;
+            Sched.Task.make ~name:th.Inst.i_path ~period_us:1_000_000
+              ~wcet_us:1 ()
+        in
+        Hashtbl.add task_cache th.Inst.i_path task;
+        task
     in
     let cpu_map =
       let unbound =
@@ -178,8 +217,7 @@ let translate ?(registry = []) ?(policy = S.Edf) t =
         in
         let todo = List.map task_of unbound in
         match Sched.Alloc.allocate ~policy ~preloaded ~cpus todo with
-        | Error f ->
-          errf "allocation failed: %s" f.Sched.Alloc.reason
+        | Error f -> raise (Fatal (Sched.Alloc.diag_of_failure f))
         | Ok assignments ->
           List.map
             (fun th ->
@@ -215,15 +253,47 @@ let translate ?(registry = []) ?(policy = S.Edf) t =
           (cpu, List.map task_of ths))
         cpu_paths
     in
-    let schedules =
-      List.map
-        (fun (cpu, tasks) ->
-          match S.synthesize ~policy tasks with
-          | Ok s -> (cpu, s)
-          | Error f ->
-            errf "processor %s: no valid %s schedule: %s" cpu
-              (S.policy_to_string policy) f.S.f_message)
-        tasks_of_cpu
+    (* A processor whose task set is infeasible is reported and its
+       scheduler replaced by never-present stubs, so defects on other
+       processors (and type/clock defects downstream) still surface in
+       the same run. *)
+    let schedules, stub_cpus =
+      let ok, failed =
+        List.fold_left
+          (fun (ok, failed) (cpu, tasks) ->
+            match S.synthesize ~policy tasks with
+            | Ok s -> ((cpu, s) :: ok, failed)
+            | Error f ->
+              (* point at the thread whose job misses, falling back to
+                 any thread bound to this processor *)
+              let span =
+                let bound p =
+                  List.find_map
+                    (fun th ->
+                      if p th && String.equal (cpu_of_thread th) cpu
+                      then span_of_loc ?file th.Inst.i_loc
+                      else None)
+                    threads
+                in
+                match
+                  bound (fun th ->
+                      String.equal th.Inst.i_path f.S.f_task)
+                with
+                | Some s -> Some s
+                | None -> bound (fun _ -> true)
+              in
+              let related =
+                [ { Putil.Diag.rel_message =
+                      Printf.sprintf "while synthesizing the %s schedule \
+                                      of processor %s"
+                        (S.policy_to_string policy) cpu;
+                    rel_span = None } ]
+              in
+              Putil.Diag.add diags (S.diag_of_failure ?span ~related f);
+              (ok, (cpu, tasks) :: failed))
+          ([], []) tasks_of_cpu
+      in
+      (List.rev ok, List.rev failed)
     in
     (* ---- thread process models ---- *)
     let thread_models =
@@ -347,6 +417,21 @@ let translate ?(registry = []) ?(policy = S.Edf) t =
           (B.inst ~label:(model.Ast.proc_name ^ "_i") model.Ast.proc_name
              [ B.v tick ] outs))
       sched_models;
+    (* ctl stubs for processors whose schedule failed: the bound
+       threads' dispatch/start/complete/deadline events stay declared
+       and defined (never present), keeping the program elaborable *)
+    List.iter
+      (fun (_cpu, tasks) ->
+        List.iter
+          (fun task ->
+            let p = prefix_of_task task.Sched.Task.t_name in
+            List.iter
+              (fun suffix ->
+                let n = declare (p ^ suffix) Types.Tevent in
+                emit B.(n := never_event))
+              [ "_dispatch"; "_start"; "_complete"; "_deadline" ])
+          tasks)
+      stub_cpus;
     (* ---- data fifo instances ---- *)
     List.iter
       (fun d ->
@@ -578,14 +663,31 @@ let translate ?(registry = []) ?(policy = S.Edf) t =
          @ [ top ])
     in
     record_output_metrics program;
-    Ok
-      { program; top;
-        schedules;
-        tasks = tasks_of_cpu;
-        trace;
-        tick_inputs = List.rev !tick_inputs;
-        env_inputs = List.rev !env_inputs;
-        env_outputs = List.rev !env_outputs }
-  with
-  | Trans_error m -> Error m
-  | Invalid_argument m -> Error m
+    { program; top;
+      schedules;
+      tasks = tasks_of_cpu;
+      trace;
+      tick_inputs = List.rev !tick_inputs;
+      env_inputs = List.rev !env_inputs;
+      env_outputs = List.rev !env_outputs }
+
+let translate_diag ?file ?(registry = []) ?(policy = S.Edf) t =
+  Metrics.incr m_translations;
+  Metrics.time m_translate_ns @@ fun () ->
+  let diags = Putil.Diag.collector () in
+  match translate_core ?file ~registry ~policy ~diags t with
+  | out -> (Some out, Putil.Diag.result diags)
+  | exception Fatal d ->
+    Putil.Diag.add diags d;
+    (None, Putil.Diag.result diags)
+  | exception Thread_trans.Trans_diag d ->
+    Putil.Diag.add diags d;
+    (None, Putil.Diag.result diags)
+  | exception Invalid_argument m ->
+    Putil.Diag.add diags (Putil.Diag.errorf ~code:code_fatal "%s" m);
+    (None, Putil.Diag.result diags)
+
+let translate ?registry ?policy t =
+  match translate_diag ?registry ?policy t with
+  | Some out, diags when not (Putil.Diag.has_errors diags) -> Ok out
+  | _, diags -> Error (Putil.Diag.list_to_string diags)

@@ -38,10 +38,37 @@ val translate :
   (output, string) result
 (** Fails when a process is not bound to any processor, when a thread
     lacks the timing properties needed for scheduling, or when no valid
-    schedule exists under the chosen policy. *)
+    schedule exists under the chosen policy. The error string is the
+    compact rendering of the structured diagnostics; prefer
+    {!translate_diag} in new code. *)
+
+val translate_diag :
+  ?file:string ->
+  ?registry:Behavior.registry ->
+  ?policy:Sched.Static_sched.policy ->
+  Aadl.Instance.t ->
+  output option * Putil.Diag.t list
+(** Accumulating translation. Recoverable defects — a thread whose
+    timing properties cannot form a task ([TRANS-003] or
+    [SCHED-TASK-001]), a processor with no feasible schedule
+    ([SCHED-INFEAS-001]) — are reported {e and} translation continues
+    with placeholder tasks or never-present scheduler stubs, so one
+    defect does not mask the others; the output is [Some] even then.
+    [None] is returned only for fatal defects ([TRANS-004], allocation
+    failure, or a behaviour/mode defect raised by {!Thread_trans}).
+    [file] names the AADL source in diagnostic spans. *)
 
 val task_of_thread : Aadl.Instance.instance -> (Sched.Task.t, string) result
 (** Extract the scheduler task (period, deadline, WCET in µs) from a
     thread instance's properties. WCET defaults to the largest value
     that divides the other parameters when absent: the
     Compute_Execution_Time property is strongly recommended. *)
+
+val task_of_thread_diag :
+  ?file:string ->
+  Aadl.Instance.instance ->
+  (Sched.Task.t, Putil.Diag.t) result
+(** Like {!task_of_thread}, but the failure is a [TRANS-003] (missing
+    or unschedulable dispatch properties) or [SCHED-TASK-001]
+    (inconsistent timing values) diagnostic spanning the thread's
+    declaration site. *)

@@ -4,6 +4,29 @@ module Types = Signal_lang.Types
 module Syn = Aadl.Syntax
 module Inst = Aadl.Instance
 
+(* Stable translation error codes. *)
+let code_mode =
+  Putil.Diag.code "TRANS-001" "mode automaton cannot be translated"
+let code_iface =
+  Putil.Diag.code "TRANS-002"
+    "behaviour references a port or access the thread does not declare"
+
+(* Raised on defects in the translated model (as opposed to caller
+   bugs, which keep raising Invalid_argument). *)
+exception Trans_diag of Putil.Diag.t
+
+let fail ?loc ~code fmt =
+  Format.kasprintf
+    (fun m ->
+      let span =
+        match loc with
+        | Some l when l.Syn.l_line > 0 ->
+          Some (Putil.Diag.span ~line:l.Syn.l_line ~col:l.Syn.l_col ())
+        | Some _ | None -> None
+      in
+      raise (Trans_diag (Putil.Diag.errorf ?span ~code "%s" m)))
+    fmt
+
 let sanitize path = String.map (fun c -> if c = '.' then '_' else c) path
 
 let process_name inst = "th_" ^ sanitize inst.Inst.i_path
@@ -147,9 +170,11 @@ let translate ~registry inst =
      transitions from distinct modes exclusive. *)
   let modes = inst.Inst.i_modes in
   let has_modes = modes <> [] in
-  let mode_idx name =
+  let mode_idx ?loc name =
     let rec go k = function
-      | [] -> invalid_arg (Printf.sprintf "unknown mode %s" name)
+      | [] ->
+        fail ?loc ~code:code_mode "thread %s: unknown mode %s"
+          inst.Inst.i_path name
       | m :: rest ->
         if String.equal m.Syn.m_name name then k else go (k + 1) rest
     in
@@ -176,16 +201,16 @@ let translate ~registry inst =
               ins
           in
           if not trigger_ok then
-            invalid_arg
-              (Printf.sprintf
-                 "mode transition %s: trigger %s is not an in event port"
-                 tr.Syn.mt_name tr.Syn.mt_trigger);
+            fail ~loc:tr.Syn.mt_loc ~code:code_mode
+              "thread %s: mode transition %s: trigger %s is not an in \
+               event port"
+              inst.Inst.i_path tr.Syn.mt_name tr.Syn.mt_trigger;
           let g = declare ("guard_" ^ tr.Syn.mt_name) Types.Tbool in
           emit
             B.(g
-               := (v pre_mode = i (mode_idx tr.Syn.mt_src))
+               := (v pre_mode = i (mode_idx ~loc:tr.Syn.mt_loc tr.Syn.mt_src))
                   && (v (tr.Syn.mt_trigger ^ "_count") > i 0));
-          (g, mode_idx tr.Syn.mt_dst))
+          (g, mode_idx ~loc:tr.Syn.mt_loc tr.Syn.mt_dst))
         inst.Inst.i_transitions
     in
     List.iter
@@ -221,18 +246,27 @@ let translate ~registry inst =
         (fun p ->
           match Hashtbl.find_opt frozen_at_start p with
           | Some s -> B.v s
-          | None -> invalid_arg (Printf.sprintf "unknown in port %s" p));
+          | None ->
+            fail ~loc:inst.Inst.i_loc ~code:code_iface
+              "thread %s: behaviour reads unknown in port %s"
+              inst.Inst.i_path p);
       frozen_count =
         (fun p ->
           match Hashtbl.find_opt count_at_start p with
           | Some s -> B.v s
-          | None -> invalid_arg (Printf.sprintf "unknown in port %s" p));
+          | None ->
+            fail ~loc:inst.Inst.i_loc ~code:code_iface
+              "thread %s: behaviour reads unknown in port %s"
+              inst.Inst.i_path p);
       out_item = (fun p -> p ^ "_item");
       read_value =
         (fun a ->
           match Hashtbl.find_opt read_at_start a with
           | Some s -> B.v s
-          | None -> invalid_arg (Printf.sprintf "unknown read access %s" a));
+          | None ->
+            fail ~loc:inst.Inst.i_loc ~code:code_iface
+              "thread %s: behaviour reads unknown read access %s"
+              inst.Inst.i_path a);
       pop_signal = (fun a -> a ^ "_pop");
       write_signal = (fun a -> a ^ "_w");
       fresh_local;
@@ -288,13 +322,29 @@ let translate ~registry inst =
   let nc_at = declare "completed_at_dl" Types.Tint in
   emit (B.inst ~label:"nc_mem" "fm" B.[ v nc; v deadline_b ] [ nc_at ]);
   emit B.("Alarm" := on (v nc_at < v ndl));
+  (* a port's value signal carries the source position of the AADL
+     feature that produced it, so a type error on the signal can point
+     back at the declaration *)
+  let port_var p typ =
+    match
+      List.find_opt
+        (fun f -> String.equal (Syn.feature_name f) p)
+        inst.Inst.i_features
+    with
+    | Some f ->
+      let l = Syn.feature_loc f in
+      if l.Syn.l_line > 0 then
+        Ast.var_at ~loc:(l.Syn.l_line, l.Syn.l_col) p typ
+      else Ast.var p typ
+    | None -> Ast.var p typ
+  in
   let inputs =
     [ Ast.var "Dispatch" Types.Tevent;
       Ast.var "Start" Types.Tevent;
       Ast.var "Deadline" Types.Tevent ]
     @ List.concat_map
         (fun (p, _, _) ->
-          [ Ast.var p Types.Tint; Ast.var (p ^ "_time") Types.Tevent ])
+          [ port_var p Types.Tint; Ast.var (p ^ "_time") Types.Tevent ])
         ins
     @ List.map (fun (p, _, _) -> Ast.var (p ^ "_time") Types.Tevent) outs
     @ List.map (fun a -> Ast.var (a ^ "_r") Types.Tint) reads
@@ -302,7 +352,7 @@ let translate ~registry inst =
   let outputs =
     [ Ast.var "Complete" Types.Tevent; Ast.var "Alarm" Types.Tevent ]
     @ (if has_modes then [ Ast.var "Mode" Types.Tint ] else [])
-    @ List.map (fun (p, _, _) -> Ast.var p Types.Tint) outs
+    @ List.map (fun (p, _, _) -> port_var p Types.Tint) outs
     @ List.map (fun a -> Ast.var (a ^ "_pop") Types.Tevent) reads
     @ List.map (fun a -> Ast.var (a ^ "_w") Types.Tint) writes
   in

@@ -14,6 +14,12 @@
     - outputs [Complete] (the ctl2 bundle) and [Alarm], raised at a
       Deadline occurrence when some dispatched job has not completed. *)
 
+exception Trans_diag of Putil.Diag.t
+(** Raised on a defect in the translated model: a mode automaton that
+    cannot be translated ([TRANS-001]) or a behaviour referencing a
+    port/access the thread does not declare ([TRANS-002]). Caller bugs
+    (passing a non-thread instance) keep raising [Invalid_argument]. *)
+
 val port_queue_size : Aadl.Syntax.feature -> int
 (** The port's Queue_Size property, default 1 (AADL default). *)
 
@@ -21,7 +27,8 @@ val translate :
   registry:Behavior.registry ->
   Aadl.Instance.instance ->
   Signal_lang.Ast.process
-(** @raise Invalid_argument if the instance is not a thread. *)
+(** @raise Invalid_argument if the instance is not a thread.
+    @raise Trans_diag on a model-level defect (see above). *)
 
 val process_name : Aadl.Instance.instance -> string
 (** Deterministic SIGNAL process-model name for a thread instance

@@ -1,0 +1,251 @@
+type severity = Note | Warning | Error
+
+let severity_to_string = function
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Note -> 0
+
+type span = {
+  sp_file : string option;
+  sp_line : int;
+  sp_col : int;
+  sp_end_col : int;
+}
+
+let span ?file ?end_col ~line ~col () =
+  { sp_file = file;
+    sp_line = line;
+    sp_col = col;
+    sp_end_col = (match end_col with Some e -> max e col | None -> col) }
+
+let with_file file sp =
+  match sp.sp_file with Some _ -> sp | None -> { sp with sp_file = Some file }
+
+type related = {
+  rel_message : string;
+  rel_span : span option;
+}
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : span option;
+  related : related list;
+}
+
+(* ---- code registry ---- *)
+
+let registry : (string, string) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let code id description =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      (match Hashtbl.find_opt registry id with
+       | Some d when d <> description ->
+         invalid_arg
+           (Printf.sprintf "Diag.code: %s already registered (%S vs %S)" id d
+              description)
+       | Some _ | None -> Hashtbl.replace registry id description);
+      id)
+
+let describe id =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () -> Hashtbl.find_opt registry id)
+
+let codes () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* ---- construction ---- *)
+
+let make ?span ?(related = []) severity ~code message =
+  { severity; code; message; span; related }
+
+let kmake ?span ?related severity ~code fmt =
+  Format.kasprintf (fun message -> make ?span ?related severity ~code message)
+    fmt
+
+let errorf ?span ?related ~code fmt = kmake ?span ?related Error ~code fmt
+let warningf ?span ?related ~code fmt = kmake ?span ?related Warning ~code fmt
+let notef ?span ?related ~code fmt = kmake ?span ?related Note ~code fmt
+
+(* ---- collector ---- *)
+
+type collector = { mutable acc : t list (* reversed *) }
+
+let collector () = { acc = [] }
+let add c d = c.acc <- d :: c.acc
+let add_list c ds = List.iter (add c) ds
+let result c = List.rev c.acc
+let is_empty c = c.acc = []
+
+(* ---- queries ---- *)
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+    Some
+      (List.fold_left
+         (fun acc d ->
+           if severity_rank d.severity > severity_rank acc then d.severity
+           else acc)
+         d.severity ds)
+
+let sort ds =
+  let key d =
+    match d.span with
+    | None -> ("", max_int, max_int)
+    | Some sp ->
+      (Option.value ~default:"" sp.sp_file, sp.sp_line, sp.sp_col)
+  in
+  List.stable_sort
+    (fun a b ->
+      let c = compare (key a) (key b) in
+      if c <> 0 then c
+      else compare (severity_rank b.severity) (severity_rank a.severity))
+    ds
+
+let exit_code ds =
+  match max_severity ds with
+  | Some Error -> 1
+  | Some Warning -> 2
+  | Some Note | None -> 0
+
+(* ---- rendering ---- *)
+
+let pp_span ppf sp =
+  (match sp.sp_file with
+   | Some f -> Format.fprintf ppf "%s:" f
+   | None -> ());
+  Format.fprintf ppf "%d:%d" sp.sp_line sp.sp_col
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]" (severity_to_string d.severity) d.code;
+  (match d.span with
+   | Some sp -> Format.fprintf ppf " %a:" pp_span sp
+   | None -> Format.fprintf ppf ":");
+  Format.fprintf ppf " %s" d.message;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,  = %s" r.rel_message;
+      match r.rel_span with
+      | Some sp -> Format.fprintf ppf " (%a)" pp_span sp
+      | None -> ())
+    d.related
+
+let to_string d = Format.asprintf "@[<v>%a@]" pp d
+
+let source_line src n =
+  if n <= 0 then None
+  else begin
+    let len = String.length src in
+    let rec find_start line pos =
+      if line = n then Some pos
+      else
+        match String.index_from_opt src pos '\n' with
+        | Some i when i + 1 <= len -> find_start (line + 1) (i + 1)
+        | Some _ | None -> None
+    in
+    match find_start 1 0 with
+    | None -> None
+    | Some start ->
+      let stop =
+        match String.index_from_opt src start '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      if start > len then None else Some (String.sub src start (stop - start))
+  end
+
+let excerpt src sp =
+  match source_line src sp.sp_line with
+  | None -> ""
+  | Some line ->
+    let gutter = string_of_int sp.sp_line in
+    let pad = String.make (String.length gutter) ' ' in
+    let caret_col = max 1 sp.sp_col in
+    let width = max 1 (sp.sp_end_col - sp.sp_col + 1) in
+    (* tabs in the excerpt would desynchronise the caret; render as
+       single spaces *)
+    let line = String.map (fun c -> if c = '\t' then ' ' else c) line in
+    let carets =
+      String.make (caret_col - 1) ' ' ^ "^"
+      ^ String.make (max 0 (width - 1)) '~'
+    in
+    Printf.sprintf "  %s | %s\n  %s | %s\n" gutter line pad carets
+
+let render ?src d =
+  let head = to_string d in
+  match d.span, src with
+  | Some sp, Some src when sp.sp_line > 0 -> head ^ "\n" ^ excerpt src sp
+  | _ -> head ^ "\n"
+
+let render_list ?src ds =
+  let ds = sort ds in
+  let body = String.concat "" (List.map (render ?src) ds) in
+  let e = count Error ds and w = count Warning ds in
+  if e = 0 && w = 0 then body
+  else
+    Printf.sprintf "%s%d error(s), %d warning(s)\n" body e w
+
+let list_to_string ds = String.concat "\n" (List.map to_string ds)
+
+(* ---- JSON ---- *)
+
+module Json = Metrics.Json
+
+let span_to_json sp =
+  Json.Obj
+    ((match sp.sp_file with
+      | Some f -> [ ("file", Json.String f) ]
+      | None -> [])
+     @ [ ("line", Json.Int sp.sp_line);
+         ("col", Json.Int sp.sp_col);
+         ("end_col", Json.Int sp.sp_end_col) ])
+
+let to_json d =
+  Json.Obj
+    ([ ("severity", Json.String (severity_to_string d.severity));
+       ("code", Json.String d.code);
+       ("message", Json.String d.message) ]
+     @ (match d.span with
+        | Some sp -> [ ("span", span_to_json sp) ]
+        | None -> [])
+     @
+     match d.related with
+     | [] -> []
+     | rs ->
+       [ ( "related",
+           Json.Arr
+             (List.map
+                (fun r ->
+                  Json.Obj
+                    (("message", Json.String r.rel_message)
+                     :: (match r.rel_span with
+                         | Some sp -> [ ("span", span_to_json sp) ]
+                         | None -> [])))
+                rs) ) ])
+
+let list_to_json ds =
+  Json.Obj
+    [ ("schema", Json.String "polychrony-diag/v1");
+      ("diagnostics", Json.Arr (List.map to_json (sort ds)));
+      ("errors", Json.Int (count Error ds));
+      ("warnings", Json.Int (count Warning ds));
+      ("notes", Json.Int (count Note ds)) ]

@@ -1,0 +1,138 @@
+(** Structured diagnostics: located, coded, accumulating errors shared
+    by every pipeline layer (lexing, parsing, AADL legality,
+    instantiation, translation, typing, clock calculus, static
+    analyses, scheduling, simulation).
+
+    A diagnostic is a severity, a stable error code (e.g.
+    [AADL-PARSE-001], [SIG-TYPE-004], [SCHED-INFEAS-001]), an optional
+    source span, a message, and optional related spans — used by the
+    SIGNAL-level analyses to point back at the AADL construct that
+    produced a finding (via [Trans.Traceability]).
+
+    Two renderers are provided: a human-readable one with a source
+    excerpt and caret, and an RFC 8259 JSON one ([polychrony-diag/v1]
+    schema) built on {!Metrics.Json}. *)
+
+type severity = Note | Warning | Error
+
+val severity_to_string : severity -> string
+
+type span = {
+  sp_file : string option;  (** source file, when known *)
+  sp_line : int;            (** 1-based; 0 = unknown *)
+  sp_col : int;             (** 1-based start column *)
+  sp_end_col : int;         (** inclusive end column, >= sp_col *)
+}
+
+val span : ?file:string -> ?end_col:int -> line:int -> col:int -> unit -> span
+(** [end_col] defaults to [col]. *)
+
+val with_file : string -> span -> span
+(** Set the file of a span (idempotent when already set). *)
+
+type related = {
+  rel_message : string;
+  rel_span : span option;
+}
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : span option;
+  related : related list;
+}
+
+(** {1 Error-code registry}
+
+    Every code a layer can emit is registered once, at module
+    initialisation, with a one-line description. The registry backs the
+    [--explain]-style tooling and the test-suite property that every
+    emitted diagnostic carries a resolvable code. *)
+
+val code : string -> string -> string
+(** [code id description] registers [id] and returns it; registering
+    the same id twice with different descriptions raises
+    [Invalid_argument]. *)
+
+val describe : string -> string option
+val codes : unit -> (string * string) list
+(** All registered codes with their descriptions, sorted. *)
+
+(** {1 Construction} *)
+
+val make :
+  ?span:span -> ?related:related list -> severity -> code:string ->
+  string -> t
+
+val errorf :
+  ?span:span -> ?related:related list -> code:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
+  ?span:span -> ?related:related list -> code:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val notef :
+  ?span:span -> ?related:related list -> code:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** {1 Accumulating collector} *)
+
+type collector
+
+val collector : unit -> collector
+val add : collector -> t -> unit
+val add_list : collector -> t list -> unit
+val result : collector -> t list
+(** Diagnostics in emission order. *)
+
+val is_empty : collector -> bool
+
+(** {1 Queries} *)
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+val max_severity : t list -> severity option
+
+val sort : t list -> t list
+(** Stable order: by file, line, column, then severity (errors
+    first), preserving emission order within ties. *)
+
+val exit_code : t list -> int
+(** Severity-aware process exit code: [0] when no diagnostic is worse
+    than a note, [2] when the worst is a warning, [1] when any error is
+    present. *)
+
+(** {1 Rendering} *)
+
+val pp_span : Format.formatter -> span -> unit
+val pp : Format.formatter -> t -> unit
+(** One line: [severity[CODE] file:line:col: message], followed by
+    indented [related] lines. *)
+
+val to_string : t -> string
+
+val render : ?src:string -> t -> string
+(** Multi-line rendering; when [src] (the full source text) is given
+    and the diagnostic has a span, includes the offending line and a
+    caret marking the span columns. *)
+
+val render_list : ?src:string -> t list -> string
+(** All diagnostics (in {!sort} order) followed by a
+    ["N error(s), M warning(s)"] trailer when any are present. *)
+
+val list_to_string : t list -> string
+(** One {!pp} line per diagnostic, newline-separated — the compact
+    form used when a legacy string error is needed. *)
+
+(** {1 JSON} *)
+
+val span_to_json : span -> Metrics.Json.t
+val to_json : t -> Metrics.Json.t
+val list_to_json : t list -> Metrics.Json.t
+(** [polychrony-diag/v1] record:
+    [{ "schema": "polychrony-diag/v1", "diagnostics": [...],
+       "errors": n, "warnings": n, "notes": n }]. Each diagnostic
+    object carries [severity], [code], [message], and [span] /
+    [related] when present. *)

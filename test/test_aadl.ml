@@ -194,13 +194,15 @@ let test_roundtrip_tiny () =
   let pkg = parse tiny_package in
   let printed = Printer.package_to_string pkg in
   let pkg2 = parse printed in
-  Alcotest.(check bool) "same package after roundtrip" true (pkg = pkg2)
+  Alcotest.(check bool) "same package after roundtrip" true
+    (Syn.strip_locs pkg = Syn.strip_locs pkg2)
 
 let test_roundtrip_case_study () =
   let pkg = parse Polychrony.Case_study.aadl_source in
   let printed = Printer.package_to_string pkg in
   let pkg2 = parse printed in
-  Alcotest.(check bool) "case study roundtrips" true (pkg = pkg2)
+  Alcotest.(check bool) "case study roundtrips" true
+    (Syn.strip_locs pkg = Syn.strip_locs pkg2)
 
 (* ---------------------------- properties -------------------------- *)
 
@@ -220,9 +222,9 @@ let test_duration_units () =
 
 let test_props_override () =
   let assocs =
-    [ { Syn.pname = "Period"; pvalue = Syn.Pint (4, Some "ms"); applies_to = [] };
+    [ { Syn.pname = "Period"; pvalue = Syn.Pint (4, Some "ms"); applies_to = []; pa_loc = Syn.no_loc };
       { Syn.pname = "Timing_Properties::Period";
-        pvalue = Syn.Pint (8, Some "ms"); applies_to = [] } ]
+        pvalue = Syn.Pint (8, Some "ms"); applies_to = []; pa_loc = Syn.no_loc } ]
   in
   Alcotest.(check (option int)) "last wins, qualified matches" (Some 8000)
     (Props.period_us assocs)
@@ -230,14 +232,14 @@ let test_props_override () =
 let test_props_applies_to_skipped () =
   let assocs =
     [ { Syn.pname = "Period"; pvalue = Syn.Pint (4, Some "ms");
-        applies_to = [ "x" ] } ]
+        applies_to = [ "x" ]; pa_loc = Syn.no_loc } ]
   in
   Alcotest.(check (option int)) "applies-to skipped by find" None
     (Props.period_us assocs)
 
 let test_dispatch_protocol () =
   let mk n = [ { Syn.pname = "Dispatch_Protocol"; pvalue = Syn.Pname n;
-                 applies_to = [] } ] in
+                 applies_to = []; pa_loc = Syn.no_loc } ] in
   Alcotest.(check bool) "periodic" true
     (Props.dispatch_protocol (mk "Periodic") = Some Props.Periodic);
   Alcotest.(check bool) "sporadic" true
@@ -249,7 +251,7 @@ let test_processor_bindings () =
   let assocs =
     [ { Syn.pname = "Actual_Processor_Binding";
         pvalue = Syn.Preference "cpu";
-        applies_to = [ "h1"; "h2" ] } ]
+        applies_to = [ "h1"; "h2" ]; pa_loc = Syn.no_loc } ]
   in
   Alcotest.(check (list (pair string string))) "bindings"
     [ ("h1", "cpu"); ("h2", "cpu") ]

@@ -117,7 +117,7 @@ let test_aadl_auto_allocation () =
       end Multi;|}
   in
   match Polychrony.Pipeline.analyze src with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok a ->
     let scheds = a.Polychrony.Pipeline.translation.Trans.System_trans.schedules in
     (* two 75%-load workers cannot share one cpu: allocation must use
@@ -130,7 +130,7 @@ let test_aadl_auto_allocation () =
     (* and the two-processor system simulates *)
     match Polychrony.Pipeline.simulate ~hyperperiods:2 a with
     | Ok tr -> Alcotest.(check bool) "runs" true (Polysim.Trace.length tr > 0)
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
 
 (* multi-rate distribution: processors whose schedules use different
    base ticks must be pulsed at their own cadence *)
@@ -168,10 +168,10 @@ let test_multirate_tick_cadence () =
       end MR;|}
   in
   match Polychrony.Pipeline.analyze src with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok a -> (
     match Polychrony.Pipeline.simulate ~hyperperiods:2 a with
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
     | Ok tr ->
       let cadence name =
         match Polysim.Trace.tick_instants tr name with

@@ -231,7 +231,7 @@ let test_case_study_c () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let stimuli =
     List.init 48 (fun t ->
@@ -286,7 +286,7 @@ let test_moded_c () =
   let a =
     match Polychrony.Pipeline.analyze src with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let stimuli =
     List.init 24 (fun t ->

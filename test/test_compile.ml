@@ -121,7 +121,7 @@ let test_case_study_equiv () =
             Polychrony.Case_study.aadl_source
         with
         | Ok a -> a
-        | Error m -> Alcotest.fail m
+        | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
       in
       let kp = a.Polychrony.Pipeline.kernel in
       let horizon = 48 in
@@ -146,7 +146,7 @@ let test_case_study_plan_properties () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   match Compile.compile a.Polychrony.Pipeline.kernel with
   | Error m -> Alcotest.fail m

@@ -58,10 +58,10 @@ let test_case_study_crossval () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   match Polychrony.Pipeline.simulate ~hyperperiods:2 a with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok tr ->
     (* restrict to observable signals to keep the n² check tractable *)
     let calc = a.Polychrony.Pipeline.calc in
@@ -128,12 +128,12 @@ let simulate_both ?registry what source =
   let a =
     match Polychrony.Pipeline.analyze ?registry source with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let run compiled =
     match Polychrony.Pipeline.simulate ~compiled ~hyperperiods:2 a with
     | Ok tr -> tr
-    | Error m -> Alcotest.fail (what ^ ": " ^ m)
+    | Error m -> Alcotest.fail (what ^ ": " ^ (Putil.Diag.list_to_string m))
   in
   assert_traces_agree what (run false) (run true)
 

@@ -71,7 +71,7 @@ let test_kernel_wf_case_study () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   Alcotest.(check (list string)) "kernel well-formed" []
     (kernel_wf a.Polychrony.Pipeline.kernel)
@@ -257,19 +257,19 @@ let test_scaled_system_runs () =
   pf "    properties Actual_Processor_Binding => reference (c0) applies to h;\n";
   pf "  end rig.impl;\nend Big;\n";
   match Polychrony.Pipeline.analyze (Buffer.contents buf) with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok a ->
     Alcotest.(check bool) "many classes" true
       (Clocks.Calculus.class_count a.Polychrony.Pipeline.calc > 80);
     let t1 =
       match Polychrony.Pipeline.simulate ~hyperperiods:1 a with
       | Ok t -> t
-      | Error m -> Alcotest.fail m
+      | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
     in
     let t2 =
       match Polychrony.Pipeline.simulate ~compiled:true ~hyperperiods:1 a with
       | Ok t -> t
-      | Error m -> Alcotest.fail m
+      | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
     in
     Alcotest.(check bool) "16-thread system: compiled = interpreted" true
       (List.for_all

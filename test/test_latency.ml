@@ -13,7 +13,7 @@ let case_analyzed =
          Polychrony.Case_study.aadl_source
      with
      | Ok a -> a
-     | Error m -> failwith m)
+     | Error m -> failwith (Putil.Diag.list_to_string m))
 
 let test_find_path_case_study () =
   let a = Lazy.force case_analyzed in
@@ -114,7 +114,7 @@ let test_latency_matches_simulation () =
   let a =
     match P.analyze flight_aadl with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let schedules = a.P.translation.Trans.System_trans.schedules in
   let r =
@@ -128,7 +128,7 @@ let test_latency_matches_simulation () =
   (* simulate and observe: nav's k-th output value is the job counter;
      find when each fresh value first reaches the servo *)
   match P.simulate ~hyperperiods:4 a with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok tr ->
     let base =
       match schedules with

@@ -200,14 +200,14 @@ let test_pipeline_feeds_global () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   (match Polychrony.Pipeline.simulate ~hyperperiods:1 a with
    | Ok _ -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Putil.Diag.list_to_string m));
   (match Polychrony.Pipeline.simulate ~compiled:true ~hyperperiods:1 a with
    | Ok _ -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Putil.Diag.list_to_string m));
   let nonzero name =
     Alcotest.(check bool) (name ^ " > 0") true
       (M.counter_value M.global name > 0)

@@ -113,14 +113,14 @@ let test_pipeline_custom_env () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   (* with NO environment arrival at all, the producer still runs (its
      behaviour needs no input) and no alarm is raised *)
   match
     Polychrony.Pipeline.simulate ~env:(fun _ -> []) ~hyperperiods:2 a
   with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok tr ->
     Alcotest.(check int) "producer still dispatches 12 jobs" 12
       (Polysim.Trace.present_count tr "prProdCons_thProducer_dispatch");

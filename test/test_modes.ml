@@ -94,7 +94,7 @@ let analyzed =
   lazy
     (match P.analyze ~registry:moded_registry moded_src with
      | Ok a -> a
-     | Error m -> failwith m)
+     | Error m -> failwith (Putil.Diag.list_to_string m))
 
 let test_parse_modes () =
   let pkg =
@@ -127,7 +127,9 @@ let test_modes_roundtrip () =
   in
   let printed = Aadl.Printer.package_to_string pkg in
   match Aadl.Parser.parse_package printed with
-  | Ok pkg2 -> Alcotest.(check bool) "roundtrip" true (pkg = pkg2)
+  | Ok pkg2 ->
+    Alcotest.(check bool) "roundtrip" true
+      (Syn.strip_locs pkg = Syn.strip_locs pkg2)
   | Error m -> Alcotest.fail (m ^ "\n" ^ printed)
 
 let test_mode_checks () =
@@ -227,7 +229,7 @@ let test_conflicting_transitions_flagged () =
       src
   in
   match P.analyze src with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok a ->
     Alcotest.(check bool) "conflict flagged non-deterministic" false
       a.P.determinism.Analysis.Determinism.deterministic
@@ -242,7 +244,7 @@ let test_mode_execution () =
     else []
   in
   match P.simulate ~env ~hyperperiods:10 a with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok tr ->
     let modes =
       List.map
@@ -284,7 +286,7 @@ let test_mode_compiled_equivalence () =
              (fun i -> Trace.get t1 i x = Trace.get t2 i x)
              (List.init (Trace.length t1) Fun.id))
          (Trace.observable t1))
-  | Error m, _ | _, Error m -> Alcotest.fail m
+  | Error m, _ | _, Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
 
 let suite =
   [ ("modes",

@@ -125,12 +125,12 @@ let test_unknown_package_rejected () =
 
 let test_end_to_end_multipackage () =
   match P.analyze multi_src with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok a -> (
     Alcotest.(check bool) "deadlock free" true
       a.P.deadlock.Analysis.Deadlock.deadlock_free;
     match P.simulate ~hyperperiods:3 a with
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
     | Ok tr ->
       (* stage1's job counter flows to stage2 and out to the sink *)
       Alcotest.(check bool) "pipeline delivers" true

@@ -116,7 +116,7 @@ let test_case_study_shrinks_and_preserves () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let kp = a.Polychrony.Pipeline.kernel in
   let kp' = O.optimize kp in
@@ -141,7 +141,7 @@ let test_idempotent () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let kp' = O.optimize a.Polychrony.Pipeline.kernel in
   let kp'' = O.optimize kp' in

@@ -10,18 +10,18 @@ let analyzed_nominal =
   lazy
     (match P.analyze ~registry:CS.registry_nominal CS.aadl_source with
      | Ok a -> a
-     | Error m -> failwith m)
+     | Error m -> failwith (Putil.Diag.list_to_string m))
 
 let analyzed_timeout =
   lazy
     (match P.analyze ~registry:CS.registry_timeout CS.aadl_source with
      | Ok a -> a
-     | Error m -> failwith m)
+     | Error m -> failwith (Putil.Diag.list_to_string m))
 
 let simulate ?env ?hyperperiods a =
   match P.simulate ?env ?hyperperiods a with
   | Ok tr -> tr
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
 
 let ints tr x =
   List.map
@@ -53,7 +53,7 @@ let test_default_root_detection () =
   | Ok a ->
     Alcotest.(check string) "root" "ProdConsSys"
       a.P.instance.Aadl.Instance.root.Aadl.Instance.i_name
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
 
 let test_base_ticks () =
   let a = Lazy.force analyzed_nominal in
@@ -151,7 +151,7 @@ let test_rm_policy_end_to_end () =
     P.analyze ~registry:CS.registry_nominal ~policy:Sched.Static_sched.Rm
       CS.aadl_source
   with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok a ->
     let tr = simulate ~hyperperiods:2 a in
     Alcotest.(check int) "no alarm under RM" 0

@@ -81,7 +81,7 @@ let test_case_study_roundtrip () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let prog = a.Polychrony.Pipeline.translation.Trans.System_trans.program in
   let printed = Pp.program_to_string prog in
@@ -103,7 +103,7 @@ let test_reparsed_program_normalizes () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let prog = a.Polychrony.Pipeline.translation.Trans.System_trans.program in
   let printed = Pp.program_to_string prog in

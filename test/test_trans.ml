@@ -82,7 +82,7 @@ let test_thread_queue_size_default () =
   Alcotest.(check int) "default queue size 1" 1
     (TT.port_queue_size
        (Syn.Port { fname = "x"; dir = Syn.Din; kind = Syn.Event_port;
-                   dtype = None; fprops = [] }))
+                   dtype = None; fprops = []; floc = Syn.no_loc }))
 
 let test_system_translation_shape () =
   let out = translate_case () in

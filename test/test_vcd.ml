@@ -52,12 +52,12 @@ let test_roundtrip_case_study () =
         Polychrony.Case_study.aadl_source
     with
     | Ok a -> a
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let tr =
     match Polychrony.Pipeline.simulate ~hyperperiods:1 a with
     | Ok tr -> tr
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   in
   let dump = Polychrony.Pipeline.vcd_of_trace a tr in
   match R.parse dump with
