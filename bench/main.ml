@@ -810,6 +810,23 @@ let baseline_diff ~threshold path =
       Format.printf "@.  %d row regression(s) above +%.0f%%@." !regressions
         threshold)
 
+(* One Chrome trace per bench section, written as TRACE_<section>.json
+   in the --trace-dir directory: the observability layer applied to
+   the benchmarks themselves. *)
+let traced trace_dir name f =
+  match trace_dir with
+  | None -> f ()
+  | Some dir ->
+    Putil.Tracing.reset ();
+    Putil.Tracing.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Putil.Tracing.set_enabled false;
+        let path = Filename.concat dir ("TRACE_" ^ name ^ ".json") in
+        Putil.Tracing.write ~format:`Chrome path;
+        Format.printf "  trace written to %s@." path)
+      f
+
 (* No argument: everything. [quick]: artifacts only. Any other
    argument selects one bench section by name (e.g. [simulate] for a
    CI smoke run of just that timing section). *)
@@ -818,25 +835,28 @@ let () =
     prerr_endline ("error: " ^ flag ^ " requires an argument");
     exit 2
   in
-  let rec parse_args (sec, json, baseline, threshold) = function
-    | [] -> (sec, json, baseline, threshold)
+  let rec parse_args (sec, json, baseline, threshold, tdir) = function
+    | [] -> (sec, json, baseline, threshold, tdir)
     | "--json" :: path :: rest ->
-      parse_args (sec, Some path, baseline, threshold) rest
+      parse_args (sec, Some path, baseline, threshold, tdir) rest
     | [ "--json" ] -> missing "--json"
     | "--baseline" :: path :: rest ->
-      parse_args (sec, json, Some path, threshold) rest
+      parse_args (sec, json, Some path, threshold, tdir) rest
     | [ "--baseline" ] -> missing "--baseline"
     | "--threshold" :: pct :: rest -> (
       match float_of_string_opt pct with
-      | Some t -> parse_args (sec, json, baseline, t) rest
+      | Some t -> parse_args (sec, json, baseline, t, tdir) rest
       | None ->
         prerr_endline "error: --threshold requires a number (percent)";
         exit 2)
     | [ "--threshold" ] -> missing "--threshold"
-    | a :: rest -> parse_args (a, json, baseline, threshold) rest
+    | "--trace-dir" :: dir :: rest ->
+      parse_args (sec, json, baseline, threshold, Some dir) rest
+    | [ "--trace-dir" ] -> missing "--trace-dir"
+    | a :: rest -> parse_args (a, json, baseline, threshold, tdir) rest
   in
-  let arg, json, baseline, threshold =
-    parse_args ("", None, None, 25.) (List.tl (Array.to_list Sys.argv))
+  let arg, json, baseline, threshold, trace_dir =
+    parse_args ("", None, None, 25., None) (List.tl (Array.to_list Sys.argv))
   in
   let benches =
     [ ("clock-calculus", bench_clock_calculus);
@@ -848,7 +868,7 @@ let () =
       ("ablations", bench_ablations) ]
   in
   (match List.assoc_opt arg benches with
-   | Some bench -> bench ()
+   | Some bench -> traced trace_dir arg bench
    | None ->
      fig1 ();
      fig2 ();
@@ -868,13 +888,7 @@ let () =
               ~pp_sep:(fun _ () -> ())
               (fun ppf (n, _) -> Format.fprintf ppf ", %s" n))
            benches;
-       bench_clock_calculus ();
-       bench_translate ();
-       bench_parser ();
-       bench_simulate ();
-       bench_affine ();
-       bench_explore ();
-       bench_ablations ()
+       List.iter (fun (name, bench) -> traced trace_dir name bench) benches
      end);
   (match json with
    | Some path -> write_json ~section:arg path

@@ -99,6 +99,43 @@ let stats_arg =
 let print_stats_if enabled =
   if enabled then Format.printf "%a@." Polychrony.Pipeline.pp_stats ()
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Record an execution trace of the run — toolchain spans \
+               in host time plus the simulated schedule timeline (one \
+               lane per thread: dispatch, input freeze, compute, \
+               output send, deadline, deadline misses) — and write it \
+               to $(docv).")
+
+let trace_format_arg =
+  Arg.(value
+       & opt (enum [ ("chrome", `Chrome); ("text", `Text) ]) `Chrome
+       & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Trace output format: $(b,chrome) (Chrome trace-event \
+                 JSON, loadable in Perfetto or chrome://tracing) or \
+                 $(b,text) (indented span tree).")
+
+(* Run [f] under tracing when [--trace] was given. The trace is also
+   written when [f] exits through the error paths above, which
+   terminate the process with [exit]. *)
+let with_trace_opt trace format f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let written = ref false in
+    let write () =
+      if not !written then begin
+        written := true;
+        Putil.Tracing.set_enabled false;
+        Putil.Tracing.write ~format path;
+        Format.eprintf "trace written to %s@." path
+      end
+    in
+    Putil.Tracing.reset ();
+    Putil.Tracing.set_enabled true;
+    at_exit write;
+    Fun.protect ~finally:write f
+
 let parse_cmd =
   let run file =
     let src = load_source file in
@@ -163,7 +200,15 @@ let schedule_cmd =
           $ stats_arg)
 
 let analyze_cmd =
-  let run file root registry policy format =
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Print the profiling-based timing report: static \
+                 reaction cost of the generated program and, per \
+                 processor, each thread's response-time, jitter and \
+                 deadline-miss statistics over one hyper-period.")
+  in
+  let run file root registry policy format profile stats trace trace_format =
+    with_trace_opt trace trace_format @@ fun () ->
     let src = load_source file in
     let registry = or_die (registry_named registry) in
     let policy = or_die (policy_named policy) in
@@ -184,6 +229,18 @@ let analyze_cmd =
            print_diags ~format ~src a.Polychrony.Pipeline.diags
          end
        | `Json -> print_diags ~format ~src a.Polychrony.Pipeline.diags);
+      if profile then begin
+        Format.printf "@.== profiling ==@.%a@."
+          Analysis.Profiling.pp_report
+          (Analysis.Profiling.static_costs a.Polychrony.Pipeline.kernel);
+        List.iter
+          (fun (cpu, s) ->
+            Format.printf "processor %s:@.%a@." cpu
+              Analysis.Profiling.pp_schedule_timing
+              (Analysis.Profiling.schedule_timing s))
+          a.Polychrony.Pipeline.translation.Trans.System_trans.schedules
+      end;
+      print_stats_if stats;
       exit (Putil.Diag.exit_code a.Polychrony.Pipeline.diags)
   in
   Cmd.v
@@ -191,7 +248,8 @@ let analyze_cmd =
        ~doc:"Clock calculus, determinism and deadlock reports; exit \
              0/1/2 by worst diagnostic severity")
     Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
-          $ format_arg)
+          $ format_arg $ profile_arg $ stats_arg $ trace_arg
+          $ trace_format_arg)
 
 let simulate_cmd =
   let hyper_arg =
@@ -207,7 +265,9 @@ let simulate_cmd =
            ~doc:"Use the clock-directed compiled step instead of the \
                  fixpoint interpreter.")
   in
-  let run file root registry policy hyperperiods vcd compiled stats =
+  let run file root registry policy hyperperiods vcd compiled stats trace
+      trace_format =
+    with_trace_opt trace trace_format @@ fun () ->
     let a = analyzed file root registry policy in
     let tr =
       match Polychrony.Pipeline.simulate ~compiled ~hyperperiods a with
@@ -231,7 +291,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run the scheduled system and print a chronogram")
     Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
-          $ hyper_arg $ vcd_arg $ compiled_arg $ stats_arg)
+          $ hyper_arg $ vcd_arg $ compiled_arg $ stats_arg $ trace_arg
+          $ trace_format_arg)
 
 let latency_cmd =
   let src_arg =

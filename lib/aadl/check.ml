@@ -47,6 +47,9 @@ let allowed_in container sub =
   | _, _ -> false
 
 let check_package pkg =
+  Putil.Tracing.with_span "aadl.check"
+    ~args:[ ("package", Putil.Tracing.Astr pkg.pkg_name) ]
+  @@ fun () ->
   let issues = ref [] in
   let err ~code ~loc where fmt =
     Format.kasprintf

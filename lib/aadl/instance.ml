@@ -218,6 +218,9 @@ let instantiate ?context pkg ~root =
   | exception Inst_error m -> Error m
 
 let instantiate_diag ?file ?context pkg ~root =
+  Putil.Tracing.with_span "aadl.instantiate"
+    ~args:[ ("root", Putil.Tracing.Astr root) ]
+  @@ fun () ->
   match instantiate_raw ?context pkg ~root with
   | t -> Ok t
   | exception Ierror (code, m, loc) ->

@@ -780,6 +780,9 @@ let packages_body st =
   | pkgs -> pkgs
 
 let parse_packages src =
+  Putil.Tracing.with_span "aadl.parse"
+    ~args:[ ("bytes", Putil.Tracing.Aint (String.length src)) ]
+  @@ fun () ->
   match with_state src packages_body with
   | pkgs -> Ok pkgs
   | exception Perror (_, m, l, c) ->
@@ -792,6 +795,9 @@ let diag_of ?file code m l c =
     ~code "%s" m
 
 let parse_packages_diag ?file src =
+  Putil.Tracing.with_span "aadl.parse"
+    ~args:[ ("bytes", Putil.Tracing.Aint (String.length src)) ]
+  @@ fun () ->
   match with_state src packages_body with
   | pkgs -> Ok pkgs
   | exception Perror (code, m, l, c) -> Error [ diag_of ?file code m l c ]

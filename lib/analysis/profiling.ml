@@ -74,6 +74,89 @@ let with_counts ?model ~counts kp =
   in
   { base with weighted; total_weighted }
 
+module S = Sched.Static_sched
+
+type thread_timing = {
+  tt_name : string;
+  tt_period_us : int;
+  tt_deadline_us : int;
+  tt_wcet_us : int;
+  tt_jobs : int;
+  tt_best_response_us : int;
+  tt_worst_response_us : int;
+  tt_mean_response_us : float;
+  tt_jitter_us : int;
+  tt_misses : int;
+  tt_missed_jobs : int list;
+}
+
+let schedule_timing sched =
+  let by_task = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (j : S.job) ->
+      let name = j.S.j_task.Sched.Task.t_name in
+      (match Hashtbl.find_opt by_task name with
+       | Some js -> Hashtbl.replace by_task name (j :: js)
+       | None ->
+         order := name :: !order;
+         Hashtbl.replace by_task name [ j ]))
+    sched.S.jobs;
+  List.rev_map
+    (fun name ->
+      let jobs = List.rev (Hashtbl.find by_task name) in
+      let task = (List.hd jobs).S.j_task in
+      let responses =
+        List.map (fun j -> j.S.complete_us - j.S.dispatch_us) jobs
+      in
+      let best = List.fold_left min max_int responses in
+      let worst = List.fold_left max 0 responses in
+      let sum = List.fold_left ( + ) 0 responses in
+      let missed =
+        List.filter_map
+          (fun j ->
+            if j.S.complete_us > j.S.deadline_abs_us then Some j.S.j_index
+            else None)
+          jobs
+      in
+      { tt_name = name;
+        tt_period_us = task.Sched.Task.period_us;
+        tt_deadline_us = task.Sched.Task.deadline_us;
+        tt_wcet_us = task.Sched.Task.wcet_us;
+        tt_jobs = List.length jobs;
+        tt_best_response_us = best;
+        tt_worst_response_us = worst;
+        tt_mean_response_us = float_of_int sum /. float_of_int (List.length jobs);
+        tt_jitter_us = worst - best;
+        tt_misses = List.length missed;
+        tt_missed_jobs = missed })
+    !order
+
+let pp_thread_timing ppf tt =
+  Format.fprintf ppf
+    "@[<v2>%s: period %d us, deadline %d us, wcet %d us, %d job%s@,\
+     response best/mean/worst %d/%.1f/%d us, jitter %d us@,\
+     deadline misses: %d%a@]"
+    tt.tt_name tt.tt_period_us tt.tt_deadline_us tt.tt_wcet_us tt.tt_jobs
+    (if tt.tt_jobs = 1 then "" else "s")
+    tt.tt_best_response_us tt.tt_mean_response_us tt.tt_worst_response_us
+    tt.tt_jitter_us tt.tt_misses
+    (fun ppf -> function
+      | [] -> ()
+      | js ->
+        Format.fprintf ppf " (jobs %s)"
+          (String.concat ", " (List.map string_of_int js)))
+    tt.tt_missed_jobs
+
+let pp_schedule_timing ppf tts =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i tt ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_thread_timing ppf tt)
+    tts;
+  Format.fprintf ppf "@]"
+
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>profiling: %d signals, static reaction cost %d@,"

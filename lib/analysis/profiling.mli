@@ -47,3 +47,31 @@ val with_counts :
     occurrences over a simulated horizon). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Schedule timing}
+
+    Per-thread response-time statistics over one synthesized
+    hyper-period: the observable counterpart of the static cost model
+    above, fed by {!Sched.Static_sched} rather than by operator
+    counts. *)
+
+type thread_timing = {
+  tt_name : string;
+  tt_period_us : int;
+  tt_deadline_us : int;      (** relative deadline *)
+  tt_wcet_us : int;
+  tt_jobs : int;             (** jobs inside the hyper-period *)
+  tt_best_response_us : int; (** min complete − dispatch *)
+  tt_worst_response_us : int;(** max complete − dispatch *)
+  tt_mean_response_us : float;
+  tt_jitter_us : int;        (** worst − best response *)
+  tt_misses : int;           (** jobs with complete > absolute deadline *)
+  tt_missed_jobs : int list; (** their [j_index]es, ascending *)
+}
+
+val schedule_timing : Sched.Static_sched.schedule -> thread_timing list
+(** One entry per task of the schedule, in first-dispatch order. *)
+
+val pp_thread_timing : Format.formatter -> thread_timing -> unit
+
+val pp_schedule_timing : Format.formatter -> thread_timing list -> unit

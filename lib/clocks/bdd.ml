@@ -95,7 +95,11 @@ let uniq_maybe_grow m =
     for n = 2 to m.next - 1 do
       uniq_insert_node m tbl mask n
     done;
-    m.uniq <- tbl
+    m.uniq <- tbl;
+    Putil.Tracing.instant "bdd.uniq_grow" ~cat:"clocks"
+      ~args:
+        [ ("nodes", Putil.Tracing.Aint m.next);
+          ("table", Putil.Tracing.Aint size) ]
   end
 
 let cache_slot m key = ((key * 0x2545F4914F6CDD1D) lsr 32) land m.cache_mask

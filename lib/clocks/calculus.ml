@@ -514,7 +514,12 @@ let analyze kp =
   | None ->
     Metrics.incr m_cache_misses;
     Metrics.incr m_analyses;
-    let st = Metrics.time m_analyze_ns (fun () -> analyze_impl kp) in
+    let st =
+      Putil.Tracing.with_span "clocks.calculus"
+        ~args:[ ("signals", Putil.Tracing.Aint (K.st_count (K.sigtab kp))) ]
+      @@ fun () ->
+      Metrics.time m_analyze_ns (fun () -> analyze_impl kp)
+    in
     Metrics.set m_signals (K.st_count st.tab);
     Metrics.set m_classes (Array.length st.reprs);
     if Hashtbl.length analyze_cache >= analyze_cache_cap then

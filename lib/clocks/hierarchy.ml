@@ -16,6 +16,11 @@ let m_builds = Putil.Metrics.counter "calculus.hierarchy_builds"
 
 (* c1 strictly below c2: c1 ⊆ c2 and not c2 ⊆ c1 (under Φ). *)
 let build calc =
+  Putil.Tracing.with_span "clocks.hierarchy"
+    ~args:
+      [ ("classes",
+         Putil.Tracing.Aint (List.length (Calculus.class_reprs calc))) ]
+  @@ fun () ->
   let mgr = Calculus.manager calc in
   let phi = Calculus.context calc in
   let reprs = Calculus.class_reprs calc in

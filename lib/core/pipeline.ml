@@ -94,6 +94,11 @@ let diag_of_type_error ?file ~translation ~instance
 
 let ( let* ) = Result.bind
 
+(* Static-cost totals ride in the metrics registry so [--stats]
+   (text and JSON) reports them alongside the runtime counters. *)
+let m_profile_total = Putil.Metrics.gauge "profiling.total_static"
+let m_profile_signals = Putil.Metrics.gauge "profiling.signals"
+
 let default_root pkgs =
   let impls =
     List.concat_map
@@ -138,6 +143,9 @@ let default_root pkgs =
    notes from the analyses) otherwise ride in [analyzed.diags]. *)
 let analyze_package ?(registry = []) ?policy ?(context = []) ?file ~root
     pkg =
+  Putil.Tracing.with_span "pipeline.analyze"
+    ~args:[ ("root", Putil.Tracing.Astr root) ]
+  @@ fun () ->
   let diags = Putil.Diag.collector () in
   let fail () = Error (Putil.Diag.result diags) in
   let aadl_issues =
@@ -173,6 +181,11 @@ let analyze_package ?(registry = []) ?policy ?(context = []) ?file ~root
         Putil.Diag.add diags (Putil.Diag.errorf ~code:code_norm "%s" m);
         fail ()
       | Ok kernel ->
+        let profile = Analysis.Profiling.static_costs kernel in
+        Putil.Metrics.set m_profile_total
+          profile.Analysis.Profiling.total_static;
+        Putil.Metrics.set m_profile_signals
+          (List.length profile.Analysis.Profiling.per_signal);
         let calc = Clocks.Calculus.analyze kernel in
         (* a failed schedule or task extraction is stubbed with
            never-present events, so null-clock notes would only echo a
@@ -257,9 +270,32 @@ let default_env a t =
       a.translation.Trans.System_trans.env_inputs
   else []
 
+(* Static reaction cost of one thread: its signals are exactly those
+   prefixed by its local name in the generated program. *)
+let thread_cost a =
+  let costs = (Analysis.Profiling.static_costs a.kernel).Analysis.Profiling.per_signal in
+  fun task_name ->
+    let prefix =
+      Trans.System_trans.local_name
+        a.instance.Aadl.Instance.root.Aadl.Instance.i_path task_name
+      ^ "_"
+    in
+    List.fold_left
+      (fun acc (s, c) ->
+        if String.length s >= String.length prefix
+           && String.sub s 0 (String.length prefix) = prefix
+        then acc + c
+        else acc)
+      0 costs
+
 let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
   let env = Option.value ~default:(default_env a) env in
   let horizon = base_ticks_per_hyperperiod a * hyperperiods in
+  Putil.Tracing.with_span "pipeline.simulate"
+    ~args:
+      [ ("compiled", Putil.Tracing.Abool compiled);
+        ("horizon_ticks", Putil.Tracing.Aint horizon) ]
+  @@ fun () ->
   let gbase = global_base_us a in
   (* tick inputs are generated in schedule order; pulse each at its
      processor's base cadence *)
@@ -276,9 +312,18 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
       ticks
     @ List.map (fun (n, v) -> (n, Types.Vint v)) (env t)
   in
+  let finish tr =
+    if Putil.Tracing.enabled () then
+      Timeline.emit ~cost:(thread_cost a)
+        ~root_path:a.instance.Aadl.Instance.root.Aadl.Instance.i_path
+        ~base_us:gbase ~horizon_ticks:horizon
+        ~schedules:a.translation.Trans.System_trans.schedules
+        ~tasks:a.translation.Trans.System_trans.tasks tr;
+    tr
+  in
   let run step trace =
     let rec go t =
-      if t >= horizon then Ok (trace ())
+      if t >= horizon then Ok (finish (trace ()))
       else
         match step ~stimulus:(stimulus_at t) with
         | Ok _ -> go (t + 1)
@@ -302,7 +347,18 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
 
 let vcd_of_trace ?signals a tr =
   let module_name = a.translation.Trans.System_trans.top.Ast.proc_name in
-  Polysim.Vcd.to_string ?signals ~module_name tr
+  (* one logical instant = one global base tick; dump real model time
+     so VCD cursors line up with the schedule tables *)
+  Polysim.Vcd.to_string ?signals ~module_name ~instant_us:(global_base_us a) tr
+
+let with_tracing ?(format = `Chrome) ~trace_file f =
+  Putil.Tracing.reset ();
+  Putil.Tracing.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Putil.Tracing.set_enabled false;
+      Putil.Tracing.write ~format trace_file)
+    f
 
 let pp_summary ppf a =
   Format.fprintf ppf "@[<v>== AADL legality ==@,";

@@ -81,10 +81,29 @@ val simulate :
     [pipeline.cache_misses] counters in the metrics registry record
     the traffic. *)
 
+val global_base_us : analyzed -> int
+(** Microseconds of one simulated instant: the gcd of every
+    processor's schedule base tick (1 without schedules). *)
+
+val global_hyper_us : analyzed -> int
+(** Microseconds of one global hyper-period: the lcm of every
+    processor's hyper-period. *)
+
 val base_ticks_per_hyperperiod : analyzed -> int
 
 val vcd_of_trace :
   ?signals:string list -> analyzed -> Polysim.Trace.t -> string
+(** VCD dump of a simulation trace with a real timescale: one logical
+    instant lasts the global base tick, so the dump declares
+    [$timescale 1 us] and stamps [instant × base_us]. *)
+
+val with_tracing :
+  ?format:[ `Chrome | `Text ] -> trace_file:string -> (unit -> 'a) -> 'a
+(** Run [f] with {!Putil.Tracing} freshly reset and enabled, then
+    disable tracing and write the recorded trace — toolchain spans plus
+    the schedule timeline recorded by {!simulate} — to [trace_file]
+    (default format [`Chrome], loadable in Perfetto /
+    [chrome://tracing]). The trace is written even when [f] raises. *)
 
 val pp_summary : Format.formatter -> analyzed -> unit
 (** Compact multi-section report: AADL issues, schedule tables, clock

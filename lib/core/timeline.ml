@@ -1,0 +1,124 @@
+module T = Putil.Tracing
+module S = Sched.Static_sched
+
+let short_name path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+(* Presence instants of an event signal, [None] when the trace does not
+   declare it (stubbed scheduler, hand-written program). *)
+let instants tr name =
+  match Polysim.Trace.index_of tr name with
+  | None -> None
+  | Some _ -> Some (Polysim.Trace.tick_instants tr name)
+
+let emit_from_trace ~lane ~cost_args ~us ~horizon_us ~disp ~starts ~completes
+    ~deadlines ~alarms =
+  List.iter
+    (fun t ->
+      T.lane_instant ~lane ~cat:"dispatch" ~ts_us:(us t) "dispatch";
+      T.lane_instant ~lane ~cat:"freeze" ~ts_us:(us t) "input_freeze")
+    disp;
+  (* the scheduler is non-preemptive, so the k-th start pairs with the
+     k-th complete; a trailing start is a job cut by the horizon *)
+  let rec pair k ss cs =
+    match ss, cs with
+    | s :: ss', c :: cs' ->
+      T.lane_span ~lane ~cat:"compute"
+        ~args:(("job", T.Aint k) :: cost_args)
+        ~ts_us:(us s) ~dur_us:(us c - us s) "compute";
+      pair (k + 1) ss' cs'
+    | s :: _, [] ->
+      T.lane_span ~lane ~cat:"compute"
+        ~args:(("job", T.Aint k) :: cost_args)
+        ~ts_us:(us s) ~dur_us:(max 0 (horizon_us - us s)) "compute"
+    | [], _ -> ()
+  in
+  pair 0 starts completes;
+  List.iter
+    (fun t -> T.lane_instant ~lane ~cat:"send" ~ts_us:(us t) "output_send")
+    completes;
+  List.iter
+    (fun t -> T.lane_instant ~lane ~cat:"deadline" ~ts_us:(us t) "deadline")
+    deadlines;
+  List.iter
+    (fun t ->
+      T.lane_instant ~lane ~cat:"deadline_miss" ~ts_us:(us t) "deadline_miss")
+    alarms
+
+let emit_from_schedule ~lane ~cost_args ~horizon_us ~name sched =
+  let hp = sched.S.hyperperiod_us in
+  let reps = max 1 (horizon_us / max 1 hp) in
+  let jobs =
+    List.filter
+      (fun j -> String.equal j.S.j_task.Sched.Task.t_name name)
+      sched.S.jobs
+  in
+  for r = 0 to reps - 1 do
+    let off = r * hp in
+    List.iter
+      (fun j ->
+        T.lane_instant ~lane ~cat:"dispatch"
+          ~ts_us:(off + j.S.dispatch_us) "dispatch";
+        T.lane_instant ~lane ~cat:"freeze"
+          ~ts_us:(off + j.S.dispatch_us) "input_freeze";
+        T.lane_span ~lane ~cat:"compute"
+          ~args:(("job", T.Aint j.S.j_index) :: cost_args)
+          ~ts_us:(off + j.S.start_us)
+          ~dur_us:(j.S.complete_us - j.S.start_us) "compute";
+        T.lane_instant ~lane ~cat:"send"
+          ~ts_us:(off + j.S.complete_us) "output_send";
+        T.lane_instant ~lane ~cat:"deadline"
+          ~ts_us:(off + j.S.deadline_abs_us) "deadline";
+        if j.S.complete_us > j.S.deadline_abs_us then
+          T.lane_instant ~lane ~cat:"deadline_miss"
+            ~ts_us:(off + j.S.complete_us) "deadline_miss")
+      jobs
+  done
+
+let emit ?cost ~root_path ~base_us ~horizon_ticks ~schedules ~tasks tr =
+  if T.enabled () then begin
+    let horizon_us = horizon_ticks * base_us in
+    let sched_of task_name =
+      List.find_map
+        (fun (_cpu, s) ->
+          if
+            List.exists
+              (fun j -> String.equal j.S.j_task.Sched.Task.t_name task_name)
+              s.S.jobs
+          then Some s
+          else None)
+        schedules
+    in
+    List.iter
+      (fun (_cpu, ts) ->
+        List.iter
+          (fun task ->
+            let name = task.Sched.Task.t_name in
+            let prefix = Trans.System_trans.local_name root_path name in
+            let lane = short_name name in
+            let us t = t * base_us in
+            let cost_args =
+              match cost with
+              | Some f -> [ ("static_cost", T.Aint (f name)) ]
+              | None -> []
+            in
+            let ev suffix = instants tr (prefix ^ suffix) in
+            match ev "_dispatch", ev "_start", ev "_complete", ev "_deadline"
+            with
+            | Some disp, Some starts, Some completes, Some deadlines
+              when disp <> [] || starts <> [] ->
+              let alarms =
+                Option.value ~default:[] (ev "_alarm")
+              in
+              emit_from_trace ~lane ~cost_args ~us ~horizon_us ~disp ~starts
+                ~completes ~deadlines ~alarms
+            | _ -> (
+              match sched_of name with
+              | Some s ->
+                emit_from_schedule ~lane ~cost_args ~horizon_us ~name s
+              | None -> ()))
+          ts)
+      tasks
+  end

@@ -1,0 +1,36 @@
+(** Logical-time schedule lanes for {!Putil.Tracing}: one lane per
+    AADL thread, carrying the thread's dispatch, input-freeze, compute
+    (start → complete), output-send and deadline events over the
+    simulated horizon, plus deadline-miss markers.
+
+    The lanes land on the tracing registry's schedule track (pid 2 in
+    the Chrome export) in microseconds of {e logical} time, next to the
+    host-time toolchain spans — the two-track model of DESIGN.md §9.
+
+    The timeline is reconstructed from an {e actual} simulation trace:
+    the generated program's scheduler processes pulse one ctl event
+    signal per thread and phase ([<prefix>_dispatch], [_start],
+    [_complete], [_deadline]) and an [_alarm] on deadline overrun, and
+    every presence instant maps to [instant × base_us] microseconds.
+    When a trace lacks the ctl signals (stubbed scheduler after an
+    infeasibility diagnostic, hand-written program), lanes fall back to
+    replicating the static schedule over the simulated horizon. *)
+
+val emit :
+  ?cost:(string -> int) ->
+  root_path:string ->
+  base_us:int ->
+  horizon_ticks:int ->
+  schedules:(string * Sched.Static_sched.schedule) list ->
+  tasks:(string * Sched.Task.t list) list ->
+  Polysim.Trace.t ->
+  unit
+(** [emit ~root_path ~base_us ~horizon_ticks ~schedules ~tasks tr]
+    records one lane per task of [tasks] (lane = the thread's short
+    name, e.g. [thProducer]). [root_path] is the instance root used to
+    derive signal prefixes ({!Trans.System_trans.local_name});
+    [base_us] the global base tick in µs; [horizon_ticks] the simulated
+    length of [tr] in base ticks. [cost] optionally attaches a static
+    reaction cost (from {!Analysis.Profiling}) as an argument of each
+    compute span, keyed by task name. No-op when tracing is
+    disabled. *)

@@ -326,7 +326,12 @@ let plan_of kp =
   | None ->
     Metrics.incr m_cache_misses;
     Metrics.incr m_plan_builds;
-    let r = Metrics.time m_compile_ns (fun () -> compile_impl kp) in
+    let r =
+      Putil.Tracing.with_span "compile.plan"
+        ~args:[ ("signals", Putil.Tracing.Aint (K.st_count (K.sigtab kp))) ]
+      @@ fun () ->
+      Metrics.time m_compile_ns (fun () -> compile_impl kp)
+    in
     (match r with Ok pl -> record_plan_metrics pl | Error _ -> ());
     if Hashtbl.length plan_cache >= plan_cache_cap then
       Hashtbl.reset plan_cache;

@@ -42,6 +42,7 @@ type t = {
 }
 
 let create kp =
+  Putil.Tracing.with_span "engine.create" @@ fun () ->
   let prog = Prog.of_kprocess kp in
   let n = prog.Prog.n in
   let delay_state = Array.copy prog.Prog.delay_init in

@@ -119,6 +119,11 @@ let check_dfs ?(depth = 8) ~inputs ~safe kp =
    again with a larger remaining budget. *)
 let check ?(depth = 8) ?jobs ~inputs ~safe kp =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  Putil.Tracing.with_span "explore.check"
+    ~args:
+      [ ("depth", Putil.Tracing.Aint depth);
+        ("jobs", Putil.Tracing.Aint jobs) ]
+  @@ fun () ->
   match Compile.compile kp with
   | Error m -> Error m
   | Ok c0 ->

@@ -106,7 +106,18 @@ let uniquify names =
         fresh k)
     names
 
-let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
+let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms")
+    ?instant_us tr =
+  (* arbitrary multipliers ("2000 us") are illegal VCD timescales, so a
+     real tick duration is rendered as "1 us" with scaled timestamps *)
+  let timescale, scale =
+    match instant_us with
+    | Some k when k > 0 -> ("1 us", k)
+    | Some k ->
+      invalid_arg
+        (Printf.sprintf "Vcd.to_string: instant_us must be positive (%d)" k)
+    | None -> (timescale, 1)
+  in
   let names = match signals with Some l -> l | None -> Trace.observable tr in
   let types =
     List.map
@@ -161,17 +172,19 @@ let to_string ?signals ?(module_name = "top") ?(timescale = "1 ms") tr =
           prev.(k) <- now;
           if not !changed then begin
             changed := true;
-            Buffer.add_string buf (Printf.sprintf "#%d\n" i)
+            Buffer.add_string buf (Printf.sprintf "#%d\n" (i * scale))
           end;
           dump_value buf code kind now
         end)
       entries
   done;
-  Buffer.add_string buf (Printf.sprintf "#%d\n" (Trace.length tr));
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (Trace.length tr * scale));
   Buffer.contents buf
 
-let to_file ?signals ?module_name ?timescale path tr =
+let to_file ?signals ?module_name ?timescale ?instant_us path tr =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?signals ?module_name ?timescale tr))
+    (fun () ->
+      output_string oc
+        (to_string ?signals ?module_name ?timescale ?instant_us tr))

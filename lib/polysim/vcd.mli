@@ -18,13 +18,20 @@ val to_string :
   ?signals:Signal_lang.Ast.ident list ->
   ?module_name:string ->
   ?timescale:string ->
+  ?instant_us:int ->
   Trace.t -> string
 (** Render the trace. Defaults: observable signals, module ["top"],
-    timescale ["1 ms"]. *)
+    timescale ["1 ms"]. [instant_us] gives the real duration of one
+    logical instant in microseconds (the schedule's base tick): the
+    dump then declares [$timescale 1 us] (arbitrary multipliers are
+    not legal VCD) and multiplies every timestamp by [instant_us], so
+    viewer cursors read actual model time. It overrides [timescale].
+    @raise Invalid_argument when [instant_us <= 0]. *)
 
 val to_file :
   ?signals:Signal_lang.Ast.ident list ->
   ?module_name:string ->
   ?timescale:string ->
+  ?instant_us:int ->
   string -> Trace.t -> unit
 (** Write to the given path. *)

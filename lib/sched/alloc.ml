@@ -21,6 +21,11 @@ let fits ?policy tasks task =
 
 let allocate ?policy ?(preloaded = []) ~cpus tasks =
   if cpus = [] then invalid_arg "Alloc.allocate: no processors";
+  Putil.Tracing.with_span "sched.allocate"
+    ~args:
+      [ ("cpus", Putil.Tracing.Aint (List.length cpus));
+        ("tasks", Putil.Tracing.Aint (List.length tasks)) ]
+  @@ fun () ->
   let bins =
     Array.of_list
       (List.map

@@ -72,6 +72,14 @@ let compare_by policy a b =
 
 let synthesize ?(policy = Edf) tasks =
   if tasks = [] then invalid_arg "Static_sched.synthesize: no tasks";
+  Putil.Tracing.with_span "sched.synthesize"
+    ~args:
+      [ ("policy",
+         Putil.Tracing.Astr
+           (match policy with
+            | Edf -> "edf" | Rm -> "rm" | Fp -> "fp" | Fifo -> "fifo"));
+        ("tasks", Putil.Tracing.Aint (List.length tasks)) ]
+  @@ fun () ->
   Metrics.incr m_syntheses;
   Metrics.time m_synthesize_ns @@ fun () ->
   let hyper = Task.hyperperiod_us tasks in

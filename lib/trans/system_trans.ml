@@ -672,6 +672,9 @@ let translate_core ?file ~registry ~policy ~diags t =
       env_outputs = List.rev !env_outputs }
 
 let translate_diag ?file ?(registry = []) ?(policy = S.Edf) t =
+  Putil.Tracing.with_span "trans.system"
+    ~args:[ ("root", Putil.Tracing.Astr t.Inst.root.Inst.i_path) ]
+  @@ fun () ->
   Metrics.incr m_translations;
   Metrics.time m_translate_ns @@ fun () ->
   let diags = Putil.Diag.collector () in

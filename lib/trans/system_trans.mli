@@ -58,6 +58,17 @@ val translate_diag :
     failure, or a behaviour/mode defect raised by {!Thread_trans}).
     [file] names the AADL source in diagnostic spans. *)
 
+val sanitize : string -> string
+(** Instance path as a SIGNAL identifier fragment (dots to
+    underscores). *)
+
+val local_name : string -> string -> string
+(** [local_name root_path path]: the sanitized path without the root
+    component — the prefix under which a thread's ctl signals
+    ([<prefix>_dispatch], [_start], [_complete], [_deadline],
+    [_alarm], [_done]) and port signals appear in the generated
+    program. *)
+
 val task_of_thread : Aadl.Instance.instance -> (Sched.Task.t, string) result
 (** Extract the scheduler task (period, deadline, WCET in µs) from a
     thread instance's properties. WCET defaults to the largest value

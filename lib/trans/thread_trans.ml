@@ -102,6 +102,9 @@ let write_accesses inst =
 let translate ~registry inst =
   if inst.Inst.i_category <> Syn.Thread then
     invalid_arg "Thread_trans.translate: not a thread instance";
+  Putil.Tracing.with_span "trans.thread"
+    ~args:[ ("thread", Putil.Tracing.Astr inst.Inst.i_path) ]
+  @@ fun () ->
   let ins = in_ports inst and outs = out_ports inst in
   let reads = read_accesses inst and writes = write_accesses inst in
   let locals = ref [] in

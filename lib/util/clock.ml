@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "putil_clock_monotonic_ns" [@@noalloc]

@@ -1,0 +1,11 @@
+(** Monotonic time source shared by {!Metrics} and {!Tracing}.
+
+    Wall clocks ([Unix.gettimeofday]) can step backwards under NTP
+    correction, which turns span durations negative or wildly wrong;
+    every duration measured in this codebase goes through this module
+    instead. *)
+
+external now_ns : unit -> int = "putil_clock_monotonic_ns" [@@noalloc]
+(** Nanoseconds from an arbitrary fixed origin (system boot on Linux).
+    Monotone non-decreasing within a process; meaningless across
+    processes. Does not allocate. *)

@@ -69,7 +69,9 @@ let timer ?(registry = global) name =
     (fun () -> Itimer { spans = Atomic.make 0; total_ns = Atomic.make 0 })
     (function Itimer t -> Some t | _ -> None)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic, so NTP steps cannot produce negative or inflated span
+   durations; the same clock feeds Tracing's host-time spans. *)
+let now_ns = Clock.now_ns
 
 let add_span_ns t ns =
   ignore (Atomic.fetch_and_add t.spans 1);

@@ -11,9 +11,9 @@
     (engine, compile, calculus, trans, sched) write into; fresh
     registries are for tests and for callers that need isolation.
 
-    Overhead is an atomic fetch-and-add per event and two
-    [Unix.gettimeofday] calls per timed span — safe to leave enabled in
-    benches. Counters, gauges and timers are lock-free atomics, so the
+    Overhead is an atomic fetch-and-add per event and two monotonic
+    {!Clock.now_ns} reads per timed span — safe to leave enabled in
+    benches, and immune to wall-clock (NTP) steps. Counters, gauges and timers are lock-free atomics, so the
     instrumented hot paths can run on several domains concurrently
     without losing events; creating instruments concurrently is not
     supported (create them at module-initialization time, as the

@@ -1,0 +1,105 @@
+(** Zero-dependency structured tracing: hierarchical host-time spans,
+    point events, and logical-time schedule lanes, exported as Chrome
+    trace-event JSON (loadable in Perfetto / [chrome://tracing]) or as
+    a compact text tree.
+
+    Two tracks are recorded:
+
+    - {b host time} (pid 1 in the Chrome export): spans opened with
+      {!with_span} around toolchain stages (parse, check, translate,
+      clock calculus, schedule synthesis, compile, simulate). Each
+      domain writes to its own buffer, so spans emitted from
+      {!Domain_pool} workers are recorded without locking; one Chrome
+      thread lane per domain.
+    - {b logical time} (pid 2): spans and instants stamped with
+      microseconds of simulated time via {!lane_span} /
+      {!lane_instant}, one Chrome thread lane per AADL thread. This is
+      the paper's scheduling timeline (dispatch, input freeze, compute,
+      output send, deadline) reconstructed from an actual simulation.
+
+    Tracing is globally off by default. Every emitting entry point
+    first reads one atomic flag and returns immediately when disabled,
+    so instrumented hot paths cost one load and no allocation.
+    Recording is multi-domain-safe; {!export}, {!events} and {!reset}
+    must not race with emitting domains (collect after the parallel
+    section joins, as {!Domain_pool.run_tasks} does). *)
+
+type arg =
+  | Abool of bool
+  | Aint of int
+  | Afloat of float
+  | Astr of string
+
+val set_enabled : bool -> unit
+(** Turn recording on or off. Turning it on does not clear previously
+    recorded events; call {!reset} for a fresh trace. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop every recorded event (all domains), keeping the buffers. *)
+
+(** {1 Recording} *)
+
+val with_span :
+  ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] as one host-time span on the calling
+    domain's lane. Spans nest by call structure (the span closes even
+    if [f] raises). When tracing is disabled this is [f ()]. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** A point event at the current host time. *)
+
+val lane_span :
+  lane:string -> ?cat:string -> ?args:(string * arg) list ->
+  ts_us:int -> dur_us:int -> string -> unit
+(** A logical-time span [\[ts_us, ts_us + dur_us\]] on the named
+    schedule lane (one lane per AADL thread). *)
+
+val lane_instant :
+  lane:string -> ?cat:string -> ?args:(string * arg) list ->
+  ts_us:int -> string -> unit
+(** A logical-time point event on the named schedule lane. *)
+
+(** {1 Reading} *)
+
+type event =
+  | Begin of {
+      name : string; cat : string; ts_ns : int;
+      args : (string * arg) list;
+    }
+  | End of { ts_ns : int }
+  | Inst of {
+      name : string; cat : string; ts_ns : int;
+      args : (string * arg) list;
+    }
+  | Lane_span of {
+      lane : string; name : string; cat : string;
+      ts_us : int; dur_us : int; args : (string * arg) list;
+    }
+  | Lane_inst of {
+      lane : string; name : string; cat : string; ts_us : int;
+      args : (string * arg) list;
+    }
+
+val events : unit -> (int * event list) list
+(** Recorded events per domain, domains in ascending id order, events
+    in emission order. [Begin]/[End] pairs nest within a domain. The
+    structured view the tests and the golden snapshot consume. *)
+
+val to_chrome : unit -> string
+(** The whole trace as a Chrome trace-event JSON document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Host spans
+    become ["X"] complete events under pid 1 (one tid per domain, ts
+    relative to the earliest host event, in µs); lane events become
+    ["X"]/["i"] events under pid 2 with their logical microsecond
+    timestamps; process and thread names ride on ["M"] metadata
+    events. RFC 8259-conformant (strings escaped via the same writer
+    as {!Metrics.Json}). *)
+
+val to_text : unit -> string
+(** Compact human-readable tree: host spans indented by nesting with
+    durations, then one block per schedule lane with its timeline. *)
+
+val write : format:[ `Chrome | `Text ] -> string -> unit
+(** Render with {!to_chrome} or {!to_text} and write to the path. *)

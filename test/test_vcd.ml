@@ -63,6 +63,10 @@ let test_roundtrip_case_study () =
   match R.parse dump with
   | Error m -> Alcotest.fail m
   | Ok vcd ->
+    (* the pipeline dump carries real model time: one instant lasts the
+       global base tick, and the timescale is a legal 1 us *)
+    Alcotest.(check string) "real timescale" "1 us" vcd.R.timescale;
+    let base_us = Polychrony.Pipeline.global_base_us a in
     (* integer wires agree instant by instant *)
     List.iter
       (fun name ->
@@ -73,7 +77,7 @@ let test_roundtrip_case_study () =
               | Some (Types.Vint n) -> Some (Types.Vint n)
               | Some _ | None -> None
             in
-            let got = R.value_at vcd ~name ~time:i in
+            let got = R.value_at vcd ~name ~time:(i * base_us) in
             if expected <> None || got <> None then
               Alcotest.(check bool)
                 (Printf.sprintf "%s at %d" name i)
@@ -265,6 +269,38 @@ let test_reader_rejects_garbage () =
   | Ok _ -> Alcotest.fail "garbage accepted"
   | Error _ -> ()
 
+(* With a real tick duration the dump declares a legal "1 us" timescale
+   and scales every timestamp, and the reader round-trips values at the
+   scaled times. *)
+let test_instant_us_timescale () =
+  let tr = small_trace () in
+  let dump = Vcd.to_string ~instant_us:500 tr in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "declares 1 us" true
+    (contains dump "$timescale 1 us $end");
+  Alcotest.(check bool) "instant 1 at #500" true (contains dump "#500\n");
+  Alcotest.(check bool) "instant 2 at #1000" true (contains dump "#1000\n");
+  Alcotest.(check bool) "no unscaled #1 stamp" false (contains dump "\n#1\n");
+  match R.parse dump with
+  | Error m -> Alcotest.fail m
+  | Ok vcd ->
+    Alcotest.(check string) "reader sees the scaled timescale" "1 us"
+      vcd.R.timescale;
+    Alcotest.(check (option string)) "n at 0" (Some "1")
+      (Option.map Types.value_to_string (R.value_at vcd ~name:"n" ~time:0));
+    Alcotest.(check (option string)) "n at 1000" (Some "2")
+      (Option.map Types.value_to_string (R.value_at vcd ~name:"n" ~time:1000));
+    Alcotest.(check bool) "e pulses at 500" true
+      (R.value_at vcd ~name:"e" ~time:500 = Some (Types.Vbool true));
+    Alcotest.(check bool) "rejects non-positive scale" true
+      (match Vcd.to_string ~instant_us:0 tr with
+       | exception Invalid_argument _ -> true
+       | _ -> false)
+
 let suite =
   [ ("vcd",
      [ Alcotest.test_case "roundtrip small" `Quick test_roundtrip_small;
@@ -277,6 +313,8 @@ let suite =
        Alcotest.test_case "colliding names" `Quick test_colliding_names;
        Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
        Alcotest.test_case "reader rejects garbage" `Quick
-         test_reader_rejects_garbage ]
+         test_reader_rejects_garbage;
+       Alcotest.test_case "instant_us timescale" `Quick
+         test_instant_us_timescale ]
      @ List.map QCheck_alcotest.to_alcotest
          [ prop_string_roundtrip; prop_real_roundtrip ]) ]
