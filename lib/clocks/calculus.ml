@@ -527,6 +527,9 @@ let analyze kp =
     Hashtbl.add analyze_cache dg st;
     st
 
+let reset_cache () =
+  Mutex.protect analyze_lock @@ fun () -> Hashtbl.reset analyze_cache
+
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -536,6 +539,17 @@ let context st = st.phi
 let consistent st = not (Bdd.is_zero st.phi)
 
 let class_of_exn st x = st.class_ids.(sig_index st x)
+
+(* the kernel's declarations promoted to the [clocked] phase: each mark
+   keeps the source span and records the synchronization class *)
+let clocked_decls st =
+  List.init (K.st_count st.tab) (fun i ->
+      let vd = K.st_decl st.tab i in
+      { Ast.var_name = vd.Ast.var_name;
+        var_type = vd.Ast.var_type;
+        var_mark =
+          Ast.Mclocked
+            (Ast.mark_span vd.Ast.var_mark, Some st.class_ids.(i)) })
 
 let clock_of st x =
   let c = class_of_exn st x in

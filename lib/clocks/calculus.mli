@@ -25,9 +25,20 @@ val analyze : Signal_lang.Kernel.kprocess -> t
     domains; the returned [t] must be queried from one domain at a
     time (queries consult the shared BDD manager's caches). *)
 
+val reset_cache : unit -> unit
+(** Drop the analysis memo table (cold-start benchmarking; safe to
+    call concurrently with {!analyze}). Existing [t] values stay
+    valid. *)
+
 (** {1 Queries} *)
 
 val manager : t -> Bdd.manager
+
+val clocked_decls :
+  t -> Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list
+(** The analyzed kernel's signal declarations promoted to the
+    [clocked] phase: each mark carries the declaration's source span
+    and the signal's synchronization class id, in sigtab order. *)
 
 val context : t -> Bdd.t
 (** The accumulated constraint formula Φ. *)

@@ -213,12 +213,10 @@ let timer_behavior (ctx : Trans.Behavior.ctx) =
   let timeout = ctx.Trans.Behavior.fresh_local Signal_lang.Types.Tevent in
   let arm = B.(on (ctx.Trans.Behavior.frozen_count "pStartTimer" > i 0)) in
   let disarm = B.(on (ctx.Trans.Behavior.frozen_count "pStopTimer" > i 0)) in
-  B.[ Signal_lang.Ast.Sinstance
-        { inst_label = "service";
-          inst_proc = "timer";
-          inst_ins = [ arm; disarm; ctx.Trans.Behavior.start_event ];
-          inst_outs = [ timeout ];
-          inst_params = [ Signal_lang.Types.Vint duration ] };
+  B.[ inst ~label:"service" "timer"
+        ~params:[ Signal_lang.Types.Vint duration ]
+        [ arm; disarm; ctx.Trans.Behavior.start_event ]
+        [ timeout ];
       ctx.Trans.Behavior.out_item "pTimeOut" := when_ (i 1) (v timeout) ]
 
 let registry_of ~arm_every_job ~never_stop : Trans.Behavior.registry =

@@ -8,6 +8,8 @@ type analyzed = {
   instance : Aadl.Instance.t;
   translation : Trans.System_trans.output;
   kernel : K.kprocess;
+  typed_program : Signal_lang.Ast.typed Signal_lang.Ast.gprogram;
+  clocked_decls : Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list;
   calc : Clocks.Calculus.t;
   hierarchy : Clocks.Hierarchy.t;
   determinism : Analysis.Determinism.report;
@@ -15,6 +17,94 @@ type analyzed = {
   typecheck_errors : Signal_lang.Typecheck.error list;
   diags : Putil.Diag.t list;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Each stage of [analyze] is a total function of its input, so a
+   session caches every stage output under a content digest of that
+   input. Re-analyzing edited source reruns only the prefix whose
+   digests changed: the parse and instance stages key on the source
+   text, but the expensive back half — typecheck, normalization, clock
+   calculus and the boolean analyses — keys on the digest of the
+   {e generated program} (resp. kernel). With the scheduler-exogenous
+   translation mode ({!Trans.System_trans.External}) a timing-only
+   edit leaves the generated program byte-identical, so editing one
+   thread's period reruns parse/instantiate/translate and skips
+   everything downstream. The [incr.<stage>.ran] / [.skipped] metrics
+   count the traffic.
+
+   Caches are single-slot (latest run wins): the session serves the
+   edit-recheck loop, not a multi-model build system. The behaviour
+   [registry] is assumed stable across one session (closures cannot be
+   digested). *)
+
+type 'v slot = (string * 'v) option ref
+
+type session = {
+  s_parse : Aadl.Syntax.package list slot;
+  s_instance : Aadl.Instance.t slot;
+  s_translate : (Trans.System_trans.output * Putil.Diag.t list) slot;
+  s_typecheck :
+    (Signal_lang.Typecheck.error list
+    * Signal_lang.Ast.typed Signal_lang.Ast.gprogram)
+      slot;
+  s_normalize : K.kprocess slot;
+  s_analyses :
+    (Clocks.Calculus.t
+    * Clocks.Hierarchy.t
+    * Analysis.Determinism.report
+    * Analysis.Deadlock.report
+    * Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list
+    * Putil.Diag.t list)
+      slot;
+}
+
+let new_session () =
+  { s_parse = ref None;
+    s_instance = ref None;
+    s_translate = ref None;
+    s_typecheck = ref None;
+    s_normalize = ref None;
+    s_analyses = ref None }
+
+let m_stage =
+  let tbl = Hashtbl.create 16 in
+  fun stage outcome ->
+    let key = "incr." ^ stage ^ "." ^ outcome in
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+      let c = Putil.Metrics.counter key in
+      Hashtbl.add tbl key c;
+      c
+
+(* [stage_r name slot key compute]: cached value on digest match,
+   fresh run otherwise; only successes are cached (failures are cheap
+   to rediscover and end the run anyway). A [None] slot (no session)
+   always runs. *)
+let stage_r name slot key compute =
+  match slot with
+  | Some r when (match !r with Some (k, _) -> String.equal k key | None -> false)
+    ->
+    Putil.Metrics.incr (m_stage name "skipped");
+    Ok (match !r with Some (_, v) -> v | None -> assert false)
+  | _ -> (
+    Putil.Metrics.incr (m_stage name "ran");
+    match compute () with
+    | Ok v ->
+      (match slot with Some r -> r := Some (key, v) | None -> ());
+      Ok v
+    | Error _ as e -> e)
+
+let stage name slot key compute =
+  match stage_r name slot key (fun () -> Ok (compute ())) with
+  | Ok v -> v
+  | Error () -> assert false
+
+let digest_of v =
+  Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.No_sharing ]))
 
 (* Stable codes for the defects detected by the pipeline itself. *)
 let code_root =
@@ -49,8 +139,8 @@ let find_var_loc program proc_name signal =
           (fun vd -> String.equal vd.Ast.var_name signal)
           all
       with
-      | Some { Ast.var_loc = Some lc; _ } -> Some lc
-      | Some _ | None -> None
+      | Some vd -> Ast.mark_span vd.Ast.var_mark
+      | None -> None
     else List.find_map in_proc p.Ast.subprocesses
   in
   List.find_map in_proc program.Ast.processes
@@ -68,7 +158,10 @@ let diag_of_type_error ?file ~translation ~instance
       match
         find_var_loc program e.Signal_lang.Typecheck.err_proc signal
       with
-      | Some (l, c) -> Some (Putil.Diag.span ?file ~line:l ~col:c ())
+      | Some sp -> (
+        match file with
+        | Some f -> Some (Putil.Diag.with_file f sp)
+        | None -> Some sp)
       | None -> None)
     | None -> None
   in
@@ -141,41 +234,67 @@ let default_root pkgs =
    result is [Error] only when a stage failure prevents building the
    full record; the accumulated diagnostics (including warnings and
    notes from the analyses) otherwise ride in [analyzed.diags]. *)
-let analyze_package ?(registry = []) ?policy ?(context = []) ?file ~root
-    pkg =
+let analyze_package ?session ?(registry = []) ?policy ?mode
+    ?(context = []) ?file ~root pkg =
   Putil.Tracing.with_span "pipeline.analyze"
     ~args:[ ("root", Putil.Tracing.Astr root) ]
   @@ fun () ->
   let diags = Putil.Diag.collector () in
   let fail () = Error (Putil.Diag.result diags) in
+  let slot f = Option.map f session in
   let aadl_issues =
     List.concat_map Aadl.Check.check_package (pkg :: context)
   in
   Putil.Diag.add_list diags (Aadl.Check.to_diags ?file aadl_issues);
-  match Aadl.Instance.instantiate_diag ?file ~context pkg ~root with
+  match
+    stage_r "instantiate"
+      (slot (fun s -> s.s_instance))
+      (digest_of (file, root, pkg, context))
+      (fun () -> Aadl.Instance.instantiate_diag ?file ~context pkg ~root)
+  with
   | Error ds ->
     Putil.Diag.add_list diags ds;
     fail ()
   | Ok instance -> (
-    let out, tdiags =
-      Trans.System_trans.translate_diag ?file ~registry ?policy instance
-    in
-    Putil.Diag.add_list diags tdiags;
-    match out with
-    | None -> fail ()
-    | Some translation -> (
-      let typecheck_errors =
-        Signal_lang.Typecheck.check_program
-          translation.Trans.System_trans.program
+    match
+      stage_r "translate"
+        (slot (fun s -> s.s_translate))
+        (digest_of (instance, policy, mode, file))
+        (fun () ->
+          match
+            Trans.System_trans.translate_diag ?file ~registry ?policy
+              ?mode instance
+          with
+          | Some translation, tdiags -> Ok (translation, tdiags)
+          | None, tdiags -> Error tdiags)
+    with
+    | Error tdiags ->
+      Putil.Diag.add_list diags tdiags;
+      fail ()
+    | Ok (translation, tdiags) -> (
+      Putil.Diag.add_list diags tdiags;
+      let program = translation.Trans.System_trans.program in
+      let program_key = Signal_lang.Ast.program_digest program in
+      let typecheck_errors, typed_program =
+        stage "typecheck"
+          (slot (fun s -> s.s_typecheck))
+          program_key
+          (fun () ->
+            ( Signal_lang.Typecheck.check_program program,
+              Signal_lang.Typecheck.type_program program ))
       in
       Putil.Diag.add_list diags
         (List.map
            (diag_of_type_error ?file ~translation ~instance)
            typecheck_errors);
       match
-        Signal_lang.Normalize.process
-          ~program:translation.Trans.System_trans.program
-          translation.Trans.System_trans.top
+        stage_r "normalize"
+          (slot (fun s -> s.s_normalize))
+          (program_key ^ ":"
+          ^ translation.Trans.System_trans.top.Ast.proc_name)
+          (fun () ->
+            Signal_lang.Normalize.process ~program
+              translation.Trans.System_trans.top)
       with
       | Error m ->
         Putil.Diag.add diags (Putil.Diag.errorf ~code:code_norm "%s" m);
@@ -186,32 +305,49 @@ let analyze_package ?(registry = []) ?policy ?(context = []) ?file ~root
           profile.Analysis.Profiling.total_static;
         Putil.Metrics.set m_profile_signals
           (List.length profile.Analysis.Profiling.per_signal);
-        let calc = Clocks.Calculus.analyze kernel in
-        (* a failed schedule or task extraction is stubbed with
-           never-present events, so null-clock notes would only echo a
-           defect already reported — drop them in that case *)
-        let calc_diags =
-          if Putil.Diag.has_errors tdiags then
-            List.filter
-              (fun d -> not (String.equal d.Putil.Diag.code "CLK-NULL-001"))
-              (Clocks.Calculus.diags calc)
-          else Clocks.Calculus.diags calc
+        let stubbed = Putil.Diag.has_errors tdiags in
+        let calc, hierarchy, determinism, deadlock, clocked_decls,
+            analysis_diags =
+          stage "analyses"
+            (slot (fun s -> s.s_analyses))
+            (K.digest kernel ^ if stubbed then ":stub" else "")
+            (fun () ->
+              let calc = Clocks.Calculus.analyze kernel in
+              (* a failed schedule or task extraction is stubbed with
+                 never-present events, so null-clock notes would only
+                 echo a defect already reported — drop them then *)
+              let calc_diags =
+                if stubbed then
+                  List.filter
+                    (fun d ->
+                      not (String.equal d.Putil.Diag.code "CLK-NULL-001"))
+                    (Clocks.Calculus.diags calc)
+                else Clocks.Calculus.diags calc
+              in
+              let hierarchy = Clocks.Hierarchy.build calc in
+              let determinism = Analysis.Determinism.analyze calc kernel in
+              let deadlock = Analysis.Deadlock.analyze ~calc kernel in
+              ( calc, hierarchy, determinism, deadlock,
+                Clocks.Calculus.clocked_decls calc,
+                calc_diags
+                @ Analysis.Determinism.diags_of_report determinism
+                @ Analysis.Deadlock.diags_of_report deadlock ))
         in
-        Putil.Diag.add_list diags calc_diags;
-        let hierarchy = Clocks.Hierarchy.build calc in
-        let determinism = Analysis.Determinism.analyze calc kernel in
-        Putil.Diag.add_list diags
-          (Analysis.Determinism.diags_of_report determinism);
-        let deadlock = Analysis.Deadlock.analyze ~calc kernel in
-        Putil.Diag.add_list diags
-          (Analysis.Deadlock.diags_of_report deadlock);
+        Putil.Diag.add_list diags analysis_diags;
         Ok
           { package = pkg; aadl_issues; instance; translation; kernel;
-            calc; hierarchy; determinism; deadlock; typecheck_errors;
+            typed_program; clocked_decls; calc; hierarchy; determinism;
+            deadlock; typecheck_errors;
             diags = Putil.Diag.result diags }))
 
-let analyze ?registry ?policy ?root ?file src =
-  let* pkgs = Aadl.Parser.parse_packages_diag ?file src in
+let analyze ?session ?registry ?policy ?mode ?root ?file src =
+  let* pkgs =
+    stage_r "parse"
+      (Option.map (fun s -> s.s_parse) session)
+      (Digest.to_hex
+         (Digest.string (Option.value ~default:"" file ^ "\x00" ^ src)))
+      (fun () -> Aadl.Parser.parse_packages_diag ?file src)
+  in
   let* pkg, root =
     match root with
     | Some r -> (
@@ -234,7 +370,8 @@ let analyze ?registry ?policy ?root ?file src =
         (default_root pkgs)
   in
   let context = List.filter (fun p -> p != pkg) pkgs in
-  analyze_package ?registry ?policy ~context ?file ~root pkg
+  analyze_package ?session ?registry ?policy ?mode ~context ?file ~root
+    pkg
 
 (* Schedulers on different processors may use different base ticks;
    simulation advances on their gcd and pulses each processor's tick at
@@ -298,18 +435,54 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
   @@ fun () ->
   let gbase = global_base_us a in
   (* tick inputs are generated in schedule order; pulse each at its
-     processor's base cadence *)
+     processor's base cadence (External mode declares no ticks) *)
   let ticks =
-    List.map2
-      (fun tk (_, s) -> (tk, s.Sched.Static_sched.base_us / gbase))
-      a.translation.Trans.System_trans.tick_inputs
+    let rec zip tks ss =
+      match tks, ss with
+      | tk :: tks, (_, s) :: ss ->
+        (tk, s.Sched.Static_sched.base_us / gbase) :: zip tks ss
+      | _, _ -> []
+    in
+    zip a.translation.Trans.System_trans.tick_inputs
       a.translation.Trans.System_trans.schedules
+  in
+  (* External-mode ctl inputs are driven straight from the schedule
+     tables, replicating the Embedded scheduler process semantics: at
+     processor base tick m, an event with offset tk fires iff m >= tk
+     and m ≡ tk (mod horizon) *)
+  let ctls =
+    List.map
+      (fun (n, spec) ->
+        let stride =
+          match
+            List.assoc_opt spec.Trans.System_trans.cs_cpu
+              a.translation.Trans.System_trans.schedules
+          with
+          | Some s -> max 1 (s.Sched.Static_sched.base_us / gbase)
+          | None -> 1
+        in
+        ( n, stride,
+          Array.of_list spec.Trans.System_trans.cs_ticks,
+          spec.Trans.System_trans.cs_horizon ))
+      a.translation.Trans.System_trans.ctl_inputs
   in
   let stimulus_at t =
     List.filter_map
       (fun (tk, every) ->
         if t mod every = 0 then Some (tk, Types.Vevent) else None)
       ticks
+    @ List.filter_map
+        (fun (n, stride, offs, horizon) ->
+          if t mod stride <> 0 then None
+          else
+            let m = t / stride in
+            if
+              Array.exists
+                (fun tk -> m >= tk && (m - tk) mod horizon = 0)
+                offs
+            then Some (n, Types.Vevent)
+            else None)
+        ctls
     @ List.map (fun (n, v) -> (n, Types.Vint v)) (env t)
   in
   let finish tr =

@@ -65,4 +65,4 @@ val of_kprocess : Signal_lang.Kernel.kprocess -> t
 
 val index_opt : t -> Signal_lang.Ast.ident -> int option
 val name : t -> int -> Signal_lang.Ast.ident
-val decls : t -> Signal_lang.Ast.vardecl list
+val decls : t -> Signal_lang.Ast.nvardecl list

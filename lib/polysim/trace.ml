@@ -14,7 +14,7 @@ module Symbol = Putil.Symbol
 type row = (int * Types.value) array
 
 type t = {
-  decls : Ast.vardecl array;
+  decls : Ast.bare Ast.gvardecl array;  (* mark-stripped: any phase in *)
   names : string array;
   lookup : int Symbol.Tbl.t;        (* symbol -> index, -1 *)
   mutable steps : row array;
@@ -23,8 +23,12 @@ type t = {
 
 let empty_row : row = [||]
 
+let strip_vardecl vd =
+  { Ast.var_name = vd.Ast.var_name; var_type = vd.Ast.var_type;
+    var_mark = Ast.Mbare }
+
 let create decl_list =
-  let decls = Array.of_list decl_list in
+  let decls = Array.of_list (List.map strip_vardecl decl_list) in
   let names = Array.map (fun vd -> vd.Ast.var_name) decls in
   let lookup = Symbol.Tbl.create ~size:(Array.length decls) (-1) in
   Array.iteri

@@ -3,10 +3,11 @@
 
 type t
 
-val create : Signal_lang.Ast.vardecl list -> t
-(** Empty trace over the given signal declarations. *)
+val create : 'p Signal_lang.Ast.gvardecl list -> t
+(** Empty trace over the given signal declarations (any phase; marks
+    are stripped — traces record names, types and values only). *)
 
-val declarations : t -> Signal_lang.Ast.vardecl list
+val declarations : t -> Signal_lang.Ast.bare Signal_lang.Ast.gvardecl list
 
 val push :
   t -> (Signal_lang.Ast.ident * Signal_lang.Types.value) list -> unit

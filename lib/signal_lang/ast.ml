@@ -1,5 +1,54 @@
 type ident = string
 
+(* ------------------------------------------------------------------ *)
+(* Phases and marks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Phase witnesses: empty types indexing the mark GADT. A [parsed]
+   tree carries only source positions; [typed] adds the inferred type
+   of every node; [normalized] marks the kernel-form declarations;
+   [clocked] adds the clock class computed by the calculus. *)
+type parsed = |
+type typed = |
+type normalized = |
+type clocked = |
+type bare = |
+
+type _ mark =
+  | Mparsed : Putil.Diag.span option -> parsed mark
+  | Mtyped : Putil.Diag.span option * Types.styp option -> typed mark
+  | Mnorm : Putil.Diag.span option -> normalized mark
+  | Mclocked : Putil.Diag.span option * int option -> clocked mark
+  | Mbare : bare mark
+
+let mark_span : type p. p mark -> Putil.Diag.span option = function
+  | Mparsed sp -> sp
+  | Mtyped (sp, _) -> sp
+  | Mnorm sp -> sp
+  | Mclocked (sp, _) -> sp
+  | Mbare -> None
+
+let mark_ty : type p. p mark -> Types.styp option = function
+  | Mtyped (_, ty) -> ty
+  | Mparsed _ | Mnorm _ | Mclocked _ | Mbare -> None
+
+let mark_clock : type p. p mark -> int option = function
+  | Mclocked (_, c) -> c
+  | Mparsed _ | Mtyped _ | Mnorm _ | Mbare -> None
+
+let with_span : type p. p mark -> Putil.Diag.span option -> p mark =
+ fun m sp ->
+  match m with
+  | Mparsed _ -> Mparsed sp
+  | Mtyped (_, ty) -> Mtyped (sp, ty)
+  | Mnorm _ -> Mnorm sp
+  | Mclocked (_, c) -> Mclocked (sp, c)
+  | Mbare -> Mbare
+
+(* ------------------------------------------------------------------ *)
+(* The phase-indexed marked AST                                        *)
+(* ------------------------------------------------------------------ *)
+
 type unop =
   | Not
   | Neg
@@ -9,58 +58,88 @@ type binop =
   | And | Or | Xor
   | Eq | Neq | Lt | Le | Gt | Ge
 
-type expr =
+type 'p gexpr = 'p gexpr_desc * 'p mark
+
+and 'p gexpr_desc =
   | Econst of Types.value
   | Evar of ident
-  | Eunop of unop * expr
-  | Ebinop of binop * expr * expr
-  | Eif of expr * expr * expr
-  | Edelay of expr * Types.value
-  | Ewhen of expr * expr
-  | Edefault of expr * expr
-  | Eclock of expr
+  | Eunop of unop * 'p gexpr
+  | Ebinop of binop * 'p gexpr * 'p gexpr
+  | Eif of 'p gexpr * 'p gexpr * 'p gexpr
+  | Edelay of 'p gexpr * Types.value
+  | Ewhen of 'p gexpr * 'p gexpr
+  | Edefault of 'p gexpr * 'p gexpr
+  | Eclock of 'p gexpr
 
-type stmt =
-  | Sdef of ident * expr
-  | Spartial of ident * expr
-  | Sclk_eq of expr * expr
-  | Sclk_le of expr * expr
-  | Sclk_ex of expr * expr
-  | Sinstance of instance
+type 'p gstmt = 'p gstmt_desc * 'p mark
 
-and instance = {
+and 'p gstmt_desc =
+  | Sdef of ident * 'p gexpr
+  | Spartial of ident * 'p gexpr
+  | Sclk_eq of 'p gexpr * 'p gexpr
+  | Sclk_le of 'p gexpr * 'p gexpr
+  | Sclk_ex of 'p gexpr * 'p gexpr
+  | Sinstance of 'p ginstance
+
+and 'p ginstance = {
   inst_label : string;
   inst_proc : ident;
-  inst_ins : expr list;
+  inst_ins : 'p gexpr list;
   inst_outs : ident list;
   inst_params : Types.value list;
 }
 
-type vardecl = {
+type 'p gvardecl = {
   var_name : ident;
   var_type : Types.styp;
-  var_loc : (int * int) option;
+  var_mark : 'p mark;
 }
 
-type process = {
+type 'p gprocess = {
   proc_name : ident;
-  params : vardecl list;
-  inputs : vardecl list;
-  outputs : vardecl list;
-  locals : vardecl list;
-  body : stmt list;
-  subprocesses : process list;
+  params : 'p gvardecl list;
+  inputs : 'p gvardecl list;
+  outputs : 'p gvardecl list;
+  locals : 'p gvardecl list;
+  body : 'p gstmt list;
+  subprocesses : 'p gprocess list;
   pragmas : (string * string) list;
 }
 
-type program = {
+type 'p gprogram = {
   prog_name : ident;
-  processes : process list;
+  processes : 'p gprocess list;
 }
 
-let var var_name var_type = { var_name; var_type; var_loc = None }
+(* The default phase of everything the translator and the parser
+   produce. *)
+type expr = parsed gexpr
+type stmt = parsed gstmt
+type instance = parsed ginstance
+type vardecl = parsed gvardecl
+type process = parsed gprocess
+type program = parsed gprogram
 
-let var_at ~loc var_name var_type = { var_name; var_type; var_loc = Some loc }
+type nvardecl = normalized gvardecl
+
+let desc (d, _) = d
+let mark (_, m) = m
+let span e = mark_span (mark e)
+
+let mk d : expr = (d, Mparsed None)
+let mk_at sp d : expr = (d, Mparsed sp)
+
+let var var_name var_type = { var_name; var_type; var_mark = Mparsed None }
+
+let var_at ~span var_name var_type =
+  { var_name; var_type; var_mark = Mparsed (Some span) }
+
+let nvar ?span var_name var_type =
+  { var_name; var_type; var_mark = Mnorm span }
+
+let remark_norm vd =
+  { var_name = vd.var_name; var_type = vd.var_type;
+    var_mark = Mnorm (mark_span vd.var_mark) }
 
 let empty_process name =
   { proc_name = name; params = []; inputs = []; outputs = []; locals = [];
@@ -74,7 +153,9 @@ let find_subprocess proc name =
 
 let sort_uniq_idents l = List.sort_uniq String.compare l
 
-let rec free_vars_acc acc = function
+let rec free_vars_acc : type p. ident list -> p gexpr -> ident list =
+ fun acc (d, _) ->
+  match d with
   | Econst _ -> acc
   | Evar x -> x :: acc
   | Eunop (_, e) | Eclock e | Edelay (e, _) -> free_vars_acc acc e
@@ -85,53 +166,204 @@ let rec free_vars_acc acc = function
 let free_signals e = sort_uniq_idents (free_vars_acc [] e)
 
 let defined_signals stmts =
-  let defs = function
+  let defs (d, _) =
+    match d with
     | Sdef (x, _) | Spartial (x, _) -> [ x ]
     | Sinstance i -> i.inst_outs
     | Sclk_eq _ | Sclk_le _ | Sclk_ex _ -> []
   in
   sort_uniq_idents (List.concat_map defs stmts)
 
-let stmt_reads = function
+let stmt_reads (d, _) =
+  match d with
   | Sdef (_, e) | Spartial (_, e) -> free_signals e
   | Sclk_eq (e1, e2) | Sclk_le (e1, e2) | Sclk_ex (e1, e2) ->
     sort_uniq_idents (free_vars_acc (free_vars_acc [] e1) e2)
   | Sinstance i ->
     sort_uniq_idents (List.concat_map free_signals i.inst_ins)
 
-let rec rename_expr f = function
-  | Econst _ as e -> e
-  | Evar x -> Evar (f x)
-  | Eunop (op, e) -> Eunop (op, rename_expr f e)
-  | Ebinop (op, e1, e2) -> Ebinop (op, rename_expr f e1, rename_expr f e2)
-  | Eif (c, t, e) -> Eif (rename_expr f c, rename_expr f t, rename_expr f e)
-  | Edelay (e, v) -> Edelay (rename_expr f e, v)
-  | Ewhen (e, b) -> Ewhen (rename_expr f e, rename_expr f b)
-  | Edefault (e1, e2) -> Edefault (rename_expr f e1, rename_expr f e2)
-  | Eclock e -> Eclock (rename_expr f e)
+let rec rename_expr : type p. (ident -> ident) -> p gexpr -> p gexpr =
+ fun f (d, m) ->
+  let d =
+    match d with
+    | Econst _ as d -> d
+    | Evar x -> Evar (f x)
+    | Eunop (op, e) -> Eunop (op, rename_expr f e)
+    | Ebinop (op, e1, e2) -> Ebinop (op, rename_expr f e1, rename_expr f e2)
+    | Eif (c, t, e) -> Eif (rename_expr f c, rename_expr f t, rename_expr f e)
+    | Edelay (e, v) -> Edelay (rename_expr f e, v)
+    | Ewhen (e, b) -> Ewhen (rename_expr f e, rename_expr f b)
+    | Edefault (e1, e2) -> Edefault (rename_expr f e1, rename_expr f e2)
+    | Eclock e -> Eclock (rename_expr f e)
+  in
+  (d, m)
 
-let rename_stmt f = function
-  | Sdef (x, e) -> Sdef (f x, rename_expr f e)
-  | Spartial (x, e) -> Spartial (f x, rename_expr f e)
-  | Sclk_eq (e1, e2) -> Sclk_eq (rename_expr f e1, rename_expr f e2)
-  | Sclk_le (e1, e2) -> Sclk_le (rename_expr f e1, rename_expr f e2)
-  | Sclk_ex (e1, e2) -> Sclk_ex (rename_expr f e1, rename_expr f e2)
-  | Sinstance i ->
-    Sinstance
-      { i with
-        inst_ins = List.map (rename_expr f) i.inst_ins;
-        inst_outs = List.map f i.inst_outs }
+let rename_stmt f ((d, m) : 'p gstmt) : 'p gstmt =
+  let d =
+    match d with
+    | Sdef (x, e) -> Sdef (f x, rename_expr f e)
+    | Spartial (x, e) -> Spartial (f x, rename_expr f e)
+    | Sclk_eq (e1, e2) -> Sclk_eq (rename_expr f e1, rename_expr f e2)
+    | Sclk_le (e1, e2) -> Sclk_le (rename_expr f e1, rename_expr f e2)
+    | Sclk_ex (e1, e2) -> Sclk_ex (rename_expr f e1, rename_expr f e2)
+    | Sinstance i ->
+      Sinstance
+        { i with
+          inst_ins = List.map (rename_expr f) i.inst_ins;
+          inst_outs = List.map f i.inst_outs }
+  in
+  (d, m)
 
-let equal_expr (a : expr) (b : expr) = a = b
-let compare_expr (a : expr) (b : expr) = compare a b
+(* ------------------------------------------------------------------ *)
+(* Mark-erasing and mark-demoting copies                               *)
+(* ------------------------------------------------------------------ *)
 
-let rec expr_size = function
+(* [strip_*] forgets marks entirely: the result compares, hashes and
+   marshals structurally, which gives mark-insensitive equality and
+   the semantic digests below. *)
+let rec strip_expr : type p. p gexpr -> bare gexpr =
+ fun (d, _) ->
+  let d =
+    match d with
+    | Econst v -> Econst v
+    | Evar x -> Evar x
+    | Eunop (op, e) -> Eunop (op, strip_expr e)
+    | Ebinop (op, e1, e2) -> Ebinop (op, strip_expr e1, strip_expr e2)
+    | Eif (c, t, e) -> Eif (strip_expr c, strip_expr t, strip_expr e)
+    | Edelay (e, v) -> Edelay (strip_expr e, v)
+    | Ewhen (e, b) -> Ewhen (strip_expr e, strip_expr b)
+    | Edefault (e1, e2) -> Edefault (strip_expr e1, strip_expr e2)
+    | Eclock e -> Eclock (strip_expr e)
+  in
+  (d, Mbare)
+
+let strip_stmt : type p. p gstmt -> bare gstmt =
+ fun (d, _) ->
+  let d =
+    match d with
+    | Sdef (x, e) -> Sdef (x, strip_expr e)
+    | Spartial (x, e) -> Spartial (x, strip_expr e)
+    | Sclk_eq (e1, e2) -> Sclk_eq (strip_expr e1, strip_expr e2)
+    | Sclk_le (e1, e2) -> Sclk_le (strip_expr e1, strip_expr e2)
+    | Sclk_ex (e1, e2) -> Sclk_ex (strip_expr e1, strip_expr e2)
+    | Sinstance i ->
+      Sinstance
+        { inst_label = i.inst_label; inst_proc = i.inst_proc;
+          inst_ins = List.map strip_expr i.inst_ins;
+          inst_outs = i.inst_outs; inst_params = i.inst_params }
+  in
+  (d, Mbare)
+
+let strip_vardecl : type p. p gvardecl -> bare gvardecl =
+ fun vd ->
+  { var_name = vd.var_name; var_type = vd.var_type; var_mark = Mbare }
+
+let rec strip_process : type p. p gprocess -> bare gprocess =
+ fun p ->
+  { proc_name = p.proc_name;
+    params = List.map strip_vardecl p.params;
+    inputs = List.map strip_vardecl p.inputs;
+    outputs = List.map strip_vardecl p.outputs;
+    locals = List.map strip_vardecl p.locals;
+    body = List.map strip_stmt p.body;
+    subprocesses = List.map strip_process p.subprocesses;
+    pragmas = p.pragmas }
+
+let strip_program : type p. p gprogram -> bare gprogram =
+ fun prog ->
+  { prog_name = prog.prog_name;
+    processes = List.map strip_process prog.processes }
+
+(* [to_parsed_*] demotes any phase to [parsed], keeping source spans:
+   phase-generic consumers (normalization, the library resolver) run
+   on one concrete phase without polymorphic-recursion contortions. *)
+let rec to_parsed_expr : type p. p gexpr -> expr =
+ fun (d, m) ->
+  let d =
+    match d with
+    | Econst v -> Econst v
+    | Evar x -> Evar x
+    | Eunop (op, e) -> Eunop (op, to_parsed_expr e)
+    | Ebinop (op, e1, e2) -> Ebinop (op, to_parsed_expr e1, to_parsed_expr e2)
+    | Eif (c, t, e) ->
+      Eif (to_parsed_expr c, to_parsed_expr t, to_parsed_expr e)
+    | Edelay (e, v) -> Edelay (to_parsed_expr e, v)
+    | Ewhen (e, b) -> Ewhen (to_parsed_expr e, to_parsed_expr b)
+    | Edefault (e1, e2) -> Edefault (to_parsed_expr e1, to_parsed_expr e2)
+    | Eclock e -> Eclock (to_parsed_expr e)
+  in
+  (d, Mparsed (mark_span m))
+
+let to_parsed_stmt : type p. p gstmt -> stmt =
+ fun (d, m) ->
+  let d =
+    match d with
+    | Sdef (x, e) -> Sdef (x, to_parsed_expr e)
+    | Spartial (x, e) -> Spartial (x, to_parsed_expr e)
+    | Sclk_eq (e1, e2) -> Sclk_eq (to_parsed_expr e1, to_parsed_expr e2)
+    | Sclk_le (e1, e2) -> Sclk_le (to_parsed_expr e1, to_parsed_expr e2)
+    | Sclk_ex (e1, e2) -> Sclk_ex (to_parsed_expr e1, to_parsed_expr e2)
+    | Sinstance i ->
+      Sinstance
+        { inst_label = i.inst_label; inst_proc = i.inst_proc;
+          inst_ins = List.map to_parsed_expr i.inst_ins;
+          inst_outs = i.inst_outs; inst_params = i.inst_params }
+  in
+  (d, Mparsed (mark_span m))
+
+let to_parsed_vardecl : type p. p gvardecl -> vardecl =
+ fun vd ->
+  { var_name = vd.var_name; var_type = vd.var_type;
+    var_mark = Mparsed (mark_span vd.var_mark) }
+
+let rec to_parsed_process : type p. p gprocess -> process =
+ fun p ->
+  { proc_name = p.proc_name;
+    params = List.map to_parsed_vardecl p.params;
+    inputs = List.map to_parsed_vardecl p.inputs;
+    outputs = List.map to_parsed_vardecl p.outputs;
+    locals = List.map to_parsed_vardecl p.locals;
+    body = List.map to_parsed_stmt p.body;
+    subprocesses = List.map to_parsed_process p.subprocesses;
+    pragmas = p.pragmas }
+
+let to_parsed_program : type p. p gprogram -> program =
+ fun prog ->
+  { prog_name = prog.prog_name;
+    processes = List.map to_parsed_process prog.processes }
+
+(* Mark-insensitive structural equality/order: compare the stripped
+   skeletons. *)
+let equal_expr a b = strip_expr a = strip_expr b
+let compare_expr a b = compare (strip_expr a) (strip_expr b)
+let equal_process a b = strip_process a = strip_process b
+let equal_program a b = strip_program a = strip_program b
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Stage digests for incremental recompute. The full digest includes
+   marks (positions and phase annotations): it is conservative — a
+   pure position shift re-runs downstream stages — but guarantees that
+   replayed diagnostics carry current spans. The semantic digest
+   strips marks first and identifies programs up to positions. *)
+let program_digest (prog : 'p gprogram) =
+  Digest.string (Marshal.to_string prog [ Marshal.No_sharing ])
+
+let program_semantic_digest (prog : 'p gprogram) =
+  Digest.string (Marshal.to_string (strip_program prog) [ Marshal.No_sharing ])
+
+let rec expr_size : type p. p gexpr -> int =
+ fun (d, _) ->
+  match d with
   | Econst _ | Evar _ -> 1
   | Eunop (_, e) | Eclock e | Edelay (e, _) -> 1 + expr_size e
   | Ebinop (_, e1, e2) | Ewhen (e1, e2) | Edefault (e1, e2) ->
     1 + expr_size e1 + expr_size e2
   | Eif (c, t, f) -> 1 + expr_size c + expr_size t + expr_size f
 
-let rec process_size p =
+let rec process_size : type p. p gprocess -> int =
+ fun p ->
   List.length p.body
   + List.fold_left (fun acc sub -> acc + process_size sub) 0 p.subprocesses

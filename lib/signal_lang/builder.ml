@@ -1,48 +1,54 @@
 open Ast
 
-let v x = Evar x
-let i n = Econst (Types.Vint n)
-let b x = Econst (Types.Vbool x)
-let r x = Econst (Types.Vreal x)
-let s x = Econst (Types.Vstring x)
-let ev = Econst Types.Vevent
+(* Every combinator wraps its description in an empty parsed mark;
+   generated code has no source position of its own (traceability back
+   to AADL goes through pragmas and Trans.Traceability). *)
 
-let ( + ) e1 e2 = Ebinop (Add, e1, e2)
-let ( - ) e1 e2 = Ebinop (Sub, e1, e2)
-let ( * ) e1 e2 = Ebinop (Mul, e1, e2)
-let ( / ) e1 e2 = Ebinop (Div, e1, e2)
-let ( mod ) e1 e2 = Ebinop (Mod, e1, e2)
-let ( && ) e1 e2 = Ebinop (And, e1, e2)
-let ( || ) e1 e2 = Ebinop (Or, e1, e2)
-let xor e1 e2 = Ebinop (Xor, e1, e2)
-let not_ e = Eunop (Not, e)
-let neg e = Eunop (Neg, e)
-let ( = ) e1 e2 = Ebinop (Eq, e1, e2)
-let ( <> ) e1 e2 = Ebinop (Neq, e1, e2)
-let ( < ) e1 e2 = Ebinop (Lt, e1, e2)
-let ( <= ) e1 e2 = Ebinop (Le, e1, e2)
-let ( > ) e1 e2 = Ebinop (Gt, e1, e2)
-let ( >= ) e1 e2 = Ebinop (Ge, e1, e2)
+let v x = mk (Evar x)
+let i n = mk (Econst (Types.Vint n))
+let b x = mk (Econst (Types.Vbool x))
+let r x = mk (Econst (Types.Vreal x))
+let s x = mk (Econst (Types.Vstring x))
+let ev = mk (Econst Types.Vevent)
 
-let if_ c t e = Eif (c, t, e)
+let ( + ) e1 e2 = mk (Ebinop (Add, e1, e2))
+let ( - ) e1 e2 = mk (Ebinop (Sub, e1, e2))
+let ( * ) e1 e2 = mk (Ebinop (Mul, e1, e2))
+let ( / ) e1 e2 = mk (Ebinop (Div, e1, e2))
+let ( mod ) e1 e2 = mk (Ebinop (Mod, e1, e2))
+let ( && ) e1 e2 = mk (Ebinop (And, e1, e2))
+let ( || ) e1 e2 = mk (Ebinop (Or, e1, e2))
+let xor e1 e2 = mk (Ebinop (Xor, e1, e2))
+let not_ e = mk (Eunop (Not, e))
+let neg e = mk (Eunop (Neg, e))
+let ( = ) e1 e2 = mk (Ebinop (Eq, e1, e2))
+let ( <> ) e1 e2 = mk (Ebinop (Neq, e1, e2))
+let ( < ) e1 e2 = mk (Ebinop (Lt, e1, e2))
+let ( <= ) e1 e2 = mk (Ebinop (Le, e1, e2))
+let ( > ) e1 e2 = mk (Ebinop (Gt, e1, e2))
+let ( >= ) e1 e2 = mk (Ebinop (Ge, e1, e2))
 
-let delay ?(init = Types.Vint 0) e = Edelay (e, init)
+let if_ c t e = mk (Eif (c, t, e))
 
-let when_ e cond = Ewhen (e, cond)
-let default e1 e2 = Edefault (e1, e2)
-let clk e = Eclock e
-let on cond = Ewhen (cond, cond)
+let delay ?(init = Types.Vint 0) e = mk (Edelay (e, init))
 
-let ( := ) x e = Sdef (x, e)
-let ( =:: ) x e = Spartial (x, e)
-let ( ^= ) e1 e2 = Sclk_eq (e1, e2)
-let ( ^< ) e1 e2 = Sclk_le (e1, e2)
-let ( ^! ) e1 e2 = Sclk_ex (e1, e2)
+let when_ e cond = mk (Ewhen (e, cond))
+let default e1 e2 = mk (Edefault (e1, e2))
+let clk e = mk (Eclock e)
+let on cond = mk (Ewhen (cond, cond))
+
+let stmt d : stmt = (d, Mparsed None)
+let ( := ) x e = stmt (Sdef (x, e))
+let ( =:: ) x e = stmt (Spartial (x, e))
+let ( ^= ) e1 e2 = stmt (Sclk_eq (e1, e2))
+let ( ^< ) e1 e2 = stmt (Sclk_le (e1, e2))
+let ( ^! ) e1 e2 = stmt (Sclk_ex (e1, e2))
 
 let inst ?(params = []) ~label proc_name ins outs =
-  Sinstance
-    { inst_label = label; inst_proc = proc_name; inst_ins = ins;
-      inst_outs = outs; inst_params = params }
+  stmt
+    (Sinstance
+       { inst_label = label; inst_proc = proc_name; inst_ins = ins;
+         inst_outs = outs; inst_params = params })
 
 let proc ?(params = []) ?(locals = []) ?(subprocesses = []) ?(pragmas = [])
     ~name ~inputs ~outputs body =

@@ -30,9 +30,9 @@ type kinstance = {
 
 type kprocess = {
   kname : string;
-  kinputs : Ast.vardecl list;
-  koutputs : Ast.vardecl list;
-  klocals : Ast.vardecl list;
+  kinputs : Ast.nvardecl list;
+  koutputs : Ast.nvardecl list;
+  klocals : Ast.nvardecl list;
   keqs : keq list;
   kconstraints : kconstraint list;
   kinstances : kinstance list;
@@ -59,7 +59,8 @@ let digest kp = Digest.string (Marshal.to_string kp [ Marshal.No_sharing ])
    (simulator, clock calculus, compiler) can key its state on ints. *)
 type sigtab = {
   st_syms : Putil.Symbol.t array;        (* local idx -> symbol *)
-  st_decls : Ast.vardecl array;          (* local idx -> declaration *)
+  st_uids : Putil.Uid.Signal.t array;    (* local idx -> signal UID *)
+  st_decls : Ast.nvardecl array;         (* local idx -> declaration *)
   st_lookup : int Putil.Symbol.Tbl.t;    (* symbol -> local idx, -1 *)
 }
 
@@ -68,12 +69,16 @@ let sigtab kp =
   let syms =
     Array.map (fun vd -> Putil.Symbol.of_string vd.Ast.var_name) decls
   in
+  let uids =
+    Array.map (fun vd -> Putil.Uid.Signal.intern vd.Ast.var_name) decls
+  in
   let lookup = Putil.Symbol.Tbl.create ~size:(Array.length syms) (-1) in
   Array.iteri (fun i s -> Putil.Symbol.Tbl.set lookup s i) syms;
-  { st_syms = syms; st_decls = decls; st_lookup = lookup }
+  { st_syms = syms; st_uids = uids; st_decls = decls; st_lookup = lookup }
 
 let st_count tab = Array.length tab.st_syms
 let st_sym tab i = tab.st_syms.(i)
+let st_uid tab i = tab.st_uids.(i)
 let st_name tab i = Putil.Symbol.name tab.st_syms.(i)
 let st_decl tab i = tab.st_decls.(i)
 

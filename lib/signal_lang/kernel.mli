@@ -40,9 +40,9 @@ type kinstance = {
 
 type kprocess = {
   kname : string;
-  kinputs : Ast.vardecl list;
-  koutputs : Ast.vardecl list;
-  klocals : Ast.vardecl list;  (** declared locals and generated temps *)
+  kinputs : Ast.nvardecl list;
+  koutputs : Ast.nvardecl list;
+  klocals : Ast.nvardecl list;  (** declared locals and generated temps *)
   keqs : keq list;
   kconstraints : kconstraint list;
   kinstances : kinstance list;
@@ -54,7 +54,7 @@ type kprocess = {
 val atom_type :
   (Ast.ident -> Types.styp option) -> atom -> Types.styp option
 
-val signals : kprocess -> Ast.vardecl list
+val signals : kprocess -> Ast.nvardecl list
 (** All signals of the process: inputs, outputs, locals. *)
 
 val digest : kprocess -> string
@@ -76,8 +76,13 @@ val sigtab : kprocess -> sigtab
 
 val st_count : sigtab -> int
 val st_sym : sigtab -> int -> Putil.Symbol.t
+
+val st_uid : sigtab -> int -> Putil.Uid.Signal.t
+(** The signal's interned {!Putil.Uid.Signal} identity — the key the
+    traceability map uses. *)
+
 val st_name : sigtab -> int -> Ast.ident
-val st_decl : sigtab -> int -> Ast.vardecl
+val st_decl : sigtab -> int -> Ast.nvardecl
 val st_index_sym : sigtab -> Putil.Symbol.t -> int option
 val st_index_opt : sigtab -> Ast.ident -> int option
 

@@ -8,14 +8,16 @@ let errf fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
 type state = {
   mutable counter : int;
   used : (string, unit) Hashtbl.t;
-  mutable locals : vardecl list;   (* reversed *)
+  mutable locals : vardecl list;   (* reversed; parsed phase while building *)
   mutable eqs : keq list;          (* reversed *)
   mutable constraints : kconstraint list;
   mutable instances : kinstance list;
   mutable partials : (ident * ident list) list;
 }
 
-let fresh st ?(hint = "t") typ =
+(* Fresh temporaries inherit the span of the source expression they
+   flatten, so kernel-level diagnostics can still point at source. *)
+let fresh st ?(hint = "t") ?span typ =
   let rec pick () =
     st.counter <- st.counter + 1;
     let name = Printf.sprintf "_%s%d" hint st.counter in
@@ -23,7 +25,8 @@ let fresh st ?(hint = "t") typ =
   in
   let name = pick () in
   Hashtbl.replace st.used name ();
-  st.locals <- var name typ :: st.locals;
+  st.locals <-
+    { var_name = name; var_type = typ; var_mark = Mparsed span } :: st.locals;
   name
 
 let emit st eq = st.eqs <- eq :: st.eqs
@@ -41,47 +44,51 @@ let type_of scope e =
   | Error m -> errf "%s" m
 
 (* Substitute static parameters by their constant values. *)
-let rec subst_params subst = function
-  | Econst _ as e -> e
-  | Evar x as e -> (
+let rec subst_params subst (e : expr) : expr =
+  let d, m = e in
+  match d with
+  | Econst _ -> e
+  | Evar x -> (
     match List.assoc_opt x subst with
-    | Some v -> Econst v
+    | Some v -> (Econst v, m)
     | None -> e)
-  | Eunop (op, e) -> Eunop (op, subst_params subst e)
+  | Eunop (op, e1) -> (Eunop (op, subst_params subst e1), m)
   | Ebinop (op, e1, e2) ->
-    Ebinop (op, subst_params subst e1, subst_params subst e2)
+    (Ebinop (op, subst_params subst e1, subst_params subst e2), m)
   | Eif (c, t, f) ->
-    Eif (subst_params subst c, subst_params subst t, subst_params subst f)
-  | Edelay (e, v) -> Edelay (subst_params subst e, v)
-  | Ewhen (e, b) -> Ewhen (subst_params subst e, subst_params subst b)
+    ( Eif (subst_params subst c, subst_params subst t, subst_params subst f),
+      m )
+  | Edelay (e1, v) -> (Edelay (subst_params subst e1, v), m)
+  | Ewhen (e1, b) -> (Ewhen (subst_params subst e1, subst_params subst b), m)
   | Edefault (e1, e2) ->
-    Edefault (subst_params subst e1, subst_params subst e2)
-  | Eclock e -> Eclock (subst_params subst e)
+    (Edefault (subst_params subst e1, subst_params subst e2), m)
+  | Eclock e1 -> (Eclock (subst_params subst e1), m)
 
-let atom_ident st typ = function
+let atom_ident st ?span typ = function
   | Avar x -> x
   | Aconst v ->
-    let t = fresh st ~hint:"c" typ in
+    let t = fresh st ~hint:"c" ?span typ in
     emit st (Kfunc { dst = t; op = Pid; args = [ Aconst v ] });
     t
 
 (* Flatten an expression to an atom, emitting kernel equations. *)
 let rec norm_expr st scope e =
   let e = subst_params scope.subst e in
-  match e with
+  let sp = span e in
+  match desc e with
   | Econst v -> Aconst v
   | Evar x -> Avar (scope.rename x)
   | Eunop (op, e1) ->
     let t = type_of scope e in
     let a = norm_expr st scope e1 in
-    let dst = fresh st t in
+    let dst = fresh st ?span:sp t in
     emit st (Kfunc { dst; op = Punop op; args = [ a ] });
     Avar dst
   | Ebinop (op, e1, e2) ->
     let t = type_of scope e in
     let a1 = norm_expr st scope e1 in
     let a2 = norm_expr st scope e2 in
-    let dst = fresh st t in
+    let dst = fresh st ?span:sp t in
     emit st (Kfunc { dst; op = Pbinop op; args = [ a1; a2 ] });
     Avar dst
   | Eif (c, e1, e2) ->
@@ -89,39 +96,40 @@ let rec norm_expr st scope e =
     let ac = norm_expr st scope c in
     let a1 = norm_expr st scope e1 in
     let a2 = norm_expr st scope e2 in
-    let dst = fresh st t in
+    let dst = fresh st ?span:sp t in
     emit st (Kfunc { dst; op = Pif; args = [ ac; a1; a2 ] });
     Avar dst
   | Edelay (e1, init) ->
     let t = type_of scope e in
     let a = norm_expr st scope e1 in
-    let src = atom_ident st t a in
-    let dst = fresh st t in
+    let src = atom_ident st ?span:sp t a in
+    let dst = fresh st ?span:sp t in
     emit st (Kdelay { dst; src; init });
     Avar dst
   | Ewhen (e1, b) ->
     let t = type_of scope e in
     let a = norm_expr st scope e1 in
     let ab = norm_expr st scope b in
-    let dst = fresh st t in
+    let dst = fresh st ?span:sp t in
     emit st (Kwhen { dst; src = a; cond = ab });
     Avar dst
   | Edefault (e1, e2) ->
     let t = type_of scope e in
     let a1 = norm_expr st scope e1 in
     let a2 = norm_expr st scope e2 in
-    let dst = fresh st t in
+    let dst = fresh st ?span:sp t in
     emit st (Kdefault { dst; left = a1; right = a2 });
     Avar dst
   | Eclock e1 ->
     let a = norm_expr st scope e1 in
-    let dst = fresh st Types.Tevent in
+    let dst = fresh st ?span:sp Types.Tevent in
     emit st (Kfunc { dst; op = Pclock; args = [ a ] });
     Avar dst
 
 let norm_expr_ident st scope e =
-  let typ = type_of scope (subst_params scope.subst e) in
-  atom_ident st typ (norm_expr st scope e)
+  let e' = subst_params scope.subst e in
+  let typ = type_of scope e' in
+  atom_ident st ?span:(span e') typ (norm_expr st scope e)
 
 (* Copy an atom into a named destination. *)
 let assign st dst a = emit st (Kfunc { dst; op = Pid; args = [ a ] })
@@ -153,16 +161,18 @@ let rec norm_body st ~program ~stack p scope =
   let partials : (ident, Types.styp * ident list) Hashtbl.t =
     Hashtbl.create 4
   in
-  let do_stmt = function
+  let do_stmt (stmt : stmt) =
+    match desc stmt with
     | Sdef (x, e) ->
       let dst = scope.rename x in
       let a = norm_expr st scope e in
       assign st dst a
     | Spartial (x, e) ->
       let dst = scope.rename x in
-      let typ = type_of scope (subst_params scope.subst e) in
+      let e' = subst_params scope.subst e in
+      let typ = type_of scope e' in
       let a = norm_expr st scope e in
-      let t = atom_ident st typ a in
+      let t = atom_ident st ?span:(span e') typ a in
       let prev =
         match Hashtbl.find_opt partials dst with
         | Some (_, l) -> l
@@ -243,7 +253,7 @@ and inline st ~program ~stack outer_scope inst model =
         match a with
         | Avar x -> (vd.var_name, x)
         | Aconst _ ->
-          let x = atom_ident st vd.var_type a in
+          let x = atom_ident st ?span:(span actual) vd.var_type a in
           (vd.var_name, x))
       model.inputs inst.inst_ins
   in
@@ -252,7 +262,8 @@ and inline st ~program ~stack outer_scope inst model =
       (fun vd actual -> (vd.var_name, outer_scope.rename actual))
       model.outputs inst.inst_outs
   in
-  (* Fresh names for locals. *)
+  (* Fresh names for locals; the renamed declaration keeps the model
+     declaration's span. *)
   let local_bindings =
     List.map
       (fun vd ->
@@ -265,7 +276,10 @@ and inline st ~program ~stack outer_scope inst model =
         in
         let name = pick 0 in
         Hashtbl.replace st.used name ();
-        st.locals <- var name vd.var_type :: st.locals;
+        st.locals <-
+          { var_name = name; var_type = vd.var_type;
+            var_mark = Mparsed (mark_span vd.var_mark) }
+          :: st.locals;
         (vd.var_name, name))
       model.locals
   in
@@ -283,6 +297,10 @@ and inline st ~program ~stack outer_scope inst model =
   norm_body st ~program ~stack model inner_scope
 
 let process ?program ?(params = []) p =
+  (* Accept any phase: demote to parsed (spans survive) so the library
+     models — which are parsed — mix freely with the input. *)
+  let program = Option.map to_parsed_program program in
+  let p = to_parsed_process p in
   let st =
     { counter = 0; used = Hashtbl.create 64; locals = []; eqs = [];
       constraints = []; instances = []; partials = [] }
@@ -311,9 +329,9 @@ let process ?program ?(params = []) p =
     in
     Ok
       { kname = p.proc_name;
-        kinputs = p.inputs;
-        koutputs = p.outputs;
-        klocals = p.locals @ List.rev gen_locals;
+        kinputs = List.map remark_norm p.inputs;
+        koutputs = List.map remark_norm p.outputs;
+        klocals = List.map remark_norm (p.locals @ List.rev gen_locals);
         keqs = List.rev st.eqs;
         kconstraints = List.rev st.constraints;
         kinstances = List.rev st.instances;

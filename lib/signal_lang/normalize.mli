@@ -14,16 +14,19 @@
     produced by the AADL translator. *)
 
 val process :
-  ?program:Ast.program ->
+  ?program:'q Ast.gprogram ->
   ?params:Types.value list ->
-  Ast.process ->
+  'p Ast.gprocess ->
   (Kernel.kprocess, string) result
 (** Normalize one process. [params] instantiates its static parameters
     (required when the process declares any). [program] provides the
     global scope for instance resolution; the AADL2SIGNAL library is
-    always in scope. *)
+    always in scope. Any phase is accepted (trees are demoted to
+    [parsed] internally, keeping spans); generated kernel declarations
+    carry [normalized] marks whose spans point back at the source
+    construct each temporary flattens. *)
 
 val process_exn :
-  ?program:Ast.program -> ?params:Types.value list -> Ast.process ->
+  ?program:'q Ast.gprogram -> ?params:Types.value list -> 'p Ast.gprocess ->
   Kernel.kprocess
 (** @raise Failure on normalization errors. *)

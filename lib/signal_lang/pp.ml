@@ -23,10 +23,12 @@ let prec_when = 1
 let prec_delay = 7
 let prec_atom = 9
 
+(* Printing is mark-insensitive and phase-polymorphic: the same
+   printers serve parsed source, typed trees and kernel forms. *)
 let rec pp_expr_prec ctx ppf e =
   let p = prec_of e in
   let body ppf () =
-    match e with
+    match desc e with
     | Econst v -> Types.pp_value ppf v
     | Evar x -> Format.pp_print_string ppf x
     | Eunop (op, e1) ->
@@ -55,7 +57,8 @@ let rec pp_expr_prec ctx ppf e =
   in
   if p < ctx then Format.fprintf ppf "(%a)" body () else body ppf ()
 
-and prec_of = function
+and prec_of e =
+  match desc e with
   | Econst _ | Evar _ -> prec_atom
   | Eunop _ | Eclock _ -> 8
   | Ebinop (op, _, _) -> binop_prec op
@@ -70,16 +73,17 @@ let pp_expr ppf e = pp_expr_prec 0 ppf e
 let pp_comma_list pp ppf l =
   Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp ppf l
 
-let pp_stmt ppf = function
-  | Sdef (x, e) -> Format.fprintf ppf "@[<hv 2>%s :=@ %a@]" x pp_expr e
-  | Spartial (x, e) -> Format.fprintf ppf "@[<hv 2>%s ::=@ %a@]" x pp_expr e
-  | Sclk_eq (e1, e2) ->
+let pp_stmt ppf st =
+  match (st : _ gstmt) with
+  | Sdef (x, e), _ -> Format.fprintf ppf "@[<hv 2>%s :=@ %a@]" x pp_expr e
+  | Spartial (x, e), _ -> Format.fprintf ppf "@[<hv 2>%s ::=@ %a@]" x pp_expr e
+  | Sclk_eq (e1, e2), _ ->
     Format.fprintf ppf "@[<hv 2>%a ^=@ %a@]" pp_expr e1 pp_expr e2
-  | Sclk_le (e1, e2) ->
+  | Sclk_le (e1, e2), _ ->
     Format.fprintf ppf "@[<hv 2>%a ^<@ %a@]" pp_expr e1 pp_expr e2
-  | Sclk_ex (e1, e2) ->
+  | Sclk_ex (e1, e2), _ ->
     Format.fprintf ppf "@[<hv 2>%a ^#@ %a@]" pp_expr e1 pp_expr e2
-  | Sinstance inst ->
+  | Sinstance inst, _ ->
     let pp_outs ppf = function
       | [] -> ()
       | outs -> Format.fprintf ppf "(%a) := " (pp_comma_list Format.pp_print_string) outs
@@ -170,7 +174,7 @@ let pp_program ppf prog =
   Format.fprintf ppf "@]"
 
 let to_string pp x = Format.asprintf "%a" pp x
-let expr_to_string = to_string pp_expr
-let stmt_to_string = to_string pp_stmt
-let process_to_string = to_string pp_process
-let program_to_string = to_string pp_program
+let expr_to_string e = to_string pp_expr e
+let stmt_to_string s = to_string pp_stmt s
+let process_to_string p = to_string pp_process p
+let program_to_string p = to_string pp_program p

@@ -16,12 +16,14 @@
 val unop_to_string : Ast.unop -> string
 val binop_to_string : Ast.binop -> string
 
-val pp_expr : Format.formatter -> Ast.expr -> unit
-val pp_stmt : Format.formatter -> Ast.stmt -> unit
-val pp_process : Format.formatter -> Ast.process -> unit
-val pp_program : Format.formatter -> Ast.program -> unit
+(** Printing is mark-insensitive: the printers accept any phase. *)
 
-val expr_to_string : Ast.expr -> string
-val stmt_to_string : Ast.stmt -> string
-val process_to_string : Ast.process -> string
-val program_to_string : Ast.program -> string
+val pp_expr : Format.formatter -> 'p Ast.gexpr -> unit
+val pp_stmt : Format.formatter -> 'p Ast.gstmt -> unit
+val pp_process : Format.formatter -> 'p Ast.gprocess -> unit
+val pp_program : Format.formatter -> 'p Ast.gprogram -> unit
+
+val expr_to_string : 'p Ast.gexpr -> string
+val stmt_to_string : 'p Ast.gstmt -> string
+val process_to_string : 'p Ast.gprocess -> string
+val program_to_string : 'p Ast.gprogram -> string

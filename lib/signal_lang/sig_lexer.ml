@@ -35,11 +35,14 @@ let is_ident_start c =
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_pos src =
   let n = String.length src in
   let pos = ref 0 in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
+  (* Start offset of the token being lexed: set at the top of each
+     iteration, before the character class dispatch advances [pos]. *)
+  let tok_start = ref 0 in
+  let emit t = toks := (t, !tok_start) :: !toks in
   let peek k = if !pos + k < n then Some src.[!pos + k] else None in
   let starts_with s =
     !pos + String.length s <= n && String.sub src !pos (String.length s) = s
@@ -105,6 +108,7 @@ let tokenize src =
     else INT (int_of_string (String.sub src start (!pos - start)))
   in
   let rec go () =
+    tok_start := !pos;
     if !pos >= n then emit EOF
     else begin
       (match src.[!pos] with
@@ -227,11 +231,13 @@ let tokenize src =
          let low = String.lowercase_ascii id in
          if List.mem low keywords then emit (KW low) else emit (IDENT id)
        | c -> error !pos "unexpected character %c" c);
-      if (match !toks with EOF :: _ -> false | _ -> true) then go ()
+      if (match !toks with (EOF, _) :: _ -> false | _ -> true) then go ()
     end
   in
   go ();
   List.rev !toks
+
+let tokenize src = List.map fst (tokenize_pos src)
 
 let token_to_string = function
   | IDENT s -> s

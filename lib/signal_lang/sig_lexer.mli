@@ -34,4 +34,8 @@ val tokenize : string -> token list
 (** Ends with [EOF]. Comments run between [%] pairs, except
     [%pragma key "value"%] which lexes as a {!PRAGMA} token. *)
 
+val tokenize_pos : string -> (token * int) list
+(** Like {!tokenize}, each token paired with its start offset in the
+    source ([EOF] gets the source length). *)
+
 val token_to_string : token -> string

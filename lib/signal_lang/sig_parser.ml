@@ -5,8 +5,48 @@ exception Parse_error of string
 
 type state = {
   toks : L.token array;
+  offsets : int array;      (* start offset of toks.(i) in the source *)
+  line_starts : int array;  (* offset of the start of each line *)
   mutable idx : int;
 }
+
+(* ------------------------------ spans ----------------------------- *)
+
+let line_starts_of src =
+  let starts = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) src;
+  Array.of_list (List.rev !starts)
+
+(* line (1-based) and column (1-based) of a byte offset *)
+let linecol st off =
+  let ls = st.line_starts in
+  let lo = ref 0 and hi = ref (Array.length ls - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if ls.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  (!lo + 1, off - ls.(!lo) + 1)
+
+let token_len tok = String.length (L.token_to_string tok)
+
+(* Span of the node whose first token is [i0], ending at the last
+   token consumed so far (clamped to the first token's line: spans are
+   single-line). *)
+let span_from st i0 =
+  let l0, c0 = linecol st st.offsets.(i0) in
+  let j = max i0 (st.idx - 1) in
+  let l1, c1 = linecol st st.offsets.(j) in
+  let end_col =
+    if l1 = l0 then c1 + token_len st.toks.(j) - 1
+    else c0 + token_len st.toks.(i0) - 1
+  in
+  Putil.Diag.span ~line:l0 ~col:c0 ~end_col ()
+
+let mark_from st i0 = Mparsed (Some (span_from st i0))
+let node st i0 d : Ast.expr = (d, mark_from st i0)
+let snode st i0 d : Ast.stmt = (d, mark_from st i0)
+
+(* ---------------------------- plumbing ---------------------------- *)
 
 let cur st = st.toks.(st.idx)
 
@@ -69,41 +109,44 @@ let value st =
 (* ---------------------------- expressions ------------------------- *)
 
 let rec expr0 st =
+  let i0 = st.idx in
   if accept_kw st "if" then begin
     let c = expr0 st in
     expect_kw st "then";
     let t = expr0 st in
     expect_kw st "else";
     let e = expr0 st in
-    Eif (c, t, e)
+    node st i0 (Eif (c, t, e))
   end
   else expr1 st
 
 (* when / default level *)
 and expr1 st =
+  let i0 = st.idx in
   let e = ref (expr2 st) in
   let rec loop () =
     if accept_kw st "when" then begin
       let b = expr2 st in
-      e := Ewhen (!e, b);
+      e := node st i0 (Ewhen (!e, b));
       loop ()
     end
     else if accept_kw st "default" then
       (* right associative *)
-      e := Edefault (!e, expr1 st)
+      e := node st i0 (Edefault (!e, expr1 st))
   in
   loop ();
   !e
 
 and expr2 st =
+  let i0 = st.idx in
   let e = ref (expr3 st) in
   let rec loop () =
     if accept_kw st "or" then begin
-      e := Ebinop (Or, !e, expr3 st);
+      e := node st i0 (Ebinop (Or, !e, expr3 st));
       loop ()
     end
     else if accept_kw st "xor" then begin
-      e := Ebinop (Xor, !e, expr3 st);
+      e := node st i0 (Ebinop (Xor, !e, expr3 st));
       loop ()
     end
   in
@@ -111,13 +154,15 @@ and expr2 st =
   !e
 
 and expr3 st =
+  let i0 = st.idx in
   let e = ref (expr4 st) in
   while accept_kw st "and" do
-    e := Ebinop (And, !e, expr4 st)
+    e := node st i0 (Ebinop (And, !e, expr4 st))
   done;
   !e
 
 and expr4 st =
+  let i0 = st.idx in
   let e = ref (expr5 st) in
   let rec loop () =
     let op =
@@ -133,7 +178,7 @@ and expr4 st =
     match op with
     | Some op ->
       advance st;
-      e := Ebinop (op, !e, expr5 st);
+      e := node st i0 (Ebinop (op, !e, expr5 st));
       loop ()
     | None -> ()
   in
@@ -141,14 +186,15 @@ and expr4 st =
   !e
 
 and expr5 st =
+  let i0 = st.idx in
   let e = ref (expr6 st) in
   let rec loop () =
     if accept st L.PLUS then begin
-      e := Ebinop (Add, !e, expr6 st);
+      e := node st i0 (Ebinop (Add, !e, expr6 st));
       loop ()
     end
     else if accept st L.MINUS then begin
-      e := Ebinop (Sub, !e, expr6 st);
+      e := node st i0 (Ebinop (Sub, !e, expr6 st));
       loop ()
     end
   in
@@ -156,18 +202,19 @@ and expr5 st =
   !e
 
 and expr6 st =
+  let i0 = st.idx in
   let e = ref (expr7 st) in
   let rec loop () =
     if accept st L.STAR then begin
-      e := Ebinop (Mul, !e, expr7 st);
+      e := node st i0 (Ebinop (Mul, !e, expr7 st));
       loop ()
     end
     else if accept st L.SLASH then begin
-      e := Ebinop (Div, !e, expr7 st);
+      e := node st i0 (Ebinop (Div, !e, expr7 st));
       loop ()
     end
     else if accept_kw st "modulo" then begin
-      e := Ebinop (Mod, !e, expr7 st);
+      e := node st i0 (Ebinop (Mod, !e, expr7 st));
       loop ()
     end
   in
@@ -176,6 +223,7 @@ and expr6 st =
 
 (* delay: e $ 1 init v *)
 and expr7 st =
+  let i0 = st.idx in
   let e = ref (expr8 st) in
   while accept st L.DOLLAR do
     (match cur st with
@@ -183,50 +231,52 @@ and expr7 st =
      | _ -> error st "only unit delays '$ 1' are supported");
     expect_kw st "init";
     let v = value st in
-    e := Edelay (!e, v)
+    e := node st i0 (Edelay (!e, v))
   done;
   !e
 
 and expr8 st =
+  let i0 = st.idx in
   match cur st with
   | L.KW "not" ->
     advance st;
-    Eunop (Not, atom st)
+    node st i0 (Eunop (Not, atom st))
   | L.MINUS -> (
     advance st;
     (* '- <number>' is canonicalized to a negative literal: the
        concrete syntax cannot distinguish it from unary negation *)
     match cur st with
-    | L.INT n -> advance st; Econst (Types.Vint (-n))
-    | L.REAL r -> advance st; Econst (Types.Vreal (-.r))
-    | _ -> Eunop (Neg, atom st))
+    | L.INT n -> advance st; node st i0 (Econst (Types.Vint (-n)))
+    | L.REAL r -> advance st; node st i0 (Econst (Types.Vreal (-.r)))
+    | _ -> node st i0 (Eunop (Neg, atom st)))
   | L.HAT ->
     advance st;
-    Eclock (atom st)
+    node st i0 (Eclock (atom st))
   | L.KW "when" ->
     (* prefix clock sugar: when b  ≡  b when b *)
     advance st;
     let b = atom st in
-    Ewhen (b, b)
+    node st i0 (Ewhen (b, b))
   | _ -> atom st
 
 and atom st =
+  let i0 = st.idx in
   match cur st with
   | L.MINUS -> (
     (* negative literal, as printed by the value pretty-printer *)
     advance st;
     match cur st with
-    | L.INT n -> advance st; Econst (Types.Vint (-n))
-    | L.REAL r -> advance st; Econst (Types.Vreal (-.r))
+    | L.INT n -> advance st; node st i0 (Econst (Types.Vint (-n)))
+    | L.REAL r -> advance st; node st i0 (Econst (Types.Vreal (-.r)))
     | _ -> error st "expected a number after '-'")
   | L.IDENT x ->
     advance st;
-    Evar x
-  | L.KW "true" -> advance st; Econst (Types.Vbool true)
-  | L.KW "false" -> advance st; Econst (Types.Vbool false)
-  | L.INT n -> advance st; Econst (Types.Vint n)
-  | L.REAL r -> advance st; Econst (Types.Vreal r)
-  | L.STRING s -> advance st; Econst (Types.Vstring s)
+    node st i0 (Evar x)
+  | L.KW "true" -> advance st; node st i0 (Econst (Types.Vbool true))
+  | L.KW "false" -> advance st; node st i0 (Econst (Types.Vbool false))
+  | L.INT n -> advance st; node st i0 (Econst (Types.Vint n))
+  | L.REAL r -> advance st; node st i0 (Econst (Types.Vreal r))
+  | L.STRING s -> advance st; node st i0 (Econst (Types.Vstring s))
   | L.LPAREN ->
     advance st;
     let e = expr0 st in
@@ -255,7 +305,7 @@ let instance_outs_lookahead st =
   in
   idents ()
 
-let rec instance_call st ~outs ~label_hint =
+let rec instance_call st ~i0 ~outs ~label_hint =
   let proc_name = ident st in
   let params =
     if accept st L.LBRACE then begin
@@ -281,11 +331,13 @@ let rec instance_call st ~outs ~label_hint =
     end
   in
   expect st L.RPAREN;
-  Sinstance
-    { inst_label = label_hint; inst_proc = proc_name; inst_ins = args;
-      inst_outs = outs; inst_params = params }
+  snode st i0
+    (Sinstance
+       { inst_label = label_hint; inst_proc = proc_name; inst_ins = args;
+         inst_outs = outs; inst_params = params })
 
 and stmt st ~fresh_label =
+  let i0 = st.idx in
   match cur st with
   | L.LPAREN when instance_outs_lookahead st ->
     advance st;
@@ -296,41 +348,42 @@ and stmt st ~fresh_label =
     let outs = outs [] in
     expect st L.RPAREN;
     expect st L.DEFINE;
-    instance_call st ~outs ~label_hint:(fresh_label ())
+    instance_call st ~i0 ~outs ~label_hint:(fresh_label ())
   | L.IDENT x when st.toks.(st.idx + 1) = L.DEFINE ->
     advance st;
     advance st;
     (* could still be an out-less instance? no: Pp prints defs here *)
-    Sdef (x, expr0 st)
+    snode st i0 (Sdef (x, expr0 st))
   | L.IDENT x when st.toks.(st.idx + 1) = L.PARTIAL ->
     advance st;
     advance st;
-    Spartial (x, expr0 st)
+    snode st i0 (Spartial (x, expr0 st))
   | L.IDENT _
     when (match st.toks.(st.idx + 1) with
           | L.LPAREN | L.LBRACE -> true
           | _ -> false) ->
-    instance_call st ~outs:[] ~label_hint:(fresh_label ())
+    instance_call st ~i0 ~outs:[] ~label_hint:(fresh_label ())
   | _ ->
     let e1 = expr0 st in
     (match cur st with
      | L.CLK_EQ ->
        advance st;
-       Sclk_eq (e1, expr0 st)
+       snode st i0 (Sclk_eq (e1, expr0 st))
      | L.CLK_LE ->
        advance st;
-       Sclk_le (e1, expr0 st)
+       snode st i0 (Sclk_le (e1, expr0 st))
      | L.CLK_EX ->
        advance st;
-       Sclk_ex (e1, expr0 st)
+       snode st i0 (Sclk_ex (e1, expr0 st))
      | _ -> error st "expected a clock relation")
 
 (* --------------------------- declarations ------------------------- *)
 
 let decl_group st typ =
   let rec go acc =
+    let i0 = st.idx in
     let x = ident st in
-    let acc = var x typ :: acc in
+    let acc = var_at ~span:(span_from st i0) x typ :: acc in
     if accept st L.COMMA then go acc else List.rev acc
   in
   go []
@@ -428,8 +481,13 @@ let program st =
   { prog_name = name; processes }
 
 let with_tokens src f =
-  let toks = Array.of_list (L.tokenize src) in
-  let st = { toks; idx = 0 } in
+  let tp = Array.of_list (L.tokenize_pos src) in
+  let st =
+    { toks = Array.map fst tp;
+      offsets = Array.map snd tp;
+      line_starts = line_starts_of src;
+      idx = 0 }
+  in
   let r = f st in
   (match cur st with
    | L.EOF -> ()

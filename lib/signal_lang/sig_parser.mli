@@ -1,9 +1,11 @@
 (** Parser for the SIGNAL concrete syntax produced by {!Pp}.
 
     Accepts modules and single processes; {!Pp} followed by this parser
-    is the identity on abstract syntax up to value normalization (the
-    event value prints as [true] and reparses as a boolean), a property
-    exercised by the test suite on every generated program. *)
+    is the identity on abstract syntax up to marks and value
+    normalization (the event value prints as [true] and reparses as a
+    boolean) — compare with {!Ast.equal_program} — a property exercised
+    by the test suite on every generated program. Parsed trees carry
+    source spans on every expression, statement and declaration. *)
 
 exception Parse_error of string
 (** message, with the offending token. *)

@@ -1,4 +1,5 @@
 open Ast
+module B = Builder
 
 type primitive =
   | Pfifo
@@ -11,7 +12,7 @@ let tbool = Types.Tbool
 let tevent = Types.Tevent
 
 (* Clock union of two signals, as an event expression: ^a default ^b. *)
-let clock_union a b = Edefault (Eclock (Evar a), Eclock (Evar b))
+let clock_union x y = B.(default (clk (v x)) (clk (v y)))
 
 (* The memory process of the paper (Sec. IV-C):
 
@@ -23,207 +24,160 @@ let clock_union a b = Edefault (Eclock (Evar a), Eclock (Evar b))
    Kernel encoding: a local memory [m] present on ^i ∪ ^b carrying the
    freshest i, sampled where b is true. *)
 let fm_with ~name ~typ ~init =
-  { proc_name = name;
-    params = [];
-    inputs = [ var "i" typ; var "b" tbool ];
-    outputs = [ var "o" typ ];
-    locals = [ var "m" typ ];
-    body =
-      [ Sdef ("m", Edefault (Evar "i", Edelay (Evar "m", init)));
-        Sclk_eq (Eclock (Evar "m"), clock_union "i" "b");
-        Sdef ("o", Ewhen (Evar "m", Evar "b"));
-      ];
-    subprocesses = [];
-    pragmas = [ ("aadl2signal", "memory process fm") ];
-  }
+  B.proc ~name
+    ~inputs:[ var "i" typ; var "b" tbool ]
+    ~outputs:[ var "o" typ ]
+    ~locals:[ var "m" typ ]
+    ~pragmas:[ ("aadl2signal", "memory process fm") ]
+    B.[
+      "m" := default (v "i") (delay ~init (v "m"));
+      clk (v "m") ^= clock_union "i" "b";
+      "o" := when_ (v "m") (v "b");
+    ]
 
 let fm = fm_with ~name:"fm" ~typ:tint ~init:(Types.Vint 0)
 let fm_bool = fm_with ~name:"fm_bool" ~typ:tbool ~init:(Types.Vbool false)
 
 (* Event presence as a boolean on the true instants of event t:
    bool_at t = true when t. *)
-let btrue_when_event t = Ewhen (Econst (Types.Vbool true), Eclock (Evar t))
+let btrue_when_event t = B.(when_ (b true) (clk (v t)))
 
 (* z = x ◮ t : freeze x at event t (paper: z = fm(f(x), t) with f the
    identity port behaviour for data ports). *)
 let freeze =
-  { proc_name = "freeze";
-    params = [];
-    inputs = [ var "x" tint; var "t" tevent ];
-    outputs = [ var "z" tint ];
-    locals = [ var "bt" tbool ];
-    body =
-      [ Sdef ("bt", btrue_when_event "t");
-        Sinstance
-          { inst_label = "freeze_fm"; inst_proc = "fm";
-            inst_ins = [ Evar "x"; Evar "bt" ]; inst_outs = [ "z" ];
-            inst_params = [] };
-      ];
-    subprocesses = [];
-    pragmas = [ ("aadl2signal", "input freezing x |> t") ];
-  }
+  B.proc ~name:"freeze"
+    ~inputs:[ var "x" tint; var "t" tevent ]
+    ~outputs:[ var "z" tint ]
+    ~locals:[ var "bt" tbool ]
+    ~pragmas:[ ("aadl2signal", "input freezing x |> t") ]
+    B.[
+      "bt" := btrue_when_event "t";
+      inst ~label:"freeze_fm" "fm" [ v "x"; v "bt" ] [ "z" ];
+    ]
 
 (* w = y ⊲ t : hold the output and send it at Output_Time. *)
 let send =
-  { proc_name = "send";
-    params = [];
-    inputs = [ var "y" tint; var "t" tevent ];
-    outputs = [ var "w" tint ];
-    locals = [ var "bt" tbool ];
-    body =
-      [ Sdef ("bt", btrue_when_event "t");
-        Sinstance
-          { inst_label = "send_fm"; inst_proc = "fm";
-            inst_ins = [ Evar "y"; Evar "bt" ]; inst_outs = [ "w" ];
-            inst_params = [] };
-      ];
-    subprocesses = [];
-    pragmas = [ ("aadl2signal", "output sending y <| t") ];
-  }
+  B.proc ~name:"send"
+    ~inputs:[ var "y" tint; var "t" tevent ]
+    ~outputs:[ var "w" tint ]
+    ~locals:[ var "bt" tbool ]
+    ~pragmas:[ ("aadl2signal", "output sending y <| t") ]
+    B.[
+      "bt" := btrue_when_event "t";
+      inst ~label:"send_fm" "fm" [ v "y"; v "bt" ] [ "w" ];
+    ]
 
 let counter =
-  { proc_name = "counter";
-    params = [];
-    inputs = [ var "e" tevent ];
-    outputs = [ var "n" tint ];
-    locals = [];
-    body =
-      [ Sdef ("n", Ebinop (Add, Edelay (Evar "n", Types.Vint 0),
-                           Econst (Types.Vint 1)));
-        Sclk_eq (Eclock (Evar "n"), Eclock (Evar "e"));
-      ];
-    subprocesses = [];
-    pragmas = [];
-  }
+  B.proc ~name:"counter"
+    ~inputs:[ var "e" tevent ]
+    ~outputs:[ var "n" tint ]
+    B.[
+      "n" := delay ~init:(Types.Vint 0) (v "n") + i 1;
+      clk (v "n") ^= clk (v "e");
+    ]
 
 let counter_reset =
   (* n counts occurrences of e since the last occurrence of rst; both
      may occur at the same instant (reset wins). *)
-  { proc_name = "counter_reset";
-    params = [];
-    inputs = [ var "e" tevent; var "rst" tevent ];
-    outputs = [ var "n" tint ];
-    locals = [ var "pre_n" tint ];
-    body =
-      [ Sdef ("pre_n", Edelay (Evar "n", Types.Vint 0));
-        Sdef ("n",
-              Edefault
-                ( Ewhen (Econst (Types.Vint 0), btrue_when_event "rst"),
-                  Ebinop (Add, Evar "pre_n", Econst (Types.Vint 1)) ));
-        Sclk_eq (Eclock (Evar "n"), clock_union "e" "rst");
-      ];
-    subprocesses = [];
-    pragmas = [];
-  }
+  B.proc ~name:"counter_reset"
+    ~inputs:[ var "e" tevent; var "rst" tevent ]
+    ~outputs:[ var "n" tint ]
+    ~locals:[ var "pre_n" tint ]
+    B.[
+      "pre_n" := delay ~init:(Types.Vint 0) (v "n");
+      "n" := default (when_ (i 0) (btrue_when_event "rst")) (v "pre_n" + i 1);
+      clk (v "n") ^= clock_union "e" "rst";
+    ]
 
 (* AADL timer service: armed by [start], disarmed by [stop], counting
    occurrences of [tick]; raises [timeout] once when the count reaches
    [duration]. Implements the thProdTimer / thConsTimer behaviour. *)
 let timer =
-  let base = Edefault (Eclock (Evar "start"),
-                       Edefault (Eclock (Evar "stop"), Eclock (Evar "tick"))) in
-  { proc_name = "timer";
-    params = [ var "duration" tint ];
-    inputs = [ var "start" tevent; var "stop" tevent; var "tick" tevent ];
-    outputs = [ var "timeout" tevent ];
-    locals =
+  let base =
+    B.(default (clk (v "start")) (default (clk (v "stop")) (clk (v "tick"))))
+  in
+  B.proc ~name:"timer"
+    ~params:[ var "duration" tint ]
+    ~inputs:[ var "start" tevent; var "stop" tevent; var "tick" tevent ]
+    ~outputs:[ var "timeout" tevent ]
+    ~locals:
       [ var "base_b" tbool; var "s_occ" tbool; var "p_occ" tbool;
         var "t_occ" tbool; var "active" tbool; var "pre_active" tbool;
-        var "cnt" tint; var "pre_cnt" tint; var "expired" tbool ];
-    body =
-      [ (* base_b: true on every instant of the union clock *)
-        Sdef ("base_b",
-              Edefault (btrue_when_event "start",
-                        Edefault (btrue_when_event "stop",
-                                  btrue_when_event "tick")));
-        Sclk_eq (Eclock (Evar "base_b"), base);
-        (* occurrence booleans aligned on the base clock *)
-        Sdef ("s_occ", Edefault (btrue_when_event "start",
-                                 Ewhen (Econst (Types.Vbool false), Evar "base_b")));
-        Sdef ("p_occ", Edefault (btrue_when_event "stop",
-                                 Ewhen (Econst (Types.Vbool false), Evar "base_b")));
-        Sdef ("t_occ", Edefault (btrue_when_event "tick",
-                                 Ewhen (Econst (Types.Vbool false), Evar "base_b")));
-        Sdef ("pre_active", Edelay (Evar "active", Types.Vbool false));
-        Sdef ("active",
-              Eif (Evar "s_occ", Econst (Types.Vbool true),
-                   Eif (Evar "p_occ", Econst (Types.Vbool false),
-                        Eif (Evar "expired", Econst (Types.Vbool false),
-                             Evar "pre_active"))));
-        Sdef ("pre_cnt", Edelay (Evar "cnt", Types.Vint 0));
-        Sdef ("cnt",
-              Eif (Evar "s_occ", Econst (Types.Vint 0),
-                   Eif (Ebinop (And, Evar "pre_active", Evar "t_occ"),
-                        Ebinop (Add, Evar "pre_cnt", Econst (Types.Vint 1)),
-                        Evar "pre_cnt")));
-        Sdef ("expired",
-              Ebinop (And, Evar "pre_active",
-                      Ebinop (And, Evar "t_occ",
-                              Ebinop (Ge, Evar "cnt", Evar "duration"))));
-        Sdef ("timeout", Ewhen (Evar "expired", Evar "expired"));
-      ];
-    subprocesses = [];
-    pragmas = [ ("aadl2signal", "AADL timer service") ];
-  }
+        var "cnt" tint; var "pre_cnt" tint; var "expired" tbool ]
+    ~pragmas:[ ("aadl2signal", "AADL timer service") ]
+    B.[
+      (* base_b: true on every instant of the union clock *)
+      "base_b"
+      := default (btrue_when_event "start")
+           (default (btrue_when_event "stop") (btrue_when_event "tick"));
+      clk (v "base_b") ^= base;
+      (* occurrence booleans aligned on the base clock *)
+      "s_occ"
+      := default (btrue_when_event "start") (when_ (b false) (v "base_b"));
+      "p_occ"
+      := default (btrue_when_event "stop") (when_ (b false) (v "base_b"));
+      "t_occ"
+      := default (btrue_when_event "tick") (when_ (b false) (v "base_b"));
+      "pre_active" := delay ~init:(Types.Vbool false) (v "active");
+      "active"
+      := if_ (v "s_occ") (b true)
+           (if_ (v "p_occ") (b false)
+              (if_ (v "expired") (b false) (v "pre_active")));
+      "pre_cnt" := delay ~init:(Types.Vint 0) (v "cnt");
+      "cnt"
+      := if_ (v "s_occ") (i 0)
+           (if_ (v "pre_active" && v "t_occ") (v "pre_cnt" + i 1)
+              (v "pre_cnt"));
+      "expired" := v "pre_active" && v "t_occ" && v "cnt" >= v "duration";
+      "timeout" := when_ (v "expired") (v "expired");
+    ]
 
 (* Primitive processes: SIGNAL interface + clock contract; value
    semantics in Polysim. The bodies carry only clock statements so that
    the clock calculus can reason about instances. *)
 
 let fifo =
-  { proc_name = "fifo";
-    params = [ var "capacity" tint; var "overflow" Types.Tstring ];
-    inputs = [ var "push" tint; var "pop" tevent ];
-    outputs = [ var "data" tint; var "size" tint ];
-    locals = [];
-    body =
-      [ Sclk_le (Eclock (Evar "data"), Eclock (Evar "pop"));
-        Sclk_eq (Eclock (Evar "size"), clock_union "push" "pop");
-      ];
-    subprocesses = [];
-    pragmas = [ ("primitive", "fifo") ];
-  }
+  B.proc ~name:"fifo"
+    ~params:[ var "capacity" tint; var "overflow" Types.Tstring ]
+    ~inputs:[ var "push" tint; var "pop" tevent ]
+    ~outputs:[ var "data" tint; var "size" tint ]
+    ~pragmas:[ ("primitive", "fifo") ]
+    B.[
+      clk (v "data") ^< clk (v "pop");
+      clk (v "size") ^= clock_union "push" "pop";
+    ]
 
 let fifo_reset =
-  { proc_name = "fifo_reset";
-    params = [ var "capacity" tint; var "overflow" Types.Tstring ];
-    inputs = [ var "push" tint; var "pop" tevent; var "reset" tevent ];
-    outputs = [ var "data" tint; var "size" tint ];
-    locals = [];
-    body =
-      [ Sclk_le (Eclock (Evar "data"), Eclock (Evar "pop"));
-        Sclk_eq (Eclock (Evar "size"),
-                 Edefault (clock_union "push" "pop", Eclock (Evar "reset")));
-      ];
-    subprocesses = [];
-    pragmas = [ ("primitive", "fifo_reset") ];
-  }
+  B.proc ~name:"fifo_reset"
+    ~params:[ var "capacity" tint; var "overflow" Types.Tstring ]
+    ~inputs:[ var "push" tint; var "pop" tevent; var "reset" tevent ]
+    ~outputs:[ var "data" tint; var "size" tint ]
+    ~pragmas:[ ("primitive", "fifo_reset") ]
+    B.[
+      clk (v "data") ^< clk (v "pop");
+      clk (v "size") ^= default (clock_union "push" "pop") (clk (v "reset"));
+    ]
 
 let in_event_port =
-  { proc_name = "in_event_port";
-    params = [ var "queue_size" tint; var "overflow" Types.Tstring ];
-    inputs = [ var "arrival" tint; var "frozen_time" tevent ];
-    outputs = [ var "frozen" tint; var "frozen_count" tint ];
-    locals = [];
-    body =
-      [ Sclk_le (Eclock (Evar "frozen"), Eclock (Evar "frozen_time"));
-        Sclk_eq (Eclock (Evar "frozen_count"), Eclock (Evar "frozen_time"));
-      ];
-    subprocesses = [];
-    pragmas = [ ("primitive", "in_event_port");
-                ("aadl2signal", "in_fifo + frozen_fifo (Fig. 5)") ];
-  }
+  B.proc ~name:"in_event_port"
+    ~params:[ var "queue_size" tint; var "overflow" Types.Tstring ]
+    ~inputs:[ var "arrival" tint; var "frozen_time" tevent ]
+    ~outputs:[ var "frozen" tint; var "frozen_count" tint ]
+    ~pragmas:
+      [ ("primitive", "in_event_port");
+        ("aadl2signal", "in_fifo + frozen_fifo (Fig. 5)") ]
+    B.[
+      clk (v "frozen") ^< clk (v "frozen_time");
+      clk (v "frozen_count") ^= clk (v "frozen_time");
+    ]
 
 let out_event_port =
-  { proc_name = "out_event_port";
-    params = [ var "queue_size" tint; var "overflow" Types.Tstring ];
-    inputs = [ var "item" tint; var "output_time" tevent ];
-    outputs = [ var "sent" tint ];
-    locals = [];
-    body = [ Sclk_le (Eclock (Evar "sent"), Eclock (Evar "output_time")) ];
-    subprocesses = [];
-    pragmas = [ ("primitive", "out_event_port") ];
-  }
+  B.proc ~name:"out_event_port"
+    ~params:[ var "queue_size" tint; var "overflow" Types.Tstring ]
+    ~inputs:[ var "item" tint; var "output_time" tevent ]
+    ~outputs:[ var "sent" tint ]
+    ~pragmas:[ ("primitive", "out_event_port") ]
+    B.[ clk (v "sent") ^< clk (v "output_time") ]
 
 let all =
   [ fm; fm_bool; freeze; send; counter; counter_reset; timer;

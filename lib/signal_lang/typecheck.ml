@@ -41,7 +41,8 @@ let join t1 t2 =
 let type_of_expr env expr =
   let ( let* ) = Result.bind in
   let err fmt = Format.kasprintf (fun m -> Error m) fmt in
-  let rec infer = function
+  let rec infer e =
+    match desc e with
     | Econst v -> Ok (Types.type_of_value v)
     | Evar x -> (
       match env x with
@@ -191,7 +192,8 @@ let rec check_process ?program p =
           (Types.styp_to_string expected) (Types.styp_to_string t)
     | Error m -> err ?signal ~code:code_expr "%s" m
   in
-  let check_stmt = function
+  let check_stmt (st : stmt) =
+    match desc st with
     | Sdef (x, e) ->
       record_def ~partial:false x;
       (match lookup x with
@@ -287,3 +289,106 @@ let check_program prog =
   List.concat_map (fun p -> check_process ~program:prog p) prog.processes
 
 let is_well_typed prog = check_program prog = []
+
+(* ------------------------- type annotation ------------------------ *)
+
+(* Mark-transforming elaboration: re-mark a parsed tree as [typed],
+   attaching the inferred type to every expression node. Best-effort
+   and total — ill-typed nodes get [None]; the error list comes from
+   [check_program], which callers run first. *)
+
+let rec annotate env (e : expr) : typed gexpr =
+  let sp = span e in
+  let ty e' = mark_ty (mark e') in
+  match desc e with
+  | Econst v -> (Econst v, Mtyped (sp, Some (Types.type_of_value v)))
+  | Evar x -> (Evar x, Mtyped (sp, env x))
+  | Eunop (op, e1) ->
+    let e1' = annotate env e1 in
+    let t =
+      match op with
+      | Not -> Some Types.Tbool
+      | Neg -> ty e1'
+    in
+    (Eunop (op, e1'), Mtyped (sp, t))
+  | Ebinop (op, e1, e2) ->
+    let e1' = annotate env e1 and e2' = annotate env e2 in
+    let t =
+      match op with
+      | Add | Sub | Mul | Div | Mod -> (
+        match ty e1', ty e2' with
+        | Some Types.Tint, Some Types.Tint -> Some Types.Tint
+        | Some Types.Treal, Some Types.Treal when op <> Mod ->
+          Some Types.Treal
+        | _ -> None)
+      | And | Or | Xor -> Some Types.Tbool
+      | Eq | Neq | Lt | Le | Gt | Ge -> Some Types.Tbool
+    in
+    (Ebinop (op, e1', e2'), Mtyped (sp, t))
+  | Eif (c, t, f) ->
+    let c' = annotate env c and t' = annotate env t and f' = annotate env f in
+    let tt =
+      match ty t', ty f' with
+      | Some a, Some b -> join a b
+      | _ -> None
+    in
+    (Eif (c', t', f'), Mtyped (sp, tt))
+  | Edelay (e1, init) ->
+    let e1' = annotate env e1 in
+    let t =
+      match ty e1' with
+      | Some a -> join a (Types.type_of_value init)
+      | None -> None
+    in
+    (Edelay (e1', init), Mtyped (sp, t))
+  | Ewhen (e1, b) ->
+    let e1' = annotate env e1 and b' = annotate env b in
+    (Ewhen (e1', b'), Mtyped (sp, ty e1'))
+  | Edefault (e1, e2) ->
+    let e1' = annotate env e1 and e2' = annotate env e2 in
+    let t =
+      match ty e1', ty e2' with
+      | Some a, Some b -> join a b
+      | Some a, None | None, Some a -> Some a
+      | None, None -> None
+    in
+    (Edefault (e1', e2'), Mtyped (sp, t))
+  | Eclock e1 ->
+    (Eclock (annotate env e1), Mtyped (sp, Some Types.Tevent))
+
+let annotate_stmt env (st : stmt) : typed gstmt =
+  let sp = span st in
+  let d =
+    match desc st with
+    | Sdef (x, e) -> Sdef (x, annotate env e)
+    | Spartial (x, e) -> Spartial (x, annotate env e)
+    | Sclk_eq (e1, e2) -> Sclk_eq (annotate env e1, annotate env e2)
+    | Sclk_le (e1, e2) -> Sclk_le (annotate env e1, annotate env e2)
+    | Sclk_ex (e1, e2) -> Sclk_ex (annotate env e1, annotate env e2)
+    | Sinstance i ->
+      Sinstance
+        { inst_label = i.inst_label; inst_proc = i.inst_proc;
+          inst_ins = List.map (annotate env) i.inst_ins;
+          inst_outs = i.inst_outs; inst_params = i.inst_params }
+  in
+  (d, Mtyped (sp, None))
+
+let annotate_vardecl (vd : vardecl) : typed gvardecl =
+  { var_name = vd.var_name; var_type = vd.var_type;
+    var_mark = Mtyped (mark_span vd.var_mark, Some vd.var_type) }
+
+let rec type_process (p : process) : typed gprocess =
+  let env = declared_env p in
+  let lookup x = SMap.find_opt x env in
+  { proc_name = p.proc_name;
+    params = List.map annotate_vardecl p.params;
+    inputs = List.map annotate_vardecl p.inputs;
+    outputs = List.map annotate_vardecl p.outputs;
+    locals = List.map annotate_vardecl p.locals;
+    body = List.map (annotate_stmt lookup) p.body;
+    subprocesses = List.map type_process p.subprocesses;
+    pragmas = p.pragmas }
+
+let type_program (prog : program) : typed gprogram =
+  { prog_name = prog.prog_name;
+    processes = List.map type_process prog.processes }

@@ -16,7 +16,8 @@ type error = {
   err_code : string;  (** stable [SIG-TYPE-0xx] code *)
   err_signal : string option;
       (** concerned signal, when attributable — lets callers recover
-          the declaration span from {!Ast.vardecl.var_loc} *)
+          the declaration span from the declaration's mark
+          ({!Ast.mark_span}) *)
 }
 
 val pp_error : Format.formatter -> error -> unit
@@ -35,3 +36,9 @@ val check_process :
 val check_program : Ast.program -> error list
 
 val is_well_typed : Ast.program -> bool
+
+val type_program : Ast.program -> Ast.typed Ast.gprogram
+(** Mark-transforming elaboration: re-mark the parsed tree as [typed],
+    attaching the inferred type to every expression node. Total and
+    best-effort — nodes that do not type get [None]; run
+    {!check_program} for the error list. *)

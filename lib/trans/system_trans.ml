@@ -5,6 +5,14 @@ module Syn = Aadl.Syntax
 module Inst = Aadl.Instance
 module S = Sched.Static_sched
 
+type mode = Embedded | External
+
+type ctl_spec = {
+  cs_cpu : string;
+  cs_ticks : int list;
+  cs_horizon : int;
+}
+
 type output = {
   program : Ast.program;
   top : Ast.process;
@@ -14,6 +22,7 @@ type output = {
   tick_inputs : string list;
   env_inputs : string list;
   env_outputs : string list;
+  ctl_inputs : (string * ctl_spec) list;
 }
 
 (* Stable translation error codes (TRANS-001/002 live in
@@ -42,7 +51,8 @@ let m_fifos = Metrics.counter "trans.fifos"
 let m_translate_ns = Metrics.timer "trans.translate_ns"
 
 let record_output_metrics (program : Ast.program) =
-  let is_fifo = function
+  let is_fifo st =
+    match Ast.desc st with
     | Ast.Sinstance i ->
       (match Signal_lang.Stdproc.primitive_of_name i.Ast.inst_proc with
        | Some _ -> true
@@ -138,7 +148,11 @@ let is_thread_path t path =
   | Some i -> i.Inst.i_category = Syn.Thread
   | None -> false
 
-let translate_core ?file ~registry ~policy ~diags t =
+let ctl_suffixes =
+  [ (S.Dispatch, "_dispatch"); (S.Start, "_start");
+    (S.Complete, "_complete"); (S.Deadline, "_deadline") ]
+
+let translate_core ?file ~registry ~policy ~mode ~diags t =
     let trace = Traceability.create () in
     let root_path = t.Inst.root.Inst.i_path in
     let lname inst = local_name root_path inst.Inst.i_path in
@@ -300,8 +314,9 @@ let translate_core ?file ~registry ~policy ~diags t =
       List.map
         (fun th ->
           let model = Thread_trans.translate ~registry th in
-          Traceability.add trace ~aadl:th.Inst.i_path
-            ~signal:model.Ast.proc_name;
+          Traceability.add_component trace
+            ~aadl:(Putil.Uid.Thread.intern th.Inst.i_path)
+            ~signal:(Putil.Uid.Signal.intern model.Ast.proc_name);
           (th, model))
         threads
     in
@@ -313,19 +328,75 @@ let translate_core ?file ~registry ~policy ~diags t =
       | None -> sanitize task_name
     in
     let sched_models =
-      List.map
-        (fun (cpu, s) ->
-          let name = sched_name cpu in
-          Traceability.add trace ~aadl:cpu ~signal:name;
-          (cpu, Sched_trans.translate ~name ~prefix_of:prefix_of_task s))
-        schedules
+      match mode with
+      | External -> []
+      | Embedded ->
+        List.map
+          (fun (cpu, s) ->
+            let name = sched_name cpu in
+            Traceability.add trace ~aadl:cpu ~signal:name;
+            (cpu, Sched_trans.translate ~name ~prefix_of:prefix_of_task s))
+          schedules
     in
+    (* In the scheduler-exogenous mode, every task's ctl events become
+       top-level inputs driven from the schedule tables at simulation
+       time (the generated kernel is then invariant under timing-only
+       model edits). [cs_ticks]/[cs_horizon] are in schedule base
+       ticks; tasks on a processor with no feasible schedule get an
+       empty tick list — never driven, mirroring the Embedded stubs. *)
+    let ctl_specs =
+      match mode with
+      | Embedded -> []
+      | External ->
+        let of_task spec_of tname =
+          let prefix = prefix_of_task tname in
+          List.map
+            (fun (ev, suffix) -> (prefix ^ suffix, spec_of ev))
+            ctl_suffixes
+        in
+        List.concat_map
+          (fun (cpu, s) ->
+            let horizon = s.S.hyperperiod_us / s.S.base_us in
+            let tnames =
+              List.sort_uniq String.compare
+                (List.map (fun j -> j.S.j_task.Sched.Task.t_name) s.S.jobs)
+            in
+            List.concat_map
+              (fun tname ->
+                of_task
+                  (fun ev ->
+                    { cs_cpu = cpu;
+                      cs_ticks =
+                        List.sort_uniq compare
+                          (List.map
+                             (fun t -> t / s.S.base_us)
+                             (S.event_times s tname ev));
+                      cs_horizon = horizon })
+                  tname)
+              tnames)
+          schedules
+        @ List.concat_map
+            (fun (cpu, tasks) ->
+              List.concat_map
+                (fun task ->
+                  of_task
+                    (fun _ ->
+                      { cs_cpu = cpu; cs_ticks = []; cs_horizon = 1 })
+                    task.Sched.Task.t_name)
+                tasks)
+            stub_cpus
+    in
+    let ctl_set = Hashtbl.create 16 in
+    List.iter (fun (n, _) -> Hashtbl.replace ctl_set n ()) ctl_specs;
     (* ---- top process assembly ---- *)
     let locals = ref [] in
     let stmts = ref [] in
+    (* ctl events that are top-level inputs must not shadow themselves
+       as locals when thread wiring mentions them *)
     let declare name typ =
-      if not (List.exists (fun vd -> vd.Ast.var_name = name) !locals) then
-        locals := Ast.var name typ :: !locals;
+      if (not (Hashtbl.mem ctl_set name))
+         && not (List.exists (fun vd -> vd.Ast.var_name = name) !locals)
+      then locals := Ast.var name typ :: !locals;
       name
     in
     let emit s = stmts := s :: !stmts in
@@ -335,7 +406,8 @@ let translate_core ?file ~registry ~policy ~diags t =
     let env_input_name path =
       let n = local_name root_path path in
       if not (List.mem n !env_inputs) then env_inputs := n :: !env_inputs;
-      Traceability.add trace ~aadl:path ~signal:n;
+      Traceability.add_port trace ~aadl:(Putil.Uid.Port.intern path)
+        ~signal:(Putil.Uid.Signal.intern n);
       n
     in
     let split_feature path =
@@ -370,7 +442,9 @@ let translate_core ?file ~registry ~policy ~diags t =
       (fun d ->
         let dp = lname d in
         Hashtbl.replace data_prefix d.Inst.i_path dp;
-        Traceability.add trace ~aadl:d.Inst.i_path ~signal:dp)
+        Traceability.add_component trace
+          ~aadl:(Putil.Uid.Thread.intern d.Inst.i_path)
+          ~signal:(Putil.Uid.Signal.intern dp))
       datas;
     (* access connections, resolved to (data path, thread path, access) *)
     let access_links =
@@ -419,19 +493,21 @@ let translate_core ?file ~registry ~policy ~diags t =
       sched_models;
     (* ctl stubs for processors whose schedule failed: the bound
        threads' dispatch/start/complete/deadline events stay declared
-       and defined (never present), keeping the program elaborable *)
-    List.iter
-      (fun (_cpu, tasks) ->
-        List.iter
-          (fun task ->
-            let p = prefix_of_task task.Sched.Task.t_name in
-            List.iter
-              (fun suffix ->
-                let n = declare (p ^ suffix) Types.Tevent in
-                emit B.(n := never_event))
-              [ "_dispatch"; "_start"; "_complete"; "_deadline" ])
-          tasks)
-      stub_cpus;
+       and defined (never present), keeping the program elaborable.
+       (In External mode they are inputs with no firing ticks.) *)
+    if mode = Embedded then
+      List.iter
+        (fun (_cpu, tasks) ->
+          List.iter
+            (fun task ->
+              let p = prefix_of_task task.Sched.Task.t_name in
+              List.iter
+                (fun suffix ->
+                  let n = declare (p ^ suffix) Types.Tevent in
+                  emit B.(n := never_event))
+                [ "_dispatch"; "_start"; "_complete"; "_deadline" ])
+            tasks)
+        stub_cpus;
     (* ---- data fifo instances ---- *)
     List.iter
       (fun d ->
@@ -526,7 +602,9 @@ let translate_core ?file ~registry ~policy ~diags t =
                 | Aadl.Props.At_complete -> complete
                 | Aadl.Props.At_deadline -> deadline
               in
-              Traceability.add trace ~aadl:dstpath ~signal:(tp ^ "_" ^ p);
+              Traceability.add_port trace
+                ~aadl:(Putil.Uid.Port.intern dstpath)
+                ~signal:(Putil.Uid.Signal.intern (tp ^ "_" ^ p));
               [ arrival; B.v ft ])
             ins
         in
@@ -613,7 +691,9 @@ let translate_core ?file ~registry ~policy ~diags t =
           in
           if dst_is_env && src_is_thread then begin
             let out = local_name root_path c.Inst.ci_dst in
-            Traceability.add trace ~aadl:c.Inst.ci_dst ~signal:out;
+            Traceability.add_port trace
+              ~aadl:(Putil.Uid.Port.intern c.Inst.ci_dst)
+              ~signal:(Putil.Uid.Signal.intern out);
             if not (List.mem out !env_outputs) then begin
               env_outputs := out :: !env_outputs;
               env_out_stmts :=
@@ -646,6 +726,7 @@ let translate_core ?file ~registry ~policy ~diags t =
         inputs =
           List.map (fun tname -> Ast.var tname Types.Tevent)
             (List.rev !tick_inputs)
+          @ List.map (fun (n, _) -> Ast.var n Types.Tevent) ctl_specs
           @ List.map (fun n -> Ast.var n Types.Tint) (List.rev !env_inputs);
         outputs =
           List.map (fun n -> Ast.var n Types.Tint) (List.rev !env_outputs)
@@ -653,7 +734,9 @@ let translate_core ?file ~registry ~policy ~diags t =
         locals = List.rev !locals;
         body = List.rev !stmts;
         subprocesses = [];
-        pragmas = [ ("aadl", root_path) ] }
+        pragmas =
+          ("aadl", root_path)
+          :: (if mode = External then [ ("sched", "external") ] else []) }
     in
     let program =
       B.program
@@ -669,16 +752,18 @@ let translate_core ?file ~registry ~policy ~diags t =
       trace;
       tick_inputs = List.rev !tick_inputs;
       env_inputs = List.rev !env_inputs;
-      env_outputs = List.rev !env_outputs }
+      env_outputs = List.rev !env_outputs;
+      ctl_inputs = ctl_specs }
 
-let translate_diag ?file ?(registry = []) ?(policy = S.Edf) t =
+let translate_diag ?file ?(registry = []) ?(policy = S.Edf)
+    ?(mode = Embedded) t =
   Putil.Tracing.with_span "trans.system"
     ~args:[ ("root", Putil.Tracing.Astr t.Inst.root.Inst.i_path) ]
   @@ fun () ->
   Metrics.incr m_translations;
   Metrics.time m_translate_ns @@ fun () ->
   let diags = Putil.Diag.collector () in
-  match translate_core ?file ~registry ~policy ~diags t with
+  match translate_core ?file ~registry ~policy ~mode ~diags t with
   | out -> (Some out, Putil.Diag.result diags)
   | exception Fatal d ->
     Putil.Diag.add diags d;
@@ -690,7 +775,7 @@ let translate_diag ?file ?(registry = []) ?(policy = S.Edf) t =
     Putil.Diag.add diags (Putil.Diag.errorf ~code:code_fatal "%s" m);
     (None, Putil.Diag.result diags)
 
-let translate ?registry ?policy t =
-  match translate_diag ?registry ?policy t with
+let translate ?registry ?policy ?mode t =
+  match translate_diag ?registry ?policy ?mode t with
   | Some out, diags when not (Putil.Diag.has_errors diags) -> Ok out
   | _, diags -> Error (Putil.Diag.list_to_string diags)

@@ -18,6 +18,30 @@
     The result records the synthesized schedules and a traceability
     table from AADL paths to SIGNAL names. *)
 
+(** How the synthesized schedules reach the generated program.
+
+    [Embedded] (the default, the paper's construction) synthesizes one
+    SIGNAL scheduler process per processor and instantiates it in the
+    top process. [External] omits the scheduler processes: every
+    task's ctl events ([_dispatch]/[_start]/[_complete]/[_deadline])
+    become top-level {e inputs}, and [ctl_inputs] records when each
+    must be driven. The External program is invariant under
+    timing-only model edits (a period change alters only the schedule
+    tables), which is what makes digest-driven incremental recompute
+    effective — see {!Polychrony.Pipeline}. *)
+type mode = Embedded | External
+
+(** When an External-mode ctl input fires, in schedule base ticks: at
+    base tick [m] of its processor iff there is [t] in [cs_ticks] with
+    [m >= t] and [m ≡ t (mod cs_horizon)] — the same semantics as the
+    Embedded scheduler process, including deadlines wrapping past the
+    hyper-period. *)
+type ctl_spec = {
+  cs_cpu : string;     (** processor instance path *)
+  cs_ticks : int list; (** firing offsets, in schedule base ticks *)
+  cs_horizon : int;    (** hyper-period, in schedule base ticks *)
+}
+
 type output = {
   program : Signal_lang.Ast.program;
   top : Signal_lang.Ast.process;      (** also contained in [program] *)
@@ -29,11 +53,15 @@ type output = {
   tick_inputs : string list;          (** one tick input per processor *)
   env_inputs : string list;           (** lifted environment out ports *)
   env_outputs : string list;          (** lifted environment in ports *)
+  ctl_inputs : (string * ctl_spec) list;
+      (** External mode only: ctl events to drive, in declaration
+          order; empty in Embedded mode *)
 }
 
 val translate :
   ?registry:Behavior.registry ->
   ?policy:Sched.Static_sched.policy ->
+  ?mode:mode ->
   Aadl.Instance.t ->
   (output, string) result
 (** Fails when a process is not bound to any processor, when a thread
@@ -46,6 +74,7 @@ val translate_diag :
   ?file:string ->
   ?registry:Behavior.registry ->
   ?policy:Sched.Static_sched.policy ->
+  ?mode:mode ->
   Aadl.Instance.t ->
   output option * Putil.Diag.t list
 (** Accumulating translation. Recoverable defects — a thread whose

@@ -337,7 +337,9 @@ let translate ~registry inst =
     | Some f ->
       let l = Syn.feature_loc f in
       if l.Syn.l_line > 0 then
-        Ast.var_at ~loc:(l.Syn.l_line, l.Syn.l_col) p typ
+        Ast.var_at
+          ~span:(Putil.Diag.span ~line:l.Syn.l_line ~col:l.Syn.l_col ())
+          p typ
       else Ast.var p typ
     | None -> Ast.var p typ
   in

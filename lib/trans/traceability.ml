@@ -1,33 +1,77 @@
 module Symbol = Putil.Symbol
+module Uid = Putil.Uid
 
-(* Both directions of the mapping are kept as symbol-indexed tables:
-   names are interned once on [add] and the lookups are dense int
-   indexing, not string hashing. The public API stays string-based. *)
+(* Entries are keyed on per-category UIDs (threads/components, ports,
+   and the generated SIGNAL signals): translation records typed pairs,
+   and the string API below interns on the fly for callers that only
+   hold names. Lookup in either direction is dense int indexing over
+   the category's id space, not string hashing. *)
+
+type aadl_key =
+  | Kcomponent of Uid.Thread.t  (* component instance path *)
+  | Kport of Uid.Port.t         (* feature/port instance path *)
+
 type t = {
-  mutable pairs : (Symbol.t * Symbol.t) list;  (* reversed *)
-  by_aadl : Symbol.t option Symbol.Tbl.t;
-  by_signal : Symbol.t option Symbol.Tbl.t;
+  mutable pairs : (aadl_key * Uid.Signal.t) list;  (* reversed *)
+  by_component : Uid.Signal.t option Uid.Thread.Tbl.t;
+  by_port : Uid.Signal.t option Uid.Port.Tbl.t;
+  by_signal : aadl_key option Uid.Signal.Tbl.t;
 }
 
 let create () =
   { pairs = [];
-    by_aadl = Symbol.Tbl.create None;
-    by_signal = Symbol.Tbl.create None }
+    by_component = Uid.Thread.Tbl.create None;
+    by_port = Uid.Port.Tbl.create None;
+    by_signal = Uid.Signal.Tbl.create None }
 
+let add_key t key signal =
+  t.pairs <- (key, signal) :: t.pairs;
+  (match key with
+   | Kcomponent c -> Uid.Thread.Tbl.set t.by_component c (Some signal)
+   | Kport p -> Uid.Port.Tbl.set t.by_port p (Some signal));
+  Uid.Signal.Tbl.set t.by_signal signal (Some key)
+
+let add_component t ~aadl ~signal = add_key t (Kcomponent aadl) signal
+let add_port t ~aadl ~signal = add_key t (Kport aadl) signal
+
+(* string compatibility path: component paths and feature paths live in
+   disjoint sets in an instance tree, so classifying by what was
+   recorded first is unambiguous *)
 let add t ~aadl ~signal =
-  let a = Symbol.of_string aadl and s = Symbol.of_string signal in
-  t.pairs <- (a, s) :: t.pairs;
-  Symbol.Tbl.set t.by_aadl a (Some s);
-  Symbol.Tbl.set t.by_signal s (Some a)
+  add_component t ~aadl:(Uid.Thread.intern aadl)
+    ~signal:(Uid.Signal.intern signal)
+
+let signal_uid_of t key =
+  match key with
+  | Kcomponent c -> Uid.Thread.Tbl.get t.by_component c
+  | Kport p -> Uid.Port.Tbl.get t.by_port p
+
+let aadl_key_of t signal = Uid.Signal.Tbl.get t.by_signal signal
+
+let key_name = function
+  | Kcomponent c -> Uid.Thread.name c
+  | Kport p -> Uid.Port.name p
 
 let signal_of t aadl =
-  Option.map Symbol.name (Symbol.Tbl.get t.by_aadl (Symbol.of_string aadl))
+  let as_component =
+    Uid.Thread.Tbl.get t.by_component (Uid.Thread.intern aadl)
+  in
+  let found =
+    match as_component with
+    | Some _ -> as_component
+    | None -> Uid.Port.Tbl.get t.by_port (Uid.Port.intern aadl)
+  in
+  Option.map Uid.Signal.name found
 
 let aadl_of t signal =
-  Option.map Symbol.name (Symbol.Tbl.get t.by_signal (Symbol.of_string signal))
+  Option.map key_name (aadl_key_of t (Uid.Signal.intern signal))
 
 let entries t =
-  List.rev_map (fun (a, s) -> (Symbol.name a, Symbol.name s)) t.pairs
+  List.rev_map
+    (fun (k, s) -> (key_name k, Uid.Signal.name s))
+    t.pairs
+
+let typed_entries t = List.rev t.pairs
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

@@ -1,13 +1,47 @@
 (** Traceability between AADL model elements and generated SIGNAL
     signals/processes (paper Sec. IV-E: names preserved as names or in
-    annotations). *)
+    annotations).
+
+    Entries are keyed on interned per-category UIDs ({!Putil.Uid}):
+    AADL component instances ({!Putil.Uid.Thread}) and feature
+    instances ({!Putil.Uid.Port}) on one side, generated SIGNAL
+    signals ({!Putil.Uid.Signal}) on the other. The string-based API
+    interns on the fly, so existing callers keep working on names. *)
 
 type t
 
+(** Which kind of AADL element an entry points at. *)
+type aadl_key =
+  | Kcomponent of Putil.Uid.Thread.t
+      (** a component instance (thread, data, processor…), keyed by
+          instance path *)
+  | Kport of Putil.Uid.Port.t
+      (** a feature instance, keyed by feature path *)
+
 val create : unit -> t
+
+(** {1 Typed API} *)
+
+val add_component :
+  t -> aadl:Putil.Uid.Thread.t -> signal:Putil.Uid.Signal.t -> unit
+
+val add_port :
+  t -> aadl:Putil.Uid.Port.t -> signal:Putil.Uid.Signal.t -> unit
+
+val signal_uid_of : t -> aadl_key -> Putil.Uid.Signal.t option
+val aadl_key_of : t -> Putil.Uid.Signal.t -> aadl_key option
+
+val typed_entries : t -> (aadl_key * Putil.Uid.Signal.t) list
+(** UID-keyed pairs in insertion order. *)
+
+(** {1 String compatibility API} *)
+
 val add : t -> aadl:string -> signal:string -> unit
+(** Records the pair as a component entry (interning both sides). *)
+
 val signal_of : t -> string -> string option
 val aadl_of : t -> string -> string option
+
 val entries : t -> (string * string) list
 (** (aadl path, signal name) pairs in insertion order. *)
 

@@ -6,11 +6,21 @@ type t = int
 
 (* The interner is global and append-only: ids are dense and stable
    for the lifetime of the program, which is what lets per-process
-   tables be plain int arrays. All reads and writes of the intern
-   structures happen under [lock] so symbols can be interned from any
-   domain (the parallel explorer compiles on worker domains). *)
-let strings : string array ref = ref (Array.make 1024 "")
-let count = ref 0
+   tables be plain int arrays.
+
+   Writers (interning) serialize on [lock]; readers ([name],
+   [interned_count]) are lock-free. The publication protocol makes
+   this safe under the OCaml memory model: a writer stores the string
+   into the current backing array (growing by copy-then-[Atomic.set]
+   first if needed) and only then advances [count] with an atomic
+   store. A reader loads [count] first and the array second, so any
+   id below the count it observed was fully published before the
+   matching array — both the slot write and any array swap
+   happen-before the count increment. Grown-out arrays are never
+   mutated again, so a reader holding a stale array still sees every
+   slot below its observed count. *)
+let strings : string array Atomic.t = Atomic.make (Array.make 1024 "")
+let count = Atomic.make 0
 let table : (string, int) Hashtbl.t = Hashtbl.create 1024
 let lock = Mutex.create ()
 
@@ -19,20 +29,28 @@ let of_string s =
   match Hashtbl.find_opt table s with
   | Some id -> id
   | None ->
-    let id = !count in
-    if id >= Array.length !strings then begin
-      let bigger = Array.make (2 * Array.length !strings) "" in
-      Array.blit !strings 0 bigger 0 id;
-      strings := bigger
-    end;
-    !strings.(id) <- s;
-    count := id + 1;
+    let id = Atomic.get count in
+    let arr = Atomic.get strings in
+    let arr =
+      if id >= Array.length arr then begin
+        let bigger = Array.make (2 * Array.length arr) "" in
+        Array.blit arr 0 bigger 0 id;
+        Atomic.set strings bigger;
+        bigger
+      end
+      else arr
+    in
+    arr.(id) <- s;
+    Atomic.set count (id + 1);
     Hashtbl.add table s id;
     id
 
-let name t = Mutex.protect lock (fun () -> !strings.(t))
+let name t =
+  if t < Atomic.get count then (Atomic.get strings).(t)
+  else invalid_arg "Symbol.name: not an interned symbol"
+
 let id t = t
-let interned_count () = Mutex.protect lock (fun () -> !count)
+let interned_count () = Atomic.get count
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Int.compare a b

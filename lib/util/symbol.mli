@@ -8,8 +8,11 @@
 
     Interning and name lookup are thread-safe: symbols may be created
     and resolved from any domain (the parallel state-space explorer
-    compiles processes on worker domains). {!Tbl} values themselves are
-    not synchronized — share one table across domains only read-only. *)
+    compiles processes on worker domains). Interning serializes on a
+    mutex; [name]/[interned_count] are lock-free reads of atomically
+    published state, so resolving symbols on worker domains never
+    contends with the interner. {!Tbl} values themselves are not
+    synchronized — share one table across domains only read-only. *)
 
 type t
 

@@ -1,0 +1,126 @@
+(* Per-category interners, layered on the same publication protocol as
+   {!Symbol}: writers serialize on a mutex and publish the backing
+   array then the count with atomic stores; readers load the count
+   first, so every id below it is fully published. Each category also
+   carries a freshness counter so generated entities can be named
+   without colliding with anything interned before. *)
+
+module type S = sig
+  type t
+
+  val intern : string -> t
+  val fresh : string -> t
+  val name : t -> string
+  val sym : t -> Symbol.t
+  val id : t -> int
+  val count : unit -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Tbl : sig
+    type uid := t
+    type 'a t
+
+    val create : ?size:int -> 'a -> 'a t
+    val get : 'a t -> uid -> 'a
+    val set : 'a t -> uid -> 'a -> unit
+  end
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Make () : S = struct
+  type t = int
+
+  let names : string array Atomic.t = Atomic.make (Array.make 256 "")
+  let count_a = Atomic.make 0
+  let table : (string, int) Hashtbl.t = Hashtbl.create 256
+  let freshness = Atomic.make 0
+  let lock = Mutex.create ()
+
+  (* must hold [lock] *)
+  let alloc s =
+    let id = Atomic.get count_a in
+    let arr = Atomic.get names in
+    let arr =
+      if id >= Array.length arr then begin
+        let bigger = Array.make (2 * Array.length arr) "" in
+        Array.blit arr 0 bigger 0 id;
+        Atomic.set names bigger;
+        bigger
+      end
+      else arr
+    in
+    arr.(id) <- s;
+    Atomic.set count_a (id + 1);
+    Hashtbl.add table s id;
+    id
+
+  let intern s =
+    Mutex.protect lock @@ fun () ->
+    match Hashtbl.find_opt table s with
+    | Some id -> id
+    | None -> alloc s
+
+  let fresh base =
+    Mutex.protect lock @@ fun () ->
+    let rec pick () =
+      let n = Atomic.fetch_and_add freshness 1 in
+      let s = Printf.sprintf "%s#%d" base n in
+      if Hashtbl.mem table s then pick () else s
+    in
+    alloc (pick ())
+
+  let name t =
+    if t < Atomic.get count_a then (Atomic.get names).(t)
+    else invalid_arg "Uid.name: not an interned uid"
+
+  let sym t = Symbol.of_string (name t)
+  let id t = t
+  let count () = Atomic.get count_a
+  let equal (a : t) (b : t) = a = b
+  let compare (a : t) (b : t) = Int.compare a b
+  let hash (t : t) = t
+  let pp ppf t = Format.pp_print_string ppf (name t)
+
+  module Tbl = struct
+    type uid = t
+
+    type 'a t = {
+      default : 'a;
+      mutable slots : 'a array;
+    }
+
+    let create ?(size = 64) default =
+      { default; slots = Array.make (max size 1) default }
+
+    let ensure t i =
+      if i >= Array.length t.slots then begin
+        let n = ref (2 * Array.length t.slots) in
+        while i >= !n do
+          n := 2 * !n
+        done;
+        let bigger = Array.make !n t.default in
+        Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+        t.slots <- bigger
+      end
+
+    let get t (u : uid) =
+      if u < Array.length t.slots then t.slots.(u) else t.default
+
+    let set t (u : uid) v =
+      ensure t u;
+      t.slots.(u) <- v
+  end
+
+  module Map = Map.Make (Int)
+  module Set = Set.Make (Int)
+end
+
+module Process = Make ()
+module Signal = Make ()
+module Thread = Make ()
+module Port = Make ()

@@ -1,0 +1,65 @@
+(** Interned, per-category unique identifiers.
+
+    A {!Symbol} identifies a string; a UID identifies an {e entity} of
+    a given category — a process model, a signal, an AADL thread, a
+    port. Each category has its own dense id space (so category tables
+    stay flat arrays) and its own freshness counter (so generated
+    entities can be given names that provably collide with nothing
+    interned before).
+
+    All operations are safe under {!Domain_pool} workers: interning
+    serializes on a per-category mutex, resolution is a lock-free read
+    of atomically published state (same protocol as {!Symbol}). *)
+
+module type S = sig
+  type t
+
+  val intern : string -> t
+  (** Stable interning: two calls with equal strings return the same
+      UID of this category. *)
+
+  val fresh : string -> t
+  (** A UID distinct from every previously interned or fresh UID of
+      this category; its {!name} starts with the given base. *)
+
+  val name : t -> string
+  (** The entity's name (the interned string). *)
+
+  val sym : t -> Symbol.t
+  (** The name as a global symbol (interned on demand). *)
+
+  val id : t -> int
+  (** Dense per-category id: [0 <= id u < count ()]. *)
+
+  val count : unit -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  (** UID-indexed growable arrays, like {!Symbol.Tbl}. *)
+  module Tbl : sig
+    type uid := t
+    type 'a t
+
+    val create : ?size:int -> 'a -> 'a t
+    val get : 'a t -> uid -> 'a
+    val set : 'a t -> uid -> 'a -> unit
+  end
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Process : S
+(** SIGNAL process models. *)
+
+module Signal : S
+(** SIGNAL signals (declared variables of generated programs). *)
+
+module Thread : S
+(** AADL component instances (threads, processors, data — keyed by
+    instance path). *)
+
+module Port : S
+(** AADL feature instances (keyed by feature path). *)

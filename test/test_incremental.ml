@@ -1,0 +1,458 @@
+(* Interned UIDs, typed traceability, and digest-driven incremental
+   recompute: the phase/mark refactor's cross-layer guarantees.
+
+   - UID interning is stable, fresh ids never collide, and the
+     protocol survives concurrent Domain_pool workers;
+   - Traceability round-trips through its typed (UID-keyed) API and
+     its string compatibility API;
+   - pipeline sessions skip exactly the stages whose input digests
+     are unchanged, and a timing-only edit under External scheduler
+     mode replays the whole back end from cache;
+   - the incremental path is byte-identical to a full rebuild;
+   - qcheck: normalization and optimization never fabricate source
+     positions, and the stage digests behave (deterministic, and the
+     semantic digest ignores marks). *)
+
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+module K = Signal_lang.Kernel
+module SP = Signal_lang.Sig_parser
+module Pp = Signal_lang.Pp
+module Uid = Putil.Uid
+module P = Polychrony.Pipeline
+module CS = Polychrony.Case_study
+module ST = Trans.System_trans
+
+(* ------------------------------------------------------------------ *)
+(* UIDs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_uid_intern_stable () =
+  let a = Uid.Signal.intern "uidtest_x" in
+  let b = Uid.Signal.intern "uidtest_x" in
+  Alcotest.(check bool) "same uid" true (Uid.Signal.equal a b);
+  Alcotest.(check int) "same dense id" (Uid.Signal.id a) (Uid.Signal.id b);
+  Alcotest.(check string) "name round-trip" "uidtest_x" (Uid.Signal.name a);
+  Alcotest.(check string)
+    "symbol round-trip" "uidtest_x"
+    (Putil.Symbol.name (Uid.Signal.sym a));
+  Alcotest.(check bool)
+    "id in range" true
+    (Uid.Signal.id a >= 0 && Uid.Signal.id a < Uid.Signal.count ())
+
+let test_uid_fresh_distinct () =
+  let interned = Uid.Signal.intern "uidtest_f" in
+  let f1 = Uid.Signal.fresh "uidtest_f" in
+  let f2 = Uid.Signal.fresh "uidtest_f" in
+  Alcotest.(check bool) "fresh <> interned" false
+    (Uid.Signal.equal f1 interned);
+  Alcotest.(check bool) "fresh <> fresh" false (Uid.Signal.equal f1 f2);
+  (* a fresh uid's name is itself interned to that uid, so later
+     interning of the generated name cannot alias another entity *)
+  Alcotest.(check bool) "fresh name resolves to itself" true
+    (Uid.Signal.equal f1 (Uid.Signal.intern (Uid.Signal.name f1)))
+
+let test_uid_categories_independent () =
+  let t = Uid.Thread.intern "uidtest_shared_name" in
+  let s = Uid.Signal.intern "uidtest_shared_name" in
+  (* same string, distinct id spaces: both resolve, both round-trip *)
+  Alcotest.(check string) "thread name" "uidtest_shared_name"
+    (Uid.Thread.name t);
+  Alcotest.(check string) "signal name" "uidtest_shared_name"
+    (Uid.Signal.name s)
+
+let test_uid_tbl () =
+  let tbl = Uid.Port.Tbl.create ~size:4 0 in
+  let p1 = Uid.Port.intern "uidtest_p1" in
+  let p2 = Uid.Port.intern "uidtest_p2" in
+  Uid.Port.Tbl.set tbl p1 41;
+  Uid.Port.Tbl.set tbl p2 42;
+  Alcotest.(check int) "tbl get p1" 41 (Uid.Port.Tbl.get tbl p1);
+  Alcotest.(check int) "tbl get p2" 42 (Uid.Port.Tbl.get tbl p2);
+  Alcotest.(check int) "tbl default" 0
+    (Uid.Port.Tbl.get tbl (Uid.Port.intern "uidtest_p3"))
+
+(* Satellite 1: interning is safe under Domain_pool workers — several
+   domains hammer the same names concurrently and must agree on every
+   resulting uid. *)
+let test_uid_parallel_intern () =
+  let n_names = 200 and n_workers = 4 in
+  let names =
+    List.init n_names (Printf.sprintf "uidtest_par_%d")
+  in
+  let results =
+    Array.init n_workers (fun _ -> Array.make n_names (-1))
+  in
+  Putil.Domain_pool.with_pool n_workers (fun pool ->
+      Putil.Domain_pool.run_tasks pool
+        (List.init n_workers (fun w () ->
+             List.iteri
+               (fun i name ->
+                 results.(w).(i) <- Uid.Thread.id (Uid.Thread.intern name))
+               names)));
+  for w = 1 to n_workers - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "worker %d agrees with worker 0" w)
+      results.(0) results.(w)
+  done;
+  (* dense, collision-free: every name got its own id *)
+  let sorted = Array.copy results.(0) in
+  Array.sort compare sorted;
+  let distinct =
+    Array.for_all (fun x -> x >= 0) sorted
+    && Array.for_all Fun.id
+         (Array.mapi (fun i x -> i = 0 || sorted.(i - 1) <> x) sorted)
+  in
+  Alcotest.(check bool) "ids distinct" true distinct;
+  List.iteri
+    (fun i name ->
+      Alcotest.(check string) "name survives parallel interning" name
+        (Uid.Thread.name (Uid.Thread.intern name));
+      ignore i)
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Traceability: typed UID round-trip                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_traceability_roundtrip () =
+  let tr = Trans.Traceability.create () in
+  let th = Uid.Thread.intern "Sys.pr.thA" in
+  let po = Uid.Port.intern "Sys.pr.thA.pOut" in
+  let s_th = Uid.Signal.intern "th_Sys_pr_thA" in
+  let s_po = Uid.Signal.intern "thA_pOut" in
+  Trans.Traceability.add_component tr ~aadl:th ~signal:s_th;
+  Trans.Traceability.add_port tr ~aadl:po ~signal:s_po;
+  (* typed direction: key -> signal *)
+  (match Trans.Traceability.signal_uid_of tr (Trans.Traceability.Kcomponent th) with
+   | Some s -> Alcotest.(check bool) "component -> signal" true
+                 (Uid.Signal.equal s s_th)
+   | None -> Alcotest.fail "component key lost");
+  (match Trans.Traceability.signal_uid_of tr (Trans.Traceability.Kport po) with
+   | Some s -> Alcotest.(check bool) "port -> signal" true
+                 (Uid.Signal.equal s s_po)
+   | None -> Alcotest.fail "port key lost");
+  (* typed reverse direction: signal -> key *)
+  (match Trans.Traceability.aadl_key_of tr s_th with
+   | Some (Trans.Traceability.Kcomponent t) ->
+     Alcotest.(check bool) "signal -> component" true (Uid.Thread.equal t th)
+   | _ -> Alcotest.fail "component reverse lookup lost");
+  (match Trans.Traceability.aadl_key_of tr s_po with
+   | Some (Trans.Traceability.Kport p) ->
+     Alcotest.(check bool) "signal -> port" true (Uid.Port.equal p po)
+   | _ -> Alcotest.fail "port reverse lookup lost");
+  (* string compatibility API sees the same pairs *)
+  Alcotest.(check (option string)) "signal_of component"
+    (Some "th_Sys_pr_thA")
+    (Trans.Traceability.signal_of tr "Sys.pr.thA");
+  Alcotest.(check (option string)) "signal_of port" (Some "thA_pOut")
+    (Trans.Traceability.signal_of tr "Sys.pr.thA.pOut");
+  Alcotest.(check (option string)) "aadl_of component" (Some "Sys.pr.thA")
+    (Trans.Traceability.aadl_of tr "th_Sys_pr_thA");
+  Alcotest.(check (option string)) "aadl_of port" (Some "Sys.pr.thA.pOut")
+    (Trans.Traceability.aadl_of tr "thA_pOut");
+  Alcotest.(check int) "typed_entries arity" 2
+    (List.length (Trans.Traceability.typed_entries tr));
+  Alcotest.(check int) "entries arity" 2
+    (List.length (Trans.Traceability.entries tr))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counter name = Putil.Metrics.counter_value Putil.Metrics.global name
+let stages = [ "parse"; "instantiate"; "translate"; "typecheck";
+               "normalize"; "analyses" ]
+
+let snapshot () =
+  List.map
+    (fun st ->
+      (st, counter ("incr." ^ st ^ ".ran"), counter ("incr." ^ st ^ ".skipped")))
+    stages
+
+let delta before after =
+  List.map2
+    (fun (st, r0, s0) (st', r1, s1) ->
+      assert (st = st');
+      (st, r1 - r0, s1 - s0))
+    before after
+
+let analyze_ok ?session ?(mode = ST.External) src =
+  match P.analyze ?session ~registry:CS.registry_nominal ~mode src with
+  | Ok a -> a
+  | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds)
+
+let edited_source () =
+  let src = CS.aadl_source in
+  let sub = "Period => 4 ms" and by = "Period => 5 ms" in
+  let n = String.length src and m = String.length sub in
+  let rec find i =
+    if i + m > n then Alcotest.fail "period pattern not in case study"
+    else if String.sub src i m = sub then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub src 0 i ^ by ^ String.sub src (i + m) (n - i - m)
+
+let test_session_skips_unchanged () =
+  let session = P.new_session () in
+  let _ = analyze_ok ~session CS.aadl_source in
+  let before = snapshot () in
+  let _ = analyze_ok ~session CS.aadl_source in
+  List.iter
+    (fun (st, ran, skipped) ->
+      Alcotest.(check int) (st ^ " not rerun") 0 ran;
+      Alcotest.(check int) (st ^ " skipped once") 1 skipped)
+    (delta before (snapshot ()))
+
+let test_session_period_edit_skips_backend () =
+  let session = P.new_session () in
+  let _ = analyze_ok ~session CS.aadl_source in
+  let before = snapshot () in
+  let _ = analyze_ok ~session (edited_source ()) in
+  List.iter
+    (fun (st, ran, skipped) ->
+      match st with
+      | "parse" | "instantiate" | "translate" ->
+        Alcotest.(check int) (st ^ " reran") 1 ran;
+        Alcotest.(check int) (st ^ " not skipped") 0 skipped
+      | _ ->
+        (* External mode: a period edit leaves the generated program's
+           digest unchanged, so the whole back end replays from cache *)
+        Alcotest.(check int) (st ^ " not rerun") 0 ran;
+        Alcotest.(check int) (st ^ " skipped") 1 skipped)
+    (delta before (snapshot ()))
+
+let test_session_period_edit_changes_schedule () =
+  let session = P.new_session () in
+  let a0 = analyze_ok ~session CS.aadl_source in
+  let a1 = analyze_ok ~session (edited_source ()) in
+  let hyper (a : P.analyzed) =
+    match a.P.translation.ST.schedules with
+    | (_, s) :: _ -> s.Sched.Static_sched.hyperperiod_us
+    | [] -> Alcotest.fail "no schedule"
+  in
+  (* the skipped back end is sound precisely because the program is
+     invariant; the timing artifacts must still change *)
+  Alcotest.(check bool) "hyperperiod changed" true (hyper a0 <> hyper a1);
+  Alcotest.(check string) "program digest invariant"
+    (Digest.to_hex (Ast.program_digest a0.P.translation.ST.program))
+    (Digest.to_hex (Ast.program_digest a1.P.translation.ST.program))
+
+let render_outputs (a : P.analyzed) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (cpu, s) ->
+      Format.fprintf ppf "processor %s:@.%a@." cpu
+        Sched.Static_sched.pp_schedule s)
+    a.P.translation.ST.schedules;
+  Format.fprintf ppf "%a@." Pp.pp_program a.P.translation.ST.program;
+  (match P.simulate ~hyperperiods:2 a with
+   | Ok tr -> Polysim.Trace.chronogram ppf tr
+   | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds));
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_incremental_byte_identical () =
+  let edited = edited_source () in
+  let session = P.new_session () in
+  let _ = analyze_ok ~session CS.aadl_source in
+  let warm = analyze_ok ~session edited in
+  Clocks.Calculus.reset_cache ();
+  let cold = analyze_ok edited in
+  Alcotest.(check string) "incremental outputs = full rebuild"
+    (render_outputs cold) (render_outputs warm)
+
+let test_external_matches_embedded () =
+  (* the exogenous-scheduler translation drives the per-task control
+     events from the schedule tables; every signal it still computes
+     must behave exactly as under the embedded scheduler *)
+  let a_ext = analyze_ok ~mode:ST.External CS.aadl_source in
+  let a_emb = analyze_ok ~mode:ST.Embedded CS.aadl_source in
+  let sim a =
+    match P.simulate ~hyperperiods:2 a with
+    | Ok tr -> tr
+    | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds)
+  in
+  let tr_ext = sim a_ext and tr_emb = sim a_emb in
+  Alcotest.(check int) "same horizon" (Polysim.Trace.length tr_emb)
+    (Polysim.Trace.length tr_ext);
+  let common =
+    List.filter
+      (fun s -> Polysim.Trace.index_of tr_emb s <> None)
+      (Polysim.Trace.observable tr_ext)
+  in
+  Alcotest.(check bool) "common observables exist" true (common <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string)) ("signal " ^ s)
+        (List.map Types.value_to_string (Polysim.Trace.values_of tr_emb s))
+        (List.map Types.value_to_string (Polysim.Trace.values_of tr_ext s)))
+    common
+
+let test_external_ctl_inputs () =
+  let a = analyze_ok ~mode:ST.External CS.aadl_source in
+  let ctls = a.P.translation.ST.ctl_inputs in
+  Alcotest.(check bool) "ctl inputs derived" true (List.length ctls > 0);
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) (name ^ " horizon positive") true
+        (spec.ST.cs_horizon > 0);
+      Alcotest.(check bool) (name ^ " ticks in horizon-anchored range") true
+        (List.for_all (fun t -> t >= 0) spec.ST.cs_ticks))
+    ctls;
+  (* embedded mode keeps the scheduler in the program: no ctl inputs *)
+  let a_emb = analyze_ok ~mode:ST.Embedded CS.aadl_source in
+  Alcotest.(check int) "embedded has no ctl inputs" 0
+    (List.length a_emb.P.translation.ST.ctl_inputs)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: spans and digests                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [ map B.i (int_range (-20) 20);
+            oneofl [ B.v "a"; B.v "b" ] ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ leaf;
+            map2 B.( + ) sub sub;
+            map2 B.( * ) sub sub;
+            map2 (fun e c -> B.when_ e B.(c > i 0)) sub sub;
+            map2 B.default sub sub;
+            map (fun e -> B.delay ~init:(Types.Vint 0) e) sub;
+            map3 (fun c e1 e2 -> B.if_ B.(c > i 0) e1 e2) sub sub sub ])
+
+let mk_process e =
+  B.proc ~name:"P"
+    ~inputs:[ Ast.var "a" Types.Tint; Ast.var "b" Types.Tint ]
+    ~outputs:[ Ast.var "x" Types.Tint ]
+    [ B.( := ) "x" e ]
+
+(* every span occurring anywhere in a process *)
+let rec expr_spans (d, m) acc =
+  let acc = Ast.mark_span m :: acc in
+  match d with
+  | Ast.Econst _ | Ast.Evar _ -> acc
+  | Ast.Eunop (_, e) | Ast.Edelay (e, _) | Ast.Eclock e -> expr_spans e acc
+  | Ast.Ebinop (_, e1, e2) | Ast.Ewhen (e1, e2) | Ast.Edefault (e1, e2) ->
+    expr_spans e1 (expr_spans e2 acc)
+  | Ast.Eif (e1, e2, e3) -> expr_spans e1 (expr_spans e2 (expr_spans e3 acc))
+
+let stmt_spans (d, m) acc =
+  let acc = Ast.mark_span m :: acc in
+  match d with
+  | Ast.Sdef (_, e) | Ast.Spartial (_, e) -> expr_spans e acc
+  | Ast.Sclk_eq (e1, e2) | Ast.Sclk_le (e1, e2) | Ast.Sclk_ex (e1, e2) ->
+    expr_spans e1 (expr_spans e2 acc)
+  | Ast.Sinstance i ->
+    List.fold_left (fun acc e -> expr_spans e acc) acc i.Ast.inst_ins
+
+let process_spans (p : _ Ast.gprocess) =
+  let decls =
+    List.concat_map
+      (fun d -> [ Ast.mark_span d.Ast.var_mark ])
+      (p.Ast.params @ p.Ast.inputs @ p.Ast.outputs @ p.Ast.locals)
+  in
+  List.fold_left (fun acc st -> stmt_spans st acc) decls p.Ast.body
+
+(* Normalization is mark-transforming: every kernel declaration's span
+   points back at a construct of the source process (or is absent) —
+   never at a position the source does not contain. *)
+let prop_normalize_keeps_spans =
+  QCheck2.Test.make ~name:"normalize never fabricates source positions"
+    ~count:200 gen_expr (fun e ->
+      (* reparse the printed process so spans are real source positions *)
+      let printed = Pp.process_to_string (mk_process e) in
+      match SP.parse_process printed with
+      | Error m -> QCheck2.Test.fail_reportf "reparse: %s\n%s" m printed
+      | Ok p -> (
+        let allowed = None :: process_spans p in
+        match Signal_lang.Normalize.process p with
+        | Error m -> QCheck2.Test.fail_reportf "normalize: %s" m
+        | Ok kp ->
+          List.for_all
+            (fun d -> List.mem (Ast.mark_span d.Ast.var_mark) allowed)
+            (K.signals kp)))
+
+let prop_optimize_keeps_spans =
+  QCheck2.Test.make ~name:"optimize never fabricates source positions"
+    ~count:200 gen_expr (fun e ->
+      let printed = Pp.process_to_string (mk_process e) in
+      match SP.parse_process printed with
+      | Error m -> QCheck2.Test.fail_reportf "reparse: %s\n%s" m printed
+      | Ok p -> (
+        match Signal_lang.Normalize.process p with
+        | Error m -> QCheck2.Test.fail_reportf "normalize: %s" m
+        | Ok kp ->
+          let before =
+            List.map (fun d -> Ast.mark_span d.Ast.var_mark) (K.signals kp)
+          in
+          let kp' = Signal_lang.Optimize.optimize kp in
+          List.for_all
+            (fun d -> List.mem (Ast.mark_span d.Ast.var_mark) before)
+            (K.signals kp')))
+
+let prop_digest_stability =
+  QCheck2.Test.make ~name:"stage digests: deterministic, semantic strips marks"
+    ~count:200 gen_expr (fun e ->
+      let build () = B.program "P" [ mk_process e ] in
+      let p = build () in
+      (* deterministic on structurally rebuilt values *)
+      Ast.program_digest p = Ast.program_digest (build ())
+      (* the semantic digest sees through marks *)
+      && Ast.program_semantic_digest p
+         = Ast.program_semantic_digest (Ast.strip_program p)
+      (* ... but the structural digest does not: a position-only change
+         must invalidate (replayed diagnostics carry positions) *)
+      &&
+      let sp = Putil.Diag.span ~line:7 ~col:3 () in
+      let respan (pc : Ast.process) =
+        { pc with
+          Ast.body =
+            List.map
+              (fun st -> (Ast.desc st, Ast.with_span (Ast.mark st) (Some sp)))
+              pc.Ast.body }
+      in
+      let p' = { p with Ast.processes = List.map respan p.Ast.processes } in
+      Ast.program_digest p <> Ast.program_digest p'
+      && Ast.program_semantic_digest p = Ast.program_semantic_digest p')
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_normalize_keeps_spans; prop_optimize_keeps_spans;
+      prop_digest_stability ]
+
+let suite =
+  [ ( "incremental",
+      [ Alcotest.test_case "uid intern stable" `Quick test_uid_intern_stable;
+        Alcotest.test_case "uid fresh distinct" `Quick test_uid_fresh_distinct;
+        Alcotest.test_case "uid categories independent" `Quick
+          test_uid_categories_independent;
+        Alcotest.test_case "uid tables" `Quick test_uid_tbl;
+        Alcotest.test_case "uid parallel interning" `Quick
+          test_uid_parallel_intern;
+        Alcotest.test_case "traceability uid round-trip" `Quick
+          test_traceability_roundtrip;
+        Alcotest.test_case "session skips unchanged input" `Quick
+          test_session_skips_unchanged;
+        Alcotest.test_case "period edit skips back end" `Quick
+          test_session_period_edit_skips_backend;
+        Alcotest.test_case "period edit still reschedules" `Quick
+          test_session_period_edit_changes_schedule;
+        Alcotest.test_case "incremental byte-identical to rebuild" `Quick
+          test_incremental_byte_identical;
+        Alcotest.test_case "external scheduler matches embedded" `Quick
+          test_external_matches_embedded;
+        Alcotest.test_case "external ctl inputs well-formed" `Quick
+          test_external_ctl_inputs ]
+      @ qsuite ) ]

@@ -177,7 +177,8 @@ let test_translation_shape () =
     let partials =
       List.length
         (List.filter
-           (function
+           (fun st ->
+             match Signal_lang.Ast.desc st with
              | Signal_lang.Ast.Spartial ("Mode", _) -> true
              | _ -> false)
            p.Signal_lang.Ast.body)

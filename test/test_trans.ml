@@ -52,7 +52,8 @@ let test_thread_ports_are_processes () =
   let p = TT.translate ~registry:[] (producer ()) in
   let found =
     List.exists
-      (function
+      (fun st ->
+        match Ast.desc st with
         | Ast.Sinstance i ->
           i.Ast.inst_proc = "in_event_port"
           && i.Ast.inst_label = "pProdStart_port"
@@ -64,7 +65,8 @@ let test_thread_ports_are_processes () =
   Alcotest.(check bool) "in_event_port{2} instantiated" true found;
   let out_found =
     List.exists
-      (function
+      (fun st ->
+        match Ast.desc st with
         | Ast.Sinstance i -> i.Ast.inst_proc = "out_event_port"
         | _ -> false)
       p.Ast.body
