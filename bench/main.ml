@@ -450,6 +450,25 @@ let bench_simulate () =
                | Error m -> failwith m
              done))
   in
+  let batched =
+    (* resolve the dense stimulus indices once: they are plan-derived,
+       so any instance of the memoized plan shares them *)
+    let c0 = Result.get_ok (Polysim.Compile.compile kp) in
+    let tick = Option.get (Polysim.Compile.signal_index c0 "tick") in
+    let go = Option.get (Polysim.Compile.signal_index c0 "env_pGo") in
+    Test.make ~name:"simulate/compiled-batched(24-instants)"
+      (Staged.stage (fun () ->
+           match Polysim.Compile.compile kp with
+           | Error m -> failwith m
+           | Ok c -> (
+             match
+               Polysim.Compile.run_batched c ~n:24 ~fill:(fun c t ->
+                   Polysim.Compile.set_stim c tick Types.Vevent;
+                   if t = 0 then Polysim.Compile.set_stim c go (Types.Vint 1))
+             with
+             | Ok () -> ()
+             | Error m -> failwith m)))
+  in
   let compile_only =
     Test.make ~name:"simulate/compile-time"
       (Staged.stage (fun () ->
@@ -475,7 +494,84 @@ let bench_simulate () =
              | Error m -> failwith m)))
   in
   run_benchs "C5: polychronous simulation throughput (ref [15] ablation)"
-    [ interpreted; compiled; compile_only; compile_cold; codegen ]
+    [ interpreted; compiled; batched; compile_only; compile_cold; codegen ];
+  (* the headline acceptance criterion: the compiled batched loop must
+     beat the fixpoint interpreter by an order of magnitude on the
+     hyper-period workload (same hard-floor convention as the
+     edit-recheck bench) *)
+  let ns name =
+    List.assoc_opt
+      ("C5: polychronous simulation throughput (ref [15] ablation)/" ^ name)
+      !all_rows
+  in
+  match
+    ( ns "simulate/interpreter(24-instants)",
+      ns "simulate/compiled-batched(24-instants)" )
+  with
+  | Some interp_ns, Some batched_ns ->
+    Format.printf "  compiled-batched speedup: %.1fx (acceptance floor: 10x)@."
+      (interp_ns /. batched_ns);
+    if interp_ns < 10.0 *. batched_ns then
+      failwith "simulate bench: compiled-batched under the 10x floor"
+  | _ -> failwith "simulate bench: speedup rows missing"
+
+(* C6: lockstep multi-scenario stepping — one compiled plan advancing
+   K striped state copies vs K independent batched runs. The lockstep
+   rows share closure code and plan metadata across scenarios, so the
+   amortized per-scenario cost should fall as K grows. *)
+let bench_scenarios () =
+  let a = analyzed CS.registry_nominal in
+  let kp = a.P.kernel in
+  let horizon = 24 in
+  let c0 = Result.get_ok (Polysim.Compile.compile kp) in
+  let tick = Option.get (Polysim.Compile.signal_index c0 "tick") in
+  let go = Option.get (Polysim.Compile.signal_index c0 "env_pGo") in
+  (* scenario s delays the environment arrival by s base ticks *)
+  let fill_at t c s =
+    Polysim.Compile.set_stim c tick Types.Vevent;
+    if t = s mod horizon then Polysim.Compile.set_stim c go (Types.Vint 1)
+  in
+  let lockstep k =
+    Test.make ~name:(Printf.sprintf "scenarios/lockstep-%d(24-instants)" k)
+      (Staged.stage (fun () ->
+           match Polysim.Compile.compile_scenarios kp ~scenarios:k with
+           | Error m -> failwith m
+           | Ok c ->
+             for t = 0 to horizon - 1 do
+               match Polysim.Compile.step_many c ~fill:(fill_at t) with
+               | Ok () -> ()
+               | Error m -> failwith m
+             done))
+  in
+  let independent k =
+    Test.make ~name:(Printf.sprintf "scenarios/independent-%d(24-instants)" k)
+      (Staged.stage (fun () ->
+           for s = 0 to k - 1 do
+             match Polysim.Compile.compile kp with
+             | Error m -> failwith m
+             | Ok c -> (
+               match
+                 Polysim.Compile.run_batched c ~n:horizon ~fill:(fun c t ->
+                     fill_at t c s)
+               with
+               | Ok () -> ()
+               | Error m -> failwith m)
+           done))
+  in
+  run_benchs "C6: lockstep multi-scenario stepping"
+    [ lockstep 1; lockstep 8; lockstep 64; independent 64 ];
+  let ns name =
+    List.assoc_opt ("C6: lockstep multi-scenario stepping/" ^ name) !all_rows
+  in
+  match
+    (ns "scenarios/lockstep-64(24-instants)",
+     ns "scenarios/independent-64(24-instants)")
+  with
+  | Some lock, Some indep ->
+    Format.printf
+      "  lockstep-64: %.1f us amortized per scenario (independent: %.1f us)@."
+      (lock /. 64. /. 1e3) (indep /. 64. /. 1e3)
+  | _ -> ()
 
 (* C4: affine clock calculus micro-ops *)
 let bench_affine () =
@@ -637,7 +733,7 @@ let bench_explore () =
   (* warm the plan memo so rows measure exploration, not compilation *)
   (match Polysim.Explore.check ~depth:1 ~jobs:1 ~inputs ~safe kp with
    | Ok _ -> ()
-   | Error m -> failwith m);
+   | Error m -> failwith (Putil.Diag.to_string m));
   let reference = ref None in
   List.iter
     (fun jobs ->
@@ -645,14 +741,14 @@ let bench_explore () =
       let r = Polysim.Explore.check ~depth ~jobs ~inputs ~safe kp in
       let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
       match r with
-      | Error m -> failwith m
+      | Error m -> failwith (Putil.Diag.to_string m)
       | Ok (v, states) ->
         let cex =
           match Polysim.Explore.check ~depth ~jobs ~inputs ~safe:unsafe kp with
           | Ok (Polysim.Explore.Violated trail, _) -> trail
           | Ok (Polysim.Explore.Holds, _) ->
             failwith "explore bench: violation not found"
-          | Error m -> failwith m
+          | Error m -> failwith (Putil.Diag.to_string m)
         in
         (match !reference with
          | None -> reference := Some (v, states, cex)
@@ -676,7 +772,7 @@ let bench_explore () =
   | Ok (Polysim.Explore.Violated _, _), Some _ ->
     Format.printf "  verdicts identical across 1/2/4 jobs and DFS@."
   | Ok _, _ -> failwith "explore bench: DFS verdict differs"
-  | Error m, _ -> failwith m
+  | Error m, _ -> failwith (Putil.Diag.to_string m)
 
 let bench_edit_recheck () =
   section "C9: digest-driven incremental edit-recheck";
@@ -869,6 +965,26 @@ let baseline_diff ~threshold path =
              moved
          end
        | _ -> ());
+      (* the compiled-vs-interpreter ratio is the headline claim, so
+         surface its drift explicitly: two rows can each move under the
+         threshold while their ratio quietly erodes *)
+      (let speedup rows =
+         let prefix = "C5: polychronous simulation throughput (ref [15] ablation)/" in
+         match
+           ( List.assoc_opt (prefix ^ "simulate/interpreter(24-instants)") rows,
+             List.assoc_opt (prefix ^ "simulate/compiled-batched(24-instants)")
+               rows )
+         with
+         | Some i, Some b when b > 0. -> Some (i /. b)
+         | _ -> None
+       in
+       match (speedup base_rows, speedup !all_rows) with
+       | Some rb, Some rc ->
+         Format.printf
+           "@.  compiled-batched speedup vs interpreter: baseline %.1fx -> \
+            current %.1fx@."
+           rb rc
+       | _ -> ());
       Format.printf "@.  %d row regression(s) above +%.0f%%@." !regressions
         threshold)
 
@@ -925,6 +1041,7 @@ let () =
       ("translate", bench_translate);
       ("parser", bench_parser);
       ("simulate", bench_simulate);
+      ("scenarios", bench_scenarios);
       ("affine", bench_affine);
       ("explore", bench_explore);
       ("edit-recheck", bench_edit_recheck);

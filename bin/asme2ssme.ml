@@ -265,16 +265,50 @@ let simulate_cmd =
            ~doc:"Use the clock-directed compiled step instead of the \
                  fixpoint interpreter.")
   in
-  let run file root registry policy hyperperiods vcd compiled stats trace
-      trace_format =
+  let scenarios_arg =
+    Arg.(value & opt int 1 & info [ "scenarios" ] ~docv:"K"
+           ~doc:"Run K environment scenarios in lockstep over one \
+                 compiled plan (scenario k delays each environment \
+                 arrival by k base ticks). Prints the chronogram of \
+                 scenario 0 and a per-scenario summary; implies the \
+                 compiled path.")
+  in
+  let run file root registry policy hyperperiods vcd compiled scenarios
+      stats trace trace_format =
     with_trace_opt trace trace_format @@ fun () ->
     let a = analyzed file root registry policy in
     let tr =
-      match Polychrony.Pipeline.simulate ~compiled ~hyperperiods a with
-      | Ok tr -> tr
-      | Error ds ->
-        prerr_string (Putil.Diag.render_list ds);
-        exit (Putil.Diag.exit_code ds)
+      if scenarios > 1 then begin
+        let traces =
+          match
+            Polychrony.Pipeline.simulate_scenarios ~hyperperiods ~scenarios a
+          with
+          | Ok traces -> traces
+          | Error ds ->
+            prerr_string (Putil.Diag.render_list ds);
+            exit (Putil.Diag.exit_code ds)
+        in
+        Format.printf "%d scenarios, %d instants each (lockstep)@."
+          scenarios (Polysim.Trace.length traces.(0));
+        Array.iteri
+          (fun s tr ->
+            let presences =
+              List.fold_left
+                (fun acc x -> acc + Polysim.Trace.present_count tr x)
+                0
+                (Polysim.Trace.observable tr)
+            in
+            Format.printf "  scenario %d: %d observable presences@." s
+              presences)
+          traces;
+        traces.(0)
+      end
+      else
+        match Polychrony.Pipeline.simulate ~compiled ~hyperperiods a with
+        | Ok tr -> tr
+        | Error ds ->
+          prerr_string (Putil.Diag.render_list ds);
+          exit (Putil.Diag.exit_code ds)
     in
     Format.printf "%a@." (fun ppf tr -> Polysim.Trace.chronogram ppf tr) tr;
     (match vcd with
@@ -291,8 +325,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run the scheduled system and print a chronogram")
     Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
-          $ hyper_arg $ vcd_arg $ compiled_arg $ stats_arg $ trace_arg
-          $ trace_format_arg)
+          $ hyper_arg $ vcd_arg $ compiled_arg $ scenarios_arg $ stats_arg
+          $ trace_arg $ trace_format_arg)
 
 let latency_cmd =
   let src_arg =
@@ -406,9 +440,9 @@ let verify_cmd =
                        (Signal_lang.Types.value_to_string v))
                    stim)))
          trail
-     | Error m ->
-       prerr_endline ("error: " ^ m);
-       exit 1);
+     | Error d ->
+       prerr_endline (Putil.Diag.render d);
+       exit (Putil.Diag.exit_code [ d ]));
     print_stats_if stats
   in
   Cmd.v

@@ -201,7 +201,7 @@ let tokenize src =
 let token_to_string = function
   | IDENT s -> s
   | INT n -> string_of_int n
-  | REAL r -> string_of_float r
+  | REAL r -> Putil.Mathx.float_to_string r
   | STRING s -> Printf.sprintf "%S" s
   | LPAREN -> "(" | RPAREN -> ")"
   | LBRACE -> "{" | RBRACE -> "}"

@@ -110,9 +110,6 @@ let digest_of v =
 let code_root =
   Putil.Diag.code "CORE-ROOT-001"
     "cannot determine a root system implementation"
-let code_norm =
-  Putil.Diag.code "SIG-NORM-001"
-    "generated SIGNAL program cannot be normalized"
 let code_sim = Putil.Diag.code "SIM-001" "simulation step failed"
 let code_compile =
   Putil.Diag.code "COMPILE-001"
@@ -296,8 +293,8 @@ let analyze_package ?session ?(registry = []) ?policy ?mode
             Signal_lang.Normalize.process ~program
               translation.Trans.System_trans.top)
       with
-      | Error m ->
-        Putil.Diag.add diags (Putil.Diag.errorf ~code:code_norm "%s" m);
+      | Error d ->
+        Putil.Diag.add diags d;
         fail ()
       | Ok kernel ->
         let profile = Analysis.Profiling.static_costs kernel in
@@ -425,14 +422,10 @@ let thread_cost a =
         else acc)
       0 costs
 
-let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
-  let env = Option.value ~default:(default_env a) env in
-  let horizon = base_ticks_per_hyperperiod a * hyperperiods in
-  Putil.Tracing.with_span "pipeline.simulate"
-    ~args:
-      [ ("compiled", Putil.Tracing.Abool compiled);
-        ("horizon_ticks", Putil.Tracing.Aint horizon) ]
-  @@ fun () ->
+(* Name-based stimulus generator for one run: ticks at each
+   processor's base cadence, External-mode ctl events from the
+   schedule tables, plus the environment arrivals. *)
+let stimulus_at_fn a env =
   let gbase = global_base_us a in
   (* tick inputs are generated in schedule order; pulse each at its
      processor's base cadence (External mode declares no ticks) *)
@@ -466,7 +459,7 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
           spec.Trans.System_trans.cs_horizon ))
       a.translation.Trans.System_trans.ctl_inputs
   in
-  let stimulus_at t =
+  fun t ->
     List.filter_map
       (fun (tk, every) ->
         if t mod every = 0 then Some (tk, Types.Vevent) else None)
@@ -484,7 +477,30 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
             else None)
         ctls
     @ List.map (fun (n, v) -> (n, Types.Vint v)) (env t)
-  in
+
+(* Resolve a name-based stimulus into a compiled instance's dense
+   buffer. Non-input names error through the normal result path of the
+   enclosing batched call; unknown names raise. *)
+exception Unknown_input of string
+
+let fill_stimulus c stim =
+  List.iter
+    (fun (x, v) ->
+      match Polysim.Compile.signal_index c x with
+      | Some i -> Polysim.Compile.set_stim c i v
+      | None -> raise (Unknown_input x))
+    stim
+
+let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
+  let env = Option.value ~default:(default_env a) env in
+  let horizon = base_ticks_per_hyperperiod a * hyperperiods in
+  Putil.Tracing.with_span "pipeline.simulate"
+    ~args:
+      [ ("compiled", Putil.Tracing.Abool compiled);
+        ("horizon_ticks", Putil.Tracing.Aint horizon) ]
+  @@ fun () ->
+  let gbase = global_base_us a in
+  let stimulus_at = stimulus_at_fn a env in
   let finish tr =
     if Putil.Tracing.enabled () then
       Timeline.emit ~cost:(thread_cost a)
@@ -510,13 +526,73 @@ let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
     match Polysim.Compile.compile a.kernel with
     | Error m ->
       Error [ Putil.Diag.errorf ~code:code_compile "compile: %s" m ]
-    | Ok c ->
-      run (fun ~stimulus -> Polysim.Compile.step c ~stimulus)
-        (fun () -> Polysim.Compile.trace c)
+    | Ok c -> (
+      (* dense batched stepping: the whole horizon in one call, no
+         per-instant assoc lists *)
+      match
+        Polysim.Compile.run_batched c ~n:horizon
+          ~fill:(fun c t -> fill_stimulus c (stimulus_at t))
+      with
+      | Ok () -> Ok (finish (Polysim.Compile.trace c))
+      | Error m ->
+        Error
+          [ Putil.Diag.errorf ~code:code_sim "instant %d: %s"
+              (Polysim.Compile.instant c) m ]
+      | exception Unknown_input x ->
+        Error
+          [ Putil.Diag.errorf ~code:code_sim
+              "stimulus for unknown signal %s" x ])
   else
     let engine = Polysim.Engine.create a.kernel in
     run (fun ~stimulus -> Polysim.Engine.step engine ~stimulus)
       (fun () -> Polysim.Engine.trace engine)
+
+(* Per-scenario default environment: scenario [s] delays every
+   environment arrival by [s] base ticks (mod the horizon), so a sweep
+   covers the arrival phases of the environment; scenario 0 is exactly
+   {!default_env}. *)
+let scenario_env a ~horizon s t =
+  if t = s mod horizon then
+    List.map (fun n -> (n, 1)) a.translation.Trans.System_trans.env_inputs
+  else []
+
+let simulate_scenarios ?envs ?(hyperperiods = 2) ~scenarios a =
+  let horizon = base_ticks_per_hyperperiod a * hyperperiods in
+  let envs =
+    match envs with
+    | Some f -> f
+    | None -> scenario_env a ~horizon
+  in
+  Putil.Tracing.with_span "pipeline.simulate_scenarios"
+    ~args:
+      [ ("scenarios", Putil.Tracing.Aint scenarios);
+        ("horizon_ticks", Putil.Tracing.Aint horizon) ]
+  @@ fun () ->
+  match Polysim.Compile.compile_scenarios a.kernel ~scenarios with
+  | Error m ->
+    Error [ Putil.Diag.errorf ~code:code_compile "compile: %s" m ]
+  | Ok c -> (
+    let stim_of =
+      Array.init scenarios (fun s -> stimulus_at_fn a (envs s))
+    in
+    let rec go t =
+      if t >= horizon then
+        Ok (Array.init scenarios (Polysim.Compile.trace_of c))
+      else
+        match
+          Polysim.Compile.step_many c
+            ~fill:(fun c s -> fill_stimulus c (stim_of.(s) t))
+        with
+        | Ok () -> go (t + 1)
+        | Error m ->
+          Error [ Putil.Diag.errorf ~code:code_sim "instant %d: %s" t m ]
+    in
+    match go 0 with
+    | r -> r
+    | exception Unknown_input x ->
+      Error
+        [ Putil.Diag.errorf ~code:code_sim "stimulus for unknown signal %s"
+            x ])
 
 let vcd_of_trace ?signals a tr =
   let module_name = a.translation.Trans.System_trans.top.Ast.proc_name in

@@ -114,6 +114,22 @@ val simulate :
     [pipeline.cache_misses] counters in the metrics registry record
     the traffic. *)
 
+val simulate_scenarios :
+  ?envs:(int -> int -> (string * int) list) ->
+  ?hyperperiods:int ->
+  scenarios:int ->
+  analyzed ->
+  (Polysim.Trace.t array, Putil.Diag.t list) result
+(** Lockstep multi-scenario simulation on the compiled path
+    ({!Polysim.Compile.step_many}): [scenarios] copies of the system
+    state advance together over one shared compiled plan, each driven
+    by its own environment. [envs s t] supplies scenario [s]'s
+    environment arrivals at instant [t]; the default delays each
+    arrival by [s] base ticks (scenario 0 is the {!simulate} default).
+    Returns one trace per scenario — identical to [scenarios]
+    independent {!simulate} runs with the same environments, at a
+    fraction of the cost. *)
+
 val global_base_us : analyzed -> int
 (** Microseconds of one simulated instant: the gcd of every
     processor's schedule base tick (1 without schedules). *)

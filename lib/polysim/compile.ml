@@ -5,6 +5,7 @@ module Stdproc = Signal_lang.Stdproc
 module Calc = Clocks.Calculus
 module Bdd = Clocks.Bdd
 module Metrics = Putil.Metrics
+module Clock = Putil.Clock
 
 let m_compilations = Metrics.counter "compile.compilations"
 let m_plan_builds = Metrics.counter "compile.plan_builds"
@@ -35,12 +36,6 @@ type op =
   | Opres of int
   | Oval of int
 
-type prim_st = {
-  lp : Prog.lprim;
-  queue : Types.value Queue.t;
-  mutable overflows : int;
-}
-
 (* BDD variable, resolved at compile time so the per-instant clock
    evaluation is pure array indexing *)
 type varres =
@@ -49,29 +44,74 @@ type varres =
   | Rcondeq of int * int           (* integer signal index, constant *)
   | Rnone
 
+(* Clock functions are flattened to decision trees at plan time so the
+   per-instant evaluation is a branch walk with no manager access and
+   no environment closure. Pathologically large functions fall back to
+   shared-BDD evaluation. *)
+type ctree =
+  | Cleaf of bool
+  | Cnode of varres * ctree * ctree   (* if var then hi else lo *)
+  | Cbdd of Bdd.t
+
+(* Values live unboxed in structure-of-arrays slots: a small tag plus
+   one payload cell per representation kind. Booleans and events share
+   the int payload. *)
+let tg_int = 0
+let tg_bool = 1
+let tg_event = 2
+let tg_real = 3
+let tg_string = 4
+
+(* compiled atoms: constants are pre-split by representation *)
+type catom =
+  | CAvar of int
+  | CAconst_i of int * int             (* tag (int/bool/event), payload *)
+  | CAconst_r of float
+  | CAconst_s of string
+
+(* FIFO state as unboxed ring buffers, one stripe of [cap] cells per
+   scenario (mirroring the ring layout the C backend emits) *)
+type prim_st = {
+  lp : Prog.lprim;
+  cap : int;                       (* ring capacity, >= 1 *)
+  q_ri : int array;                (* nscen * cap payload cells *)
+  q_rr : float array;
+  q_rs : string array;
+  q_tg : int array;
+  q_len : int array;               (* per scenario *)
+  q_head : int array;              (* per scenario *)
+  overflows : int array;           (* per scenario *)
+}
+
 (* The compiler is split in two: an immutable [plan] — everything that
    depends only on the kernel (lowered IR, clock analysis, presence
-   definitions, clock BDDs, topologically sorted op schedule) — and a
-   mutable instance [t] holding per-run state (delay registers,
-   primitive queues, per-instant scratch, trace). Plans are memoized
-   on the kernel's structural digest and shared freely, including
-   across domains: stepping an instance only reads the plan (clock
-   evaluation uses [Bdd.eval], which never mutates the manager), so
-   each worker of the parallel explorer instantiates its own [t] over
-   the one shared plan. *)
+   definitions, decision-tree clock functions, the topologically
+   sorted op schedule compiled to closures) — and a mutable instance
+   [t] holding per-run state. Instance state is striped: scenario [s]
+   of a [K]-scenario instance owns slots [s*n .. s*n+n-1] of every
+   per-signal array (and [s*nclasses ..] of the presence array), and
+   the compiled code addresses state only through [base_sig]/[base_cls],
+   so one shared plan drives any number of scenarios in lockstep.
+   Plans are memoized on the kernel's structural digest and shared
+   freely, including across domains: stepping an instance only reads
+   the plan, so each worker of the parallel explorer instantiates its
+   own [t] over the one shared plan. *)
 type plan = {
   p_prog : Prog.t;                 (* shared lowered IR (same as Engine) *)
   p_calc : Calc.t;
   p_class_of : int array;
   p_nclasses : int;
   p_pdefs : pdef array;
-  p_clock_bdd : Bdd.t array;       (* per class *)
+  p_clock_bdd : Bdd.t array;       (* per class (kept for the C backend) *)
   p_bddvars : varres array;        (* bdd variable -> resolution *)
   p_plan : op array;
+  p_ops : (t -> unit) array;       (* the schedule, compiled to closures *)
   p_n_free : int;                  (* statically free classes *)
+  p_decls : Ast.nvardecl list;     (* cached for cheap instantiation *)
 }
 
-type t = {
+and t = {
+  pl : plan;
   (* plan fields, aliased for direct access on the hot path *)
   prog : Prog.t;
   calc : Calc.t;
@@ -81,21 +121,377 @@ type t = {
   clock_bdd : Bdd.t array;
   bddvars : varres array;
   plan : op array;
+  ops : (t -> unit) array;
   n_free : int;
   (* instance-owned state *)
+  n : int;                         (* signal count *)
+  nscen : int;                     (* scenarios sharing this instance *)
+  mutable scen : int;              (* currently selected scenario *)
+  mutable base_sig : int;          (* = scen * n *)
+  mutable base_cls : int;          (* = scen * nclasses *)
+  (* per-instant SoA slots, scenario-striped *)
+  ri : int array;
+  rr : float array;
+  rs : string array;
+  tg : int array;
+  has : bool array;                (* slot holds a value this instant *)
+  stim_p : bool array;             (* input stimulated this instant *)
+  pres : bool array;               (* per class, scenario-striped *)
+  (* delay registers, scenario-striped, same slot layout *)
+  di : int array;
+  dr : float array;
+  ds : string array;
+  dtg : int array;
   prims : prim_st array;
-  dstate : Types.value array;      (* delay state per destination signal *)
-  pres : bool array;               (* per class, this instant *)
-  vals : Types.value option array; (* per signal, this instant *)
-  stim_present : bool array;       (* per signal, this instant *)
-  tr : Trace.t;
+  traces : Trace.t array;          (* one per scenario *)
   mutable instants : int;
   mutable recording : bool;
 }
 
 (* ------------------------------------------------------------------ *)
+(* Unboxed slot operations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let everrf st fmt =
+  Format.kasprintf
+    (fun m -> raise (Comp_error (Printf.sprintf "instant %d: %s" st.instants m)))
+    fmt
+
+let slot_value st j =
+  match st.tg.(j) with
+  | 0 -> Types.Vint st.ri.(j)
+  | 1 -> if st.ri.(j) <> 0 then Types.Vbool true else Types.Vbool false
+  | 2 -> Types.Vevent
+  | 3 -> Types.Vreal st.rr.(j)
+  | _ -> Types.Vstring st.rs.(j)
+
+let set_slot_value st j v =
+  (match v with
+   | Types.Vint n -> st.tg.(j) <- tg_int; st.ri.(j) <- n
+   | Types.Vbool b -> st.tg.(j) <- tg_bool; st.ri.(j) <- (if b then 1 else 0)
+   | Types.Vevent -> st.tg.(j) <- tg_event; st.ri.(j) <- 1
+   | Types.Vreal r -> st.tg.(j) <- tg_real; st.rr.(j) <- r
+   | Types.Vstring s -> st.tg.(j) <- tg_string; st.rs.(j) <- s);
+  st.has.(j) <- true
+
+let set_i st j n = st.tg.(j) <- tg_int; st.ri.(j) <- n; st.has.(j) <- true
+let set_b st j b =
+  st.tg.(j) <- tg_bool; st.ri.(j) <- (if b then 1 else 0); st.has.(j) <- true
+let set_e st j = st.tg.(j) <- tg_event; st.ri.(j) <- 1; st.has.(j) <- true
+let set_r st j r = st.tg.(j) <- tg_real; st.rr.(j) <- r; st.has.(j) <- true
+
+let copy_sig st dst src =
+  let t = st.tg.(src) in
+  st.tg.(dst) <- t;
+  (match t with
+   | 3 -> st.rr.(dst) <- st.rr.(src)
+   | 4 -> st.rs.(dst) <- st.rs.(src)
+   | _ -> st.ri.(dst) <- st.ri.(src));
+  st.has.(dst) <- true
+
+(* delay register <-> value slot (same index layout) *)
+let copy_delay_to_sig st j =
+  let t = st.dtg.(j) in
+  st.tg.(j) <- t;
+  (match t with
+   | 3 -> st.rr.(j) <- st.dr.(j)
+   | 4 -> st.rs.(j) <- st.ds.(j)
+   | _ -> st.ri.(j) <- st.di.(j));
+  st.has.(j) <- true
+
+let copy_sig_to_delay st src dst =
+  let t = st.tg.(src) in
+  st.dtg.(dst) <- t;
+  match t with
+  | 3 -> st.dr.(dst) <- st.rr.(src)
+  | 4 -> st.ds.(dst) <- st.rs.(src)
+  | _ -> st.di.(dst) <- st.ri.(src)
+
+let delay_boxed st j =
+  match st.dtg.(j) with
+  | 0 -> Types.Vint st.di.(j)
+  | 1 -> if st.di.(j) <> 0 then Types.Vbool true else Types.Vbool false
+  | 2 -> Types.Vevent
+  | 3 -> Types.Vreal st.dr.(j)
+  | _ -> Types.Vstring st.ds.(j)
+
+let set_delay_slot st j v =
+  match v with
+  | Types.Vint n -> st.dtg.(j) <- tg_int; st.di.(j) <- n
+  | Types.Vbool b -> st.dtg.(j) <- tg_bool; st.di.(j) <- (if b then 1 else 0)
+  | Types.Vevent -> st.dtg.(j) <- tg_event; st.di.(j) <- 1
+  | Types.Vreal r -> st.dtg.(j) <- tg_real; st.dr.(j) <- r
+  | Types.Vstring s -> st.dtg.(j) <- tg_string; st.ds.(j) <- s
+
+let slot_bool st j =
+  match st.tg.(j) with
+  | 1 -> st.ri.(j) <> 0
+  | 2 -> true
+  | _ ->
+    everrf st "boolean operation on %s"
+      (Types.value_to_string (slot_value st j))
+
+(* ------------------------------------------------------------------ *)
+(* Compiled atoms                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let atom_check st = function
+  | CAvar y ->
+    if not st.has.(st.base_sig + y) then
+      errf "instant %d: signal %s used before being computed"
+        st.instants st.prog.Prog.names.(y)
+  | CAconst_i _ | CAconst_r _ | CAconst_s _ -> ()
+
+let atom_tag st = function
+  | CAvar y -> st.tg.(st.base_sig + y)
+  | CAconst_i (t, _) -> t
+  | CAconst_r _ -> tg_real
+  | CAconst_s _ -> tg_string
+
+let atom_i st = function
+  | CAvar y -> st.ri.(st.base_sig + y)
+  | CAconst_i (_, n) -> n
+  | CAconst_r _ | CAconst_s _ -> 0
+
+let atom_r st = function
+  | CAvar y -> st.rr.(st.base_sig + y)
+  | CAconst_r r -> r
+  | CAconst_i _ | CAconst_s _ -> 0.
+
+let atom_s st = function
+  | CAvar y -> st.rs.(st.base_sig + y)
+  | CAconst_s s -> s
+  | CAconst_i _ | CAconst_r _ -> ""
+
+let atom_boxed st = function
+  | CAvar y -> slot_value st (st.base_sig + y)
+  | CAconst_i (t, n) ->
+    if t = tg_int then Types.Vint n
+    else if t = tg_bool then (if n <> 0 then Types.Vbool true else Types.Vbool false)
+    else Types.Vevent
+  | CAconst_r r -> Types.Vreal r
+  | CAconst_s s -> Types.Vstring s
+
+let atom_bool st a =
+  match atom_tag st a with
+  | 1 -> atom_i st a <> 0
+  | 2 -> true
+  | _ ->
+    everrf st "boolean operation on %s" (Types.value_to_string (atom_boxed st a))
+
+let copy_atom st dst a =
+  match a with
+  | CAvar y -> copy_sig st dst (st.base_sig + y)
+  | CAconst_i (t, n) -> st.tg.(dst) <- t; st.ri.(dst) <- n; st.has.(dst) <- true
+  | CAconst_r r -> set_r st dst r
+  | CAconst_s s -> st.tg.(dst) <- tg_string; st.rs.(dst) <- s; st.has.(dst) <- true
+
+(* mirrors Types.equal_value, including the event/bool cross case *)
+let atom_equal st a b =
+  let ta = atom_tag st a and tb = atom_tag st b in
+  if ta = tg_event then
+    (if tb = tg_event then true
+     else if tb = tg_bool then atom_i st b <> 0
+     else false)
+  else if tb = tg_event then (if ta = tg_bool then atom_i st a <> 0 else false)
+  else if ta <> tb then false
+  else
+    match ta with
+    | 0 | 1 -> atom_i st a = atom_i st b
+    | 3 -> atom_r st a = atom_r st b
+    | _ -> String.equal (atom_s st a) (atom_s st b)
+
+(* mirrors Eval.compare_num *)
+let atom_cmp st a b =
+  match atom_tag st a, atom_tag st b with
+  | 0, 0 -> Int.compare (atom_i st a) (atom_i st b)
+  | 3, 3 -> Float.compare (atom_r st a) (atom_r st b)
+  | 4, 4 -> String.compare (atom_s st a) (atom_s st b)
+  | _, _ ->
+    everrf st "comparison of %s and %s"
+      (Types.value_to_string (atom_boxed st a))
+      (Types.value_to_string (atom_boxed st b))
+
+(* mirrors Eval.eval_binop over unboxed slots (same error messages,
+   same short-circuiting) *)
+let exec_binop st dst bop a b =
+  match bop with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (
+    match atom_tag st a, atom_tag st b with
+    | 0, 0 ->
+      let x = atom_i st a and y = atom_i st b in
+      set_i st dst
+        (match bop with
+         | Ast.Add -> x + y
+         | Ast.Sub -> x - y
+         | Ast.Mul -> x * y
+         | Ast.Div ->
+           if y = 0 then everrf st "division by zero" else x / y
+         | _ -> if y = 0 then everrf st "modulo by zero" else x mod y)
+    | 3, 3 when bop <> Ast.Mod ->
+      let x = atom_r st a and y = atom_r st b in
+      set_r st dst
+        (match bop with
+         | Ast.Add -> x +. y
+         | Ast.Sub -> x -. y
+         | Ast.Mul -> x *. y
+         | _ -> x /. y)
+    | _, _ ->
+      everrf st "arithmetic on %s and %s"
+        (Types.value_to_string (atom_boxed st a))
+        (Types.value_to_string (atom_boxed st b)))
+  | Ast.And ->
+    set_b st dst (if atom_bool st a then atom_bool st b else false)
+  | Ast.Or -> set_b st dst (if atom_bool st a then true else atom_bool st b)
+  | Ast.Xor -> set_b st dst (atom_bool st a <> atom_bool st b)
+  | Ast.Eq -> set_b st dst (atom_equal st a b)
+  | Ast.Neq -> set_b st dst (not (atom_equal st a b))
+  | Ast.Lt -> set_b st dst (atom_cmp st a b < 0)
+  | Ast.Le -> set_b st dst (atom_cmp st a b <= 0)
+  | Ast.Gt -> set_b st dst (atom_cmp st a b > 0)
+  | Ast.Ge -> set_b st dst (atom_cmp st a b >= 0)
+
+let rec check_args_then_malformed st cargs k =
+  if k < Array.length cargs then begin
+    atom_check st cargs.(k);
+    check_args_then_malformed st cargs (k + 1)
+  end
+  else everrf st "malformed kernel function application"
+
+(* ------------------------------------------------------------------ *)
+(* Clock evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bdd_env st v =
+  if v >= Array.length st.bddvars then false
+  else
+    match st.bddvars.(v) with
+    | Rpresent c -> st.pres.(st.base_cls + c)
+    | Rcond bi ->
+      let j = st.base_sig + bi in
+      st.pres.(st.base_cls + st.class_of.(bi))
+      && st.has.(j) && slot_bool st j
+    | Rcondeq (xi, k) ->
+      let j = st.base_sig + xi in
+      st.pres.(st.base_cls + st.class_of.(xi))
+      && st.has.(j) && st.tg.(j) = tg_int && st.ri.(j) = k
+    | Rnone -> false
+
+let rec ceval st = function
+  | Cleaf b -> b
+  | Cnode (r, hi, lo) ->
+    let v =
+      match r with
+      | Rpresent c -> st.pres.(st.base_cls + c)
+      | Rcond bi ->
+        let j = st.base_sig + bi in
+        st.pres.(st.base_cls + st.class_of.(bi))
+        && st.has.(j) && slot_bool st j
+      | Rcondeq (xi, k) ->
+        let j = st.base_sig + xi in
+        st.pres.(st.base_cls + st.class_of.(xi))
+        && st.has.(j) && st.tg.(j) = tg_int && st.ri.(j) = k
+      | Rnone -> false
+    in
+    if v then ceval st hi else ceval st lo
+  | Cbdd b -> Bdd.eval (Calc.manager st.calc) (bdd_env st) b
+
+(* ------------------------------------------------------------------ *)
+(* FIFO ring buffers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let copy_queue_head st p dst =
+  let s = st.scen in
+  let idx = (s * p.cap) + p.q_head.(s) in
+  let t = p.q_tg.(idx) in
+  st.tg.(dst) <- t;
+  (match t with
+   | 3 -> st.rr.(dst) <- p.q_rr.(idx)
+   | 4 -> st.rs.(dst) <- p.q_rs.(idx)
+   | _ -> st.ri.(dst) <- p.q_ri.(idx));
+  st.has.(dst) <- true
+
+let qclear p s =
+  p.q_len.(s) <- 0;
+  p.q_head.(s) <- 0
+
+let qpop p s =
+  if p.q_len.(s) > 0 then begin
+    p.q_head.(s) <- (p.q_head.(s) + 1) mod p.cap;
+    p.q_len.(s) <- p.q_len.(s) - 1
+  end
+
+let qwrite_tail st p src =
+  let s = st.scen in
+  let idx = (s * p.cap) + ((p.q_head.(s) + p.q_len.(s)) mod p.cap) in
+  let t = st.tg.(src) in
+  p.q_tg.(idx) <- t;
+  (match t with
+   | 3 -> p.q_rr.(idx) <- st.rr.(src)
+   | 4 -> p.q_rs.(idx) <- st.rs.(src)
+   | _ -> p.q_ri.(idx) <- st.ri.(src));
+  p.q_len.(s) <- p.q_len.(s) + 1
+
+let qpush_bounded st p src =
+  let s = st.scen in
+  if p.q_len.(s) >= p.cap then begin
+    p.overflows.(s) <- p.overflows.(s) + 1;
+    match p.lp.Prog.lp_policy with
+    | Prog.Drop_oldest ->
+      qpop p s;
+      qwrite_tail st p src
+    | Prog.Drop_newest -> ()
+    | Prog.Overflow_error ->
+      errf "queue overflow on %s (Overflow_Handling_Protocol => Error)"
+        p.lp.Prog.lp_ki.K.ki_label
+  end
+  else qwrite_tail st p src
+
+let commit_prim st p =
+  let s = st.scen in
+  let ins = p.lp.Prog.lp_ins in
+  match p.lp.Prog.lp_ki.K.ki_prim with
+  | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
+    if Array.length ins = 3
+       && st.pres.(st.base_cls + st.class_of.(ins.(2)))
+    then qclear p s;
+    if st.pres.(st.base_cls + st.class_of.(ins.(0))) then
+      qpush_bounded st p (st.base_sig + ins.(0));
+    if st.pres.(st.base_cls + st.class_of.(ins.(1))) then qpop p s
+  | Stdproc.Pin_event_port ->
+    if st.pres.(st.base_cls + st.class_of.(ins.(1))) then qclear p s;
+    (* NOTE: the engine moves in_fifo to frozen_fifo; since [frozen]
+       only ever exposes the head at Frozen_time, dropping the old
+       frozen content and re-freezing is equivalent observably; the
+       in_fifo is cleared after a freeze, matching Engine.commit. *)
+    if st.pres.(st.base_cls + st.class_of.(ins.(0))) then
+      qpush_bounded st p (st.base_sig + ins.(0))
+  | Stdproc.Pout_event_port ->
+    if st.pres.(st.base_cls + st.class_of.(ins.(0))) then
+      qpush_bounded st p (st.base_sig + ins.(0));
+    if st.pres.(st.base_cls + st.class_of.(ins.(1))) then qpop p s
+
+(* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
+
+let rec stim_any st ms k =
+  k < Array.length ms
+  && (st.stim_p.(st.base_sig + ms.(k)) || stim_any st ms (k + 1))
+
+let rec check_stim_agree st ms p k =
+  if k < Array.length ms then begin
+    let i = ms.(k) in
+    if st.stim_p.(st.base_sig + i) <> p then
+      errf "instant %d: synchronous inputs %s disagree on presence"
+        st.instants st.prog.Prog.names.(i);
+    check_stim_agree st ms p (k + 1)
+  end
+
+let check_computed st y =
+  if not st.has.(st.base_sig + y) then
+    errf "instant %d: signal %s used before being computed"
+      st.instants st.prog.Prog.names.(y)
 
 let compile_impl kp =
   try
@@ -266,38 +662,326 @@ let compile_impl kp =
              if node.[0] = 'P' then Opres k else Oval k)
            order)
     in
+    (* ---- compile the schedule to closures over the SoA state ---- *)
+    let names = prog.Prog.names in
+    let catom = function
+      | Prog.Avar y -> CAvar y
+      | Prog.Aconst v -> (
+        match v with
+        | Types.Vint n -> CAconst_i (tg_int, n)
+        | Types.Vbool b -> CAconst_i (tg_bool, if b then 1 else 0)
+        | Types.Vevent -> CAconst_i (tg_event, 1)
+        | Types.Vreal r -> CAconst_r r
+        | Types.Vstring s -> CAconst_s s)
+    in
+    (* decision trees can blow up on shared BDDs; past a global budget
+       the remaining classes keep shared-BDD evaluation *)
+    let tree_budget = ref 20_000 in
+    let rec ctree_of b =
+      match Bdd.view mgr b with
+      | `Leaf bb -> Cleaf bb
+      | `Node (var, lo, hi) ->
+        if !tree_budget <= 0 then Cbdd b
+        else begin
+          decr tree_budget;
+          let r =
+            if var < Array.length bddvars then bddvars.(var) else Rnone
+          in
+          let hi' = ctree_of hi in
+          let lo' = ctree_of lo in
+          Cnode (r, hi', lo')
+        end
+    in
+    let compile_prim_pres c pi pos =
+      let lp = lprims.(pi) in
+      let ins = lp.Prog.lp_ins in
+      match lp.Prog.lp_ki.K.ki_prim, pos with
+      | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 0 ->
+        let has_reset = Array.length ins = 3 in
+        let c0 = class_of.(ins.(0)) and c1 = class_of.(ins.(1)) in
+        let c2 = if has_reset then class_of.(ins.(2)) else 0 in
+        fun st ->
+          let p = st.prims.(pi) in
+          let reset_p = has_reset && st.pres.(st.base_cls + c2) in
+          let push_p = st.pres.(st.base_cls + c0) in
+          let pop_p = st.pres.(st.base_cls + c1) in
+          let qlen0 = if reset_p then 0 else p.q_len.(st.scen) in
+          st.pres.(st.base_cls + c) <-
+            pop_p && qlen0 + (if push_p then 1 else 0) > 0
+      | Stdproc.Pin_event_port, 0 ->
+        let c1 = class_of.(ins.(1)) in
+        fun st ->
+          let p = st.prims.(pi) in
+          st.pres.(st.base_cls + c) <-
+            st.pres.(st.base_cls + c1) && p.q_len.(st.scen) > 0
+      | Stdproc.Pout_event_port, 0 ->
+        let c0 = class_of.(ins.(0)) and c1 = class_of.(ins.(1)) in
+        fun st ->
+          let p = st.prims.(pi) in
+          st.pres.(st.base_cls + c) <-
+            st.pres.(st.base_cls + c1)
+            && (st.pres.(st.base_cls + c0) || p.q_len.(st.scen) > 0)
+      | _, _ -> fun _ -> assert false
+    in
+    let compile_pres c =
+      match pdefs.(c) with
+      | Pfree -> (fun st -> st.pres.(st.base_cls + c) <- false)
+      | Pinput members ->
+        let ms = Array.of_list members in
+        fun st ->
+          let p = stim_any st ms 0 in
+          check_stim_agree st ms p 0;
+          st.pres.(st.base_cls + c) <- p
+      | Pprim (pi, pos) -> compile_prim_pres c pi pos
+      | Pderived -> (
+        match ctree_of clock_bdd.(c) with
+        | Cleaf b -> fun st -> st.pres.(st.base_cls + c) <- b
+        | ct -> fun st -> st.pres.(st.base_cls + c) <- ceval st ct)
+    in
+    let compile_func i c op args =
+      let cargs = Array.map catom args in
+      match op, Array.length args with
+      | K.Pid, 1 ->
+        let a = cargs.(0) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            copy_atom st (st.base_sig + i) a
+          end
+      | K.Pclock, 1 ->
+        let a = cargs.(0) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            set_e st (st.base_sig + i)
+          end
+      | K.Punop Ast.Not, 1 ->
+        let a = cargs.(0) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            set_b st (st.base_sig + i) (not (atom_bool st a))
+          end
+      | K.Punop Ast.Neg, 1 ->
+        let a = cargs.(0) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            match atom_tag st a with
+            | 0 -> set_i st (st.base_sig + i) (-atom_i st a)
+            | 3 -> set_r st (st.base_sig + i) (-.atom_r st a)
+            | _ -> everrf st "malformed kernel function application"
+          end
+      | K.Pif, 3 ->
+        let a = cargs.(0) and bt = cargs.(1) and bf = cargs.(2) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            atom_check st bt;
+            atom_check st bf;
+            copy_atom st (st.base_sig + i) (if atom_bool st a then bt else bf)
+          end
+      | K.Pbinop bop, 2 ->
+        let a = cargs.(0) and b = cargs.(1) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            atom_check st b;
+            exec_binop st (st.base_sig + i) bop a b
+          end
+      | (K.Punop _ | K.Pbinop _ | K.Pif | K.Pid | K.Pclock), _ ->
+        fun st ->
+          if st.pres.(st.base_cls + c) then
+            check_args_then_malformed st cargs 0
+    in
+    let compile_prim_val i c pi pos =
+      let lp = lprims.(pi) in
+      let ins = lp.Prog.lp_ins in
+      match lp.Prog.lp_ki.K.ki_prim, pos with
+      | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 0 ->
+        let has_reset = Array.length ins = 3 in
+        let c2 = if has_reset then class_of.(ins.(2)) else 0 in
+        let in0 = ins.(0) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            let p = st.prims.(pi) in
+            let reset_p = has_reset && st.pres.(st.base_cls + c2) in
+            let qlen0 = if reset_p then 0 else p.q_len.(st.scen) in
+            if qlen0 > 0 then copy_queue_head st p (st.base_sig + i)
+            else begin
+              check_computed st in0;
+              copy_sig st (st.base_sig + i) (st.base_sig + in0)
+            end
+          end
+      | (Stdproc.Pfifo | Stdproc.Pfifo_reset), 1 ->
+        let has_reset = Array.length ins = 3 in
+        let c0 = class_of.(ins.(0)) and c1 = class_of.(ins.(1)) in
+        let c2 = if has_reset then class_of.(ins.(2)) else 0 in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            let p = st.prims.(pi) in
+            let reset_p = has_reset && st.pres.(st.base_cls + c2) in
+            let push_p = st.pres.(st.base_cls + c0) in
+            let pop_p = st.pres.(st.base_cls + c1) in
+            let qlen0 = if reset_p then 0 else p.q_len.(st.scen) in
+            let n1 =
+              if push_p then (
+                let m = qlen0 + 1 in
+                if m < p.cap then m else p.cap)
+              else qlen0
+            in
+            set_i st (st.base_sig + i)
+              (if pop_p && n1 > 0 then n1 - 1 else n1)
+          end
+      | Stdproc.Pin_event_port, 0 ->
+        fun st ->
+          if st.pres.(st.base_cls + c) then
+            copy_queue_head st st.prims.(pi) (st.base_sig + i)
+      | Stdproc.Pin_event_port, 1 ->
+        fun st ->
+          if st.pres.(st.base_cls + c) then
+            set_i st (st.base_sig + i) st.prims.(pi).q_len.(st.scen)
+      | Stdproc.Pout_event_port, 0 ->
+        let in0 = ins.(0) in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            let p = st.prims.(pi) in
+            if p.q_len.(st.scen) = 0 then begin
+              check_computed st in0;
+              copy_sig st (st.base_sig + i) (st.base_sig + in0)
+            end
+            else copy_queue_head st p (st.base_sig + i)
+          end
+      | _, _ -> fun _ -> assert false
+    in
+    let compile_val i =
+      let c = class_of.(i) in
+      match prog.Prog.vdefs.(i) with
+      | Prog.Vnone ->
+        fun st ->
+          if st.pres.(st.base_cls + c) && not st.has.(st.base_sig + i) then
+            errf "instant %d: present signal %s has no value (missing input?)"
+              st.instants names.(i)
+      | Prog.Vfunc (op, args) -> compile_func i c op args
+      | Prog.Vdelay ->
+        fun st ->
+          if st.pres.(st.base_cls + c) then
+            copy_delay_to_sig st (st.base_sig + i)
+      | Prog.Vwhen src ->
+        let a = catom src in
+        fun st ->
+          if st.pres.(st.base_cls + c) then begin
+            atom_check st a;
+            copy_atom st (st.base_sig + i) a
+          end
+      | Prog.Vdefault (l, r) -> (
+        match l with
+        | Prog.Aconst _ ->
+          let cl = catom l in
+          fun st ->
+            if st.pres.(st.base_cls + c) then
+              copy_atom st (st.base_sig + i) cl
+        | Prog.Avar y -> (
+          let cy = class_of.(y) in
+          match r with
+          | Prog.Aconst _ ->
+            let cr = catom r in
+            fun st ->
+              if st.pres.(st.base_cls + c) then
+                if st.pres.(st.base_cls + cy) then begin
+                  check_computed st y;
+                  copy_sig st (st.base_sig + i) (st.base_sig + y)
+                end
+                else copy_atom st (st.base_sig + i) cr
+          | Prog.Avar z ->
+            let cz = class_of.(z) in
+            fun st ->
+              if st.pres.(st.base_cls + c) then
+                if st.pres.(st.base_cls + cy) then begin
+                  check_computed st y;
+                  copy_sig st (st.base_sig + i) (st.base_sig + y)
+                end
+                else if st.pres.(st.base_cls + cz) then begin
+                  check_computed st z;
+                  copy_sig st (st.base_sig + i) (st.base_sig + z)
+                end
+                else
+                  errf "instant %d: merge %s present with both branches absent"
+                    st.instants names.(i)))
+      | Prog.Vprim (pi, pos) -> compile_prim_val i c pi pos
+    in
+    let ops =
+      Array.map
+        (function Opres c -> compile_pres c | Oval i -> compile_val i)
+        plan
+    in
     Ok
       { p_prog = prog; p_calc = calc; p_class_of = class_of;
         p_nclasses = nclasses; p_pdefs = pdefs; p_clock_bdd = clock_bdd;
-        p_bddvars = bddvars; p_plan = plan; p_n_free = n_free }
+        p_bddvars = bddvars; p_plan = plan; p_ops = ops; p_n_free = n_free;
+        p_decls = Prog.decls prog }
   with
   | Comp_error m -> Error m
   | Prog.Lower_error m -> Error m
   | Invalid_argument m -> Error m
 
 (* a fresh mutable instance over a (possibly shared) plan *)
-let instantiate pl =
+let instantiate ?(scenarios = 1) pl =
   let prog = pl.p_prog in
-  { prog;
-    calc = pl.p_calc;
-    class_of = pl.p_class_of;
-    nclasses = pl.p_nclasses;
-    pdefs = pl.p_pdefs;
-    clock_bdd = pl.p_clock_bdd;
-    bddvars = pl.p_bddvars;
-    plan = pl.p_plan;
-    n_free = pl.p_n_free;
-    prims =
-      Array.map
-        (fun lp -> { lp; queue = Queue.create (); overflows = 0 })
-        prog.Prog.prims;
-    dstate = Array.copy prog.Prog.delay_init;
-    pres = Array.make (max pl.p_nclasses 1) false;
-    vals = Array.make (max prog.Prog.n 1) None;
-    stim_present = Array.make (max prog.Prog.n 1) false;
-    tr = Trace.create (Prog.decls prog);
-    instants = 0;
-    recording = true }
+  let n = prog.Prog.n in
+  let k = scenarios in
+  let nc = pl.p_nclasses in
+  let st =
+    { pl;
+      prog;
+      calc = pl.p_calc;
+      class_of = pl.p_class_of;
+      nclasses = nc;
+      pdefs = pl.p_pdefs;
+      clock_bdd = pl.p_clock_bdd;
+      bddvars = pl.p_bddvars;
+      plan = pl.p_plan;
+      ops = pl.p_ops;
+      n_free = pl.p_n_free;
+      n;
+      nscen = k;
+      scen = 0;
+      base_sig = 0;
+      base_cls = 0;
+      ri = Array.make (k * n) 0;
+      rr = Array.make (k * n) 0.;
+      rs = Array.make (k * n) "";
+      tg = Array.make (k * n) 0;
+      has = Array.make (k * n) false;
+      stim_p = Array.make (k * n) false;
+      pres = Array.make (k * nc) false;
+      di = Array.make (k * n) 0;
+      dr = Array.make (k * n) 0.;
+      ds = Array.make (k * n) "";
+      dtg = Array.make (k * n) 0;
+      prims =
+        Array.map
+          (fun lp ->
+            let cap = max 1 lp.Prog.lp_capacity in
+            { lp; cap;
+              q_ri = Array.make (k * cap) 0;
+              q_rr = Array.make (k * cap) 0.;
+              q_rs = Array.make (k * cap) "";
+              q_tg = Array.make (k * cap) 0;
+              q_len = Array.make k 0;
+              q_head = Array.make k 0;
+              overflows = Array.make k 0 })
+          prog.Prog.prims;
+      traces = Array.init k (fun _ -> Trace.create pl.p_decls);
+      instants = 0;
+      recording = true }
+  in
+  for s = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      set_delay_slot st ((s * n) + i) prog.Prog.delay_init.(i)
+    done
+  done;
+  st
 
 let record_plan_metrics pl =
   let mgr = Calc.manager pl.p_calc in
@@ -318,7 +1002,7 @@ let plan_cache : (string, (plan, string) result) Hashtbl.t = Hashtbl.create 64
 let plan_lock = Mutex.create ()
 let plan_cache_cap = 256
 
-let plan_of kp =
+let plan_of_digest kp =
   let dg = K.digest kp in
   Mutex.protect plan_lock @@ fun () ->
   match Hashtbl.find_opt plan_cache dg with
@@ -338,252 +1022,222 @@ let plan_of kp =
     Hashtbl.add plan_cache dg r;
     r
 
+(* Physical-equality fast path over the digest memo: re-instantiating
+   the same in-memory kernel (the common case in batched and
+   multi-scenario runs) skips the Marshal-based digest entirely. *)
+let plan_last : (K.kprocess * (plan, string) result) option Atomic.t =
+  Atomic.make None
+
+let plan_of kp =
+  match Atomic.get plan_last with
+  | Some (kp0, r) when kp0 == kp -> Metrics.incr m_cache_hits; r
+  | _ ->
+    let r = plan_of_digest kp in
+    Atomic.set plan_last (Some (kp, r));
+    r
+
 let compile kp =
   Metrics.incr m_compilations;
-  Result.map instantiate (plan_of kp)
+  Result.map (fun pl -> instantiate pl) (plan_of kp)
+
+let compile_scenarios kp ~scenarios =
+  if scenarios < 1 then Error "scenarios must be >= 1"
+  else begin
+    Metrics.incr m_compilations;
+    Result.map (fun pl -> instantiate ~scenarios pl) (plan_of kp)
+  end
 
 let compile_uncached kp =
   Metrics.incr m_compilations;
   Metrics.incr m_plan_builds;
   let r = Metrics.time m_compile_ns (fun () -> compile_impl kp) in
   (match r with Ok pl -> record_plan_metrics pl | Error _ -> ());
-  Result.map instantiate r
+  Result.map (fun pl -> instantiate pl) r
+
+let fork st = instantiate ~scenarios:st.nscen st.pl
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let value_of st i =
-  match st.vals.(i) with
-  | Some v -> v
-  | None -> errf "instant %d: signal %s used before being computed"
-              st.instants st.prog.Prog.names.(i)
+let select_scenario st s =
+  st.scen <- s;
+  st.base_sig <- s * st.n;
+  st.base_cls <- s * st.nclasses
 
-let atom_value st = function
-  | Prog.Aconst v -> v
-  | Prog.Avar y -> value_of st y
+let scenarios st = st.nscen
+let n_signals st = st.n
+let signal_index st x = Prog.index_opt st.prog x
+let signal_name st i = st.prog.Prog.names.(i)
 
-(* primitive output presence/value from state + input facts *)
-let prim_presence st p pos =
-  let ins = p.lp.Prog.lp_ins in
-  let pres_in k = st.pres.(st.class_of.(ins.(k))) in
-  match p.lp.Prog.lp_ki.K.ki_prim with
-  | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
-    (* data: pop present and an item available *)
-    let has_reset = Array.length ins = 3 in
-    let reset_p = has_reset && pres_in 2 in
-    let push_p = pres_in 0 and pop_p = pres_in 1 in
-    let qlen0 = if reset_p then 0 else Queue.length p.queue in
-    (match pos with
-     | 0 -> pop_p && qlen0 + (if push_p then 1 else 0) > 0
-     | _ -> assert false)
-  | Stdproc.Pin_event_port -> (
-    let ft_p = pres_in 1 in
-    match pos with
-    | 0 -> ft_p && not (Queue.is_empty p.queue)
-    | _ -> assert false)
-  | Stdproc.Pout_event_port -> (
-    let item_p = pres_in 0 and ot_p = pres_in 1 in
-    match pos with
-    | 0 -> ot_p && (item_p || not (Queue.is_empty p.queue))
-    | _ -> assert false)
+let stim_clear st =
+  Array.fill st.has st.base_sig st.n false;
+  Array.fill st.stim_p st.base_sig st.n false
 
-let prim_value st p pos =
-  let ins = p.lp.Prog.lp_ins in
-  let pres_in k = st.pres.(st.class_of.(ins.(k))) in
-  let val_in k = value_of st ins.(k) in
-  match p.lp.Prog.lp_ki.K.ki_prim with
-  | Stdproc.Pfifo | Stdproc.Pfifo_reset -> (
-    let has_reset = Array.length ins = 3 in
-    let reset_p = has_reset && pres_in 2 in
-    let push_p = pres_in 0 and pop_p = pres_in 1 in
-    let qlen0 = if reset_p then 0 else Queue.length p.queue in
-    match pos with
-    | 0 ->
-      (* data: oldest available item *)
-      if qlen0 > 0 then Queue.peek p.queue else val_in 0
-    | 1 ->
-      let n1 =
-        if push_p then min (qlen0 + 1) p.lp.Prog.lp_capacity else qlen0
-      in
-      Types.Vint (if pop_p && n1 > 0 then n1 - 1 else n1)
-    | _ -> assert false)
-  | Stdproc.Pin_event_port -> (
-    match pos with
-    | 0 -> Queue.peek p.queue
-    | 1 -> Types.Vint (Queue.length p.queue)
-    | _ -> assert false)
-  | Stdproc.Pout_event_port -> (
-    match pos with
-    | 0 -> if Queue.is_empty p.queue then value_of st ins.(0)
-           else Queue.peek p.queue
-    | _ -> assert false)
+let set_stim st i v =
+  if i < 0 || i >= st.n then errf "stimulus index %d out of range" i;
+  if not st.prog.Prog.is_input.(i) then
+    errf "stimulus for non-input signal %s" st.prog.Prog.names.(i);
+  let j = st.base_sig + i in
+  st.stim_p.(j) <- true;
+  set_slot_value st j v
 
-let bdd_env st v =
-  if v >= Array.length st.bddvars then false
-  else
-    match st.bddvars.(v) with
-    | Rpresent c -> st.pres.(c)
-    | Rcond bi -> (
-      st.pres.(st.class_of.(bi))
-      &&
-      match st.vals.(bi) with
-      | Some value -> Eval.as_bool value
-      | None -> false)
-    | Rcondeq (xi, k) -> (
-      st.pres.(st.class_of.(xi))
-      &&
-      match st.vals.(xi) with
-      | Some (Types.Vint n) -> n = k
-      | Some _ | None -> false)
-    | Rnone -> false
-
-let exec_pres st c =
-  match st.pdefs.(c) with
-  | Pfree -> st.pres.(c) <- false
-  | Pinput members ->
-    let p = List.exists (fun i -> st.stim_present.(i)) members in
-    List.iter
-      (fun i ->
-        if st.stim_present.(i) <> p then
-          errf "instant %d: synchronous inputs %s disagree on presence"
-            st.instants st.prog.Prog.names.(i))
-      members;
-    st.pres.(c) <- p
-  | Pprim (pi, pos) -> st.pres.(c) <- prim_presence st st.prims.(pi) pos
-  | Pderived ->
-    st.pres.(c) <-
-      Bdd.eval (Calc.manager st.calc) (bdd_env st) st.clock_bdd.(c)
-
-let exec_val st i =
-  if st.pres.(st.class_of.(i)) then
-    match st.prog.Prog.vdefs.(i) with
-    | Prog.Vnone ->
-      if st.vals.(i) = None then
-        errf "instant %d: present signal %s has no value (missing input?)"
-          st.instants st.prog.Prog.names.(i)
-    | Prog.Vfunc (op, args) ->
-      st.vals.(i) <-
-        Some (Eval.eval_func op (Array.to_list (Array.map (atom_value st) args)))
-    | Prog.Vdelay -> st.vals.(i) <- Some st.dstate.(i)
-    | Prog.Vwhen src -> st.vals.(i) <- Some (atom_value st src)
-    | Prog.Vdefault (l, r) ->
-      let branch =
-        match l with
-        | Prog.Aconst v -> v
-        | Prog.Avar y ->
-          if st.pres.(st.class_of.(y)) then value_of st y
-          else (
-            match r with
-            | Prog.Aconst v -> v
-            | Prog.Avar z ->
-              if st.pres.(st.class_of.(z)) then value_of st z
-              else
-                errf "instant %d: merge %s present with both branches absent"
-                  st.instants st.prog.Prog.names.(i))
-      in
-      st.vals.(i) <- Some branch
-    | Prog.Vprim (pi, pos) ->
-      st.vals.(i) <- Some (prim_value st st.prims.(pi) pos)
-
-let push_bounded p v =
-  if Queue.length p.queue >= p.lp.Prog.lp_capacity then begin
-    p.overflows <- p.overflows + 1;
-    match p.lp.Prog.lp_policy with
-    | Prog.Drop_oldest ->
-      ignore (Queue.pop p.queue);
-      Queue.push v p.queue
-    | Prog.Drop_newest -> ()
-    | Prog.Overflow_error ->
-      errf "queue overflow on %s (Overflow_Handling_Protocol => Error)"
-        p.lp.Prog.lp_ki.K.ki_label
+(* presence/value sanity pass; returns the present count *)
+let rec check_present st b i acc =
+  if i >= st.n then acc
+  else if st.pres.(st.base_cls + st.class_of.(i)) then begin
+    if not st.has.(b + i) then
+      errf "instant %d: signal %s present without a value" st.instants
+        st.prog.Prog.names.(i);
+    check_present st b (i + 1) (acc + 1)
   end
-  else Queue.push v p.queue
+  else check_present st b (i + 1) acc
 
-let commit_prim st p =
-  let ins = p.lp.Prog.lp_ins in
-  let pres_in k = st.pres.(st.class_of.(ins.(k))) in
-  let val_in k = value_of st ins.(k) in
-  match p.lp.Prog.lp_ki.K.ki_prim with
-  | Stdproc.Pfifo | Stdproc.Pfifo_reset ->
-    let has_reset = Array.length ins = 3 in
-    if has_reset && pres_in 2 then Queue.clear p.queue;
-    if pres_in 0 then push_bounded p (val_in 0);
-    if pres_in 1 && not (Queue.is_empty p.queue) then
-      ignore (Queue.pop p.queue)
-  | Stdproc.Pin_event_port ->
-    if pres_in 1 then Queue.clear p.queue;
-    (* NOTE: the engine moves in_fifo to frozen_fifo; since [frozen]
-       only ever exposes the head at Frozen_time, dropping the old
-       frozen content and re-freezing is equivalent observably; the
-       in_fifo is cleared after a freeze, matching Engine.commit. *)
-    if pres_in 0 then push_bounded p (val_in 0)
-  | Stdproc.Pout_event_port ->
-    if pres_in 0 then push_bounded p (val_in 0);
-    if pres_in 1 && not (Queue.is_empty p.queue) then
-      ignore (Queue.pop p.queue)
+let rec fill_row st b i k row =
+  if i < st.n then
+    if st.pres.(st.base_cls + st.class_of.(i)) then begin
+      row.(k) <- (i, slot_value st (b + i));
+      fill_row st b (i + 1) (k + 1) row
+    end
+    else fill_row st b (i + 1) k row
 
+(* one instant for the selected scenario; stimulus must already be in
+   the stim buffer. Allocation-free in steady state when recording is
+   off (and when on, allocates only the trace row). *)
+let exec_instant st =
+  Array.fill st.pres st.base_cls st.nclasses false;
+  let ops = st.ops in
+  for k = 0 to Array.length ops - 1 do
+    (Array.unsafe_get ops k) st
+  done;
+  let b = st.base_sig in
+  let class_of = st.class_of in
+  (* sanity: inputs marked present must be in present classes *)
+  for i = 0 to st.n - 1 do
+    if st.stim_p.(b + i) && not st.pres.(st.base_cls + class_of.(i)) then
+      errf "instant %d: input %s present against its derived clock"
+        st.instants st.prog.Prog.names.(i)
+  done;
+  let cnt = check_present st b 0 0 in
+  if st.recording then begin
+    let row = Array.make cnt (0, Types.Vevent) in
+    fill_row st b 0 0 row;
+    Trace.push_row st.traces.(st.scen) row
+  end;
+  (* commit: delays then queues *)
+  let delay_src = st.prog.Prog.delay_src in
+  for i = 0 to st.n - 1 do
+    let src = delay_src.(i) in
+    if src >= 0 && st.pres.(st.base_cls + class_of.(src)) then
+      copy_sig_to_delay st (b + src) (b + i)
+  done;
+  let prims = st.prims in
+  for k = 0 to Array.length prims - 1 do
+    commit_prim st prims.(k)
+  done;
+  Metrics.incr m_instants
+
+let step_prepared st =
+  let t0 = Clock.now_ns () in
+  let r =
+    try
+      exec_instant st;
+      st.instants <- st.instants + 1;
+      Ok ()
+    with Comp_error m -> Error m
+  in
+  Metrics.add_span_ns m_step_ns (Clock.now_ns () - t0);
+  r
+
+let rec present_assoc_from st b i =
+  if i >= st.n then []
+  else if st.pres.(st.base_cls + st.class_of.(i)) then
+    (st.prog.Prog.names.(i), slot_value st (b + i))
+    :: present_assoc_from st b (i + 1)
+  else present_assoc_from st b (i + 1)
+
+let out_present st i = st.pres.(st.base_cls + st.class_of.(i))
+
+let out_value st i =
+  let j = st.base_sig + i in
+  if st.pres.(st.base_cls + st.class_of.(i)) && st.has.(j) then
+    Some (slot_value st j)
+  else None
+
+let iter_present st f =
+  let b = st.base_sig in
+  for i = 0 to st.n - 1 do
+    if st.pres.(st.base_cls + st.class_of.(i)) then
+      f i (slot_value st (b + i))
+  done
+
+(* compat shim over the dense ABI: same list convention as Engine.step *)
 let step st ~stimulus =
-  Metrics.time m_step_ns @@ fun () ->
-  try
-    let prog = st.prog in
-    let nsignals = prog.Prog.n in
-    Array.fill st.pres 0 (Array.length st.pres) false;
-    Array.fill st.vals 0 (Array.length st.vals) None;
-    Array.fill st.stim_present 0 (Array.length st.stim_present) false;
-    List.iter
-      (fun (x, v) ->
-        match Prog.index_opt prog x with
-        | Some i when prog.Prog.is_input.(i) ->
-          st.stim_present.(i) <- true;
-          st.vals.(i) <- Some v
-        | Some _ -> errf "stimulus for non-input signal %s" x
-        | None -> errf "stimulus for unknown signal %s" x)
-      stimulus;
-    Array.iter
-      (fun op ->
-        match op with
-        | Opres c -> exec_pres st c
-        | Oval i -> exec_val st i)
-      st.plan;
-    (* sanity: inputs marked present must be in present classes *)
-    for i = 0 to nsignals - 1 do
-      if st.stim_present.(i) && not (st.pres.(st.class_of.(i))) then
-        errf "instant %d: input %s present against its derived clock"
-          st.instants prog.Prog.names.(i)
-    done;
-    let row = ref [] and present = ref [] in
-    for i = nsignals - 1 downto 0 do
-      if st.pres.(st.class_of.(i)) then
-        match st.vals.(i) with
-        | Some v ->
-          row := (i, v) :: !row;
-          present := (prog.Prog.names.(i), v) :: !present
-        | None ->
-          errf "instant %d: signal %s present without a value" st.instants
-            prog.Prog.names.(i)
-    done;
-    (* commit *)
-    for i = 0 to nsignals - 1 do
-      let src = prog.Prog.delay_src.(i) in
-      if src >= 0 && st.pres.(st.class_of.(src)) then
-        st.dstate.(i) <- value_of st src
-    done;
-    Array.iter (fun p -> commit_prim st p) st.prims;
-    if st.recording then Trace.push_row st.tr (Array.of_list !row);
-    st.instants <- st.instants + 1;
-    Metrics.incr m_instants;
-    Ok !present
-  with
-  | Comp_error m -> Error m
-  | Eval.Eval_error m -> Error (Printf.sprintf "instant %d: %s" st.instants m)
+  let t0 = Clock.now_ns () in
+  let r =
+    try
+      select_scenario st 0;
+      stim_clear st;
+      let prog = st.prog in
+      List.iter
+        (fun (x, v) ->
+          match Prog.index_opt prog x with
+          | Some i when prog.Prog.is_input.(i) ->
+            let j = st.base_sig + i in
+            st.stim_p.(j) <- true;
+            set_slot_value st j v
+          | Some _ -> errf "stimulus for non-input signal %s" x
+          | None -> errf "stimulus for unknown signal %s" x)
+        stimulus;
+      exec_instant st;
+      st.instants <- st.instants + 1;
+      Ok (present_assoc_from st st.base_sig 0)
+    with Comp_error m -> Error m
+  in
+  Metrics.add_span_ns m_step_ns (Clock.now_ns () - t0);
+  r
+
+let run_batched st ~n ~fill =
+  let t0 = Clock.now_ns () in
+  let r =
+    try
+      select_scenario st 0;
+      for k = 0 to n - 1 do
+        stim_clear st;
+        fill st k;
+        exec_instant st;
+        st.instants <- st.instants + 1
+      done;
+      Ok ()
+    with Comp_error m -> Error m
+  in
+  Metrics.add_span_ns m_step_ns (Clock.now_ns () - t0);
+  r
+
+let step_many st ~fill =
+  let t0 = Clock.now_ns () in
+  let r =
+    try
+      for s = 0 to st.nscen - 1 do
+        select_scenario st s;
+        stim_clear st;
+        fill st s;
+        exec_instant st
+      done;
+      select_scenario st 0;
+      st.instants <- st.instants + 1;
+      Ok ()
+    with Comp_error m -> Error m
+  in
+  Metrics.add_span_ns m_step_ns (Clock.now_ns () - t0);
+  r
 
 let run kp ~stimuli =
   match compile kp with
   | Error m -> Error m
   | Ok st ->
     let rec go = function
-      | [] -> Ok st.tr
+      | [] -> Ok st.traces.(0)
       | stim :: rest -> (
         match step st ~stimulus:stim with
         | Ok _ -> go rest
@@ -591,39 +1245,68 @@ let run kp ~stimuli =
     in
     go stimuli
 
-let trace st = st.tr
+let trace st = st.traces.(0)
+let trace_of st s = st.traces.(s)
 let instant st = st.instants
 
+(* ------------------------------------------------------------------ *)
+(* State management                                                    *)
+(* ------------------------------------------------------------------ *)
+
 type snapshot = {
-  s_dstate : Types.value array;
-  s_queues : Types.value list array;
+  s_dstate : Types.value array;          (* boxed, nscen * n *)
+  s_queues : Types.value list array;     (* nprims * nscen, front first *)
   s_instants : int;
 }
 
+let queue_list p s =
+  List.init p.q_len.(s) (fun k ->
+      let idx = (s * p.cap) + ((p.q_head.(s) + k) mod p.cap) in
+      match p.q_tg.(idx) with
+      | 0 -> Types.Vint p.q_ri.(idx)
+      | 1 -> if p.q_ri.(idx) <> 0 then Types.Vbool true else Types.Vbool false
+      | 2 -> Types.Vevent
+      | 3 -> Types.Vreal p.q_rr.(idx)
+      | _ -> Types.Vstring p.q_rs.(idx))
+
 let snapshot st =
-  { s_dstate = Array.copy st.dstate;
+  let nprims = Array.length st.prims in
+  { s_dstate = Array.init (st.nscen * st.n) (fun j -> delay_boxed st j);
     s_queues =
-      Array.map
-        (fun p -> List.of_seq (Queue.to_seq p.queue))
-        st.prims;
+      Array.init (nprims * st.nscen) (fun k ->
+          queue_list st.prims.(k / st.nscen) (k mod st.nscen));
     s_instants = st.instants }
 
 let restore st snap =
-  Array.blit snap.s_dstate 0 st.dstate 0 (Array.length st.dstate);
+  for j = 0 to (st.nscen * st.n) - 1 do
+    set_delay_slot st j snap.s_dstate.(j)
+  done;
   Array.iteri
-    (fun i p ->
-      Queue.clear p.queue;
-      List.iter (fun v -> Queue.push v p.queue) snap.s_queues.(i))
-    st.prims;
+    (fun k vs ->
+      let p = st.prims.(k / st.nscen) and s = k mod st.nscen in
+      qclear p s;
+      List.iter
+        (fun v ->
+          let idx = (s * p.cap) + ((p.q_head.(s) + p.q_len.(s)) mod p.cap) in
+          (match v with
+           | Types.Vint n -> p.q_tg.(idx) <- tg_int; p.q_ri.(idx) <- n
+           | Types.Vbool b ->
+             p.q_tg.(idx) <- tg_bool;
+             p.q_ri.(idx) <- (if b then 1 else 0)
+           | Types.Vevent -> p.q_tg.(idx) <- tg_event; p.q_ri.(idx) <- 1
+           | Types.Vreal r -> p.q_tg.(idx) <- tg_real; p.q_rr.(idx) <- r
+           | Types.Vstring s' -> p.q_tg.(idx) <- tg_string; p.q_rs.(idx) <- s');
+          p.q_len.(s) <- p.q_len.(s) + 1)
+        vs)
+    snap.s_queues;
   st.instants <- snap.s_instants
 
 let set_recording st b = st.recording <- b
 
 let state_digest st =
-  let queues =
-    Array.map (fun p -> List.of_seq (Queue.to_seq p.queue)) st.prims
-  in
-  Marshal.to_string (st.dstate, queues) []
+  let sn = snapshot st in
+  Marshal.to_string (sn.s_dstate, sn.s_queues) []
+
 let plan_length st = Array.length st.plan
 let free_classes st = st.n_free
 
@@ -677,10 +1360,10 @@ let to_c ?(name = "signal_step") st =
     for c = 0 to st.nclasses - 1 do
       pf "static int %s;\n" (p c)
     done;
-    (* delay state *)
+    (* delay state (scenario 0 registers hold the current values) *)
     for i = 0 to nsignals - 1 do
       if prog.Prog.delay_src.(i) >= 0 then begin
-        match st.dstate.(i) with
+        match delay_boxed st i with
         | Types.Vreal r -> pf "static double d_%d = %.17g;\n" i r
         | Types.Vint n -> pf "static long d_%d = %d;\n" i n
         | Types.Vbool b -> pf "static long d_%d = %d;\n" i (if b then 1 else 0)

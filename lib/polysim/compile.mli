@@ -6,15 +6,21 @@
     compiler runs the clock calculus once, derives a boolean clock
     function per synchronization class, orders presence and value
     computations topologically, and emits a straight-line execution
-    plan. A [step] then:
+    plan compiled to closures over unboxed structure-of-arrays state.
+    A step then:
 
-    + reads input presence from the stimulus;
+    + reads input presence from the dense stimulus buffer;
     + evaluates each class's clock function (free classes take their
       presence from inputs or primitive FIFO state; everything else is
-      decided by the BDD);
+      decided by a decision tree flattened from the clock BDD);
     + computes values of present signals in dataflow order — no
-      iteration, no retraction;
-    + commits delays and FIFO state.
+      iteration, no retraction, no per-value boxing;
+    + commits delay registers and FIFO ring buffers.
+
+    The steady-state step loop is allocation-flat: with trace
+    recording off, {!run_batched} performs no per-instant heap
+    allocation (values live in int/float/string payload arrays indexed
+    by signal, tagged per instant).
 
     Compilation {e fails} (with a diagnostic) on programs whose
     combined presence/value dependency graph is cyclic — exactly the
@@ -26,24 +32,103 @@ type t
 
 val compile : Signal_lang.Kernel.kprocess -> (t, string) result
 (** Compile, or fetch the memoized compilation. The expensive immutable
-    part — clock analysis, clock BDDs, the toposorted execution plan —
-    is cached on {!Signal_lang.Kernel.digest} and shared between all
-    instances of a kernel; each call returns a fresh mutable instance
-    (own delay registers, FIFO queues, trace). Instances over one plan
-    are independent: stepping one never observes another, and distinct
+    part — clock analysis, clock BDDs, the toposorted execution plan
+    compiled to closures — is cached on {!Signal_lang.Kernel.digest}
+    (with a physical-equality fast path for repeated compiles of the
+    same in-memory kernel) and shared between all instances of a
+    kernel; each call returns a fresh mutable instance (own delay
+    registers, FIFO queues, trace). Instances over one plan are
+    independent: stepping one never observes another, and distinct
     domains may each step their own instance concurrently (the shared
     plan is read-only at step time). *)
+
+val compile_scenarios :
+  Signal_lang.Kernel.kprocess -> scenarios:int -> (t, string) result
+(** Like {!compile}, but the instance carries [scenarios] independent
+    copies of the mutable state (delay registers, FIFO queues,
+    presence bits, stimulus buffer, trace) in scenario-striped
+    structure-of-arrays layout, all driven in lockstep by
+    {!step_many} over the one shared plan. [scenarios] must be
+    [>= 1]. *)
 
 val compile_uncached : Signal_lang.Kernel.kprocess -> (t, string) result
 (** [compile] bypassing the plan memo: always rebuilds. For benches
     that want to measure a cold compilation, and tests. *)
+
+val fork : t -> t
+(** A fresh instance (initial state, empty traces, same scenario
+    count) over the same already-built plan. Never fails: no
+    re-compilation happens. *)
+
+val scenarios : t -> int
+(** Number of lockstep scenarios carried by this instance (1 unless
+    built by {!compile_scenarios}). *)
+
+(** {1 Dense stimulus ABI}
+
+    The zero-allocation convention: inputs are addressed by their
+    dense signal index and written into a preallocated stimulus
+    buffer; outputs are read back from the instance without
+    materializing lists. One instant is:
+
+    {[ Compile.stim_clear c;
+       Compile.set_stim c i v;          (* per present input *)
+       Compile.step_prepared c;
+       Compile.iter_present c (fun i v -> ...) ]} *)
+
+val n_signals : t -> int
+
+val signal_index : t -> Signal_lang.Ast.ident -> int option
+(** Dense index of a signal name (inputs and outputs alike). *)
+
+val signal_name : t -> int -> Signal_lang.Ast.ident
+
+val stim_clear : t -> unit
+(** Reset the stimulus buffer of the selected scenario: every input
+    becomes absent for the next instant. *)
+
+val set_stim : t -> int -> Signal_lang.Types.value -> unit
+(** Mark input [i] present with the given value for the next instant.
+    Raising paths (non-input or out-of-range index) surface as the
+    [Error] of the enclosing {!step_prepared}/{!run_batched} call. *)
+
+val step_prepared : t -> (unit, string) result
+(** Execute one instant from the current stimulus buffer. Read results
+    back with {!out_present}/{!out_value}/{!iter_present}. *)
+
+val out_present : t -> int -> bool
+(** Whether signal [i] was present at the last executed instant. *)
+
+val out_value : t -> int -> Signal_lang.Types.value option
+(** Value of signal [i] at the last executed instant, if present. *)
+
+val iter_present : t -> (int -> Signal_lang.Types.value -> unit) -> unit
+(** Iterate present signals of the last executed instant in ascending
+    index order. *)
+
+(** {1 Stepping} *)
 
 val step :
   t ->
   stimulus:(Signal_lang.Ast.ident * Signal_lang.Types.value) list ->
   ((Signal_lang.Ast.ident * Signal_lang.Types.value) list, string) result
 (** Same convention as {!Engine.step}: present inputs with values;
-    unlisted inputs are absent. *)
+    unlisted inputs are absent. A thin compat shim over the dense ABI
+    (kept for Engine parity tests); drives scenario 0. *)
+
+val run_batched : t -> n:int -> fill:(t -> int -> unit) -> (unit, string) result
+(** Execute [n] instants in one call over scenario 0, with plan and
+    metrics lookups hoisted out of the loop and no intermediate lists.
+    [fill c k] must set the stimulus for relative instant [k] via
+    {!set_stim} (the buffer is cleared before each call). With
+    recording off the loop does not allocate per instant. *)
+
+val step_many : t -> fill:(t -> int -> unit) -> (unit, string) result
+(** Advance {e every} scenario of the instance by one instant, in
+    lockstep over the shared plan. [fill c s] sets scenario [s]'s
+    stimulus via {!set_stim}. Per-scenario results land in
+    {!trace_of}; each scenario behaves exactly as an independent
+    instance driven with the same stimuli (tested). *)
 
 val run :
   Signal_lang.Kernel.kprocess ->
@@ -51,6 +136,11 @@ val run :
   (Trace.t, string) result
 
 val trace : t -> Trace.t
+(** Trace of scenario 0. *)
+
+val trace_of : t -> int -> Trace.t
+(** Trace of scenario [s]. *)
+
 val instant : t -> int
 
 val plan_length : t -> int

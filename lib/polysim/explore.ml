@@ -11,6 +11,18 @@ let m_states = Metrics.gauge "explore.states"
 let m_frontier_max = Metrics.gauge "explore.frontier_max"
 let m_check_ns = Metrics.timer "explore.check_ns"
 
+(* Exploration failures surface as coded diagnostics so `verify` keeps
+   its 0/1/2 exit contract instead of crashing on an exception. *)
+let code_compile =
+  Putil.Diag.code "EXPLORE-COMPILE-001"
+    "process does not compile for bounded exploration"
+let code_sim =
+  Putil.Diag.code "EXPLORE-SIM-001"
+    "simulation failed during bounded exploration"
+
+let diag_compile m = Putil.Diag.errorf ~code:code_compile "%s" m
+let diag_sim m = Putil.Diag.errorf ~code:code_sim "%s" m
+
 type verdict =
   | Holds
   | Violated of (Signal_lang.Ast.ident * Types.value) list list
@@ -39,7 +51,7 @@ let default_jobs () =
    semantics the parallel search is tested against. *)
 let check_dfs ?(depth = 8) ~inputs ~safe kp =
   match Compile.compile kp with
-  | Error m -> Error m
+  | Error m -> Error (diag_compile m)
   | Ok c -> (
     Compile.set_recording c false;
     let stimuli = combinations inputs in
@@ -79,7 +91,7 @@ let check_dfs ?(depth = 8) ~inputs ~safe kp =
     match go depth [] with
     | () -> Ok (Holds, !states)
     | exception Stop v -> Ok (v, !states)
-    | exception Sim_failure m -> Error m)
+    | exception Sim_failure m -> Error (diag_sim m))
 
 (* Breadth-first frontier search, one depth slice at a time, fanned out
    over a domain pool.
@@ -125,7 +137,7 @@ let check ?(depth = 8) ?jobs ~inputs ~safe kp =
         ("jobs", Putil.Tracing.Aint jobs) ]
   @@ fun () ->
   match Compile.compile kp with
-  | Error m -> Error m
+  | Error m -> Error (diag_compile m)
   | Ok c0 ->
     Metrics.incr m_checks;
     Metrics.set m_domains jobs;
@@ -151,12 +163,12 @@ let check ?(depth = 8) ?jobs ~inputs ~safe kp =
         let c =
           match borrowed with
           | Some c -> c
-          | None -> (
-            match Compile.compile kp with
-            | Ok c ->
-              Compile.set_recording c false;
-              c
-            | Error m -> failwith ("Explore: cannot re-instantiate: " ^ m))
+          | None ->
+            (* A fork over [c0]'s already-built plan cannot fail, so
+               instance exhaustion can never crash the search. *)
+            let c = Compile.fork c0 in
+            Compile.set_recording c false;
+            c
         in
         Fun.protect
           ~finally:(fun () ->
@@ -176,7 +188,7 @@ let check ?(depth = 8) ?jobs ~inputs ~safe kp =
       let frontier_peak = ref 1 in
       let best_edge = Atomic.make max_int in
       let best_outcome :
-          (int * ((verdict, string) result)) option ref =
+          (int * ((verdict, Putil.Diag.t) result)) option ref =
         ref None
       in
       let outcome_mu = Mutex.create () in
@@ -246,7 +258,7 @@ let check ?(depth = 8) ?jobs ~inputs ~safe kp =
                             kids.(s) <-
                               Some (dg, Compile.snapshot c, stimulus :: trail)
                         end
-                      | Error m -> record ek (Error m)
+                      | Error m -> record ek (Error (diag_sim m))
                     end
                   done;
                   children.(i) <- kids

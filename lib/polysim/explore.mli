@@ -36,13 +36,15 @@ val check :
   inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
   safe:((Signal_lang.Ast.ident * Signal_lang.Types.value) list -> bool) ->
   Signal_lang.Kernel.kprocess ->
-  (verdict * int, string) result
+  (verdict * int, Putil.Diag.t) result
 (** [check ~inputs ~safe kp] explores up to [depth] (default 8)
     instants. [inputs] lists, per input signal, its alternatives each
     instant ([None] = absent, [Some v] = present with value [v]); the
     instant's stimulus is one choice per input (cartesian product).
     [safe] receives each reaction's present signals. Returns the
-    verdict and the number of distinct states explored. Fails when the
+    verdict and the number of distinct states explored. Fails — with a
+    coded diagnostic ([EXPLORE-COMPILE-001] / [EXPLORE-SIM-001]), never
+    an exception, so `verify` keeps its 0/1/2 exit contract — when the
     process does not compile (causality cycle) or a simulation error
     occurs outside the property (e.g. division by zero).
 
@@ -58,7 +60,7 @@ val check_dfs :
   inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
   safe:((Signal_lang.Ast.ident * Signal_lang.Types.value) list -> bool) ->
   Signal_lang.Kernel.kprocess ->
-  (verdict * int, string) result
+  (verdict * int, Putil.Diag.t) result
 (** Sequential depth-first exploration — same contract as {!check} with
     [jobs:1], but the counterexample is the first found in depth-first
     order (not necessarily shallowest) and a state may be re-expanded
@@ -70,6 +72,6 @@ val reachable_states :
   ?jobs:int ->
   inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
   Signal_lang.Kernel.kprocess ->
-  (int, string) result
+  (int, Putil.Diag.t) result
 (** Count of distinct (state, depth-independent) process states reached
     within the bound — a small verification metric. *)

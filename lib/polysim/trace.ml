@@ -139,6 +139,27 @@ let tick_instants t x =
     done;
     !acc
 
+let equal a b =
+  a.len = b.len
+  && Array.length a.names = Array.length b.names
+  && (let ok = ref true in
+      Array.iteri (fun i n -> if n <> b.names.(i) then ok := false) a.names;
+      !ok)
+  &&
+  let rows_ok = ref true in
+  (try
+     for i = 0 to a.len - 1 do
+       let ra = a.steps.(i) and rb = b.steps.(i) in
+       if Array.length ra <> Array.length rb then raise Exit;
+       Array.iteri
+         (fun k (ja, va) ->
+           let jb, vb = rb.(k) in
+           if ja <> jb || not (Types.equal_value va vb) then raise Exit)
+         ra
+     done
+   with Exit -> rows_ok := false);
+  !rows_ok
+
 let is_temp name =
   String.length name > 0
   && (name.[0] = '_'

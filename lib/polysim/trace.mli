@@ -45,6 +45,11 @@ val values_of : t -> Signal_lang.Ast.ident -> Signal_lang.Types.value list
 val tick_instants : t -> Signal_lang.Ast.ident -> int list
 (** Instants where the signal is present. *)
 
+val equal : t -> t -> bool
+(** Structural equality: same signal names in the same order, same
+    length, and the same present signals with equal values at every
+    instant (values compared with {!Signal_lang.Types.equal_value}). *)
+
 val observable : t -> Signal_lang.Ast.ident list
 (** Declared signals that are not generated temporaries (no leading
     ['_'] and no ["__"] in the name), the default selection for

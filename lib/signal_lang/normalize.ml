@@ -1,9 +1,26 @@
 open Ast
 open Kernel
 
-exception Error of string
+let code_norm =
+  Putil.Diag.code "SIG-NORM-001"
+    "generated SIGNAL program cannot be normalized"
 
-let errf fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+(* Internal control flow only; [process] catches it and builds the
+   coded diagnostic. The span is the nearest marked source construct
+   (expression, statement, or declaration) to where flattening gave
+   up, so "cannot normalize" points at source instead of nowhere. *)
+exception Error of Putil.Diag.span option * string
+
+exception Normalize_error of Putil.Diag.t
+
+let () =
+  Printexc.register_printer (function
+    | Normalize_error d -> Some (Putil.Diag.to_string d)
+    | _ -> None)
+
+let errf fmt = Format.kasprintf (fun m -> raise (Error (None, m))) fmt
+
+let errf_at sp fmt = Format.kasprintf (fun m -> raise (Error (sp, m))) fmt
 
 type state = {
   mutable counter : int;
@@ -41,7 +58,7 @@ type scope = {
 let type_of scope e =
   match Typecheck.type_of_expr scope.tenv e with
   | Ok t -> t
-  | Error m -> errf "%s" m
+  | Error m -> errf_at (span e) "%s" m
 
 (* Substitute static parameters by their constant values. *)
 let rec subst_params subst (e : expr) : expr =
@@ -191,7 +208,8 @@ let rec norm_body st ~program ~stack p scope =
       let x1 = norm_expr_ident st scope e1 in
       let x2 = norm_expr_ident st scope e2 in
       st.constraints <- Cex (x1, x2) :: st.constraints
-    | Sinstance inst -> norm_instance st ~program ~stack p scope inst
+    | Sinstance inst ->
+      norm_instance st ~program ~stack ~sp:(span stmt) p scope inst
   in
   List.iter do_stmt p.body;
   (* Materialize partial definitions as a recorded merge. *)
@@ -215,7 +233,7 @@ let rec norm_body st ~program ~stack p scope =
         assign st dst (Avar merged))
     partials
 
-and norm_instance st ~program ~stack host scope inst =
+and norm_instance st ~program ~stack ~sp host scope inst =
   match Stdproc.primitive_of_name inst.inst_proc with
   | Some prim ->
     let ins = List.map (norm_expr_ident st scope) inst.inst_ins in
@@ -226,21 +244,24 @@ and norm_instance st ~program ~stack host scope inst =
       :: st.instances
   | None -> (
     match resolve_model ~program ~host inst.inst_proc with
-    | None -> errf "unknown process model %s" inst.inst_proc
+    | None -> errf_at sp "unknown process model %s" inst.inst_proc
     | Some model ->
       if List.mem model.proc_name stack then
-        errf "recursive instantiation of process %s" model.proc_name;
-      inline st ~program ~stack:(model.proc_name :: stack) scope inst model)
+        errf_at sp "recursive instantiation of process %s" model.proc_name;
+      inline st ~program ~stack:(model.proc_name :: stack) ~sp scope inst
+        model)
 
 (* Inline a non-primitive instance: bind actual inputs/outputs, rename
    locals with a fresh prefix, substitute static parameters. *)
-and inline st ~program ~stack outer_scope inst model =
+and inline st ~program ~stack ~sp outer_scope inst model =
   if List.length inst.inst_ins <> List.length model.inputs then
-    errf "instance %s of %s: bad input arity" inst.inst_label model.proc_name;
+    errf_at sp "instance %s of %s: bad input arity" inst.inst_label
+      model.proc_name;
   if List.length inst.inst_outs <> List.length model.outputs then
-    errf "instance %s of %s: bad output arity" inst.inst_label model.proc_name;
+    errf_at sp "instance %s of %s: bad output arity" inst.inst_label
+      model.proc_name;
   if List.length inst.inst_params <> List.length model.params then
-    errf "instance %s of %s: bad parameter arity" inst.inst_label
+    errf_at sp "instance %s of %s: bad parameter arity" inst.inst_label
       model.proc_name;
   let params_bound =
     List.map2 (fun vd v -> (vd.var_name, v)) model.params inst.inst_params
@@ -336,9 +357,12 @@ let process ?program ?(params = []) p =
         kconstraints = List.rev st.constraints;
         kinstances = List.rev st.instances;
         kpartials = List.rev st.partials }
-  with Error m -> Error (Printf.sprintf "normalize %s: %s" p.proc_name m)
+  with Error (sp, m) ->
+    Error
+      (Putil.Diag.errorf ?span:sp ~code:code_norm "normalize %s: %s"
+         p.proc_name m)
 
 let process_exn ?program ?params p =
   match process ?program ?params p with
   | Ok kp -> kp
-  | Error m -> failwith m
+  | Error d -> raise (Normalize_error d)

@@ -13,20 +13,27 @@
     ["_tN"] for temporaries, so they cannot clash with source names
     produced by the AADL translator. *)
 
+exception Normalize_error of Putil.Diag.t
+(** Raised by {!process_exn}; a printer is registered so uncaught
+    instances render as the diagnostic. *)
+
 val process :
   ?program:'q Ast.gprogram ->
   ?params:Types.value list ->
   'p Ast.gprocess ->
-  (Kernel.kprocess, string) result
+  (Kernel.kprocess, Putil.Diag.t) result
 (** Normalize one process. [params] instantiates its static parameters
     (required when the process declares any). [program] provides the
     global scope for instance resolution; the AADL2SIGNAL library is
     always in scope. Any phase is accepted (trees are demoted to
     [parsed] internally, keeping spans); generated kernel declarations
     carry [normalized] marks whose spans point back at the source
-    construct each temporary flattens. *)
+    construct each temporary flattens. Errors are [SIG-NORM-001]
+    diagnostics whose span is the marked source construct (statement,
+    expression or instance) normalization gave up on, when one is
+    known. *)
 
 val process_exn :
   ?program:'q Ast.gprogram -> ?params:Types.value list -> 'p Ast.gprocess ->
   Kernel.kprocess
-(** @raise Failure on normalization errors. *)
+(** @raise Normalize_error on normalization errors. *)

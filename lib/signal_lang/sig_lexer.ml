@@ -242,7 +242,7 @@ let tokenize src = List.map fst (tokenize_pos src)
 let token_to_string = function
   | IDENT s -> s
   | INT n -> string_of_int n
-  | REAL r -> string_of_float r
+  | REAL r -> Putil.Mathx.float_to_string r
   | STRING s -> Printf.sprintf "%S" s
   | KW s -> s
   | LPAREN -> "(" | RPAREN -> ")"

@@ -53,7 +53,7 @@ let value_to_string = function
   | Vevent -> "true"
   | Vbool b -> if b then "true" else "false"
   | Vint n -> string_of_int n
-  | Vreal r -> Printf.sprintf "%g" r
+  | Vreal r -> Putil.Mathx.float_to_string r
   | Vstring s -> Printf.sprintf "%S" s
 
 let pp_styp ppf t = Format.pp_print_string ppf (styp_to_string t)

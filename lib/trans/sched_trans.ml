@@ -45,16 +45,38 @@ let translate ~name ~prefix_of (s : S.schedule) =
             let phase_eq = B.(v ph = i tm) in
             if t >= horizon then B.(phase_eq && (v n > i t)) else phase_eq
           in
+          (* a tick set that is an arithmetic progression covering the
+             hyper-period — the common case: strictly periodic events —
+             collapses to one modular test instead of an OR with one
+             term per firing, keeping the generated program size
+             independent of the hyper-period/period ratio *)
+          let progression = function
+            | t0 :: (_ :: _ as rest) when List.for_all (fun t -> t < horizon) ticks ->
+              let d = List.hd rest - t0 in
+              let rec ap prev = function
+                | [] -> true
+                | t :: ts -> t - prev = d && ap t ts
+              in
+              if d > 0 && ap t0 rest
+                 && horizon mod d = 0
+                 && List.length ticks = horizon / d
+              then Some (t0, d)
+              else None
+            | _ -> None
+          in
           match ticks with
           | [] ->
             (* never fires: the empty clock *)
             emit B.(out := on (b false))
-          | t0 :: rest ->
-            let cond =
-              List.fold_left (fun acc t -> B.(acc || cond_of t)) (cond_of t0)
-                rest
-            in
-            emit B.(out := on cond))
+          | t0 :: rest -> (
+            match progression ticks with
+            | Some (t0, d) -> emit B.(out := on (v ph mod i d = i t0))
+            | None ->
+              let cond =
+                List.fold_left (fun acc t -> B.(acc || cond_of t)) (cond_of t0)
+                  rest
+              in
+              emit B.(out := on cond)))
         (output_names ~prefix)
         [ S.Dispatch; S.Start; S.Complete; S.Deadline ])
     (task_names s);

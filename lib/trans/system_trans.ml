@@ -32,6 +32,19 @@ let code_sched_props =
     "thread lacks the properties needed for static scheduling"
 let code_fatal =
   Putil.Diag.code "TRANS-004" "translation cannot produce a program"
+let code_horizon =
+  Putil.Diag.code "TRANS-005"
+    "schedule table too large for static expansion"
+
+(* Ceiling on hyper-period/base-tick slots a schedule table may expand
+   to. The embedded scheduler encoding is O(slots) SIGNAL equations
+   (worse when start/complete events are irregular), and the clock
+   calculus is superlinear in the equation count, so an unbounded
+   expansion turns a wildly-mismatched period set (say 4 ms against
+   6 s) into a multi-gigabyte analysis. Past this ceiling the
+   processor is scheduled like an infeasible one — never-present
+   stubs plus a diagnostic. The paper-scale case study uses 24. *)
+let max_table_slots = 256
 
 (* A defect after which no output program can be assembled; recoverable
    defects accumulate in the collector instead. *)
@@ -181,6 +194,23 @@ let translate_core ?file ~registry ~policy ~mode ~diags t =
        replaced by a harmless placeholder slot, so one defective thread
        does not mask defects elsewhere in the model. *)
     let task_cache = Hashtbl.create 8 in
+    (* placeholder period when a defective thread declares none: the
+       gcd of the declared periods, which perturbs neither the
+       processor's base tick (a gcd) nor its hyper-period (an lcm) —
+       any other choice can inflate the schedule table by orders of
+       magnitude *)
+    let fallback_period_us =
+      match
+        List.filter_map
+          (fun th ->
+            match Aadl.Props.period_us th.Inst.i_props with
+            | Some p when p > 0 -> Some p
+            | Some _ | None -> None)
+          threads
+      with
+      | [] -> 1_000_000
+      | ps -> Putil.Mathx.gcd_list ps
+    in
     let task_of th =
       match Hashtbl.find_opt task_cache th.Inst.i_path with
       | Some task -> task
@@ -190,8 +220,16 @@ let translate_core ?file ~registry ~policy ~mode ~diags t =
           | Ok task -> task
           | Error d ->
             Putil.Diag.add diags d;
-            Sched.Task.make ~name:th.Inst.i_path ~period_us:1_000_000
-              ~wcet_us:1 ()
+            (* keep the thread's declared period if it has one: an
+               arbitrary fallback period would enter the processor's
+               hyper-period lcm and can inflate the schedule table by
+               orders of magnitude *)
+            let period_us =
+              match Aadl.Props.period_us th.Inst.i_props with
+              | Some p when p > 0 -> p
+              | Some _ | None -> fallback_period_us
+            in
+            Sched.Task.make ~name:th.Inst.i_path ~period_us ~wcet_us:1 ()
         in
         Hashtbl.add task_cache th.Inst.i_path task;
         task
@@ -276,6 +314,25 @@ let translate_core ?file ~registry ~policy ~mode ~diags t =
         List.fold_left
           (fun (ok, failed) (cpu, tasks) ->
             match S.synthesize ~policy tasks with
+            | Ok s when s.S.hyperperiod_us / s.S.base_us > max_table_slots ->
+              let span =
+                List.find_map
+                  (fun th ->
+                    if String.equal (cpu_of_thread th) cpu
+                    then span_of_loc ?file th.Inst.i_loc
+                    else None)
+                  threads
+              in
+              Putil.Diag.add diags
+                (Putil.Diag.errorf ?span ~code:code_horizon
+                   "processor %s: schedule table of %d slots (hyper-period \
+                    %d us over a %d us base tick) exceeds the %d-slot \
+                    static-expansion limit; check for wildly mismatched \
+                    thread periods"
+                   cpu
+                   (s.S.hyperperiod_us / s.S.base_us)
+                   s.S.hyperperiod_us s.S.base_us max_table_slots);
+              (ok, (cpu, tasks) :: failed)
             | Ok s -> ((cpu, s) :: ok, failed)
             | Error f ->
               (* point at the thread whose job misses, falling back to

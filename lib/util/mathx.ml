@@ -53,3 +53,17 @@ let pos_mod a b =
   assert (b > 0);
   let r = a mod b in
   if r < 0 then r + b else r
+
+(* Shortest decimal form that parses back to the same float: probe
+   increasing precision, falling back to the 17 significant digits
+   that are always sufficient for a binary64. *)
+let float_to_string f =
+  if f <> f then "nan"
+  else if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f

@@ -36,3 +36,11 @@ val floor_div : int -> int -> int
 
 val pos_mod : int -> int -> int
 (** [pos_mod a b] is the representative of [a] modulo [b] in [0, b-1]. *)
+
+val float_to_string : float -> string
+(** Round-trippable decimal form: the shortest of [%.15g]/[%.16g]/
+    [%.17g] that [float_of_string] maps back to the same binary64
+    ([nan]/[inf]/[-inf] for the non-finite values). The one float
+    printer shared by the lexer token dumps, the SIGNAL pretty-printer
+    and value rendering, so text output never loses precision the way
+    [string_of_float]'s ["1."] / [%g]'s 6-digit rounding do. *)

@@ -36,7 +36,7 @@ let test_timer_never_early () =
   | Ok (E.Violated tr, _) ->
     Alcotest.fail
       (Printf.sprintf "early timeout after %d instants" (List.length tr))
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.to_string m)
 
 let test_timer_can_expire () =
   (* at depth 5 the timeout IS reachable: arm then tick 4 times *)
@@ -61,7 +61,7 @@ let test_timer_can_expire () =
     Alcotest.(check bool) "counterexample within depth" true
       (List.length trail <= 5 && List.length trail >= 4)
   | Ok (E.Holds, _) -> Alcotest.fail "timeout must be reachable at depth 5"
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.to_string m)
 
 (* the fm memory law universally: o equals the last present i *)
 let test_fm_law_universal () =
@@ -99,7 +99,7 @@ let test_fm_law_universal () =
        search counts each distinct state exactly once *)
     Alcotest.(check int) "distinct memory states" 3 states
   | Ok (E.Violated _, _) -> Alcotest.fail "fm law violated"
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.to_string m)
 
 let test_counterexample_replays () =
   (* a deliberately falsifiable property: the counter never reaches 3 *)
@@ -127,7 +127,7 @@ let test_counterexample_replays () =
         (Polysim.Trace.get tr last "n" = Some (vi 3))
     | Error m -> Alcotest.fail m)
   | Ok (E.Holds, _) -> Alcotest.fail "n=3 is reachable"
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.to_string m)
 
 let test_state_pruning_counts () =
   (* a 1-bit toggle has exactly 2 distinct states regardless of depth *)
@@ -143,7 +143,7 @@ let test_state_pruning_counts () =
     E.reachable_states ~depth:10 ~inputs:[ ("e", [ None; Some ve ]) ] kp
   with
   | Ok n -> Alcotest.(check int) "two states" 2 n
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.to_string m)
 
 let test_uncompilable_rejected () =
   let p =

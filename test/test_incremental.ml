@@ -378,7 +378,7 @@ let prop_normalize_keeps_spans =
       | Ok p -> (
         let allowed = None :: process_spans p in
         match Signal_lang.Normalize.process p with
-        | Error m -> QCheck2.Test.fail_reportf "normalize: %s" m
+        | Error m -> QCheck2.Test.fail_reportf "normalize: %s" (Putil.Diag.to_string m)
         | Ok kp ->
           List.for_all
             (fun d -> List.mem (Ast.mark_span d.Ast.var_mark) allowed)
@@ -392,7 +392,7 @@ let prop_optimize_keeps_spans =
       | Error m -> QCheck2.Test.fail_reportf "reparse: %s\n%s" m printed
       | Ok p -> (
         match Signal_lang.Normalize.process p with
-        | Error m -> QCheck2.Test.fail_reportf "normalize: %s" m
+        | Error m -> QCheck2.Test.fail_reportf "normalize: %s" (Putil.Diag.to_string m)
         | Ok kp ->
           let before =
             List.map (fun d -> Ast.mark_span d.Ast.var_mark) (K.signals kp)

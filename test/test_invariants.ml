@@ -92,7 +92,7 @@ let test_kernel_wf_library () =
            Alcotest.(check (list string))
              (p.Ast.proc_name ^ " kernel well-formed")
              [] (kernel_wf kp)
-         | Error m -> Alcotest.fail m))
+         | Error m -> Alcotest.fail (Putil.Diag.to_string m)))
     Signal_lang.Stdproc.all
 
 (* ---------------- scheduler export coherence ----------------------- *)

@@ -189,7 +189,9 @@ let test_stdlib_all_normalize () =
         (match N.process ~params p with
          | Ok _ -> ()
          | Error m ->
-           Alcotest.fail (Printf.sprintf "%s: %s" p.Ast.proc_name m)))
+           Alcotest.fail
+             (Printf.sprintf "%s: %s" p.Ast.proc_name
+                (Putil.Diag.to_string m))))
     Stdproc.all
 
 let test_fresh_names_no_clash () =

@@ -133,7 +133,7 @@ let test_reparsed_program_normalizes () =
          Alcotest.(check bool) "reparsed program runs" true
            (Polysim.Trace.length tr = 24)
        | Error m -> Alcotest.fail m)
-    | Error m -> Alcotest.fail m)
+    | Error m -> Alcotest.fail (Putil.Diag.to_string m))
 
 (* random expression fixpoint *)
 let gen_expr =

@@ -126,7 +126,7 @@ let test_system_normalizes () =
          (fun ki ->
            ki.Signal_lang.Kernel.ki_prim = Signal_lang.Stdproc.Pfifo_reset)
          kp.Signal_lang.Kernel.kinstances)
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Putil.Diag.to_string m)
 
 let test_traceability () =
   let out = translate_case () in

@@ -105,7 +105,7 @@ let test_roundtrip_simulated () =
   let kp =
     match N.process p with
     | Ok kp -> kp
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Putil.Diag.to_string m)
   in
   let stimuli =
     [ [ ("x", Types.Vint 1) ]; []; [ ("x", Types.Vint 2) ];
