@@ -835,6 +835,86 @@ let bench_edit_recheck () =
   if cold_ns < 5.0 *. incr_ns then
     failwith "edit-recheck bench: incremental path under the 5x floor"
 
+(* C10: symbolic vs explicit bounded verification over the counter
+   scaling family ({!Polysim.Models.counters}): k independent modulo-3
+   counters give 3^k reachable states and 2^k stimulus combinations
+   per instant, so explicit enumeration saturates around k=6 while BDD
+   image computation stays polynomial per step under the interleaved
+   per-class variable order. Small k runs both engines and asserts the
+   verdicts and exact state counts agree; large k runs symbolic only
+   and reports states/sec plus the peak live BDD node count (the
+   [explore.sym.peak_nodes] gauge, which the --baseline metrics diff
+   tracks for blowup across commits). The k=20 row enforces the
+   acceptance floor: >10^6 states verified in under 10 s. *)
+let bench_verify () =
+  section "C10: symbolic vs explicit bounded verification";
+  let module M = Polysim.Models in
+  let module E = Polysim.Explore in
+  let check ~engine ~depth k =
+    let kp = M.counters k and inputs = M.counters_inputs k in
+    let t0 = Unix.gettimeofday () in
+    let r = P.verify_kernel ~depth ~jobs:2 ~engine ~never:"alarm" ~inputs kp in
+    let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    match r with
+    | Error m -> failwith (Putil.Diag.to_string m)
+    | Ok (verdict, states, used) -> (verdict, states, used, dt_ns)
+  in
+  let row name dt_ns extra =
+    all_rows := !all_rows @ [ (name, dt_ns) ];
+    Format.printf "  %-52s %10.3f ms/run  (%s)@." name (dt_ns /. 1e6) extra
+  in
+  let states_per_sec states dt_ns = float_of_int states /. (dt_ns /. 1e9) in
+  (* small k: both engines complete; they must agree exactly *)
+  List.iter
+    (fun k ->
+      let ve, se, _, ens = check ~engine:`Explicit ~depth:8 k in
+      let vs, ss, _, sns = check ~engine:`Symbolic ~depth:8 k in
+      if ve <> E.Holds || vs <> E.Holds then
+        failwith "verify bench: alarm property expected to hold";
+      if se <> ss then
+        failwith
+          (Printf.sprintf
+             "verify bench: engines disagree at k=%d: %d vs %d states" k se ss);
+      row
+        (Printf.sprintf "verify/explicit-k%d" k)
+        ens
+        (Printf.sprintf "%d states, %.3g states/sec" se
+           (states_per_sec se ens));
+      row
+        (Printf.sprintf "verify/symbolic-k%d" k)
+        sns
+        (Printf.sprintf "%d states, %.3g states/sec" ss
+           (states_per_sec ss sns)))
+    [ 2; 4 ];
+  (* large k: symbolic only — 3^13 ~ 1.6M and 3^20 ~ 3.5G states *)
+  List.iter
+    (fun k ->
+      let v, states, used, dt_ns = check ~engine:`Symbolic ~depth:8 k in
+      if v <> E.Holds then
+        failwith "verify bench: alarm property expected to hold";
+      if used <> `Symbolic then
+        failwith "verify bench: symbolic engine expected";
+      let peak =
+        Putil.Metrics.counter_value Putil.Metrics.global
+          "explore.sym.peak_nodes"
+      in
+      row
+        (Printf.sprintf "verify/symbolic-k%d" k)
+        dt_ns
+        (Printf.sprintf "%d states, %.3g states/sec, peak %d BDD nodes"
+           states
+           (states_per_sec states dt_ns)
+           peak);
+      if k = 20 && dt_ns > 10. *. 1e9 then
+        failwith "verify bench: symbolic k=20 over the 10 s acceptance floor";
+      (* the interleaved per-class variable order keeps the relation
+         linear in k (~10k live nodes at k=20); an ordering regression
+         shows up as node blowup long before wall-clock does *)
+      if k = 20 && peak > 200_000 then
+        failwith
+          "verify bench: symbolic k=20 peak nodes past the 200k ceiling")
+    [ 13; 20 ]
+
 let latency_section () =
   section "LATENCY: end-to-end flow latency over the static schedule";
   let a = analyzed CS.registry_nominal in
@@ -985,6 +1065,23 @@ let baseline_diff ~threshold path =
             current %.1fx@."
            rb rc
        | _ -> ());
+      (* symbolic-verification headline: peak live BDD node count. A
+         blowup here means the transition-relation variable order
+         degraded, even when wall-clock rows stay under threshold on a
+         faster machine. *)
+      (let peak_of metrics =
+         Option.bind (J.member "explore.sym.peak_nodes" metrics) (fun v ->
+             J.to_float (J.member "value" v))
+       in
+       match
+         ( Option.bind (J.member "metrics" record) peak_of,
+           peak_of (Putil.Metrics.to_json Putil.Metrics.global) )
+       with
+       | Some b, Some c when b > 0. && c > 0. ->
+         Format.printf
+           "@.  symbolic peak BDD nodes: baseline %.0f -> current %.0f%s@." b c
+           (if c > (1. +. (threshold /. 100.)) *. b then "  BLOWUP" else "")
+       | _ -> ());
       Format.printf "@.  %d row regression(s) above +%.0f%%@." !regressions
         threshold)
 
@@ -1045,6 +1142,7 @@ let () =
       ("affine", bench_affine);
       ("explore", bench_explore);
       ("edit-recheck", bench_edit_recheck);
+      ("verify", bench_verify);
       ("ablations", bench_ablations) ]
   in
   (match List.assoc_opt arg benches with

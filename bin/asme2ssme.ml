@@ -404,42 +404,63 @@ let verify_cmd =
                  1). The verdict and counterexample are identical for \
                  every N.")
   in
-  let run file root registry policy depth signal jobs stats =
-    let a = analyzed file root registry policy in
-    let tr = a.Polychrony.Pipeline.translation in
-    (* ticks always present; every environment input may arrive (value
-       1) or stay silent at each instant *)
-    let inputs =
-      List.map
-        (fun tk -> (tk, [ Some Signal_lang.Types.Vevent ]))
-        tr.Trans.System_trans.tick_inputs
-      @ List.map
-          (fun e -> (e, [ None; Some (Signal_lang.Types.Vint 1) ]))
-          tr.Trans.System_trans.env_inputs
+  let engine_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("auto", `Auto); ("explicit", `Explicit);
+                  ("symbolic", `Symbolic) ])
+             `Auto
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Verification engine: $(b,explicit) enumerates states, \
+                   $(b,symbolic) runs BDD image computation, $(b,auto) \
+                   (default) tries symbolic and falls back to explicit \
+                   when the model is outside the symbolic fragment.")
+  in
+  let counters_arg =
+    Arg.(value & opt (some int) None & info [ "counters" ] ~docv:"K"
+           ~doc:"Verify the built-in scaling model instead of an AADL \
+                 file: K independent modulo-3 counters ($(b,3^K) \
+                 reachable states); the property is that its alarm \
+                 output never fires.")
+  in
+  let run file root registry policy depth signal jobs stats engine counters =
+    let never, kernel, inputs =
+      match counters with
+      | Some k ->
+        ("alarm", Polysim.Models.counters k, Polysim.Models.counters_inputs k)
+      | None ->
+        let a = analyzed file root registry policy in
+        (signal, a.Polychrony.Pipeline.kernel,
+         Polychrony.Pipeline.verify_inputs a)
     in
     (match
-       Polysim.Explore.check ~depth ?jobs ~inputs
-         ~safe:(fun present -> not (List.mem_assoc signal present))
-         a.Polychrony.Pipeline.kernel
+       Polychrony.Pipeline.verify_kernel ~depth ?jobs ~engine ~never ~inputs
+         kernel
      with
-     | Ok (Polysim.Explore.Holds, states) ->
-       Format.printf
-         "HOLDS: %s never present within %d ticks for any environment pattern (%d states explored)@."
-         signal depth states
-     | Ok (Polysim.Explore.Violated trail, states) ->
-       Format.printf
-         "VIOLATED after %d ticks (%d states explored); stimulus trail:@."
-         (List.length trail) states;
-       List.iteri
-         (fun t stim ->
-           Format.printf "  t=%d: %s@." t
-             (String.concat ", "
-                (List.map
-                   (fun (n, v) ->
-                     Printf.sprintf "%s=%s" n
-                       (Signal_lang.Types.value_to_string v))
-                   stim)))
-         trail
+     | Ok (verdict, states, decided) ->
+       let eng =
+         match decided with `Explicit -> "explicit" | `Symbolic -> "symbolic"
+       in
+       (match verdict with
+        | Polysim.Explore.Holds ->
+          Format.printf
+            "HOLDS: %s never present within %d ticks for any environment pattern (%d states explored, %s engine)@."
+            never depth states eng
+        | Polysim.Explore.Violated trail ->
+          Format.printf
+            "VIOLATED after %d ticks (%d states explored, %s engine); stimulus trail:@."
+            (List.length trail) states eng;
+          List.iteri
+            (fun t stim ->
+              Format.printf "  t=%d: %s@." t
+                (String.concat ", "
+                   (List.map
+                      (fun (n, v) ->
+                        Printf.sprintf "%s=%s" n
+                          (Signal_lang.Types.value_to_string v))
+                      stim)))
+            trail)
      | Error d ->
        prerr_endline (Putil.Diag.render d);
        exit (Putil.Diag.exit_code [ d ]));
@@ -449,7 +470,8 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Bounded exhaustive verification of a safety property")
     Term.(const run $ file_arg $ root_arg $ registry_arg $ policy_arg
-          $ depth_arg $ signal_arg $ jobs_arg $ stats_arg)
+          $ depth_arg $ signal_arg $ jobs_arg $ stats_arg $ engine_arg
+          $ counters_arg)
 
 (* recheck: the paper's edit-recompile loop. Analyze once cold, apply a
    textual edit (by default a thread-period change), re-analyze on the

@@ -29,6 +29,18 @@ type manager = {
   mutable cache_mask : int;
   mutable applies : int;     (* apply-cache consultations *)
   mutable apply_hits : int;  (* ... of which hits *)
+  (* relational-product (and-exists) cache: a ternary key does not pack
+     into one immediate int, so it gets its own direct-mapped arrays,
+     allocated lazily on the first [and_exists]. Slot empty ⇔ key_a = -1. *)
+  mutable rp_key_a : int array;
+  mutable rp_key_b : int array;
+  mutable rp_key_c : int array;
+  mutable rp_val : int array;
+  mutable rp_mask : int;
+  mutable rp_applies : int;
+  mutable rp_hits : int;
+  mutable gc_collections : int;  (* mark-and-sweep runs *)
+  mutable gc_swept : int;        (* dead nodes reclaimed, cumulative *)
 }
 
 let initial_capacity = 1024
@@ -49,7 +61,16 @@ let manager () =
       cache_val = Array.make initial_cache 0;
       cache_mask = initial_cache - 1;
       applies = 0;
-      apply_hits = 0 }
+      apply_hits = 0;
+      rp_key_a = [||];
+      rp_key_b = [||];
+      rp_key_c = [||];
+      rp_val = [||];
+      rp_mask = 0;
+      rp_applies = 0;
+      rp_hits = 0;
+      gc_collections = 0;
+      gc_swept = 0 }
   in
   (* terminals: node 0 = false, node 1 = true; their variable index is
      max_int so every real variable tests before them. *)
@@ -178,6 +199,7 @@ let rec not_ m a =
 let op_and = 0
 let op_or = 1
 let op_xor = 2
+let op_exists = 3  (* key packs (operand, cube) instead of (a, b) *)
 
 let rec apply m op a b =
   let terminal =
@@ -249,6 +271,249 @@ let is_one a = a = 1
 let implies m a b = is_zero (diff m a b)
 let exclusive m a b = is_zero (and_ m a b)
 
+(* ------------------------------------------------------------------ *)
+(* Symbolic-reachability primitives: quantification, relational
+   product, renaming, model counting, garbage collection.             *)
+(* ------------------------------------------------------------------ *)
+
+(* A cube is the conjunction of positive literals: every node's low
+   child is 0, so walking [high_of] enumerates the quantified
+   variables in order. *)
+let cube m vars =
+  List.fold_left (fun acc v -> and_ m acc (var m v)) 1
+    (List.sort_uniq compare vars)
+
+(* drop cube variables below [v]: they cannot occur in the operand, so
+   quantifying them is the identity *)
+let rec cube_above m v c =
+  if c = 1 || m.var_of.(c) >= v then c else cube_above m v m.high_of.(c)
+
+let rec exists m ~cube:c a =
+  if a <= 1 || c = 1 then a
+  else begin
+    let va = m.var_of.(a) in
+    let c = cube_above m va c in
+    if c = 1 then a
+    else begin
+      let key = (((a lsl 30) lor c) lsl 2) lor op_exists in
+      m.applies <- m.applies + 1;
+      let slot = cache_slot m key in
+      let slot =
+        if m.cache_key.(slot) = key then slot
+        else if m.cache_key.(slot lxor 1) = key then slot lxor 1
+        else -1
+      in
+      if slot >= 0 then begin
+        m.apply_hits <- m.apply_hits + 1;
+        m.cache_val.(slot)
+      end
+      else begin
+        let a0 = m.low_of.(a) and a1 = m.high_of.(a) in
+        let r =
+          if m.var_of.(c) = va then
+            let c' = m.high_of.(c) in
+            or_ m (exists m ~cube:c' a0) (exists m ~cube:c' a1)
+          else mk m va (exists m ~cube:c a0) (exists m ~cube:c a1)
+        in
+        let slot = cache_slot m key in
+        let slot = if m.cache_key.(slot) = 0 then slot else slot lxor 1 in
+        m.cache_key.(slot) <- key;
+        m.cache_val.(slot) <- r;
+        r
+      end
+    end
+  end
+
+let rp_initial = 32768  (* power of two *)
+
+let rp_ensure m =
+  if m.rp_mask = 0 then begin
+    m.rp_key_a <- Array.make rp_initial (-1);
+    m.rp_key_b <- Array.make rp_initial (-1);
+    m.rp_key_c <- Array.make rp_initial (-1);
+    m.rp_val <- Array.make rp_initial 0;
+    m.rp_mask <- rp_initial - 1
+  end
+
+let rp_slot m a b c =
+  let h = ((a * 0x9e3779b1 + b) * 0x9e3779b1 + c) * 0x2545F4914F6CDD1D in
+  (h lsr 32) land m.rp_mask
+
+(* [and_exists m ~cube a b] = ∃cube. a ∧ b without materializing the
+   conjunction — the image-computation hot path. *)
+let rec and_exists m ~cube:c a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then exists m ~cube:c b
+  else if b = 1 then exists m ~cube:c a
+  else if a = b then exists m ~cube:c a
+  else if m.not_of.(a) = b then 0
+  else begin
+    let va = m.var_of.(a) and vb = m.var_of.(b) in
+    let v = min va vb in
+    let c = cube_above m v c in
+    if c = 1 then and_ m a b
+    else begin
+      rp_ensure m;
+      let ka = if a < b then a else b in
+      let kb = if a < b then b else a in
+      m.rp_applies <- m.rp_applies + 1;
+      let slot = rp_slot m ka kb c in
+      if m.rp_key_a.(slot) = ka && m.rp_key_b.(slot) = kb
+         && m.rp_key_c.(slot) = c
+      then begin
+        m.rp_hits <- m.rp_hits + 1;
+        m.rp_val.(slot)
+      end
+      else begin
+        let a0, a1 =
+          if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a)
+        in
+        let b0, b1 =
+          if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b)
+        in
+        let r =
+          if m.var_of.(c) = v then
+            let c' = m.high_of.(c) in
+            or_ m (and_exists m ~cube:c' a0 b0) (and_exists m ~cube:c' a1 b1)
+          else mk m v (and_exists m ~cube:c a0 b0) (and_exists m ~cube:c a1 b1)
+        in
+        m.rp_key_a.(slot) <- ka;
+        m.rp_key_b.(slot) <- kb;
+        m.rp_key_c.(slot) <- c;
+        m.rp_val.(slot) <- r;
+        r
+      end
+    end
+  end
+
+(* [rename m ~map a] substitutes variable [v] by [map.(v)] (identity
+   beyond the array). The map must be strictly increasing on the
+   support of [a] so the result keeps the variable order — true for
+   the interleaved next↔current rails, where it is a shift by one.
+   Memoized per call: renaming runs once per image iteration. *)
+let rename m ~map a =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if n <= 1 then n
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+        let v = m.var_of.(n) in
+        let v' = if v < Array.length map then map.(v) else v in
+        let r = mk m v' (go m.low_of.(n)) (go m.high_of.(n)) in
+        Hashtbl.add memo n r;
+        r
+  in
+  go a
+
+(* [sat_count m ~vars a] counts satisfying assignments over exactly the
+   variable set [vars] (sorted ascending; must contain the support).
+   Float-valued: 2^k overflows no sooner than the caller can iterate. *)
+let sat_count m ~vars a =
+  let nv = Array.length vars in
+  let idx = Hashtbl.create (2 * nv + 1) in
+  Array.iteri (fun i v -> Hashtbl.replace idx v i) vars;
+  let memo = Hashtbl.create 64 in
+  (* count over vars.(i..) for a node whose top variable is vars.(i) *)
+  let rec go n i =
+    if n = 0 then 0.0
+    else if n = 1 then ldexp 1.0 (nv - i)
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+        let v = m.var_of.(n) in
+        (match Hashtbl.find_opt idx v with
+         | None -> invalid_arg "Bdd.sat_count: support exceeds vars"
+         | Some j ->
+           let c = go_at m.low_of.(n) (j + 1) +. go_at m.high_of.(n) (j + 1) in
+           Hashtbl.add memo n c;
+           c)
+  and go_at n i =
+    (* scale by the don't-care gap between position [i] and the node *)
+    if n = 0 then 0.0
+    else if n = 1 then ldexp 1.0 (nv - i)
+    else
+      let j =
+        match Hashtbl.find_opt idx m.var_of.(n) with
+        | Some j -> j
+        | None -> invalid_arg "Bdd.sat_count: support exceeds vars"
+      in
+      ldexp (go n j) (j - i)
+  in
+  go_at a 0
+
+(* Compacting mark-and-sweep. Every live node must be reachable from
+   [roots]; the array is rewritten in place with the relocated ids, and
+   every other handle the client kept is invalid afterwards. Never runs
+   implicitly — callers (the symbolic engine, between image iterations)
+   decide when the table has grown enough to be worth sweeping. *)
+let gc m ~roots =
+  let n = m.next in
+  let marked = Bytes.make n '\000' in
+  Bytes.unsafe_set marked 0 '\001';
+  Bytes.unsafe_set marked 1 '\001';
+  (* recursion depth is bounded by the longest var chain, not node count *)
+  let rec mark i =
+    if Bytes.unsafe_get marked i = '\000' then begin
+      Bytes.unsafe_set marked i '\001';
+      mark m.low_of.(i);
+      mark m.high_of.(i)
+    end
+  in
+  Array.iter mark roots;
+  let map = Array.make n (-1) in
+  map.(0) <- 0;
+  map.(1) <- 1;
+  let live = ref 2 in
+  for i = 2 to n - 1 do
+    if Bytes.unsafe_get marked i = '\001' then begin
+      map.(i) <- !live;
+      incr live
+    end
+  done;
+  let live = !live in
+  (* compact in place: map.(i) <= i, and ascending order only ever
+     writes slots strictly below the current read index *)
+  for i = 2 to n - 1 do
+    let j = map.(i) in
+    if j >= 0 then begin
+      m.var_of.(j) <- m.var_of.(i);
+      m.low_of.(j) <- map.(m.low_of.(i));
+      m.high_of.(j) <- map.(m.high_of.(i));
+      let neg = m.not_of.(i) in
+      m.not_of.(j) <- (if neg >= 0 && map.(neg) >= 0 then map.(neg) else -1)
+    end
+  done;
+  (* freed slots must read as "negation unknown" when reallocated *)
+  Array.fill m.not_of live (Array.length m.not_of - live) (-1);
+  m.next <- live;
+  (* rebuild the unique table under 25% load, floored at the initial
+     size so small post-sweep populations don't thrash *)
+  let size = ref initial_table in
+  while !size < 4 * live do size := 2 * !size done;
+  m.uniq <- Array.make !size 0;
+  let mask = !size - 1 in
+  for i = 2 to live - 1 do
+    uniq_insert_node m m.uniq mask i
+  done;
+  (* both caches hold stale ids: flush them *)
+  Array.fill m.cache_key 0 (Array.length m.cache_key) 0;
+  if m.rp_mask <> 0 then begin
+    Array.fill m.rp_key_a 0 (Array.length m.rp_key_a) (-1);
+    Array.fill m.rp_key_b 0 (Array.length m.rp_key_b) (-1);
+    Array.fill m.rp_key_c 0 (Array.length m.rp_key_c) (-1)
+  end;
+  Array.iteri (fun k r -> roots.(k) <- map.(r)) roots;
+  m.gc_collections <- m.gc_collections + 1;
+  m.gc_swept <- m.gc_swept + (n - live);
+  Putil.Tracing.instant "bdd.gc" ~cat:"clocks"
+    ~args:
+      [ ("live", Putil.Tracing.Aint live);
+        ("swept", Putil.Tracing.Aint (n - live)) ];
+  live
+
 let eval m env a =
   let rec go n =
     if n = 0 then false
@@ -257,6 +522,8 @@ let eval m env a =
     else go m.low_of.(n)
   in
   go a
+
+let id (a : t) : int = a
 
 let view m a =
   if a = 0 then `Leaf false
@@ -290,6 +557,8 @@ let any_sat m a =
 let node_count m = m.next
 
 let apply_stats m = (m.applies, m.apply_hits)
+let relprod_stats m = (m.rp_applies, m.rp_hits)
+let gc_stats m = (m.gc_collections, m.gc_swept)
 
 let pp m ~pp_var ppf a =
   if a = 0 then Format.pp_print_string ppf "0"

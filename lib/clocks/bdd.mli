@@ -43,8 +43,48 @@ val implies : manager -> t -> t -> bool
 val exclusive : manager -> t -> t -> bool
 (** [exclusive m a b] iff [a ∧ b] is unsatisfiable. *)
 
+val cube : manager -> int list -> t
+(** The conjunction of positive literals over the given variables; the
+    shape expected by the [~cube] arguments below. *)
+
+val exists : manager -> cube:t -> t -> t
+(** [exists m ~cube a] existentially quantifies every variable of
+    [cube] (a positive-literal cube) out of [a]. *)
+
+val and_exists : manager -> cube:t -> t -> t -> t
+(** [and_exists m ~cube a b] is [exists m ~cube (and_ m a b)] computed
+    in one pass (the relational product), with a dedicated ternary
+    apply cache — the image-computation hot path. *)
+
+val rename : manager -> map:int array -> t -> t
+(** [rename m ~map a] substitutes variable [v] by [map.(v)] (identity
+    past the end of the array). The map must be strictly increasing on
+    the support of [a] — e.g. the next→current shift on interleaved
+    variable rails. *)
+
+val sat_count : manager -> vars:int array -> t -> float
+(** Number of satisfying assignments over exactly the variables in
+    [vars] (ascending; must contain the support of the argument). *)
+
+val gc : manager -> roots:t array -> int
+(** Compacting mark-and-sweep collection. Keeps exactly the nodes
+    reachable from [roots], rewrites [roots] in place with the
+    relocated handles, flushes the apply caches, and returns the live
+    node count. Every handle not passed as a root is invalid after the
+    call. *)
+
+val relprod_stats : manager -> int * int
+(** [(consultations, hits)] of the relational-product cache. *)
+
+val gc_stats : manager -> int * int
+(** [(collections, nodes swept)] since manager creation. *)
+
 val eval : manager -> (int -> bool) -> t -> bool
 (** Evaluate the function under a total assignment of its variables. *)
+
+val id : t -> int
+(** Stable integer identity of a node (valid until the next {!gc}),
+    for memo tables keyed on nodes. *)
 
 val view : manager -> t -> [ `Leaf of bool | `Node of int * t * t ]
 (** Structure of a node: [`Node (var, low, high)]. Used by code

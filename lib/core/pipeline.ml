@@ -594,6 +594,50 @@ let simulate_scenarios ?envs ?(hyperperiods = 2) ~scenarios a =
         [ Putil.Diag.errorf ~code:code_sim "stimulus for unknown signal %s"
             x ])
 
+(* ------------------------------------------------------------------ *)
+(* Bounded verification                                                *)
+
+type verify_engine = [ `Explicit | `Symbolic | `Auto ]
+
+let verify_inputs a =
+  let tr = a.translation in
+  (* ticks always present; every environment input may arrive (value
+     1) or stay silent at each instant *)
+  List.map
+    (fun tk -> (tk, [ Some Signal_lang.Types.Vevent ]))
+    tr.Trans.System_trans.tick_inputs
+  @ List.map
+      (fun e -> (e, [ None; Some (Signal_lang.Types.Vint 1) ]))
+      tr.Trans.System_trans.env_inputs
+
+let verify_kernel ?(depth = 8) ?jobs ?(engine = `Auto) ~never ~inputs kp =
+  let prop = Polysim.Symbolic.Never_present never in
+  let explicit () =
+    match
+      Polysim.Explore.check ~depth ?jobs ~inputs
+        ~safe:(Polysim.Symbolic.safe_of_prop prop) kp
+    with
+    | Ok (v, n) -> Ok (v, n, `Explicit)
+    | Error d -> Error d
+  in
+  let symbolic () =
+    match Polysim.Explore.check_symbolic ~depth ~inputs ~prop kp with
+    | Ok (v, n) -> Ok (v, n, `Symbolic)
+    | Error d -> Error d
+  in
+  match engine with
+  | `Explicit -> explicit ()
+  | `Symbolic -> symbolic ()
+  | `Auto -> (
+    match symbolic () with
+    | Error d when d.Putil.Diag.code = Polysim.Symbolic.code_unsupported ->
+      explicit ()
+    | r -> r)
+
+let verify ?depth ?jobs ?engine ~never a =
+  verify_kernel ?depth ?jobs ?engine ~never ~inputs:(verify_inputs a)
+    a.kernel
+
 let vcd_of_trace ?signals a tr =
   let module_name = a.translation.Trans.System_trans.top.Ast.proc_name in
   (* one logical instant = one global base tick; dump real model time

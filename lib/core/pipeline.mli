@@ -140,6 +140,51 @@ val global_hyper_us : analyzed -> int
 
 val base_ticks_per_hyperperiod : analyzed -> int
 
+(** {1 Bounded verification} *)
+
+type verify_engine = [ `Explicit | `Symbolic | `Auto ]
+(** [`Explicit] enumerates states ({!Polysim.Explore.check}),
+    [`Symbolic] runs BDD image computation
+    ({!Polysim.Explore.check_symbolic}), [`Auto] tries symbolic first
+    and falls back to explicit when the process is outside the
+    symbolic fragment ([EXPLORE-SYM-001]). *)
+
+val verify_inputs :
+  analyzed ->
+  (Signal_lang.Ast.ident * Signal_lang.Types.value option list) list
+(** The exploration stimulus spec of a translated system: tick inputs
+    always present; every environment input either arrives (value 1)
+    or stays silent, independently, at each instant. *)
+
+val verify :
+  ?depth:int ->
+  ?jobs:int ->
+  ?engine:verify_engine ->
+  never:Signal_lang.Ast.ident ->
+  analyzed ->
+  ( Polysim.Explore.verdict * int * [ `Explicit | `Symbolic ],
+    Putil.Diag.t )
+  result
+(** Bounded check that [never] is never present, over
+    {!verify_inputs}, up to [depth] instants (default 8). Returns the
+    verdict, the reachable-state count, and which engine decided.
+    [jobs] only affects the explicit engine; [engine] defaults to
+    [`Auto]. *)
+
+val verify_kernel :
+  ?depth:int ->
+  ?jobs:int ->
+  ?engine:verify_engine ->
+  never:Signal_lang.Ast.ident ->
+  inputs:
+    (Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
+  Signal_lang.Kernel.kprocess ->
+  ( Polysim.Explore.verdict * int * [ `Explicit | `Symbolic ],
+    Putil.Diag.t )
+  result
+(** {!verify} over an arbitrary kernel and stimulus spec — the engine
+    dispatch shared by `verify --counters` and the benches. *)
+
 val vcd_of_trace :
   ?signals:string list -> analyzed -> Polysim.Trace.t -> string
 (** VCD dump of a simulation trace with a real timescale: one logical

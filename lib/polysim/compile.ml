@@ -1069,6 +1069,7 @@ let scenarios st = st.nscen
 let n_signals st = st.n
 let signal_index st x = Prog.index_opt st.prog x
 let signal_name st i = st.prog.Prog.names.(i)
+let is_input st i = st.prog.Prog.is_input.(i)
 
 let stim_clear st =
   Array.fill st.has st.base_sig st.n false;
@@ -1307,8 +1308,144 @@ let state_digest st =
   let sn = snapshot st in
   Marshal.to_string (sn.s_dstate, sn.s_queues) []
 
+(* Fixed-width state keys for visited sets: serialize the mutable state
+   (delay registers + FIFO rings, the same fields [snapshot] captures
+   minus the instant counter) into a reused byte buffer, then hash to a
+   16-byte MD5. Unlike [state_digest], the per-call garbage is one
+   16-byte string instead of a Marshal image of the boxed state. *)
+
+type keybuf = { mutable kbytes : Bytes.t; mutable kpos : int }
+
+let keybuf () = { kbytes = Bytes.create 512; kpos = 0 }
+
+let kb_ensure kb extra =
+  let need = kb.kpos + extra in
+  let cap = Bytes.length kb.kbytes in
+  if need > cap then begin
+    let ncap = ref (cap * 2) in
+    while !ncap < need do ncap := !ncap * 2 done;
+    let b = Bytes.create !ncap in
+    Bytes.blit kb.kbytes 0 b 0 kb.kpos;
+    kb.kbytes <- b
+  end
+
+let kb_byte kb v =
+  kb_ensure kb 1;
+  Bytes.unsafe_set kb.kbytes kb.kpos (Char.unsafe_chr (v land 0xff));
+  kb.kpos <- kb.kpos + 1
+
+let kb_int kb v =
+  kb_ensure kb 8;
+  let b = kb.kbytes and p = kb.kpos in
+  Bytes.unsafe_set b p (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (p + 1) (Char.unsafe_chr ((v asr 8) land 0xff));
+  Bytes.unsafe_set b (p + 2) (Char.unsafe_chr ((v asr 16) land 0xff));
+  Bytes.unsafe_set b (p + 3) (Char.unsafe_chr ((v asr 24) land 0xff));
+  Bytes.unsafe_set b (p + 4) (Char.unsafe_chr ((v asr 32) land 0xff));
+  Bytes.unsafe_set b (p + 5) (Char.unsafe_chr ((v asr 40) land 0xff));
+  Bytes.unsafe_set b (p + 6) (Char.unsafe_chr ((v asr 48) land 0xff));
+  Bytes.unsafe_set b (p + 7) (Char.unsafe_chr ((v asr 56) land 0xff));
+  kb.kpos <- p + 8
+
+(* all 64 bits matter (sign included), so split before the 63-bit int *)
+let kb_float kb f =
+  let bits = Int64.bits_of_float f in
+  kb_int kb (Int64.to_int (Int64.shift_right_logical bits 32));
+  kb_int kb (Int64.to_int (Int64.logand bits 0xFFFFFFFFL))
+
+let kb_string kb s =
+  let len = String.length s in
+  kb_int kb len;
+  kb_ensure kb len;
+  Bytes.blit_string s 0 kb.kbytes kb.kpos len;
+  kb.kpos <- kb.kpos + len
+
+let state_key st kb =
+  kb.kpos <- 0;
+  for j = 0 to (st.nscen * st.n) - 1 do
+    let t = st.dtg.(j) in
+    kb_byte kb t;
+    (match t with
+     | 3 -> kb_float kb st.dr.(j)
+     | 4 -> kb_string kb st.ds.(j)
+     | _ -> kb_int kb st.di.(j))
+  done;
+  Array.iter
+    (fun p ->
+      for s = 0 to st.nscen - 1 do
+        let len = p.q_len.(s) in
+        kb_int kb len;
+        for k = 0 to len - 1 do
+          let idx = (s * p.cap) + ((p.q_head.(s) + k) mod p.cap) in
+          let t = p.q_tg.(idx) in
+          kb_byte kb t;
+          match t with
+          | 3 -> kb_float kb p.q_rr.(idx)
+          | 4 -> kb_string kb p.q_rs.(idx)
+          | _ -> kb_int kb p.q_ri.(idx)
+        done
+      done)
+    st.prims;
+  Digest.subbytes kb.kbytes 0 kb.kpos
+
 let plan_length st = Array.length st.plan
 let free_classes st = st.n_free
+
+let present_assoc st = present_assoc_from st st.base_sig 0
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic introspection: a read-only view of the compiled plan so    *)
+(* the symbolic reachability engine can rebuild the same presence and  *)
+(* value semantics as BDD formulas instead of imperative closures.     *)
+(* ------------------------------------------------------------------ *)
+
+type sym_pdef =
+  | Sym_free
+  | Sym_input of int list
+  | Sym_prim of int * int
+  | Sym_derived
+
+type sym_varres =
+  | Sym_present of int
+  | Sym_cond of int
+  | Sym_condeq of int * int
+  | Sym_none
+
+type sym_view = {
+  sv_prog : Prog.t;
+  sv_nclasses : int;
+  sv_class_of : int array;
+  sv_pdefs : sym_pdef array;
+  sv_mgr : Bdd.manager;
+  sv_clock_bdd : Bdd.t array;
+  sv_bddvars : sym_varres array;
+  sv_order : [ `Pres of int | `Val of int ] array;
+}
+
+let sym_view st =
+  { sv_prog = st.prog;
+    sv_nclasses = st.nclasses;
+    sv_class_of = st.class_of;
+    sv_pdefs =
+      Array.map
+        (function
+          | Pfree -> Sym_free
+          | Pinput l -> Sym_input l
+          | Pprim (p, k) -> Sym_prim (p, k)
+          | Pderived -> Sym_derived)
+        st.pdefs;
+    sv_mgr = Calc.manager st.calc;
+    sv_clock_bdd = st.clock_bdd;
+    sv_bddvars =
+      Array.map
+        (function
+          | Rpresent c -> Sym_present c
+          | Rcond i -> Sym_cond i
+          | Rcondeq (i, k) -> Sym_condeq (i, k)
+          | Rnone -> Sym_none)
+        st.bddvars;
+    sv_order =
+      Array.map (function Opres c -> `Pres c | Oval i -> `Val i) st.plan }
 
 let free_class_members st =
   let acc = ref [] in

@@ -83,6 +83,9 @@ val signal_index : t -> Signal_lang.Ast.ident -> int option
 
 val signal_name : t -> int -> Signal_lang.Ast.ident
 
+val is_input : t -> int -> bool
+(** Whether dense index [i] names an input signal (stimulus target). *)
+
 val stim_clear : t -> unit
 (** Reset the stimulus buffer of the selected scenario: every input
     becomes absent for the next instant. *)
@@ -105,6 +108,13 @@ val out_value : t -> int -> Signal_lang.Types.value option
 val iter_present : t -> (int -> Signal_lang.Types.value -> unit) -> unit
 (** Iterate present signals of the last executed instant in ascending
     index order. *)
+
+val present_assoc :
+  t -> (Signal_lang.Ast.ident * Signal_lang.Types.value) list
+(** Present signals of the last executed instant as a name/value assoc
+    list (ascending index order) — the list {!step} returns, for dense
+    ABI callers that still need the boxed view (e.g. safety
+    predicates). *)
 
 (** {1 Stepping} *)
 
@@ -172,6 +182,52 @@ val state_digest : t -> string
 (** Canonical byte string of the mutable state (delay memories and
     FIFO contents, excluding the instant counter); equal digests mean
     behaviourally identical continuations. *)
+
+type keybuf
+(** Reusable serialization buffer for {!state_key}; one per worker. *)
+
+val keybuf : unit -> keybuf
+
+val state_key : t -> keybuf -> string
+(** Fixed-width (16-byte MD5) key of the same state {!state_digest}
+    covers, serialized through the reused [keybuf] — the visited-set
+    key of the explicit explorer. Per call it allocates only the
+    digest string (plus one box per float-typed register), not a
+    Marshal image of the boxed state. *)
+
+(** {1 Symbolic introspection}
+
+    A read-only view of the compiled plan for the symbolic
+    reachability engine ({!Symbolic}): how each synchronization
+    class's presence is decided, the clock functions as BDDs over the
+    clock calculus's manager, and the topological op order, so the
+    engine can rebuild the exact step semantics as boolean formulas. *)
+
+type sym_pdef =
+  | Sym_free                       (** statically absent *)
+  | Sym_input of int list          (** presence = stimulus of members *)
+  | Sym_prim of int * int          (** decided by FIFO state (prim, pos) *)
+  | Sym_derived                    (** evaluate the clock function *)
+
+type sym_varres =
+  | Sym_present of int             (** clock var = class [c] present *)
+  | Sym_cond of int                (** boolean signal [i] present-and-true *)
+  | Sym_condeq of int * int        (** integer signal [i] equals [k] *)
+  | Sym_none
+
+type sym_view = {
+  sv_prog : Prog.t;
+  sv_nclasses : int;
+  sv_class_of : int array;         (** signal -> synchronization class *)
+  sv_pdefs : sym_pdef array;       (** per class *)
+  sv_mgr : Clocks.Bdd.manager;     (** manager owning [sv_clock_bdd] *)
+  sv_clock_bdd : Clocks.Bdd.t array;  (** per class *)
+  sv_bddvars : sym_varres array;   (** clock BDD variable -> resolution *)
+  sv_order : [ `Pres of int | `Val of int ] array;
+      (** the toposorted schedule: presence of class / value of signal *)
+}
+
+val sym_view : t -> sym_view
 
 (** {1 C code generation}
 

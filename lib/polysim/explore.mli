@@ -12,16 +12,26 @@
     into bounded model checking: [`Holds] means no reachable violation
     within [depth] instants.
 
-    {!check} runs a breadth-first frontier search, one depth slice at a
-    time, fanned out over an OCaml 5 domain pool ({!Putil.Domain_pool})
-    with a sharded visited table ({!Putil.Shard_tbl}) keyed by
-    {!Compile.state_digest}. It is deterministic: any [jobs] value and
-    any scheduling yield the same verdict, the same counterexample (the
-    shallowest, and among those the lexicographically least in
-    (frontier-position, stimulus-index) order), and the same state
-    count. The original sequential depth-first search remains available
-    as {!check_dfs} and serves as the reference semantics in the test
-    suite. *)
+    Three engines share the contract:
+
+    - {!check} runs a breadth-first frontier search, one depth slice at
+      a time, fanned out over an OCaml 5 domain pool
+      ({!Putil.Domain_pool}) with a sharded visited table
+      ({!Putil.Shard_tbl}) keyed by the fixed-width {!Compile.state_key}
+      digest. It is deterministic: any [jobs] value and any scheduling
+      yield the same verdict, the same counterexample (the shallowest,
+      and among those the lexicographically least in (frontier-position,
+      stimulus-index) order), and the same state count.
+    - {!check_dfs} is the original sequential depth-first search, kept
+      as the reference semantics in the test suite.
+    - {!check_symbolic} delegates to {!Symbolic}: BDD image computation
+      instead of state enumeration, with any symbolic counterexample
+      replayed on the explicit simulator before it is reported.
+
+    The per-instant stimulus combinations are enumerated by a
+    mixed-radix index iterator, never materialized as a product list,
+    so a wide input interface costs no setup allocation — only the
+    (unavoidable) [radix^inputs] step work. *)
 
 type verdict =
   | Holds
@@ -43,10 +53,13 @@ val check :
     instant's stimulus is one choice per input (cartesian product).
     [safe] receives each reaction's present signals. Returns the
     verdict and the number of distinct states explored. Fails — with a
-    coded diagnostic ([EXPLORE-COMPILE-001] / [EXPLORE-SIM-001]), never
-    an exception, so `verify` keeps its 0/1/2 exit contract — when the
-    process does not compile (causality cycle) or a simulation error
-    occurs outside the property (e.g. division by zero).
+    coded diagnostic ([EXPLORE-COMPILE-001] / [EXPLORE-SIM-001] /
+    [EXPLORE-STIM-001]), never an exception, so `verify` keeps its
+    0/1/2 exit contract — when the process does not compile (causality
+    cycle), a stimulus names an unknown or non-input signal with a
+    present alternative, the combination space exceeds [2^30] per
+    instant, or a simulation error occurs outside the property (e.g.
+    division by zero).
 
     [jobs] (default: the [EXPLORE_JOBS] environment variable, else 1)
     spreads each depth slice over that many domains; [jobs:1] runs
@@ -66,6 +79,29 @@ val check_dfs :
     order (not necessarily shallowest) and a state may be re-expanded
     when reached again with a larger remaining budget. Kept as the
     reference implementation the parallel search is validated against. *)
+
+val check_symbolic :
+  ?depth:int ->
+  inputs:(Signal_lang.Ast.ident * Signal_lang.Types.value option list) list ->
+  prop:Symbolic.prop ->
+  Signal_lang.Kernel.kprocess ->
+  (verdict * int, Putil.Diag.t) result
+(** Bounded check by symbolic reachability ({!Symbolic.run}) — same
+    verdict contract as {!check} with [safe = Symbolic.safe_of_prop
+    prop], but the state space is traversed as BDD image computations,
+    so state counts far beyond what enumeration can touch complete in
+    milliseconds. The returned count is the exact number of distinct
+    reachable states (it may exceed what {!check} could ever visit).
+
+    A symbolic counterexample is not trusted as-is: its stimulus
+    sequence is replayed on a fresh explicit instance, and only a
+    replay that actually violates the property (or raises, for a
+    runtime-error counterexample — then reported as
+    [EXPLORE-SIM-001], exactly like {!check}) is returned as
+    [Violated]. A replay that diverges from the symbolic verdict is a
+    bug surfaced as [EXPLORE-SYM-002]. Processes outside the symbolic
+    fragment fail with [EXPLORE-SYM-001] ({!Symbolic.code_unsupported})
+    so callers can fall back to an explicit engine. *)
 
 val reachable_states :
   ?depth:int ->

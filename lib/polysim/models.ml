@@ -1,0 +1,45 @@
+module Ast = Signal_lang.Ast
+module B = Signal_lang.Builder
+module Types = Signal_lang.Types
+
+let sname i s = Printf.sprintf "%s%d" s i
+
+let counters_process k =
+  if k < 1 then invalid_arg "Models.counters: k must be >= 1";
+  let ids = List.init k Fun.id in
+  let inputs = List.map (fun i -> Ast.var (sname i "e") Types.Tevent) ids in
+  let locals =
+    List.concat_map
+      (fun i ->
+        [ Ast.var (sname i "plo") Types.Tbool;
+          Ast.var (sname i "phi") Types.Tbool;
+          Ast.var (sname i "lo") Types.Tbool;
+          Ast.var (sname i "hi") Types.Tbool ])
+      ids
+  in
+  let counter i =
+    let e = sname i "e" and lo = sname i "lo" and hi = sname i "hi" in
+    let plo = sname i "plo" and phi = sname i "phi" in
+    B.[
+      plo := delay ~init:(Types.Vbool false) (v lo);
+      phi := delay ~init:(Types.Vbool false) (v hi);
+      lo := not_ (v plo) && not_ (v phi);
+      hi := v plo;
+      v lo ^= v e;
+    ]
+  in
+  let alarm =
+    B.[ "alarm" := when_ ev (v (sname 0 "hi") && v (sname 0 "lo")) ]
+  in
+  B.proc
+    ~name:(Printf.sprintf "counters%d" k)
+    ~locals ~inputs
+    ~outputs:[ Ast.var "alarm" Types.Tevent ]
+    (List.concat_map counter ids @ alarm)
+
+let counters k = Signal_lang.Normalize.process_exn (counters_process k)
+
+let counters_inputs k =
+  List.init k (fun i -> (sname i "e", [ None; Some Types.Vevent ]))
+
+let counters_prop = Symbolic.Never_present "alarm"

@@ -1,0 +1,29 @@
+(** Parameterized benchmark models for the verification engines.
+
+    [counters k] is a scaling family: [k] independent modulo-3
+    counters, each advanced by its own event input [e{_ i}], so the
+    process has exactly [3{^ k}] reachable states and [2{^ k}]
+    stimulus combinations per instant. The per-counter one-hot pair
+    [(lo, hi)] cycles [(T,F) → (F,T) → (F,F)]; the [alarm] output is
+    clocked on [hi0 && lo0], which no reachable state makes true —
+    so {!counters_prop} genuinely holds, at any depth.
+
+    The family is the scaling corpus of `verify --counters` and
+    `bench verify`: explicit enumeration drowns already at [k ≈ 10]
+    (both in states and in the [2{^ k}] stimulus fan-out), while the
+    symbolic engine's BDDs stay linear in [k]. *)
+
+val counters_process : int -> Signal_lang.Ast.process
+(** The SIGNAL source of the family member; raises [Invalid_argument]
+    when [k < 1]. *)
+
+val counters : int -> Signal_lang.Kernel.kprocess
+(** Normalized kernel form of {!counters_process}. *)
+
+val counters_inputs :
+  int -> (Signal_lang.Ast.ident * Signal_lang.Types.value option list) list
+(** The exploration stimulus spec: every [e{_ i}] either absent or
+    present, independently, each instant. *)
+
+val counters_prop : Symbolic.prop
+(** [Never_present "alarm"] — the property the family satisfies. *)

@@ -163,6 +163,83 @@ let test_any_sat () =
   | Some [ (0, true) ] -> ()
   | _ -> Alcotest.fail "expected assignment {0 -> true}"
 
+(* quantification: ∃x. (x ∧ y) ∨ (¬x ∧ z) = y ∨ z *)
+let test_exists () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let f = Bdd.or_ m (Bdd.and_ m x y) (Bdd.and_ m (Bdd.not_ m x) z) in
+  let q = Bdd.exists m ~cube:(Bdd.cube m [ 0 ]) f in
+  Alcotest.(check bool) "∃x.f = y ∨ z" true (Bdd.equal q (Bdd.or_ m y z));
+  let q2 = Bdd.exists m ~cube:(Bdd.cube m [ 0; 1; 2 ]) f in
+  Alcotest.(check bool) "∃xyz.f = 1" true (Bdd.is_one q2);
+  let q3 = Bdd.exists m ~cube:(Bdd.one m) f in
+  Alcotest.(check bool) "∃∅.f = f" true (Bdd.equal q3 f)
+
+let test_and_exists () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let a = Bdd.or_ m (Bdd.and_ m x y) z in
+  let b = Bdd.or_ m (Bdd.not_ m x) (Bdd.not_ m z) in
+  let cube = Bdd.cube m [ 0; 2 ] in
+  let fused = Bdd.and_exists m ~cube a b in
+  let naive = Bdd.exists m ~cube (Bdd.and_ m a b) in
+  Alcotest.(check bool) "relprod = ∃.(a∧b)" true (Bdd.equal fused naive);
+  let c0, _ = Bdd.relprod_stats m in
+  Alcotest.(check bool) "relprod cache consulted" true (c0 > 0)
+
+let test_rename () =
+  let m = mgr () in
+  (* next→current shift on interleaved rails: odd vars map one down *)
+  let n0 = Bdd.var m 1 and n1 = Bdd.var m 3 in
+  let f = Bdd.xor_ m n0 n1 in
+  let map = [| 0; 0; 2; 2 |] in
+  let r = Bdd.rename m ~map f in
+  let c0 = Bdd.var m 0 and c1 = Bdd.var m 2 in
+  Alcotest.(check bool) "renamed onto current rail" true
+    (Bdd.equal r (Bdd.xor_ m c0 c1))
+
+let test_sat_count () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 2 in
+  let f = Bdd.or_ m x y in
+  Alcotest.(check (float 0.0)) "x∨y over {0,2}" 3.0
+    (Bdd.sat_count m ~vars:[| 0; 2 |] f);
+  Alcotest.(check (float 0.0)) "free variable doubles the count" 6.0
+    (Bdd.sat_count m ~vars:[| 0; 2; 4 |] f);
+  Alcotest.(check (float 0.0)) "one over 3 vars" 8.0
+    (Bdd.sat_count m ~vars:[| 0; 1; 2 |] (Bdd.one m));
+  Alcotest.(check (float 0.0)) "zero" 0.0
+    (Bdd.sat_count m ~vars:[| 0; 1 |] (Bdd.zero m))
+
+let test_gc () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let keep = Bdd.and_ m x y in
+  (* build garbage *)
+  for i = 2 to 40 do
+    ignore (Bdd.and_ m (Bdd.var m i) keep)
+  done;
+  let before = Bdd.node_count m in
+  let roots = [| keep; x; y |] in
+  let live = Bdd.gc m ~roots in
+  Alcotest.(check bool) "swept garbage" true (live < before);
+  let keep' = roots.(0) and x' = roots.(1) and y' = roots.(2) in
+  Alcotest.(check bool) "roots stay valid" true
+    (Bdd.equal keep' (Bdd.and_ m x' y'));
+  Alcotest.(check bool) "semantics survive" true
+    (Bdd.eval m (fun _ -> true) keep'
+    && not (Bdd.eval m (fun v -> v <> 0) keep'));
+  let collections, swept = Bdd.gc_stats m in
+  Alcotest.(check bool) "stats recorded" true (collections >= 1 && swept > 0)
+
+let test_id () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let a = Bdd.and_ m x y and b = Bdd.and_ m y x in
+  Alcotest.(check int) "hash-consed ids equal" (Bdd.id a) (Bdd.id b);
+  Alcotest.(check bool) "distinct nodes, distinct ids" true
+    (Bdd.id a <> Bdd.id x)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_semantics; prop_canonical; prop_de_morgan; prop_involution ]
@@ -174,5 +251,12 @@ let suite =
        Alcotest.test_case "support" `Quick test_support;
        Alcotest.test_case "apply cache replays as hits" `Quick
          test_apply_cache_growth;
-       Alcotest.test_case "any_sat" `Quick test_any_sat ]
+       Alcotest.test_case "any_sat" `Quick test_any_sat;
+       Alcotest.test_case "exists over cube" `Quick test_exists;
+       Alcotest.test_case "and_exists relational product" `Quick
+         test_and_exists;
+       Alcotest.test_case "rename rails" `Quick test_rename;
+       Alcotest.test_case "sat_count" `Quick test_sat_count;
+       Alcotest.test_case "gc keeps roots" `Quick test_gc;
+       Alcotest.test_case "node id" `Quick test_id ]
      @ qsuite) ]
