@@ -444,9 +444,14 @@ let bench_simulate () =
            match Polysim.Compile.compile kp with
            | Error m -> failwith m
            | Ok c ->
+             let tick = Option.get (Polysim.Compile.signal_index c "tick") in
+             let go = Option.get (Polysim.Compile.signal_index c "env_pGo") in
              for t = 0 to 23 do
-               match Polysim.Compile.step c ~stimulus:(stim_at t) with
-               | Ok _ -> ()
+               Polysim.Compile.stim_clear c;
+               Polysim.Compile.set_stim c tick Types.Vevent;
+               if t = 0 then Polysim.Compile.set_stim c go (Types.Vint 1);
+               match Polysim.Compile.step_prepared c with
+               | Ok () -> ()
                | Error m -> failwith m
              done))
   in
@@ -594,7 +599,7 @@ let bench_affine () =
 let bench_ablations () =
   (* hierarchy: structural inclusion matrix vs Φ-strengthened *)
   let a = analyzed CS.registry_nominal in
-  let calc = a.P.calc in
+  let calc = Lazy.force a.P.calc in
   let mgr = Clocks.Calculus.manager calc in
   let reprs = Clocks.Calculus.class_reprs calc in
   let clocks =
@@ -834,6 +839,130 @@ let bench_edit_recheck () =
     (cold_ns /. incr_ns);
   if cold_ns < 5.0 *. incr_ns then
     failwith "edit-recheck bench: incremental path under the 5x floor"
+
+(* C9b: a behaviour edit that really changes ONE process (the producer
+   arms its timer once instead of per job) must rerun exactly that
+   process's typecheck/normalize work and replay every untouched
+   sibling from the per-process memo. The counters are the proof: the
+   bench asserts them per run, and reports the wall-clock ratio
+   against a fully cold re-analysis for context. *)
+let bench_edit_recheck_proc () =
+  section "C9b: per-process incremental recheck (one-process edit)";
+  let mode = Trans.System_trans.External in
+  let analyze ~session ~registry =
+    match P.analyze ~session ~registry ~mode CS.aadl_source with
+    | Ok a -> a
+    | Error ds -> failwith (Putil.Diag.list_to_string ds)
+  in
+  let counter name = Putil.Metrics.counter_value Putil.Metrics.global name in
+  let iters = 20 in
+  (* cold: fresh session and cold clock-calculus memo every run *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Clocks.Calculus.reset_cache ();
+    let session = P.new_session () in
+    ignore (analyze ~session ~registry:CS.registry_nominal)
+  done;
+  let cold_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  (* incremental: one warm session; alternate the producer behaviour
+     edit so every re-analysis changes exactly one process *)
+  let session = P.new_session () in
+  ignore (analyze ~session ~registry:CS.registry_nominal);
+  ignore (analyze ~session ~registry:CS.registry_producer_variant);
+  let ran0 = counter "incr.typecheck.proc_ran" in
+  let skip0 = counter "incr.typecheck.proc_skipped" in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    let registry =
+      if i land 1 = 1 then CS.registry_nominal
+      else CS.registry_producer_variant
+    in
+    ignore (analyze ~session ~registry)
+  done;
+  let incr_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  let ran = counter "incr.typecheck.proc_ran" - ran0 in
+  let skipped = counter "incr.typecheck.proc_skipped" - skip0 in
+  if ran <> iters then
+    failwith
+      (Printf.sprintf
+         "edit-recheck-proc: expected 1 process retypechecked per run, got \
+          %d over %d runs"
+         ran iters);
+  if skipped <= 0 then
+    failwith "edit-recheck-proc: no process replayed from the memo";
+  all_rows :=
+    !all_rows
+    @ [ ("edit-recheck-proc/cold-full", cold_ns);
+        ("edit-recheck-proc/one-process", incr_ns) ];
+  Format.printf "  %-52s %10.3f ms/run@." "edit-recheck-proc/cold-full"
+    (cold_ns /. 1e6);
+  Format.printf "  %-52s %10.3f ms/run@." "edit-recheck-proc/one-process"
+    (incr_ns /. 1e6);
+  Format.printf "  speedup: %.1fx  (%d proc reruns, %d replays over %d runs)@."
+    (cold_ns /. incr_ns) ran skipped iters
+
+(* C9c: steady-state warm start through the persistent store. Both
+   arms pay a fresh session and a cold clock-calculus memo each run —
+   the only difference is whether a shared on-disk --cache-dir store
+   backs the session, so the ratio isolates what the store alone
+   buys a brand-new process analyzing unchanged source. *)
+let bench_warm_start () =
+  section "C9c: warm start from the persistent cache store";
+  let mode = Trans.System_trans.External in
+  let registry = CS.registry_nominal in
+  let analyze ?session () =
+    match P.analyze ?session ~registry ~mode CS.aadl_source with
+    | Ok a -> a
+    | Error ds -> failwith (Putil.Diag.list_to_string ds)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "poly_bench_store_%d" (Unix.getpid ()))
+  in
+  (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let open_store () =
+        match Putil.Cache_store.open_store dir with
+        | Ok s -> s
+        | Error m -> failwith ("warm-start bench: " ^ m)
+      in
+      (* populate the store once; every timed run below reopens it *)
+      Clocks.Calculus.reset_cache ();
+      ignore (analyze ~session:(P.new_session ~store:(open_store ()) ()) ());
+      let iters = 10 in
+      let run ~with_store =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          Clocks.Calculus.reset_cache ();
+          let session =
+            if with_store then P.new_session ~store:(open_store ()) ()
+            else P.new_session ()
+          in
+          ignore (analyze ~session ())
+        done;
+        (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+      in
+      let cold_ns = run ~with_store:false in
+      let warm_ns = run ~with_store:true in
+      all_rows :=
+        !all_rows
+        @ [ ("warm-start/no-store", cold_ns);
+            ("warm-start/with-store", warm_ns) ];
+      Format.printf "  %-52s %10.3f ms/run@." "warm-start/no-store"
+        (cold_ns /. 1e6);
+      Format.printf "  %-52s %10.3f ms/run@." "warm-start/with-store"
+        (warm_ns /. 1e6);
+      Format.printf "  speedup: %.1fx (acceptance floor: 5x)@."
+        (cold_ns /. warm_ns);
+      if cold_ns < 5.0 *. warm_ns then
+        failwith "warm-start bench: store-backed session under the 5x floor")
 
 (* C10: symbolic vs explicit bounded verification over the counter
    scaling family ({!Polysim.Models.counters}): k independent modulo-3
@@ -1142,6 +1271,8 @@ let () =
       ("affine", bench_affine);
       ("explore", bench_explore);
       ("edit-recheck", bench_edit_recheck);
+      ("edit-recheck-proc", bench_edit_recheck_proc);
+      ("warm-start", bench_warm_start);
       ("verify", bench_verify);
       ("ablations", bench_ablations) ]
   in

@@ -83,6 +83,7 @@ end ModalSensor;
 (* the sensor's computation depends on its mode: real samples in
    Nominal, a safe constant in Degraded *)
 let registry : Trans.Behavior.registry =
+  Trans.Behavior.make ~id:"modal_sensor:sensor"
   [ ("sensor",
      fun ctx ->
        let cnt_stmts, n = Trans.Behavior.job_counter ctx in

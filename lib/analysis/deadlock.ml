@@ -23,8 +23,9 @@ let prim_outs = function
   | Stdproc.Pin_event_port -> [ "frozen"; "frozen_count" ]
   | Stdproc.Pout_event_port -> [ "sent" ]
 
-let dependency_graph kp =
+let dependency_graph ?(extra_edges = []) kp =
   let g = Digraph.create () in
+  List.iter (fun (a, b) -> Digraph.add_edge g a b) extra_edges;
   List.iter (fun vd -> Digraph.add_vertex g vd.Signal_lang.Ast.var_name)
     (K.signals kp);
   let dep src dst =
@@ -53,8 +54,8 @@ let dependency_graph kp =
     kp.K.kinstances;
   g
 
-let analyze ?calc kp =
-  let g = dependency_graph kp in
+let analyze ?calc ?extra_edges kp =
+  let g = dependency_graph ?extra_edges kp in
   let feasible_cycle members =
     match calc with
     | None -> true

@@ -17,12 +17,21 @@ type report = {
   deadlock_free : bool;        (** no feasible cycle *)
 }
 
-val dependency_graph : Signal_lang.Kernel.kprocess -> Digraph.t
+val dependency_graph :
+  ?extra_edges:(string * string) list ->
+  Signal_lang.Kernel.kprocess ->
+  Digraph.t
 (** Edges x → y when computing y at an instant needs x at the same
-    instant. Primitive instances contribute their contract edges. *)
+    instant. Primitive instances contribute their contract edges.
+    [extra_edges] adds caller-known dependencies — the pipeline's glue
+    analysis abstracts each spliced model instance to its
+    instantaneous input→output dependency pairs this way. *)
 
 val analyze :
-  ?calc:Clocks.Calculus.t -> Signal_lang.Kernel.kprocess -> report
+  ?calc:Clocks.Calculus.t ->
+  ?extra_edges:(string * string) list ->
+  Signal_lang.Kernel.kprocess ->
+  report
 (** With a clock-calculus result, cycles are classified by clock
     feasibility; without, every cycle is conservatively feasible. *)
 

@@ -594,11 +594,16 @@ let exclusive st a b =
     (Bdd.and_ st.mgr st.phi (Bdd.and_ st.mgr (clock_of st a) (clock_of st b)))
 
 let null_signals st =
+  (* Nullness is a property of the synchronization class: test each
+     class once against Φ instead of each signal (typically 3-4×
+     fewer BDD conjunctions). *)
+  let null_class =
+    Array.map (fun c -> Bdd.is_zero (Bdd.and_ st.mgr st.phi c)) st.clocks
+  in
   let n = K.st_count st.tab in
   let acc = ref [] in
   for i = n - 1 downto 0 do
-    let x = st.names.(i) in
-    if is_null st x then acc := x :: !acc
+    if null_class.(st.class_ids.(i)) then acc := st.names.(i) :: !acc
   done;
   !acc
 

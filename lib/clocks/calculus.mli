@@ -107,6 +107,13 @@ val pp_clock : t -> Format.formatter -> Signal_lang.Ast.ident -> unit
 
 val pp_summary : Format.formatter -> t -> unit
 
+val code_conflict : string
+val code_inconsistent : string
+val code_null : string
+(** Diagnostic codes of {!diags}, exposed so callers that merge
+    per-process analysis results can regenerate identical
+    diagnostics. *)
+
 val diags : t -> Putil.Diag.t list
 (** The analysis verdict as structured diagnostics: one
     [CLK-CONSTR-001] error per recorded contradiction, a

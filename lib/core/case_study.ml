@@ -220,15 +220,31 @@ let timer_behavior (ctx : Trans.Behavior.ctx) =
       ctx.Trans.Behavior.out_item "pTimeOut" := when_ (i 1) (v timeout) ]
 
 let registry_of ~arm_every_job ~never_stop : Trans.Behavior.registry =
-  [ ("thProducer",
-     producer_behavior ~arm_every_job ~never_stop
-       ~start_port:"pProdStartTimer" ~stop_port:"pProdStopTimer"
-       ~access:"reqQueue");
-    ("thConsumer", consumer_behavior ~arm_every_job ~never_stop);
-    ("thTimer", timer_behavior) ]
+  (* The id covers every parameter the behaviour closures depend on:
+     incremental recompute keys translation on it. *)
+  Trans.Behavior.make
+    ~id:
+      (Printf.sprintf "case_study:arm_every_job=%b:never_stop=%b"
+         arm_every_job never_stop)
+    [ ("thProducer",
+       producer_behavior ~arm_every_job ~never_stop
+         ~start_port:"pProdStartTimer" ~stop_port:"pProdStopTimer"
+         ~access:"reqQueue");
+      ("thConsumer", consumer_behavior ~arm_every_job ~never_stop);
+      ("thTimer", timer_behavior) ]
 
 let registry_nominal = registry_of ~arm_every_job:true ~never_stop:false
 let registry_timeout = registry_of ~arm_every_job:false ~never_stop:true
+
+let registry_producer_variant =
+  Trans.Behavior.make ~id:"case_study:producer_arm_once"
+    [ ("thProducer",
+       producer_behavior ~arm_every_job:false ~never_stop:false
+         ~start_port:"pProdStartTimer" ~stop_port:"pProdStopTimer"
+         ~access:"reqQueue");
+      ("thConsumer",
+       consumer_behavior ~arm_every_job:true ~never_stop:false);
+      ("thTimer", timer_behavior) ]
 
 let thread_periods_us =
   [ ("thProducer", 4_000); ("thConsumer", 6_000); ("thProdTimer", 8_000);

@@ -33,5 +33,11 @@ val registry_timeout : Trans.Behavior.registry
     [Timer_Duration] timer dispatches and [pTimeOut] events reach the
     operator display — the scenario the timers exist for. *)
 
+val registry_producer_variant : Trans.Behavior.registry
+(** [registry_nominal] with exactly one thread's behaviour changed:
+    the producer arms its timer only at job 1. A one-process edit
+    fixture for the per-process incremental-recompute tests — every
+    other generated model is identical to the nominal one. *)
+
 val thread_periods_us : (string * int) list
 (** Thread base names with their paper periods, in µs. *)

@@ -2,16 +2,48 @@ module Ast = Signal_lang.Ast
 module Types = Signal_lang.Types
 module K = Signal_lang.Kernel
 
+(* Per-model analysis unit: everything the merged verdicts need from
+   one model, in the model's own namespace (pure data — persistable).
+   The interface summary fields abstract the model for the glue
+   analysis: relations among interface signals provable from the model
+   alone (sound under composition, which only adds constraints). *)
+type proc_analysis = {
+  pa_model : string;
+  pa_consistent : bool;
+  pa_conflicts : string list;
+  pa_null : string list;
+  pa_determinism : Analysis.Determinism.report;
+  pa_deadlock : Analysis.Deadlock.report;
+  pa_iface_eq : (string * string) list;   (* synchronous pairs *)
+  pa_iface_le : (string * string) list;   (* subclock pairs *)
+  pa_iface_ex : (string * string) list;   (* exclusive pairs *)
+  pa_iface_null : string list;            (* provably never present *)
+  pa_iface_dep : (string * string) list;  (* instantaneous in → out *)
+}
+
+type glue_analysis = {
+  ga_consistent : bool;
+  ga_conflicts : string list;
+  ga_null : string list;
+  ga_determinism : Analysis.Determinism.report;
+  ga_deadlock : Analysis.Deadlock.report;
+}
+
 type analyzed = {
   package : Aadl.Syntax.package;
   aadl_issues : Aadl.Check.issue list;
   instance : Aadl.Instance.t;
   translation : Trans.System_trans.output;
   kernel : K.kprocess;
+  glue_kernel : K.kprocess;
+  links : Signal_lang.Normalize.link list;
+  proc_analyses : (string * proc_analysis) list;
+  glue : glue_analysis;
   typed_program : Signal_lang.Ast.typed Signal_lang.Ast.gprogram;
-  clocked_decls : Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list;
-  calc : Clocks.Calculus.t;
-  hierarchy : Clocks.Hierarchy.t;
+  clocked_decls :
+    Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list Lazy.t;
+  calc : Clocks.Calculus.t Lazy.t;
+  hierarchy : Clocks.Hierarchy.t Lazy.t;
   determinism : Analysis.Determinism.report;
   deadlock : Analysis.Deadlock.report;
   typecheck_errors : Signal_lang.Typecheck.error list;
@@ -42,7 +74,36 @@ type analyzed = {
 
 type 'v slot = (string * 'v) option ref
 
+(* Per-process units live in name-keyed tables: one entry per process
+   (resp. model), replaced when that process's key changes. The
+   whole-stage slots above them short-circuit the unchanged-program
+   case in one digest comparison, so per-process traffic only happens
+   when the generated program actually changed. *)
+type 'v proc_tbl = (string, string * 'v) Hashtbl.t
+
+type typechecked =
+  Signal_lang.Typecheck.error list
+  * Signal_lang.Ast.typed Signal_lang.Ast.gprocess
+
+type normalized = {
+  n_kernel : K.kprocess;  (* fully linked top kernel *)
+  n_glue : K.kprocess;
+  n_links : Signal_lang.Normalize.link list;
+  n_models : (string * K.kprocess) list;  (* precomputed model kernels *)
+  n_profile : Analysis.Profiling.report;  (* static costs of [n_kernel] *)
+  n_kdigest : string;  (* [K.digest n_kernel], computed once *)
+}
+
+type analyses = {
+  a_procs : (string * proc_analysis) list;
+  a_glue : glue_analysis;
+  a_determinism : Analysis.Determinism.report;
+  a_deadlock : Analysis.Deadlock.report;
+  a_diags : Putil.Diag.t list;
+}
+
 type session = {
+  s_store : Putil.Cache_store.t option;
   s_parse : Aadl.Syntax.package list slot;
   s_instance : Aadl.Instance.t slot;
   s_translate : (Trans.System_trans.output * Putil.Diag.t list) slot;
@@ -50,24 +111,30 @@ type session = {
     (Signal_lang.Typecheck.error list
     * Signal_lang.Ast.typed Signal_lang.Ast.gprogram)
       slot;
-  s_normalize : K.kprocess slot;
-  s_analyses :
-    (Clocks.Calculus.t
-    * Clocks.Hierarchy.t
-    * Analysis.Determinism.report
-    * Analysis.Deadlock.report
-    * Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list
-    * Putil.Diag.t list)
-      slot;
+  s_tc_procs : typechecked proc_tbl;
+  s_normalize : normalized slot;
+  s_kernels : K.kprocess option proc_tbl;
+      (* [None] records a model normalization failure: the linker falls
+         back to inlining that model, reproducing the original error *)
+  s_analyses : analyses slot;
+  s_panas : proc_analysis proc_tbl;
+  s_glue : glue_analysis proc_tbl;  (* single "glue" entry *)
 }
 
-let new_session () =
-  { s_parse = ref None;
+let new_session ?store () =
+  { s_store = store;
+    s_parse = ref None;
     s_instance = ref None;
     s_translate = ref None;
     s_typecheck = ref None;
+    s_tc_procs = Hashtbl.create 16;
     s_normalize = ref None;
-    s_analyses = ref None }
+    s_kernels = Hashtbl.create 16;
+    s_analyses = ref None;
+    s_panas = Hashtbl.create 16;
+    s_glue = Hashtbl.create 1 }
+
+let session_store session = Option.bind session (fun s -> s.s_store)
 
 let m_stage =
   let tbl = Hashtbl.create 16 in
@@ -98,13 +165,137 @@ let stage_r name slot key compute =
       Ok v
     | Error _ as e -> e)
 
-let stage name slot key compute =
-  match stage_r name slot key (fun () -> Ok (compute ())) with
+(* [stage_r] with persistent backing: slot first, store second,
+   compute last. Only for stages whose value is Uid-free pure data —
+   interned UIDs are dense ids into this process's interner, so a
+   value carrying them (e.g. the translation's traceability table)
+   would resolve against an unrelated interner when replayed by a
+   fresh process, and must never go through here. *)
+let stage_rp name slot store key compute =
+  let store_stage = "stage." ^ name in
+  match slot with
+  | Some r when (match !r with Some (k, _) -> String.equal k key | None -> false)
+    ->
+    Putil.Metrics.incr (m_stage name "skipped");
+    Ok (match !r with Some (_, v) -> v | None -> assert false)
+  | _ -> (
+    let record v =
+      match slot with Some r -> r := Some (key, v) | None -> ()
+    in
+    match
+      Option.bind store (fun s ->
+          Putil.Cache_store.get s ~stage:store_stage ~key)
+    with
+    | Some v ->
+      Putil.Metrics.incr (m_stage name "skipped");
+      record v;
+      Ok v
+    | None -> (
+      Putil.Metrics.incr (m_stage name "ran");
+      match compute () with
+      | Ok v ->
+        (match store with
+         | Some s -> Putil.Cache_store.put s ~stage:store_stage ~key v
+         | None -> ());
+        record v;
+        Ok v
+      | Error _ as e -> e))
+
+(* [stage_rp] for the per-process stages: a store replay of the whole
+   stage covers every unit the cold run computed, so it credits
+   [proc_skipped] with the unit count derived from the replayed value
+   — the per-unit accounting stays truthful ("this work was not
+   redone") even though the individual [proc_unit] lookups are
+   bypassed. The per-unit store entries written by the cold run remain
+   in place; the edited-program path misses here (the stage key covers
+   the whole program) and falls through to [proc_unit] as before. *)
+let stage_rpu name slot store key ~units compute =
+  let store_stage = "stage." ^ name in
+  match slot with
+  | Some r when (match !r with Some (k, _) -> String.equal k key | None -> false)
+    ->
+    Putil.Metrics.incr (m_stage name "skipped");
+    Ok (match !r with Some (_, v) -> v | None -> assert false)
+  | _ -> (
+    let record v =
+      match slot with Some r -> r := Some (key, v) | None -> ()
+    in
+    match
+      Option.bind store (fun s ->
+          Putil.Cache_store.get s ~stage:store_stage ~key)
+    with
+    | Some v ->
+      Putil.Metrics.incr (m_stage name "skipped");
+      Putil.Metrics.incr ~by:(units v) (m_stage name "proc_skipped");
+      record v;
+      Ok v
+    | None -> (
+      Putil.Metrics.incr (m_stage name "ran");
+      match compute () with
+      | Ok v ->
+        (match store with
+         | Some s -> Putil.Cache_store.put s ~stage:store_stage ~key v
+         | None -> ());
+        record v;
+        Ok v
+      | Error _ as e -> e))
+
+let stage_pu name slot store key ~units compute =
+  match stage_rpu name slot store key ~units (fun () -> Ok (compute ())) with
   | Ok v -> v
   | Error () -> assert false
 
+(* Per-process unit inside a stage: in-memory table first, persistent
+   store second, compute last. A store hit still counts as skipped —
+   the work was not redone. Only successes are recorded. *)
+let proc_unit stage_name tbl store store_stage pname key compute =
+  let hit v =
+    Putil.Metrics.incr (m_stage stage_name "proc_skipped");
+    v
+  in
+  match tbl with
+  | Some t
+    when (match Hashtbl.find_opt t pname with
+          | Some (k, _) -> String.equal k key
+          | None -> false) ->
+    hit
+      (match Hashtbl.find_opt t pname with
+       | Some (_, v) -> v
+       | None -> assert false)
+  | _ -> (
+    let record v =
+      (match tbl with
+       | Some t -> Hashtbl.replace t pname (key, v)
+       | None -> ());
+      v
+    in
+    match
+      Option.bind store (fun s ->
+          Putil.Cache_store.get s ~stage:store_stage ~key)
+    with
+    | Some v -> hit (record v)
+    | None ->
+      Putil.Metrics.incr (m_stage stage_name "proc_ran");
+      let v = compute () in
+      (match store with
+       | Some s -> Putil.Cache_store.put s ~stage:store_stage ~key v
+       | None -> ());
+      record v)
+
+(* Trust boundary: stage keys are Marshal digests of pure data. A
+   closure smuggled into a key would marshal the code pointer — or
+   worse, appear digest-stable across semantically different runs — so
+   it is rejected loudly instead. Registries of behaviour closures
+   carry a stable string id ({!Trans.Behavior.id}) that is folded into
+   the key in their place. *)
 let digest_of v =
-  Digest.to_hex (Digest.string (Marshal.to_string v [ Marshal.No_sharing ]))
+  match Marshal.to_string v [ Marshal.No_sharing ] with
+  | s -> Digest.to_hex (Digest.string s)
+  | exception Invalid_argument _ ->
+    invalid_arg
+      "Pipeline.digest_of: value contains a closure (functional value); \
+       stage keys must be pure data — fold a stable id into the key \
+       instead (see Trans.Behavior.make)"
 
 (* Stable codes for the defects detected by the pipeline itself. *)
 let code_root =
@@ -225,13 +416,275 @@ let default_root pkgs =
   | _ :: _ :: _ ->
     Error "several candidate root systems; pass ~root explicitly"
 
+(* ------------------------------------------------------------------ *)
+(* Per-process analysis units                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Interface skeleton of a process: what other processes' typecheck
+   and normalization can observe of it. Keying per-process units on
+   (own digest × interface environment) means a body edit in one
+   process leaves every other process's key unchanged. *)
+let iface_of p =
+  let sig_of vd = (vd.Ast.var_name, vd.Ast.var_type) in
+  ( p.Ast.proc_name,
+    List.map sig_of p.Ast.params,
+    List.map sig_of p.Ast.inputs,
+    List.map sig_of p.Ast.outputs,
+    p.Ast.pragmas )
+
+(* Program processes referenced (transitively) from [p] via instance
+   statements — the normalization dependency closure. Thread models
+   only reference the built-in library, so their closure is empty. *)
+let dep_closure program p =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun q -> Hashtbl.replace by_name q.Ast.proc_name q)
+    program.Ast.processes;
+  let seen = Hashtbl.create 16 in
+  let rec names_of acc p =
+    let rec of_stmt acc s =
+      match Ast.desc s with Ast.Sinstance i -> i.Ast.inst_proc :: acc | _ -> acc
+    and of_proc acc p =
+      let acc = List.fold_left of_stmt acc p.Ast.body in
+      List.fold_left of_proc acc p.Ast.subprocesses
+    in
+    let refs = of_proc [] p in
+    List.fold_left
+      (fun acc n ->
+        if Hashtbl.mem seen n then acc
+        else begin
+          Hashtbl.replace seen n ();
+          match Hashtbl.find_opt by_name n with
+          | Some q -> names_of (n :: acc) q
+          | None -> acc
+        end)
+      acc refs
+  in
+  let deps = List.sort_uniq compare (names_of [] p) in
+  List.filter_map (fun n -> Hashtbl.find_opt by_name n) deps
+
+let model_key program m =
+  let deps = dep_closure program m in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ""
+          (Ast.process_digest m :: List.map Ast.process_digest deps)))
+
+(* Analyze one model kernel standalone (inputs free) and summarize its
+   interface for the glue analysis. Everything asserted about the
+   interface is provable from the model alone, hence sound under any
+   composition (composition only adds constraints). *)
+let proc_analysis_of km =
+  let calc = Clocks.Calculus.analyze km in
+  let det = Analysis.Determinism.analyze calc km in
+  let dl = Analysis.Deadlock.analyze ~calc km in
+  let nulls = Clocks.Calculus.null_signals calc in
+  let iface =
+    List.map (fun vd -> vd.Ast.var_name) (km.K.kinputs @ km.K.koutputs)
+  in
+  let eq = ref [] and le = ref [] and ex = ref [] in
+  let rec pairs = function
+    | [] | [ _ ] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if Clocks.Calculus.same_class calc a b then eq := (a, b) :: !eq
+          else begin
+            if Clocks.Calculus.subclock calc a b then le := (a, b) :: !le;
+            if Clocks.Calculus.subclock calc b a then le := (b, a) :: !le;
+            if Clocks.Calculus.exclusive calc a b then ex := (a, b) :: !ex
+          end)
+        rest;
+      pairs rest
+  in
+  pairs iface;
+  let graph = Analysis.Deadlock.dependency_graph km in
+  let ins = List.map (fun vd -> vd.Ast.var_name) km.K.kinputs in
+  let outs = List.map (fun vd -> vd.Ast.var_name) km.K.koutputs in
+  let deps =
+    List.concat_map
+      (fun i ->
+        let r = Analysis.Digraph.reachable graph i in
+        List.filter_map
+          (fun o -> if List.mem o r then Some (i, o) else None)
+          outs)
+      ins
+  in
+  { pa_model = km.K.kname;
+    pa_consistent = Clocks.Calculus.consistent calc;
+    pa_conflicts = Clocks.Calculus.conflicts calc;
+    pa_null = nulls;
+    pa_determinism = det;
+    pa_deadlock = dl;
+    pa_iface_eq = List.rev !eq;
+    pa_iface_le = List.rev !le;
+    pa_iface_ex = List.rev !ex;
+    pa_iface_null = List.filter (fun x -> List.mem x nulls) iface;
+    pa_iface_dep = deps }
+
+let renamer (link : Signal_lang.Normalize.link) =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (a, b) -> Hashtbl.replace tbl a b) link.Signal_lang.Normalize.l_rename;
+  fun x -> match Hashtbl.find_opt tbl x with Some y -> y | None -> x
+
+(* Glue kernel with per-instance interface summaries injected: the
+   relations each model proves about its own interface become
+   constraints over the host signals it is linked to, and provably
+   null interface signals are pinned null ([Cex (x, x)] forces an
+   empty clock). *)
+let glue_with_summaries glue (links : Signal_lang.Normalize.link list) pas =
+  let extra_constraints = ref [] and extra_edges = ref [] in
+  List.iter
+    (fun (l : Signal_lang.Normalize.link) ->
+      match List.assoc_opt l.Signal_lang.Normalize.l_model pas with
+      | None -> ()  (* model was inlined: its content is inside glue *)
+      | Some pa ->
+        let rn = renamer l in
+        List.iter
+          (fun (a, b) ->
+            extra_constraints := K.Ceq (rn a, rn b) :: !extra_constraints)
+          pa.pa_iface_eq;
+        List.iter
+          (fun (a, b) ->
+            extra_constraints := K.Cle (rn a, rn b) :: !extra_constraints)
+          pa.pa_iface_le;
+        List.iter
+          (fun (a, b) ->
+            extra_constraints := K.Cex (rn a, rn b) :: !extra_constraints)
+          pa.pa_iface_ex;
+        List.iter
+          (fun x ->
+            extra_constraints := K.Cex (rn x, rn x) :: !extra_constraints)
+          pa.pa_iface_null;
+        List.iter
+          (fun (a, b) -> extra_edges := (rn a, rn b) :: !extra_edges)
+          pa.pa_iface_dep)
+    links;
+  ( { glue with
+      K.kconstraints = glue.K.kconstraints @ List.rev !extra_constraints },
+    List.rev !extra_edges )
+
+let glue_analysis_of glue extra_edges =
+  let calc = Clocks.Calculus.analyze glue in
+  { ga_consistent = Clocks.Calculus.consistent calc;
+    ga_conflicts = Clocks.Calculus.conflicts calc;
+    ga_null = Clocks.Calculus.null_signals calc;
+    ga_determinism = Analysis.Determinism.analyze calc glue;
+    ga_deadlock = Analysis.Deadlock.analyze ~calc ~extra_edges glue }
+
+(* Merge the per-instance units and the glue unit into the
+   whole-system verdicts, renaming model-local signal names into the
+   linked namespace. Diagnostics are regenerated from the renamed
+   structured data (instance order, then glue) — same codes and
+   wording as the monolithic analysis produced. *)
+let merge_analyses ~stubbed (links : Signal_lang.Normalize.link list) pas ga =
+  let instance_units =
+    List.filter_map
+      (fun (l : Signal_lang.Normalize.link) ->
+        Option.map
+          (fun pa -> (l, renamer l, pa))
+          (List.assoc_opt l.Signal_lang.Normalize.l_model pas))
+      links
+  in
+  let det_issues =
+    List.concat_map
+      (fun (_, rn, pa) ->
+        List.map
+          (fun (i : Analysis.Determinism.issue) ->
+            { i with
+              Analysis.Determinism.signal = rn i.Analysis.Determinism.signal;
+              branch_a = rn i.Analysis.Determinism.branch_a;
+              branch_b = rn i.Analysis.Determinism.branch_b })
+          pa.pa_determinism.Analysis.Determinism.issues)
+      instance_units
+    @ ga.ga_determinism.Analysis.Determinism.issues
+  in
+  let determinism =
+    { Analysis.Determinism.issues = det_issues;
+      deterministic = det_issues = [] }
+  in
+  let cycles =
+    List.concat_map
+      (fun (_, rn, pa) ->
+        List.map
+          (fun (c : Analysis.Deadlock.cycle) ->
+            { c with
+              Analysis.Deadlock.signals =
+                List.map rn c.Analysis.Deadlock.signals })
+          pa.pa_deadlock.Analysis.Deadlock.cycles)
+      instance_units
+    @ ga.ga_deadlock.Analysis.Deadlock.cycles
+  in
+  let deadlock =
+    { Analysis.Deadlock.cycles;
+      deadlock_free =
+        not (List.exists (fun c -> c.Analysis.Deadlock.feasible) cycles) }
+  in
+  let conflicts =
+    List.concat_map
+      (fun ((l : Signal_lang.Normalize.link), _, pa) ->
+        List.map
+          (fun m ->
+            Printf.sprintf "in instance %s: %s"
+              l.Signal_lang.Normalize.l_label m)
+          pa.pa_conflicts)
+      instance_units
+    @ ga.ga_conflicts
+  in
+  let consistent =
+    ga.ga_consistent
+    && List.for_all (fun (_, _, pa) -> pa.pa_consistent) instance_units
+  in
+  let nulls =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun x ->
+        if Hashtbl.mem seen x then false
+        else begin
+          Hashtbl.replace seen x ();
+          true
+        end)
+      (List.concat_map
+         (fun (_, rn, pa) -> List.map rn pa.pa_null)
+         instance_units
+      @ ga.ga_null)
+  in
+  let diags =
+    let c = Putil.Diag.collector () in
+    List.iter
+      (fun m ->
+        Putil.Diag.add c
+          (Putil.Diag.errorf ~code:Clocks.Calculus.code_conflict "%s" m))
+      conflicts;
+    if not consistent then
+      Putil.Diag.add c
+        (Putil.Diag.errorf ~code:Clocks.Calculus.code_inconsistent
+           "clock constraint system is unsatisfiable: no behaviour has \
+            any signal present");
+    (* a failed schedule or task extraction is stubbed with
+       never-present events, so null-clock notes would only echo a
+       defect already reported — drop them then *)
+    if not stubbed then
+      List.iter
+        (fun x ->
+          Putil.Diag.add c
+            (Putil.Diag.notef ~code:Clocks.Calculus.code_null
+               "signal %s has a provably empty clock (never present)" x))
+        nulls;
+    Putil.Diag.result c
+    @ Analysis.Determinism.diags_of_report determinism
+    @ Analysis.Deadlock.diags_of_report deadlock
+  in
+  { a_procs = pas; a_glue = ga; a_determinism = determinism;
+    a_deadlock = deadlock; a_diags = diags }
+
 (* Every layer contributes to one collector, so independent defects —
    an AADL legality error, a type error in the generated program and an
    infeasible thread set — are all reported in a single run. The
    result is [Error] only when a stage failure prevents building the
    full record; the accumulated diagnostics (including warnings and
    notes from the analyses) otherwise ride in [analyzed.diags]. *)
-let analyze_package ?session ?(registry = []) ?policy ?mode
+let analyze_package ?session ?(registry = Trans.Behavior.empty) ?policy ?mode
     ?(context = []) ?file ~root pkg =
   Putil.Tracing.with_span "pipeline.analyze"
     ~args:[ ("root", Putil.Tracing.Astr root) ]
@@ -239,6 +692,7 @@ let analyze_package ?session ?(registry = []) ?policy ?mode
   let diags = Putil.Diag.collector () in
   let fail () = Error (Putil.Diag.result diags) in
   let slot f = Option.map f session in
+  let store = session_store session in
   let aadl_issues =
     List.concat_map Aadl.Check.check_package (pkg :: context)
   in
@@ -256,7 +710,8 @@ let analyze_package ?session ?(registry = []) ?policy ?mode
     match
       stage_r "translate"
         (slot (fun s -> s.s_translate))
-        (digest_of (instance, policy, mode, file))
+        (digest_of (instance, policy, mode, file)
+        ^ ":" ^ Trans.Behavior.id registry)
         (fun () ->
           match
             Trans.System_trans.translate_diag ?file ~registry ?policy
@@ -272,75 +727,153 @@ let analyze_package ?session ?(registry = []) ?policy ?mode
       Putil.Diag.add_list diags tdiags;
       let program = translation.Trans.System_trans.program in
       let program_key = Signal_lang.Ast.program_digest program in
+      let top = translation.Trans.System_trans.top in
       let typecheck_errors, typed_program =
-        stage "typecheck"
+        stage_pu "typecheck"
           (slot (fun s -> s.s_typecheck))
-          program_key
+          store program_key
+          ~units:(fun (_, tp) -> List.length tp.Ast.processes)
           (fun () ->
-            ( Signal_lang.Typecheck.check_program program,
-              Signal_lang.Typecheck.type_program program ))
+            (* keyed on (own body × interface environment): a body edit
+               in one process reruns only that process's check *)
+            let iface_key =
+              digest_of (List.map iface_of program.Ast.processes)
+            in
+            let per_proc =
+              List.map
+                (fun p ->
+                  proc_unit "typecheck"
+                    (slot (fun s -> s.s_tc_procs))
+                    store "typecheck.proc" p.Ast.proc_name
+                    (Digest.to_hex (Ast.process_digest p) ^ ":" ^ iface_key)
+                    (fun () ->
+                      ( Signal_lang.Typecheck.check_process ~program p,
+                        Signal_lang.Typecheck.type_process p )))
+                program.Ast.processes
+            in
+            ( List.concat_map fst per_proc,
+              { Ast.prog_name = program.Ast.prog_name;
+                Ast.processes = List.map snd per_proc } ))
       in
       Putil.Diag.add_list diags
         (List.map
            (diag_of_type_error ?file ~translation ~instance)
            typecheck_errors);
       match
-        stage_r "normalize"
+        stage_rpu "normalize"
           (slot (fun s -> s.s_normalize))
-          (program_key ^ ":"
-          ^ translation.Trans.System_trans.top.Ast.proc_name)
+          store
+          (program_key ^ ":" ^ top.Ast.proc_name)
+          ~units:(fun n -> List.length n.n_models)
           (fun () ->
-            Signal_lang.Normalize.process ~program
-              translation.Trans.System_trans.top)
+            (* normalize each model once, keyed on its dependency
+               closure, then link the cached kernels into the host *)
+            let models =
+              List.filter
+                (fun p ->
+                  (not (String.equal p.Ast.proc_name top.Ast.proc_name))
+                  && p.Ast.params = [])
+                program.Ast.processes
+            in
+            let precomputed =
+              List.filter_map
+                (fun m ->
+                  Option.map
+                    (fun k -> (m.Ast.proc_name, k))
+                    (proc_unit "normalize"
+                       (slot (fun s -> s.s_kernels))
+                       store "normalize.proc" m.Ast.proc_name
+                       (model_key program m)
+                       (fun () ->
+                         Result.to_option
+                           (Signal_lang.Normalize.process ~program m))))
+                models
+            in
+            Result.map
+              (fun (lk : Signal_lang.Normalize.linked) ->
+                { n_kernel = lk.Signal_lang.Normalize.lk_kernel;
+                  n_glue = lk.Signal_lang.Normalize.lk_glue;
+                  n_links = lk.Signal_lang.Normalize.lk_links;
+                  n_models = precomputed;
+                  (* the profile and the kernel digest ride in the
+                     stage value so replays (slot or store) never
+                     recompute them *)
+                  n_profile =
+                    Analysis.Profiling.static_costs
+                      lk.Signal_lang.Normalize.lk_kernel;
+                  n_kdigest =
+                    K.digest lk.Signal_lang.Normalize.lk_kernel })
+              (Signal_lang.Normalize.process_linked ~program ~precomputed
+                 top))
       with
       | Error d ->
         Putil.Diag.add diags d;
         fail ()
-      | Ok kernel ->
-        let profile = Analysis.Profiling.static_costs kernel in
+      | Ok n ->
+          let kernel = n.n_kernel in
         Putil.Metrics.set m_profile_total
-          profile.Analysis.Profiling.total_static;
+          n.n_profile.Analysis.Profiling.total_static;
         Putil.Metrics.set m_profile_signals
-          (List.length profile.Analysis.Profiling.per_signal);
+          (List.length n.n_profile.Analysis.Profiling.per_signal);
         let stubbed = Putil.Diag.has_errors tdiags in
-        let calc, hierarchy, determinism, deadlock, clocked_decls,
-            analysis_diags =
-          stage "analyses"
+        let an =
+          stage_pu "analyses"
             (slot (fun s -> s.s_analyses))
-            (K.digest kernel ^ if stubbed then ":stub" else "")
+            store
+            (n.n_kdigest ^ if stubbed then ":stub" else "")
+            ~units:(fun an -> List.length an.a_procs + 1 (* glue *))
             (fun () ->
-              let calc = Clocks.Calculus.analyze kernel in
-              (* a failed schedule or task extraction is stubbed with
-                 never-present events, so null-clock notes would only
-                 echo a defect already reported — drop them then *)
-              let calc_diags =
-                if stubbed then
-                  List.filter
-                    (fun d ->
-                      not (String.equal d.Putil.Diag.code "CLK-NULL-001"))
-                    (Clocks.Calculus.diags calc)
-                else Clocks.Calculus.diags calc
+              let model_names =
+                List.sort_uniq compare
+                  (List.map
+                     (fun (l : Signal_lang.Normalize.link) ->
+                       l.Signal_lang.Normalize.l_model)
+                     n.n_links)
               in
-              let hierarchy = Clocks.Hierarchy.build calc in
-              let determinism = Analysis.Determinism.analyze calc kernel in
-              let deadlock = Analysis.Deadlock.analyze ~calc kernel in
-              ( calc, hierarchy, determinism, deadlock,
-                Clocks.Calculus.clocked_decls calc,
-                calc_diags
-                @ Analysis.Determinism.diags_of_report determinism
-                @ Analysis.Deadlock.diags_of_report deadlock ))
+              let pas =
+                List.filter_map
+                  (fun name ->
+                    Option.map
+                      (fun km ->
+                        ( name,
+                          proc_unit "analyses"
+                            (slot (fun s -> s.s_panas))
+                            store "analysis.proc" name (K.digest km)
+                            (fun () -> proc_analysis_of km) ))
+                      (List.assoc_opt name n.n_models))
+                  model_names
+              in
+              let glue', extra_edges =
+                glue_with_summaries n.n_glue n.n_links pas
+              in
+              let ga =
+                proc_unit "analyses"
+                  (slot (fun s -> s.s_glue))
+                  store "analysis.glue" "glue"
+                  (digest_of (K.digest glue', extra_edges))
+                  (fun () -> glue_analysis_of glue' extra_edges)
+              in
+              merge_analyses ~stubbed n.n_links pas ga)
         in
-        Putil.Diag.add_list diags analysis_diags;
+          Putil.Diag.add_list diags an.a_diags;
+        let calc = lazy (Clocks.Calculus.analyze kernel) in
+        let hierarchy = lazy (Clocks.Hierarchy.build (Lazy.force calc)) in
+        let clocked_decls =
+          lazy (Clocks.Calculus.clocked_decls (Lazy.force calc))
+        in
         Ok
           { package = pkg; aadl_issues; instance; translation; kernel;
-            typed_program; clocked_decls; calc; hierarchy; determinism;
-            deadlock; typecheck_errors;
-            diags = Putil.Diag.result diags }))
+            glue_kernel = n.n_glue; links = n.n_links;
+            proc_analyses = an.a_procs; glue = an.a_glue; typed_program;
+            clocked_decls; calc; hierarchy;
+            determinism = an.a_determinism; deadlock = an.a_deadlock;
+            typecheck_errors; diags = Putil.Diag.result diags }))
 
 let analyze ?session ?registry ?policy ?mode ?root ?file src =
   let* pkgs =
-    stage_r "parse"
+    stage_rp "parse"
       (Option.map (fun s -> s.s_parse) session)
+      (session_store session)
       (Digest.to_hex
          (Digest.string (Option.value ~default:"" file ^ "\x00" ^ src)))
       (fun () -> Aadl.Parser.parse_packages_diag ?file src)
@@ -668,10 +1201,10 @@ let pp_summary ppf a =
         Sched.Static_sched.pp_schedule s)
     a.translation.Trans.System_trans.schedules;
   Format.fprintf ppf "@,== clock calculus ==@,%a@," Clocks.Calculus.pp_summary
-    a.calc;
+    (Lazy.force a.calc);
   Format.fprintf ppf "clock hierarchy roots: %d, depth: %d@,"
-    (List.length (Clocks.Hierarchy.roots a.hierarchy))
-    (Clocks.Hierarchy.depth a.hierarchy);
+    (List.length (Clocks.Hierarchy.roots (Lazy.force a.hierarchy)))
+    (Clocks.Hierarchy.depth (Lazy.force a.hierarchy));
   Format.fprintf ppf "@,== determinism ==@,%a@,"
     Analysis.Determinism.pp_report a.determinism;
   Format.fprintf ppf "@,== deadlock ==@,%a@," Analysis.Deadlock.pp_report

@@ -5,22 +5,75 @@
     This is the programmatic face of the paper's tool chain
     (Sec. IV-E). *)
 
+(** Per-model analysis unit: the analyses of one generated SIGNAL
+    model, standalone (inputs free), in the model's own namespace.
+    Pure data, so units persist in a {!Putil.Cache_store} and replay
+    across process invocations. The [pa_iface_*] fields summarize the
+    model's interface for the compositional glue analysis: relations
+    among interface signals provable from the model alone, hence sound
+    under any composition (composition only adds constraints). *)
+type proc_analysis = {
+  pa_model : string;
+  pa_consistent : bool;
+  pa_conflicts : string list;
+  pa_null : string list;
+  pa_determinism : Analysis.Determinism.report;
+  pa_deadlock : Analysis.Deadlock.report;
+  pa_iface_eq : (string * string) list;   (** synchronous pairs *)
+  pa_iface_le : (string * string) list;   (** subclock pairs *)
+  pa_iface_ex : (string * string) list;   (** exclusive pairs *)
+  pa_iface_null : string list;            (** provably never present *)
+  pa_iface_dep : (string * string) list;
+      (** instantaneous input → output dependencies, for the glue
+          deadlock analysis ({!Analysis.Deadlock.dependency_graph}'s
+          [extra_edges]) *)
+}
+
+(** Analyses of the glue kernel — the host process with spliced model
+    content abstracted away and interface summaries injected. *)
+type glue_analysis = {
+  ga_consistent : bool;
+  ga_conflicts : string list;
+  ga_null : string list;
+  ga_determinism : Analysis.Determinism.report;
+  ga_deadlock : Analysis.Deadlock.report;
+}
+
 type analyzed = {
   package : Aadl.Syntax.package;
   aadl_issues : Aadl.Check.issue list;
   instance : Aadl.Instance.t;
   translation : Trans.System_trans.output;
   kernel : Signal_lang.Kernel.kprocess;   (** normalized top process *)
+  glue_kernel : Signal_lang.Kernel.kprocess;
+      (** host-side abstraction of [kernel]: spliced model content
+          omitted, model outputs free (see
+          {!Signal_lang.Normalize.process_linked}) *)
+  links : Signal_lang.Normalize.link list;
+      (** one per spliced model instance, with the model-local →
+          host-kernel renaming *)
+  proc_analyses : (string * proc_analysis) list;
+      (** per-model analysis units, keyed by model process name *)
+  glue : glue_analysis;
   typed_program : Signal_lang.Ast.typed Signal_lang.Ast.gprogram;
       (** the generated program in the [typed] phase: every expression
           mark carries its inferred SIGNAL type *)
-  clocked_decls : Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list;
+  clocked_decls :
+    Signal_lang.Ast.clocked Signal_lang.Ast.gvardecl list Lazy.t;
       (** the kernel's declarations in the [clocked] phase: each mark
           records the signal's synchronization class *)
-  calc : Clocks.Calculus.t;
-  hierarchy : Clocks.Hierarchy.t;
+  calc : Clocks.Calculus.t Lazy.t;
+      (** whole-kernel clock calculus. Lazy: the analysis verdicts come
+          from the per-model units and the glue analysis, so the
+          monolithic calculus only runs when a consumer (summary
+          printing, compilation diagnostics, cross-validation) forces
+          it — keeping the incremental recheck path free of
+          whole-system BDD work. *)
+  hierarchy : Clocks.Hierarchy.t Lazy.t;  (** forces [calc] *)
   determinism : Analysis.Determinism.report;
-  deadlock : Analysis.Deadlock.report;
+      (** merged whole-system verdict (per-model units + glue, renamed
+          into the linked namespace) *)
+  deadlock : Analysis.Deadlock.report;    (** merged likewise *)
   typecheck_errors : Signal_lang.Typecheck.error list;
   diags : Putil.Diag.t list;
       (** every diagnostic accumulated across the run, in emission
@@ -46,13 +99,25 @@ type analyzed = {
     [incr.<stage>.ran] / [incr.<stage>.skipped] metrics shown by
     {!pp_stats}.
 
+    Below the whole-stage caches, typecheck, normalization and the
+    analyses are {e per-process}: each generated SIGNAL process
+    (model) has its own cache unit keyed on its own content digest, so
+    when the program {e did} change, only the edited process's
+    typecheck/normalize/analyze reruns — untouched processes replay
+    cached results. The [incr.<stage>.proc_ran] / [.proc_skipped]
+    metrics count that traffic. With a persistent [store], per-process
+    units are additionally written through to disk and survive process
+    exit: a fresh session opened on a warm store skips straight to
+    replay ({!Putil.Cache_store}).
+
     Cached stages are pure, so a warm re-analysis returns results
     byte-identical to a cold one. The behaviour registry is assumed
-    stable across one session. *)
+    stable across one session; registries fold their stable
+    {!Trans.Behavior.id} into the stage key. *)
 
 type session
 
-val new_session : unit -> session
+val new_session : ?store:Putil.Cache_store.t -> unit -> session
 
 val analyze :
   ?session:session ->

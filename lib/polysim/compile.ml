@@ -30,6 +30,7 @@ type pdef =
   | Pinput of int list             (* input signal indices in the class *)
   | Pprim of int * int             (* primitive index, output position *)
   | Pderived                       (* evaluate the clock function *)
+  | Palias of int                  (* mirror another class's presence *)
   | Pfree                          (* default to absent *)
 
 type op =
@@ -555,10 +556,32 @@ let compile_impl kp =
           (* an input whose presence is derived from other clocks: we
              trust the derivation and check the stimulus against it *)
           pdefs.(c) <- Pinput [ i ]
+        | Palias _ -> assert false           (* not assigned yet *)
         | Pprim _ ->
           errf "input %s is synchronized with a FIFO-driven clock"
             prog.Prog.names.(i)
       end
+    done;
+    (* A free presence variable pinned absent is only sound while
+       nothing observable forces it true. When the calculus solved an
+       observable class's clock as exactly that variable — the
+       hierarchy picked the free class as representative, so an input
+       (or FIFO-driven) class [c] has clock_bdd = Present c' with c'
+       free — the stimulus deciding [c] decides [c'] too: mirror it
+       instead of pinning it. *)
+    for c = 0 to nclasses - 1 do
+      match pdefs.(c) with
+      | Pinput _ | Pprim _ -> (
+        match Bdd.view mgr clock_bdd.(c) with
+        | `Node (v, lo, hi)
+          when Bdd.view mgr lo = `Leaf false
+               && Bdd.view mgr hi = `Leaf true -> (
+          match Calc.var_kind calc v with
+          | Some (`Present c') when c' <> c && pdefs.(c') = Pfree ->
+            pdefs.(c') <- Palias c
+          | _ -> ())
+        | _ -> ())
+      | Pderived | Pfree | Palias _ -> ()
     done;
     let n_free =
       Array.fold_left
@@ -601,6 +624,7 @@ let compile_impl kp =
       match pdefs.(c) with
       | Pfree -> ()
       | Pinput _ -> ()
+      | Palias src -> Analysis.Digraph.add_edge g (pnode src) (pnode c)
       | Pprim (pi, _) ->
         Array.iter
           (fun i -> Analysis.Digraph.add_edge g (pnode class_of.(i)) (pnode c))
@@ -726,6 +750,8 @@ let compile_impl kp =
     let compile_pres c =
       match pdefs.(c) with
       | Pfree -> (fun st -> st.pres.(st.base_cls + c) <- false)
+      | Palias src ->
+        fun st -> st.pres.(st.base_cls + c) <- st.pres.(st.base_cls + src)
       | Pinput members ->
         let ms = Array.of_list members in
         fun st ->
@@ -1172,32 +1198,6 @@ let iter_present st f =
       f i (slot_value st (b + i))
   done
 
-(* compat shim over the dense ABI: same list convention as Engine.step *)
-let step st ~stimulus =
-  let t0 = Clock.now_ns () in
-  let r =
-    try
-      select_scenario st 0;
-      stim_clear st;
-      let prog = st.prog in
-      List.iter
-        (fun (x, v) ->
-          match Prog.index_opt prog x with
-          | Some i when prog.Prog.is_input.(i) ->
-            let j = st.base_sig + i in
-            st.stim_p.(j) <- true;
-            set_slot_value st j v
-          | Some _ -> errf "stimulus for non-input signal %s" x
-          | None -> errf "stimulus for unknown signal %s" x)
-        stimulus;
-      exec_instant st;
-      st.instants <- st.instants + 1;
-      Ok (present_assoc_from st st.base_sig 0)
-    with Comp_error m -> Error m
-  in
-  Metrics.add_span_ns m_step_ns (Clock.now_ns () - t0);
-  r
-
 let run_batched st ~n ~fill =
   let t0 = Clock.now_ns () in
   let r =
@@ -1237,11 +1237,31 @@ let run kp ~stimuli =
   match compile kp with
   | Error m -> Error m
   | Ok st ->
+    (* named stimulus → dense buffer, one instant *)
+    let step_named stim =
+      let t0 = Clock.now_ns () in
+      let r =
+        try
+          stim_clear st;
+          List.iter
+            (fun (x, v) ->
+              match Prog.index_opt st.prog x with
+              | Some i -> set_stim st i v
+              | None -> errf "stimulus for unknown signal %s" x)
+            stim;
+          exec_instant st;
+          st.instants <- st.instants + 1;
+          Ok ()
+        with Comp_error m -> Error m
+      in
+      Metrics.add_span_ns m_step_ns (Clock.now_ns () - t0);
+      r
+    in
     let rec go = function
       | [] -> Ok st.traces.(0)
       | stim :: rest -> (
-        match step st ~stimulus:stim with
-        | Ok _ -> go rest
+        match step_named stim with
+        | Ok () -> go rest
         | Error m -> Error m)
     in
     go stimuli
@@ -1404,6 +1424,7 @@ type sym_pdef =
   | Sym_input of int list
   | Sym_prim of int * int
   | Sym_derived
+  | Sym_alias of int
 
 type sym_varres =
   | Sym_present of int
@@ -1432,7 +1453,8 @@ let sym_view st =
           | Pfree -> Sym_free
           | Pinput l -> Sym_input l
           | Pprim (p, k) -> Sym_prim (p, k)
-          | Pderived -> Sym_derived)
+          | Pderived -> Sym_derived
+          | Palias src -> Sym_alias src)
         st.pdefs;
     sv_mgr = Calc.manager st.calc;
     sv_clock_bdd = st.clock_bdd;
@@ -1452,7 +1474,7 @@ let free_class_members st =
   for i = st.prog.Prog.n - 1 downto 0 do
     match st.pdefs.(st.class_of.(i)) with
     | Pfree -> acc := st.prog.Prog.names.(i) :: !acc
-    | Pinput _ | Pprim _ | Pderived -> ()
+    | Pinput _ | Pprim _ | Pderived | Palias _ -> ()
   done;
   !acc
 
@@ -1628,6 +1650,7 @@ let to_c ?(name = "signal_step") st =
             pf "  %s = %s;\n" (p c) (String.concat " || " flags)
           | Pprim (pi, pos) ->
             pf "  %s = %s;\n" (p c) (prim_pres_expr st.prims.(pi) pos)
+          | Palias src -> pf "  %s = %s;\n" (p c) (p src)
           | Pderived -> pf "  %s = %s;\n" (p c) (bdd_expr st.clock_bdd.(c)))
         | Oval i ->
           let guard = p st.class_of.(i) in

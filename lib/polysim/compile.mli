@@ -112,19 +112,10 @@ val iter_present : t -> (int -> Signal_lang.Types.value -> unit) -> unit
 val present_assoc :
   t -> (Signal_lang.Ast.ident * Signal_lang.Types.value) list
 (** Present signals of the last executed instant as a name/value assoc
-    list (ascending index order) — the list {!step} returns, for dense
-    ABI callers that still need the boxed view (e.g. safety
-    predicates). *)
+    list (ascending index order), for dense ABI callers that still
+    need the boxed view (e.g. safety predicates). *)
 
 (** {1 Stepping} *)
-
-val step :
-  t ->
-  stimulus:(Signal_lang.Ast.ident * Signal_lang.Types.value) list ->
-  ((Signal_lang.Ast.ident * Signal_lang.Types.value) list, string) result
-(** Same convention as {!Engine.step}: present inputs with values;
-    unlisted inputs are absent. A thin compat shim over the dense ABI
-    (kept for Engine parity tests); drives scenario 0. *)
 
 val run_batched : t -> n:int -> fill:(t -> int -> unit) -> (unit, string) result
 (** Execute [n] instants in one call over scenario 0, with plan and
@@ -208,6 +199,10 @@ type sym_pdef =
   | Sym_input of int list          (** presence = stimulus of members *)
   | Sym_prim of int * int          (** decided by FIFO state (prim, pos) *)
   | Sym_derived                    (** evaluate the clock function *)
+  | Sym_alias of int
+      (** mirror class [c]'s presence: the calculus solved an
+          observable class's clock as exactly this class's free
+          presence variable, so that observation decides it *)
 
 type sym_varres =
   | Sym_present of int             (** clock var = class [c] present *)

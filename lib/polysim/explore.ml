@@ -402,6 +402,28 @@ let check ?(depth = 8) ?jobs ~inputs ~safe kp =
 (* sat_count can exceed the int range; saturate rather than wrap *)
 let states_int f = if f >= float_of_int max_int then max_int else int_of_float f
 
+(* one replay instant over the dense stimulus ABI: named arrivals into
+   the stimulus buffer, then the boxed present view for the safety
+   predicate *)
+let step_assoc r stimulus =
+  Compile.stim_clear r;
+  let rec fill = function
+    | [] -> Ok ()
+    | (x, v) :: rest -> (
+      match Compile.signal_index r x with
+      | Some i when Compile.is_input r i ->
+        Compile.set_stim r i v;
+        fill rest
+      | Some _ -> Error ("stimulus for non-input signal " ^ x)
+      | None -> Error ("stimulus for unknown signal " ^ x))
+  in
+  match fill stimulus with
+  | Error _ as e -> e
+  | Ok () -> (
+    match Compile.step_prepared r with
+    | Error _ as e -> e
+    | Ok () -> Ok (Compile.present_assoc r))
+
 let check_symbolic ?depth ~inputs ~prop kp =
   match Compile.compile kp with
   | Error m -> Error (diag_compile m)
@@ -427,7 +449,7 @@ let check_symbolic ?depth ~inputs ~prop kp =
         let rec replay i = function
           | [] -> diverged i "empty stimulus sequence"
           | [ stimulus ] -> (
-            match Compile.step r ~stimulus with
+            match step_assoc r stimulus with
             | Ok present -> (
               match kind with
               | `Violation when not (safe present) ->
@@ -440,7 +462,7 @@ let check_symbolic ?depth ~inputs ~prop kp =
               | `Runtime_error -> Error (diag_sim m)
               | `Violation -> diverged i m))
           | stimulus :: rest -> (
-            match Compile.step r ~stimulus with
+            match step_assoc r stimulus with
             | Ok _ -> replay (i + 1) rest
             | Error m -> diverged i m)
         in

@@ -623,6 +623,10 @@ let run_exn ~depth ~inputs ~prop c =
         let v, e = conv_clock sv.Compile.sv_clock_bdd.(cls) in
         add_err e;
         v
+      | Compile.Sym_alias _ ->
+        (* handled at the plan-order walk, where the source class's
+           presence formula is already available *)
+        assert false
     in
     (* non-error result regions of a binop, mirroring
        Compile.exec_binop's checks and short-circuits exactly *)
@@ -798,7 +802,12 @@ let run_exn ~depth ~inputs ~prop c =
     (* walk the toposorted schedule *)
     Array.iter
       (function
-        | `Pres cls -> pres_b.(cls) <- compute_pres cls
+        | `Pres cls ->
+          pres_b.(cls) <-
+            (match sv.Compile.sv_pdefs.(cls) with
+            (* plan order guarantees the source class is computed *)
+            | Compile.Sym_alias src -> pres_b.(src)
+            | _ -> compute_pres cls)
         | `Val i ->
           let pc = pres_b.(class_of.(i)) in
           let es =

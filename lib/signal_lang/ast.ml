@@ -354,6 +354,12 @@ let program_digest (prog : 'p gprogram) =
 let program_semantic_digest (prog : 'p gprogram) =
   Digest.string (Marshal.to_string (strip_program prog) [ Marshal.No_sharing ])
 
+let process_digest (p : 'p gprocess) =
+  Digest.string (Marshal.to_string p [ Marshal.No_sharing ])
+
+let process_semantic_digest (p : 'p gprocess) =
+  Digest.string (Marshal.to_string (strip_process p) [ Marshal.No_sharing ])
+
 let rec expr_size : type p. p gexpr -> int =
  fun (d, _) ->
   match d with

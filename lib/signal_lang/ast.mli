@@ -210,6 +210,16 @@ val program_semantic_digest : 'p gprogram -> string
 (** Digest of the mark-stripped skeleton: identifies programs up to
     positions and phase annotations. *)
 
+val process_digest : 'p gprocess -> string
+(** Per-process structural digest (16 raw bytes), marks included: keys
+    the process-granular memoization of incremental recompute. *)
+
+val process_semantic_digest : 'p gprocess -> string
+(** Per-process digest of the mark-stripped skeleton: identifies a
+    process up to positions and phase annotations, so a position-only
+    shift in one process leaves every process's semantic digest
+    unchanged. *)
+
 val expr_size : 'p gexpr -> int
 (** Number of AST nodes, used by profiling and benches. *)
 

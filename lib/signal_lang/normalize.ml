@@ -172,9 +172,36 @@ let resolve_model ~program ~host name =
     | None ->
       List.find_opt (fun p -> String.equal p.proc_name name) Stdproc.all)
 
+(* Link-time splicing of precomputed per-model kernels.
+
+   [process_linked] assembles a host kernel from already-normalized
+   model kernels instead of re-normalizing every model body: an
+   instance of a precomputed model is satisfied by renaming the cached
+   kernel into the host namespace (locals ["label__name"], nested
+   instance labels ["label__inner"]) and splicing its equations in
+   place. The rename map of every splice is returned so per-model
+   analysis results can be translated into the host namespace too.
+
+   In [opaque] mode the same traversal *omits* the spliced content and
+   keeps only the host-side glue: actual-input computations, data
+   FIFOs, host equations and constraints. The resulting "glue kernel"
+   is the host abstraction that per-process incremental analysis runs
+   on (the caller injects interface summaries as extra constraints). *)
+type link = {
+  l_label : string;
+  l_model : string;
+  l_rename : (ident * ident) list;
+}
+
+type link_mode = {
+  lm_pre : (string * kprocess) list;
+  lm_opaque : bool;
+  mutable lm_links : link list;  (* reversed *)
+}
+
 (* Normalize the body of [p] in the given scope, recursing into
    instances. [stack] guards against recursive models. *)
-let rec norm_body st ~program ~stack p scope =
+let rec norm_body st ~program ~stack ~lm p scope =
   let partials : (ident, Types.styp * ident list) Hashtbl.t =
     Hashtbl.create 4
   in
@@ -209,7 +236,7 @@ let rec norm_body st ~program ~stack p scope =
       let x2 = norm_expr_ident st scope e2 in
       st.constraints <- Cex (x1, x2) :: st.constraints
     | Sinstance inst ->
-      norm_instance st ~program ~stack ~sp:(span stmt) p scope inst
+      norm_instance st ~program ~stack ~lm ~sp:(span stmt) p scope inst
   in
   List.iter do_stmt p.body;
   (* Materialize partial definitions as a recorded merge. *)
@@ -233,7 +260,7 @@ let rec norm_body st ~program ~stack p scope =
         assign st dst (Avar merged))
     partials
 
-and norm_instance st ~program ~stack ~sp host scope inst =
+and norm_instance st ~program ~stack ~lm ~sp host scope inst =
   match Stdproc.primitive_of_name inst.inst_proc with
   | Some prim ->
     let ins = List.map (norm_expr_ident st scope) inst.inst_ins in
@@ -243,17 +270,122 @@ and norm_instance st ~program ~stack ~sp host scope inst =
         ki_outs = outs; ki_params = inst.inst_params }
       :: st.instances
   | None -> (
-    match resolve_model ~program ~host inst.inst_proc with
-    | None -> errf_at sp "unknown process model %s" inst.inst_proc
-    | Some model ->
-      if List.mem model.proc_name stack then
-        errf_at sp "recursive instantiation of process %s" model.proc_name;
-      inline st ~program ~stack:(model.proc_name :: stack) ~sp scope inst
-        model)
+    match lm with
+    | Some l
+      when inst.inst_params = []
+           && find_subprocess host inst.inst_proc = None
+           && List.mem_assoc inst.inst_proc l.lm_pre ->
+      (* Precomputed model, not shadowed by a subprocess and with no
+         static parameters to substitute: splice the cached kernel. *)
+      splice st ~sp l scope inst (List.assoc inst.inst_proc l.lm_pre)
+    | _ -> (
+      match resolve_model ~program ~host inst.inst_proc with
+      | None -> errf_at sp "unknown process model %s" inst.inst_proc
+      | Some model ->
+        if List.mem model.proc_name stack then
+          errf_at sp "recursive instantiation of process %s" model.proc_name;
+        inline st ~program ~stack:(model.proc_name :: stack) ~lm ~sp scope
+          inst model))
+
+(* Splice a precomputed model kernel at an instance site: bind its
+   interface to the actuals (same binding discipline as [inline]),
+   rename its locals and nested instance labels into the host
+   namespace, and replay its equations, constraints, instances and
+   partial merges in order. In opaque mode only the actual-input
+   computations (host-side) are kept. *)
+and splice st ~sp lm outer_scope inst kp =
+  if List.length inst.inst_ins <> List.length kp.kinputs then
+    errf_at sp "instance %s of %s: bad input arity" inst.inst_label kp.kname;
+  if List.length inst.inst_outs <> List.length kp.koutputs then
+    errf_at sp "instance %s of %s: bad output arity" inst.inst_label kp.kname;
+  let in_bindings =
+    List.map2
+      (fun vd actual ->
+        let a = norm_expr st outer_scope actual in
+        match a with
+        | Avar x -> (vd.var_name, x)
+        | Aconst _ ->
+          let x = atom_ident st ?span:(span actual) vd.var_type a in
+          (vd.var_name, x))
+      kp.kinputs inst.inst_ins
+  in
+  let out_bindings =
+    List.map2
+      (fun vd actual -> (vd.var_name, outer_scope.rename actual))
+      kp.koutputs inst.inst_outs
+  in
+  let local_bindings =
+    if lm.lm_opaque then []
+    else
+      List.map
+        (fun vd ->
+          let rec pick k =
+            let name =
+              if k = 0 then
+                Printf.sprintf "%s__%s" inst.inst_label vd.var_name
+              else
+                Printf.sprintf "%s__%s_%d" inst.inst_label vd.var_name k
+            in
+            if Hashtbl.mem st.used name then pick (k + 1) else name
+          in
+          let name = pick 0 in
+          Hashtbl.replace st.used name ();
+          st.locals <-
+            { var_name = name; var_type = vd.var_type;
+              var_mark = Mparsed (mark_span vd.var_mark) }
+            :: st.locals;
+          (vd.var_name, name))
+        kp.klocals
+  in
+  let renaming = in_bindings @ out_bindings @ local_bindings in
+  let tbl = Hashtbl.create (2 * List.length renaming) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) renaming;
+  let rn x = match Hashtbl.find_opt tbl x with Some y -> y | None -> x in
+  let rn_atom = function Avar x -> Avar (rn x) | Aconst _ as a -> a in
+  if not lm.lm_opaque then begin
+    List.iter
+      (fun eq ->
+        emit st
+          (match eq with
+           | Kfunc f ->
+             Kfunc { f with dst = rn f.dst; args = List.map rn_atom f.args }
+           | Kdelay d -> Kdelay { d with dst = rn d.dst; src = rn d.src }
+           | Kwhen w ->
+             Kwhen { dst = rn w.dst; src = rn_atom w.src;
+                     cond = rn_atom w.cond }
+           | Kdefault d ->
+             Kdefault { dst = rn d.dst; left = rn_atom d.left;
+                        right = rn_atom d.right }))
+      kp.keqs;
+    List.iter
+      (fun c ->
+        st.constraints <-
+          (match c with
+           | Ceq (a, b) -> Ceq (rn a, rn b)
+           | Cle (a, b) -> Cle (rn a, rn b)
+           | Cex (a, b) -> Cex (rn a, rn b))
+          :: st.constraints)
+      kp.kconstraints;
+    List.iter
+      (fun ki ->
+        st.instances <-
+          { ki with ki_label = inst.inst_label ^ "__" ^ ki.ki_label;
+            ki_ins = List.map rn ki.ki_ins;
+            ki_outs = List.map rn ki.ki_outs }
+          :: st.instances)
+      kp.kinstances;
+    List.iter
+      (fun (d, srcs) ->
+        st.partials <- (rn d, List.map rn srcs) :: st.partials)
+      kp.kpartials
+  end;
+  lm.lm_links <-
+    { l_label = inst.inst_label; l_model = kp.kname; l_rename = renaming }
+    :: lm.lm_links
 
 (* Inline a non-primitive instance: bind actual inputs/outputs, rename
    locals with a fresh prefix, substitute static parameters. *)
-and inline st ~program ~stack ~sp outer_scope inst model =
+and inline st ~program ~stack ~lm ~sp outer_scope inst model =
   if List.length inst.inst_ins <> List.length model.inputs then
     errf_at sp "instance %s of %s: bad input arity" inst.inst_label
       model.proc_name;
@@ -315,9 +447,9 @@ and inline st ~program ~stack ~sp outer_scope inst model =
       tenv = scope_env model params_bound;
       subst = params_bound }
   in
-  norm_body st ~program ~stack model inner_scope
+  norm_body st ~program ~stack ~lm model inner_scope
 
-let process ?program ?(params = []) p =
+let process_gen ?program ?(params = []) ~lm p =
   (* Accept any phase: demote to parsed (spans survive) so the library
      models — which are parsed — mix freely with the input. *)
   let program = Option.map to_parsed_program program in
@@ -341,7 +473,7 @@ let process ?program ?(params = []) p =
       { rename = (fun x -> x); tenv = scope_env p params_bound;
         subst = params_bound }
     in
-    norm_body st ~program ~stack:[ p.proc_name ] p scope;
+    norm_body st ~program ~stack:[ p.proc_name ] ~lm p scope;
     (* Generated temporaries were prepended; declared locals were seeded
        first, so a single reverse restores declaration order. *)
     let declared = List.map (fun vd -> vd.var_name) p.locals in
@@ -361,6 +493,33 @@ let process ?program ?(params = []) p =
     Error
       (Putil.Diag.errorf ?span:sp ~code:code_norm "normalize %s: %s"
          p.proc_name m)
+
+let process ?program ?params p = process_gen ?program ?params ~lm:None p
+
+type linked = {
+  lk_kernel : kprocess;
+  lk_glue : kprocess;
+  lk_links : link list;
+}
+
+let process_linked ?program ~precomputed p =
+  let run ~opaque :
+      (kprocess * link list, Putil.Diag.t) result =
+    let lm = { lm_pre = precomputed; lm_opaque = opaque; lm_links = [] } in
+    match process_gen ?program ~lm:(Some lm) p with
+    | Ok kp -> Ok (kp, List.rev lm.lm_links)
+    | Error d -> Error d
+  in
+  match run ~opaque:false with
+  | Error d -> Stdlib.Error d
+  | Ok (kernel, links) -> (
+    (* The glue traversal repeats only the host-side work; host temp
+       numbering is identical in both runs, so interface bindings in
+       [links] are valid for the glue kernel too. *)
+    match run ~opaque:true with
+    | Error d -> Stdlib.Error d
+    | Ok (glue, _) ->
+      Ok { lk_kernel = kernel; lk_glue = glue; lk_links = links })
 
 let process_exn ?program ?params p =
   match process ?program ?params p with

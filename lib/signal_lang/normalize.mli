@@ -37,3 +37,43 @@ val process_exn :
   ?program:'q Ast.gprogram -> ?params:Types.value list -> 'p Ast.gprocess ->
   Kernel.kprocess
 (** @raise Normalize_error on normalization errors. *)
+
+(** {1 Link-time assembly from precomputed model kernels}
+
+    Per-process incremental recompute normalizes each model once
+    ({!process}, cached per model digest) and assembles the host
+    kernel by {e linking}: every instance of a precomputed model is
+    satisfied by renaming the cached kernel into the host namespace
+    and splicing its content in place. Cold and warm runs share this
+    path, so the assembled kernel is byte-identical either way. *)
+
+type link = {
+  l_label : string;  (** instance label in the host process *)
+  l_model : string;  (** model process name *)
+  l_rename : (Ast.ident * Ast.ident) list;
+      (** model-local signal → host-kernel signal, covering the
+          model's inputs (bound to actual atoms), outputs (bound to
+          host names) and locals (["label__name"] / ["label___tN"]) *)
+}
+
+type linked = {
+  lk_kernel : Kernel.kprocess;
+      (** the fully linked kernel, equal to what {!process} on the
+          host would produce under link-time naming *)
+  lk_glue : Kernel.kprocess;
+      (** host-side abstraction: the same traversal with spliced model
+          content omitted — model outputs stay free, actual-input
+          computations and host equations/constraints are kept.
+          Per-process incremental analysis runs on this kernel with
+          per-model interface summaries injected as constraints. *)
+  lk_links : link list;  (** one per spliced instance, in body order *)
+}
+
+val process_linked :
+  ?program:'q Ast.gprogram ->
+  precomputed:(string * Kernel.kprocess) list ->
+  'p Ast.gprocess ->
+  (linked, Putil.Diag.t) result
+(** Normalize the host process, splicing [precomputed] kernels at
+    instance sites (models with static parameters, or shadowed by a
+    subprocess of the host, fall back to ordinary inlining). *)

@@ -23,14 +23,18 @@ type ctx = {
 
 type t = ctx -> Ast.stmt list
 
-type registry = (string * t) list
+type registry = { reg_id : string; reg_entries : (string * t) list }
+
+let make ~id entries = { reg_id = id; reg_entries = entries }
+let empty = make ~id:"empty" []
+let id reg = reg.reg_id
 
 let find reg name =
   let low = String.lowercase_ascii name in
   List.find_map
     (fun (k, b) ->
       if String.equal (String.lowercase_ascii k) low then Some b else None)
-    reg
+    reg.reg_entries
 
 let job_counter ctx =
   let n = ctx.fresh_local Types.Tint in

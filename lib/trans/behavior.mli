@@ -45,8 +45,21 @@ type ctx = {
 
 type t = ctx -> Signal_lang.Ast.stmt list
 
-type registry = (string * t) list
-(** Keyed by thread classifier base name (case-insensitive). *)
+type registry
+(** Behaviour entries keyed by thread classifier base name
+    (case-insensitive), plus a stable string identity. Behaviours are
+    closures, so a registry cannot be digested structurally; the id is
+    what incremental recompute folds into its stage keys, and it MUST
+    change whenever the generated behaviour changes (e.g. derive it
+    from the configuration parameters the behaviours close over). *)
+
+val make : id:string -> (string * t) list -> registry
+(** [make ~id entries] — see {!registry} for the contract on [id]. *)
+
+val empty : registry
+(** No entries; id ["empty"]. *)
+
+val id : registry -> string
 
 val find : registry -> string -> t option
 

@@ -812,7 +812,7 @@ let translate_core ?file ~registry ~policy ~mode ~diags t =
       env_outputs = List.rev !env_outputs;
       ctl_inputs = ctl_specs }
 
-let translate_diag ?file ?(registry = []) ?(policy = S.Edf)
+let translate_diag ?file ?(registry = Behavior.empty) ?(policy = S.Edf)
     ?(mode = Embedded) t =
   Putil.Tracing.with_span "trans.system"
     ~args:[ ("root", Putil.Tracing.Astr t.Inst.root.Inst.i_path) ]

@@ -99,12 +99,9 @@ let write_accesses inst =
       | Syn.Read_only -> None)
     (accesses inst)
 
-let translate ~registry inst =
+let translate_uncached ~registry inst =
   if inst.Inst.i_category <> Syn.Thread then
     invalid_arg "Thread_trans.translate: not a thread instance";
-  Putil.Tracing.with_span "trans.thread"
-    ~args:[ ("thread", Putil.Tracing.Astr inst.Inst.i_path) ]
-  @@ fun () ->
   let ins = in_ports inst and outs = out_ports inst in
   let reads = read_accesses inst and writes = write_accesses inst in
   let locals = ref [] in
@@ -371,3 +368,44 @@ let translate ~registry inst =
     pragmas =
       [ ("aadl", inst.Inst.i_path);
         ("aadl_classifier", inst.Inst.i_classifier) ] }
+
+(* ------------------------------------------------------------------ *)
+(* Per-process memoization                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [translate] is a pure function of the thread instance subtree and
+   the behaviour registry (closures — keyed by the registry's stable
+   id, see {!Behavior.make}), so its result is memoized per process:
+   re-translating a system after editing one thread reruns exactly
+   that thread's translation. Only successes are cached ([Trans_diag]
+   defects are cheap to rediscover and must not be masked). The table
+   is mutex-protected for Domain_pool safety. *)
+let m_proc_ran = Putil.Metrics.counter "incr.translate.proc_ran"
+let m_proc_skipped = Putil.Metrics.counter "incr.translate.proc_skipped"
+
+let memo : (string, Ast.process) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
+let memo_cap = 512
+
+let translate ~registry inst =
+  Putil.Tracing.with_span "trans.thread"
+    ~args:[ ("thread", Putil.Tracing.Astr inst.Inst.i_path) ]
+  @@ fun () ->
+  let key =
+    Digest.string
+      (Behavior.id registry ^ "\x00"
+      ^ Marshal.to_string inst [ Marshal.No_sharing ])
+  in
+  match
+    Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key)
+  with
+  | Some p ->
+    Putil.Metrics.incr m_proc_skipped;
+    p
+  | None ->
+    Putil.Metrics.incr m_proc_ran;
+    let p = translate_uncached ~registry inst in
+    Mutex.protect memo_lock (fun () ->
+        if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+        Hashtbl.replace memo key p);
+    p

@@ -36,8 +36,10 @@ let fill_assoc c stim =
 let step_all c stims =
   List.iter
     (fun stim ->
-      match Compile.step c ~stimulus:stim with
-      | Ok _ -> ()
+      Compile.stim_clear c;
+      fill_assoc c stim;
+      match Compile.step_prepared c with
+      | Ok () -> ()
       | Error m -> Alcotest.fail m)
     stims
 
@@ -137,17 +139,19 @@ let prop_batched_equivalence =
             List.iter
               (fun (x, v) ->
                 match Compile.signal_index c x with
-                | Some i -> Compile.set_stim c i v
-                | None -> ())
+                | Some i when Compile.is_input c i -> Compile.set_stim c i v
+                | Some _ | None -> ())
               stimuli.(t)
           in
           let steps_ok =
             Array.for_all
-              (fun stim ->
-                match Compile.step c_step ~stimulus:stim with
-                | Ok _ -> true
+              (fun t ->
+                Compile.stim_clear c_step;
+                fill c_step t;
+                match Compile.step_prepared c_step with
+                | Ok () -> true
                 | Error _ -> false)
-              stimuli
+              (Array.init horizon Fun.id)
           in
           if not steps_ok then true (* runtime error: skip *)
           else
@@ -180,11 +184,10 @@ let prop_batched_equivalence =
                      let ci = Result.get_ok (Compile.compile kp) in
                      let indep_ok = ref true in
                      for t = 0 to horizon - 1 do
-                       match
-                         Compile.step ci
-                           ~stimulus:stimuli.(stim_of s t)
-                       with
-                       | Ok _ -> ()
+                       Compile.stim_clear ci;
+                       fill ci (stim_of s t);
+                       match Compile.step_prepared ci with
+                       | Ok () -> ()
                        | Error _ -> indep_ok := false
                      done;
                      !indep_ok

@@ -330,8 +330,12 @@ let test_memoized_instances_independent () =
   let c2 = Result.get_ok (Compile.compile kp) in
   let d0 = Compile.state_digest c2 in
   let step c =
-    match Compile.step c ~stimulus:[ ("e", ve) ] with
-    | Ok present -> List.assoc_opt "n" present
+    Compile.stim_clear c;
+    (match Compile.signal_index c "e" with
+    | Some i -> Compile.set_stim c i ve
+    | None -> Alcotest.fail "no input e");
+    match Compile.step_prepared c with
+    | Ok () -> List.assoc_opt "n" (Compile.present_assoc c)
     | Error m -> Alcotest.fail m
   in
   Alcotest.(check bool) "c1 counts 1" true (step c1 = Some (vi 1));

@@ -64,7 +64,7 @@ let test_case_study_crossval () =
   | Error m -> Alcotest.fail (Putil.Diag.list_to_string m)
   | Ok tr ->
     (* restrict to observable signals to keep the n² check tractable *)
-    let calc = a.Polychrony.Pipeline.calc in
+    let calc = Lazy.force a.Polychrony.Pipeline.calc in
     let obs = Trace.observable tr in
     let present i x = Trace.get tr i x <> None in
     let checked = ref 0 in

@@ -22,7 +22,7 @@ let corpus_names =
    built. *)
 let diags_of name =
   let src = read_file (Filename.concat "corpus" (name ^ ".aadl")) in
-  match P.analyze ~registry:[] ~file:(name ^ ".aadl") src with
+  match P.analyze ~registry:Trans.Behavior.empty ~file:(name ^ ".aadl") src with
   | Ok a -> (src, a.P.diags)
   | Error ds -> (src, ds)
 
@@ -162,7 +162,7 @@ let prop_mutated_diags_well_formed =
     ~name:"every emitted diagnostic has a registered code and sane span"
     ~count:200 gen
     (fun src ->
-      match P.analyze ~registry:[] ~file:"mutated.aadl" src with
+      match P.analyze ~registry:Trans.Behavior.empty ~file:"mutated.aadl" src with
       | Ok a -> List.for_all well_formed a.P.diags
       | Error ds -> ds <> [] && List.for_all well_formed ds
       | exception _ -> QCheck2.assume_fail ())

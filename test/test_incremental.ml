@@ -292,6 +292,127 @@ let test_external_matches_embedded () =
         (List.map Types.value_to_string (Polysim.Trace.values_of tr_ext s)))
     common
 
+(* ------------------------------------------------------------------ *)
+(* Per-process units and the persistent store                         *)
+(* ------------------------------------------------------------------ *)
+
+let proc_stages = [ "typecheck"; "normalize"; "analyses" ]
+
+let proc_snapshot () =
+  List.map
+    (fun st ->
+      ( st,
+        counter ("incr." ^ st ^ ".proc_ran"),
+        counter ("incr." ^ st ^ ".proc_skipped") ))
+    proc_stages
+
+(* Editing one thread's behaviour (the producer arms its timer once
+   instead of every job) reruns exactly that process's unit in every
+   per-process stage; all untouched processes replay. The analyses
+   stage may additionally rerun its glue unit — the producer's
+   interface summary feeds it — but never another model's. *)
+let test_behavior_edit_reruns_one_process () =
+  let session = P.new_session () in
+  let b0 = proc_snapshot () in
+  let _ = analyze_ok ~session CS.aadl_source in
+  let cold = delta b0 (proc_snapshot ()) in
+  let before = proc_snapshot () in
+  let _ =
+    match
+      P.analyze ~session ~registry:CS.registry_producer_variant
+        ~mode:ST.External CS.aadl_source
+    with
+    | Ok a -> a
+    | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds)
+  in
+  List.iter2
+    (fun (st, cold_ran, _) (st', ran, skipped) ->
+      assert (st = st');
+      Alcotest.(check int) (st ^ " conserves units") cold_ran (ran + skipped);
+      match st with
+      | "analyses" ->
+        Alcotest.(check bool)
+          (st ^ " reran the edited model (at most +glue)")
+          true
+          (ran = 1 || ran = 2)
+      | _ -> Alcotest.(check int) (st ^ " reran exactly one process") 1 ran)
+    cold
+    (delta before (proc_snapshot ()))
+
+let with_temp_store f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "incr_store_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun b -> try Sys.remove (Filename.concat dir b) with _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with _ -> ()
+      end)
+    (fun () ->
+      match Putil.Cache_store.open_store dir with
+      | Ok t -> f t dir
+      | Error m -> Alcotest.fail ("open_store: " ^ m))
+
+(* A brand-new session that shares nothing with the first one but the
+   on-disk store replays every per-process unit (no recompute) and
+   reproduces the cold outputs byte for byte. *)
+let test_warm_store_fresh_session () =
+  with_temp_store (fun store dir ->
+      let s1 = P.new_session ~store () in
+      let out_cold = render_outputs (analyze_ok ~session:s1 CS.aadl_source) in
+      let store2 =
+        match Putil.Cache_store.open_store dir with
+        | Ok t -> t
+        | Error m -> Alcotest.fail ("reopen: " ^ m)
+      in
+      let s2 = P.new_session ~store:store2 () in
+      let before = proc_snapshot () in
+      let a_warm = analyze_ok ~session:s2 CS.aadl_source in
+      List.iter
+        (fun (st, ran, skipped) ->
+          Alcotest.(check int) (st ^ " no unit recomputed") 0 ran;
+          Alcotest.(check bool) (st ^ " units replayed") true (skipped > 0))
+        (delta before (proc_snapshot ()));
+      Alcotest.(check bool) "store hits recorded" true
+        ((Putil.Cache_store.stats store2).Putil.Cache_store.hits > 0);
+      Alcotest.(check string) "store replay byte-identical" out_cold
+        (render_outputs a_warm))
+
+(* External mode + compiled simulation across a timing edit: the
+   kernel digest is invariant, so the memoized compiled plan is
+   reused (no new plan build) and the simulation still reflects the
+   new schedule exactly as a cold rebuild would. *)
+let test_compiled_plan_reuse_after_timing_edit () =
+  let session = P.new_session () in
+  let a0 = analyze_ok ~session CS.aadl_source in
+  (match P.simulate ~compiled:true a0 with
+  | Ok _ -> ()
+  | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds));
+  let a1 = analyze_ok ~session (edited_source ()) in
+  Alcotest.(check string) "kernel digest invariant"
+    (K.digest a0.P.kernel) (K.digest a1.P.kernel);
+  let builds0 = counter "compile.plan_builds" in
+  let tr_warm =
+    match P.simulate ~compiled:true a1 with
+    | Ok tr -> tr
+    | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds)
+  in
+  Alcotest.(check int) "compiled plan reused, not rebuilt" builds0
+    (counter "compile.plan_builds");
+  Clocks.Calculus.reset_cache ();
+  let tr_cold =
+    match P.simulate ~compiled:true (analyze_ok (edited_source ())) with
+    | Ok tr -> tr
+    | Error ds -> Alcotest.fail (Putil.Diag.list_to_string ds)
+  in
+  Alcotest.(check bool) "trace matches cold rebuild" true
+    (Polysim.Trace.equal tr_cold tr_warm)
+
 let test_external_ctl_inputs () =
   let a = analyze_ok ~mode:ST.External CS.aadl_source in
   let ctls = a.P.translation.ST.ctl_inputs in
@@ -427,10 +548,36 @@ let prop_digest_stability =
       Ast.program_digest p <> Ast.program_digest p'
       && Ast.program_semantic_digest p = Ast.program_semantic_digest p')
 
+(* The per-process cache keys are compositional: a process's digest
+   depends on that process alone, so editing one process of a program
+   never invalidates another's unit, and the program digest moves iff
+   some process digest does. *)
+let prop_proc_digest_isolation =
+  QCheck2.Test.make
+    ~name:"process digests: isolated under sibling edits"
+    ~count:200
+    QCheck2.Gen.(triple gen_expr gen_expr gen_expr)
+    (fun (e1, e2, e3) ->
+      let mk name e =
+        B.proc ~name
+          ~inputs:[ Ast.var "a" Types.Tint; Ast.var "b" Types.Tint ]
+          ~outputs:[ Ast.var "x" Types.Tint ]
+          [ B.( := ) "x" e ]
+      in
+      let prog ea eb = B.program "G" [ mk "P1" ea; mk "P2" eb ] in
+      let before = prog e1 e2 and after = prog e1 e3 in
+      let dg p i = Ast.process_digest (List.nth p.Ast.processes i) in
+      (* the untouched sibling's digest is bit-stable across the edit *)
+      dg before 0 = dg after 0
+      (* the program digest moves exactly when the edited process's
+         digest does *)
+      && (Ast.program_digest before = Ast.program_digest after)
+         = (dg before 1 = dg after 1))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_normalize_keeps_spans; prop_optimize_keeps_spans;
-      prop_digest_stability ]
+      prop_digest_stability; prop_proc_digest_isolation ]
 
 let suite =
   [ ( "incremental",
@@ -451,6 +598,12 @@ let suite =
           test_session_period_edit_changes_schedule;
         Alcotest.test_case "incremental byte-identical to rebuild" `Quick
           test_incremental_byte_identical;
+        Alcotest.test_case "behaviour edit reruns one process" `Quick
+          test_behavior_edit_reruns_one_process;
+        Alcotest.test_case "warm store replays in fresh session" `Quick
+          test_warm_store_fresh_session;
+        Alcotest.test_case "compiled plan reused across timing edit" `Quick
+          test_compiled_plan_reuse_after_timing_edit;
         Alcotest.test_case "external scheduler matches embedded" `Quick
           test_external_matches_embedded;
         Alcotest.test_case "external ctl inputs well-formed" `Quick

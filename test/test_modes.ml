@@ -82,6 +82,7 @@ end Moded;
 
 (* behaviour: emit 100+count in Nominal mode, 0 in Degraded *)
 let moded_registry : Trans.Behavior.registry =
+  Trans.Behavior.make ~id:"test_modes:sensor"
   [ ("sensor",
      fun ctx ->
        let cnt_stmts, n = Trans.Behavior.job_counter ctx in

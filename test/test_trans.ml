@@ -31,7 +31,7 @@ let has_output p name =
   List.exists (fun vd -> vd.Ast.var_name = name) p.Ast.outputs
 
 let test_thread_interface () =
-  let p = TT.translate ~registry:[] (producer ()) in
+  let p = TT.translate ~registry:Trans.Behavior.empty (producer ()) in
   (* ctl1 bundle *)
   List.iter
     (fun n -> Alcotest.(check bool) (n ^ " input") true (has_input p n))
@@ -49,7 +49,7 @@ let test_thread_interface () =
 let test_thread_ports_are_processes () =
   (* Fig. 5: the in event port becomes an in_event_port instance with
      the declared queue size *)
-  let p = TT.translate ~registry:[] (producer ()) in
+  let p = TT.translate ~registry:Trans.Behavior.empty (producer ()) in
   let found =
     List.exists
       (fun st ->
