@@ -1044,6 +1044,75 @@ let bench_verify () =
           "verify bench: symbolic k=20 peak nodes past the 200k ceiling")
     [ 13; 20 ]
 
+(* C11: ambient observation scopes must be free in practice — the
+   whole point of Putil.Obs is that sessions can always run scoped.
+   Two bechamel rows time the identical batched-simulate workload with
+   and without an active scope; the acceptance gate then re-measures
+   both interleaved (alternating samples cancel clock drift and cache
+   warm-up that separate OLS estimates don't) and compares medians. *)
+let bench_obs_overhead () =
+  let a = analyzed CS.registry_nominal in
+  let kp = a.P.kernel in
+  let c0 = Result.get_ok (Polysim.Compile.compile kp) in
+  let tick = Option.get (Polysim.Compile.signal_index c0 "tick") in
+  let go = Option.get (Polysim.Compile.signal_index c0 "env_pGo") in
+  let run () =
+    match Polysim.Compile.compile kp with
+    | Error m -> failwith m
+    | Ok c -> (
+      match
+        Polysim.Compile.run_batched c ~n:24 ~fill:(fun c t ->
+            Polysim.Compile.set_stim c tick Types.Vevent;
+            if t = 0 then Polysim.Compile.set_stim c go (Types.Vint 1))
+      with
+      | Ok () -> ()
+      | Error m -> failwith m)
+  in
+  let scope = Putil.Obs.scope "bench-obs" in
+  let plain = Test.make ~name:"obs/batched-no-scope" (Staged.stage run) in
+  let scoped =
+    Test.make ~name:"obs/batched-in-scope"
+      (Staged.stage (fun () -> Putil.Obs.in_scope scope run))
+  in
+  run_benchs "C11: ambient-scope overhead (batched simulate)"
+    [ plain; scoped ];
+  (* interleaved-median acceptance gate: scoped within 3% of plain *)
+  let iters = 200 and samples = 31 in
+  let sample f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let plain_ns = Array.make samples 0. in
+  let scoped_ns = Array.make samples 0. in
+  (* warm both paths before sampling *)
+  ignore (sample run);
+  ignore (sample (fun () -> Putil.Obs.in_scope scope run));
+  for i = 0 to samples - 1 do
+    plain_ns.(i) <- sample run;
+    scoped_ns.(i) <- sample (fun () -> Putil.Obs.in_scope scope run)
+  done;
+  let median arr =
+    let a = Array.copy arr in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let p = median plain_ns and s = median scoped_ns in
+  all_rows :=
+    !all_rows
+    @ [ ("obs-overhead/no-scope(median)", p);
+        ("obs-overhead/in-scope(median)", s) ];
+  Format.printf "  %-52s %10.3f us/run@." "obs-overhead/no-scope(median)"
+    (p /. 1e3);
+  Format.printf "  %-52s %10.3f us/run@." "obs-overhead/in-scope(median)"
+    (s /. 1e3);
+  Format.printf "  scoped overhead: %+.2f%% (acceptance ceiling: 3%%)@."
+    ((s -. p) /. p *. 100.);
+  if s > 1.03 *. p then
+    failwith "obs-overhead bench: ambient scope costs more than 3%"
+
 let latency_section () =
   section "LATENCY: end-to-end flow latency over the static schedule";
   let a = analyzed CS.registry_nominal in
@@ -1274,6 +1343,7 @@ let () =
       ("edit-recheck-proc", bench_edit_recheck_proc);
       ("warm-start", bench_warm_start);
       ("verify", bench_verify);
+      ("obs-overhead", bench_obs_overhead);
       ("ablations", bench_ablations) ]
   in
   (match List.assoc_opt arg benches with

@@ -45,8 +45,17 @@ let print_diags ?(oc = stdout) ~format ~src diags =
   match format with
   | `Text -> output_string oc (Putil.Diag.render_list ~src diags)
   | `Json ->
-    output_string oc
-      (Putil.Metrics.Json.to_string (Putil.Diag.list_to_json diags));
+    (* JSON reports carry the always-on flight-recorder snapshot (the
+       last span/instant/diag events per domain), so a failed run
+       explains itself without re-running under --trace *)
+    let j =
+      match Putil.Diag.list_to_json diags with
+      | Putil.Metrics.Json.Obj kvs ->
+        Putil.Metrics.Json.Obj
+          (kvs @ [ ("flight_recorder", Putil.Obs.dump_flight_recorder ()) ])
+      | j -> j
+    in
+    output_string oc (Putil.Metrics.Json.to_string j);
     output_char oc '\n'
 
 (* A --cache-dir (or CACHE_DIR environment variable) opens the
@@ -692,6 +701,115 @@ let recheck_cmd =
           $ edit_from_arg $ edit_to_arg $ verify_arg $ stats_arg
           $ cache_dir_arg)
 
+(* One observation scope per input file: analyze + simulate each file
+   inside its own Pipeline session, then expose the global roll-up plus
+   every per-scope registry. This is the one-process shape of the
+   planned analysis daemon (one scope per request). *)
+let stats_cmd =
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"AADL source files, one observation scope each; the \
+                 bundled ProducerConsumer case study when omitted.")
+  in
+  let stats_format_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("text", `Text); ("json", `Json);
+                  ("openmetrics", `OpenMetrics) ])
+             `OpenMetrics
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Report format: $(b,openmetrics) (Prometheus text \
+                   exposition, one sample set per scope label), \
+                   $(b,json) or $(b,text).")
+  in
+  let flight_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flight-recorder" ] ~docv:"PATH"
+             ~doc:"Also write the polychrony-flight/v1 snapshot (the \
+                   always-on bounded ring of recent span/instant/diag \
+                   events per domain) to $(docv).")
+  in
+  let no_simulate_arg =
+    Arg.(value & flag & info [ "no-simulate" ]
+           ~doc:"Only analyze each file; skip the two-hyper-period \
+                 simulation that populates the engine counters.")
+  in
+  let run files format registry policy no_simulate flight =
+    let registry = or_die (registry_named registry) in
+    let policy = or_die (policy_named policy) in
+    let files = match files with [] -> [ None ] | fs -> List.map Option.some fs in
+    let used = Hashtbl.create 8 in
+    List.iter
+      (fun file ->
+        let base =
+          match file with
+          | Some f -> Filename.remove_extension (Filename.basename f)
+          | None -> "producer_consumer"
+        in
+        (* scope labels must stay disjoint even when the same file is
+           passed twice: suffix repeats deterministically *)
+        let label =
+          match Hashtbl.find_opt used base with
+          | None -> Hashtbl.replace used base 1; base
+          | Some n ->
+            Hashtbl.replace used base (n + 1);
+            Printf.sprintf "%s-%d" base (n + 1)
+        in
+        let session = Polychrony.Pipeline.new_session ~label () in
+        let src = load_source file in
+        match
+          Polychrony.Pipeline.analyze ~session ~registry ~policy ?file src
+        with
+        | Error ds -> print_diags ~oc:stderr ~format:`Text ~src ds
+        | Ok a ->
+          if not no_simulate then (
+            match Polychrony.Pipeline.simulate a with
+            | Ok _ -> ()
+            | Error ds -> print_diags ~oc:stderr ~format:`Text ~src ds))
+      files;
+    (match format with
+     | `OpenMetrics -> print_string (Putil.Obs.to_openmetrics ())
+     | `Json ->
+       let j =
+         Putil.Metrics.Json.Obj
+           [ ("global", Polychrony.Pipeline.stats_json ());
+             ( "scopes",
+               Putil.Metrics.Json.Obj
+                 (List.map
+                    (fun s ->
+                      ( Putil.Obs.scope_label s,
+                        Putil.Metrics.to_json (Putil.Obs.scope_registry s) ))
+                    (Putil.Obs.scopes ())) ) ]
+       in
+       print_endline (Putil.Metrics.Json.to_string j)
+     | `Text ->
+       Format.printf "== global ==@.%a@." Putil.Metrics.pp
+         Putil.Metrics.global;
+       List.iter
+         (fun s ->
+           Format.printf "== scope %s ==@.%a@." (Putil.Obs.scope_label s)
+             Putil.Metrics.pp
+             (Putil.Obs.scope_registry s))
+         (Putil.Obs.scopes ()));
+    match flight with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Putil.Obs.flight_recorder_to_string ());
+          output_char oc '\n')
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Analyze (and simulate) each file inside its own \
+             observation scope and expose the metrics: global roll-up \
+             plus per-scope attribution, as OpenMetrics, JSON or text")
+    Term.(const run $ files_arg $ stats_format_arg $ registry_arg
+          $ policy_arg $ no_simulate_arg $ flight_arg)
+
 let cache_cmd =
   let open_dir cache_dir =
     let dir =
@@ -743,4 +861,4 @@ let () =
        (Cmd.group (Cmd.info "asme2ssme" ~doc)
           [ parse_cmd; check_cmd; translate_cmd; schedule_cmd; analyze_cmd;
             simulate_cmd; latency_cmd; verify_cmd; codegen_cmd;
-            recheck_cmd; cache_cmd ]))
+            recheck_cmd; cache_cmd; stats_cmd ]))

@@ -63,6 +63,7 @@ let analyze ?calc ?extra_edges kp =
       (* the cycle is harmful iff the conjunction of the members'
          clocks is satisfiable under Φ *)
       try
+        Clocks.Calculus.with_query_lock c @@ fun () ->
         let mgr = Clocks.Calculus.manager c in
         let conj =
           List.fold_left

@@ -43,6 +43,9 @@ type manager = {
   mutable gc_swept : int;        (* dead nodes reclaimed, cumulative *)
 }
 
+(* nodes surviving the last compacting sweep, for live exposition *)
+let m_live_nodes = Putil.Metrics.gauge "bdd.live_nodes"
+
 let initial_capacity = 1024
 let initial_table = 4096   (* unique table; power of two *)
 let initial_cache = 32768  (* apply cache; power of two *)
@@ -508,6 +511,7 @@ let gc m ~roots =
   Array.iteri (fun k r -> roots.(k) <- map.(r)) roots;
   m.gc_collections <- m.gc_collections + 1;
   m.gc_swept <- m.gc_swept + (n - live);
+  Putil.Metrics.set m_live_nodes live;
   Putil.Tracing.instant "bdd.gc" ~cat:"clocks"
     ~args:
       [ ("live", Putil.Tracing.Aint live);

@@ -97,6 +97,12 @@ type t = {
   mutable var_doc :
     (int * [ `Present of int | `Cond of Ast.ident
            | `CondEq of Ast.ident * int ]) list;
+  qmu : Mutex.t;
+      (* serializes post-analysis BDD work on [mgr]: query functions
+         here plus consumers that borrow the manager through
+         [with_query_lock]. The memoized state is shared across
+         domains (concurrent pipeline sessions), and BDD [apply]
+         mutates the manager's unique table and caches. *)
 }
 
 let sig_index st x =
@@ -277,7 +283,8 @@ let analyze_impl (kp : K.kprocess) =
     { mgr; tab; names; uf; class_ids; reprs;
       clocks = Array.make (max nclasses 1) (Bdd.one mgr);
       phi = Bdd.one mgr; confl = [];
-      cond_vars = Hashtbl.create 16; nvars = 0; var_doc = [] }
+      cond_vars = Hashtbl.create 16; nvars = 0; var_doc = [];
+      qmu = Mutex.create () }
   in
   let defmap = defmap_of kp in
   let atrue = always_true_set kp defmap in
@@ -582,14 +589,24 @@ let representative st x =
   let c = class_of_exn st x in
   st.names.(st.reprs.(c))
 
+(* Post-analysis queries below conjoin BDDs, which mutates the shared
+   manager's unique table and caches — and one memoized [t] is handed
+   to every caller, concurrent pipeline sessions included. [qmu]
+   serializes those mutations; pure array reads (class ids, clocks,
+   representatives) stay lock-free. *)
+let with_query_lock st f = Mutex.protect st.qmu f
+
 let is_null st x =
+  with_query_lock st @@ fun () ->
   Bdd.is_zero (Bdd.and_ st.mgr st.phi (clock_of st x))
 
 let subclock st a b =
+  with_query_lock st @@ fun () ->
   Bdd.is_zero
     (Bdd.and_ st.mgr st.phi (Bdd.diff st.mgr (clock_of st a) (clock_of st b)))
 
 let exclusive st a b =
+  with_query_lock st @@ fun () ->
   Bdd.is_zero
     (Bdd.and_ st.mgr st.phi (Bdd.and_ st.mgr (clock_of st a) (clock_of st b)))
 
@@ -598,6 +615,7 @@ let null_signals st =
      class once against Φ instead of each signal (typically 3-4×
      fewer BDD conjunctions). *)
   let null_class =
+    with_query_lock st @@ fun () ->
     Array.map (fun c -> Bdd.is_zero (Bdd.and_ st.mgr st.phi c)) st.clocks
   in
   let n = K.st_count st.tab in
@@ -617,6 +635,7 @@ let pp_var st ppf v =
   | None -> Format.fprintf ppf "v%d" v
 
 let pp_clock st ppf x =
+  with_query_lock st @@ fun () ->
   Bdd.pp st.mgr ~pp_var:(pp_var st) ppf (clock_of st x)
 
 let pp_summary ppf st =

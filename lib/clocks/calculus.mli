@@ -22,8 +22,11 @@ val analyze : Signal_lang.Kernel.kprocess -> t
     structurally equal processes share one analysis (and one BDD
     manager), so repeated pipeline runs pay for the clock calculus
     once. The memo table itself is safe to consult from several
-    domains; the returned [t] must be queried from one domain at a
-    time (queries consult the shared BDD manager's caches). *)
+    domains, and so is the returned [t]: queries that conjoin BDDs
+    ({!is_null}, {!subclock}, {!exclusive}, {!null_signals},
+    {!pp_clock}) serialize on a per-state mutex, since BDD application
+    mutates the shared manager's unique table and caches. Pure array
+    reads (class ids, clocks, representatives) stay lock-free. *)
 
 val reset_cache : unit -> unit
 (** Drop the analysis memo table (cold-start benchmarking; safe to
@@ -31,6 +34,16 @@ val reset_cache : unit -> unit
     valid. *)
 
 (** {1 Queries} *)
+
+val with_query_lock : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the state's query mutex. Consumers that borrow the
+    manager (via {!manager}) to do their own BDD application must wrap
+    that work here, or it races with concurrent locked queries on the
+    shared analysis. Inside the callback, use only the lock-free
+    accessors ({!manager}, {!context}, {!clock_of},
+    {!clock_of_class_id}, {!class_reprs}, {!var_kind}, ...); calling a
+    locked query ({!is_null}, {!subclock}, {!exclusive},
+    {!null_signals}, {!pp_clock}) deadlocks. *)
 
 val manager : t -> Bdd.manager
 

@@ -39,8 +39,11 @@ let build calc =
      n² comparisons is both needless for the tree shape and
      exponentially more expensive. *)
   ignore phi;
-  let not_clock = Array.map (fun c -> Bdd.not_ mgr c) clock in
+  (* BDD application mutates the shared manager; serialize against
+     concurrent queries on the same analysis. *)
   let le_matrix =
+    Calculus.with_query_lock calc @@ fun () ->
+    let not_clock = Array.map (fun c -> Bdd.not_ mgr c) clock in
     Array.init n (fun a ->
         Array.init n (fun b ->
             Bdd.is_zero (Bdd.and_ mgr clock.(a) not_clock.(b))))

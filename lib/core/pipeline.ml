@@ -48,6 +48,9 @@ type analyzed = {
   deadlock : Analysis.Deadlock.report;
   typecheck_errors : Signal_lang.Typecheck.error list;
   diags : Putil.Diag.t list;
+  scope : string option;
+      (* the session's observation-scope label, when analyzed through a
+         session: simulate/verify re-enter the same scope *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -103,6 +106,7 @@ type analyses = {
 }
 
 type session = {
+  s_label : string; (* observation-scope label: one scope per session *)
   s_store : Putil.Cache_store.t option;
   s_parse : Aadl.Syntax.package list slot;
   s_instance : Aadl.Instance.t slot;
@@ -121,8 +125,17 @@ type session = {
   s_glue : glue_analysis proc_tbl;  (* single "glue" entry *)
 }
 
-let new_session ?store () =
-  { s_store = store;
+let session_seq = Atomic.make 0
+
+let new_session ?label ?store () =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      Printf.sprintf "session-%d" (1 + Atomic.fetch_and_add session_seq 1)
+  in
+  { s_label = label;
+    s_store = store;
     s_parse = ref None;
     s_instance = ref None;
     s_translate = ref None;
@@ -135,17 +148,26 @@ let new_session ?store () =
     s_glue = Hashtbl.create 1 }
 
 let session_store session = Option.bind session (fun s -> s.s_store)
+let session_label s = s.s_label
 
-let m_stage =
-  let tbl = Hashtbl.create 16 in
-  fun stage outcome ->
-    let key = "incr." ^ stage ^ "." ^ outcome in
-    match Hashtbl.find_opt tbl key with
-    | Some c -> c
-    | None ->
-      let c = Putil.Metrics.counter key in
-      Hashtbl.add tbl key c;
-      c
+(* every stage of a session runs inside the session's observation
+   scope, so concurrent sessions attribute their metrics and trace
+   spans per-scope (the global registry stays the roll-up) *)
+let in_session_scope session f =
+  match session with
+  | Some s -> Putil.Obs.with_scope ~label:s.s_label f
+  | None -> f ()
+
+let in_analyzed_scope a f =
+  match a.scope with
+  | Some l -> Putil.Obs.with_scope ~label:l f
+  | None -> f ()
+
+(* get-or-create per call: the registry lookup is one lock-free atomic
+   load, and concurrent sessions on several domains may reach this
+   simultaneously *)
+let m_stage stage outcome =
+  Putil.Metrics.counter ("incr." ^ stage ^ "." ^ outcome)
 
 (* [stage_r name slot key compute]: cached value on digest match,
    fresh run otherwise; only successes are cached (failures are cheap
@@ -686,6 +708,7 @@ let merge_analyses ~stubbed (links : Signal_lang.Normalize.link list) pas ga =
    notes from the analyses) otherwise ride in [analyzed.diags]. *)
 let analyze_package ?session ?(registry = Trans.Behavior.empty) ?policy ?mode
     ?(context = []) ?file ~root pkg =
+  in_session_scope session @@ fun () ->
   Putil.Tracing.with_span "pipeline.analyze"
     ~args:[ ("root", Putil.Tracing.Astr root) ]
   @@ fun () ->
@@ -867,9 +890,11 @@ let analyze_package ?session ?(registry = Trans.Behavior.empty) ?policy ?mode
             proc_analyses = an.a_procs; glue = an.a_glue; typed_program;
             clocked_decls; calc; hierarchy;
             determinism = an.a_determinism; deadlock = an.a_deadlock;
-            typecheck_errors; diags = Putil.Diag.result diags }))
+            typecheck_errors; diags = Putil.Diag.result diags;
+            scope = Option.map (fun s -> s.s_label) session }))
 
 let analyze ?session ?registry ?policy ?mode ?root ?file src =
+  in_session_scope session @@ fun () ->
   let* pkgs =
     stage_rp "parse"
       (Option.map (fun s -> s.s_parse) session)
@@ -1025,6 +1050,7 @@ let fill_stimulus c stim =
     stim
 
 let simulate ?(compiled = false) ?env ?(hyperperiods = 2) a =
+  in_analyzed_scope a @@ fun () ->
   let env = Option.value ~default:(default_env a) env in
   let horizon = base_ticks_per_hyperperiod a * hyperperiods in
   Putil.Tracing.with_span "pipeline.simulate"
@@ -1090,6 +1116,7 @@ let scenario_env a ~horizon s t =
   else []
 
 let simulate_scenarios ?envs ?(hyperperiods = 2) ~scenarios a =
+  in_analyzed_scope a @@ fun () ->
   let horizon = base_ticks_per_hyperperiod a * hyperperiods in
   let envs =
     match envs with
@@ -1168,6 +1195,7 @@ let verify_kernel ?(depth = 8) ?jobs ?(engine = `Auto) ~never ~inputs kp =
     | r -> r)
 
 let verify ?depth ?jobs ?engine ~never a =
+  in_analyzed_scope a @@ fun () ->
   verify_kernel ?depth ?jobs ?engine ~never ~inputs:(verify_inputs a)
     a.kernel
 

@@ -82,6 +82,10 @@ type analyzed = {
           determinism/deadlock verdicts. Check
           {!Putil.Diag.has_errors} / {!Putil.Diag.exit_code} for the
           overall outcome. *)
+  scope : string option;
+      (** the session's observation-scope label when analyzed through a
+          session ({!Putil.Obs}); {!simulate}/{!verify} re-enter the
+          same scope so a whole session attributes to one registry *)
 }
 
 (** {1 Incremental sessions}
@@ -117,7 +121,14 @@ type analyzed = {
 
 type session
 
-val new_session : ?store:Putil.Cache_store.t -> unit -> session
+val new_session :
+  ?label:string -> ?store:Putil.Cache_store.t -> unit -> session
+(** [label] names the session's observation scope ({!Putil.Obs}):
+    every {!analyze}/{!simulate}/{!verify} run through the session
+    records its metrics and trace spans under that scope in addition
+    to the global roll-up. Defaults to a fresh [session-N]. *)
+
+val session_label : session -> string
 
 val analyze :
   ?session:session ->

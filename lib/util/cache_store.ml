@@ -55,9 +55,22 @@ let m_writes = Metrics.counter "cache_store.writes"
 let m_corrupt = Metrics.counter "cache_store.corrupt"
 let m_evictions = Metrics.counter "cache_store.evictions"
 
+(* live levels (last opened/mutated store wins), for the OpenMetrics
+   exposition *)
+let m_entries_g = Metrics.gauge "cache_store.entries"
+let m_bytes_g = Metrics.gauge "cache_store.bytes"
+
 let with_lock t f =
   Mutex.lock t.t_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.t_lock) f
+
+let total_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.e_bytes) t.t_index 0
+
+(* refresh the live-level gauges; call with the store lock held after
+   any index mutation *)
+let update_level_gauges t =
+  Metrics.set m_entries_g (Hashtbl.length t.t_index);
+  Metrics.set m_bytes_g (total_bytes t)
 
 let dir t = t.t_dir
 
@@ -160,6 +173,7 @@ let open_store ?(max_bytes = default_max_bytes) dir =
         t_evictions = 0; t_tmp_seq = 0; t_stamp_seq = 0.0 }
     in
     scan t;
+    update_level_gauges t;
     Ok t
   | exception Failure msg -> Error msg
   | exception Unix.Unix_error (e, _, arg) ->
@@ -169,8 +183,6 @@ let open_store ?(max_bytes = default_max_bytes) dir =
 let drop_entry t k e =
   Hashtbl.remove t.t_index k;
   try Sys.remove (entry_path t e.e_file) with Sys_error _ -> ()
-
-let total_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.e_bytes) t.t_index 0
 
 let evict_to_bound t =
   let rec loop () =
@@ -221,6 +233,7 @@ let get t ~stage ~key =
             t.t_corrupt <- t.t_corrupt + 1;
             Metrics.incr m_corrupt;
             drop_entry t (stage, key) e;
+            update_level_gauges t;
             t.t_misses <- t.t_misses + 1;
             Metrics.incr m_misses;
             None)
@@ -228,6 +241,7 @@ let get t ~stage ~key =
           t.t_corrupt <- t.t_corrupt + 1;
           Metrics.incr m_corrupt;
           drop_entry t (stage, key) e;
+          update_level_gauges t;
           t.t_misses <- t.t_misses + 1;
           Metrics.incr m_misses;
           None))
@@ -273,7 +287,8 @@ let put t ~stage ~key v =
           { e_file = base; e_bytes = bytes; e_stamp = next_stamp t };
         t.t_writes <- t.t_writes + 1;
         Metrics.incr m_writes;
-        evict_to_bound t
+        evict_to_bound t;
+        update_level_gauges t
       | exception (Sys_error _ | Unix.Unix_error _) ->
         (* Disk-level failure degrades to "not cached". *)
         (try Sys.remove tmp with Sys_error _ -> ()))
@@ -294,4 +309,5 @@ let clear t =
           try Sys.remove (entry_path t e.e_file) with Sys_error _ -> ())
         t.t_index;
       Hashtbl.reset t.t_index;
+      update_level_gauges t;
       n)

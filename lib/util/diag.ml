@@ -71,6 +71,9 @@ let codes () =
 (* ---- construction ---- *)
 
 let make ?span ?(related = []) severity ~code message =
+  (* every diagnostic lands in the always-on flight recorder, so a
+     failing run's JSON output can carry its own recent history *)
+  Tracing.flight_diag ~severity:(severity_to_string severity) ~code message;
   { severity; code; message; span; related }
 
 let kmake ?span ?related severity ~code fmt =

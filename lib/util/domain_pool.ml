@@ -81,6 +81,10 @@ type t = {
 }
 
 let size p = p.lanes
+
+(* live depth of the current batch, for the OpenMetrics exposition *)
+let m_queue_depth = Metrics.gauge "pool.queue_depth"
+let m_batches = Metrics.counter "pool.batches"
 let cancel p = Atomic.set p.cancel_flag true
 let cancelled p = Atomic.get p.cancel_flag
 let reset_cancel p = Atomic.set p.cancel_flag false
@@ -95,7 +99,9 @@ let run_one p f =
    | exception e ->
      record_exn p e (Printexc.get_raw_backtrace ());
      cancel p);
-  if Atomic.fetch_and_add p.pending (-1) = 1 then begin
+  let left = Atomic.fetch_and_add p.pending (-1) - 1 in
+  Metrics.set m_queue_depth (max 0 left);
+  if left = 0 then begin
     (* last task of the batch: wake the caller *)
     Mutex.protect p.lock @@ fun () -> Condition.broadcast p.batch_done
   end
@@ -167,6 +173,14 @@ let run_tasks p tasks =
   | [] -> ()
   | _ ->
     let n = List.length tasks in
+    (* propagate the submitting domain's ambient observation state
+       (scope stack + trace-span parent) into every task, so worker
+       metrics attribute to the submitting scope and worker spans
+       parent under the submitting span instead of being orphaned *)
+    let ctx = Obs.capture () in
+    let tasks = List.map (fun f () -> Obs.run_with ctx f) tasks in
+    Metrics.incr m_batches;
+    Metrics.set m_queue_depth n;
     Atomic.set p.pending n;
     List.iteri (fun i f -> deque_push p.deques.(i mod p.lanes) f) tasks;
     Mutex.protect p.lock (fun () ->

@@ -28,7 +28,13 @@ val run_tasks : t -> (unit -> unit) list -> unit
     caller works alongside the pool and returns when every task has
     either run or been skipped. If a task raises, the first exception
     is re-raised here after the batch drains (the rest of the batch is
-    cancelled); the cancel flag is left raised. *)
+    cancelled); the cancel flag is left raised.
+
+    The submitting domain's ambient observation state ({!Obs.capture}:
+    scope stack and trace-span parent) is installed around every task,
+    so worker metrics attribute to the submitting scope and worker
+    spans nest under the submitting span. The live batch depth is
+    exported as the [pool.queue_depth] gauge. *)
 
 val cancel : t -> unit
 (** Raise the cancellation flag (an [Atomic] visible to every lane). *)

@@ -1,13 +1,67 @@
 (* Counters, gauges and timers are lock-free atomics so the
    instrumented hot paths (compiled step, explorer workers) can be
-   driven from several domains without losing events. Histograms keep
-   plain mutable fields: they are only written from single-domain
-   sections and a mutex per observation would not pay for itself. *)
-type counter = { c : int Atomic.t }
-type gauge = { g : int Atomic.t }
-type timer = { spans : int Atomic.t; total_ns : int Atomic.t }
+   driven from several domains without losing events. Histograms shard
+   their accumulator by domain id behind short per-shard mutexes, so
+   [observe] is domain-safe without a contended global lock.
 
-type histogram = {
+   Registries publish their name table as an immutable map in one
+   [Atomic]: lookups are a plain load + map find (lock-free), creation
+   takes a per-registry mutex, re-checks, and republishes the extended
+   map — so scopes can mint per-request registries concurrently.
+
+   Ambient scopes: [ambient_push]/[ambient_pop] maintain a domain-local
+   stack of registries (driven by [Obs.with_scope]). A write to an
+   instrument of the [global] registry also lands in the same-named
+   instrument of the innermost ambient registry, so instrumented
+   libraries attribute per-scope without any call-site change. When no
+   scope is active anywhere the extra cost is one atomic load. *)
+
+module StrMap = Map.Make (String)
+
+type registry = {
+  map : instrument StrMap.t Atomic.t;
+  mu : Mutex.t; (* guards instrument creation; lookups are lock-free *)
+}
+
+and instrument =
+  | Icounter of counter
+  | Igauge of gauge
+  | Itimer of timer
+  | Ihist of histogram
+
+and counter = {
+  c : int Atomic.t;
+  c_name : string;
+  c_ambient : bool; (* lives in [global]: writes roll into the scope *)
+  c_scoped : (registry * counter) option Atomic.t; (* last scope resolve *)
+}
+
+and gauge = {
+  g : int Atomic.t;
+  g_name : string;
+  g_ambient : bool;
+  g_scoped : (registry * gauge) option Atomic.t;
+}
+
+and timer = {
+  spans : int Atomic.t;
+  total_ns : int Atomic.t;
+  t_name : string;
+  t_ambient : bool;
+  t_scoped : (registry * timer) option Atomic.t;
+}
+
+and histogram = {
+  h_name : string;
+  h_ambient : bool;
+  h_scoped : (registry * histogram) option Atomic.t;
+  shards : hshard array;
+}
+
+(* one histogram shard; [Domain.self () land (num_shards - 1)] picks the
+   shard, so two domains only contend when their ids collide mod 8 *)
+and hshard = {
+  s_mu : Mutex.t;
   mutable n : int;
   mutable sum : float;
   mutable mn : float;
@@ -15,16 +69,45 @@ type histogram = {
   buckets : int array; (* index i counts values v with 2^(i-1) <= |v| < 2^i *)
 }
 
-type instrument =
-  | Icounter of counter
-  | Igauge of gauge
-  | Itimer of timer
-  | Ihist of histogram
+let num_shards = 8
 
-type registry = (string, instrument) Hashtbl.t
+let create () : registry =
+  { map = Atomic.make StrMap.empty; mu = Mutex.create () }
 
-let create () : registry = Hashtbl.create 64
 let global : registry = create ()
+
+(* ------------------------------------------------------------------ *)
+(* Ambient scope stack (driven by Obs)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* total frames currently pushed across all domains; the write fast
+   path reads only this when no scope is active anywhere *)
+let ambient_active = Atomic.make 0
+
+let dls_ambient : registry list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let ambient_stack () = Domain.DLS.get dls_ambient
+
+let set_ambient_stack st =
+  let old = Domain.DLS.get dls_ambient in
+  Domain.DLS.set dls_ambient st;
+  let d = List.length st - List.length old in
+  if d <> 0 then ignore (Atomic.fetch_and_add ambient_active d)
+
+let ambient_push reg =
+  Domain.DLS.set dls_ambient (reg :: Domain.DLS.get dls_ambient);
+  ignore (Atomic.fetch_and_add ambient_active 1)
+
+let ambient_pop () =
+  (match Domain.DLS.get dls_ambient with
+   | _ :: rest -> Domain.DLS.set dls_ambient rest
+   | [] -> ());
+  ignore (Atomic.fetch_and_add ambient_active (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let kind_name = function
   | Icounter _ -> "counter"
@@ -32,74 +115,181 @@ let kind_name = function
   | Itimer _ -> "timer"
   | Ihist _ -> "histogram"
 
-let get_or_create (reg : registry) name make expect =
-  match Hashtbl.find_opt reg name with
-  | Some i -> (
-      match expect i with
-      | Some x -> x
-      | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics.%s: %S already registered as a %s"
-               (kind_name (make ())) name (kind_name i)))
+let get_or_create (reg : registry) name make expect kind =
+  let coerce i =
+    match expect i with
+    | Some x -> x
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Metrics.%s: %S already registered as a %s" kind
+             name (kind_name i))
+  in
+  match StrMap.find_opt name (Atomic.get reg.map) with
+  | Some i -> coerce i
   | None ->
-      let i = make () in
-      Hashtbl.replace reg name i;
-      (match expect i with Some x -> x | None -> assert false)
+      Mutex.protect reg.mu (fun () ->
+          (* re-check under the lock: another domain may have won *)
+          match StrMap.find_opt name (Atomic.get reg.map) with
+          | Some i -> coerce i
+          | None ->
+              let i = make () in
+              Atomic.set reg.map (StrMap.add name i (Atomic.get reg.map));
+              coerce i)
 
 let counter ?(registry = global) name =
   get_or_create registry name
-    (fun () -> Icounter { c = Atomic.make 0 })
+    (fun () ->
+      Icounter
+        { c = Atomic.make 0; c_name = name;
+          c_ambient = registry == global; c_scoped = Atomic.make None })
     (function Icounter c -> Some c | _ -> None)
-
-let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c by)
+    "counter"
 
 let gauge ?(registry = global) name =
   get_or_create registry name
-    (fun () -> Igauge { g = Atomic.make 0 })
+    (fun () ->
+      Igauge
+        { g = Atomic.make 0; g_name = name;
+          g_ambient = registry == global; g_scoped = Atomic.make None })
     (function Igauge g -> Some g | _ -> None)
-
-let set g v = Atomic.set g.g v
-
-let rec max_gauge g v =
-  let cur = Atomic.get g.g in
-  if v > cur && not (Atomic.compare_and_set g.g cur v) then max_gauge g v
+    "gauge"
 
 let timer ?(registry = global) name =
   get_or_create registry name
-    (fun () -> Itimer { spans = Atomic.make 0; total_ns = Atomic.make 0 })
+    (fun () ->
+      Itimer
+        { spans = Atomic.make 0; total_ns = Atomic.make 0; t_name = name;
+          t_ambient = registry == global; t_scoped = Atomic.make None })
     (function Itimer t -> Some t | _ -> None)
+    "timer"
+
+let histogram ?(registry = global) name =
+  get_or_create registry name
+    (fun () ->
+      Ihist
+        { h_name = name; h_ambient = registry == global;
+          h_scoped = Atomic.make None;
+          shards =
+            Array.init num_shards (fun _ ->
+                { s_mu = Mutex.create (); n = 0; sum = 0.; mn = infinity;
+                  mx = neg_infinity; buckets = Array.make 64 0 }) })
+    (function Ihist h -> Some h | _ -> None)
+    "histogram"
+
+(* Resolve the same-named instrument in the innermost ambient registry.
+   The last (registry, instrument) pair is cached in one Atomic on the
+   global handle, so steady-state scoped writes cost a load + physical
+   equality instead of a map lookup. The pair is immutable: a stale
+   cache can never mix one scope's registry with another's cell. *)
+
+let scoped_counter top c =
+  match Atomic.get c.c_scoped with
+  | Some (r, c') when r == top -> c'
+  | _ ->
+      let c' = counter ~registry:top c.c_name in
+      Atomic.set c.c_scoped (Some (top, c'));
+      c'
+
+let scoped_gauge top g =
+  match Atomic.get g.g_scoped with
+  | Some (r, g') when r == top -> g'
+  | _ ->
+      let g' = gauge ~registry:top g.g_name in
+      Atomic.set g.g_scoped (Some (top, g'));
+      g'
+
+let scoped_timer top t =
+  match Atomic.get t.t_scoped with
+  | Some (r, t') when r == top -> t'
+  | _ ->
+      let t' = timer ~registry:top t.t_name in
+      Atomic.set t.t_scoped (Some (top, t'));
+      t'
+
+let scoped_histogram top h =
+  match Atomic.get h.h_scoped with
+  | Some (r, h') when r == top -> h'
+  | _ ->
+      let h' = histogram ~registry:top h.h_name in
+      Atomic.set h.h_scoped (Some (top, h'));
+      h'
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(by = 1) c =
+  ignore (Atomic.fetch_and_add c.c by);
+  if c.c_ambient && Atomic.get ambient_active > 0 then
+    match Domain.DLS.get dls_ambient with
+    | [] -> ()
+    | top :: _ -> ignore (Atomic.fetch_and_add (scoped_counter top c).c by)
+
+let set_cell g v = Atomic.set g v
+
+let set g v =
+  set_cell g.g v;
+  if g.g_ambient && Atomic.get ambient_active > 0 then
+    match Domain.DLS.get dls_ambient with
+    | [] -> ()
+    | top :: _ -> set_cell (scoped_gauge top g).g v
+
+let rec max_cell cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then max_cell cell v
+
+let max_gauge g v =
+  max_cell g.g v;
+  if g.g_ambient && Atomic.get ambient_active > 0 then
+    match Domain.DLS.get dls_ambient with
+    | [] -> ()
+    | top :: _ -> max_cell (scoped_gauge top g).g v
 
 (* Monotonic, so NTP steps cannot produce negative or inflated span
    durations; the same clock feeds Tracing's host-time spans. *)
 let now_ns = Clock.now_ns
 
-let add_span_ns t ns =
+let add_span_cells t ns =
   ignore (Atomic.fetch_and_add t.spans 1);
   ignore (Atomic.fetch_and_add t.total_ns (max 0 ns))
+
+let add_span_ns t ns =
+  add_span_cells t ns;
+  if t.t_ambient && Atomic.get ambient_active > 0 then
+    match Domain.DLS.get dls_ambient with
+    | [] -> ()
+    | top :: _ -> add_span_cells (scoped_timer top t) ns
 
 let time t f =
   let t0 = now_ns () in
   Fun.protect ~finally:(fun () -> add_span_ns t (now_ns () - t0)) f
-
-let histogram ?(registry = global) name =
-  get_or_create registry name
-    (fun () ->
-      Ihist { n = 0; sum = 0.; mn = infinity; mx = neg_infinity;
-              buckets = Array.make 64 0 })
-    (function Ihist h -> Some h | _ -> None)
 
 let bucket_of v =
   let v = Float.abs v in
   if not (Float.is_finite v) || v < 1. then 0
   else min 63 (1 + int_of_float (Float.log2 v))
 
-let observe h v =
-  h.n <- h.n + 1;
-  h.sum <- h.sum +. v;
-  if v < h.mn then h.mn <- v;
-  if v > h.mx then h.mx <- v;
+let observe_shard h v =
+  let s = h.shards.((Domain.self () :> int) land (num_shards - 1)) in
+  Mutex.lock s.s_mu;
+  s.n <- s.n + 1;
+  s.sum <- s.sum +. v;
+  if v < s.mn then s.mn <- v;
+  if v > s.mx then s.mx <- v;
   let b = bucket_of v in
-  h.buckets.(b) <- h.buckets.(b) + 1
+  s.buckets.(b) <- s.buckets.(b) + 1;
+  Mutex.unlock s.s_mu
+
+let observe h v =
+  observe_shard h v;
+  if h.h_ambient && Atomic.get ambient_active > 0 then
+    match Domain.DLS.get dls_ambient with
+    | [] -> ()
+    | top :: _ -> observe_shard (scoped_histogram top h) v
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
 
 type stat =
   | Counter of int
@@ -107,18 +297,41 @@ type stat =
   | Timer of { spans : int; total_ns : int }
   | Histogram of { count : int; sum : float; min : float; max : float }
 
+(* merged totals across shards; each shard is locked for the few loads
+   so a concurrent [observe] cannot yield an (n, sum) torn pair *)
+let hist_totals h =
+  let n = ref 0 and sum = ref 0. in
+  let mn = ref infinity and mx = ref neg_infinity in
+  let buckets = Array.make 64 0 in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.s_mu;
+      n := !n + s.n;
+      sum := !sum +. s.sum;
+      if s.mn < !mn then mn := s.mn;
+      if s.mx > !mx then mx := s.mx;
+      Array.iteri (fun i c -> buckets.(i) <- buckets.(i) + c) s.buckets;
+      Mutex.unlock s.s_mu)
+    h.shards;
+  (!n, !sum, !mn, !mx, buckets)
+
 let stat_of = function
   | Icounter c -> Counter (Atomic.get c.c)
   | Igauge g -> Gauge (Atomic.get g.g)
   | Itimer t ->
       Timer { spans = Atomic.get t.spans; total_ns = Atomic.get t.total_ns }
-  | Ihist h -> Histogram { count = h.n; sum = h.sum; min = h.mn; max = h.mx }
+  | Ihist h ->
+      let n, sum, mn, mx, _ = hist_totals h in
+      Histogram { count = n; sum; min = mn; max = mx }
 
 let snapshot reg =
-  Hashtbl.fold (fun name i acc -> (name, stat_of i) :: acc) reg []
+  StrMap.fold
+    (fun name i acc -> (name, stat_of i) :: acc)
+    (Atomic.get reg.map) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let find reg name = Option.map stat_of (Hashtbl.find_opt reg name)
+let find reg name =
+  Option.map stat_of (StrMap.find_opt name (Atomic.get reg.map))
 
 let counter_value reg name =
   match find reg name with
@@ -126,7 +339,7 @@ let counter_value reg name =
   | _ -> 0
 
 let reset reg =
-  Hashtbl.iter
+  StrMap.iter
     (fun _ i ->
       match i with
       | Icounter c -> Atomic.set c.c 0
@@ -135,12 +348,17 @@ let reset reg =
           Atomic.set t.spans 0;
           Atomic.set t.total_ns 0
       | Ihist h ->
-          h.n <- 0;
-          h.sum <- 0.;
-          h.mn <- infinity;
-          h.mx <- neg_infinity;
-          Array.fill h.buckets 0 (Array.length h.buckets) 0)
-    reg
+          Array.iter
+            (fun s ->
+              Mutex.lock s.s_mu;
+              s.n <- 0;
+              s.sum <- 0.;
+              s.mn <- infinity;
+              s.mx <- neg_infinity;
+              Array.fill s.buckets 0 (Array.length s.buckets) 0;
+              Mutex.unlock s.s_mu)
+            h.shards)
+    (Atomic.get reg.map)
 
 let prefix_of name =
   match String.index_opt name '.' with
@@ -436,3 +654,136 @@ let json_of_stat = function
 
 let to_json reg =
   Json.Obj (List.map (fun (name, st) -> (name, json_of_stat st)) (snapshot reg))
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics text exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+   (the dots of our dotted names included) becomes '_'. *)
+let om_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+(* label values escape backslash, double quote and line feed *)
+let om_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let om_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> om_name k ^ "=\"" ^ om_escape v ^ "\"") kvs)
+      ^ "}"
+
+let om_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(* Merged exposition over several (labels, registry) pairs: each metric
+   family is declared once ([# HELP] + [# TYPE]) followed by one sample
+   set per labelled registry that carries it. If two dotted names
+   sanitize to the same family only the first (in sorted dotted-name
+   order) is exposed; a kind clash across registries drops the
+   mismatching sample rather than corrupting the family. *)
+let openmetrics pairs =
+  let buf = Buffer.create 4096 in
+  let names =
+    List.concat_map
+      (fun (_, reg) ->
+        StrMap.fold (fun name _ acc -> name :: acc) (Atomic.get reg.map) [])
+      pairs
+    |> List.sort_uniq String.compare
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      let om = om_name name in
+      if not (Hashtbl.mem seen om) then begin
+        Hashtbl.add seen om ();
+        let insts =
+          List.filter_map
+            (fun (lbls, reg) ->
+              Option.map
+                (fun i -> (lbls, i))
+                (StrMap.find_opt name (Atomic.get reg.map)))
+            pairs
+        in
+        match insts with
+        | [] -> ()
+        | (_, first) :: _ ->
+            let typ =
+              match first with
+              | Icounter _ -> "counter"
+              | Igauge _ -> "gauge"
+              | Itimer _ -> "summary"
+              | Ihist _ -> "histogram"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" om (om_escape name));
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" om typ);
+            List.iter
+              (fun (lbls, i) ->
+                let l = om_labels lbls in
+                match (first, i) with
+                | Icounter _, Icounter c ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_total%s %d\n" om l (Atomic.get c.c))
+                | Igauge _, Igauge g ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s%s %d\n" om l (Atomic.get g.g))
+                | Itimer _, Itimer t ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_count%s %d\n" om l
+                         (Atomic.get t.spans));
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_sum%s %s\n" om l
+                         (om_float (float_of_int (Atomic.get t.total_ns) /. 1e9)))
+                | Ihist _, Ihist h ->
+                    let n, sum, _, _, buckets = hist_totals h in
+                    let cum = ref 0 in
+                    let top = ref 0 in
+                    Array.iteri (fun i c -> if c > 0 then top := i) buckets;
+                    for i = 0 to !top do
+                      cum := !cum + buckets.(i);
+                      let le = om_float (Float.pow 2. (float_of_int i)) in
+                      Buffer.add_string buf
+                        (Printf.sprintf "%s_bucket%s %d\n" om
+                           (om_labels (lbls @ [ ("le", le) ]))
+                           !cum)
+                    done;
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_bucket%s %d\n" om
+                         (om_labels (lbls @ [ ("le", "+Inf") ]))
+                         n);
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_sum%s %s\n" om l (om_float sum));
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_count%s %d\n" om l n)
+                | _ -> (* kind clash across registries: skip the sample *) ())
+              insts
+      end)
+    names;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let to_openmetrics ?(labels = []) reg = openmetrics [ (labels, reg) ]

@@ -9,15 +9,25 @@
 
     The default [global] registry is what the instrumented libraries
     (engine, compile, calculus, trans, sched) write into; fresh
-    registries are for tests and for callers that need isolation.
+    registries are for tests, for callers that need isolation, and for
+    the per-request scopes minted by {!Obs.with_scope}.
 
     Overhead is an atomic fetch-and-add per event and two monotonic
     {!Clock.now_ns} reads per timed span — safe to leave enabled in
-    benches, and immune to wall-clock (NTP) steps. Counters, gauges and timers are lock-free atomics, so the
-    instrumented hot paths can run on several domains concurrently
-    without losing events; creating instruments concurrently is not
-    supported (create them at module-initialization time, as the
-    libraries do). Histograms are not synchronized. *)
+    benches, and immune to wall-clock (NTP) steps. Counters, gauges
+    and timers are lock-free atomics and histograms shard their
+    accumulators by domain id, so every write path is safe from
+    several domains concurrently. Instrument creation is also
+    domain-safe: lookup is lock-free (one atomic load of an immutable
+    map), creation takes a short per-registry mutex.
+
+    {b Ambient scopes.} When an observation scope is active on the
+    calling domain (see {!Obs.with_scope}), every write to an
+    instrument of the [global] registry also lands in the same-named
+    instrument of the innermost scope's registry — per-scope
+    attribution with no call-site change. When no scope is active
+    anywhere in the process, the extra cost on the write path is a
+    single atomic load. *)
 
 type registry
 
@@ -69,6 +79,26 @@ val histogram : ?registry:registry -> string -> histogram
     coarse base-2 magnitude buckets of observed values. *)
 
 val observe : histogram -> float -> unit
+(** Record one observation. Domain-safe: observations land in a
+    per-domain shard and are merged at read time, so concurrent
+    [observe] calls never lose events. *)
+
+(** {1 Ambient scope stack}
+
+    Low-level hooks used by {!Obs}; most callers should use
+    [Obs.with_scope] instead. The stack is domain-local: pushing a
+    registry makes it the innermost scope for subsequent writes on the
+    calling domain only. *)
+
+val ambient_push : registry -> unit
+val ambient_pop : unit -> unit
+
+val ambient_stack : unit -> registry list
+(** The calling domain's scope stack, innermost first. *)
+
+val set_ambient_stack : registry list -> unit
+(** Replace the calling domain's scope stack wholesale (used to
+    propagate the submitting domain's scopes into pool workers). *)
 
 (** {1 Reading} *)
 
@@ -126,3 +156,20 @@ end
 
 val to_json : registry -> Json.t
 (** Snapshot as a JSON object keyed by instrument name. *)
+
+(** {1 OpenMetrics exposition} *)
+
+val to_openmetrics : ?labels:(string * string) list -> registry -> string
+(** Prometheus/OpenMetrics text exposition of one registry. Dotted
+    names are sanitized to [[a-zA-Z0-9_:]] families; counters expose a
+    [_total] sample, timers a [summary] ([_count] + [_sum] in
+    seconds), histograms cumulative power-of-two [le] buckets plus
+    [_sum]/[_count]. [labels] (e.g. [[("scope", "req-1")]]) ride on
+    every sample; label values are escaped per the spec. The document
+    ends with [# EOF]. *)
+
+val openmetrics : ((string * string) list * registry) list -> string
+(** Merged exposition over several labelled registries: each metric
+    family is declared once ([# HELP]/[# TYPE]) followed by one sample
+    set per registry that carries it — how {!Obs.to_openmetrics}
+    exposes [global] plus every scope without duplicating families. *)

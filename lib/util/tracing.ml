@@ -15,6 +15,10 @@ type event =
   | Begin of {
       name : string; cat : string; ts_ns : int;
       args : (string * arg) list;
+      id : int;     (* process-unique span id, 0 when unknown *)
+      parent : int; (* parent span id, 0 = root; may live on another
+                       domain when the span was submitted through
+                       Domain_pool under an observation scope *)
     }
   | End of { ts_ns : int }
   | Inst of {
@@ -74,22 +78,161 @@ let reset () =
   List.iter (fun b -> b.len <- 0) !buffers;
   Mutex.unlock buffers_lock
 
+(* ------------------------------------------------------------------ *)
+(* Span identity and cross-domain parenting                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Span ids are process-unique so a worker span can name its parent on
+   another domain. Each domain tracks its open-span stack plus a [base]
+   context installed by [with_context] — the parent a pool worker
+   inherits from the submitting domain. *)
+let span_seq = Atomic.make 0
+
+type dctx = { mutable open_spans : int list; mutable base : int }
+
+let dls_ctx = Domain.DLS.new_key (fun () -> { open_spans = []; base = 0 })
+
+type context = int
+
+let no_context : context = 0
+
+let current_context () =
+  let d = Domain.DLS.get dls_ctx in
+  match d.open_spans with id :: _ -> id | [] -> d.base
+
+let with_context ctx f =
+  let d = Domain.DLS.get dls_ctx in
+  let saved_base = d.base and saved_stack = d.open_spans in
+  d.base <- ctx;
+  d.open_spans <- [];
+  Fun.protect
+    ~finally:(fun () ->
+      let d = Domain.DLS.get dls_ctx in
+      d.base <- saved_base;
+      d.open_spans <- saved_stack)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Always-on bounded ring of the most recent span/instant/diag events,
+   one ring per domain. The writer only touches its own ring (found
+   through DLS), so recording is race-free and costs one array store;
+   older events are overwritten once the ring is full. A snapshot
+   ([flight_events]) is what gets attached to JSON error output so a
+   failed run explains itself without re-running under --trace. *)
+
+type fkind = Fspan_begin | Fspan_end | Finstant | Fdiag
+
+type fevent = {
+  f_ts_ns : int;
+  f_kind : fkind;
+  f_name : string;
+  f_cat : string;
+  f_args : (string * arg) list;
+}
+
+let flight_capacity = 256
+let flight_flag = Atomic.make true
+let set_flight_enabled b = Atomic.set flight_flag b
+let flight_enabled () = Atomic.get flight_flag
+
+type fring = {
+  f_dom : int;
+  slots : fevent option array;
+  mutable written : int; (* total events ever recorded on this domain *)
+}
+
+let frings : fring list ref = ref []
+let frings_lock = Mutex.create ()
+
+let dls_fring =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        { f_dom = (Domain.self () :> int);
+          slots = Array.make flight_capacity None; written = 0 }
+      in
+      Mutex.lock frings_lock;
+      frings := r :: !frings;
+      Mutex.unlock frings_lock;
+      r)
+
+let flight_record f_kind f_name f_cat f_args =
+  if Atomic.get flight_flag then begin
+    let r = Domain.DLS.get dls_fring in
+    r.slots.(r.written mod flight_capacity) <-
+      Some { f_ts_ns = Clock.now_ns (); f_kind; f_name; f_cat; f_args };
+    r.written <- r.written + 1
+  end
+
+let flight_events () =
+  Mutex.lock frings_lock;
+  let rings = !frings in
+  Mutex.unlock frings_lock;
+  List.sort (fun a b -> compare a.f_dom b.f_dom) rings
+  |> List.filter_map (fun r ->
+         if r.written = 0 then None
+         else begin
+           let kept = min r.written flight_capacity in
+           let first = r.written - kept in
+           let evs = ref [] in
+           for i = r.written - 1 downto first do
+             match r.slots.(i mod flight_capacity) with
+             | Some e -> evs := e :: !evs
+             | None -> ()
+           done;
+           Some (r.f_dom, first, !evs)
+         end)
+
+let flight_reset () =
+  Mutex.lock frings_lock;
+  List.iter
+    (fun r ->
+      Array.fill r.slots 0 flight_capacity None;
+      r.written <- 0)
+    !frings;
+  Mutex.unlock frings_lock
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
 let with_span ?(cat = "toolchain") ?args name f =
-  if not (Atomic.get enabled_flag) then f ()
+  let args = match args with Some a -> a | None -> [] in
+  flight_record Fspan_begin name cat args;
+  if not (Atomic.get enabled_flag) then
+    if Atomic.get flight_flag then
+      Fun.protect
+        ~finally:(fun () -> flight_record Fspan_end name cat [])
+        f
+    else f ()
   else begin
-    let args = Option.value ~default:[] args in
-    push (Begin { name; cat; ts_ns = Clock.now_ns (); args });
+    let d = Domain.DLS.get dls_ctx in
+    let id = 1 + Atomic.fetch_and_add span_seq 1 in
+    let parent = match d.open_spans with p :: _ -> p | [] -> d.base in
+    push (Begin { name; cat; ts_ns = Clock.now_ns (); args; id; parent });
+    d.open_spans <- id :: d.open_spans;
     Fun.protect
-      ~finally:(fun () -> push (End { ts_ns = Clock.now_ns () }))
+      ~finally:(fun () ->
+        let d = Domain.DLS.get dls_ctx in
+        (match d.open_spans with _ :: rest -> d.open_spans <- rest | [] -> ());
+        flight_record Fspan_end name cat [];
+        push (End { ts_ns = Clock.now_ns () }))
       f
   end
 
 let instant ?(cat = "toolchain") ?args name =
+  let args = match args with Some a -> a | None -> [] in
+  flight_record Finstant name cat args;
   if Atomic.get enabled_flag then
-    push
-      (Inst
-         { name; cat; ts_ns = Clock.now_ns ();
-           args = Option.value ~default:[] args })
+    push (Inst { name; cat; ts_ns = Clock.now_ns (); args })
+
+(* diagnostics feed the flight recorder (never the trace buffers: diag
+   emission must not depend on tracing being enabled) *)
+let flight_diag ~severity ~code message =
+  flight_record Fdiag code "diag"
+    [ ("severity", Astr severity); ("message", Astr message) ]
 
 let lane_span ~lane ?(cat = "schedule") ?args ~ts_us ~dur_us name =
   if Atomic.get enabled_flag then
@@ -181,12 +324,22 @@ let chrome_events () =
           t0 evs
       in
       let stack = ref [] in
+      (* span identity rides along in args so cross-domain parent links
+         (pool workers under a submitting scope) survive the export *)
+      let id_args id parent args =
+        let ids =
+          if id = 0 then []
+          else if parent = 0 then [ ("span_id", Aint id) ]
+          else [ ("span_id", Aint id); ("parent_span_id", Aint parent) ]
+        in
+        ids @ args
+      in
       List.iter
         (fun ev ->
           match ev with
-          | Begin { name; cat; ts_ns; args } ->
+          | Begin { name; cat; ts_ns; args; id; parent } ->
             hosted := true;
-            stack := (name, cat, ts_ns, args) :: !stack
+            stack := (name, cat, ts_ns, id_args id parent args) :: !stack
           | End { ts_ns } -> (
             match !stack with
             | [] -> ()

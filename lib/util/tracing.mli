@@ -18,11 +18,13 @@
       output send, deadline) reconstructed from an actual simulation.
 
     Tracing is globally off by default. Every emitting entry point
-    first reads one atomic flag and returns immediately when disabled,
-    so instrumented hot paths cost one load and no allocation.
-    Recording is multi-domain-safe; {!export}, {!events} and {!reset}
-    must not race with emitting domains (collect after the parallel
-    section joins, as {!Domain_pool.run_tasks} does). *)
+    first reads one atomic flag and returns immediately when disabled
+    (an always-on bounded {{!section-flight}flight recorder} still
+    keeps the most recent events), so instrumented hot paths cost one
+    load per flag and no unbounded allocation. Recording is
+    multi-domain-safe; {!export}, {!events} and {!reset} must not race
+    with emitting domains (collect after the parallel section joins,
+    as {!Domain_pool.run_tasks} does). *)
 
 type arg =
   | Abool of bool
@@ -61,12 +63,38 @@ val lane_instant :
   ts_us:int -> string -> unit
 (** A logical-time point event on the named schedule lane. *)
 
+(** {1 Span context}
+
+    Every recorded span carries a process-unique id and the id of its
+    parent. Within a domain parents follow call nesting; across
+    domains the parent is whatever context {!with_context} installed —
+    {!Domain_pool.run_tasks} captures the submitting domain's context
+    so worker spans nest under the span that submitted the batch
+    instead of being orphaned. *)
+
+type context
+(** An opaque parent handle: the innermost open span of some domain,
+    or the no-parent context. *)
+
+val no_context : context
+
+val current_context : unit -> context
+(** The calling domain's innermost open span (or its installed base
+    context when no span is open). *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** Run the thunk with [context] as the parent for spans it opens at
+    top level on this domain; restores the previous context after. *)
+
 (** {1 Reading} *)
 
 type event =
   | Begin of {
       name : string; cat : string; ts_ns : int;
       args : (string * arg) list;
+      id : int;     (** process-unique span id, 0 when unknown *)
+      parent : int; (** parent span id, 0 = root; possibly recorded on
+                        another domain *)
     }
   | End of { ts_ns : int }
   | Inst of {
@@ -103,3 +131,42 @@ val to_text : unit -> string
 
 val write : format:[ `Chrome | `Text ] -> string -> unit
 (** Render with {!to_chrome} or {!to_text} and write to the path. *)
+
+(** {1:flight Flight recorder}
+
+    A bounded ring of the most recent span/instant/diagnostic events,
+    one ring per domain, on by default even when tracing is disabled.
+    Each domain writes only its own ring (no locks, one array store
+    per event); once full, the oldest events are overwritten. The
+    snapshot is attached to [--format json] error output so a failed
+    run carries its own recent history. *)
+
+type fkind = Fspan_begin | Fspan_end | Finstant | Fdiag
+
+type fevent = {
+  f_ts_ns : int;
+  f_kind : fkind;
+  f_name : string;
+  f_cat : string;
+  f_args : (string * arg) list;
+}
+
+val flight_capacity : int
+(** Ring size per domain (events kept before overwrite). *)
+
+val set_flight_enabled : bool -> unit
+(** Turn the recorder off (or back on); it starts enabled. *)
+
+val flight_enabled : unit -> bool
+
+val flight_diag : severity:string -> code:string -> string -> unit
+(** Record a diagnostic event (called by {!Diag} on every diagnostic,
+    so the recorder sees errors even with tracing disabled). *)
+
+val flight_events : unit -> (int * int * fevent list) list
+(** Per-domain snapshot [(domain, dropped, events)]: [dropped] is how
+    many older events were overwritten, [events] the surviving ring
+    contents in emission order. Domains in ascending id order. *)
+
+val flight_reset : unit -> unit
+(** Clear every ring (tests). *)

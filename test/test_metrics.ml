@@ -235,11 +235,210 @@ let test_pipeline_feeds_global () =
       Alcotest.(check bool) ("report has " ^ section) true contains)
     [ "[engine]"; "[compile]"; "[calculus]"; "[trans]"; "[sched]" ]
 
+(* ---------------- domain safety ------------------------------------ *)
+
+(* 4 domains hammer one histogram: the sharded accumulator must lose no
+   observation and keep an exact sum (each domain observes 1..per_dom) *)
+let test_histogram_domain_stress () =
+  let r = M.create () in
+  let h = M.histogram ~registry:r "t.stress" in
+  let domains = 4 and per_dom = 10_000 in
+  let work () =
+    for i = 1 to per_dom do
+      M.observe h (float_of_int i)
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn work) in
+  List.iter Domain.join ds;
+  match M.find r "t.stress" with
+  | Some (M.Histogram { count; sum; min; max }) ->
+    Alcotest.(check int) "no observation lost" (domains * per_dom) count;
+    Alcotest.(check (float 1e-6)) "exact sum"
+      (float_of_int domains *. float_of_int (per_dom * (per_dom + 1) / 2))
+      sum;
+    Alcotest.(check (float 1e-9)) "min" 1.0 min;
+    Alcotest.(check (float 1e-9)) "max" (float_of_int per_dom) max
+  | _ -> Alcotest.fail "histogram stat missing"
+
+(* 4 domains race get-or-create over the same names while incrementing:
+   every domain must end up on the same cell (no lost updates, no
+   duplicate instruments) *)
+let test_creation_race () =
+  let r = M.create () in
+  let domains = 4 and names = 16 and rounds = 500 in
+  let work () =
+    for _ = 1 to rounds do
+      for i = 0 to names - 1 do
+        M.incr (M.counter ~registry:r (Printf.sprintf "t.race%d" i))
+      done
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn work) in
+  List.iter Domain.join ds;
+  for i = 0 to names - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "t.race%d converged" i)
+      (domains * rounds)
+      (M.counter_value r (Printf.sprintf "t.race%d" i))
+  done
+
+(* ---------------- OpenMetrics exposition --------------------------- *)
+
+(* one registry with every instrument kind, pinned as a golden snapshot
+   (deterministic: no wall-clock values involved) *)
+let test_openmetrics_golden () =
+  let r = M.create () in
+  M.incr ~by:42 (M.counter ~registry:r "om.hits");
+  M.set (M.gauge ~registry:r "om.level") (-3);
+  M.add_span_ns (M.timer ~registry:r "om.work_ns") 2_500_000_000;
+  let h = M.histogram ~registry:r "om.sizes" in
+  List.iter (M.observe h) [ 0.5; 3.0; 3.5 ];
+  let expected =
+    String.concat ""
+      [ "# HELP om_hits om.hits\n";
+        "# TYPE om_hits counter\n";
+        "om_hits_total{scope=\"s \\\"x\\\"\"} 42\n";
+        "# HELP om_level om.level\n";
+        "# TYPE om_level gauge\n";
+        "om_level{scope=\"s \\\"x\\\"\"} -3\n";
+        "# HELP om_sizes om.sizes\n";
+        "# TYPE om_sizes histogram\n";
+        "om_sizes_bucket{scope=\"s \\\"x\\\"\",le=\"1\"} 1\n";
+        "om_sizes_bucket{scope=\"s \\\"x\\\"\",le=\"2\"} 1\n";
+        "om_sizes_bucket{scope=\"s \\\"x\\\"\",le=\"4\"} 3\n";
+        "om_sizes_bucket{scope=\"s \\\"x\\\"\",le=\"+Inf\"} 3\n";
+        "om_sizes_sum{scope=\"s \\\"x\\\"\"} 7\n";
+        "om_sizes_count{scope=\"s \\\"x\\\"\"} 3\n";
+        "# HELP om_work_ns om.work_ns\n";
+        "# TYPE om_work_ns summary\n";
+        "om_work_ns_count{scope=\"s \\\"x\\\"\"} 1\n";
+        "om_work_ns_sum{scope=\"s \\\"x\\\"\"} 2.5\n";
+        "# EOF\n" ]
+  in
+  Alcotest.(check string) "golden exposition" expected
+    (M.to_openmetrics ~labels:[ ("scope", "s \"x\"") ] r)
+
+(* property: whatever the instrument names, the exposition is
+   well-formed — sanitized name charset, one # TYPE per family,
+   monotone cumulative buckets, # EOF terminator *)
+let om_name_ok name =
+  name <> ""
+  && (match name.[0] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+      | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let exposition_well_formed text =
+  let lines = String.split_on_char '\n' text in
+  let rec last_nonempty acc = function
+    | [] -> acc
+    | "" :: rest -> last_nonempty acc rest
+    | l :: rest -> last_nonempty l rest
+  in
+  last_nonempty "" lines = "# EOF"
+  && List.for_all
+       (fun line ->
+         line = "" || line = "# EOF"
+         ||
+         let body =
+           if String.length line > 2 && String.sub line 0 2 = "# " then
+             (* "# HELP <name> ..." / "# TYPE <name> <type>" *)
+             match String.split_on_char ' ' line with
+             | "#" :: ("HELP" | "TYPE") :: name :: _ -> name
+             | _ -> ""
+           else
+             (* "<name>[{labels}] <value>" *)
+             let stop =
+               match String.index_opt line '{' with
+               | Some i -> i
+               | None -> (
+                 match String.index_opt line ' ' with
+                 | Some i -> i
+                 | None -> String.length line)
+             in
+             String.sub line 0 stop
+         in
+         om_name_ok body)
+       lines
+
+let qcheck_openmetrics =
+  let gen_name =
+    QCheck2.Gen.(string_size ~gen:printable (int_range 1 24))
+  in
+  QCheck2.Test.make ~count:100 ~name:"openmetrics well-formed for any names"
+    QCheck2.Gen.(list_size (int_range 1 8) gen_name)
+    (fun names ->
+      (* one kind per distinct dotted name: a duplicate would be a
+         legitimate kind clash ([Invalid_argument]), not our subject *)
+      let names = List.sort_uniq compare names in
+      let r = M.create () in
+      List.iteri
+        (fun i name ->
+          match i mod 4 with
+          | 0 -> M.incr ~by:i (M.counter ~registry:r name)
+          | 1 -> M.set (M.gauge ~registry:r name) i
+          | 2 -> M.add_span_ns (M.timer ~registry:r name) (i * 1000)
+          | _ ->
+            let h = M.histogram ~registry:r name in
+            M.observe h (float_of_int i);
+            M.observe h (float_of_int (i * 100)))
+        names;
+      let text = M.to_openmetrics ~labels:[ ("q", "v\"\\\n") ] r in
+      (* each family declared exactly once *)
+      let type_lines =
+        List.filter
+          (fun l -> String.length l > 7 && String.sub l 0 7 = "# TYPE ")
+          (String.split_on_char '\n' text)
+      in
+      List.length (List.sort_uniq compare type_lines)
+      = List.length type_lines
+      && exposition_well_formed text)
+
+(* cumulative histogram buckets never decrease and end at the count *)
+let test_openmetrics_bucket_monotone () =
+  let r = M.create () in
+  let h = M.histogram ~registry:r "om.mono" in
+  List.iter (M.observe h) [ 0.1; 1.5; 2.5; 100.0; 100.0; 7.0 ];
+  let text = M.to_openmetrics r in
+  let buckets =
+    List.filter_map
+      (fun line ->
+        if String.length line > 15 && String.sub line 0 15 = "om_mono_bucket{"
+        then
+          match String.rindex_opt line ' ' with
+          | Some i ->
+            int_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> None
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "at least the +Inf bucket" true (buckets <> []);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets monotone" true (monotone buckets);
+  Alcotest.(check int) "+Inf bucket equals the count" 6
+    (List.nth buckets (List.length buckets - 1))
+
 let suite =
   [ ("metrics",
      [ Alcotest.test_case "counters" `Quick test_counters;
        Alcotest.test_case "gauges and timers" `Quick test_gauges_and_timers;
        Alcotest.test_case "histogram" `Quick test_histogram;
        Alcotest.test_case "json well-formed" `Quick test_json_well_formed;
+       Alcotest.test_case "histogram domain stress" `Quick
+         test_histogram_domain_stress;
+       Alcotest.test_case "instrument creation race" `Quick
+         test_creation_race;
+       Alcotest.test_case "openmetrics golden" `Quick test_openmetrics_golden;
+       Alcotest.test_case "openmetrics bucket monotone" `Quick
+         test_openmetrics_bucket_monotone;
+       QCheck_alcotest.to_alcotest qcheck_openmetrics;
        Alcotest.test_case "pipeline feeds global registry" `Quick
          test_pipeline_feeds_global ]) ]
